@@ -1,0 +1,28 @@
+//! Cost of the zero-one-law property analyzers and the full classifier (E1's
+//! throughput counterpart).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsum_gfunc::library::{OscillatingQuadratic, PowerFunction};
+use gsum_gfunc::properties::{
+    analyze_predictable, analyze_slow_dropping, analyze_slow_jumping,
+};
+use gsum_gfunc::{classify, PropertyConfig};
+
+fn bench_classify(c: &mut Criterion) {
+    let cfg = PropertyConfig::default();
+    let quad = PowerFunction::new(2.0);
+    let osc = OscillatingQuadratic::sqrt();
+    c.bench_function("analyze_slow_jumping_x2", |b| {
+        b.iter(|| analyze_slow_jumping(&quad, &cfg))
+    });
+    c.bench_function("analyze_slow_dropping_x2", |b| {
+        b.iter(|| analyze_slow_dropping(&quad, &cfg))
+    });
+    c.bench_function("analyze_predictable_osc_sqrt", |b| {
+        b.iter(|| analyze_predictable(&osc, &cfg))
+    });
+    c.bench_function("classify_full_x2", |b| b.iter(|| classify(&quad, &cfg)));
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Lower-bound machinery cost (E4/E6 throughput counterparts): reduction
+//! stream construction and the DIST counter algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsum_comm::{DisjIndInstance, DistInstance, IndexInstance};
+use gsum_core::DistCounter;
+
+fn bench_comm(c: &mut Criterion) {
+    c.bench_function("index_reduction_n256", |b| {
+        b.iter(|| IndexInstance::random(256, true, 7).reduction_stream(256, 1))
+    });
+    c.bench_function("disj_ind_reduction_n256_t4", |b| {
+        b.iter(|| DisjIndInstance::random(256, 4, true, 7).reduction_stream(8, 3))
+    });
+    let instance = DistInstance::random(1 << 12, 11, 9, 1, 150, 150, true, 3);
+    let stream = instance.stream();
+    c.bench_function("dist_counter_11_9_1", |b| {
+        b.iter(|| {
+            let mut d = DistCounter::new(1 << 12, 11, 9, 1, 5);
+            d.process_stream(&stream);
+            d.verdict()
+        })
+    });
+}
+
+criterion_group!(benches, bench_comm);
+criterion_main!(benches);

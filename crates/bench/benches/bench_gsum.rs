@@ -1,0 +1,32 @@
+//! End-to-end g-SUM estimation cost (E2's throughput counterpart): one-pass
+//! and two-pass estimators at two space budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsum_core::{GSumConfig, GSumEstimator, OnePassGSum, TwoPassGSum};
+use gsum_gfunc::library::{PowerFunction, SpamDiscountUtility};
+use gsum_streams::{StreamConfig, StreamGenerator, ZipfStreamGenerator};
+
+fn bench_gsum(c: &mut Criterion) {
+    let domain = 1u64 << 10;
+    let stream = ZipfStreamGenerator::new(StreamConfig::new(domain, 30_000), 1.2, 5).generate();
+    let mut group = c.benchmark_group("gsum_30k_updates");
+    for &columns in &[128usize, 1024] {
+        let cfg = GSumConfig::with_space_budget(domain, 0.2, columns, 7);
+        let one = OnePassGSum::new(PowerFunction::new(2.0), cfg.clone());
+        group.bench_function(format!("one_pass_x2_cols{columns}"), |b| {
+            b.iter(|| one.estimate(&stream))
+        });
+        let two = TwoPassGSum::new(PowerFunction::new(2.0), cfg.clone());
+        group.bench_function(format!("two_pass_x2_cols{columns}"), |b| {
+            b.iter(|| two.estimate(&stream))
+        });
+        let utility = OnePassGSum::new(SpamDiscountUtility::new(50), cfg);
+        group.bench_function(format!("one_pass_utility_cols{columns}"), |b| {
+            b.iter(|| utility.estimate(&stream))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gsum);
+criterion_main!(benches);

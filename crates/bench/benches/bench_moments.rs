@@ -1,0 +1,28 @@
+//! Frequency-moment estimation cost (E8's throughput counterpart): the
+//! universal sketch vs. the specialized AMS estimator for F2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsum_core::{GSumConfig, MomentEstimator};
+use gsum_sketch::{AmsF2Sketch, FrequencySketch};
+use gsum_streams::{StreamConfig, StreamGenerator, ZipfStreamGenerator};
+
+fn bench_moments(c: &mut Criterion) {
+    let domain = 1u64 << 10;
+    let stream = ZipfStreamGenerator::new(StreamConfig::new(domain, 30_000), 1.2, 9).generate();
+    let mut group = c.benchmark_group("moments_30k_updates");
+    for &k in &[1.0f64, 2.0] {
+        let est = MomentEstimator::new(k, GSumConfig::with_space_budget(domain, 0.2, 1024, 3));
+        group.bench_function(format!("universal_F{k}"), |b| b.iter(|| est.estimate(&stream)));
+    }
+    group.bench_function("ams_F2", |b| {
+        b.iter(|| {
+            let mut ams = AmsF2Sketch::with_guarantee(0.15, 0.1, 5).unwrap();
+            ams.process_stream(&stream);
+            ams.estimate_f2()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_moments);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Recursive-sketch ablation cost (E9's throughput counterpart): estimation
+//! time as the number of subsampling levels grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsum_core::{GSumConfig, GSumEstimator, OnePassGSum};
+use gsum_gfunc::library::PowerFunction;
+use gsum_streams::{StreamConfig, StreamGenerator, ZipfStreamGenerator};
+
+fn bench_recursive(c: &mut Criterion) {
+    let domain = 1u64 << 10;
+    let stream = ZipfStreamGenerator::new(StreamConfig::new(domain, 30_000), 1.2, 11).generate();
+    let mut group = c.benchmark_group("recursive_levels");
+    for &levels in &[2usize, 6, 12] {
+        let cfg = GSumConfig::with_space_budget(domain, 0.2, 512, 5).with_levels(levels);
+        let est = OnePassGSum::new(PowerFunction::new(2.0), cfg);
+        group.bench_function(format!("levels_{levels}"), |b| b.iter(|| est.estimate(&stream)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recursive);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Experiment E10 table emitter (see EXPERIMENTS.md). Prints Markdown to stdout.
+
+fn main() {
+    println!("{}", gsum_bench::e10_applications(3).to_markdown());
+}

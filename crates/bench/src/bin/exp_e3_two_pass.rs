@@ -1,0 +1,5 @@
+//! Experiment E3 table emitter (see EXPERIMENTS.md). Prints Markdown to stdout.
+
+fn main() {
+    println!("{}", gsum_bench::e3_two_pass_separation(3).to_markdown());
+}

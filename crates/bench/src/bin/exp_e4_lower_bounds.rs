@@ -1,0 +1,5 @@
+//! Experiment E4 table emitter (see EXPERIMENTS.md). Prints Markdown to stdout.
+
+fn main() {
+    println!("{}", gsum_bench::e4_lower_bounds(20).to_markdown());
+}

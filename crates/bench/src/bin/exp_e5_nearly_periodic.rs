@@ -1,0 +1,5 @@
+//! Experiment E5 table emitter (see EXPERIMENTS.md). Prints Markdown to stdout.
+
+fn main() {
+    println!("{}", gsum_bench::e5_nearly_periodic(5).to_markdown());
+}

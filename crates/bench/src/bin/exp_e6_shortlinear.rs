@@ -1,0 +1,5 @@
+//! Experiment E6 table emitter (see EXPERIMENTS.md). Prints Markdown to stdout.
+
+fn main() {
+    println!("{}", gsum_bench::e6_shortlinear(20).to_markdown());
+}

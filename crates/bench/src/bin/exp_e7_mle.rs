@@ -1,0 +1,5 @@
+//! Experiment E7 table emitter (see EXPERIMENTS.md). Prints Markdown to stdout.
+
+fn main() {
+    println!("{}", gsum_bench::e7_mle(2_000, 3).to_markdown());
+}

@@ -1,0 +1,21 @@
+//! # gsum-bench
+//!
+//! The experiment harness: every experiment E1–E10 of `DESIGN.md` /
+//! `EXPERIMENTS.md` is a function in this crate returning a
+//! machine-readable [`ExperimentTable`]; the `exp_*` binaries print the
+//! tables as Markdown (which is pasted into `EXPERIMENTS.md`), and the
+//! Criterion benches under `benches/` measure the throughput of the
+//! underlying data structures.
+//!
+//! The paper itself has no measured tables or figures (it is a theory
+//! paper), so the experiment suite is designed to check each *claim*:
+//! classification of the worked examples, accuracy/space behaviour of the
+//! upper-bound algorithms, failure of bounded-space sketches on the
+//! lower-bound reduction streams, the nearly periodic special case, the
+//! ShortLinearCombination threshold, and the §1.1 applications.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::ExperimentTable;

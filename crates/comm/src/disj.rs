@@ -1,0 +1,177 @@
+//! Multi-party set disjointness DISJ(n, t) and the multi-pass reductions.
+//!
+//! `t` players hold sets `A_1, ..., A_t ⊆ [n]` promised to be pairwise
+//! disjoint except possibly for one element common to all of them; deciding
+//! which case holds costs `Ω(n/t)` communication even with unrestricted
+//! interaction, which is what makes it the right tool for multi-pass lower
+//! bounds (Lemmas 27 and 28).
+
+use gsum_hash::Xoshiro256;
+use gsum_streams::TurnstileStream;
+
+/// An instance of DISJ(n, t).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisjInstance {
+    universe: u64,
+    sets: Vec<Vec<u64>>,
+    intersection: Option<u64>,
+}
+
+impl DisjInstance {
+    /// Sample a random promise instance with `players` sets over `[universe]`.
+    /// When `intersecting` is true a uniformly random element is placed in
+    /// every set; all other elements belong to at most one set.
+    pub fn random(universe: u64, players: usize, intersecting: bool, seed: u64) -> Self {
+        assert!(players >= 2, "need at least two players");
+        assert!(universe as usize >= 4 * players, "universe too small");
+        let mut rng = Xoshiro256::new(seed);
+
+        let special = rng.next_below(universe);
+        let mut sets: Vec<Vec<u64>> = vec![Vec::new(); players];
+        for item in 0..universe {
+            if item == special {
+                continue;
+            }
+            // Each non-special element joins one random set with probability
+            // 1/2 (so sets stay pairwise disjoint).
+            if rng.next_bool() {
+                let owner = rng.next_below(players as u64) as usize;
+                sets[owner].push(item);
+            }
+        }
+        let intersection = if intersecting {
+            for set in &mut sets {
+                set.push(special);
+            }
+            Some(special)
+        } else {
+            None
+        };
+        for set in &mut sets {
+            set.sort_unstable();
+        }
+        Self {
+            universe,
+            sets,
+            intersection,
+        }
+    }
+
+    /// Whether the promise instance intersects.
+    pub fn is_intersecting(&self) -> bool {
+        self.intersection.is_some()
+    }
+
+    /// The common element, if any.
+    pub fn intersection(&self) -> Option<u64> {
+        self.intersection
+    }
+
+    /// The players' sets.
+    pub fn sets(&self) -> &[Vec<u64>] {
+        &self.sets
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Number of players `t`.
+    pub fn players(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The Lemma 28 reduction: each of the first `t − 1` players inserts
+    /// `per_player_frequency` copies of her elements and the last player
+    /// inserts `last_player_frequency` copies of hers, so that a common
+    /// element reaches frequency `(t−1)·per + last` — the "jump" frequency
+    /// `y` — while disjoint elements stay at one of the two small values.
+    pub fn reduction_stream(
+        &self,
+        per_player_frequency: u64,
+        last_player_frequency: u64,
+    ) -> TurnstileStream {
+        let mut stream = TurnstileStream::new(self.universe);
+        let last = self.sets.len() - 1;
+        for (p, set) in self.sets.iter().enumerate() {
+            let freq = if p == last {
+                last_player_frequency
+            } else {
+                per_player_frequency
+            };
+            for &item in set {
+                stream.push_delta(item, freq as i64);
+            }
+        }
+        stream
+    }
+
+    /// The frequency the common element reaches in
+    /// [`reduction_stream`](Self::reduction_stream).
+    pub fn intersection_frequency(&self, per_player: u64, last_player: u64) -> u64 {
+        (self.players() as u64 - 1) * per_player + last_player
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_instances_respect_promise() {
+        for seed in 0..10u64 {
+            let yes = DisjInstance::random(256, 4, true, seed);
+            let no = DisjInstance::random(256, 4, false, seed);
+            assert!(yes.is_intersecting() && !no.is_intersecting());
+            assert_eq!(yes.players(), 4);
+
+            // Pairwise disjoint apart from the common element.
+            let special = yes.intersection().unwrap();
+            let mut seen = std::collections::HashMap::new();
+            for set in yes.sets() {
+                assert!(set.contains(&special));
+                for &item in set {
+                    if item != special {
+                        assert!(
+                            seen.insert(item, ()).is_none(),
+                            "element {item} in two sets"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_frequencies() {
+        let inst = DisjInstance::random(512, 4, true, 7);
+        let per = 10u64;
+        let last = 3u64;
+        let fv = inst.reduction_stream(per, last).frequency_vector();
+        let special = inst.intersection().unwrap();
+        assert_eq!(
+            fv.get(special) as u64,
+            inst.intersection_frequency(per, last)
+        );
+        // Every other covered item has frequency 10 or 3.
+        for (item, v) in fv.iter() {
+            if item != special {
+                assert!(v == 10 || v == 3, "unexpected frequency {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_instance_has_no_high_frequency() {
+        let inst = DisjInstance::random(512, 4, false, 9);
+        let fv = inst.reduction_stream(10, 3).frequency_vector();
+        assert!(fv.max_abs_frequency() <= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe too small")]
+    fn tiny_universe_panics() {
+        let _ = DisjInstance::random(4, 2, false, 0);
+    }
+}

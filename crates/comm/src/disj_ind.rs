@@ -1,0 +1,111 @@
+//! DISJ+IND(n, t) — set disjointness with a final index player
+//! (Theorem 44), used by the non-slow-jumping lower bound (Lemma 24).
+//!
+//! The first `t` players hold a promise-disjointness instance and the final
+//! player holds a single element; one-way communication costs
+//! `Ω(n / (t log n))`.  The Lemma 24 reduction gives each of the first `t`
+//! players frequency `x` per element and the final player the remainder
+//! `r = y − t·x`, so an intersection drives one frequency up to `y` — which a
+//! non-slow-jumping `g` blows up past the combined mass of everything else.
+
+use crate::disj::DisjInstance;
+use gsum_streams::TurnstileStream;
+
+/// An instance of DISJ+IND(n, t): a DISJ instance for the first `t` players
+/// plus the final player's singleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisjIndInstance {
+    disj: DisjInstance,
+    /// The final player's element.
+    pointer: u64,
+}
+
+impl DisjIndInstance {
+    /// Sample a random instance.  When `intersecting` is true, the final
+    /// player's element is the common element; otherwise it is an element
+    /// held by no one.
+    pub fn random(universe: u64, players: usize, intersecting: bool, seed: u64) -> Self {
+        let disj = DisjInstance::random(universe, players, intersecting, seed);
+        let pointer = match disj.intersection() {
+            Some(special) => special,
+            None => {
+                // Pick an element outside every set.
+                let used: std::collections::HashSet<u64> =
+                    disj.sets().iter().flatten().copied().collect();
+                (0..universe)
+                    .find(|i| !used.contains(i))
+                    .expect("universe has a free element")
+            }
+        };
+        Self { disj, pointer }
+    }
+
+    /// Whether the final player's element is the common element.
+    pub fn is_intersecting(&self) -> bool {
+        self.disj.is_intersecting()
+    }
+
+    /// The final player's element.
+    pub fn pointer(&self) -> u64 {
+        self.pointer
+    }
+
+    /// The underlying DISJ instance.
+    pub fn disj(&self) -> &DisjInstance {
+        &self.disj
+    }
+
+    /// The Lemma 24 reduction: each of the `t` set-players contributes `x`
+    /// copies of her elements, the final player contributes `remainder`
+    /// copies of his element.  On an intersecting instance the pointed item
+    /// reaches `t·x + remainder`; otherwise every frequency is `x` or
+    /// `remainder`.
+    pub fn reduction_stream(&self, x: u64, remainder: u64) -> TurnstileStream {
+        let mut stream = TurnstileStream::new(self.disj.universe());
+        for set in self.disj.sets() {
+            for &item in set {
+                stream.push_delta(item, x as i64);
+            }
+        }
+        stream.push_delta(self.pointer, remainder as i64);
+        stream
+    }
+
+    /// The frequency reached by the pointed item on an intersecting
+    /// instance.
+    pub fn peak_frequency(&self, x: u64, remainder: u64) -> u64 {
+        self.disj.players() as u64 * x + remainder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersecting_instance_reaches_peak_frequency() {
+        let inst = DisjIndInstance::random(512, 4, true, 3);
+        assert!(inst.is_intersecting());
+        let fv = inst.reduction_stream(25, 7).frequency_vector();
+        assert_eq!(fv.get(inst.pointer()) as u64, inst.peak_frequency(25, 7));
+    }
+
+    #[test]
+    fn disjoint_instance_stays_low() {
+        let inst = DisjIndInstance::random(512, 4, false, 5);
+        assert!(!inst.is_intersecting());
+        let fv = inst.reduction_stream(25, 7).frequency_vector();
+        // The pointer element is held by nobody else, so it sits at the
+        // remainder value, and everything else at x.
+        assert_eq!(fv.get(inst.pointer()), 7);
+        assert!(fv.max_abs_frequency() <= 25);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = DisjIndInstance::random(256, 3, true, 11);
+        let b = DisjIndInstance::random(256, 3, true, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.disj().players(), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! The empirical distinguishing-advantage harness.
+//!
+//! The lower-bound proofs say: if a small-space algorithm approximated g-SUM
+//! on the reduction streams, the players could tell the "yes" world from the
+//! "no" world.  Contrapositively, a sketch that is genuinely too small must
+//! *fail to distinguish* the two worlds on a noticeable fraction of
+//! instances.  [`SketchDistinguisher`] measures that directly: it draws many
+//! instance pairs, applies a caller-supplied statistic (typically a
+//! bounded-space g-SUM estimate) to each world's stream, and reports how well
+//! the best threshold test on that statistic separates the worlds.
+//!
+//! * advantage ≈ 1 — the statistic separates the worlds (e.g. the exact
+//!   g-SUM always does, because the reduction was designed to create a
+//!   constant-factor gap);
+//! * advantage ≈ 0 — the statistic carries no information (what the
+//!   communication bound forces on any too-small sketch).
+
+use gsum_streams::TurnstileStream;
+
+/// The outcome of a distinguishing experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistinguisherReport {
+    /// Number of instance pairs evaluated.
+    pub trials: usize,
+    /// Best-threshold classification accuracy in `[0.5, 1]`.
+    pub accuracy: f64,
+    /// Distinguishing advantage `2·accuracy − 1 ∈ [0, 1]`.
+    pub advantage: f64,
+    /// Mean statistic over the "no" world.
+    pub mean_negative: f64,
+    /// Mean statistic over the "yes" world.
+    pub mean_positive: f64,
+}
+
+/// Runs distinguishing experiments over paired instance generators.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SketchDistinguisher;
+
+impl SketchDistinguisher {
+    /// Run `trials` paired experiments.
+    ///
+    /// * `make_negative(trial)` / `make_positive(trial)` build the two
+    ///   worlds' streams for the given trial index (they should use the trial
+    ///   index as their seed so the worlds are coupled);
+    /// * `statistic(trial, stream)` maps a stream to a real number — e.g. a
+    ///   g-SUM estimate produced by a sketch whose space is the quantity
+    ///   under study.
+    pub fn run(
+        trials: usize,
+        mut make_negative: impl FnMut(u64) -> TurnstileStream,
+        mut make_positive: impl FnMut(u64) -> TurnstileStream,
+        mut statistic: impl FnMut(u64, &TurnstileStream) -> f64,
+    ) -> DistinguisherReport {
+        assert!(trials >= 1, "need at least one trial");
+        let mut negatives = Vec::with_capacity(trials);
+        let mut positives = Vec::with_capacity(trials);
+        for trial in 0..trials as u64 {
+            let neg_stream = make_negative(trial);
+            let pos_stream = make_positive(trial);
+            negatives.push(statistic(trial, &neg_stream));
+            positives.push(statistic(trial, &pos_stream));
+        }
+        let accuracy = best_threshold_accuracy(&negatives, &positives);
+        DistinguisherReport {
+            trials,
+            accuracy,
+            advantage: (2.0 * accuracy - 1.0).max(0.0),
+            mean_negative: mean(&negatives),
+            mean_positive: mean(&positives),
+        }
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// The accuracy of the best single-threshold classifier (in either
+/// direction) separating the two samples.
+fn best_threshold_accuracy(negatives: &[f64], positives: &[f64]) -> f64 {
+    let mut labelled: Vec<(f64, bool)> = negatives
+        .iter()
+        .map(|&v| (v, false))
+        .chain(positives.iter().map(|&v| (v, true)))
+        .collect();
+    labelled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite statistics"));
+    let total = labelled.len() as f64;
+    let total_pos = positives.len() as f64;
+    let total_neg = negatives.len() as f64;
+
+    // Sweep thresholds between consecutive points; classifier "positive if
+    // statistic > threshold" (and its reverse).
+    let mut best = 0.5f64;
+    let mut pos_below = 0.0;
+    let mut neg_below = 0.0;
+    for i in 0..=labelled.len() {
+        // accuracy of "positive above the cut" at cut position i
+        let correct_above = (total_pos - pos_below) + neg_below;
+        let correct_below = pos_below + (total_neg - neg_below);
+        best = best.max(correct_above / total).max(correct_below / total);
+        if i < labelled.len() {
+            if labelled[i].1 {
+                pos_below += 1.0;
+            } else {
+                neg_below += 1.0;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexInstance;
+    use gsum_hash::SplitMix64;
+
+    #[test]
+    fn perfectly_separated_statistics_give_full_advantage() {
+        let report = SketchDistinguisher::run(
+            20,
+            |_t| TurnstileStream::new(4),
+            |t| {
+                let mut s = TurnstileStream::new(4);
+                s.push_delta(0, t as i64 + 1);
+                s
+            },
+            |_t, stream| stream.frequency_vector().f1(),
+        );
+        assert!(report.advantage > 0.99);
+        assert!(report.mean_positive > report.mean_negative);
+        assert_eq!(report.trials, 20);
+    }
+
+    #[test]
+    fn random_statistics_give_near_zero_advantage() {
+        let report = SketchDistinguisher::run(
+            200,
+            |_t| TurnstileStream::new(4),
+            |_t| TurnstileStream::new(4),
+            |t, _stream| SplitMix64::new(t).next_f64(),
+        );
+        // With coupled noise per trial the two samples are identical in
+        // distribution; the best threshold still over-fits a little, so allow
+        // a modest advantage.
+        assert!(report.advantage < 0.2, "advantage {}", report.advantage);
+    }
+
+    #[test]
+    fn reversed_separation_is_also_detected() {
+        // The harness must detect separation regardless of direction.
+        let report = SketchDistinguisher::run(
+            20,
+            |t| {
+                let mut s = TurnstileStream::new(4);
+                s.push_delta(0, 100 + t as i64);
+                s
+            },
+            |_t| TurnstileStream::new(4),
+            |_t, stream| stream.frequency_vector().f1(),
+        );
+        assert!(report.advantage > 0.99);
+    }
+
+    #[test]
+    fn exact_gsum_separates_index_reduction_for_inverse_function() {
+        // Lemma 23 in action: for g(x) = 1/x the collision world and the
+        // disjoint world have exact g-SUMs differing by ~1, so the exact
+        // statistic distinguishes them perfectly.
+        let g = |x: u64| if x == 0 { 0.0 } else { 1.0 / x as f64 };
+        let n = 128u64;
+        let report = SketchDistinguisher::run(
+            30,
+            |t| IndexInstance::random(n, false, t).reduction_stream(n, 1),
+            |t| IndexInstance::random(n, true, t).reduction_stream(n, 1),
+            |_t, stream| {
+                stream
+                    .frequency_vector()
+                    .iter()
+                    .map(|(_, v)| g(v.unsigned_abs()))
+                    .sum()
+            },
+        );
+        assert!(report.advantage > 0.95, "report {report:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = SketchDistinguisher::run(
+            0,
+            |_t| TurnstileStream::new(2),
+            |_t| TurnstileStream::new(2),
+            |_t, _s| 0.0,
+        );
+    }
+}

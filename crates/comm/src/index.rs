@@ -1,0 +1,164 @@
+//! The INDEX communication problem and its stream reductions.
+//!
+//! In INDEX(n), Alice holds a set `A ⊆ [n]`, Bob holds an index `b ∈ [n]`,
+//! and only Alice may speak; deciding `b ∈ A` needs `Ω(n)` bits (Kremer–
+//! Nisan–Ron).  The reductions of Lemmas 23 and 25 embed an INDEX instance
+//! into a g-SUM stream:
+//!
+//! * **Lemma 23** (not slow-dropping): Alice inserts `alice_frequency` copies
+//!   of each of her items, Bob adds `bob_frequency` copies of his index.  If
+//!   `b ∈ A` one frequency becomes `alice + bob`, else a fresh item appears
+//!   with frequency `bob`; because `g` drops polynomially, these two worlds
+//!   have g-SUMs differing by a constant factor.
+//! * **Lemma 25** (not predictable): the same construction with
+//!   `alice_frequency = y_k` (small) and `bob_frequency = x_k` (large), so
+//!   the collision produces `x_k + y_k`, whose `g`-value differs from
+//!   `g(x_k)` although `y_k`'s own `g`-mass is negligible.
+
+use gsum_hash::Xoshiro256;
+use gsum_streams::TurnstileStream;
+
+/// An instance of INDEX(n): Alice's set and Bob's index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexInstance {
+    universe: u64,
+    alice: Vec<u64>,
+    bob: u64,
+}
+
+impl IndexInstance {
+    /// Sample a random instance: Alice holds each element independently with
+    /// probability 1/2, Bob's index is uniform.  `member` forces whether
+    /// `bob ∈ alice` (the planted answer).
+    pub fn random(universe: u64, member: bool, seed: u64) -> Self {
+        assert!(universe >= 2, "universe must have at least two elements");
+        let mut rng = Xoshiro256::new(seed);
+        let bob = rng.next_below(universe);
+        let mut alice: Vec<u64> = (0..universe)
+            .filter(|&i| i != bob && rng.next_bool())
+            .collect();
+        if member {
+            alice.push(bob);
+        }
+        alice.sort_unstable();
+        Self {
+            universe,
+            alice,
+            bob,
+        }
+    }
+
+    /// Construct an explicit instance.
+    pub fn new(universe: u64, alice: Vec<u64>, bob: u64) -> Self {
+        assert!(bob < universe, "Bob's index outside the universe");
+        assert!(
+            alice.iter().all(|&i| i < universe),
+            "Alice's set outside the universe"
+        );
+        let mut alice = alice;
+        alice.sort_unstable();
+        alice.dedup();
+        Self {
+            universe,
+            alice,
+            bob,
+        }
+    }
+
+    /// The ground truth: whether `bob ∈ alice`.
+    pub fn is_member(&self) -> bool {
+        self.alice.binary_search(&self.bob).is_ok()
+    }
+
+    /// Universe size `n`.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Alice's set.
+    pub fn alice_set(&self) -> &[u64] {
+        &self.alice
+    }
+
+    /// Bob's index.
+    pub fn bob_index(&self) -> u64 {
+        self.bob
+    }
+
+    /// The Lemma 23 / Lemma 25 reduction stream: Alice contributes
+    /// `alice_frequency` to each of her items, Bob contributes
+    /// `bob_frequency` to his index.  The stream's domain equals the
+    /// universe; updates are emitted as bulk deltas (the lower bounds already
+    /// hold for insertion-only streams, and bulk updates keep the instances
+    /// small).
+    pub fn reduction_stream(&self, alice_frequency: u64, bob_frequency: u64) -> TurnstileStream {
+        let mut stream = TurnstileStream::new(self.universe);
+        for &item in &self.alice {
+            stream.push_delta(item, alice_frequency as i64);
+        }
+        stream.push_delta(self.bob, bob_frequency as i64);
+        stream
+    }
+
+    /// The number of bits Alice would need to send to run a streaming
+    /// algorithm with `sketch_words` words of state as a one-way protocol
+    /// (each word is 64 bits) — the quantity the reduction compares against
+    /// the Ω(n) INDEX bound.
+    pub fn protocol_bits(sketch_words: usize) -> usize {
+        64 * sketch_words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_instances_respect_membership_flag() {
+        for seed in 0..20u64 {
+            let yes = IndexInstance::random(256, true, seed);
+            let no = IndexInstance::random(256, false, seed);
+            assert!(yes.is_member());
+            assert!(!no.is_member());
+            assert_eq!(yes.universe(), 256);
+        }
+    }
+
+    #[test]
+    fn explicit_instance() {
+        let inst = IndexInstance::new(16, vec![3, 5, 5, 7], 5);
+        assert!(inst.is_member());
+        assert_eq!(inst.alice_set(), &[3, 5, 7]);
+        assert_eq!(inst.bob_index(), 5);
+        let inst = IndexInstance::new(16, vec![3, 7], 5);
+        assert!(!inst.is_member());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the universe")]
+    fn bob_outside_universe_panics() {
+        let _ = IndexInstance::new(8, vec![0], 8);
+    }
+
+    #[test]
+    fn reduction_stream_frequencies() {
+        // b ∈ A: the shared item gets alice + bob frequency.
+        let inst = IndexInstance::new(32, vec![2, 9], 9);
+        let fv = inst.reduction_stream(100, 7).frequency_vector();
+        assert_eq!(fv.get(2), 100);
+        assert_eq!(fv.get(9), 107);
+        assert_eq!(fv.support_size(), 2);
+
+        // b ∉ A: Bob's item appears on its own.
+        let inst = IndexInstance::new(32, vec![2, 11], 9);
+        let fv = inst.reduction_stream(100, 7).frequency_vector();
+        assert_eq!(fv.get(9), 7);
+        assert_eq!(fv.get(11), 100);
+        assert_eq!(fv.support_size(), 3);
+    }
+
+    #[test]
+    fn protocol_bits_scale_with_sketch() {
+        assert_eq!(IndexInstance::protocol_bits(10), 640);
+    }
+}

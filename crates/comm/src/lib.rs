@@ -1,0 +1,38 @@
+//! # gsum-comm
+//!
+//! The communication-complexity side of the zero-one laws.
+//!
+//! Every lower bound in the paper is a reduction: the players of INDEX,
+//! DISJ, DISJ+IND or ShortLinearCombination jointly build a stream whose
+//! g-SUM differs by a constant factor between the "yes" and "no" cases, so a
+//! small-space `(g, ε)`-SUM algorithm would yield a cheap protocol —
+//! contradiction.  These reductions cannot be "run" as proofs, but they *can*
+//! be run as experiments: this crate generates the exact instance streams the
+//! proofs describe and measures how well a bounded-space sketch empirically
+//! distinguishes the two cases ([`SketchDistinguisher`]).  Experiment E4 uses
+//! this to exhibit the failure of small sketches on intractable functions,
+//! and to contrast with the exact (linear-space) computation which separates
+//! the cases perfectly.
+//!
+//! * [`IndexInstance`] — one-way INDEX(n); reduction of Lemma 23
+//!   (non-slow-dropping functions) and Lemma 25 (unpredictable functions).
+//! * [`DisjInstance`] — multi-party set disjointness DISJ(n, t); reduction of
+//!   Lemmas 27/28 (multi-pass bounds).
+//! * [`DisjIndInstance`] — DISJ+IND(n, t) (Theorem 44); reduction of
+//!   Lemma 24 (non-slow-jumping functions).
+//! * [`DistInstance`] — the ShortLinearCombination / `(a, b, c)`-DIST promise
+//!   problem of Definition 45 (Appendix C).
+//! * [`SketchDistinguisher`] — the empirical distinguishing-advantage
+//!   harness.
+
+pub mod disj;
+pub mod disj_ind;
+pub mod distinguisher;
+pub mod index;
+pub mod shortlinear;
+
+pub use disj::DisjInstance;
+pub use disj_ind::DisjIndInstance;
+pub use distinguisher::{DistinguisherReport, SketchDistinguisher};
+pub use index::IndexInstance;
+pub use shortlinear::DistInstance;

@@ -1,0 +1,154 @@
+//! ShortLinearCombination / `(a, b, c)`-DIST promise instances
+//! (Definition 45, Appendix C).
+//!
+//! The frequency vector is promised to take values in `{0, ±a, ±b}` (case
+//! `V₀`), or to be such a vector with one coordinate overwritten by `±c`
+//! (case `V₁`).  Theorem 48 shows distinguishing the cases takes `Ω(n/q²)`
+//! bits, where `q` is the smallest coefficient magnitude expressing
+//! `c = p·a + q·b`; Proposition 49's counter algorithm
+//! (`gsum_core::DistCounter`) matches it.  The instances produced here drive
+//! experiment E6 and also serve as the "indistinguishable frequency set"
+//! inputs of Theorem 68 (lower bounds for nearly periodic g-SUM).
+
+use gsum_hash::Xoshiro256;
+use gsum_streams::TurnstileStream;
+
+/// An `(a, b, c)`-DIST promise instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistInstance {
+    universe: u64,
+    a: u64,
+    b: u64,
+    c: u64,
+    /// `(item, signed frequency)` pairs; at most one has magnitude `c`.
+    assignments: Vec<(u64, i64)>,
+    has_target: bool,
+}
+
+impl DistInstance {
+    /// Sample an instance with `count_a` coordinates at `±a` and `count_b`
+    /// at `±b` (signs uniform); if `has_target` is true one further
+    /// coordinate is set to `±c`.
+    pub fn random(
+        universe: u64,
+        a: u64,
+        b: u64,
+        c: u64,
+        count_a: u64,
+        count_b: u64,
+        has_target: bool,
+        seed: u64,
+    ) -> Self {
+        assert!(a > 0 && b > 0 && c > 0 && c != a && c != b, "bad frequencies");
+        let needed = count_a + count_b + u64::from(has_target);
+        assert!(needed <= universe, "universe too small");
+        let mut rng = Xoshiro256::new(seed);
+        let mut used = std::collections::HashSet::new();
+        let mut fresh = |rng: &mut Xoshiro256| loop {
+            let item = rng.next_below(universe);
+            if used.insert(item) {
+                return item;
+            }
+        };
+        let mut assignments = Vec::with_capacity(needed as usize);
+        for _ in 0..count_a {
+            let sign = if rng.next_bool() { 1 } else { -1 };
+            assignments.push((fresh(&mut rng), sign * a as i64));
+        }
+        for _ in 0..count_b {
+            let sign = if rng.next_bool() { 1 } else { -1 };
+            assignments.push((fresh(&mut rng), sign * b as i64));
+        }
+        if has_target {
+            let sign = if rng.next_bool() { 1 } else { -1 };
+            assignments.push((fresh(&mut rng), sign * c as i64));
+        }
+        Self {
+            universe,
+            a,
+            b,
+            c,
+            assignments,
+            has_target,
+        }
+    }
+
+    /// Whether a `±c` coordinate is present (the ground truth).
+    pub fn has_target(&self) -> bool {
+        self.has_target
+    }
+
+    /// The `(a, b, c)` frequency triple.
+    pub fn frequencies(&self) -> (u64, u64, u64) {
+        (self.a, self.b, self.c)
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// The promise stream (bulk updates; shuffled by the seed-derived order
+    /// of `random`).
+    pub fn stream(&self) -> TurnstileStream {
+        let mut stream = TurnstileStream::new(self.universe);
+        for &(item, value) in &self.assignments {
+            stream.push_delta(item, value);
+        }
+        stream
+    }
+
+    /// The g-SUM gap this instance exhibits for a function `g`: the target
+    /// coordinate contributes `g(c)` instead of nothing, so
+    /// `|g-SUM(V₁) − g-SUM(V₀)| = g(c)`.  Theorem 68 chooses `g` (nearly
+    /// periodic) and `c` so that this gap is large while the `(a, b)` mass is
+    /// tiny — turning the DIST lower bound into a g-SUM lower bound.
+    pub fn gsum_gap(&self, g: impl Fn(u64) -> f64) -> f64 {
+        g(self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_respects_promise() {
+        for &has_target in &[false, true] {
+            let inst = DistInstance::random(1 << 12, 5, 3, 1, 100, 120, has_target, 9);
+            assert_eq!(inst.has_target(), has_target);
+            let fv = inst.stream().frequency_vector();
+            let mut c_count = 0;
+            for (_, v) in fv.iter() {
+                match v.unsigned_abs() {
+                    5 | 3 => {}
+                    1 => c_count += 1,
+                    other => panic!("unexpected frequency {other}"),
+                }
+            }
+            assert_eq!(c_count, u64::from(has_target));
+            assert_eq!(fv.support_size() as u64, 220 + u64::from(has_target));
+        }
+    }
+
+    #[test]
+    fn gsum_gap_is_g_of_c() {
+        let inst = DistInstance::random(256, 8, 4, 2, 10, 10, true, 3);
+        assert_eq!(inst.gsum_gap(|x| (x * x) as f64), 4.0);
+        assert_eq!(inst.frequencies(), (8, 4, 2));
+        assert_eq!(inst.universe(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe too small")]
+    fn overfull_universe_panics() {
+        let _ = DistInstance::random(8, 5, 3, 1, 6, 6, false, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = DistInstance::random(512, 11, 9, 1, 50, 50, true, 21);
+        let b = DistInstance::random(512, 11, 9, 1, 50, 50, true, 21);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,96 @@
+//! Sketchable distances (§1.1 and the Guha–Indyk question): distances of the
+//! form `d(u, v) = Σ_i g(|u_i − v_i|)`.
+//!
+//! Because the estimators consume turnstile streams, the difference vector
+//! `u − v` is obtained for free: stream `u`'s updates followed by `v`'s
+//! updates with negated deltas.  The zero-one laws then characterize which
+//! such distances are sketchable — exactly those whose `g` is tractable.
+
+use crate::gsum::{exact_gsum, GSumEstimator};
+use gsum_gfunc::GFunction;
+use gsum_streams::{TurnstileStream, Update};
+
+/// Build the turnstile stream whose frequency vector is `u − v`.
+fn difference_stream(u: &TurnstileStream, v: &TurnstileStream) -> TurnstileStream {
+    assert_eq!(u.domain(), v.domain(), "domain mismatch");
+    let mut out = TurnstileStream::new(u.domain());
+    for &upd in u.iter() {
+        out.push(upd);
+    }
+    for &upd in v.iter() {
+        out.push(Update::new(upd.item, -upd.delta));
+    }
+    out
+}
+
+/// The exact distance `Σ_i g(|u_i − v_i|)`.
+pub fn exact_distance<G: GFunction + ?Sized>(
+    g: &G,
+    u: &TurnstileStream,
+    v: &TurnstileStream,
+) -> f64 {
+    let diff = u.frequency_vector().difference(&v.frequency_vector());
+    exact_gsum(g, &diff)
+}
+
+/// The sketched distance: feed the difference stream through any
+/// `(g, ε)`-SUM estimator.
+pub fn sketched_distance<E: GSumEstimator>(
+    estimator: &E,
+    u: &TurnstileStream,
+    v: &TurnstileStream,
+    repetitions: usize,
+) -> f64 {
+    let diff = difference_stream(u, v);
+    estimator.estimate_median(&diff, repetitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GSumConfig;
+    use crate::gsum::OnePassGSum;
+    use gsum_gfunc::library::PowerFunction;
+    use gsum_streams::{StreamConfig, StreamGenerator, ZipfStreamGenerator};
+
+    fn streams() -> (TurnstileStream, TurnstileStream) {
+        let u = ZipfStreamGenerator::new(StreamConfig::new(1 << 10, 20_000), 1.2, 5).generate();
+        let v = ZipfStreamGenerator::new(StreamConfig::new(1 << 10, 20_000), 1.2, 99).generate();
+        (u, v)
+    }
+
+    #[test]
+    fn identical_streams_have_zero_distance() {
+        let (u, _) = streams();
+        let g = PowerFunction::new(2.0);
+        assert_eq!(exact_distance(&g, &u, &u), 0.0);
+        let est = OnePassGSum::new(g, GSumConfig::with_space_budget(1 << 10, 0.2, 256, 3));
+        assert_eq!(sketched_distance(&est, &u, &u, 1), 0.0);
+    }
+
+    #[test]
+    fn squared_euclidean_distance_is_sketched_accurately() {
+        let (u, v) = streams();
+        let g = PowerFunction::new(2.0);
+        let truth = exact_distance(&g, &u, &v);
+        let est = OnePassGSum::new(g, GSumConfig::with_space_budget(1 << 10, 0.2, 1024, 7));
+        let approx = sketched_distance(&est, &u, &v, 3);
+        let rel = (approx - truth).abs() / truth;
+        assert!(rel < 0.35, "distance estimate {approx} vs {truth} (rel {rel})");
+    }
+
+    #[test]
+    fn distance_is_symmetric_in_truth() {
+        let (u, v) = streams();
+        let g = PowerFunction::new(1.0);
+        assert!((exact_distance(&g, &u, &v) - exact_distance(&g, &v, &u)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain mismatch")]
+    fn mismatched_domains_panic() {
+        let u = TurnstileStream::new(8);
+        let v = TurnstileStream::new(16);
+        let _ = exact_distance(&PowerFunction::new(2.0), &u, &v);
+    }
+}

@@ -1,0 +1,225 @@
+//! Approximate maximum-likelihood estimation from a universal sketch
+//! (§1.1.1).
+//!
+//! The stream's coordinates are i.i.d. samples from a discrete distribution
+//! `p(·; θ)`; the negative log-likelihood of parameter `θ` is
+//! `ℓ(θ; v) = −Σ_{i=1}^n ln p(v_i; θ)`.  Writing `g_θ` for the centred NLL
+//! (`g_θ(x) = ln p(0;θ) − ln p(x;θ)`, so `g_θ(0) = 0`),
+//!
+//! ```text
+//! ℓ(θ; v) = n · (−ln p(0; θ)) + Σ_i g_θ(|v_i|)
+//! ```
+//!
+//! The first term is known exactly (the number of samples `n` is known); the
+//! second is a g-SUM, estimated by the one-pass universal sketch.  Crucially,
+//! the *sketch is oblivious to `θ`*: one CountSketch/AMS pass over the data
+//! serves every candidate parameter, which is what makes grid search over
+//! `Θ` cheap (the paper's `O(log |Θ|)` overhead remark).
+//!
+//! In this implementation each candidate still re-processes the stream
+//! through its own estimator object (the sketches share structure but not
+//! state); the space per candidate is what the paper's analysis counts, and
+//! the observation that the linear sketch itself is `θ`-independent is
+//! demonstrated by `sketch_is_function_independent` in the tests.
+
+use crate::config::GSumConfig;
+use crate::gsum::{exact_gsum, GSumEstimator, OnePassGSum};
+use gsum_gfunc::library::PoissonMixtureNll;
+use gsum_hash::Xoshiro256;
+use gsum_streams::TurnstileStream;
+
+/// Draws i.i.d. samples from a two-component Poisson mixture and encodes
+/// them as a turnstile stream (coordinate `i` holds the `i`-th sample).
+#[derive(Debug, Clone)]
+pub struct MixtureSampler {
+    model: PoissonMixtureNll,
+    rng: Xoshiro256,
+}
+
+impl MixtureSampler {
+    /// Create a sampler for the given true model.
+    pub fn new(model: PoissonMixtureNll, seed: u64) -> Self {
+        Self {
+            model,
+            rng: Xoshiro256::new(seed),
+        }
+    }
+
+    /// Draw one sample by inverse-CDF over the mixture pmf.
+    pub fn sample(&mut self) -> u64 {
+        let u = self.rng.next_f64();
+        let mut acc = 0.0;
+        for x in 0..10_000u64 {
+            acc += self.model.pmf(x);
+            if u <= acc {
+                return x;
+            }
+        }
+        10_000
+    }
+
+    /// Draw `n` samples and encode them as a stream over domain `n`
+    /// (coordinate `i` receives a single bulk update equal to the sample).
+    pub fn sample_stream(&mut self, n: u64) -> TurnstileStream {
+        let mut stream = TurnstileStream::new(n.max(1));
+        for i in 0..n {
+            let value = self.sample();
+            if value > 0 {
+                stream.push_delta(i, value as i64);
+            }
+        }
+        stream
+    }
+}
+
+/// The result of an (approximate or exact) grid MLE.
+#[derive(Debug, Clone)]
+pub struct MleEstimate {
+    /// Index into the candidate grid of the chosen parameter.
+    pub best_index: usize,
+    /// Negative log-likelihood value of every candidate, in grid order.
+    pub nll_values: Vec<f64>,
+}
+
+impl MleEstimate {
+    /// The minimizing NLL value.
+    pub fn best_value(&self) -> f64 {
+        self.nll_values[self.best_index]
+    }
+}
+
+/// Grid-search maximum-likelihood estimation, exactly or from the universal
+/// sketch.
+#[derive(Debug, Clone)]
+pub struct MleEstimator {
+    candidates: Vec<PoissonMixtureNll>,
+    config: GSumConfig,
+}
+
+impl MleEstimator {
+    /// Create the estimator for a grid of candidate models.
+    ///
+    /// # Panics
+    /// Panics if the grid is empty.
+    pub fn new(candidates: Vec<PoissonMixtureNll>, config: GSumConfig) -> Self {
+        assert!(!candidates.is_empty(), "the candidate grid must be non-empty");
+        Self { candidates, config }
+    }
+
+    /// The candidate grid.
+    pub fn candidates(&self) -> &[PoissonMixtureNll] {
+        &self.candidates
+    }
+
+    /// The exact negative log-likelihood of candidate `theta` on `stream`
+    /// (number of samples = stream domain).
+    pub fn exact_nll(&self, theta: &PoissonMixtureNll, stream: &TurnstileStream) -> f64 {
+        let n = stream.domain() as f64;
+        let base = n * theta.raw_nll(0);
+        base + exact_gsum(theta, &stream.frequency_vector())
+    }
+
+    /// Exact grid MLE (ground truth).
+    pub fn exact(&self, stream: &TurnstileStream) -> MleEstimate {
+        let values: Vec<f64> = self
+            .candidates
+            .iter()
+            .map(|theta| self.exact_nll(theta, stream))
+            .collect();
+        Self::argmin(values)
+    }
+
+    /// Approximate grid MLE from the one-pass universal sketch, with
+    /// `repetitions`-fold median amplification per candidate.
+    pub fn approximate(&self, stream: &TurnstileStream, repetitions: usize) -> MleEstimate {
+        let n = stream.domain() as f64;
+        let values: Vec<f64> = self
+            .candidates
+            .iter()
+            .map(|theta| {
+                let estimator = OnePassGSum::new(*theta, self.config.clone());
+                n * theta.raw_nll(0) + estimator.estimate_median(stream, repetitions)
+            })
+            .collect();
+        Self::argmin(values)
+    }
+
+    fn argmin(values: Vec<f64>) -> MleEstimate {
+        let best_index = values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite NLL"))
+            .map(|(i, _)| i)
+            .expect("non-empty grid");
+        MleEstimate {
+            best_index,
+            nll_values: values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<PoissonMixtureNll> {
+        // Vary the second rate; the true model uses rate 6.
+        [2.0f64, 4.0, 6.0, 8.0]
+            .iter()
+            .map(|&beta| PoissonMixtureNll::new(0.5, 0.5, beta))
+            .collect()
+    }
+
+    #[test]
+    fn sampler_matches_model_mean_roughly() {
+        let model = PoissonMixtureNll::new(0.5, 0.5, 6.0);
+        let mut sampler = MixtureSampler::new(model, 3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| sampler.sample() as f64).sum::<f64>() / n as f64;
+        let expect = 0.5 * 0.5 + 0.5 * 6.0;
+        assert!((mean - expect).abs() < 0.15, "sample mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn exact_mle_recovers_true_parameter() {
+        let true_model = PoissonMixtureNll::new(0.5, 0.5, 6.0);
+        let stream = MixtureSampler::new(true_model, 7).sample_stream(4_000);
+        let est = MleEstimator::new(grid(), GSumConfig::with_space_budget(4_000, 0.2, 512, 5));
+        let exact = est.exact(&stream);
+        assert_eq!(exact.best_index, 2, "nll values: {:?}", exact.nll_values);
+    }
+
+    #[test]
+    fn approximate_mle_is_close_to_exact() {
+        let true_model = PoissonMixtureNll::new(0.5, 0.5, 6.0);
+        let stream = MixtureSampler::new(true_model, 11).sample_stream(2_000);
+        let est = MleEstimator::new(grid(), GSumConfig::with_space_budget(2_000, 0.2, 1024, 9));
+        let exact = est.exact(&stream);
+        let approx = est.approximate(&stream, 3);
+        // The paper's guarantee: ℓ(θ̂_approx) ≤ (1+ε) ℓ(θ̂_exact). Allow a
+        // generous ε here.
+        let chosen_exact_nll = exact.nll_values[approx.best_index];
+        assert!(
+            chosen_exact_nll <= 1.15 * exact.best_value(),
+            "approximate MLE picked a poor candidate: {} vs best {}",
+            chosen_exact_nll,
+            exact.best_value()
+        );
+        assert_eq!(approx.nll_values.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grid_panics() {
+        let _ = MleEstimator::new(vec![], GSumConfig::with_space_budget(16, 0.2, 16, 1));
+    }
+
+    #[test]
+    fn stream_encoding_uses_one_coordinate_per_sample() {
+        let model = PoissonMixtureNll::new(0.5, 0.5, 6.0);
+        let stream = MixtureSampler::new(model, 1).sample_stream(500);
+        assert_eq!(stream.domain(), 500);
+        // Every non-zero coordinate holds one sample value.
+        assert!(stream.frequency_vector().support_size() <= 500);
+    }
+}

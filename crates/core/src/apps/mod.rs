@@ -1,0 +1,11 @@
+//! The paper's applications (§1.1), built on top of the g-SUM estimators.
+
+mod distance;
+mod higher_order;
+mod likelihood;
+mod utility;
+
+pub use distance::{sketched_distance, exact_distance};
+pub use higher_order::{HigherOrderStream, TwoAttributeRecord};
+pub use likelihood::{MixtureSampler, MleEstimate, MleEstimator};
+pub use utility::{BillingReport, ClickBilling};

@@ -1,0 +1,161 @@
+//! Configuration shared by the g-SUM estimators.
+
+/// Configuration for the one-pass and two-pass g-SUM estimators.
+///
+/// The paper's theoretical parameterization (Theorem 13 plus Algorithms 1/2)
+/// sets the heaviness to `λ = ε² / log³ n` and sizes the per-level CountSketch
+/// as `CountSketch(λ / Θ(H(M)), ε / Θ(H(M)), δ)`.  Plugging realistic `n` into
+/// those formulas produces sketches far larger than the streams used in a
+/// laptop-scale evaluation, so the constructors expose two modes:
+///
+/// * [`GSumConfig::theoretical`] — the faithful parameterization (capped so it
+///   stays runnable), used when demonstrating the asymptotic claims;
+/// * [`GSumConfig::with_space_budget`] — an explicit space budget (CountSketch
+///   columns), used by the experiments that sweep accuracy against space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GSumConfig {
+    /// Domain size `n`.
+    pub domain: u64,
+    /// Target relative accuracy `ε`.
+    pub epsilon: f64,
+    /// Failure probability budget `δ` (per estimator invocation).
+    pub delta: f64,
+    /// The sub-polynomial envelope factor `H(M)` of Propositions 15/16.  The
+    /// caller can compute it with `gsum_gfunc::properties::estimate_envelope`;
+    /// `1.0` corresponds to a monotone function growing at most quadratically.
+    pub envelope_factor: f64,
+    /// Number of subsampling levels of the recursive sketch
+    /// (`≈ log₂ n + 1`).
+    pub levels: usize,
+    /// CountSketch columns per level.
+    pub countsketch_columns: usize,
+    /// CountSketch rows per level.
+    pub countsketch_rows: usize,
+    /// Number of candidates extracted from each level's CountSketch
+    /// (the `O(H(M)/λ)` of Lemma 18).
+    pub candidates_per_level: usize,
+    /// Master seed for all hash functions.
+    pub seed: u64,
+}
+
+impl GSumConfig {
+    /// The faithful (capped) theoretical parameterization for accuracy `ε`.
+    pub fn theoretical(domain: u64, epsilon: f64, seed: u64) -> Self {
+        assert!(domain > 0, "domain must be positive");
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        let log_n = (domain.max(2) as f64).log2();
+        let lambda = (epsilon * epsilon / log_n.powi(3)).max(1e-6);
+        let columns = ((6.0 / (lambda * epsilon * epsilon)).ceil() as usize).min(1 << 14);
+        let candidates = ((3.0 / lambda).ceil() as usize).min(columns / 2).max(8);
+        Self {
+            domain,
+            epsilon,
+            delta: 0.1,
+            envelope_factor: 1.0,
+            levels: Self::default_levels(domain),
+            countsketch_columns: columns.max(16),
+            countsketch_rows: 5,
+            candidates_per_level: candidates,
+            seed,
+        }
+    }
+
+    /// A configuration with an explicit space budget: `columns` CountSketch
+    /// columns per level (the dominant space term).
+    pub fn with_space_budget(domain: u64, epsilon: f64, columns: usize, seed: u64) -> Self {
+        assert!(domain > 0, "domain must be positive");
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        assert!(columns >= 4, "need at least 4 CountSketch columns");
+        Self {
+            domain,
+            epsilon,
+            delta: 0.1,
+            envelope_factor: 1.0,
+            levels: Self::default_levels(domain),
+            countsketch_columns: columns,
+            countsketch_rows: 5,
+            candidates_per_level: (columns / 4).max(4),
+            seed,
+        }
+    }
+
+    /// Override the envelope factor `H(M)` (e.g. with the empirical value
+    /// from `gsum_gfunc::properties::estimate_envelope`).
+    pub fn with_envelope_factor(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "the envelope factor is at least 1");
+        self.envelope_factor = factor;
+        self
+    }
+
+    /// Override the number of recursion levels.
+    pub fn with_levels(mut self, levels: usize) -> Self {
+        assert!(levels >= 1, "need at least one level");
+        self.levels = levels;
+        self
+    }
+
+    /// Override the number of CountSketch rows per level.
+    pub fn with_rows(mut self, rows: usize) -> Self {
+        assert!(rows >= 1, "need at least one row");
+        self.countsketch_rows = rows;
+        self
+    }
+
+    /// The default level count: `⌈log₂ n⌉ + 1`, capped at 24.
+    pub fn default_levels(domain: u64) -> usize {
+        let lg = (64 - domain.max(2).leading_zeros()) as usize;
+        (lg + 1).min(24)
+    }
+
+    /// The per-level heaviness parameter `λ = ε² / log³ n` of Theorem 13
+    /// (floored to keep the candidate count finite).
+    pub fn lambda(&self) -> f64 {
+        let log_n = (self.domain.max(2) as f64).log2();
+        (self.epsilon * self.epsilon / log_n.powi(3)).max(1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theoretical_configuration_shapes() {
+        let cfg = GSumConfig::theoretical(1 << 12, 0.2, 7);
+        assert_eq!(cfg.domain, 1 << 12);
+        assert_eq!(cfg.levels, 13 + 1);
+        assert!(cfg.countsketch_columns <= 1 << 14);
+        assert!(cfg.candidates_per_level >= 8);
+        assert!(cfg.lambda() > 0.0);
+    }
+
+    #[test]
+    fn space_budget_configuration() {
+        let cfg = GSumConfig::with_space_budget(1 << 10, 0.1, 256, 3);
+        assert_eq!(cfg.countsketch_columns, 256);
+        assert_eq!(cfg.candidates_per_level, 64);
+        let cfg = cfg.with_envelope_factor(3.0).with_levels(5).with_rows(7);
+        assert_eq!(cfg.envelope_factor, 3.0);
+        assert_eq!(cfg.levels, 5);
+        assert_eq!(cfg.countsketch_rows, 7);
+    }
+
+    #[test]
+    fn default_levels_scale_with_domain() {
+        assert_eq!(GSumConfig::default_levels(2), 3);
+        assert_eq!(GSumConfig::default_levels(1 << 10), 12);
+        assert_eq!(GSumConfig::default_levels(u64::MAX), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_epsilon() {
+        let _ = GSumConfig::theoretical(8, 1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn rejects_tiny_budget() {
+        let _ = GSumConfig::with_space_budget(8, 0.1, 2, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the g-SUM algorithm configuration.
+
+use std::fmt;
+
+/// Errors raised when configuring the g-SUM estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration parameter was invalid.
+    InvalidParameter {
+        /// Which parameter.
+        parameter: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A sketch-level error bubbled up.
+    Sketch(gsum_sketch::SketchError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { parameter, reason } => {
+                write!(f, "invalid parameter `{parameter}`: {reason}")
+            }
+            CoreError::Sketch(e) => write!(f, "sketch error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<gsum_sketch::SketchError> for CoreError {
+    fn from(e: gsum_sketch::SketchError) -> Self {
+        CoreError::Sketch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = CoreError::InvalidParameter {
+            parameter: "epsilon",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("epsilon"));
+
+        let s = gsum_sketch::SketchError::EmptyDimension { parameter: "rows" };
+        let converted: CoreError = s.into();
+        assert!(converted.to_string().contains("rows"));
+    }
+}

@@ -1,0 +1,70 @@
+//! User-facing g-SUM estimators.
+
+mod one_pass;
+mod two_pass;
+
+pub use one_pass::OnePassGSum;
+pub use two_pass::TwoPassGSum;
+
+use gsum_gfunc::GFunction;
+use gsum_streams::{FrequencyVector, TurnstileStream};
+
+/// The exact value of `g(V) = Σ_i g(|v_i|)` — the ground truth every
+/// estimator is compared against.
+pub fn exact_gsum<G: GFunction + ?Sized>(g: &G, vector: &FrequencyVector) -> f64 {
+    vector.iter().map(|(_, v)| g.eval_signed(v)).sum()
+}
+
+/// A `(g, ε)`-SUM estimator (Definition 1): produces an estimate `Ĝ` of
+/// `g(V(D))` from (one or more passes over) a turnstile stream.
+pub trait GSumEstimator {
+    /// Estimate `Σ_i g(|v_i|)` for the given stream.
+    fn estimate(&self, stream: &TurnstileStream) -> f64;
+
+    /// Number of passes over the stream the estimator makes.
+    fn passes(&self) -> usize;
+
+    /// Number of 64-bit words of state the estimator's sketches occupy
+    /// (the "space" of the zero-one laws; excludes the input stream itself).
+    fn space_words(&self) -> usize;
+
+    /// Run the estimator `repetitions` times with independently derived seeds
+    /// and return the median estimate — the standard success-probability
+    /// amplification the paper applies after Definition 1.
+    fn estimate_median(&self, stream: &TurnstileStream, _repetitions: usize) -> f64 {
+        // The default implementation simply calls `estimate`; estimators that
+        // support re-seeding override this.
+        self.estimate(stream)
+    }
+}
+
+/// The relative error `|estimate − truth| / max(truth, floor)` used throughout
+/// the experiment harness (the floor avoids dividing by ~0 for empty
+/// streams).
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    (estimate - truth).abs() / truth.abs().max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsum_gfunc::library::PowerFunction;
+
+    #[test]
+    fn exact_gsum_sums_g_of_magnitudes() {
+        let g = PowerFunction::new(2.0);
+        let mut fv = FrequencyVector::new(10);
+        fv.apply(0, 3);
+        fv.apply(5, -4);
+        assert_eq!(exact_gsum(&g, &fv), 9.0 + 16.0);
+        assert_eq!(exact_gsum(&g, &FrequencyVector::new(10)), 0.0);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(90.0, 100.0) - 0.1).abs() < 1e-12);
+        assert!(relative_error(0.0, 0.0) < 1e-9);
+        assert!(relative_error(5.0, 0.0) > 1.0);
+    }
+}

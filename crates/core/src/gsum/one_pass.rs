@@ -1,0 +1,163 @@
+//! The one-pass g-SUM estimator (Theorem 2's upper bound): Algorithm 2 per
+//! level inside the recursive sketch.
+
+use super::GSumEstimator;
+use crate::config::GSumConfig;
+use crate::heavy_hitters::{OnePassHeavyHitter, OnePassHeavyHitterConfig};
+use crate::recursive_sketch::RecursiveSketch;
+use gsum_gfunc::GFunction;
+use gsum_streams::TurnstileStream;
+
+/// One-pass `(g, ε)`-SUM estimator for a slow-jumping, slow-dropping,
+/// predictable function.
+///
+/// The estimator is stateless across calls: each [`estimate`](GSumEstimator::estimate)
+/// builds the level sketches from the configured seed, streams the input
+/// through them once, and combines the covers.  This makes it cheap to sweep
+/// configurations in the experiments and keeps repeated estimates independent
+/// given different seeds.
+#[derive(Debug, Clone)]
+pub struct OnePassGSum<G> {
+    g: G,
+    config: GSumConfig,
+}
+
+impl<G: GFunction + Clone> OnePassGSum<G> {
+    /// Create the estimator for function `g` under `config`.
+    pub fn new(g: G, config: GSumConfig) -> Self {
+        Self { g, config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GSumConfig {
+        &self.config
+    }
+
+    fn hh_config(&self) -> OnePassHeavyHitterConfig {
+        OnePassHeavyHitterConfig {
+            rows: self.config.countsketch_rows,
+            columns: self.config.countsketch_columns,
+            candidates: self.config.candidates_per_level,
+            epsilon: self.config.epsilon,
+            envelope_factor: self.config.envelope_factor,
+        }
+    }
+
+    fn build(&self, seed: u64) -> RecursiveSketch<OnePassHeavyHitter<G>> {
+        let hh_config = self.hh_config();
+        let g = self.g.clone();
+        RecursiveSketch::new(
+            self.config.domain,
+            self.config.levels,
+            seed,
+            move |_level, level_seed| OnePassHeavyHitter::new(g.clone(), hh_config, level_seed),
+        )
+    }
+
+    /// Estimate with an explicit seed override (used by the median
+    /// amplification and by the experiments' repeated trials).
+    pub fn estimate_with_seed(&self, stream: &TurnstileStream, seed: u64) -> f64 {
+        let mut sketch = self.build(seed);
+        sketch.process_stream(stream);
+        sketch.estimate().max(0.0)
+    }
+}
+
+impl<G: GFunction + Clone> GSumEstimator for OnePassGSum<G> {
+    fn estimate(&self, stream: &TurnstileStream) -> f64 {
+        self.estimate_with_seed(stream, self.config.seed)
+    }
+
+    fn passes(&self) -> usize {
+        1
+    }
+
+    fn space_words(&self) -> usize {
+        self.build(self.config.seed).space_words()
+    }
+
+    fn estimate_median(&self, stream: &TurnstileStream, repetitions: usize) -> f64 {
+        let reps = repetitions.max(1);
+        let mut estimates: Vec<f64> = (0..reps)
+            .map(|r| self.estimate_with_seed(stream, self.config.seed.wrapping_add(r as u64 * 7919)))
+            .collect();
+        estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+        estimates[reps / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsum::{exact_gsum, relative_error};
+    use gsum_gfunc::library::{PowerFunction, SpamDiscountUtility};
+    use gsum_streams::{StreamConfig, StreamGenerator, ZipfStreamGenerator};
+
+    fn zipf_stream(domain: u64, len: usize, seed: u64) -> gsum_streams::TurnstileStream {
+        ZipfStreamGenerator::new(StreamConfig::new(domain, len), 1.2, seed).generate()
+    }
+
+    #[test]
+    fn approximates_f2_on_skewed_stream() {
+        let stream = zipf_stream(1 << 10, 30_000, 3);
+        let g = PowerFunction::new(2.0);
+        let truth = exact_gsum(&g, &stream.frequency_vector());
+        let est = OnePassGSum::new(g, GSumConfig::with_space_budget(1 << 10, 0.2, 1024, 11));
+        let approx = est.estimate_median(&stream, 3);
+        let rel = relative_error(approx, truth);
+        assert!(rel < 0.3, "relative error {rel} too large ({approx} vs {truth})");
+    }
+
+    #[test]
+    fn approximates_sqrt_moment() {
+        let stream = zipf_stream(1 << 10, 30_000, 5);
+        let g = PowerFunction::new(0.5);
+        let truth = exact_gsum(&g, &stream.frequency_vector());
+        let est = OnePassGSum::new(g, GSumConfig::with_space_budget(1 << 10, 0.2, 1024, 17));
+        let approx = est.estimate_median(&stream, 3);
+        let rel = relative_error(approx, truth);
+        assert!(rel < 0.35, "relative error {rel} too large ({approx} vs {truth})");
+    }
+
+    #[test]
+    fn approximates_non_monotone_utility() {
+        let stream = zipf_stream(1 << 10, 30_000, 9);
+        let g = SpamDiscountUtility::new(20);
+        let truth = exact_gsum(&g, &stream.frequency_vector());
+        let est = OnePassGSum::new(g, GSumConfig::with_space_budget(1 << 10, 0.2, 1024, 23));
+        let approx = est.estimate_median(&stream, 3);
+        let rel = relative_error(approx, truth);
+        assert!(rel < 0.35, "relative error {rel} too large ({approx} vs {truth})");
+    }
+
+    #[test]
+    fn uses_one_pass_and_reports_space() {
+        let g = PowerFunction::new(2.0);
+        let est = OnePassGSum::new(g, GSumConfig::with_space_budget(256, 0.2, 64, 1));
+        assert_eq!(est.passes(), 1);
+        // Space scales with levels × (columns + AMS); far below the domain
+        // for wide domains, but positive.
+        assert!(est.space_words() > 64);
+        assert_eq!(est.config().countsketch_columns, 64);
+    }
+
+    #[test]
+    fn empty_stream_estimates_zero() {
+        let g = PowerFunction::new(2.0);
+        let est = OnePassGSum::new(g, GSumConfig::with_space_budget(64, 0.2, 64, 1));
+        let stream = gsum_streams::TurnstileStream::new(64);
+        assert_eq!(est.estimate(&stream), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let stream = zipf_stream(256, 5_000, 2);
+        let g = PowerFunction::new(1.5);
+        let est = OnePassGSum::new(g, GSumConfig::with_space_budget(256, 0.2, 256, 5));
+        assert_eq!(est.estimate(&stream), est.estimate(&stream));
+        assert_ne!(
+            est.estimate_with_seed(&stream, 1),
+            est.estimate_with_seed(&stream, 2)
+        );
+    }
+}

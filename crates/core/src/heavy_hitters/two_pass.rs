@@ -1,0 +1,242 @@
+//! Algorithm 1: the 2-pass `(g, λ, 0, δ)`-heavy-hitter algorithm.
+//!
+//! ```text
+//! 2-Pass Heavy Hitters(g, λ, ε, δ):
+//!   First pass:  S ← CountSketch(λ / 2H(M), 1/3, δ), keep the identities of
+//!                the top O(H(M)/λ) estimated items, discard the estimates
+//!   Second pass: tabulate v_j exactly for every j ∈ S
+//!   return (j, g(v_j)) for j ∈ S
+//! ```
+//!
+//! Because the second pass measures the candidate frequencies exactly, local
+//! variability of `g` is irrelevant — this is precisely why predictability
+//! drops out of the two-pass zero-one law (Theorem 3).
+
+use super::{GCover, HeavyHitterSketch};
+use gsum_gfunc::GFunction;
+use gsum_sketch::{CountSketch, CountSketchConfig, FrequencySketch};
+use gsum_streams::Update;
+use std::collections::HashMap;
+
+/// Configuration knobs for [`TwoPassHeavyHitter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPassHeavyHitterConfig {
+    /// CountSketch rows (first pass).
+    pub rows: usize,
+    /// CountSketch columns (first pass).
+    pub columns: usize,
+    /// Number of candidates whose frequencies the second pass tabulates.
+    pub candidates: usize,
+}
+
+/// Which pass the algorithm is currently in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    First,
+    Second,
+}
+
+/// The Algorithm-1 heavy-hitter algorithm for a function `g`.
+///
+/// Unlike the one-pass sketch this type is driven through
+/// [`TwoPassHeavyHitter::update_pass1`], [`TwoPassHeavyHitter::begin_second_pass`]
+/// and [`TwoPassHeavyHitter::update_pass2`]; the [`HeavyHitterSketch`]
+/// implementation maps `update` onto the current phase so the recursive
+/// sketch can drive it uniformly.
+#[derive(Debug, Clone)]
+pub struct TwoPassHeavyHitter<G> {
+    g: G,
+    config: TwoPassHeavyHitterConfig,
+    countsketch: CountSketch,
+    phase: Phase,
+    /// Exact counters for the candidate set (second pass).
+    exact: HashMap<u64, i64>,
+}
+
+impl<G: GFunction> TwoPassHeavyHitter<G> {
+    /// Create the algorithm.
+    pub fn new(g: G, config: TwoPassHeavyHitterConfig, seed: u64) -> Self {
+        let cs_config = CountSketchConfig::new(config.rows, config.columns)
+            .expect("non-degenerate CountSketch dimensions");
+        Self {
+            g,
+            config,
+            countsketch: CountSketch::new(cs_config, seed ^ 0x2Da5_5e1f),
+            phase: Phase::First,
+            exact: HashMap::new(),
+        }
+    }
+
+    /// Process an update during the first pass.
+    pub fn update_pass1(&mut self, update: Update) {
+        debug_assert_eq!(self.phase, Phase::First, "first pass already closed");
+        self.countsketch.update(update);
+    }
+
+    /// Close the first pass: fix the candidate set whose frequencies the
+    /// second pass will tabulate exactly (identities only; the CountSketch
+    /// estimates are discarded, as in the paper).
+    pub fn begin_second_pass(&mut self, domain: u64) {
+        if self.phase == Phase::Second {
+            return;
+        }
+        let candidates = self
+            .countsketch
+            .top_candidates(0..domain, self.config.candidates);
+        self.exact = candidates.into_iter().map(|(i, _)| (i, 0i64)).collect();
+        self.phase = Phase::Second;
+    }
+
+    /// Process an update during the second pass (only candidate items are
+    /// counted).
+    pub fn update_pass2(&mut self, update: Update) {
+        debug_assert_eq!(self.phase, Phase::Second, "second pass not started");
+        if let Some(count) = self.exact.get_mut(&update.item) {
+            *count += update.delta;
+        }
+    }
+
+    /// Whether the first pass has been closed.
+    pub fn in_second_pass(&self) -> bool {
+        self.phase == Phase::Second
+    }
+
+    /// The candidate set fixed at the end of the first pass.
+    pub fn candidates(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.exact.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+impl<G: GFunction> HeavyHitterSketch for TwoPassHeavyHitter<G> {
+    fn update(&mut self, update: Update) {
+        match self.phase {
+            Phase::First => self.update_pass1(update),
+            Phase::Second => self.update_pass2(update),
+        }
+    }
+
+    fn cover(&self, _domain: u64) -> GCover {
+        // Exact frequencies, hence exact g-values (the ε = 0 of Algorithm 1).
+        let pairs = self
+            .exact
+            .iter()
+            .filter(|(_, &v)| v != 0)
+            .map(|(&i, &v)| (i, self.g.eval_signed(v)))
+            .collect();
+        GCover::from_pairs(pairs)
+    }
+
+    fn space_words(&self) -> usize {
+        self.countsketch.space_words() + 2 * self.config.candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heavy_hitters::exact_heavy_hitters;
+    use gsum_gfunc::library::{OscillatingQuadratic, PowerFunction};
+    use gsum_streams::{PlantedStreamGenerator, StreamConfig, StreamGenerator};
+
+    fn config() -> TwoPassHeavyHitterConfig {
+        TwoPassHeavyHitterConfig {
+            rows: 5,
+            columns: 256,
+            candidates: 24,
+        }
+    }
+
+    #[test]
+    fn two_passes_report_exact_values_even_for_erratic_functions() {
+        // The whole point of Algorithm 1: the reported weights are exact, so
+        // even an unpredictable function gets a perfect cover.
+        let stream = PlantedStreamGenerator::new(
+            StreamConfig::new(1 << 10, 20_000),
+            vec![(100, 4000), (321, 2500)],
+            13,
+        )
+        .generate();
+        let fv = stream.frequency_vector();
+        let g = OscillatingQuadratic::direct();
+
+        let mut hh = TwoPassHeavyHitter::new(g, config(), 99);
+        for &u in stream.iter() {
+            hh.update_pass1(u);
+        }
+        hh.begin_second_pass(1 << 10);
+        assert!(hh.in_second_pass());
+        for &u in stream.iter() {
+            hh.update_pass2(u);
+        }
+        let cover = hh.cover(1 << 10);
+
+        for item in exact_heavy_hitters(&OscillatingQuadratic::direct(), &fv, 0.05) {
+            assert!(cover.contains(item), "missing heavy hitter {item}");
+            let truth = OscillatingQuadratic::direct().eval_signed(fv.get(item));
+            let w = cover.weight(item).unwrap();
+            assert!(
+                (w - truth).abs() < 1e-9,
+                "two-pass weight should be exact: {w} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn trait_driver_switches_phase() {
+        let stream = PlantedStreamGenerator::new(
+            StreamConfig::new(256, 2_000),
+            vec![(7, 500)],
+            3,
+        )
+        .generate();
+        let mut hh = TwoPassHeavyHitter::new(PowerFunction::new(2.0), config(), 5);
+        for &u in stream.iter() {
+            HeavyHitterSketch::update(&mut hh, u);
+        }
+        hh.begin_second_pass(256);
+        for &u in stream.iter() {
+            HeavyHitterSketch::update(&mut hh, u);
+        }
+        let cover = hh.cover(256);
+        assert!(cover.contains(7));
+        let truth = PowerFunction::new(2.0).eval_signed(stream.frequency_vector().get(7));
+        assert!((cover.weight(7).unwrap() - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn candidate_set_bounded() {
+        let stream = PlantedStreamGenerator::new(
+            StreamConfig::new(1 << 12, 8_000),
+            vec![(1, 100)],
+            5,
+        )
+        .generate();
+        let mut hh = TwoPassHeavyHitter::new(PowerFunction::new(2.0), config(), 1);
+        for &u in stream.iter() {
+            hh.update_pass1(u);
+        }
+        hh.begin_second_pass(1 << 12);
+        assert!(hh.candidates().len() <= config().candidates);
+        assert!(hh.space_words() > 0);
+    }
+
+    #[test]
+    fn begin_second_pass_is_idempotent() {
+        let mut hh = TwoPassHeavyHitter::new(PowerFunction::new(2.0), config(), 1);
+        hh.update_pass1(Update::new(3, 10));
+        hh.begin_second_pass(16);
+        let before = hh.candidates();
+        hh.begin_second_pass(16);
+        assert_eq!(before, hh.candidates());
+    }
+
+    #[test]
+    fn cover_before_second_pass_is_empty() {
+        let mut hh = TwoPassHeavyHitter::new(PowerFunction::new(2.0), config(), 1);
+        hh.update_pass1(Update::new(3, 10));
+        // No second pass yet: no exact counts, so no cover entries.
+        assert!(hh.cover(16).is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! # gsum-core
+//!
+//! The paper's algorithms: everything needed to go from a turnstile stream to
+//! a `(1 ± ε)`-approximation of `g(V) = Σ_i g(|v_i|)`.
+//!
+//! ## Architecture (mirrors §3.1 and §4 of the paper)
+//!
+//! ```text
+//!                        ┌────────────────────────────┐
+//!   stream updates ────▶ │ per-level heavy-hitter      │   L = O(log n) levels,
+//!                        │ sketches (Algorithm 1 or 2, │   level j sees items
+//!                        │ or the g_np routine)        │   subsampled w.p. 2^-j
+//!                        └───────────┬────────────────┘
+//!                                    │ (g, λ, ε)-covers
+//!                                    ▼
+//!                        ┌────────────────────────────┐
+//!                        │ Recursive Sketch            │  Theorem 13: g-SUM with
+//!                        │ (Braverman–Ostrovsky)       │  O(log n) overhead
+//!                        └───────────┬────────────────┘
+//!                                    ▼
+//!                               ĝ ≈ Σ g(|v_i|)
+//! ```
+//!
+//! * [`heavy_hitters`] — the `(g, λ, ε, δ)`-heavy-hitter algorithms:
+//!   [`OnePassHeavyHitter`] (Algorithm 2: CountSketch + AMS + predictability
+//!   pruning) and [`TwoPassHeavyHitter`] (Algorithm 1: CountSketch candidates,
+//!   exact second-pass tabulation), plus the [`HeavyHitterSketch`] trait and
+//!   the [`GCover`] type (Definition 12).
+//! * [`recursive_sketch`] — the recursive estimator combining per-level
+//!   covers into a g-SUM estimate.
+//! * [`gsum`] — user-facing estimators: [`OnePassGSum`], [`TwoPassGSum`],
+//!   [`exact_gsum`] and the [`GSumEstimator`] trait.
+//! * [`np_algorithm`] — the bespoke 1-pass algorithm for the nearly periodic
+//!   function `g_np` (Proposition 54).
+//! * [`dist_counter`] — the `O(n/q²)`-space algorithm for the
+//!   ShortLinearCombination problem (Proposition 49).
+//! * [`moments`] — frequency-moment (`F_k`) convenience wrappers.
+//! * [`apps`] — the §1.1 applications: approximate MLE over a parameter grid,
+//!   utility aggregates, sketchable distances and the higher-order encoding.
+
+pub mod apps;
+pub mod config;
+pub mod dist_counter;
+pub mod error;
+pub mod gsum;
+pub mod heavy_hitters;
+pub mod moments;
+pub mod np_algorithm;
+pub mod recursive_sketch;
+
+pub use config::GSumConfig;
+pub use dist_counter::{DistCounter, DistVerdict};
+pub use error::CoreError;
+pub use gsum::{exact_gsum, GSumEstimator, OnePassGSum, TwoPassGSum};
+pub use heavy_hitters::{GCover, HeavyHitterSketch, OnePassHeavyHitter, TwoPassHeavyHitter};
+pub use moments::MomentEstimator;
+pub use np_algorithm::NearlyPeriodicGSum;
+pub use recursive_sketch::RecursiveSketch;

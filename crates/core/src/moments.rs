@@ -1,0 +1,107 @@
+//! Frequency-moment (`F_k`) estimation — the historical special case
+//! (`g(x) = x^k`) that motivated the whole line of work.
+//!
+//! For `k ≤ 2` the universal sketch applies (the power function is
+//! slow-jumping); for `k = 2` the AMS sketch is the specialized alternative;
+//! for `k > 2` the zero-one law says sub-polynomial space is impossible, and
+//! experiment E8 confirms the estimator degrades.
+
+use crate::config::GSumConfig;
+use crate::gsum::{GSumEstimator, OnePassGSum};
+use gsum_gfunc::library::PowerFunction;
+use gsum_sketch::{AmsF2Sketch, FrequencySketch};
+use gsum_streams::TurnstileStream;
+
+/// Convenience wrapper estimating `F_k = Σ |v_i|^k`.
+#[derive(Debug, Clone)]
+pub struct MomentEstimator {
+    k: f64,
+    inner: OnePassGSum<PowerFunction>,
+}
+
+impl MomentEstimator {
+    /// Create an `F_k` estimator (`k ≥ 0`).
+    pub fn new(k: f64, config: GSumConfig) -> Self {
+        Self {
+            k,
+            inner: OnePassGSum::new(PowerFunction::new(k), config),
+        }
+    }
+
+    /// The moment order `k`.
+    pub fn order(&self) -> f64 {
+        self.k
+    }
+
+    /// Estimate `F_k` via the universal sketch.
+    pub fn estimate(&self, stream: &TurnstileStream) -> f64 {
+        self.inner.estimate(stream)
+    }
+
+    /// Median-amplified estimate.
+    pub fn estimate_median(&self, stream: &TurnstileStream, repetitions: usize) -> f64 {
+        self.inner.estimate_median(stream, repetitions)
+    }
+
+    /// Estimate `F_2` with the specialized AMS sketch (for the E8
+    /// comparison).
+    pub fn estimate_f2_ams(stream: &TurnstileStream, epsilon: f64, seed: u64) -> f64 {
+        let mut ams =
+            AmsF2Sketch::with_guarantee(epsilon, 0.1, seed).expect("valid AMS parameters");
+        ams.process_stream(stream);
+        ams.estimate_f2()
+    }
+
+    /// The exact `F_k` of a stream (ground truth).
+    pub fn exact(stream: &TurnstileStream, k: f64) -> f64 {
+        stream.frequency_vector().moment(k)
+    }
+
+    /// Sketch space in words.
+    pub fn space_words(&self) -> usize {
+        self.inner.space_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsum_streams::{StreamConfig, StreamGenerator, ZipfStreamGenerator};
+
+    fn stream() -> TurnstileStream {
+        ZipfStreamGenerator::new(StreamConfig::new(1 << 10, 30_000), 1.2, 13).generate()
+    }
+
+    #[test]
+    fn tracks_low_moments() {
+        let s = stream();
+        for k in [0.5f64, 1.0, 1.5, 2.0] {
+            let est = MomentEstimator::new(k, GSumConfig::with_space_budget(1 << 10, 0.2, 1024, 3));
+            let truth = MomentEstimator::exact(&s, k);
+            let approx = est.estimate_median(&s, 3);
+            let rel = (approx - truth).abs() / truth;
+            assert!(rel < 0.35, "F_{k}: {approx} vs {truth} (rel {rel})");
+            assert_eq!(est.order(), k);
+        }
+    }
+
+    #[test]
+    fn f1_is_exact_for_insertion_only_streams_in_truth() {
+        let s = stream();
+        assert_eq!(MomentEstimator::exact(&s, 1.0), s.len() as f64);
+    }
+
+    #[test]
+    fn ams_comparison_path() {
+        let s = stream();
+        let truth = MomentEstimator::exact(&s, 2.0);
+        let ams = MomentEstimator::estimate_f2_ams(&s, 0.15, 5);
+        assert!((ams - truth).abs() / truth < 0.25);
+    }
+
+    #[test]
+    fn space_reporting() {
+        let est = MomentEstimator::new(2.0, GSumConfig::with_space_budget(256, 0.2, 64, 1));
+        assert!(est.space_words() > 0);
+    }
+}

@@ -1,0 +1,282 @@
+//! The bespoke 1-pass algorithm for the nearly periodic function `g_np`
+//! (Proposition 54 / Appendix D.1).
+//!
+//! `g_np(x) = 2^{-i_x}` with `i_x` the index of the lowest set bit of `x`.
+//! The function escapes the normal zero-one law (it is S-nearly periodic),
+//! yet it is 1-pass tractable because the *lowest set bit of a sum* can be
+//! tracked through linear counters:
+//!
+//! * split the stream into `C = O(λ^{-2})` substreams with a uniform hash, so
+//!   that with constant probability the `≤ 2/λ` items of largest `g_np`-value
+//!   land in distinct substreams;
+//! * in each substream run `D = O(log n)` independent trials; trial `ℓ` keeps
+//!   the counter `m_ℓ = Σ_j X_ℓ(j) · v_j` for pairwise-independent Bernoulli
+//!   variables `X_ℓ(j)`;
+//! * the value `2^{-i_{m_ℓ}}` equals `g_np` of the substream's heaviest item
+//!   whenever that item is sampled (adding values with strictly higher
+//!   trailing-zero count cannot change the lowest set bit), so the maximum
+//!   over trials recovers `g_np(v_{j*})` and the sampling pattern of the
+//!   maximizing trials identifies `j*` itself.
+//!
+//! Wrapping this heavy-hitter routine in the recursive sketch gives a 1-pass
+//! `g_np`-SUM algorithm in `poly(λ^{-1} log n)` space.
+
+use crate::config::GSumConfig;
+use crate::gsum::GSumEstimator;
+use crate::heavy_hitters::{GCover, HeavyHitterSketch};
+use crate::recursive_sketch::RecursiveSketch;
+use gsum_gfunc::library::GnpFunction;
+use gsum_gfunc::GFunction;
+use gsum_hash::{derive_seeds, BucketHash, KWiseHash};
+use gsum_streams::{TurnstileStream, Update};
+
+/// The Proposition-54 heavy-hitter sketch for `g_np`.
+#[derive(Debug, Clone)]
+pub struct GnpHeavyHitter {
+    substreams: usize,
+    trials: usize,
+    /// Counters `m[c][ℓ]`, stored row-major.
+    counters: Vec<i64>,
+    split: BucketHash,
+    /// Trial sampling hashes (pairwise independent Bernoulli(1/2)).
+    samplers: Vec<KWiseHash>,
+}
+
+impl GnpHeavyHitter {
+    /// Create the sketch with `substreams` hash buckets and `trials`
+    /// independent trials per bucket.
+    pub fn new(substreams: usize, trials: usize, seed: u64) -> Self {
+        assert!(substreams >= 1 && trials >= 1, "degenerate dimensions");
+        let seeds = derive_seeds(seed ^ 0x6e9_0a16, trials + 1);
+        Self {
+            substreams,
+            trials,
+            counters: vec![0i64; substreams * trials],
+            split: BucketHash::new(substreams as u64, seeds[trials]),
+            samplers: seeds[..trials].iter().map(|&s| KWiseHash::new(2, s)).collect(),
+        }
+    }
+
+    #[inline]
+    fn cell(&self, substream: usize, trial: usize) -> usize {
+        substream * self.trials + trial
+    }
+
+    /// Recover the single candidate heavy hitter of a substream, if the
+    /// trial pattern identifies one unambiguously.
+    fn recover_substream(&self, substream: usize, domain: u64) -> Option<(u64, f64)> {
+        // The best (largest) g_np value observed across trials.
+        let mut best_value = 0.0f64;
+        for trial in 0..self.trials {
+            let m = self.counters[self.cell(substream, trial)];
+            if m != 0 {
+                let v = GnpFunction::new().eval(m.unsigned_abs());
+                if v > best_value {
+                    best_value = v;
+                }
+            }
+        }
+        if best_value <= 0.0 {
+            return None;
+        }
+        // Trials achieving the maximum are exactly those that sampled the
+        // heaviest item (when the hashing isolated it).
+        let maximizing: Vec<bool> = (0..self.trials)
+            .map(|trial| {
+                let m = self.counters[self.cell(substream, trial)];
+                m != 0 && (GnpFunction::new().eval(m.unsigned_abs()) - best_value).abs() < 1e-12
+            })
+            .collect();
+        // A genuine single heavy hitter is sampled in about half the trials.
+        let count = maximizing.iter().filter(|&&b| b).count();
+        if count == 0 || count == self.trials {
+            return None;
+        }
+        // Identify the unique item in this substream whose sampling pattern
+        // matches the maximizing trials.
+        let mut found: Option<u64> = None;
+        for item in 0..domain {
+            if self.split.bucket(item) as usize != substream {
+                continue;
+            }
+            let matches = (0..self.trials).all(|trial| {
+                let sampled = self.samplers[trial].hash_to_bool(item);
+                sampled == maximizing[trial]
+            });
+            if matches {
+                if found.is_some() {
+                    return None; // ambiguous
+                }
+                found = Some(item);
+            }
+        }
+        found.map(|item| (item, best_value))
+    }
+}
+
+impl HeavyHitterSketch for GnpHeavyHitter {
+    fn update(&mut self, update: Update) {
+        let substream = self.split.bucket(update.item) as usize;
+        for trial in 0..self.trials {
+            if self.samplers[trial].hash_to_bool(update.item) {
+                let idx = self.cell(substream, trial);
+                self.counters[idx] += update.delta;
+            }
+        }
+    }
+
+    fn cover(&self, domain: u64) -> GCover {
+        let pairs = (0..self.substreams)
+            .filter_map(|c| self.recover_substream(c, domain))
+            .collect();
+        GCover::from_pairs(pairs)
+    }
+
+    fn space_words(&self) -> usize {
+        self.counters.len() + 4 * (self.samplers.len() + 1)
+    }
+}
+
+/// The 1-pass `g_np`-SUM estimator: the Proposition-54 heavy-hitter routine
+/// inside the recursive sketch.
+#[derive(Debug, Clone)]
+pub struct NearlyPeriodicGSum {
+    config: GSumConfig,
+    substreams: usize,
+    trials: usize,
+}
+
+impl NearlyPeriodicGSum {
+    /// Create the estimator.  The number of substreams and trials per level
+    /// are derived from the configured candidate budget.
+    pub fn new(config: GSumConfig) -> Self {
+        let substreams = (config.candidates_per_level * config.candidates_per_level)
+            .clamp(16, 4096);
+        let trials = (2 * GSumConfig::default_levels(config.domain)).clamp(12, 40);
+        Self {
+            config,
+            substreams,
+            trials,
+        }
+    }
+
+    /// Substreams per level.
+    pub fn substreams(&self) -> usize {
+        self.substreams
+    }
+
+    /// Trials per substream.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    fn build(&self, seed: u64) -> RecursiveSketch<GnpHeavyHitter> {
+        let substreams = self.substreams;
+        let trials = self.trials;
+        RecursiveSketch::new(
+            self.config.domain,
+            self.config.levels,
+            seed,
+            move |_level, level_seed| GnpHeavyHitter::new(substreams, trials, level_seed),
+        )
+    }
+
+    /// Estimate with an explicit seed override.
+    pub fn estimate_with_seed(&self, stream: &TurnstileStream, seed: u64) -> f64 {
+        let mut sketch = self.build(seed);
+        sketch.process_stream(stream);
+        sketch.estimate().max(0.0)
+    }
+}
+
+impl GSumEstimator for NearlyPeriodicGSum {
+    fn estimate(&self, stream: &TurnstileStream) -> f64 {
+        self.estimate_with_seed(stream, self.config.seed)
+    }
+
+    fn passes(&self) -> usize {
+        1
+    }
+
+    fn space_words(&self) -> usize {
+        self.build(self.config.seed).space_words()
+    }
+
+    fn estimate_median(&self, stream: &TurnstileStream, repetitions: usize) -> f64 {
+        let reps = repetitions.max(1);
+        let mut estimates: Vec<f64> = (0..reps)
+            .map(|r| self.estimate_with_seed(stream, self.config.seed.wrapping_add(r as u64 * 31, )))
+            .collect();
+        estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+        estimates[reps / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsum::{exact_gsum, relative_error};
+    use gsum_streams::{FrequencyPrescribedGenerator, StreamGenerator};
+
+    /// A stream whose frequencies are powers of two and odd values — the
+    /// regime where g_np actually varies.
+    fn gnp_stream(domain: u64, seed: u64) -> TurnstileStream {
+        FrequencyPrescribedGenerator::new(
+            domain,
+            vec![(1024, 1), (64, 3), (8, 10), (3, 40), (1, 100)],
+            seed,
+        )
+        .with_bulk_updates()
+        .generate()
+    }
+
+    #[test]
+    fn heavy_hitter_routine_finds_the_gnp_heavy_item() {
+        // One item with an odd frequency (g_np = 1) among items whose
+        // frequencies are multiples of 64 (g_np ≤ 1/64): the odd item is a
+        // strong g_np-heavy hitter.
+        let domain = 256u64;
+        let mut stream = TurnstileStream::new(domain);
+        stream.push_delta(17, 5); // odd: g_np = 1
+        for item in 30..40u64 {
+            stream.push_delta(item, 64 * (item as i64 - 28));
+        }
+        let mut hh = GnpHeavyHitter::new(64, 20, 9);
+        for &u in stream.iter() {
+            hh.update(u);
+        }
+        let cover = hh.cover(domain);
+        assert!(cover.contains(17), "cover {:?}", cover);
+        assert!((cover.weight(17).unwrap() - 1.0).abs() < 1e-12);
+        assert!(hh.space_words() >= 64 * 20);
+    }
+
+    #[test]
+    fn gnp_sum_estimate_tracks_truth() {
+        let domain = 1u64 << 10;
+        let stream = gnp_stream(domain, 5);
+        let truth = exact_gsum(&GnpFunction::new(), &stream.frequency_vector());
+        let est = NearlyPeriodicGSum::new(GSumConfig::with_space_budget(domain, 0.2, 256, 7));
+        let approx = est.estimate_median(&stream, 5);
+        let rel = relative_error(approx, truth);
+        assert!(
+            rel < 0.4,
+            "estimate {approx} vs truth {truth} (relative error {rel})"
+        );
+    }
+
+    #[test]
+    fn estimator_metadata() {
+        let est = NearlyPeriodicGSum::new(GSumConfig::with_space_budget(256, 0.2, 64, 1));
+        assert_eq!(est.passes(), 1);
+        assert!(est.substreams() >= 16);
+        assert!(est.trials() >= 12);
+        assert!(est.space_words() > est.substreams() * est.trials());
+    }
+
+    #[test]
+    fn empty_stream_estimates_zero() {
+        let est = NearlyPeriodicGSum::new(GSumConfig::with_space_budget(64, 0.2, 64, 1));
+        assert_eq!(est.estimate(&TurnstileStream::new(64)), 0.0);
+    }
+}

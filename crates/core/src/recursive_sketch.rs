@@ -1,0 +1,329 @@
+//! The Recursive Sketch of Braverman and Ostrovsky (Theorem 13).
+//!
+//! The reduction from g-SUM to heavy hitters works by subsampling: level `j`
+//! of the sketch sees each item independently-ish with probability `2^{-j}`
+//! (nested subsets drawn from one pairwise-independent hash).  Each level
+//! runs a `(g, λ, ε, δ)`-heavy-hitter algorithm on its substream.  Writing
+//! `cover_j` for level `j`'s cover and `sel_{j+1}(i)` for the indicator that
+//! item `i` survives to level `j+1`, the estimator is assembled bottom-up:
+//!
+//! ```text
+//! Y_L = Σ_{(i,w) ∈ cover_L} w
+//! Y_j = 2·Y_{j+1} + Σ_{(i,w) ∈ cover_j} w · (1 − 2·sel_{j+1}(i))
+//! ```
+//!
+//! and `Y_0` is the g-SUM estimate.  Intuitively, the items too light to be
+//! caught at level `j` have their mass estimated by doubling the next level's
+//! estimate, while the heavy items (whose sampling noise would dominate) are
+//! accounted for exactly by their covers.  The paper uses this reduction with
+//! heaviness `λ = ε²/log³ n`, giving an `O(log n)` space overhead over the
+//! heavy-hitter routine (Theorem 13).
+
+use crate::heavy_hitters::{GCover, HeavyHitterSketch};
+use gsum_hash::KWiseHash;
+use gsum_streams::{TurnstileStream, Update};
+
+/// The recursive g-SUM estimator, generic over the per-level heavy-hitter
+/// sketch.
+#[derive(Debug, Clone)]
+pub struct RecursiveSketch<S> {
+    domain: u64,
+    levels: Vec<S>,
+    selector: KWiseHash,
+}
+
+impl<S: HeavyHitterSketch> RecursiveSketch<S> {
+    /// Create a recursive sketch with `levels` levels over `[0, domain)`.
+    /// The `factory` builds the heavy-hitter sketch for each level (it
+    /// receives the level index and a derived seed).
+    ///
+    /// # Panics
+    /// Panics if `levels == 0` or `domain == 0`.
+    pub fn new(
+        domain: u64,
+        levels: usize,
+        seed: u64,
+        mut factory: impl FnMut(usize, u64) -> S,
+    ) -> Self {
+        assert!(levels >= 1, "need at least one level");
+        assert!(domain > 0, "domain must be positive");
+        let seeds = gsum_hash::derive_seeds(seed, levels + 1);
+        let level_sketches = (0..levels).map(|j| factory(j, seeds[j])).collect();
+        Self {
+            domain,
+            levels: level_sketches,
+            selector: KWiseHash::new(2, seeds[levels]),
+        }
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The domain size.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Whether `item` is included in level `level`'s substream.
+    /// Level 0 contains every item; level `j` keeps items whose hash value is
+    /// divisible by `2^j` (so the level-`j` inclusion probability is
+    /// `2^{-j}`, and the subsets are nested).
+    pub fn selected_at(&self, item: u64, level: usize) -> bool {
+        if level == 0 {
+            return true;
+        }
+        if level >= 64 {
+            return false;
+        }
+        let h = self.selector.hash(item);
+        h & ((1u64 << level) - 1) == 0
+    }
+
+    /// The deepest level that still includes `item`.
+    pub fn deepest_level(&self, item: u64) -> usize {
+        let h = self.selector.hash(item);
+        (h.trailing_zeros() as usize).min(self.levels.len() - 1)
+    }
+
+    /// Feed one update to every level whose substream includes the item.
+    pub fn update(&mut self, update: Update) {
+        let deepest = self.deepest_level(update.item);
+        for level in 0..=deepest {
+            self.levels[level].update(update);
+        }
+    }
+
+    /// Process an entire stream.
+    pub fn process_stream(&mut self, stream: &TurnstileStream) {
+        for &u in stream.iter() {
+            self.update(u);
+        }
+    }
+
+    /// The per-level covers (useful for diagnostics and the ablation
+    /// experiment E9).
+    pub fn covers(&self) -> Vec<GCover> {
+        self.levels.iter().map(|s| s.cover(self.domain)).collect()
+    }
+
+    /// Access the per-level sketches (e.g. to drive a two-pass algorithm's
+    /// phase transition).
+    pub fn levels_mut(&mut self) -> &mut [S] {
+        &mut self.levels
+    }
+
+    /// Assemble the g-SUM estimate from the per-level covers.
+    pub fn estimate(&self) -> f64 {
+        let covers = self.covers();
+        self.estimate_from_covers(&covers)
+    }
+
+    /// Assemble the estimate from externally produced covers (one per level).
+    ///
+    /// # Panics
+    /// Panics if `covers.len()` differs from the number of levels.
+    pub fn estimate_from_covers(&self, covers: &[GCover]) -> f64 {
+        assert_eq!(covers.len(), self.levels.len(), "one cover per level");
+        let top = covers.len() - 1;
+        let mut estimate = covers[top].total_weight();
+        for level in (0..top).rev() {
+            let mut correction = 0.0;
+            for (item, weight) in covers[level].iter() {
+                let survives = self.selected_at(item, level + 1);
+                correction += weight * (1.0 - 2.0 * f64::from(u8::from(survives)));
+            }
+            estimate = 2.0 * estimate + correction;
+        }
+        estimate
+    }
+
+    /// Total space across all levels, in 64-bit words.
+    pub fn space_words(&self) -> usize {
+        self.levels.iter().map(|s| s.space_words()).sum::<usize>() + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsum_streams::{StreamConfig, StreamGenerator, UniformStreamGenerator, ZipfStreamGenerator};
+
+    /// A heavy-hitter oracle that tracks everything exactly and reports every
+    /// item as its cover.  With exact per-level covers the recursive
+    /// estimator must reproduce the g-SUM (here g = x²) exactly, which pins
+    /// down the combination formula.
+    struct ExactOracle {
+        counts: std::collections::HashMap<u64, i64>,
+    }
+
+    impl ExactOracle {
+        fn new() -> Self {
+            Self {
+                counts: std::collections::HashMap::new(),
+            }
+        }
+    }
+
+    impl HeavyHitterSketch for ExactOracle {
+        fn update(&mut self, update: Update) {
+            *self.counts.entry(update.item).or_insert(0) += update.delta;
+        }
+        fn cover(&self, _domain: u64) -> GCover {
+            GCover::from_pairs(
+                self.counts
+                    .iter()
+                    .filter(|(_, &v)| v != 0)
+                    .map(|(&i, &v)| (i, (v as f64) * (v as f64)))
+                    .collect(),
+            )
+        }
+        fn space_words(&self) -> usize {
+            2 * self.counts.len()
+        }
+    }
+
+    /// An oracle that only reports the `k` largest-magnitude items of its own
+    /// substream — exercises the "light mass is extrapolated from deeper
+    /// levels" path (shallow levels cover only a fraction of their mass,
+    /// deep levels are covered completely).
+    struct TopKOracle {
+        k: usize,
+        counts: std::collections::HashMap<u64, i64>,
+    }
+
+    impl HeavyHitterSketch for TopKOracle {
+        fn update(&mut self, update: Update) {
+            *self.counts.entry(update.item).or_insert(0) += update.delta;
+        }
+        fn cover(&self, _domain: u64) -> GCover {
+            let mut items: Vec<(u64, i64)> = self
+                .counts
+                .iter()
+                .filter(|(_, &v)| v != 0)
+                .map(|(&i, &v)| (i, v))
+                .collect();
+            items.sort_unstable_by_key(|&(_, v)| std::cmp::Reverse(v.abs()));
+            items.truncate(self.k);
+            GCover::from_pairs(
+                items
+                    .into_iter()
+                    .map(|(i, v)| (i, (v as f64) * (v as f64)))
+                    .collect(),
+            )
+        }
+        fn space_words(&self) -> usize {
+            2 * self.counts.len()
+        }
+    }
+
+    #[test]
+    fn exact_covers_give_exact_estimate() {
+        let stream = ZipfStreamGenerator::new(StreamConfig::new(512, 20_000), 1.2, 3).generate();
+        let truth: f64 = stream
+            .frequency_vector()
+            .iter()
+            .map(|(_, v)| (v as f64) * (v as f64))
+            .sum();
+        let mut rs = RecursiveSketch::new(512, 10, 77, |_, _| ExactOracle::new());
+        rs.process_stream(&stream);
+        let est = rs.estimate();
+        assert!(
+            (est - truth).abs() < 1e-6 * truth,
+            "estimate {est} should equal the truth {truth} with exact covers"
+        );
+    }
+
+    #[test]
+    fn selection_is_nested_and_halving() {
+        let rs = RecursiveSketch::new(1 << 16, 12, 5, |_, _| ExactOracle::new());
+        let n = 1u64 << 14;
+        let mut prev_count = n;
+        for level in 1..8usize {
+            let count = (0..n).filter(|&i| rs.selected_at(i, level)).count() as u64;
+            // Nested: every item at level j is at level j-1.
+            for i in 0..n {
+                if rs.selected_at(i, level) {
+                    assert!(rs.selected_at(i, level - 1));
+                }
+            }
+            // Roughly halving.
+            let expect = n as f64 / 2f64.powi(level as i32);
+            assert!(
+                (count as f64 - expect).abs() < 0.25 * expect + 20.0,
+                "level {level}: {count} selected, expected about {expect}"
+            );
+            assert!(count <= prev_count);
+            prev_count = count;
+        }
+        // Level 0 includes everything.
+        assert!((0..100u64).all(|i| rs.selected_at(i, 0)));
+    }
+
+    #[test]
+    fn partial_covers_still_track_the_sum() {
+        // With only the top-k items of each substream covered, individual
+        // estimates are noisy but the median over independent seeds
+        // concentrates around the truth (the content of Theorem 13).
+        let stream =
+            UniformStreamGenerator::new(StreamConfig::new(1 << 10, 40_000), 11).generate();
+        let truth: f64 = stream
+            .frequency_vector()
+            .iter()
+            .map(|(_, v)| (v as f64) * (v as f64))
+            .sum();
+        let trials = 9;
+        let mut estimates: Vec<f64> = Vec::new();
+        for seed in 0..trials {
+            let mut rs = RecursiveSketch::new(1 << 10, 11, seed * 13 + 1, |_, _| TopKOracle {
+                k: 16,
+                counts: std::collections::HashMap::new(),
+            });
+            rs.process_stream(&stream);
+            estimates.push(rs.estimate());
+        }
+        estimates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = estimates[trials as usize / 2];
+        let rel = (median - truth).abs() / truth;
+        assert!(
+            rel < 0.35,
+            "median estimate {median} too far from truth {truth} (rel {rel})"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let stream = ZipfStreamGenerator::new(StreamConfig::new(256, 5_000), 1.1, 9).generate();
+        let run = |seed| {
+            let mut rs = RecursiveSketch::new(256, 9, seed, |_, _| ExactOracle::new());
+            rs.process_stream(&stream);
+            rs.estimate()
+        };
+        assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    fn covers_and_space_accessors() {
+        let mut rs = RecursiveSketch::new(64, 4, 0, |_, _| ExactOracle::new());
+        rs.update(Update::new(3, 5));
+        assert_eq!(rs.covers().len(), 4);
+        assert_eq!(rs.levels(), 4);
+        assert_eq!(rs.domain(), 64);
+        assert!(rs.space_words() >= 4);
+        assert!(rs.deepest_level(3) < 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cover per level")]
+    fn estimate_from_covers_checks_length() {
+        let rs = RecursiveSketch::new(64, 4, 0, |_, _| ExactOracle::new());
+        let _ = rs.estimate_from_covers(&[GCover::new()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        let _ = RecursiveSketch::new(64, 0, 0, |_, _| ExactOracle::new());
+    }
+}

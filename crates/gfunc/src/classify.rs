@@ -1,0 +1,199 @@
+//! The zero-one-law classifier (Theorems 2 and 3).
+//!
+//! Given a function `g` and a [`PropertyConfig`], [`classify`] runs the four
+//! property analyzers and assembles the verdicts exactly as the theorems
+//! prescribe:
+//!
+//! * if `g` is (empirically) nearly periodic, the normal-function law does
+//!   not apply and the verdict is [`OnePassVerdict::OutsideNormalScope`] /
+//!   [`TwoPassVerdict::OutsideNormalScope`] (the function may still be
+//!   tractable through a bespoke algorithm, as `g_np` is — Appendix D.1);
+//! * otherwise the function is normal, and
+//!   * it is 1-pass tractable iff it is slow-jumping, slow-dropping and
+//!     predictable (Theorem 2);
+//!   * it is 2-pass (indeed `O(1)`-pass) tractable iff it is slow-jumping and
+//!     slow-dropping (Theorem 3).
+
+use crate::properties::{
+    analyze_nearly_periodic, analyze_predictable, analyze_slow_dropping, analyze_slow_jumping,
+    estimate_envelope, NearlyPeriodicReport, PredictableReport, PropertyConfig,
+    SlowDroppingReport, SlowJumpingReport, SubpolyEnvelope,
+};
+use crate::GFunction;
+
+/// The 1-pass verdict of the zero-one law.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnePassVerdict {
+    /// Slow-jumping, slow-dropping and predictable: a sub-polynomial-space
+    /// one-pass algorithm exists (Algorithm 2 via the recursive sketch).
+    Tractable,
+    /// The function is normal but violates at least one of the three
+    /// properties: every one-pass algorithm needs polynomial space
+    /// (Lemmas 23–25).
+    Intractable,
+    /// The function is nearly periodic: Theorems 2/3 do not apply.
+    OutsideNormalScope,
+}
+
+/// The 2-pass verdict of the zero-one law.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoPassVerdict {
+    /// Slow-jumping and slow-dropping: the two-pass algorithm (Algorithm 1)
+    /// applies.
+    Tractable,
+    /// The function is normal but not slow-jumping or not slow-dropping:
+    /// every `O(1)`-pass algorithm needs polynomial space (Lemmas 27–28).
+    Intractable,
+    /// The function is nearly periodic: Theorems 2/3 do not apply.
+    OutsideNormalScope,
+}
+
+/// The full output of the classifier: per-property reports plus the verdicts.
+#[derive(Debug, Clone)]
+pub struct TractabilityReport {
+    /// Name of the classified function.
+    pub function_name: String,
+    /// The window / exponent configuration the analysis used.
+    pub config: PropertyConfig,
+    /// Slow-jumping analysis (Definition 6).
+    pub slow_jumping: SlowJumpingReport,
+    /// Slow-dropping analysis (Definition 7).
+    pub slow_dropping: SlowDroppingReport,
+    /// Predictability analysis (Definition 8).
+    pub predictable: PredictableReport,
+    /// Nearly-periodic analysis (Definition 9).
+    pub nearly_periodic: NearlyPeriodicReport,
+    /// The empirical sub-polynomial envelope `H(M)` (Propositions 15/16),
+    /// which the upper-bound algorithms consume.
+    pub envelope: SubpolyEnvelope,
+    /// Theorem 2 verdict.
+    pub one_pass: OnePassVerdict,
+    /// Theorem 3 verdict.
+    pub two_pass: TwoPassVerdict,
+}
+
+impl TractabilityReport {
+    /// Whether the function was classified as normal (not nearly periodic).
+    pub fn is_normal(&self) -> bool {
+        !self.nearly_periodic.nearly_periodic
+    }
+
+    /// A one-line human-readable summary, used by experiment E1's table.
+    pub fn summary_row(&self) -> String {
+        format!(
+            "{:<28} | jump:{} drop:{} pred:{} np:{} | 1-pass:{:?} 2-pass:{:?}",
+            self.function_name,
+            yes_no(self.slow_jumping.holds),
+            yes_no(self.slow_dropping.holds),
+            yes_no(self.predictable.holds),
+            yes_no(self.nearly_periodic.nearly_periodic),
+            self.one_pass,
+            self.two_pass
+        )
+    }
+}
+
+fn yes_no(b: bool) -> &'static str {
+    if b {
+        "Y"
+    } else {
+        "N"
+    }
+}
+
+/// Classify a function under the zero-one laws.
+pub fn classify<G: GFunction + ?Sized>(g: &G, config: &PropertyConfig) -> TractabilityReport {
+    let slow_jumping = analyze_slow_jumping(g, config);
+    let slow_dropping = analyze_slow_dropping(g, config);
+    let predictable = analyze_predictable(g, config);
+    let nearly_periodic = analyze_nearly_periodic(g, config);
+    let envelope = estimate_envelope(g, config);
+
+    let (one_pass, two_pass) = if nearly_periodic.nearly_periodic {
+        (
+            OnePassVerdict::OutsideNormalScope,
+            TwoPassVerdict::OutsideNormalScope,
+        )
+    } else {
+        let one = if slow_jumping.holds && slow_dropping.holds && predictable.holds {
+            OnePassVerdict::Tractable
+        } else {
+            OnePassVerdict::Intractable
+        };
+        let two = if slow_jumping.holds && slow_dropping.holds {
+            TwoPassVerdict::Tractable
+        } else {
+            TwoPassVerdict::Intractable
+        };
+        (one, two)
+    };
+
+    TractabilityReport {
+        function_name: g.name(),
+        config: config.clone(),
+        slow_jumping,
+        slow_dropping,
+        predictable,
+        nearly_periodic,
+        envelope,
+        one_pass,
+        two_pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{
+        GnpFunction, InversePowerFunction, OscillatingQuadratic, PowerFunction,
+    };
+
+    fn cfg() -> PropertyConfig {
+        PropertyConfig::fast()
+    }
+
+    #[test]
+    fn quadratic_is_one_pass_tractable() {
+        let report = classify(&PowerFunction::new(2.0), &cfg());
+        assert_eq!(report.one_pass, OnePassVerdict::Tractable);
+        assert_eq!(report.two_pass, TwoPassVerdict::Tractable);
+        assert!(report.is_normal());
+        assert!(report.summary_row().contains("x^2"));
+    }
+
+    #[test]
+    fn cubic_is_intractable_in_both_regimes() {
+        let report = classify(&PowerFunction::new(3.0), &cfg());
+        assert_eq!(report.one_pass, OnePassVerdict::Intractable);
+        assert_eq!(report.two_pass, TwoPassVerdict::Intractable);
+        assert!(!report.slow_jumping.holds);
+    }
+
+    #[test]
+    fn oscillating_sqrt_quadratic_needs_two_passes() {
+        // The headline separation of Theorems 2 vs 3: (2 + sin √x) x² is slow
+        // jumping and slow dropping but not predictable.
+        let report = classify(&OscillatingQuadratic::sqrt(), &cfg());
+        assert_eq!(report.one_pass, OnePassVerdict::Intractable);
+        assert_eq!(report.two_pass, TwoPassVerdict::Tractable);
+        assert!(!report.predictable.holds);
+        assert!(report.slow_jumping.holds && report.slow_dropping.holds);
+    }
+
+    #[test]
+    fn inverse_is_intractable() {
+        let report = classify(&InversePowerFunction::new(1.0), &cfg());
+        assert_eq!(report.one_pass, OnePassVerdict::Intractable);
+        assert_eq!(report.two_pass, TwoPassVerdict::Intractable);
+        assert!(!report.slow_dropping.holds);
+        assert!(report.envelope.drop_factor > 100.0);
+    }
+
+    #[test]
+    fn gnp_is_outside_the_normal_scope() {
+        let report = classify(&GnpFunction::new(), &cfg());
+        assert_eq!(report.one_pass, OnePassVerdict::OutsideNormalScope);
+        assert_eq!(report.two_pass, TwoPassVerdict::OutsideNormalScope);
+        assert!(!report.is_normal());
+    }
+}

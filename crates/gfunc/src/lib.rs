@@ -1,0 +1,50 @@
+//! # gsum-gfunc
+//!
+//! The function class `G` of the paper and everything the zero-one laws say
+//! about it.
+//!
+//! The paper studies sums `g(V) = Σ_i g(|v_i|)` for functions
+//! `g : Z_{≥0} → R` in the class
+//!
+//! ```text
+//! G = { g : g(0) = 0, g(1) = 1, g(x) > 0 for x > 0 }
+//! ```
+//!
+//! and characterizes (Theorems 2 and 3) the tractable ones in terms of three
+//! properties:
+//!
+//! * **slow-jumping** (Definition 6) — `g` never grows much faster than `x²`
+//!   at any scale;
+//! * **slow-dropping** (Definition 7) — `g` never decreases by more than a
+//!   sub-polynomial factor;
+//! * **predictable** (Definition 8) — either `g(x + y) ≈ g(x)` for small `y`,
+//!   or `g(y)` is within a sub-polynomial factor of `g(x)`.
+//!
+//! The exceptions are the *nearly periodic* functions (Definition 9), which
+//! escape the law and are treated separately (Appendix D; see
+//! [`library::GnpFunction`]).
+//!
+//! This crate provides:
+//! * [`GFunction`] — the trait every `g` implements, plus combinators
+//!   (scaling, the `L_η` transformation of Definition 55, symmetric
+//!   extension).
+//! * [`library`] — ~30 named functions: every worked example in the paper
+//!   plus the application functions of §1.1.
+//! * [`properties`] — empirical analyzers for the three properties and the
+//!   nearly-periodic conditions, returning witnesses when a property fails.
+//! * [`classify`] — the zero-one-law classifier assembling the analyzer
+//!   outputs into 1-pass / 2-pass tractability verdicts (Theorems 2 and 3).
+//! * [`registry`] — a registry of the built-in functions together with their
+//!   ground-truth (paper-derived) classification, used by tests and by
+//!   experiment E1.
+
+pub mod classify;
+pub mod library;
+pub mod properties;
+pub mod registry;
+pub mod traits;
+
+pub use classify::{classify, OnePassVerdict, TractabilityReport, TwoPassVerdict};
+pub use properties::PropertyConfig;
+pub use registry::{FunctionRegistry, GroundTruth, RegisteredFunction};
+pub use traits::{GFunction, LEta, NormalizedG, ScaledG};

@@ -1,0 +1,230 @@
+//! Log-likelihood functions (§1.1.1).
+//!
+//! The coordinates of the streamed vector are i.i.d. samples from a discrete
+//! distribution `p(·; θ)`; the negative log-likelihood is
+//! `ℓ(v) = −Σ_i ln p(v_i)`, a g-SUM for `g(x) = −ln p(x)`.  The paper's
+//! running example is a mixture of two Poissons, whose negative log
+//! likelihood is non-monotonic but satisfies all three tractability criteria.
+
+use crate::GFunction;
+
+/// The negative log-likelihood of a two-component Poisson mixture,
+/// centred so that `g(0) = 0`:
+///
+/// ```text
+/// p(x) = λ · Pois(x; α) + (1 − λ) · Pois(x; β)
+/// g(x) = ln p(0) − ln p(x)
+/// ```
+///
+/// Centring subtracts the same constant from every coordinate's
+/// contribution, which the MLE application (`gsum-core::apps::likelihood`)
+/// adds back exactly (it knows `n` and `ln p(0)`), so the statistical answer
+/// is unchanged while `g` lands in the class `G` required by the theorems.
+/// The constructor requires parameters for which `p(0)` is the mode of the
+/// distribution, so that `g(x) > 0` for `x > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonMixtureNll {
+    lambda: f64,
+    alpha: f64,
+    beta: f64,
+    ln_p0: f64,
+}
+
+impl PoissonMixtureNll {
+    /// Create the centred NLL for mixture weight `lambda ∈ (0,1)` and Poisson
+    /// rates `alpha, beta > 0`.
+    ///
+    /// # Panics
+    /// Panics if the parameters are out of range or if `p(0)` is not the
+    /// strict mode of the mixture over `x ∈ {1, ..., 512}` (which would make
+    /// the centred function non-positive somewhere, leaving the class `G`).
+    pub fn new(lambda: f64, alpha: f64, beta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+        assert!(alpha > 0.0 && beta > 0.0, "rates must be positive");
+        let ln_p0 = Self::ln_p(lambda, alpha, beta, 0);
+        let out = Self {
+            lambda,
+            alpha,
+            beta,
+            ln_p0,
+        };
+        for x in 1..=512u64 {
+            assert!(
+                out.eval(x) > 0.0,
+                "p(0) must be the mode of the mixture for the centred NLL to stay in class G \
+                 (violated at x = {x}); pick smaller rates or use raw_nll directly"
+            );
+        }
+        out
+    }
+
+    /// `ln(x!)`, exact for small `x` and via the Stirling series beyond, so
+    /// that evaluation stays O(1) even for frequencies in the millions.
+    fn ln_factorial(x: u64) -> f64 {
+        if x < 32 {
+            return (1..=x).map(|k| (k as f64).ln()).sum();
+        }
+        let n = x as f64;
+        // Stirling: ln n! = n ln n − n + ½ ln(2πn) + 1/(12n) − 1/(360n³) + ...
+        n * n.ln() - n + 0.5 * (2.0 * std::f64::consts::PI * n).ln() + 1.0 / (12.0 * n)
+            - 1.0 / (360.0 * n * n * n)
+    }
+
+    /// `ln p(x)` of the mixture.
+    fn ln_p(lambda: f64, alpha: f64, beta: f64, x: u64) -> f64 {
+        // ln Pois(x; r) = x ln r − r − ln(x!)
+        let ln_fact: f64 = Self::ln_factorial(x);
+        let ln_pois = |r: f64| (x as f64) * r.ln() - r - ln_fact;
+        let a = ln_pois(alpha);
+        let b = ln_pois(beta);
+        // log-sum-exp of (ln λ + a, ln(1−λ) + b), guarding the edge weights.
+        let ta = if lambda > 0.0 {
+            lambda.ln() + a
+        } else {
+            f64::NEG_INFINITY
+        };
+        let tb = if lambda < 1.0 {
+            (1.0 - lambda).ln() + b
+        } else {
+            f64::NEG_INFINITY
+        };
+        let m = ta.max(tb);
+        m + ((ta - m).exp() + (tb - m).exp()).ln()
+    }
+
+    /// The raw (uncentred) negative log-likelihood `−ln p(x)`.
+    pub fn raw_nll(&self, x: u64) -> f64 {
+        -Self::ln_p(self.lambda, self.alpha, self.beta, x)
+    }
+
+    /// `ln p(0)`, the centring constant.
+    pub fn ln_p0(&self) -> f64 {
+        self.ln_p0
+    }
+
+    /// The mixture probability mass `p(x)`.
+    pub fn pmf(&self, x: u64) -> f64 {
+        Self::ln_p(self.lambda, self.alpha, self.beta, x).exp()
+    }
+
+    /// The mixture parameters `(λ, α, β)`.
+    pub fn parameters(&self) -> (f64, f64, f64) {
+        (self.lambda, self.alpha, self.beta)
+    }
+}
+
+impl GFunction for PoissonMixtureNll {
+    fn name(&self) -> String {
+        format!(
+            "poisson-mix-nll(l={}, a={}, b={})",
+            self.lambda, self.alpha, self.beta
+        )
+    }
+    fn eval(&self, x: u64) -> f64 {
+        if x == 0 {
+            0.0
+        } else {
+            self.ln_p0 - Self::ln_p(self.lambda, self.alpha, self.beta, x)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> PoissonMixtureNll {
+        PoissonMixtureNll::new(0.5, 0.5, 6.0)
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let g = example();
+        let total: f64 = (0..200u64).map(|x| g.pmf(x)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+    }
+
+    #[test]
+    fn centred_nll_is_in_class_g() {
+        let g = example();
+        assert_eq!(g.eval(0), 0.0);
+        assert!(g.is_in_class_g(1 << 12));
+    }
+
+    #[test]
+    fn centred_and_raw_differ_by_constant() {
+        let g = example();
+        for x in 1..50u64 {
+            let diff = (g.raw_nll(x) + g.ln_p0()) - g.eval(x);
+            assert!(diff.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mixture_nll_is_non_monotonic() {
+        // The second Poisson component (rate 6) creates a local dip in the
+        // NLL around x = 6: the NLL rises towards x = 3, falls towards the
+        // second mode, and rises again beyond it.
+        let g = example();
+        assert!(
+            g.eval(6) < g.eval(3),
+            "expected a dip at the second mode: g(3)={}, g(6)={}",
+            g.eval(3),
+            g.eval(6)
+        );
+        assert!(g.eval(40) > g.eval(6));
+    }
+
+    #[test]
+    fn grows_roughly_like_x_log_x() {
+        let g = example();
+        // -ln Pois(x; β) ≈ x ln x − x(1 + ln β) + O(ln x): super-linear,
+        // sub-quadratic.
+        let x = 1u64 << 12;
+        let v = g.eval(x);
+        assert!(v > x as f64);
+        assert!(v < (x as f64).powf(1.7));
+    }
+
+    #[test]
+    fn parameters_accessor() {
+        assert_eq!(example().parameters(), (0.5, 0.5, 6.0));
+    }
+
+    #[test]
+    fn stirling_matches_exact_factorial() {
+        for x in [32u64, 50, 100, 1000] {
+            let exact: f64 = (1..=x).map(|k| (k as f64).ln()).sum();
+            let approx = PoissonMixtureNll::ln_factorial(x);
+            assert!(
+                (exact - approx).abs() < 1e-6,
+                "ln({x}!) exact {exact} vs stirling {approx}"
+            );
+        }
+        assert_eq!(PoissonMixtureNll::ln_factorial(0), 0.0);
+        assert_eq!(PoissonMixtureNll::ln_factorial(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mode")]
+    fn rejects_parameters_with_interior_mode_dominating_zero() {
+        // With both rates large the mode is far from zero and p(0) is tiny,
+        // so the centred function would go negative.
+        let _ = PoissonMixtureNll::new(0.5, 6.0, 9.0);
+    }
+
+    #[test]
+    fn mixture_nll_dip_example_matches_registry_parameters() {
+        // The registry registers the (0.5, 0.5, 6.0) instance; make sure that
+        // exact instance is valid and non-monotone.
+        let g = PoissonMixtureNll::new(0.5, 0.5, 6.0);
+        assert!(g.is_in_class_g(1 << 12));
+        assert!(g.eval(6) < g.eval(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn rejects_bad_lambda() {
+        let _ = PoissonMixtureNll::new(1.5, 0.5, 4.0);
+    }
+}

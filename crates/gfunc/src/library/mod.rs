@@ -1,0 +1,37 @@
+//! The built-in function library.
+//!
+//! Every worked example in the paper and every application function from §1.1
+//! is available as a named type:
+//!
+//! | paper reference | type |
+//! |---|---|
+//! | `x^p` (frequency moments, §1) | [`PowerFunction`] |
+//! | `2^x` (not slow-jumping, Def. 6) | [`ExponentialFunction`] |
+//! | `log^k(1+x)` | [`PolylogFunction`] |
+//! | `1/log₂(1+x)` for `x>0` (Def. 7 example) | [`InverseLogFunction`] |
+//! | `x^{-p}` (not slow-dropping) | [`InversePowerFunction`] |
+//! | `x² 2^{√log x}` (Def. 6 example) | [`SubpolyModulatedQuadratic`] |
+//! | `e^{log^{1/2} x}` (§4.6 example) | [`ExpSqrtLogFunction`] |
+//! | `(2+sin x)x²`, `(2+sin √x)x²`, `(2+sin log(1+x))x²` (§3/§4.6) | [`OscillatingQuadratic`] |
+//! | `(2+sin x)·1(x>0)` (Def. 8 example) | [`BoundedOscillation`] |
+//! | `x² lg(1+x)` (§4.6 example) | `LEta<PowerFunction>` (see [`crate::LEta`]) |
+//! | `g_np(x) = 2^{-i_x}` (Def. 52) | [`GnpFunction`] |
+//! | Poisson-mixture log-likelihood (§1.1.1) | [`PoissonMixtureNll`] |
+//! | spam-discounted click billing (§1.1.2) | [`SpamDiscountUtility`] |
+//! | capped linear billing (§1.1.2 baseline) | [`CappedLinear`] |
+//! | base-`b` higher-order encoding (§1.1.4) | [`HigherOrderEncoded`] |
+
+mod likelihood;
+mod nearly_periodic;
+mod oscillating;
+mod power;
+mod utility;
+
+pub use likelihood::PoissonMixtureNll;
+pub use nearly_periodic::GnpFunction;
+pub use oscillating::{BoundedOscillation, OscillatingQuadratic, OscillationScale};
+pub use power::{
+    ExpSqrtLogFunction, ExponentialFunction, InverseLogFunction, InversePowerFunction,
+    PolylogFunction, PowerFunction, SubpolyModulatedQuadratic,
+};
+pub use utility::{CappedLinear, HigherOrderEncoded, SpamDiscountUtility};

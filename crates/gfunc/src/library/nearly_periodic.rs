@@ -1,0 +1,95 @@
+//! The nearly periodic function `g_np` of Definition 52.
+
+use crate::GFunction;
+
+/// `g_np(0) = 0` and `g_np(x) = 2^{-i_x}` where `i_x` is the index of the
+/// lowest set bit in the binary expansion of `x` (so `g_np(1) = 1`,
+/// `g_np(2) = 1/2`, `g_np(3) = 1`, `g_np(4) = 1/4`, ...).
+///
+/// The function is S-nearly periodic (Proposition 53): it drops polynomially
+/// along powers of two, yet `g_np(x + y) = g_np(x)` whenever `y`'s lowest set
+/// bit is far above `x`'s, so the INDEX reduction cannot exploit the drop.
+/// Despite being outside the normal zero-one law it **is** 1-pass tractable
+/// via the bespoke algorithm of Proposition 54 (implemented in
+/// `gsum-core::np_algorithm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GnpFunction;
+
+impl GnpFunction {
+    /// Create the function.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The index `i_x` of the lowest set bit of `x` (undefined for 0; returns
+    /// 64 by convention there).
+    pub fn lowest_bit_index(x: u64) -> u32 {
+        x.trailing_zeros()
+    }
+}
+
+impl GFunction for GnpFunction {
+    fn name(&self) -> String {
+        "g_np(x) = 2^-i_x".into()
+    }
+    fn eval(&self, x: u64) -> f64 {
+        if x == 0 {
+            0.0
+        } else {
+            (0.5f64).powi(x.trailing_zeros() as i32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_papers_worked_values() {
+        let g = GnpFunction::new();
+        assert_eq!(g.eval(0), 0.0);
+        assert_eq!(g.eval(1), 1.0);
+        assert_eq!(g.eval(2), 0.5);
+        assert_eq!(g.eval(3), 1.0);
+        assert_eq!(g.eval(4), 0.25);
+        assert_eq!(g.eval(5), 1.0);
+        assert_eq!(g.eval(6), 0.5);
+        assert_eq!(g.eval(8), 0.125);
+    }
+
+    #[test]
+    fn drops_polynomially_along_powers_of_two() {
+        let g = GnpFunction::new();
+        for k in 1..=20u32 {
+            assert_eq!(g.eval(1u64 << k), (0.5f64).powi(k as i32));
+        }
+    }
+
+    #[test]
+    fn almost_repeats_after_large_periods() {
+        // g_np(x + 2^k) = g_np(x) whenever i_x < k: the defining property of
+        // its near-periodicity.
+        let g = GnpFunction::new();
+        for k in 10..=16u32 {
+            let period = 1u64 << k;
+            for x in 1..200u64 {
+                if GnpFunction::lowest_bit_index(x) < k {
+                    assert_eq!(g.eval(x + period), g.eval(x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_in_class_g() {
+        assert!(GnpFunction::new().is_in_class_g(1 << 20));
+    }
+
+    #[test]
+    fn lowest_bit_index_helper() {
+        assert_eq!(GnpFunction::lowest_bit_index(12), 2);
+        assert_eq!(GnpFunction::lowest_bit_index(1), 0);
+        assert_eq!(GnpFunction::lowest_bit_index(0), 64);
+    }
+}

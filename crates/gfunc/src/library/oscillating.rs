@@ -1,0 +1,157 @@
+//! Oscillating functions — the paper's examples of local variability.
+
+use crate::GFunction;
+
+/// The argument fed to the sine modulation of an [`OscillatingQuadratic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OscillationScale {
+    /// `sin(x)` — oscillates on every integer step.  Not predictable
+    /// (Definition 8's negative example), so only 2-pass tractable.
+    Direct,
+    /// `sin(√x)` — oscillates on a `√x` scale.  Still not predictable
+    /// (§4.6), only 2-pass tractable.
+    Sqrt,
+    /// `sin(log(1+x))` — oscillates so slowly that it is predictable, hence
+    /// 1-pass tractable (§4.6).
+    Log,
+}
+
+/// `g(x) = (2 + sin(s(x))) · x²` where `s` is selected by
+/// [`OscillationScale`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OscillatingQuadratic {
+    scale: OscillationScale,
+}
+
+impl OscillatingQuadratic {
+    /// Create the oscillating quadratic with the given modulation scale.
+    pub fn new(scale: OscillationScale) -> Self {
+        Self { scale }
+    }
+
+    /// `(2 + sin x) x²`.
+    pub fn direct() -> Self {
+        Self::new(OscillationScale::Direct)
+    }
+
+    /// `(2 + sin √x) x²`.
+    pub fn sqrt() -> Self {
+        Self::new(OscillationScale::Sqrt)
+    }
+
+    /// `(2 + sin log(1+x)) x²`.
+    pub fn log() -> Self {
+        Self::new(OscillationScale::Log)
+    }
+
+    /// The modulation scale.
+    pub fn scale(&self) -> OscillationScale {
+        self.scale
+    }
+}
+
+impl GFunction for OscillatingQuadratic {
+    fn name(&self) -> String {
+        match self.scale {
+            OscillationScale::Direct => "(2+sin x)x^2".into(),
+            OscillationScale::Sqrt => "(2+sin sqrt x)x^2".into(),
+            OscillationScale::Log => "(2+sin ln(1+x))x^2".into(),
+        }
+    }
+    fn eval(&self, x: u64) -> f64 {
+        if x == 0 {
+            return 0.0;
+        }
+        let xf = x as f64;
+        let phase = match self.scale {
+            OscillationScale::Direct => xf,
+            OscillationScale::Sqrt => xf.sqrt(),
+            OscillationScale::Log => (1.0 + xf).ln(),
+        };
+        (2.0 + phase.sin()) * xf * xf
+    }
+}
+
+/// `g(x) = (2 + sin x) · 1(x > 0)` — bounded but locally erratic.  The paper
+/// uses it (after Definition 8) to show that local variability alone does not
+/// destroy predictability: `g(y) ≥ 1` always, which dominates
+/// `x^{-γ} g(x) ≤ 3 x^{-γ}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedOscillation;
+
+impl GFunction for BoundedOscillation {
+    fn name(&self) -> String {
+        "(2+sin x)*1(x>0)".into()
+    }
+    fn eval(&self, x: u64) -> f64 {
+        if x == 0 {
+            0.0
+        } else {
+            2.0 + (x as f64).sin()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oscillating_quadratic_stays_within_band() {
+        for g in [
+            OscillatingQuadratic::direct(),
+            OscillatingQuadratic::sqrt(),
+            OscillatingQuadratic::log(),
+        ] {
+            assert_eq!(g.eval(0), 0.0);
+            for x in [1u64, 2, 10, 1000, 1 << 18] {
+                let v = g.eval(x);
+                let x2 = (x as f64).powi(2);
+                assert!(v >= x2 && v <= 3.0 * x2, "{} out of band at {x}", g.name());
+            }
+            assert!(g.is_in_class_g(1 << 18));
+        }
+    }
+
+    #[test]
+    fn direct_variant_really_oscillates_locally() {
+        let g = OscillatingQuadratic::direct();
+        // Find adjacent large arguments whose ratio deviates noticeably from
+        // the smooth (x+1)²/x² ≈ 1.
+        let mut max_dev: f64 = 0.0;
+        for x in 10_000u64..10_050 {
+            let ratio = g.eval(x + 1) / g.eval(x);
+            max_dev = max_dev.max((ratio - 1.0).abs());
+        }
+        assert!(max_dev > 0.2, "expected local variability, got {max_dev}");
+    }
+
+    #[test]
+    fn log_variant_is_locally_smooth() {
+        let g = OscillatingQuadratic::log();
+        for x in 10_000u64..10_050 {
+            let ratio = g.eval(x + 1) / g.eval(x);
+            assert!((ratio - 1.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn scale_accessors() {
+        assert_eq!(
+            OscillatingQuadratic::sqrt().scale(),
+            OscillationScale::Sqrt
+        );
+        assert!(OscillatingQuadratic::direct().name().contains("sin x"));
+    }
+
+    #[test]
+    fn bounded_oscillation_band() {
+        let g = BoundedOscillation;
+        assert_eq!(g.eval(0), 0.0);
+        for x in 1..2000u64 {
+            let v = g.eval(x);
+            assert!((1.0..=3.0).contains(&v));
+        }
+        assert!(g.is_in_class_g(1 << 16));
+    }
+}

@@ -1,0 +1,261 @@
+//! Power-law, polylogarithmic and related smooth functions.
+
+use crate::GFunction;
+
+/// `g(x) = x^p` for `p ≥ 0` — the frequency-moment family of Alon, Matias
+/// and Szegedy.  Slow-jumping (hence tractable) exactly when `p ≤ 2`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerFunction {
+    exponent: f64,
+}
+
+impl PowerFunction {
+    /// Create `x^p`.
+    ///
+    /// # Panics
+    /// Panics if `p < 0` (use [`InversePowerFunction`] for negative
+    /// exponents, which need the `g(0) = 0` special case handled
+    /// differently).
+    pub fn new(exponent: f64) -> Self {
+        assert!(exponent >= 0.0, "use InversePowerFunction for p < 0");
+        Self { exponent }
+    }
+
+    /// The exponent `p`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+}
+
+impl GFunction for PowerFunction {
+    fn name(&self) -> String {
+        format!("x^{}", self.exponent)
+    }
+    fn eval(&self, x: u64) -> f64 {
+        if x == 0 {
+            0.0
+        } else {
+            (x as f64).powf(self.exponent)
+        }
+    }
+}
+
+/// `g(x) = x^{-p}` for `p > 0` (with `g(0) = 0`) — polynomially decreasing,
+/// hence **not** slow-dropping and not tractable in any constant number of
+/// passes (Lemma 27; see also Braverman–Chestnut for the monotone case).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InversePowerFunction {
+    exponent: f64,
+}
+
+impl InversePowerFunction {
+    /// Create `x^{-p}` for `p > 0`.
+    pub fn new(exponent: f64) -> Self {
+        assert!(exponent > 0.0, "exponent must be positive");
+        Self { exponent }
+    }
+}
+
+impl GFunction for InversePowerFunction {
+    fn name(&self) -> String {
+        format!("x^-{}", self.exponent)
+    }
+    fn eval(&self, x: u64) -> f64 {
+        if x == 0 {
+            0.0
+        } else {
+            (x as f64).powf(-self.exponent)
+        }
+    }
+}
+
+/// `g(x) = 2^x` (capped to avoid overflow far beyond any realistic frequency)
+/// — the canonical not-slow-jumping function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExponentialFunction;
+
+impl GFunction for ExponentialFunction {
+    fn name(&self) -> String {
+        "2^x".into()
+    }
+    fn eval(&self, x: u64) -> f64 {
+        if x == 0 {
+            0.0
+        } else {
+            2f64.powf((x as f64).min(1000.0))
+        }
+    }
+}
+
+/// `g(x) = log^k(1 + x)` — polylogarithmic growth; tractable for every
+/// `k ≥ 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolylogFunction {
+    power: f64,
+}
+
+impl PolylogFunction {
+    /// Create `log^k(1+x)` with `k > 0`.
+    pub fn new(power: f64) -> Self {
+        assert!(power > 0.0, "power must be positive");
+        Self { power }
+    }
+}
+
+impl GFunction for PolylogFunction {
+    fn name(&self) -> String {
+        format!("ln^{}(1+x)", self.power)
+    }
+    fn eval(&self, x: u64) -> f64 {
+        if x == 0 {
+            0.0
+        } else {
+            (1.0 + x as f64).ln().powf(self.power)
+        }
+    }
+}
+
+/// `g(x) = 1 / log₂(1 + x)` for `x > 0` — the paper's example (after
+/// Definition 7) of a *decreasing but slow-dropping* (hence tractable)
+/// function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InverseLogFunction;
+
+impl GFunction for InverseLogFunction {
+    fn name(&self) -> String {
+        "1/log2(1+x)".into()
+    }
+    fn eval(&self, x: u64) -> f64 {
+        if x == 0 {
+            0.0
+        } else {
+            1.0 / (1.0 + x as f64).log2()
+        }
+    }
+}
+
+/// `g(x) = x² · 2^{√(log₂ x)}` — grows faster than `x²` but only by a
+/// sub-polynomial factor, so it is still slow-jumping (the example given with
+/// Definition 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubpolyModulatedQuadratic;
+
+impl GFunction for SubpolyModulatedQuadratic {
+    fn name(&self) -> String {
+        "x^2 * 2^sqrt(lg x)".into()
+    }
+    fn eval(&self, x: u64) -> f64 {
+        if x == 0 {
+            0.0
+        } else {
+            let lx = (x as f64).log2().max(0.0);
+            (x as f64).powi(2) * 2f64.powf(lx.sqrt())
+        }
+    }
+}
+
+/// `g(x) = e^{√(ln x)}` for `x ≥ 1` — a sub-polynomially growing but faster
+/// than polylogarithmic function; the `e^{log^{1/2}(1+x)}` example of §4.6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpSqrtLogFunction;
+
+impl GFunction for ExpSqrtLogFunction {
+    fn name(&self) -> String {
+        "e^sqrt(ln x)".into()
+    }
+    fn eval(&self, x: u64) -> f64 {
+        if x == 0 {
+            0.0
+        } else {
+            (x as f64).ln().max(0.0).sqrt().exp()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_function_values() {
+        let g = PowerFunction::new(2.0);
+        assert_eq!(g.eval(0), 0.0);
+        assert_eq!(g.eval(1), 1.0);
+        assert_eq!(g.eval(7), 49.0);
+        assert_eq!(g.exponent(), 2.0);
+        assert!(g.is_in_class_g(1 << 16));
+        assert_eq!(PowerFunction::new(0.5).eval(16), 4.0);
+        // p = 0 still maps 0 to 0 (indicator of non-zero frequency, i.e. F0).
+        assert_eq!(PowerFunction::new(0.0).eval(0), 0.0);
+        assert_eq!(PowerFunction::new(0.0).eval(5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "InversePowerFunction")]
+    fn negative_power_panics() {
+        let _ = PowerFunction::new(-1.0);
+    }
+
+    #[test]
+    fn inverse_power_values() {
+        let g = InversePowerFunction::new(1.0);
+        assert_eq!(g.eval(0), 0.0);
+        assert_eq!(g.eval(1), 1.0);
+        assert_eq!(g.eval(4), 0.25);
+        assert!(g.is_in_class_g(1 << 16));
+    }
+
+    #[test]
+    fn exponential_values() {
+        let g = ExponentialFunction;
+        assert_eq!(g.eval(0), 0.0);
+        assert_eq!(g.eval(1), 2.0);
+        assert_eq!(g.eval(10), 1024.0);
+        // Capped rather than infinite for absurd arguments.
+        assert!(g.eval(10_000).is_finite());
+    }
+
+    #[test]
+    fn polylog_values() {
+        let g = PolylogFunction::new(2.0);
+        assert_eq!(g.eval(0), 0.0);
+        let e_minus_1 = (std::f64::consts::E - 1.0).round() as u64;
+        assert!(g.eval(e_minus_1) > 0.9 && g.eval(e_minus_1) < 1.3);
+        assert!(g.is_in_class_g(1 << 16));
+    }
+
+    #[test]
+    fn inverse_log_is_decreasing_but_positive() {
+        let g = InverseLogFunction;
+        assert_eq!(g.eval(0), 0.0);
+        assert_eq!(g.eval(1), 1.0);
+        assert!(g.eval(100) < g.eval(10));
+        assert!(g.eval(1 << 20) > 0.0);
+        assert!(g.is_in_class_g(1 << 20));
+    }
+
+    #[test]
+    fn subpoly_modulated_quadratic_dominates_quadratic() {
+        let g = SubpolyModulatedQuadratic;
+        let q = PowerFunction::new(2.0);
+        assert_eq!(g.eval(0), 0.0);
+        for x in [16u64, 256, 65536] {
+            assert!(g.eval(x) > q.eval(x));
+        }
+        // ... but by a sub-polynomial factor only (the modulation falls below
+        // x^0.5 once x is moderately large).
+        for x in [256u64, 65536] {
+            assert!(g.eval(x) < q.eval(x) * (x as f64).powf(0.5));
+        }
+    }
+
+    #[test]
+    fn exp_sqrt_log_values() {
+        let g = ExpSqrtLogFunction;
+        assert_eq!(g.eval(0), 0.0);
+        assert_eq!(g.eval(1), 1.0);
+        assert!(g.eval(1 << 20) > g.eval(1 << 10));
+        // Grows slower than any fixed power for moderately large x.
+        assert!(g.eval(1 << 20) < (1u64 << 20) as f64);
+    }
+}

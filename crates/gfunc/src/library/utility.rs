@@ -1,0 +1,223 @@
+//! Utility-aggregate and higher-order-encoding functions (§1.1.2, §1.1.4).
+
+use crate::GFunction;
+
+/// Spam-discounted click billing (§1.1.2): the fee grows linearly with the
+/// number of clicks up to a threshold `T`, after which additional clicks are
+/// treated as suspicious and the fee *decays* slowly (logarithmically) back
+/// towards zero revenue per extra click:
+///
+/// ```text
+/// g(x) = x                         for 1 ≤ x ≤ T
+/// g(x) = T / (1 + ln(x / T))       for x > T
+/// ```
+///
+/// The function is non-monotonic (it rises then falls), but the fall is only
+/// logarithmic, so it is slow-dropping, slow-jumping and predictable — a
+/// realistic example of a non-monotone utility that the zero-one law declares
+/// 1-pass tractable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpamDiscountUtility {
+    threshold: u64,
+}
+
+impl SpamDiscountUtility {
+    /// Create the billing function with spam threshold `T ≥ 1`.
+    pub fn new(threshold: u64) -> Self {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        Self { threshold }
+    }
+
+    /// The spam threshold `T`.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+}
+
+impl GFunction for SpamDiscountUtility {
+    fn name(&self) -> String {
+        format!("spam-discount(T={})", self.threshold)
+    }
+    fn eval(&self, x: u64) -> f64 {
+        if x == 0 {
+            0.0
+        } else if x <= self.threshold {
+            x as f64
+        } else {
+            let t = self.threshold as f64;
+            t / (1.0 + (x as f64 / t).ln())
+        }
+    }
+}
+
+/// Capped linear billing: `g(x) = min(x, T)` — the monotone baseline against
+/// which the spam-discounted version is compared in experiment E10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CappedLinear {
+    cap: u64,
+}
+
+impl CappedLinear {
+    /// Create `min(x, cap)` with `cap ≥ 1`.
+    pub fn new(cap: u64) -> Self {
+        assert!(cap >= 1, "cap must be at least 1");
+        Self { cap }
+    }
+}
+
+impl GFunction for CappedLinear {
+    fn name(&self) -> String {
+        format!("min(x, {})", self.cap)
+    }
+    fn eval(&self, x: u64) -> f64 {
+        x.min(self.cap) as f64
+    }
+}
+
+/// The base-`b` higher-order encoding of §1.1.4.
+///
+/// A two-attribute record `(f_1, f_2)` with `0 ≤ f_j < b` is encoded as the
+/// single frequency `f' = f_1 + b·f_2` (updates to attribute `j` are fed to
+/// the stream with weight `b^j`).  The composed function
+/// `g'(f') = g(f_1, f_2)` first recovers the digits and then applies the
+/// original two-variable function.  This example implements the "filtered
+/// sum" query from the paper's discussion: *sum attribute 1 over records
+/// whose attribute 2 is at most a filter value*:
+///
+/// ```text
+/// g'(x) = digit_0(x)   if digit_1(x) ≤ filter
+///         0            otherwise
+/// ```
+///
+/// As the paper warns, `g'` inherits high local variability from the digit
+/// decomposition (a change of ±1 in the encoded value can flip the filter
+/// decision), so one-pass algorithms struggle and the two-pass algorithm is
+/// the right tool.  Note `g'` can vanish at positive arguments, so it sits
+/// outside the class `G` proper; it is included for the E10 application
+/// experiment rather than for the zero-one-law classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HigherOrderEncoded {
+    base: u64,
+    filter: u64,
+}
+
+impl HigherOrderEncoded {
+    /// Create the encoded filter-sum function with digit base `b ≥ 2` and
+    /// filter value `filter < b`.
+    pub fn new(base: u64, filter: u64) -> Self {
+        assert!(base >= 2, "base must be at least 2");
+        assert!(filter < base, "filter must be a valid digit");
+        Self { base, filter }
+    }
+
+    /// The digit base `b`.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Decode an encoded value into `(attribute_1, attribute_2)`.
+    pub fn decode(&self, x: u64) -> (u64, u64) {
+        (x % self.base, (x / self.base) % self.base)
+    }
+
+    /// Encode an attribute pair.
+    pub fn encode(&self, attr1: u64, attr2: u64) -> u64 {
+        assert!(attr1 < self.base && attr2 < self.base, "digits out of range");
+        attr1 + self.base * attr2
+    }
+}
+
+impl GFunction for HigherOrderEncoded {
+    fn name(&self) -> String {
+        format!("filter-sum(base={}, filter<={})", self.base, self.filter)
+    }
+    fn eval(&self, x: u64) -> f64 {
+        let (a1, a2) = self.decode(x);
+        if a2 <= self.filter {
+            a1 as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spam_discount_shape() {
+        let g = SpamDiscountUtility::new(100);
+        assert_eq!(g.eval(0), 0.0);
+        assert_eq!(g.eval(1), 1.0);
+        assert_eq!(g.eval(100), 100.0);
+        // Non-monotone: beyond the threshold the fee drops...
+        assert!(g.eval(300) < g.eval(100));
+        // ...but only logarithmically slowly.
+        assert!(g.eval(100_000) > 100.0 / 10.0);
+        assert!(g.is_in_class_g(1 << 20));
+        assert_eq!(g.threshold(), 100);
+    }
+
+    #[test]
+    fn spam_discount_is_continuous_at_threshold() {
+        let g = SpamDiscountUtility::new(50);
+        let below = g.eval(50);
+        let above = g.eval(51);
+        assert!((below - above).abs() < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threshold_panics() {
+        let _ = SpamDiscountUtility::new(0);
+    }
+
+    #[test]
+    fn capped_linear_values() {
+        let g = CappedLinear::new(10);
+        assert_eq!(g.eval(0), 0.0);
+        assert_eq!(g.eval(3), 3.0);
+        assert_eq!(g.eval(10), 10.0);
+        assert_eq!(g.eval(1000), 10.0);
+        assert!(g.is_in_class_g(1 << 16));
+    }
+
+    #[test]
+    fn higher_order_round_trip() {
+        let g = HigherOrderEncoded::new(32, 5);
+        for a1 in [0u64, 1, 7, 31] {
+            for a2 in [0u64, 4, 5, 6, 31] {
+                let enc = g.encode(a1, a2);
+                assert_eq!(g.decode(enc), (a1, a2));
+                let expect = if a2 <= 5 { a1 as f64 } else { 0.0 };
+                assert_eq!(g.eval(enc), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_order_is_locally_erratic() {
+        // Crossing a multiple of the base flips the decoded attributes, so
+        // adjacent arguments can have wildly different values — the local
+        // variability the paper warns about.
+        let g = HigherOrderEncoded::new(16, 3);
+        let x = g.encode(15, 3); // value 15 (filter passes)
+        let y = x + 1; // digit_0 wraps to 0 and digit_1 becomes 4 (filtered out)
+        assert_eq!(g.eval(x), 15.0);
+        assert_eq!(g.eval(y), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "digit")]
+    fn encode_rejects_out_of_range_digits() {
+        let g = HigherOrderEncoded::new(8, 2);
+        let _ = g.encode(9, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "base")]
+    fn base_one_rejected() {
+        let _ = HigherOrderEncoded::new(1, 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Empirical analyzers for the paper's three structural properties
+//! (Definitions 6, 7, 8) and the nearly-periodic conditions (Definition 9).
+//!
+//! The definitions are asymptotic ("for every α > 0 there exists N such that
+//! for all y ≥ N ...").  An analyzer cannot decide an asymptotic statement,
+//! so each one checks the defining inequality over a finite probe window
+//! `[1, max_x]` for a small grid of `α` values and applies the following
+//! decision rule: the property *holds empirically* if, for every tested `α`,
+//! all violations of the defining inequality disappear before the *tail
+//! cutoff* `max_x / cutoff_fraction` — i.e. a threshold `N` inside the window
+//! exists beyond which the inequality is satisfied.  A violation beyond the
+//! cutoff produces a *witness* explaining why the property fails.
+//!
+//! The analyzers are deliberately conservative about the probe grid (dense up
+//! to `dense_limit`, geometric beyond) so that the classification of every
+//! function in [`crate::registry`] matches its paper-derived ground truth;
+//! the registry tests pin that agreement down.
+
+mod nearly_periodic;
+mod predictable;
+mod slow_dropping;
+mod slow_jumping;
+mod subpoly;
+
+pub use nearly_periodic::{analyze_nearly_periodic, NearlyPeriodicReport};
+pub use predictable::{analyze_predictable, PredictableReport};
+pub use slow_dropping::{analyze_slow_dropping, SlowDroppingReport};
+pub use slow_jumping::{analyze_slow_jumping, SlowJumpingReport};
+pub use subpoly::{estimate_envelope, is_empirically_subpolynomial, SubpolyEnvelope};
+
+use crate::GFunction;
+
+/// Configuration shared by the property analyzers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyConfig {
+    /// Upper end of the probe window (the empirical stand-in for "x → ∞").
+    pub max_x: u64,
+    /// All arguments up to this bound are probed densely; beyond it a
+    /// geometric grid is used.
+    pub dense_limit: u64,
+    /// Violations at arguments above `max_x / cutoff_fraction` make a
+    /// property fail; violations that die out below the cutoff are treated
+    /// as "finitely many exceptions", which the asymptotic definitions allow.
+    pub cutoff_fraction: u64,
+    /// Grid of `α` values used by the slow-jumping / slow-dropping /
+    /// nearly-periodic checks.
+    pub alphas: Vec<f64>,
+    /// The `γ` of the predictability definition.
+    pub gamma: f64,
+    /// The relative-accuracy `ε` of the predictability definition
+    /// (`δ_ε(g, x)` membership).
+    pub epsilon: f64,
+    /// Number of geometric probe points per power of two.
+    pub probes_per_octave: usize,
+}
+
+impl Default for PropertyConfig {
+    fn default() -> Self {
+        Self {
+            max_x: 1 << 18,
+            dense_limit: 1 << 11,
+            cutoff_fraction: 8,
+            alphas: vec![0.4, 0.8],
+            gamma: 0.3,
+            epsilon: 0.25,
+            probes_per_octave: 12,
+        }
+    }
+}
+
+impl PropertyConfig {
+    /// A configuration with a smaller window, convenient for unit tests.
+    pub fn fast() -> Self {
+        Self {
+            max_x: 1 << 14,
+            dense_limit: 1 << 9,
+            cutoff_fraction: 8,
+            ..Self::default()
+        }
+    }
+
+    /// The tail cutoff: violations above this argument fail the property.
+    pub fn cutoff(&self) -> u64 {
+        (self.max_x / self.cutoff_fraction).max(1)
+    }
+
+    /// The probe set: every integer up to `dense_limit`, then a geometric
+    /// grid with `probes_per_octave` points per doubling, up to `max_x`.
+    /// Always includes `max_x` itself.  Sorted and de-duplicated.
+    pub fn probe_points(&self) -> Vec<u64> {
+        let mut pts: Vec<u64> = (1..=self.dense_limit.min(self.max_x)).collect();
+        if self.max_x > self.dense_limit {
+            let ratio = 2f64.powf(1.0 / self.probes_per_octave as f64);
+            let mut x = self.dense_limit as f64;
+            while x < self.max_x as f64 {
+                x *= ratio;
+                let xi = x.round() as u64;
+                if xi > self.dense_limit && xi <= self.max_x {
+                    pts.push(xi);
+                }
+            }
+            pts.push(self.max_x);
+        }
+        pts.sort_unstable();
+        pts.dedup();
+        pts
+    }
+}
+
+/// A violation witness: the pair `(x, y)` (and the `α` or `γ` in force) at
+/// which the defining inequality failed, together with the two function
+/// values involved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Witness {
+    /// The smaller argument in the violated inequality.
+    pub x: u64,
+    /// The larger argument in the violated inequality.
+    pub y: u64,
+    /// `g(x)`.
+    pub gx: f64,
+    /// `g(y)`.
+    pub gy: f64,
+    /// The exponent (`α` or `γ`) under which the violation was found.
+    pub exponent: f64,
+}
+
+/// Evaluate a function over the probe points, returning `(x, g(x))` pairs in
+/// increasing order of `x`.  Shared by the analyzers.
+pub(crate) fn evaluate_probes<G: GFunction + ?Sized>(
+    g: &G,
+    config: &PropertyConfig,
+) -> Vec<(u64, f64)> {
+    config
+        .probe_points()
+        .into_iter()
+        .map(|x| (x, g.eval(x)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_points_dense_then_geometric() {
+        let cfg = PropertyConfig {
+            max_x: 1 << 12,
+            dense_limit: 64,
+            probes_per_octave: 4,
+            ..PropertyConfig::default()
+        };
+        let pts = cfg.probe_points();
+        // Dense prefix present.
+        for x in 1..=64u64 {
+            assert!(pts.binary_search(&x).is_ok());
+        }
+        // Strictly increasing, ends at max_x.
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*pts.last().unwrap(), 1 << 12);
+        // Geometric part is sparse: far fewer than max_x points overall.
+        assert!(pts.len() < 200);
+    }
+
+    #[test]
+    fn probe_points_small_window_is_fully_dense() {
+        let cfg = PropertyConfig {
+            max_x: 32,
+            dense_limit: 64,
+            ..PropertyConfig::default()
+        };
+        assert_eq!(cfg.probe_points(), (1..=32u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cutoff_is_fraction_of_window() {
+        let cfg = PropertyConfig::default();
+        assert_eq!(cfg.cutoff(), (1 << 18) / 8);
+        let fast = PropertyConfig::fast();
+        assert_eq!(fast.cutoff(), (1 << 14) / 8);
+    }
+}

@@ -1,0 +1,200 @@
+//! The nearly-periodic analyzer (Definition 9).
+//!
+//! A function is *S-nearly periodic* if
+//!
+//! 1. it is **not** slow-dropping — there is an `α > 0` with arbitrarily
+//!    large `α`-periods `y` (points where `g(y) ≤ g(x)/y^α` for some
+//!    `x < y`), and
+//! 2. around every large enough `α`-period the function *almost repeats
+//!    itself*: for all `x < y` with `g(y) y^α ≤ g(x)`,
+//!    `|g(x + y) − g(x)| ≤ min(g(x), g(x+y)) · h(y)` for every non-increasing
+//!    sub-polynomial error function `h`.
+//!
+//! These are exactly the functions on which the INDEX reduction of Lemma 23
+//! breaks down: the function drops enough that a heavy value could hide below
+//! the noise, yet Bob cannot detect his own insertion because
+//! `g(x + y) ≈ g(x)`.  The canonical example is `g_np(x) = 2^{-i_x}`
+//! (Definition 52), which is nearly periodic yet 1-pass tractable through a
+//! bespoke algorithm (Appendix D.1).
+//!
+//! Empirically, condition 2 is instantiated with the decreasing
+//! sub-polynomial error `h(y) = 1 / ln(1 + y)`: the analyzer declares the
+//! function nearly periodic if every large `α`-period past the tail cutoff
+//! has all of its relative gaps below `h(y)`.
+
+use super::{evaluate_probes, PropertyConfig, Witness};
+use crate::GFunction;
+
+/// Result of the nearly-periodic analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NearlyPeriodicReport {
+    /// Whether the function is empirically nearly periodic.
+    pub nearly_periodic: bool,
+    /// Whether condition 1 held (the function has large `α`-periods, i.e. it
+    /// is not slow-dropping).
+    pub has_periods: bool,
+    /// The periods past the cutoff that were examined.
+    pub examined_periods: Vec<u64>,
+    /// If condition 2 failed, a witness `(x, y)` with a large relative gap
+    /// `|g(x+y) − g(x)| / min(g(x), g(x+y))`.
+    pub gap_witness: Option<Witness>,
+    /// The largest relative gap observed at the examined periods.
+    pub max_relative_gap: f64,
+}
+
+/// The non-increasing sub-polynomial error budget used to instantiate
+/// condition 2.
+fn error_budget(y: u64) -> f64 {
+    1.0 / (1.0 + y as f64).ln()
+}
+
+/// Analyze whether `g` is (empirically) S-nearly periodic.
+pub fn analyze_nearly_periodic<G: GFunction + ?Sized>(
+    g: &G,
+    config: &PropertyConfig,
+) -> NearlyPeriodicReport {
+    let alpha = config.alphas.first().copied().unwrap_or(0.4);
+    let cutoff = config.cutoff();
+    let probes = evaluate_probes(g, config);
+
+    // Condition 1: find α-periods past the cutoff.
+    let mut periods: Vec<(u64, f64)> = Vec::new();
+    let mut prefix_max = f64::NEG_INFINITY;
+    for &(y, gy) in &probes {
+        if prefix_max > 0.0 && gy > 0.0 && y >= cutoff {
+            let is_period = prefix_max >= gy * (y as f64).powf(alpha);
+            if is_period {
+                periods.push((y, gy));
+            }
+        }
+        if gy > prefix_max {
+            prefix_max = gy;
+        }
+    }
+
+    if periods.is_empty() {
+        return NearlyPeriodicReport {
+            nearly_periodic: false,
+            has_periods: false,
+            examined_periods: Vec::new(),
+            gap_witness: None,
+            max_relative_gap: 0.0,
+        };
+    }
+
+    // Examine the largest periods (they are the asymptotically relevant ones
+    // and keep the pair loop cheap).
+    let examine = 24.min(periods.len());
+    let selected: Vec<(u64, f64)> = periods[periods.len() - examine..].to_vec();
+
+    let mut max_gap = 0.0f64;
+    let mut gap_witness: Option<Witness> = None;
+    let mut condition_two = true;
+
+    for &(y, gy) in &selected {
+        let budget = error_budget(y);
+        for &(x, gx) in &probes {
+            if x >= y || gx <= 0.0 {
+                continue;
+            }
+            // Only x with g(y)·y^α ≤ g(x) participate in condition 2.
+            if gy * (y as f64).powf(alpha) > gx {
+                continue;
+            }
+            let gxy = g.eval(x + y);
+            let denom = gx.min(gxy);
+            if denom <= 0.0 {
+                continue;
+            }
+            let gap = (gxy - gx).abs() / denom;
+            if gap > max_gap {
+                max_gap = gap;
+                gap_witness = Some(Witness {
+                    x,
+                    y,
+                    gx,
+                    gy: gxy,
+                    exponent: alpha,
+                });
+            }
+            if gap > budget {
+                condition_two = false;
+            }
+        }
+    }
+
+    NearlyPeriodicReport {
+        nearly_periodic: condition_two,
+        has_periods: true,
+        examined_periods: selected.iter().map(|&(y, _)| y).collect(),
+        gap_witness,
+        max_relative_gap: max_gap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::ClosureG;
+
+    fn cfg() -> PropertyConfig {
+        PropertyConfig::fast()
+    }
+
+    fn gnp(x: u64) -> f64 {
+        if x == 0 {
+            0.0
+        } else {
+            (0.5f64).powi(x.trailing_zeros() as i32)
+        }
+    }
+
+    #[test]
+    fn gnp_is_nearly_periodic() {
+        let g = ClosureG::new("gnp", gnp);
+        let report = analyze_nearly_periodic(&g, &cfg());
+        assert!(report.has_periods);
+        assert!(report.nearly_periodic, "{report:?}");
+        assert!(!report.examined_periods.is_empty());
+        // For gnp the repeats are exact at the relevant x.
+        assert!(report.max_relative_gap < 1e-9);
+    }
+
+    #[test]
+    fn inverse_is_not_nearly_periodic() {
+        // 1/x has periods (it is not slow-dropping) but fails condition 2:
+        // g(x + y) differs from g(x) by a huge relative factor.
+        let g = ClosureG::new("1/x", |x| if x == 0 { 0.0 } else { 1.0 / x as f64 });
+        let report = analyze_nearly_periodic(&g, &cfg());
+        assert!(report.has_periods);
+        assert!(!report.nearly_periodic);
+        assert!(report.gap_witness.is_some());
+        assert!(report.max_relative_gap > 1.0);
+    }
+
+    #[test]
+    fn increasing_functions_have_no_periods() {
+        let g = ClosureG::new("x^2", |x| (x as f64).powi(2));
+        let report = analyze_nearly_periodic(&g, &cfg());
+        assert!(!report.has_periods);
+        assert!(!report.nearly_periodic);
+    }
+
+    #[test]
+    fn l_eta_of_gnp_is_not_nearly_periodic() {
+        // Theorem 30: multiplying a nearly periodic function by log^η(1+x)
+        // destroys the near-periodicity (the gaps become log-scale, which
+        // exceeds any decreasing error budget).
+        let g = ClosureG::new("L_1(gnp)", |x| gnp(x) * (1.0 + x as f64).ln());
+        let report = analyze_nearly_periodic(&g, &cfg());
+        assert!(report.has_periods, "{report:?}");
+        assert!(!report.nearly_periodic, "{report:?}");
+    }
+
+    #[test]
+    fn error_budget_is_decreasing() {
+        assert!(error_budget(10) > error_budget(100));
+        assert!(error_budget(100) > error_budget(10_000));
+        assert!(error_budget(1 << 20) > 0.0);
+    }
+}

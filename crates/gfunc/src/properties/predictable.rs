@@ -1,0 +1,212 @@
+//! The predictability analyzer (Definition 8).
+//!
+//! Let `δ_ε(g, x) = { y : |g(y) − g(x)| ≤ ε g(x) }`.  `g` is predictable if
+//! for every `0 < γ < 1` and sub-polynomial `ε` there is an `N` such that for
+//! all `x ≥ N` and `y ∈ [1, x^{1−γ})` with `x + y ∉ δ_ε(g, x)`:
+//!
+//! ```text
+//! g(y) ≥ x^{-γ} · g(x)
+//! ```
+//!
+//! Informally: a small additive error `y` in the argument either barely moves
+//! `g(x)` (so an approximate frequency is good enough), or `g(y)` itself is
+//! large on the scale of `g(x)` (so `y`, were it a frequency, would be a heavy
+//! hitter and CountSketch's error is actually smaller than `y`).  Smooth
+//! functions (`x²`, `x² lg(1+x)`) and bounded oscillations (`2 + sin x` for
+//! `x > 0`) are predictable; growing oscillations (`(2 + sin x) x²`,
+//! `(2 + sin √x) x²`) are not.
+//!
+//! The analyzer fixes `γ` and `ε` from the [`PropertyConfig`] (constants are
+//! sub-polynomial functions, so this instantiates the definition) and reports
+//! a violation witness if one persists past the tail cutoff.
+
+use super::{evaluate_probes, PropertyConfig, Witness};
+use crate::GFunction;
+
+/// Result of the predictability analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictableReport {
+    /// Whether the property holds empirically.
+    pub holds: bool,
+    /// A violation past the cutoff, if any: the witness stores the base
+    /// argument in `x`, the perturbation in `y`, `g(x)` and `g(y)`, and the
+    /// `γ` in force.
+    pub witness: Option<Witness>,
+    /// The largest base argument `x` at which any violation was observed
+    /// (0 if none).
+    pub last_violation_x: u64,
+}
+
+/// Perturbation probe grid for a base argument `x`: dense small values, then
+/// a geometric grid up to (but excluding) `limit`.
+fn perturbation_probes(limit: u64) -> Vec<u64> {
+    let mut ys: Vec<u64> = (1..=64.min(limit.saturating_sub(1))).collect();
+    let mut y = 64f64;
+    while (y as u64) < limit {
+        y *= 1.19; // about 4 points per octave, enough to land near any scale
+        let yi = y as u64;
+        if yi < limit {
+            ys.push(yi);
+        } else {
+            break;
+        }
+    }
+    ys.sort_unstable();
+    ys.dedup();
+    ys
+}
+
+/// Analyze the predictability of `g` under `config`.
+pub fn analyze_predictable<G: GFunction + ?Sized>(
+    g: &G,
+    config: &PropertyConfig,
+) -> PredictableReport {
+    let gamma = config.gamma;
+    let epsilon = config.epsilon;
+    let cutoff = config.cutoff();
+    let probes = evaluate_probes(g, config);
+
+    let mut last_violation_x = 0u64;
+    let mut witness: Option<Witness> = None;
+
+    for &(x, gx) in probes.iter().rev() {
+        if x < 4 || gx <= 0.0 {
+            continue;
+        }
+        // y ranges over [1, x^{1-γ}).
+        let limit = (x as f64).powf(1.0 - gamma).floor() as u64;
+        if limit < 2 {
+            continue;
+        }
+        let threshold = (x as f64).powf(-gamma) * gx;
+        let mut found_here = false;
+        for y in perturbation_probes(limit) {
+            let gxy = g.eval(x + y);
+            let outside_delta = (gxy - gx).abs() > epsilon * gx;
+            if !outside_delta {
+                continue;
+            }
+            let gy = g.eval(y);
+            if gy < threshold {
+                found_here = true;
+                if x > last_violation_x {
+                    last_violation_x = x;
+                }
+                if x >= cutoff && witness.as_ref().map(|w| x > w.x).unwrap_or(true) {
+                    witness = Some(Witness {
+                        x,
+                        y,
+                        gx,
+                        gy,
+                        exponent: gamma,
+                    });
+                }
+                break;
+            }
+        }
+        // Small optimization: once we have a violation past the cutoff we can
+        // stop scanning (we iterate from the largest x downwards).
+        if found_here && x >= cutoff {
+            break;
+        }
+    }
+
+    let holds = last_violation_x < cutoff;
+    if holds {
+        witness = None;
+    }
+
+    PredictableReport {
+        holds,
+        witness,
+        last_violation_x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::ClosureG;
+
+    fn cfg() -> PropertyConfig {
+        PropertyConfig::fast()
+    }
+
+    #[test]
+    fn smooth_quadratic_is_predictable() {
+        let g = ClosureG::new("x^2", |x| (x as f64).powi(2));
+        let report = analyze_predictable(&g, &cfg());
+        assert!(report.holds, "{report:?}");
+    }
+
+    #[test]
+    fn smooth_powers_are_predictable() {
+        for p in [0.5, 1.0, 1.5, 2.0] {
+            let g = ClosureG::new("x^p", move |x| (x as f64).powf(p));
+            assert!(analyze_predictable(&g, &cfg()).holds, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn bounded_oscillation_is_predictable() {
+        // (2 + sin x)·1(x > 0): locally erratic but g(y) ≥ 1 which dominates
+        // x^{-γ} g(x) for large x (the paper's own example after Definition 8).
+        let g = ClosureG::new("2+sin x (bounded)", |x| {
+            if x == 0 {
+                0.0
+            } else {
+                2.0 + (x as f64).sin()
+            }
+        });
+        let report = analyze_predictable(&g, &cfg());
+        assert!(report.holds, "{report:?}");
+    }
+
+    #[test]
+    fn oscillating_quadratic_is_not_predictable() {
+        let g = ClosureG::new("(2+sin x)x^2", |x| {
+            (2.0 + (x as f64).sin()) * (x as f64).powi(2)
+        });
+        let report = analyze_predictable(&g, &cfg());
+        assert!(!report.holds, "{report:?}");
+        let w = report.witness.expect("witness");
+        assert!(w.x >= cfg().cutoff());
+        // The witness indeed violates both clauses of the definition.
+        let gxy = g.eval(w.x + w.y);
+        assert!((gxy - w.gx).abs() > cfg().epsilon * w.gx);
+        assert!(w.gy < (w.x as f64).powf(-cfg().gamma) * w.gx);
+    }
+
+    #[test]
+    fn sqrt_oscillating_quadratic_is_not_predictable() {
+        let g = ClosureG::new("(2+sin sqrt x)x^2", |x| {
+            (2.0 + (x as f64).sqrt().sin()) * (x as f64).powi(2)
+        });
+        let report = analyze_predictable(&g, &cfg());
+        assert!(!report.holds, "{report:?}");
+    }
+
+    #[test]
+    fn log_oscillating_quadratic_is_predictable() {
+        // (2 + sin log(1+x)) x² oscillates so slowly that small perturbations
+        // never move the value by a constant factor: 1-pass tractable in §4.6.
+        let g = ClosureG::new("(2+sin ln(1+x))x^2", |x| {
+            (2.0 + (1.0 + x as f64).ln().sin()) * (x as f64).powi(2)
+        });
+        let report = analyze_predictable(&g, &cfg());
+        assert!(report.holds, "{report:?}");
+    }
+
+    #[test]
+    fn perturbation_probe_grid_shape() {
+        let ys = perturbation_probes(10_000);
+        assert!(ys.iter().all(|&y| y >= 1 && y < 10_000));
+        assert!(ys.windows(2).all(|w| w[0] < w[1]));
+        // Dense start.
+        assert!(ys.contains(&1) && ys.contains(&37) && ys.contains(&64));
+        // Contains values at every scale.
+        assert!(ys.iter().any(|&y| (1000..2000).contains(&y)));
+        let empty = perturbation_probes(1);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! The slow-dropping analyzer (Definition 7).
+//!
+//! `g` is slow-dropping if for every `α > 0` there is an `N` such that for
+//! all `x < y` with `y ≥ N` we have `g(y) ≥ g(x) / y^α` — i.e. the function
+//! never drops by more than a sub-polynomial factor.  Functions with
+//! polynomial decay (`x^{-p}`) are not slow-dropping; neither is the nearly
+//! periodic `g_np` (it drops to `2^{-k}` at `y = 2^k`).
+
+use super::{evaluate_probes, PropertyConfig, Witness};
+use crate::GFunction;
+
+/// Result of the slow-dropping analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowDroppingReport {
+    /// Whether the property holds empirically (no violations past the tail
+    /// cutoff for any tested `α`).
+    pub holds: bool,
+    /// A violation past the cutoff, if one was found (the one with the
+    /// largest `y`).
+    pub witness: Option<Witness>,
+    /// Largest `y` at which a violation was observed for each tested `α`
+    /// (0 if none); useful for diagnosing borderline cases.
+    pub last_violation_per_alpha: Vec<(f64, u64)>,
+}
+
+/// Analyze the slow-dropping property of `g` under `config`.
+pub fn analyze_slow_dropping<G: GFunction + ?Sized>(
+    g: &G,
+    config: &PropertyConfig,
+) -> SlowDroppingReport {
+    let probes = evaluate_probes(g, config);
+    let cutoff = config.cutoff();
+
+    let mut holds = true;
+    let mut witness: Option<Witness> = None;
+    let mut last_violation_per_alpha = Vec::with_capacity(config.alphas.len());
+
+    for &alpha in &config.alphas {
+        let mut last_violation = 0u64;
+        // Running maximum of g over probes strictly below the current y, and
+        // the argument achieving it (for the witness).
+        let mut prefix_max = f64::NEG_INFINITY;
+        let mut prefix_argmax = 0u64;
+        for &(y, gy) in &probes {
+            if prefix_max > 0.0 {
+                let bound = gy * (y as f64).powf(alpha);
+                if prefix_max > bound {
+                    last_violation = y;
+                    if y >= cutoff
+                        && witness
+                            .as_ref()
+                            .map(|w| y > w.y)
+                            .unwrap_or(true)
+                    {
+                        witness = Some(Witness {
+                            x: prefix_argmax,
+                            y,
+                            gx: prefix_max,
+                            gy,
+                            exponent: alpha,
+                        });
+                    }
+                }
+            }
+            if gy > prefix_max {
+                prefix_max = gy;
+                prefix_argmax = y;
+            }
+        }
+        if last_violation >= cutoff {
+            holds = false;
+        }
+        last_violation_per_alpha.push((alpha, last_violation));
+    }
+
+    if holds {
+        witness = None;
+    }
+
+    SlowDroppingReport {
+        holds,
+        witness,
+        last_violation_per_alpha,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::ClosureG;
+
+    fn cfg() -> PropertyConfig {
+        PropertyConfig::fast()
+    }
+
+    #[test]
+    fn monotone_increasing_is_slow_dropping() {
+        let g = ClosureG::new("x^2", |x| (x as f64).powi(2));
+        let report = analyze_slow_dropping(&g, &cfg());
+        assert!(report.holds);
+        assert!(report.witness.is_none());
+        assert!(report
+            .last_violation_per_alpha
+            .iter()
+            .all(|&(_, y)| y == 0));
+    }
+
+    #[test]
+    fn polynomial_decay_is_not_slow_dropping() {
+        let g = ClosureG::new("1/x", |x| if x == 0 { 0.0 } else { 1.0 / x as f64 });
+        let report = analyze_slow_dropping(&g, &cfg());
+        assert!(!report.holds);
+        let w = report.witness.expect("witness expected");
+        assert!(w.y >= cfg().cutoff());
+        assert!(w.gx > w.gy * (w.y as f64).powf(w.exponent));
+    }
+
+    #[test]
+    fn logarithmic_decay_is_slow_dropping() {
+        let g = ClosureG::new("1/log2(1+x)", |x| {
+            if x == 0 {
+                0.0
+            } else {
+                1.0 / (1.0 + x as f64).log2()
+            }
+        });
+        let report = analyze_slow_dropping(&g, &cfg());
+        assert!(report.holds, "report: {report:?}");
+    }
+
+    #[test]
+    fn lowest_set_bit_function_is_not_slow_dropping() {
+        // g_np drops polynomially along powers of two.
+        let g = ClosureG::new("gnp", |x| {
+            if x == 0 {
+                0.0
+            } else {
+                (0.5f64).powi(x.trailing_zeros() as i32)
+            }
+        });
+        let report = analyze_slow_dropping(&g, &cfg());
+        assert!(!report.holds);
+    }
+
+    #[test]
+    fn early_violations_only_are_tolerated() {
+        // A function that dips once at small arguments but is otherwise
+        // increasing: the asymptotic definition is satisfied.
+        let g = ClosureG::new("early-dip", |x| match x {
+            0 => 0.0,
+            1..=9 => 100.0,
+            10..=20 => 0.001,
+            _ => x as f64,
+        });
+        let report = analyze_slow_dropping(&g, &cfg());
+        assert!(report.holds);
+        // The dip is recorded in the diagnostics even though the property holds.
+        assert!(report
+            .last_violation_per_alpha
+            .iter()
+            .any(|&(_, y)| y > 0 && y < cfg().cutoff()));
+    }
+}

@@ -1,0 +1,193 @@
+//! The slow-jumping analyzer (Definition 6).
+//!
+//! `g` is slow-jumping if for every `α > 0` there is an `N` such that for all
+//! `x < y` with `y ≥ N`:
+//!
+//! ```text
+//! g(y) ≤ ⌊y/x⌋^{2+α} · x^α · g(x)
+//! ```
+//!
+//! i.e. the function never grows much faster than quadratically at any scale.
+//! `x^p` for `p ≤ 2`, `x² 2^{√log x}` and `(2 + sin x) x²` are slow-jumping;
+//! `x^p` for `p > 2` (markedly so for `p ≥ 2.5`) and `2^x` are not.
+//!
+//! The pairwise check is quadratic in the number of probe points, so the
+//! analyzer thins the probe set before forming pairs (keeping the dense
+//! prefix partially and the geometric tail fully); the registry tests confirm
+//! that the thinned grid still classifies every library function correctly.
+
+use super::{evaluate_probes, PropertyConfig, Witness};
+use crate::GFunction;
+
+/// Result of the slow-jumping analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowJumpingReport {
+    /// Whether the property holds empirically.
+    pub holds: bool,
+    /// A violation past the cutoff, if any (the one with the largest `y`).
+    pub witness: Option<Witness>,
+    /// Largest violating `y` for each tested `α` (0 if none).
+    pub last_violation_per_alpha: Vec<(f64, u64)>,
+}
+
+/// Thin a sorted probe list down to at most `target` points, always keeping
+/// the first and last.
+fn thin_probes(probes: &[(u64, f64)], target: usize) -> Vec<(u64, f64)> {
+    if probes.len() <= target || target < 2 {
+        return probes.to_vec();
+    }
+    let step = probes.len() as f64 / target as f64;
+    let mut out = Vec::with_capacity(target + 1);
+    let mut idx = 0.0;
+    while (idx as usize) < probes.len() {
+        out.push(probes[idx as usize]);
+        idx += step;
+    }
+    if out.last().map(|&(x, _)| x) != probes.last().map(|&(x, _)| x) {
+        out.push(*probes.last().expect("non-empty probes"));
+    }
+    out
+}
+
+/// Analyze the slow-jumping property of `g` under `config`.
+pub fn analyze_slow_jumping<G: GFunction + ?Sized>(
+    g: &G,
+    config: &PropertyConfig,
+) -> SlowJumpingReport {
+    let probes = evaluate_probes(g, config);
+    // Keep the pair loop near 10^5-10^6 evaluations.
+    let thinned = thin_probes(&probes, 700);
+    let cutoff = config.cutoff();
+
+    let mut holds = true;
+    let mut witness: Option<Witness> = None;
+    let mut last_violation_per_alpha = Vec::with_capacity(config.alphas.len());
+
+    for &alpha in &config.alphas {
+        let mut last_violation = 0u64;
+        for (yi, &(y, gy)) in thinned.iter().enumerate() {
+            if gy <= 0.0 {
+                continue;
+            }
+            for &(x, gx) in &thinned[..yi] {
+                if x >= y || gx <= 0.0 {
+                    continue;
+                }
+                let ratio = (y / x) as f64; // ⌊y/x⌋ as the definition states
+                let bound = ratio.powf(2.0 + alpha) * (x as f64).powf(alpha) * gx;
+                if gy > bound * (1.0 + 1e-12) {
+                    if y > last_violation {
+                        last_violation = y;
+                    }
+                    if y >= cutoff
+                        && witness.as_ref().map(|w| y > w.y).unwrap_or(true)
+                    {
+                        witness = Some(Witness {
+                            x,
+                            y,
+                            gx,
+                            gy,
+                            exponent: alpha,
+                        });
+                    }
+                }
+            }
+        }
+        if last_violation >= cutoff {
+            holds = false;
+        }
+        last_violation_per_alpha.push((alpha, last_violation));
+    }
+
+    if holds {
+        witness = None;
+    }
+
+    SlowJumpingReport {
+        holds,
+        witness,
+        last_violation_per_alpha,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::ClosureG;
+
+    fn cfg() -> PropertyConfig {
+        PropertyConfig::fast()
+    }
+
+    #[test]
+    fn quadratic_is_slow_jumping() {
+        let g = ClosureG::new("x^2", |x| (x as f64).powi(2));
+        let report = analyze_slow_jumping(&g, &cfg());
+        assert!(report.holds, "{report:?}");
+    }
+
+    #[test]
+    fn linear_and_sqrt_are_slow_jumping() {
+        for p in [0.5, 1.0, 1.5] {
+            let g = ClosureG::new("x^p", move |x| (x as f64).powf(p));
+            assert!(analyze_slow_jumping(&g, &cfg()).holds, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn cubic_is_not_slow_jumping() {
+        let g = ClosureG::new("x^3", |x| (x as f64).powi(3));
+        let report = analyze_slow_jumping(&g, &cfg());
+        assert!(!report.holds);
+        let w = report.witness.expect("witness");
+        assert!(w.y >= cfg().cutoff());
+        // The witness really violates the inequality.
+        let bound = ((w.y / w.x) as f64).powf(2.0 + w.exponent) * (w.x as f64).powf(w.exponent) * w.gx;
+        assert!(w.gy > bound);
+    }
+
+    #[test]
+    fn exponential_is_not_slow_jumping() {
+        // 2^x overflows quickly; cap the window.
+        let g = ClosureG::new("2^x", |x| 2f64.powf((x as f64).min(900.0)));
+        let cfg = PropertyConfig {
+            max_x: 1 << 9,
+            dense_limit: 1 << 9,
+            ..PropertyConfig::fast()
+        };
+        assert!(!analyze_slow_jumping(&g, &cfg).holds);
+    }
+
+    #[test]
+    fn subpoly_modulated_quadratic_is_slow_jumping() {
+        // x^2 * 2^sqrt(log2 x): the modulation is sub-polynomial, so the
+        // function is slow-jumping even though it grows faster than x^2.
+        let g = ClosureG::new("x^2 2^sqrt(lg x)", |x| {
+            if x == 0 {
+                0.0
+            } else {
+                let lx = (x as f64).log2();
+                (x as f64).powi(2) * 2f64.powf(lx.sqrt())
+            }
+        });
+        let report = analyze_slow_jumping(&g, &cfg());
+        assert!(report.holds, "{report:?}");
+    }
+
+    #[test]
+    fn oscillating_quadratic_is_slow_jumping() {
+        let g = ClosureG::new("(2+sin x)x^2", |x| {
+            (2.0 + (x as f64).sin()) * (x as f64).powi(2)
+        });
+        assert!(analyze_slow_jumping(&g, &cfg()).holds);
+    }
+
+    #[test]
+    fn thinning_keeps_endpoints() {
+        let probes: Vec<(u64, f64)> = (1..=1000u64).map(|x| (x, x as f64)).collect();
+        let thinned = thin_probes(&probes, 50);
+        assert!(thinned.len() <= 60);
+        assert_eq!(thinned.first().unwrap().0, 1);
+        assert_eq!(thinned.last().unwrap().0, 1000);
+    }
+}

@@ -1,0 +1,192 @@
+//! Sub-polynomial envelopes.
+//!
+//! Propositions 15 and 16 show that a slow-dropping, slow-jumping function
+//! admits a single non-decreasing sub-polynomial function `H` with
+//!
+//! * `g(y) ≥ g(x) / H(y)` for all `x < y` (slow-dropping envelope), and
+//! * `g(y) ≤ (y/x)² · H(y) · g(x)` for all `x < y` (slow-jumping envelope).
+//!
+//! The paper's algorithms are parameterized by `H(M)`: Algorithm 1 uses a
+//! CountSketch for `λ / 2H(M)`-heavy hitters, Algorithm 2 for
+//! `λ / 3H(M)`-heavy hitters with accuracy `ε / 2H(M)`.  This module computes
+//! the tightest such constants over a finite window — the empirical stand-in
+//! for `H(M)` that the `gsum-core` algorithms consume.
+
+use super::{evaluate_probes, PropertyConfig};
+use crate::GFunction;
+
+/// The empirical envelope constants for a function over a window `[1, M]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubpolyEnvelope {
+    /// Smallest `H` with `g(y) ≥ g(x)/H` for all probed `x < y ≤ M`
+    /// (at least 1).
+    pub drop_factor: f64,
+    /// Smallest `H` with `g(y) ≤ (y/x)² H g(x)` for all probed `x < y ≤ M`
+    /// (at least 1).
+    pub jump_factor: f64,
+    /// The window bound `M` the envelope was computed for.
+    pub max_x: u64,
+}
+
+impl SubpolyEnvelope {
+    /// The combined factor `H(M) = max(drop, jump)` used by the algorithms.
+    pub fn combined(&self) -> f64 {
+        self.drop_factor.max(self.jump_factor)
+    }
+}
+
+/// Compute the empirical envelope of `g` over `[1, config.max_x]`.
+pub fn estimate_envelope<G: GFunction + ?Sized>(
+    g: &G,
+    config: &PropertyConfig,
+) -> SubpolyEnvelope {
+    let probes = evaluate_probes(g, config);
+
+    // Drop factor: max over y of (max_{x<y} g(x)) / g(y).
+    let mut drop_factor = 1.0f64;
+    let mut prefix_max = f64::NEG_INFINITY;
+    for &(_, gy) in &probes {
+        if prefix_max > 0.0 && gy > 0.0 {
+            drop_factor = drop_factor.max(prefix_max / gy);
+        }
+        if gy > prefix_max {
+            prefix_max = gy;
+        }
+    }
+
+    // Jump factor: max over pairs of g(y)·x² / (y²·g(x)).  The minimum of
+    // x²/g(x) over x < y is the binding constraint, so a single prefix scan
+    // suffices.
+    let mut jump_factor = 1.0f64;
+    let mut prefix_min_ratio = f64::INFINITY; // min over x<y of x^2 g(x) ... see below
+    for &(y, gy) in &probes {
+        if prefix_min_ratio.is_finite() && gy > 0.0 {
+            // We need max over x<y of gy * x^2 / (y^2 * gx)
+            //   = gy / y^2 * max over x<y of x^2 / gx
+            //   = gy / y^2 / (min over x<y of gx / x^2).
+            let y2 = (y as f64) * (y as f64);
+            jump_factor = jump_factor.max(gy / y2 / prefix_min_ratio);
+        }
+        if gy > 0.0 {
+            let ratio = gy / ((y as f64) * (y as f64));
+            if ratio < prefix_min_ratio {
+                prefix_min_ratio = ratio;
+            }
+        }
+    }
+
+    SubpolyEnvelope {
+        drop_factor,
+        jump_factor,
+        max_x: config.max_x,
+    }
+}
+
+/// Heuristic check that a non-negative function is sub-polynomial
+/// (Definition 4) over the probe window: the doubling ratio `f(2x)/f(x)` must
+/// approach 1 towards the top of the window (either it is already within 2%
+/// of 1, or its excess over 1 shrank noticeably between the middle and the
+/// top of the window).
+///
+/// This is used only for diagnostics (e.g. sanity-checking envelope growth);
+/// the classification logic never depends on it.
+pub fn is_empirically_subpolynomial(f: impl Fn(u64) -> f64, max_x: u64) -> bool {
+    let max_x = max_x.max(64);
+    let top = max_x / 2;
+    let mid = (max_x as f64).sqrt().max(8.0) as u64;
+
+    let ratio_at = |x: u64| {
+        let a = f(x);
+        let b = f(2 * x);
+        if a <= 0.0 || b <= 0.0 {
+            return f64::INFINITY;
+        }
+        b / a
+    };
+    let r_top = ratio_at(top);
+    let r_mid = ratio_at(mid);
+    if !r_top.is_finite() || !r_mid.is_finite() {
+        return false;
+    }
+    if (r_top - 1.0).abs() <= 0.02 {
+        return true;
+    }
+    let excess_mid = (r_mid - 1.0).abs();
+    let excess_top = (r_top - 1.0).abs();
+    excess_top < 0.9 * excess_mid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::ClosureG;
+
+    fn cfg() -> PropertyConfig {
+        PropertyConfig::fast()
+    }
+
+    #[test]
+    fn monotone_increasing_has_unit_drop_factor() {
+        let g = ClosureG::new("x^2", |x| (x as f64).powi(2));
+        let env = estimate_envelope(&g, &cfg());
+        assert!((env.drop_factor - 1.0).abs() < 1e-9);
+        assert!((env.jump_factor - 1.0).abs() < 1e-9);
+        assert!((env.combined() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_quadratic_growth_has_unit_jump_factor() {
+        let g = ClosureG::new("x", |x| x as f64);
+        let env = estimate_envelope(&g, &cfg());
+        // g(y)/g(x) = y/x ≤ (y/x)^2, so the quadratic envelope is never
+        // binding.
+        assert!(env.jump_factor <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn oscillation_shows_up_in_drop_factor() {
+        let g = ClosureG::new("(2+sin x)x^2", |x| {
+            (2.0 + (x as f64).sin()) * (x as f64).powi(2)
+        });
+        let env = estimate_envelope(&g, &cfg());
+        // The drop factor is bounded by the oscillation amplitude ratio ~3,
+        // give or take adjacent-argument effects.
+        assert!(env.drop_factor > 1.0);
+        assert!(env.drop_factor < 4.0, "drop factor {}", env.drop_factor);
+    }
+
+    #[test]
+    fn super_quadratic_growth_inflates_jump_factor() {
+        let g = ClosureG::new("x^3", |x| (x as f64).powi(3));
+        let env = estimate_envelope(&g, &cfg());
+        // g(y) x^2 / (y^2 g(x)) with x = 1 equals y, so the jump factor is on
+        // the order of the window size.
+        assert!(env.jump_factor > 1000.0);
+    }
+
+    #[test]
+    fn polynomial_decay_inflates_drop_factor() {
+        let g = ClosureG::new("1/x", |x| if x == 0 { 0.0 } else { 1.0 / x as f64 });
+        let env = estimate_envelope(&g, &cfg());
+        assert!(env.drop_factor > 1000.0);
+    }
+
+    #[test]
+    fn subpolynomial_heuristic() {
+        assert!(is_empirically_subpolynomial(
+            |x| (1.0 + x as f64).ln().powi(2),
+            1 << 16
+        ));
+        assert!(is_empirically_subpolynomial(|_| 5.0, 1 << 16));
+        assert!(is_empirically_subpolynomial(
+            |x| 2f64.powf((x as f64).max(1.0).log2().sqrt()),
+            1 << 16
+        ));
+        assert!(!is_empirically_subpolynomial(
+            |x| (x as f64).sqrt(),
+            1 << 16
+        ));
+        assert!(!is_empirically_subpolynomial(|x| x as f64, 1 << 16));
+        assert!(!is_empirically_subpolynomial(|_| 0.0, 1 << 16));
+    }
+}

@@ -1,0 +1,358 @@
+//! A registry of the built-in library functions together with their
+//! paper-derived ground-truth classification.
+//!
+//! The registry serves two purposes:
+//!
+//! 1. it is the input of experiment E1 (the classification table), and
+//! 2. its tests pin down that the empirical analyzers of
+//!    [`crate::properties`] agree with the paper's own statements about
+//!    every worked example (§3, §4.6, Appendix D).
+
+use crate::classify::{classify, OnePassVerdict, TwoPassVerdict};
+use crate::library::{
+    BoundedOscillation, CappedLinear, ExpSqrtLogFunction, ExponentialFunction, GnpFunction,
+    InverseLogFunction, InversePowerFunction, OscillatingQuadratic, PoissonMixtureNll,
+    PolylogFunction, PowerFunction, SpamDiscountUtility, SubpolyModulatedQuadratic,
+};
+use crate::properties::PropertyConfig;
+use crate::traits::LEta;
+use crate::GFunction;
+
+/// The paper-derived ground truth for a registered function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Whether the paper classifies the function as 1-pass tractable
+    /// (for nearly periodic functions this records the bespoke-algorithm
+    /// answer, e.g. `g_np` is 1-pass tractable by Proposition 54).
+    pub one_pass_tractable: bool,
+    /// Whether the function is `O(1)`-pass tractable.
+    pub two_pass_tractable: bool,
+    /// Whether the function is S-nearly periodic (outside the normal law).
+    pub nearly_periodic: bool,
+}
+
+impl GroundTruth {
+    /// A normal function tractable in both regimes.
+    pub const fn tractable() -> Self {
+        Self {
+            one_pass_tractable: true,
+            two_pass_tractable: true,
+            nearly_periodic: false,
+        }
+    }
+
+    /// A normal function needing two passes (not predictable).
+    pub const fn two_pass_only() -> Self {
+        Self {
+            one_pass_tractable: false,
+            two_pass_tractable: true,
+            nearly_periodic: false,
+        }
+    }
+
+    /// A normal function intractable in any constant number of passes.
+    pub const fn intractable() -> Self {
+        Self {
+            one_pass_tractable: false,
+            two_pass_tractable: false,
+            nearly_periodic: false,
+        }
+    }
+}
+
+/// A library function plus its ground truth and the paper location the
+/// ground truth comes from.
+pub struct RegisteredFunction {
+    /// The function object.
+    pub function: Box<dyn GFunction + Send + Sync>,
+    /// Paper-derived classification.
+    pub ground_truth: GroundTruth,
+    /// Where in the paper the classification is stated or implied.
+    pub paper_reference: &'static str,
+}
+
+impl RegisteredFunction {
+    fn new(
+        function: Box<dyn GFunction + Send + Sync>,
+        ground_truth: GroundTruth,
+        paper_reference: &'static str,
+    ) -> Self {
+        Self {
+            function,
+            ground_truth,
+            paper_reference,
+        }
+    }
+
+    /// The function's display name.
+    pub fn name(&self) -> String {
+        self.function.name()
+    }
+}
+
+/// The registry of built-in functions.
+pub struct FunctionRegistry {
+    entries: Vec<RegisteredFunction>,
+}
+
+impl FunctionRegistry {
+    /// The standard registry: every worked example from the paper plus the
+    /// §1.1 application functions.
+    pub fn standard() -> Self {
+        let mut entries: Vec<RegisteredFunction> = Vec::new();
+        let t = GroundTruth::tractable;
+        let two = GroundTruth::two_pass_only;
+        let bad = GroundTruth::intractable;
+
+        // Frequency moments x^p: tractable iff p ≤ 2 (§1, Theorem 2).
+        for p in [0.5f64, 1.0, 1.5, 2.0] {
+            entries.push(RegisteredFunction::new(
+                Box::new(PowerFunction::new(p)),
+                t(),
+                "Thm 2; Indyk-Woodruff moments, p <= 2",
+            ));
+        }
+        for p in [2.5f64, 3.0] {
+            entries.push(RegisteredFunction::new(
+                Box::new(PowerFunction::new(p)),
+                bad(),
+                "Def 6 (not slow-jumping); Sec 4.6 'x^3 is not slow-jumping'",
+            ));
+        }
+        entries.push(RegisteredFunction::new(
+            Box::new(ExponentialFunction),
+            bad(),
+            "Def 6: 2^x grows too quickly",
+        ));
+
+        // Polylogarithmic and sub-polynomial growth.
+        entries.push(RegisteredFunction::new(
+            Box::new(PolylogFunction::new(2.0)),
+            t(),
+            "Sec 2: polylog functions are tractable",
+        ));
+        entries.push(RegisteredFunction::new(
+            Box::new(InverseLogFunction),
+            t(),
+            "Def 7 example: (log2(1+x))^-1 1(x>0) is slow-dropping",
+        ));
+        entries.push(RegisteredFunction::new(
+            Box::new(ExpSqrtLogFunction),
+            t(),
+            "Sec 4.6: e^{log^(1/2)(1+x)} is 1-pass tractable",
+        ));
+        entries.push(RegisteredFunction::new(
+            Box::new(SubpolyModulatedQuadratic),
+            t(),
+            "Def 6 example: x^2 2^sqrt(log x) is slow-jumping",
+        ));
+        entries.push(RegisteredFunction::new(
+            Box::new(LEta::new(PowerFunction::new(2.0), 1.0)),
+            t(),
+            "Sec 4.6: x^2 lg(1+x) is 1-pass tractable; Thm 31",
+        ));
+
+        // Polynomially decreasing functions.
+        entries.push(RegisteredFunction::new(
+            Box::new(InversePowerFunction::new(1.0)),
+            bad(),
+            "Sec 4.6: 1/x is not slow-dropping",
+        ));
+        entries.push(RegisteredFunction::new(
+            Box::new(InversePowerFunction::new(0.5)),
+            bad(),
+            "Def 7: polynomial decay is not slow-dropping",
+        ));
+
+        // Oscillating functions.
+        entries.push(RegisteredFunction::new(
+            Box::new(OscillatingQuadratic::direct()),
+            two(),
+            "Def 8 negative example; slow-jumping + slow-dropping per Def 6/7",
+        ));
+        entries.push(RegisteredFunction::new(
+            Box::new(OscillatingQuadratic::sqrt()),
+            two(),
+            "Sec 4.6: (2+sin sqrt x)x^2 is 2-pass but not 1-pass tractable",
+        ));
+        entries.push(RegisteredFunction::new(
+            Box::new(OscillatingQuadratic::log()),
+            t(),
+            "Sec 4.6: (2+sin log(1+x))x^2 is 1-pass tractable",
+        ));
+        entries.push(RegisteredFunction::new(
+            Box::new(BoundedOscillation),
+            t(),
+            "Def 8 discussion: (2+sin x)1(x>0) is predictable",
+        ));
+
+        // The nearly periodic example.
+        entries.push(RegisteredFunction::new(
+            Box::new(GnpFunction::new()),
+            GroundTruth {
+                one_pass_tractable: true,
+                two_pass_tractable: true,
+                nearly_periodic: true,
+            },
+            "Def 52 / Prop 53 / Prop 54",
+        ));
+
+        // Applications (§1.1).
+        entries.push(RegisteredFunction::new(
+            Box::new(PoissonMixtureNll::new(0.5, 0.5, 6.0)),
+            t(),
+            "Sec 1.1.1: Poisson mixture log-likelihood satisfies the criteria",
+        ));
+        entries.push(RegisteredFunction::new(
+            Box::new(SpamDiscountUtility::new(100)),
+            t(),
+            "Sec 1.1.2: non-monotone utility with slow decay",
+        ));
+        entries.push(RegisteredFunction::new(
+            Box::new(CappedLinear::new(100)),
+            t(),
+            "Sec 1.1.2: monotone capped billing baseline",
+        ));
+
+        Self { entries }
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over the registered functions.
+    pub fn iter(&self) -> impl Iterator<Item = &RegisteredFunction> {
+        self.entries.iter()
+    }
+
+    /// Find a function by (exact) display name.
+    pub fn get(&self, name: &str) -> Option<&RegisteredFunction> {
+        self.entries.iter().find(|e| e.name() == name)
+    }
+
+    /// Classify every registered function and pair the verdicts with the
+    /// ground truth.  Returns `(entry, report, verdict_matches)` rows — the
+    /// raw material of experiment E1.
+    pub fn classification_table(
+        &self,
+        config: &PropertyConfig,
+    ) -> Vec<(&RegisteredFunction, crate::classify::TractabilityReport, bool)> {
+        self.entries
+            .iter()
+            .map(|entry| {
+                let report = classify(entry.function.as_ref(), config);
+                let matches = Self::verdict_matches(&entry.ground_truth, &report);
+                (entry, report, matches)
+            })
+            .collect()
+    }
+
+    /// Whether an empirical report agrees with the ground truth.
+    ///
+    /// For nearly periodic functions only the "outside the normal scope"
+    /// determination is comparable (their tractability is decided by bespoke
+    /// algorithms, not by the three properties).
+    pub fn verdict_matches(
+        truth: &GroundTruth,
+        report: &crate::classify::TractabilityReport,
+    ) -> bool {
+        if truth.nearly_periodic {
+            return report.one_pass == OnePassVerdict::OutsideNormalScope
+                && report.two_pass == TwoPassVerdict::OutsideNormalScope;
+        }
+        let one_ok = match report.one_pass {
+            OnePassVerdict::Tractable => truth.one_pass_tractable,
+            OnePassVerdict::Intractable => !truth.one_pass_tractable,
+            OnePassVerdict::OutsideNormalScope => false,
+        };
+        let two_ok = match report.two_pass {
+            TwoPassVerdict::Tractable => truth.two_pass_tractable,
+            TwoPassVerdict::Intractable => !truth.two_pass_tractable,
+            TwoPassVerdict::OutsideNormalScope => false,
+        };
+        one_ok && two_ok
+    }
+}
+
+impl Default for FunctionRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_well_formed() {
+        let reg = FunctionRegistry::standard();
+        assert!(reg.len() >= 20, "expected a rich library, got {}", reg.len());
+        assert!(!reg.is_empty());
+        // Names are unique.
+        let mut names: Vec<String> = reg.iter().map(|e| e.name()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate function names");
+        // Lookup by name works.
+        assert!(reg.get("x^2").is_some());
+        assert!(reg.get("no-such-function").is_none());
+    }
+
+    #[test]
+    fn every_function_is_in_class_g() {
+        let reg = FunctionRegistry::standard();
+        for entry in reg.iter() {
+            assert!(
+                entry.function.is_in_class_g(1 << 14),
+                "{} violates the class G requirements",
+                entry.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_is_consistent() {
+        // 1-pass tractability implies 2-pass tractability for normal
+        // functions (Theorem 3 needs a subset of Theorem 2's conditions).
+        let reg = FunctionRegistry::standard();
+        for entry in reg.iter() {
+            let gt = entry.ground_truth;
+            if !gt.nearly_periodic && gt.one_pass_tractable {
+                assert!(gt.two_pass_tractable, "{}", entry.name());
+            }
+        }
+    }
+
+    /// Experiment E1 in miniature: the empirical classifier agrees with the
+    /// paper's stated classification for every registered function.
+    #[test]
+    fn classifier_agrees_with_paper_ground_truth() {
+        let reg = FunctionRegistry::standard();
+        let table = reg.classification_table(&PropertyConfig::fast());
+        let mut mismatches = Vec::new();
+        for (entry, report, matches) in &table {
+            if !matches {
+                mismatches.push(format!(
+                    "{} (truth {:?}) got {}",
+                    entry.name(),
+                    entry.ground_truth,
+                    report.summary_row()
+                ));
+            }
+        }
+        assert!(
+            mismatches.is_empty(),
+            "classifier disagrees with the paper on:\n{}",
+            mismatches.join("\n")
+        );
+    }
+}

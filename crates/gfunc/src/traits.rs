@@ -1,0 +1,296 @@
+//! The [`GFunction`] trait and generic combinators.
+
+/// A function `g : Z_{≥0} → R_{≥0}` in (or near) the paper's class `G`.
+///
+/// Requirements assumed by the algorithms (checked by
+/// [`is_in_class_g`](GFunction::is_in_class_g) and asserted by tests for the
+/// built-in library):
+///
+/// * `g(0) = 0`;
+/// * `g(x) > 0` for `x > 0`;
+/// * `g(1) = 1` is *not* required — the algorithms normalize internally via
+///   [`NormalizedG`], matching the paper's "without loss of generality
+///   `g(1) = 1`" remark.
+///
+/// The paper extends `g` symmetrically to negative arguments
+/// (`g(-x) = g(x)`); [`GFunction::eval_signed`] implements that convention.
+pub trait GFunction {
+    /// A short human-readable name (used in reports and experiment tables).
+    fn name(&self) -> String;
+
+    /// Evaluate `g(x)` for a non-negative integer argument.
+    fn eval(&self, x: u64) -> f64;
+
+    /// Evaluate on a signed frequency using the symmetric extension
+    /// `g(v) = g(|v|)`.
+    fn eval_signed(&self, v: i64) -> f64 {
+        self.eval(v.unsigned_abs())
+    }
+
+    /// Whether the function satisfies the structural requirements of the
+    /// class `G` on the window `[0, probe_limit]`: `g(0) = 0` and `g(x) > 0`
+    /// for `0 < x ≤ probe_limit`.
+    fn is_in_class_g(&self, probe_limit: u64) -> bool {
+        if self.eval(0) != 0.0 {
+            return false;
+        }
+        let probe = probe_limit.min(4096).max(1);
+        // Check a dense prefix and a geometric tail.
+        for x in 1..=probe.min(512) {
+            if !(self.eval(x) > 0.0) {
+                return false;
+            }
+        }
+        let mut x = 512u64;
+        while x <= probe_limit {
+            if !(self.eval(x) > 0.0) {
+                return false;
+            }
+            x = x.saturating_mul(2);
+        }
+        true
+    }
+}
+
+/// Blanket implementation so `&G`, `Box<G>`, etc. can be passed where a
+/// `GFunction` is expected.
+impl<T: GFunction + ?Sized> GFunction for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn eval(&self, x: u64) -> f64 {
+        (**self).eval(x)
+    }
+}
+
+impl<T: GFunction + ?Sized> GFunction for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn eval(&self, x: u64) -> f64 {
+        (**self).eval(x)
+    }
+}
+
+/// `g` rescaled so that `g(1) = 1`: evaluates `g(x) / g(1)`.
+///
+/// The paper's normalization (§3): a multiplicative approximation of
+/// `g(x)/g(1)` is a multiplicative approximation of `g`.
+#[derive(Debug, Clone)]
+pub struct NormalizedG<G> {
+    inner: G,
+    scale: f64,
+}
+
+impl<G: GFunction> NormalizedG<G> {
+    /// Normalize a function (panics if `g(1) ≤ 0`).
+    pub fn new(inner: G) -> Self {
+        let g1 = inner.eval(1);
+        assert!(g1 > 0.0, "cannot normalize a function with g(1) <= 0");
+        Self {
+            inner,
+            scale: 1.0 / g1,
+        }
+    }
+
+    /// The normalization factor `1 / g(1)`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Access the wrapped function.
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+}
+
+impl<G: GFunction> GFunction for NormalizedG<G> {
+    fn name(&self) -> String {
+        format!("normalized({})", self.inner.name())
+    }
+    fn eval(&self, x: u64) -> f64 {
+        self.inner.eval(x) * self.scale
+    }
+}
+
+/// `c · g(x)` for a positive constant `c`.
+#[derive(Debug, Clone)]
+pub struct ScaledG<G> {
+    inner: G,
+    factor: f64,
+}
+
+impl<G: GFunction> ScaledG<G> {
+    /// Scale a function by a positive factor.
+    pub fn new(inner: G, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        Self { inner, factor }
+    }
+}
+
+impl<G: GFunction> GFunction for ScaledG<G> {
+    fn name(&self) -> String {
+        format!("{}*{}", self.factor, self.inner.name())
+    }
+    fn eval(&self, x: u64) -> f64 {
+        self.factor * self.inner.eval(x)
+    }
+}
+
+/// The `L_η` transformation of Definition 55:
+/// `L_η(g)(x) = g(x) · log^η(1 + x)`.
+///
+/// Theorems 30 and 31 use it to separate nearly periodic functions from
+/// 1-pass tractable normal functions: applying `L_η` preserves tractability
+/// of normal functions but destroys it for nearly periodic ones.
+#[derive(Debug, Clone)]
+pub struct LEta<G> {
+    inner: G,
+    eta: f64,
+}
+
+impl<G: GFunction> LEta<G> {
+    /// Apply `L_η` with exponent `eta ≥ 0`.
+    pub fn new(inner: G, eta: f64) -> Self {
+        assert!(eta >= 0.0, "eta must be non-negative");
+        Self { inner, eta }
+    }
+
+    /// The exponent `η`.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+}
+
+impl<G: GFunction> GFunction for LEta<G> {
+    fn name(&self) -> String {
+        format!("L_{}({})", self.eta, self.inner.name())
+    }
+    fn eval(&self, x: u64) -> f64 {
+        self.inner.eval(x) * (1.0 + x as f64).ln().powf(self.eta)
+    }
+}
+
+/// A `GFunction` defined by a closure, convenient for one-off functions in
+/// tests and experiments.
+pub struct ClosureG<F> {
+    name: String,
+    f: F,
+}
+
+impl<F: Fn(u64) -> f64> ClosureG<F> {
+    /// Wrap a closure as a `GFunction`.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self { name: name.into(), f }
+    }
+}
+
+impl<F: Fn(u64) -> f64> GFunction for ClosureG<F> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn eval(&self, x: u64) -> f64 {
+        (self.f)(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Square;
+    impl GFunction for Square {
+        fn name(&self) -> String {
+            "x^2".into()
+        }
+        fn eval(&self, x: u64) -> f64 {
+            (x as f64).powi(2)
+        }
+    }
+
+    struct DoubleSquare;
+    impl GFunction for DoubleSquare {
+        fn name(&self) -> String {
+            "2x^2".into()
+        }
+        fn eval(&self, x: u64) -> f64 {
+            2.0 * (x as f64).powi(2)
+        }
+    }
+
+    #[test]
+    fn symmetric_extension() {
+        let g = Square;
+        assert_eq!(g.eval_signed(-5), 25.0);
+        assert_eq!(g.eval_signed(5), 25.0);
+        assert_eq!(g.eval_signed(0), 0.0);
+    }
+
+    #[test]
+    fn class_membership_check() {
+        let g = Square;
+        assert!(g.is_in_class_g(1 << 20));
+
+        // A function with g(0) != 0 is rejected.
+        let bad = ClosureG::new("const", |_x| 1.0);
+        assert!(!bad.is_in_class_g(100));
+
+        // A function that vanishes at a positive point is rejected.
+        let vanishing = ClosureG::new("vanish", |x| if x == 3 { 0.0 } else { x as f64 });
+        assert!(!vanishing.is_in_class_g(100));
+    }
+
+    #[test]
+    fn normalization_fixes_g1() {
+        let g = NormalizedG::new(DoubleSquare);
+        assert!((g.eval(1) - 1.0).abs() < 1e-12);
+        assert!((g.eval(4) - 16.0).abs() < 1e-12);
+        assert!((g.scale() - 0.5).abs() < 1e-12);
+        assert!(g.name().contains("normalized"));
+    }
+
+    #[test]
+    fn scaling() {
+        let g = ScaledG::new(Square, 3.0);
+        assert_eq!(g.eval(2), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_scale_panics() {
+        let _ = ScaledG::new(Square, 0.0);
+    }
+
+    #[test]
+    fn l_eta_transformation() {
+        let g = LEta::new(Square, 1.0);
+        let x = 9u64;
+        assert!((g.eval(x) - 81.0 * (10.0f64).ln()).abs() < 1e-9);
+        assert_eq!(g.eval(0), 0.0);
+        assert_eq!(LEta::new(Square, 0.0).eval(7), 49.0);
+        assert!(g.name().starts_with("L_1"));
+        assert_eq!(g.eta(), 1.0);
+    }
+
+    #[test]
+    fn references_and_boxes_are_gfunctions() {
+        let g = Square;
+        let r: &dyn GFunction = &g;
+        assert_eq!(r.eval(3), 9.0);
+        let b: Box<dyn GFunction> = Box::new(Square);
+        assert_eq!(b.eval(3), 9.0);
+        assert_eq!((&b).name(), "x^2");
+        // A reference to a reference still works (blanket impl).
+        fn takes_g<G: GFunction>(g: G) -> f64 {
+            g.eval(2)
+        }
+        assert_eq!(takes_g(&Square), 4.0);
+    }
+
+    #[test]
+    fn closure_function() {
+        let g = ClosureG::new("linear", |x| x as f64);
+        assert_eq!(g.eval(17), 17.0);
+        assert_eq!(g.name(), "linear");
+    }
+}

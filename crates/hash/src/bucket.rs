@@ -1,0 +1,122 @@
+//! Bucket hashes: limited-independence maps from keys into `[0, b)`.
+//!
+//! Used to split a stream into substreams: CountSketch rows, the recursive
+//! sketch's level-wise subsampling, the `g_np` algorithm's `O(λ^{-2})`-way
+//! split, and the `(a,b,c)`-DIST counter algorithm's contiguous pieces.
+
+use crate::kwise::KWiseHash;
+
+/// A hash function mapping `u64` keys into `[0, buckets)`, drawn from a
+/// k-wise independent family (pairwise by default).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketHash {
+    inner: KWiseHash,
+    buckets: u64,
+}
+
+impl BucketHash {
+    /// Draw a pairwise-independent bucket hash with the given number of
+    /// buckets.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`.
+    pub fn new(buckets: u64, seed: u64) -> Self {
+        Self::with_independence(2, buckets, seed)
+    }
+
+    /// Draw a bucket hash from a `k`-wise independent family.
+    pub fn with_independence(k: usize, buckets: u64, seed: u64) -> Self {
+        assert!(buckets > 0, "bucket count must be positive");
+        Self {
+            inner: KWiseHash::new(k, seed),
+            buckets,
+        }
+    }
+
+    /// Number of buckets `b`.
+    pub fn buckets(&self) -> u64 {
+        self.buckets
+    }
+
+    /// Map a key to its bucket in `[0, b)`.
+    #[inline]
+    pub fn bucket(&self, key: u64) -> u64 {
+        self.inner.hash_to_range(key, self.buckets)
+    }
+
+    /// Subsampling predicate: `true` for keys that fall in bucket 0.
+    /// With `b = 2^level` this keeps each key independently-ish with
+    /// probability `2^{-level}`, which is exactly the level-`level`
+    /// subsampling used by the recursive sketch.
+    #[inline]
+    pub fn selects(&self, key: u64) -> bool {
+        self.bucket(key) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_bucket_count() {
+        for buckets in [1u64, 2, 7, 64, 1023] {
+            let h = BucketHash::new(buckets, 5);
+            for key in 0..2000u64 {
+                assert!(h.bucket(key) < buckets);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_buckets_panics() {
+        let _ = BucketHash::new(0, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = BucketHash::new(32, 8);
+        let b = BucketHash::new(32, 8);
+        for key in 0..512u64 {
+            assert_eq!(a.bucket(key), b.bucket(key));
+        }
+    }
+
+    #[test]
+    fn single_bucket_maps_everything_to_zero() {
+        let h = BucketHash::new(1, 99);
+        for key in 0..100u64 {
+            assert_eq!(h.bucket(key), 0);
+            assert!(h.selects(key));
+        }
+    }
+
+    #[test]
+    fn selects_rate_close_to_one_over_b() {
+        let buckets = 8u64;
+        let h = BucketHash::new(buckets, 321);
+        let n = 40_000u64;
+        let kept = (0..n).filter(|&k| h.selects(k)).count();
+        let expect = n as f64 / buckets as f64;
+        assert!(
+            (kept as f64 - expect).abs() < 0.1 * expect,
+            "kept {kept}, expected about {expect}"
+        );
+    }
+
+    #[test]
+    fn distribution_roughly_uniform() {
+        let buckets = 10u64;
+        let h = BucketHash::new(buckets, 2024);
+        let n = 50_000u64;
+        let mut counts = vec![0usize; buckets as usize];
+        for key in 0..n {
+            counts[h.bucket(key) as usize] += 1;
+        }
+        let expect = n as f64 / buckets as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() < 0.1 * expect);
+        }
+    }
+}

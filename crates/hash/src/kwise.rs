@@ -1,0 +1,206 @@
+//! k-wise independent hash families via polynomial hashing over
+//! `GF(2^61 - 1)`.
+//!
+//! A uniformly random polynomial of degree `k-1` over a prime field defines a
+//! k-wise independent family: for any `k` distinct keys the hash values are
+//! independent and uniform on the field.  CountSketch needs pairwise
+//! independent bucket hashes and 4-wise independent sign hashes; the AMS F₂
+//! estimator needs 4-wise independent signs; the `g_np` single-heavy-hitter
+//! algorithm of Appendix D.1 needs pairwise independent Bernoulli variables.
+
+use crate::prime::{poly_eval, reduce, MERSENNE_PRIME_61};
+use crate::rng::SplitMix64;
+
+/// A hash function drawn from a k-wise independent family, mapping `u64`
+/// keys to the field `[0, 2^61 - 1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KWiseHash {
+    /// Polynomial coefficients `c_0 .. c_{k-1}`, all reduced mod p.
+    coeffs: Vec<u64>,
+}
+
+impl KWiseHash {
+    /// Draw a hash function from the `k`-wise independent family, using the
+    /// given seed to pick the polynomial coefficients.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "independence parameter k must be at least 1");
+        let mut rng = SplitMix64::new(seed);
+        let mut coeffs = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut c = reduce(rng.next_u64());
+            // Keep the leading coefficient non-zero so that the polynomial
+            // genuinely has degree k-1 (a cosmetic choice; independence holds
+            // either way, but it makes degenerate collisions less likely for
+            // tiny k).
+            if i == k - 1 && k > 1 && c == 0 {
+                c = 1;
+            }
+            coeffs.push(c);
+        }
+        Self { coeffs }
+    }
+
+    /// Independence parameter `k` of the family this function was drawn from.
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluate the hash on a key; output is uniform on `[0, p)` with
+    /// `p = 2^61 - 1`.
+    #[inline]
+    pub fn hash(&self, key: u64) -> u64 {
+        poly_eval(&self.coeffs, key)
+    }
+
+    /// Hash into `[0, range)` by taking the field value modulo `range`.
+    ///
+    /// Because `p = 2^61 - 1` is enormous relative to any realistic `range`,
+    /// the modulo bias is at most `range / p < 2^-40` for ranges below 2^21
+    /// and is negligible for the bucket counts used by the sketches.
+    #[inline]
+    pub fn hash_to_range(&self, key: u64, range: u64) -> u64 {
+        assert!(range > 0, "range must be positive");
+        self.hash(key) % range
+    }
+
+    /// A pairwise-independent Bernoulli(1/2) variable derived from the hash
+    /// value (its lowest bit).  Used by the `g_np` algorithm of Appendix D.1,
+    /// which only requires pairwise independence.
+    #[inline]
+    pub fn hash_to_bool(&self, key: u64) -> bool {
+        self.hash(key) & 1 == 1
+    }
+
+    /// The field modulus.
+    pub const fn modulus() -> u64 {
+        MERSENNE_PRIME_61
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let h1 = KWiseHash::new(4, 11);
+        let h2 = KWiseHash::new(4, 11);
+        for key in 0..100u64 {
+            assert_eq!(h1.hash(key), h2.hash(key));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let h1 = KWiseHash::new(4, 1);
+        let h2 = KWiseHash::new(4, 2);
+        let same = (0..64u64).filter(|&k| h1.hash(k) == h2.hash(k)).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_independence_panics() {
+        let _ = KWiseHash::new(0, 3);
+    }
+
+    #[test]
+    fn output_below_modulus() {
+        let h = KWiseHash::new(5, 77);
+        for key in (0..10_000u64).step_by(37) {
+            assert!(h.hash(key) < MERSENNE_PRIME_61);
+        }
+    }
+
+    #[test]
+    fn range_hash_respects_range() {
+        let h = KWiseHash::new(2, 9);
+        for range in [1u64, 2, 3, 17, 1024] {
+            for key in 0..500u64 {
+                assert!(h.hash_to_range(key, range) < range);
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_roughly_balanced() {
+        // Pairwise independence gives near-uniform marginals; check the
+        // empirical distribution over 16 buckets.
+        let h = KWiseHash::new(2, 4242);
+        let range = 16u64;
+        let n = 64_000u64;
+        let mut counts = vec![0usize; range as usize];
+        for key in 0..n {
+            counts[h.hash_to_range(key, range) as usize] += 1;
+        }
+        let expect = n as f64 / range as f64;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expect).abs() < 0.1 * expect,
+                "bucket {c} deviates from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairwise_collision_rate_close_to_uniform() {
+        // For a pairwise independent family mapped onto b buckets, the
+        // probability that two fixed distinct keys collide is ~1/b. Estimate
+        // it over many independently seeded functions.
+        let trials = 4000;
+        let buckets = 8u64;
+        let mut collisions = 0usize;
+        for seed in 0..trials {
+            let h = KWiseHash::new(2, seed as u64);
+            if h.hash_to_range(123, buckets) == h.hash_to_range(987, buckets) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        let expect = 1.0 / buckets as f64;
+        assert!(
+            (rate - expect).abs() < 0.5 * expect + 0.01,
+            "collision rate {rate} far from {expect}"
+        );
+    }
+
+    #[test]
+    fn bool_hash_balanced_across_seeds() {
+        let mut ones = 0usize;
+        let trials = 2000;
+        for seed in 0..trials {
+            let h = KWiseHash::new(2, seed as u64);
+            if h.hash_to_bool(55) {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.05, "bool hash biased: {frac}");
+    }
+
+    #[test]
+    fn four_wise_joint_distribution_is_uniform_on_pairs() {
+        // A sanity check of joint uniformity over pairs of keys when hashed
+        // to 2 buckets: all 4 combinations should appear ~1/4 of the time.
+        let trials = 4000;
+        let mut table: HashMap<(u64, u64), usize> = HashMap::new();
+        for seed in 0..trials {
+            let h = KWiseHash::new(4, seed as u64 + 10_000);
+            let a = h.hash_to_range(3, 2);
+            let b = h.hash_to_range(71, 2);
+            *table.entry((a, b)).or_insert(0) += 1;
+        }
+        assert_eq!(table.len(), 4);
+        for (&pair, &count) in &table {
+            let frac = count as f64 / trials as f64;
+            assert!(
+                (frac - 0.25).abs() < 0.05,
+                "pair {pair:?} frequency {frac} far from 0.25"
+            );
+        }
+    }
+}

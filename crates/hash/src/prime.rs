@@ -1,0 +1,143 @@
+//! Arithmetic over the Mersenne-prime field `GF(p)` with `p = 2^61 - 1`.
+//!
+//! Polynomial hashing over a Mersenne prime is the standard way to obtain
+//! k-wise independent hash families with `O(k)` words of state and `O(k)`
+//! multiply/reduce operations per evaluation.  Reduction modulo `2^61 - 1`
+//! never needs a division: `x mod p = (x & p) + (x >> 61)` followed by one
+//! conditional subtraction.
+
+/// The Mersenne prime `2^61 - 1`.
+pub const MERSENNE_PRIME_61: u64 = (1u64 << 61) - 1;
+
+/// Reduce a value in `[0, 2^64)` modulo `2^61 - 1`.
+///
+/// The result is fully reduced (strictly less than the prime).
+#[inline]
+pub fn reduce(x: u64) -> u64 {
+    let p = MERSENNE_PRIME_61;
+    // x = hi * 2^61 + lo, and 2^61 ≡ 1 (mod p).
+    let folded = (x & p) + (x >> 61);
+    if folded >= p {
+        folded - p
+    } else {
+        folded
+    }
+}
+
+/// Reduce a 128-bit value modulo `2^61 - 1`.
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    let p = MERSENNE_PRIME_61 as u128;
+    // Fold twice: 128 -> ~67 bits -> 61 bits.
+    let folded = (x & p) + (x >> 61);
+    let folded = (folded & p) + (folded >> 61);
+    let folded = folded as u64;
+    if folded >= MERSENNE_PRIME_61 {
+        folded - MERSENNE_PRIME_61
+    } else {
+        folded
+    }
+}
+
+/// Modular addition in `GF(2^61 - 1)`. Inputs must already be reduced.
+#[inline]
+pub fn add(a: u64, b: u64) -> u64 {
+    debug_assert!(a < MERSENNE_PRIME_61 && b < MERSENNE_PRIME_61);
+    let s = a + b;
+    if s >= MERSENNE_PRIME_61 {
+        s - MERSENNE_PRIME_61
+    } else {
+        s
+    }
+}
+
+/// Modular multiplication in `GF(2^61 - 1)`. Inputs must already be reduced.
+#[inline]
+pub fn mul(a: u64, b: u64) -> u64 {
+    debug_assert!(a < MERSENNE_PRIME_61 && b < MERSENNE_PRIME_61);
+    reduce128((a as u128) * (b as u128))
+}
+
+/// Horner evaluation of the polynomial `c[0] + c[1]*x + ... + c[d]*x^d`
+/// over `GF(2^61 - 1)`.
+#[inline]
+pub fn poly_eval(coeffs: &[u64], x: u64) -> u64 {
+    let x = reduce(x);
+    let mut acc = 0u64;
+    for &c in coeffs.iter().rev() {
+        acc = add(mul(acc, x), reduce(c));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_small_values_untouched() {
+        for v in [0u64, 1, 2, 12345, MERSENNE_PRIME_61 - 1] {
+            assert_eq!(reduce(v), v);
+        }
+    }
+
+    #[test]
+    fn reduce_wraps_prime_to_zero() {
+        assert_eq!(reduce(MERSENNE_PRIME_61), 0);
+        assert_eq!(reduce(MERSENNE_PRIME_61 + 5), 5);
+    }
+
+    #[test]
+    fn reduce_max_u64() {
+        // u64::MAX = 2^64 - 1 = 8 * (2^61 - 1) + 7, so the remainder is 7.
+        assert_eq!(reduce(u64::MAX), (u64::MAX) % MERSENNE_PRIME_61);
+    }
+
+    #[test]
+    fn reduce128_matches_naive() {
+        let cases: [u128; 6] = [
+            0,
+            1,
+            (MERSENNE_PRIME_61 as u128) * 3 + 17,
+            u64::MAX as u128,
+            (u64::MAX as u128) * (u64::MAX as u128),
+            ((MERSENNE_PRIME_61 - 1) as u128) * ((MERSENNE_PRIME_61 - 1) as u128),
+        ];
+        for &c in &cases {
+            assert_eq!(reduce128(c) as u128, c % (MERSENNE_PRIME_61 as u128));
+        }
+    }
+
+    #[test]
+    fn add_and_mul_agree_with_u128_arithmetic() {
+        let p = MERSENNE_PRIME_61 as u128;
+        let xs = [0u64, 1, 2, 999_999_937, MERSENNE_PRIME_61 - 1, 1 << 60];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(add(a, b) as u128, (a as u128 + b as u128) % p);
+                assert_eq!(mul(a, b) as u128, (a as u128 * b as u128) % p);
+            }
+        }
+    }
+
+    #[test]
+    fn poly_eval_matches_naive_horner() {
+        let coeffs = [3u64, 141, 59, 26, 535];
+        let p = MERSENNE_PRIME_61 as u128;
+        for x in [0u64, 1, 7, 1 << 40, MERSENNE_PRIME_61 - 2] {
+            let mut expect: u128 = 0;
+            let mut pow: u128 = 1;
+            for &c in &coeffs {
+                expect = (expect + (c as u128) * pow) % p;
+                pow = (pow * (x as u128)) % p;
+            }
+            assert_eq!(poly_eval(&coeffs, x) as u128, expect);
+        }
+    }
+
+    #[test]
+    fn poly_eval_constant_polynomial() {
+        assert_eq!(poly_eval(&[42], 123456), 42);
+        assert_eq!(poly_eval(&[], 5), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Sign hashes: 4-wise independent maps from keys to `{-1, +1}`.
+//!
+//! CountSketch and the AMS F₂ ("tug of war") estimator both need sign hashes
+//! whose 4-wise independence makes the variance analysis go through.
+
+use crate::kwise::KWiseHash;
+
+/// A sign hash `σ : u64 → {-1, +1}` drawn from a k-wise independent family
+/// (k = 4 by default).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignHash {
+    inner: KWiseHash,
+}
+
+impl SignHash {
+    /// Draw a 4-wise independent sign hash.
+    pub fn new(seed: u64) -> Self {
+        Self::with_independence(4, seed)
+    }
+
+    /// Draw a sign hash from a `k`-wise independent family.
+    pub fn with_independence(k: usize, seed: u64) -> Self {
+        Self {
+            inner: KWiseHash::new(k, seed),
+        }
+    }
+
+    /// Evaluate the sign of a key: `+1` or `-1`.
+    #[inline]
+    pub fn sign(&self, key: u64) -> i64 {
+        if self.inner.hash(key) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Evaluate as an `f64` (convenience for floating-point accumulators).
+    #[inline]
+    pub fn sign_f64(&self, key: u64) -> f64 {
+        self.sign(key) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signs_are_plus_or_minus_one() {
+        let s = SignHash::new(3);
+        for key in 0..1000u64 {
+            let v = s.sign(key);
+            assert!(v == 1 || v == -1);
+            assert_eq!(v as f64, s.sign_f64(key));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SignHash::new(17);
+        let b = SignHash::new(17);
+        for key in 0..256u64 {
+            assert_eq!(a.sign(key), b.sign(key));
+        }
+    }
+
+    #[test]
+    fn balanced_over_keys() {
+        let s = SignHash::new(1234);
+        let sum: i64 = (0..100_000u64).map(|k| s.sign(k)).sum();
+        // Standard deviation is sqrt(100000) ≈ 316; allow 6 sigma.
+        assert!(sum.abs() < 2000, "sign sum {sum} too biased");
+    }
+
+    #[test]
+    fn pair_products_have_near_zero_mean_across_seeds() {
+        // E[σ(a)σ(b)] = 0 for a ≠ b under pairwise independence.
+        let trials = 4000;
+        let mut sum = 0i64;
+        for seed in 0..trials {
+            let s = SignHash::new(seed as u64);
+            sum += s.sign(10) * s.sign(20);
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!(mean.abs() < 0.06, "pair product mean {mean} not near 0");
+    }
+
+    #[test]
+    fn four_way_products_have_near_zero_mean_across_seeds() {
+        // E[σ(a)σ(b)σ(c)σ(d)] = 0 for distinct keys under 4-wise independence.
+        let trials = 6000;
+        let mut sum = 0i64;
+        for seed in 0..trials {
+            let s = SignHash::new(seed as u64 + 5_000);
+            sum += s.sign(1) * s.sign(2) * s.sign(3) * s.sign(4);
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!(mean.abs() < 0.06, "4-way product mean {mean} not near 0");
+    }
+}

@@ -1,0 +1,116 @@
+//! Simple tabulation hashing.
+//!
+//! Tabulation hashing splits a 64-bit key into 8 bytes and xors together one
+//! random table entry per byte.  It is 3-wise independent, extremely fast
+//! (eight table lookups, no multiplications), and is known to behave like a
+//! fully random function for many algorithms (Pătraşcu–Thorup).  The sketches
+//! accept either polynomial or tabulation hashing; the benchmark crate uses it
+//! for the hashing-cost ablation.
+
+use crate::rng::SplitMix64;
+
+const BYTES: usize = 8;
+const TABLE_SIZE: usize = 256;
+
+/// A simple tabulation hash over 64-bit keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TabulationHash {
+    tables: Box<[[u64; TABLE_SIZE]; BYTES]>,
+}
+
+impl TabulationHash {
+    /// Build the 8 × 256 random tables from a seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut tables = Box::new([[0u64; TABLE_SIZE]; BYTES]);
+        for table in tables.iter_mut() {
+            for slot in table.iter_mut() {
+                *slot = rng.next_u64();
+            }
+        }
+        Self { tables }
+    }
+
+    /// Hash a key to a 64-bit value.
+    #[inline]
+    pub fn hash(&self, key: u64) -> u64 {
+        let mut acc = 0u64;
+        let bytes = key.to_le_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            acc ^= self.tables[i][b as usize];
+        }
+        acc
+    }
+
+    /// Hash into `[0, range)`.
+    #[inline]
+    pub fn hash_to_range(&self, key: u64, range: u64) -> u64 {
+        assert!(range > 0, "range must be positive");
+        // Multiply-shift to avoid the slight modulo bias and the division.
+        (((self.hash(key) as u128) * (range as u128)) >> 64) as u64
+    }
+
+    /// Sign in `{-1, +1}` derived from the hash parity.
+    #[inline]
+    pub fn sign(&self, key: u64) -> i64 {
+        if self.hash(key) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = TabulationHash::new(12);
+        let b = TabulationHash::new(12);
+        for key in 0..1000u64 {
+            assert_eq!(a.hash(key), b.hash(key));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TabulationHash::new(1);
+        let b = TabulationHash::new(2);
+        let same = (0..256u64).filter(|&k| a.hash(k) == b.hash(k)).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn range_hash_in_range() {
+        let h = TabulationHash::new(3);
+        for range in [1u64, 5, 100, 4096] {
+            for key in 0..1000u64 {
+                assert!(h.hash_to_range(key, range) < range);
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_roughly_balanced() {
+        let h = TabulationHash::new(777);
+        let range = 16u64;
+        let n = 64_000u64;
+        let mut counts = vec![0usize; range as usize];
+        for key in 0..n {
+            counts[h.hash_to_range(key, range) as usize] += 1;
+        }
+        let expect = n as f64 / range as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() < 0.1 * expect);
+        }
+    }
+
+    #[test]
+    fn signs_balanced() {
+        let h = TabulationHash::new(2025);
+        let sum: i64 = (0..100_000u64).map(|k| h.sign(k)).sum();
+        assert!(sum.abs() < 2000);
+    }
+}

@@ -1,0 +1,197 @@
+//! The AMS "tug of war" sketch for `F₂ = Σ v_i²` (Alon–Matias–Szegedy 1996).
+//!
+//! Each basic estimator keeps `Z = Σ_i σ(i) v_i` for a 4-wise independent
+//! sign hash `σ`; `Z²` is an unbiased estimator of `F₂` with variance at most
+//! `2 F₂²`.  Averaging `k₁` copies and taking the median of `k₂` averages
+//! gives a `(1±ε)` approximation with probability `1 − δ` for
+//! `k₁ = O(1/ε²)`, `k₂ = O(log 1/δ)`.
+//!
+//! Algorithm 2 (the paper's 1-pass heavy-hitter algorithm) uses this sketch
+//! to estimate `√F₂`, which calibrates the CountSketch error when pruning
+//! candidate heavy hitters.
+
+use crate::error::SketchError;
+use crate::FrequencySketch;
+use gsum_hash::{derive_seeds, SignHash};
+use gsum_streams::Update;
+
+/// The AMS F₂ estimator: `averages × medians` independent tug-of-war counters.
+#[derive(Debug, Clone)]
+pub struct AmsF2Sketch {
+    /// Number of basic estimators averaged inside each group (`k₁`).
+    averages: usize,
+    /// Number of groups whose averages are median-combined (`k₂`).
+    medians: usize,
+    /// Counters, length `averages * medians`.
+    counters: Vec<f64>,
+    signs: Vec<SignHash>,
+}
+
+impl AmsF2Sketch {
+    /// Create a sketch with explicit `(averages, medians)` shape.
+    pub fn new(averages: usize, medians: usize, seed: u64) -> Result<Self, SketchError> {
+        if averages == 0 {
+            return Err(SketchError::EmptyDimension {
+                parameter: "averages",
+            });
+        }
+        if medians == 0 {
+            return Err(SketchError::EmptyDimension {
+                parameter: "medians",
+            });
+        }
+        let total = averages * medians;
+        let seeds = derive_seeds(seed ^ 0xA115_F2F2, total);
+        let signs = seeds.iter().map(|&s| SignHash::new(s)).collect();
+        Ok(Self {
+            averages,
+            medians,
+            counters: vec![0.0; total],
+            signs,
+        })
+    }
+
+    /// The `(ε, δ)` parameterization: `averages = ceil(8/ε²)`,
+    /// `medians = ceil(4 ln(1/δ))`.
+    pub fn with_guarantee(epsilon: f64, delta: f64, seed: u64) -> Result<Self, SketchError> {
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(SketchError::InvalidProbability {
+                parameter: "epsilon",
+                value: epsilon,
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SketchError::InvalidProbability {
+                parameter: "delta",
+                value: delta,
+            });
+        }
+        let averages = (8.0 / (epsilon * epsilon)).ceil() as usize;
+        let medians = (4.0 * (1.0 / delta).ln()).ceil().max(1.0) as usize;
+        Self::new(averages, medians, seed)
+    }
+
+    /// Current estimate of `F₂`.
+    pub fn estimate_f2(&self) -> f64 {
+        let mut group_means: Vec<f64> = (0..self.medians)
+            .map(|g| {
+                let start = g * self.averages;
+                let sum: f64 = self.counters[start..start + self.averages]
+                    .iter()
+                    .map(|z| z * z)
+                    .sum();
+                sum / self.averages as f64
+            })
+            .collect();
+        group_means.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite means"));
+        let mid = group_means.len() / 2;
+        if group_means.len() % 2 == 1 {
+            group_means[mid]
+        } else {
+            0.5 * (group_means[mid - 1] + group_means[mid])
+        }
+    }
+
+    /// Current estimate of the L2 norm `√F₂`.
+    pub fn estimate_l2(&self) -> f64 {
+        self.estimate_f2().max(0.0).sqrt()
+    }
+}
+
+impl FrequencySketch for AmsF2Sketch {
+    fn update(&mut self, update: Update) {
+        for (counter, sign) in self.counters.iter_mut().zip(self.signs.iter()) {
+            *counter += sign.sign_f64(update.item) * update.delta as f64;
+        }
+    }
+
+    /// The AMS sketch does not estimate individual frequencies; per-item
+    /// estimates are reported as 0.  (It implements the trait so the generic
+    /// stream-processing plumbing can drive it.)
+    fn estimate(&self, _item: u64) -> f64 {
+        0.0
+    }
+
+    fn space_words(&self) -> usize {
+        self.counters.len() + 4 * self.signs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsum_streams::{
+        StreamConfig, StreamGenerator, TurnstileStream, UniformStreamGenerator,
+        ZipfStreamGenerator,
+    };
+
+    #[test]
+    fn construction_validation() {
+        assert!(AmsF2Sketch::new(0, 3, 0).is_err());
+        assert!(AmsF2Sketch::new(3, 0, 0).is_err());
+        assert!(AmsF2Sketch::with_guarantee(0.0, 0.1, 0).is_err());
+        assert!(AmsF2Sketch::with_guarantee(0.2, 0.0, 0).is_err());
+        let s = AmsF2Sketch::with_guarantee(0.1, 0.05, 0).unwrap();
+        assert!(s.averages >= 800);
+    }
+
+    #[test]
+    fn exact_on_single_item() {
+        // With one non-zero coordinate, Z = ±v so Z² = v² exactly.
+        let mut s = TurnstileStream::new(100);
+        s.push_delta(3, 25);
+        let mut ams = AmsF2Sketch::new(4, 3, 7).unwrap();
+        ams.process_stream(&s);
+        assert!((ams.estimate_f2() - 625.0).abs() < 1e-9);
+        assert!((ams.estimate_l2() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximates_f2_on_uniform_stream() {
+        let stream = UniformStreamGenerator::new(StreamConfig::new(512, 30_000), 11).generate();
+        let truth = stream.frequency_vector().f2();
+        let mut ams = AmsF2Sketch::with_guarantee(0.15, 0.05, 21).unwrap();
+        ams.process_stream(&stream);
+        let est = ams.estimate_f2();
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.2, "relative error {rel} exceeds tolerance");
+    }
+
+    #[test]
+    fn approximates_f2_on_skewed_stream() {
+        let stream =
+            ZipfStreamGenerator::new(StreamConfig::new(1 << 12, 40_000), 1.3, 5).generate();
+        let truth = stream.frequency_vector().f2();
+        let mut ams = AmsF2Sketch::with_guarantee(0.15, 0.05, 33).unwrap();
+        ams.process_stream(&stream);
+        let rel = (ams.estimate_f2() - truth).abs() / truth;
+        assert!(rel < 0.25, "relative error {rel} exceeds tolerance");
+    }
+
+    #[test]
+    fn order_insensitive() {
+        let stream = UniformStreamGenerator::new(StreamConfig::new(64, 5_000), 3).generate();
+        let mut a = AmsF2Sketch::new(16, 3, 1).unwrap();
+        let mut b = AmsF2Sketch::new(16, 3, 1).unwrap();
+        a.process_stream(&stream);
+        b.process_stream(&stream.shuffled(9));
+        assert!((a.estimate_f2() - b.estimate_f2()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deletions_cancel() {
+        let mut s = TurnstileStream::new(10);
+        s.push_delta(1, 50);
+        s.push_delta(1, -50);
+        s.push_delta(2, 7);
+        let mut ams = AmsF2Sketch::new(8, 3, 2).unwrap();
+        ams.process_stream(&s);
+        assert!((ams.estimate_f2() - 49.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_item_estimate_is_zero() {
+        let ams = AmsF2Sketch::new(2, 2, 0).unwrap();
+        assert_eq!(ams.estimate(5), 0.0);
+    }
+}

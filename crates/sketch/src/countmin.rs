@@ -1,0 +1,156 @@
+//! Count-Min sketch (Cormode–Muthukrishnan).
+//!
+//! Included as a baseline.  Count-Min's error guarantee is additive
+//! `ε·F₁` (and it needs non-negative frequencies for its one-sided
+//! guarantee), whereas the paper's algorithms need the `√F₂`-type error that
+//! CountSketch provides.  Experiment E9 contrasts the two substrates inside
+//! the recursive sketch.
+
+use crate::error::SketchError;
+use crate::FrequencySketch;
+use gsum_hash::{derive_seeds, BucketHash};
+use gsum_streams::Update;
+
+/// A Count-Min sketch: `rows × columns` non-negative counters, estimate is the
+/// minimum over rows.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    rows: usize,
+    columns: usize,
+    counters: Vec<f64>,
+    hashes: Vec<BucketHash>,
+}
+
+impl CountMinSketch {
+    /// Create a Count-Min sketch with the given shape.
+    pub fn new(rows: usize, columns: usize, seed: u64) -> Result<Self, SketchError> {
+        if rows == 0 {
+            return Err(SketchError::EmptyDimension { parameter: "rows" });
+        }
+        if columns == 0 {
+            return Err(SketchError::EmptyDimension { parameter: "columns" });
+        }
+        let seeds = derive_seeds(seed, rows);
+        let hashes = seeds
+            .iter()
+            .map(|&s| BucketHash::new(columns as u64, s))
+            .collect();
+        Ok(Self {
+            rows,
+            columns,
+            counters: vec![0.0; rows * columns],
+            hashes,
+        })
+    }
+
+    /// The `(ε, δ)` parameterization: `columns = ceil(e/ε)`,
+    /// `rows = ceil(ln(1/δ))`.
+    pub fn with_guarantee(epsilon: f64, delta: f64, seed: u64) -> Result<Self, SketchError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SketchError::InvalidProbability {
+                parameter: "epsilon",
+                value: epsilon,
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SketchError::InvalidProbability {
+                parameter: "delta",
+                value: delta,
+            });
+        }
+        let columns = (std::f64::consts::E / epsilon).ceil() as usize;
+        let rows = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(rows, columns, seed)
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, col: usize) -> usize {
+        row * self.columns + col
+    }
+}
+
+impl FrequencySketch for CountMinSketch {
+    fn update(&mut self, update: Update) {
+        for row in 0..self.rows {
+            let col = self.hashes[row].bucket(update.item) as usize;
+            let idx = self.cell(row, col);
+            self.counters[idx] += update.delta as f64;
+        }
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        (0..self.rows)
+            .map(|row| {
+                let col = self.hashes[row].bucket(item) as usize;
+                self.counters[self.cell(row, col)]
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn space_words(&self) -> usize {
+        self.counters.len() + 4 * self.hashes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsum_streams::{StreamConfig, StreamGenerator, TurnstileStream, UniformStreamGenerator};
+
+    #[test]
+    fn construction_validation() {
+        assert!(CountMinSketch::new(0, 4, 0).is_err());
+        assert!(CountMinSketch::new(4, 0, 0).is_err());
+        assert!(CountMinSketch::with_guarantee(0.0, 0.1, 0).is_err());
+        assert!(CountMinSketch::with_guarantee(0.1, 0.0, 0).is_err());
+        let cm = CountMinSketch::with_guarantee(0.01, 0.05, 0).unwrap();
+        assert!(cm.columns >= 271);
+        assert!(cm.rows >= 3);
+    }
+
+    #[test]
+    fn never_underestimates_on_insertion_only_streams() {
+        let stream = UniformStreamGenerator::new(StreamConfig::new(512, 20_000), 3).generate();
+        let fv = stream.frequency_vector();
+        let mut cm = CountMinSketch::new(4, 128, 7).unwrap();
+        cm.process_stream(&stream);
+        for (item, v) in fv.iter() {
+            assert!(
+                cm.estimate(item) + 1e-9 >= v as f64,
+                "Count-Min underestimated item {item}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_epsilon_f1() {
+        let stream = UniformStreamGenerator::new(StreamConfig::new(256, 30_000), 5).generate();
+        let fv = stream.frequency_vector();
+        let f1 = fv.f1();
+        let epsilon = 0.02;
+        let mut cm = CountMinSketch::with_guarantee(epsilon, 0.01, 9).unwrap();
+        cm.process_stream(&stream);
+        let mut violations = 0;
+        for (item, v) in fv.iter() {
+            if cm.estimate(item) - v as f64 > epsilon * f1 {
+                violations += 1;
+            }
+        }
+        assert!(violations <= 2, "too many error-bound violations: {violations}");
+    }
+
+    #[test]
+    fn exact_for_isolated_item() {
+        let mut s = TurnstileStream::new(1024);
+        s.push_delta(77, 500);
+        let mut cm = CountMinSketch::new(3, 64, 1).unwrap();
+        cm.process_stream(&s);
+        assert!((cm.estimate(77) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn space_words_positive() {
+        let cm = CountMinSketch::new(2, 32, 0).unwrap();
+        assert!(cm.space_words() >= 64);
+    }
+}

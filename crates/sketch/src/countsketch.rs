@@ -1,0 +1,405 @@
+//! CountSketch (Charikar, Chen, Farach-Colton 2002).
+//!
+//! The sketch is an `r × b` array of counters.  Row `j` has a pairwise
+//! independent bucket hash `h_j : [n] → [b]` and a 4-wise independent sign
+//! hash `σ_j : [n] → {±1}`; an update `(i, δ)` adds `σ_j(i)·δ` to counter
+//! `(j, h_j(i))` in every row.  The estimate of `v_i` is the median over rows
+//! of `σ_j(i) · C[j][h_j(i)]`.
+//!
+//! Guarantee (as used in §3.1): with `b = O(k/ε²)` columns and
+//! `r = O(log(n/δ))` rows, with probability `1 − δ` every item satisfies
+//! `|v̂_i − v_i| ≤ (ε/√k) · sqrt(F₂^{res(k)})` where `F₂^{res(k)}` is the
+//! residual second moment excluding the top `k` items.  The paper invokes it
+//! through the parameterization `CountSketch(λ, ε, δ)` — a structure able to
+//! identify all `λ`-heavy hitters for `F₂` and estimate their frequencies to
+//! within `ε √(λ F₂)`.
+
+use crate::error::SketchError;
+use crate::FrequencySketch;
+use gsum_hash::{derive_seeds, BucketHash, SignHash};
+use gsum_streams::Update;
+
+/// Configuration for a [`CountSketch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountSketchConfig {
+    /// Number of rows (independent repetitions; the median is taken across
+    /// rows).
+    pub rows: usize,
+    /// Number of columns (buckets per row).
+    pub columns: usize,
+}
+
+impl CountSketchConfig {
+    /// Direct `(rows, columns)` configuration.
+    pub fn new(rows: usize, columns: usize) -> Result<Self, SketchError> {
+        if rows == 0 {
+            return Err(SketchError::EmptyDimension { parameter: "rows" });
+        }
+        if columns == 0 {
+            return Err(SketchError::EmptyDimension { parameter: "columns" });
+        }
+        Ok(Self { rows, columns })
+    }
+
+    /// The paper's parameterization `CountSketch(λ, ε, δ)`: enough columns to
+    /// isolate `1/λ` heavy items and estimate them to within `ε·√(λ F₂)`, and
+    /// enough rows for failure probability `δ` over a domain of size `n`.
+    ///
+    /// Concretely: `columns = ceil(6 / (λ ε²))`, `rows = ceil(4 ln(n/δ))`.
+    pub fn for_heavy_hitters(
+        lambda: f64,
+        epsilon: f64,
+        delta: f64,
+        domain: u64,
+    ) -> Result<Self, SketchError> {
+        if !(lambda > 0.0 && lambda.is_finite()) {
+            return Err(SketchError::InvalidProbability {
+                parameter: "lambda",
+                value: lambda,
+            });
+        }
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(SketchError::InvalidProbability {
+                parameter: "epsilon",
+                value: epsilon,
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SketchError::InvalidProbability {
+                parameter: "delta",
+                value: delta,
+            });
+        }
+        let columns = (6.0 / (lambda * epsilon * epsilon)).ceil() as usize;
+        let rows = (4.0 * ((domain.max(2) as f64) / delta).ln()).ceil() as usize;
+        Self::new(rows.max(1), columns.max(1))
+    }
+}
+
+/// A CountSketch over a turnstile stream.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    config: CountSketchConfig,
+    /// Row-major counters, length `rows * columns`.
+    counters: Vec<f64>,
+    bucket_hashes: Vec<BucketHash>,
+    sign_hashes: Vec<SignHash>,
+    seed: u64,
+}
+
+impl CountSketch {
+    /// Create a CountSketch with the given configuration and seed.
+    pub fn new(config: CountSketchConfig, seed: u64) -> Self {
+        let seeds = derive_seeds(seed, config.rows * 2);
+        let bucket_hashes = (0..config.rows)
+            .map(|r| BucketHash::new(config.columns as u64, seeds[2 * r]))
+            .collect();
+        let sign_hashes = (0..config.rows)
+            .map(|r| SignHash::new(seeds[2 * r + 1]))
+            .collect();
+        Self {
+            config,
+            counters: vec![0.0; config.rows * config.columns],
+            bucket_hashes,
+            sign_hashes,
+            seed,
+        }
+    }
+
+    /// Convenience constructor using the paper's `(λ, ε, δ)` parameterization.
+    pub fn for_heavy_hitters(
+        lambda: f64,
+        epsilon: f64,
+        delta: f64,
+        domain: u64,
+        seed: u64,
+    ) -> Result<Self, SketchError> {
+        Ok(Self::new(
+            CountSketchConfig::for_heavy_hitters(lambda, epsilon, delta, domain)?,
+            seed,
+        ))
+    }
+
+    /// The configuration this sketch was built with.
+    pub fn config(&self) -> CountSketchConfig {
+        self.config
+    }
+
+    /// The seed this sketch was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, col: usize) -> usize {
+        row * self.config.columns + col
+    }
+
+    /// The top-`k` items (by estimated magnitude) among the given candidate
+    /// item identifiers.  Returned as `(item, estimate)` sorted by decreasing
+    /// `|estimate|`.
+    pub fn top_candidates(&self, candidates: impl Iterator<Item = u64>, k: usize) -> Vec<(u64, f64)> {
+        let mut scored: Vec<(u64, f64)> = candidates
+            .map(|i| (i, self.estimate(i)))
+            .collect();
+        scored.sort_unstable_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .expect("estimates are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// Estimate the residual second moment `F₂^{res}` of the summarized
+    /// vector after excluding the given (typically heavy) items: for each
+    /// row, sum the squared counters of every bucket that none of the
+    /// excluded items hashes to, and take the median across rows.
+    ///
+    /// Each row's sum is, in expectation, the `F₂` of the non-excluded items
+    /// that avoid the excluded buckets (cross terms vanish under the sign
+    /// hashes), so the median is a robust stand-in for the residual `F₂` that
+    /// the CountSketch error guarantee is stated in terms of — without
+    /// needing a separate AMS sketch whose additive error would be
+    /// proportional to the *full* `F₂`.
+    pub fn residual_f2_excluding(&self, excluded: &[u64]) -> f64 {
+        let mut row_sums: Vec<f64> = Vec::with_capacity(self.config.rows);
+        let mut excluded_cols = vec![false; self.config.columns];
+        for row in 0..self.config.rows {
+            for flag in excluded_cols.iter_mut() {
+                *flag = false;
+            }
+            for &item in excluded {
+                excluded_cols[self.bucket_hashes[row].bucket(item) as usize] = true;
+            }
+            let mut sum = 0.0;
+            for col in 0..self.config.columns {
+                if !excluded_cols[col] {
+                    let c = self.counters[self.cell(row, col)];
+                    sum += c * c;
+                }
+            }
+            row_sums.push(sum);
+        }
+        row_sums.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite sums"));
+        let mid = row_sums.len() / 2;
+        if row_sums.len() % 2 == 1 {
+            row_sums[mid]
+        } else {
+            0.5 * (row_sums[mid - 1] + row_sums[mid])
+        }
+    }
+
+    /// Merge another CountSketch built with the same configuration and seed
+    /// (so the hash functions agree).  The merged sketch summarizes the
+    /// concatenation of the two input streams — this is the linearity
+    /// property that makes the sketch usable in distributed settings and that
+    /// [Li–Nguyen–Woodruff 2014] shows is essentially without loss of
+    /// generality.
+    pub fn merge(&mut self, other: &CountSketch) -> Result<(), SketchError> {
+        if self.config != other.config || self.seed != other.seed {
+            return Err(SketchError::IncompatibleMerge {
+                reason: "CountSketch merge requires identical configuration and seed".into(),
+            });
+        }
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+}
+
+impl FrequencySketch for CountSketch {
+    fn update(&mut self, update: Update) {
+        for row in 0..self.config.rows {
+            let col = self.bucket_hashes[row].bucket(update.item) as usize;
+            let sign = self.sign_hashes[row].sign_f64(update.item);
+            let idx = self.cell(row, col);
+            self.counters[idx] += sign * update.delta as f64;
+        }
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        let mut row_estimates: Vec<f64> = (0..self.config.rows)
+            .map(|row| {
+                let col = self.bucket_hashes[row].bucket(item) as usize;
+                self.sign_hashes[row].sign_f64(item) * self.counters[self.cell(row, col)]
+            })
+            .collect();
+        row_estimates.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+        let mid = row_estimates.len() / 2;
+        if row_estimates.len() % 2 == 1 {
+            row_estimates[mid]
+        } else {
+            0.5 * (row_estimates[mid - 1] + row_estimates[mid])
+        }
+    }
+
+    fn space_words(&self) -> usize {
+        // Counters plus (roughly) 4 words per hash function description.
+        self.counters.len() + 4 * (self.bucket_hashes.len() + self.sign_hashes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsum_streams::{
+        FrequencyPrescribedGenerator, PlantedStreamGenerator, StreamConfig, StreamGenerator,
+        TurnstileStream,
+    };
+
+    #[test]
+    fn config_validation() {
+        assert!(CountSketchConfig::new(0, 5).is_err());
+        assert!(CountSketchConfig::new(5, 0).is_err());
+        assert!(CountSketchConfig::new(3, 7).is_ok());
+        assert!(CountSketchConfig::for_heavy_hitters(0.0, 0.1, 0.1, 100).is_err());
+        assert!(CountSketchConfig::for_heavy_hitters(0.1, 0.0, 0.1, 100).is_err());
+        assert!(CountSketchConfig::for_heavy_hitters(0.1, 0.1, 1.5, 100).is_err());
+        let c = CountSketchConfig::for_heavy_hitters(0.01, 0.5, 0.05, 1 << 16).unwrap();
+        assert!(c.columns >= (6.0 / (0.01 * 0.25)) as usize);
+        assert!(c.rows >= 1);
+    }
+
+    #[test]
+    fn exact_on_single_item_stream() {
+        let mut cs = CountSketch::new(CountSketchConfig::new(5, 64).unwrap(), 9);
+        let mut s = TurnstileStream::new(100);
+        s.push_delta(42, 17);
+        s.push_delta(42, -3);
+        cs.process_stream(&s);
+        assert!((cs.estimate(42) - 14.0).abs() < 1e-9);
+        // Untouched items estimate near zero (they collide only with item 42).
+        let zero_est = cs.estimate(7);
+        assert!(zero_est.abs() <= 14.0);
+    }
+
+    #[test]
+    fn heavy_item_recovered_within_error_bound() {
+        // Plant a dominant item among uniform noise; estimate error should be
+        // far below the planted frequency.
+        let planted = vec![(13u64, 5_000u64)];
+        let stream = PlantedStreamGenerator::new(StreamConfig::new(1 << 12, 40_000), planted, 7)
+            .generate();
+        let fv = stream.frequency_vector();
+        let mut cs = CountSketch::new(CountSketchConfig::new(7, 512).unwrap(), 11);
+        cs.process_stream(&stream);
+        let err = (cs.estimate(13) - fv.get(13) as f64).abs();
+        // Residual F2 per bucket ~ F2_res/512; the error should be a small
+        // fraction of the planted value.
+        assert!(err < 500.0, "error {err} too large");
+    }
+
+    #[test]
+    fn estimates_unbiased_on_average_over_seeds() {
+        let mut s = TurnstileStream::new(64);
+        for i in 0..64 {
+            s.push_delta(i, (i as i64 % 7) + 1);
+        }
+        let truth = s.frequency_vector().get(5) as f64;
+        let trials = 200;
+        let mut sum = 0.0;
+        for seed in 0..trials {
+            let mut cs = CountSketch::new(CountSketchConfig::new(1, 16).unwrap(), seed);
+            cs.process_stream(&s);
+            sum += cs.estimate(5);
+        }
+        let mean = sum / trials as f64;
+        assert!(
+            (mean - truth).abs() < 1.5,
+            "single-row estimator should be nearly unbiased: mean {mean} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn order_insensitive() {
+        let stream = FrequencyPrescribedGenerator::new(256, vec![(50, 4), (3, 30)], 5).generate();
+        let shuffled = stream.shuffled(99);
+        let mut a = CountSketch::new(CountSketchConfig::new(5, 128).unwrap(), 3);
+        let mut b = CountSketch::new(CountSketchConfig::new(5, 128).unwrap(), 3);
+        a.process_stream(&stream);
+        b.process_stream(&shuffled);
+        for item in 0..256u64 {
+            assert!((a.estimate(item) - b.estimate(item)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let s1 = FrequencyPrescribedGenerator::new(128, vec![(10, 5)], 1).generate();
+        let s2 = FrequencyPrescribedGenerator::new(128, vec![(20, 3)], 2).generate();
+        let cfg = CountSketchConfig::new(4, 64).unwrap();
+
+        let mut merged = CountSketch::new(cfg, 42);
+        merged.process_stream(&s1);
+        let mut other = CountSketch::new(cfg, 42);
+        other.process_stream(&s2);
+        merged.merge(&other).unwrap();
+
+        let mut concat_sketch = CountSketch::new(cfg, 42);
+        let mut concat = s1.clone();
+        concat.extend_from(&s2);
+        concat_sketch.process_stream(&concat);
+
+        for item in 0..128u64 {
+            assert!((merged.estimate(item) - concat_sketch.estimate(item)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_seed() {
+        let cfg = CountSketchConfig::new(2, 8).unwrap();
+        let mut a = CountSketch::new(cfg, 1);
+        let b = CountSketch::new(cfg, 2);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn top_candidates_orders_by_magnitude() {
+        let mut s = TurnstileStream::new(64);
+        s.push_delta(1, 100);
+        s.push_delta(2, -500);
+        s.push_delta(3, 10);
+        let mut cs = CountSketch::new(CountSketchConfig::new(5, 64).unwrap(), 8);
+        cs.process_stream(&s);
+        let top = cs.top_candidates(0..64u64, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 2);
+        assert_eq!(top[1].0, 1);
+    }
+
+    #[test]
+    fn residual_f2_excluding_heavy_items_tracks_the_tail() {
+        // One dominant item plus light background: excluding the dominant
+        // item, the residual should be near the background F2 and far below
+        // the full F2.
+        let planted = vec![(9u64, 10_000u64)];
+        let stream = PlantedStreamGenerator::new(StreamConfig::new(1 << 10, 20_000), planted, 3)
+            .generate();
+        let fv = stream.frequency_vector();
+        let full_f2 = fv.f2();
+        let true_residual = full_f2 - (fv.get(9) as f64).powi(2);
+
+        let mut cs = CountSketch::new(CountSketchConfig::new(7, 1024).unwrap(), 19);
+        cs.process_stream(&stream);
+        let est = cs.residual_f2_excluding(&[9]);
+        assert!(est < 0.05 * full_f2, "residual {est} not far below full {full_f2}");
+        assert!(
+            est < 2.0 * true_residual + 1.0,
+            "residual {est} vs true tail {true_residual}"
+        );
+        // Excluding nothing gives roughly the full F2.
+        let all = cs.residual_f2_excluding(&[]);
+        assert!((all - full_f2).abs() < 0.3 * full_f2, "{all} vs {full_f2}");
+    }
+
+    #[test]
+    fn space_words_scales_with_dimensions() {
+        let small = CountSketch::new(CountSketchConfig::new(2, 16).unwrap(), 0);
+        let large = CountSketch::new(CountSketchConfig::new(8, 256).unwrap(), 0);
+        assert!(large.space_words() > 10 * small.space_words());
+        assert!(small.space_words() >= 2 * 16);
+    }
+}

@@ -1,0 +1,80 @@
+//! Exact frequency tracking — the linear-space baseline.
+//!
+//! The zero-one laws are about beating this trivial algorithm: storing the
+//! whole frequency vector always works (in `O(n log M)` bits) and is the
+//! fallback the paper mentions when `M` grows super-polynomially.  The
+//! experiment harness uses it both as the ground truth and as the "space you
+//! would have paid" comparison point.
+
+use crate::FrequencySketch;
+use gsum_streams::{FrequencyVector, Update};
+
+/// Exact per-item frequencies (a thin wrapper around [`FrequencyVector`] that
+/// implements the sketch interface).
+#[derive(Debug, Clone)]
+pub struct ExactFrequencies {
+    vector: FrequencyVector,
+}
+
+impl ExactFrequencies {
+    /// Create an exact tracker over the domain `[0, n)`.
+    pub fn new(domain: u64) -> Self {
+        Self {
+            vector: FrequencyVector::new(domain),
+        }
+    }
+
+    /// Borrow the underlying frequency vector.
+    pub fn vector(&self) -> &FrequencyVector {
+        &self.vector
+    }
+
+    /// Consume the tracker and return the frequency vector.
+    pub fn into_vector(self) -> FrequencyVector {
+        self.vector
+    }
+}
+
+impl FrequencySketch for ExactFrequencies {
+    fn update(&mut self, update: Update) {
+        self.vector.apply(update.item, update.delta);
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        self.vector.get(item) as f64
+    }
+
+    fn space_words(&self) -> usize {
+        // One (item, count) pair per non-zero coordinate.
+        2 * self.vector.support_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsum_streams::{StreamConfig, StreamGenerator, UniformStreamGenerator};
+
+    #[test]
+    fn tracks_exactly() {
+        let stream = UniformStreamGenerator::new(StreamConfig::new(64, 5_000), 1).generate();
+        let mut exact = ExactFrequencies::new(64);
+        exact.process_stream(&stream);
+        let truth = stream.frequency_vector();
+        for item in 0..64u64 {
+            assert_eq!(exact.estimate(item), truth.get(item) as f64);
+        }
+        assert_eq!(exact.vector(), &truth);
+        assert_eq!(exact.into_vector(), truth);
+    }
+
+    #[test]
+    fn space_grows_with_support() {
+        let mut exact = ExactFrequencies::new(1000);
+        assert_eq!(exact.space_words(), 0);
+        for i in 0..10 {
+            exact.update(Update::insert(i));
+        }
+        assert_eq!(exact.space_words(), 20);
+    }
+}

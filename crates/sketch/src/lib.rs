@@ -1,0 +1,91 @@
+//! # gsum-sketch
+//!
+//! The linear-sketch substrates the paper builds on (§3.1):
+//!
+//! * [`CountSketch`] — Charikar–Chen–Farach-Colton.  Given heaviness `λ`,
+//!   accuracy `ε` and failure probability `δ`, a `CountSketch` with
+//!   `O(1/(λ ε²))` columns and `O(log(n/δ))` rows returns, for every item, a
+//!   frequency estimate with additive error `ε √(λ F₂)` (more precisely,
+//!   error bounded by the residual second moment after removing the top
+//!   `O(1/λ)` items).  Both of the paper's heavy-hitter algorithms
+//!   (Algorithms 1 and 2) are wrappers around this structure.
+//! * [`AmsF2Sketch`] — the Alon–Matias–Szegedy "tug of war" estimator of
+//!   `F₂ = Σ v_i²`, used by Algorithm 2's pruning stage to normalize the
+//!   CountSketch error.
+//! * [`CountMinSketch`] — included as the natural insertion-only baseline;
+//!   it is *not* sufficient for the paper's algorithms (its error scales with
+//!   `F₁` rather than `√F₂`), and experiment E9 uses it to show why
+//!   CountSketch is the right substrate.
+//! * [`ExactFrequencies`] — the exact (linear space) baseline.
+//! * [`SamplingEstimator`] — a uniform-sampling baseline for g-SUM, the naive
+//!   alternative the introduction implicitly compares against.
+//!
+//! All sketches implement [`FrequencySketch`] so the higher-level algorithms
+//! can be written generically, and all are linear: they support `merge`, and
+//! processing a stream is equivalent to processing any reordering of it.
+
+pub mod ams;
+pub mod countmin;
+pub mod countsketch;
+pub mod error;
+pub mod exact;
+pub mod sampling;
+
+pub use ams::AmsF2Sketch;
+pub use countmin::CountMinSketch;
+pub use countsketch::{CountSketch, CountSketchConfig};
+pub use error::SketchError;
+pub use exact::ExactFrequencies;
+pub use sampling::SamplingEstimator;
+
+use gsum_streams::{TurnstileStream, Update};
+
+/// A frequency sketch: a compact summary of a turnstile stream from which
+/// per-item frequency estimates can be extracted.
+pub trait FrequencySketch {
+    /// Process one turnstile update.
+    fn update(&mut self, update: Update);
+
+    /// Estimated frequency of `item`.
+    fn estimate(&self, item: u64) -> f64;
+
+    /// Number of 64-bit words of state the sketch occupies (the "space" that
+    /// the zero-one laws are about). Hash-function descriptions are counted.
+    fn space_words(&self) -> usize;
+
+    /// Process an entire stream.
+    fn process_stream(&mut self, stream: &TurnstileStream) {
+        for &u in stream.iter() {
+            self.update(u);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsum_streams::{StreamConfig, StreamGenerator, UniformStreamGenerator};
+
+    /// The default trait method should feed every update to `update`.
+    #[test]
+    fn process_stream_default_method() {
+        struct Counter {
+            n: usize,
+        }
+        impl FrequencySketch for Counter {
+            fn update(&mut self, _u: Update) {
+                self.n += 1;
+            }
+            fn estimate(&self, _item: u64) -> f64 {
+                self.n as f64
+            }
+            fn space_words(&self) -> usize {
+                1
+            }
+        }
+        let mut c = Counter { n: 0 };
+        let s = UniformStreamGenerator::new(StreamConfig::new(16, 250), 1).generate();
+        c.process_stream(&s);
+        assert_eq!(c.n, 250);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for stream construction and validation.
+
+use std::fmt;
+
+/// Errors raised when constructing or validating turnstile streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// An update referenced an item outside the declared domain `[0, n)`.
+    ItemOutOfDomain {
+        /// The offending item identifier.
+        item: u64,
+        /// The domain size `n`.
+        domain: u64,
+    },
+    /// A prefix of the stream drove some frequency beyond the declared
+    /// magnitude bound `M` (the turnstile promise of §1.2).
+    MagnitudeBoundViolated {
+        /// The offending item identifier.
+        item: u64,
+        /// The frequency reached by the prefix.
+        frequency: i64,
+        /// The declared bound `M`.
+        bound: i64,
+    },
+    /// The declared domain size was zero.
+    EmptyDomain,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::ItemOutOfDomain { item, domain } => {
+                write!(f, "item {item} outside the stream domain [0, {domain})")
+            }
+            StreamError::MagnitudeBoundViolated {
+                item,
+                frequency,
+                bound,
+            } => write!(
+                f,
+                "item {item} reached frequency {frequency}, violating the turnstile bound M = {bound}"
+            ),
+            StreamError::EmptyDomain => write!(f, "stream domain size must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_fields() {
+        let e = StreamError::ItemOutOfDomain { item: 9, domain: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+
+        let e = StreamError::MagnitudeBoundViolated {
+            item: 3,
+            frequency: -12,
+            bound: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("-12") && s.contains("10"));
+
+        assert!(StreamError::EmptyDomain.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(StreamError::EmptyDomain, StreamError::EmptyDomain);
+        assert_ne!(
+            StreamError::EmptyDomain,
+            StreamError::ItemOutOfDomain { item: 0, domain: 1 }
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Exact frequency vectors and the statistics the paper's analyses refer to.
+
+use std::collections::HashMap;
+
+/// The exact frequency vector `V(D) ∈ Z^n` of a stream, stored sparsely.
+///
+/// The g-SUM exact baseline, the heavy-hitter ground truth and the tail-mass
+/// bounds that CountSketch's guarantee refers to are all computed from this
+/// structure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrequencyVector {
+    /// Domain size `n`.
+    domain: u64,
+    /// Sparse map item → frequency; zero frequencies are never stored.
+    counts: HashMap<u64, i64>,
+}
+
+impl FrequencyVector {
+    /// Create an all-zero frequency vector over the domain `[0, n)`.
+    pub fn new(domain: u64) -> Self {
+        Self {
+            domain,
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Domain size `n`.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Apply an additive update to item `i`.
+    pub fn apply(&mut self, item: u64, delta: i64) {
+        debug_assert!(item < self.domain, "item outside domain");
+        let entry = self.counts.entry(item).or_insert(0);
+        *entry += delta;
+        if *entry == 0 {
+            self.counts.remove(&item);
+        }
+    }
+
+    /// Frequency of item `i` (zero if never touched).
+    pub fn get(&self, item: u64) -> i64 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Number of items with non-zero frequency (`F_0` of the support).
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterate over `(item, frequency)` pairs with non-zero frequency, in an
+    /// unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
+        self.counts.iter().map(|(&i, &v)| (i, v))
+    }
+
+    /// Iterate over non-zero frequencies sorted by item identifier
+    /// (deterministic order; used by tests and the experiment harness).
+    pub fn sorted_entries(&self) -> Vec<(u64, i64)> {
+        let mut entries: Vec<(u64, i64)> = self.iter().collect();
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        entries
+    }
+
+    /// The largest absolute frequency `max_i |v_i|` (zero for an empty vector).
+    pub fn max_abs_frequency(&self) -> i64 {
+        self.counts.values().map(|v| v.abs()).max().unwrap_or(0)
+    }
+
+    /// First moment `F_1 = Σ |v_i|`.
+    pub fn f1(&self) -> f64 {
+        self.counts.values().map(|&v| v.abs() as f64).sum()
+    }
+
+    /// Second moment `F_2 = Σ v_i²`.
+    pub fn f2(&self) -> f64 {
+        self.counts
+            .values()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum()
+    }
+
+    /// `k`-th frequency moment `F_k = Σ |v_i|^k` (for `k ≥ 0`; items with zero
+    /// frequency contribute nothing, matching the paper's `g(0) = 0`
+    /// normalization).
+    pub fn moment(&self, k: f64) -> f64 {
+        self.counts
+            .values()
+            .map(|&v| (v.abs() as f64).powf(k))
+            .sum()
+    }
+
+    /// Residual second moment after removing the `k` largest (in magnitude)
+    /// frequencies: `Σ_{j > k} v̄_j²` where `v̄` is sorted by decreasing
+    /// magnitude.  This is the tail quantity in CountSketch's guarantee.
+    pub fn residual_f2(&self, k: usize) -> f64 {
+        let mut mags: Vec<f64> = self.counts.values().map(|&v| (v as f64).abs()).collect();
+        mags.sort_unstable_by(|a, b| b.partial_cmp(a).expect("no NaN frequencies"));
+        mags.iter().skip(k).map(|m| m * m).sum()
+    }
+
+    /// Items whose squared frequency is at least `lambda` times the *rest* of
+    /// `F_2` — i.e. `v_j² ≥ λ Σ_{i≠j} v_i²`.  These are the `λ`-heavy hitters
+    /// for `F_2`.
+    pub fn f2_heavy_hitters(&self, lambda: f64) -> Vec<u64> {
+        let f2 = self.f2();
+        let mut out: Vec<u64> = self
+            .counts
+            .iter()
+            .filter(|(_, &v)| {
+                let sq = (v as f64) * (v as f64);
+                sq >= lambda * (f2 - sq)
+            })
+            .map(|(&i, _)| i)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Dense representation (length `n`); intended for tests on small domains.
+    pub fn to_dense(&self) -> Vec<i64> {
+        let mut dense = vec![0i64; self.domain as usize];
+        for (&i, &v) in &self.counts {
+            dense[i as usize] = v;
+        }
+        dense
+    }
+
+    /// Build from a dense vector.
+    pub fn from_dense(values: &[i64]) -> Self {
+        let mut fv = Self::new(values.len() as u64);
+        for (i, &v) in values.iter().enumerate() {
+            if v != 0 {
+                fv.counts.insert(i as u64, v);
+            }
+        }
+        fv
+    }
+
+    /// Coordinate-wise difference `self - other`, used for the sketchable
+    /// distance application `d(u, v) = Σ g(|u_i - v_i|)` (§1.1).
+    ///
+    /// # Panics
+    /// Panics if the two vectors have different domains.
+    pub fn difference(&self, other: &FrequencyVector) -> FrequencyVector {
+        assert_eq!(self.domain, other.domain, "domain mismatch");
+        let mut out = self.clone();
+        for (i, v) in other.iter() {
+            out.apply(i, -v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FrequencyVector {
+        let mut fv = FrequencyVector::new(10);
+        fv.apply(1, 5);
+        fv.apply(2, -3);
+        fv.apply(7, 2);
+        fv.apply(7, -2); // cancels out
+        fv.apply(9, 10);
+        fv
+    }
+
+    #[test]
+    fn apply_and_get() {
+        let fv = sample();
+        assert_eq!(fv.get(1), 5);
+        assert_eq!(fv.get(2), -3);
+        assert_eq!(fv.get(7), 0);
+        assert_eq!(fv.get(9), 10);
+        assert_eq!(fv.get(0), 0);
+        assert_eq!(fv.support_size(), 3);
+    }
+
+    #[test]
+    fn cancelled_items_leave_support() {
+        let mut fv = FrequencyVector::new(4);
+        fv.apply(0, 3);
+        assert_eq!(fv.support_size(), 1);
+        fv.apply(0, -3);
+        assert_eq!(fv.support_size(), 0);
+        assert_eq!(fv.get(0), 0);
+    }
+
+    #[test]
+    fn moments() {
+        let fv = sample();
+        assert_eq!(fv.f1(), 5.0 + 3.0 + 10.0);
+        assert_eq!(fv.f2(), 25.0 + 9.0 + 100.0);
+        assert!((fv.moment(2.0) - fv.f2()).abs() < 1e-9);
+        assert!((fv.moment(1.0) - fv.f1()).abs() < 1e-9);
+        assert!((fv.moment(0.0) - 3.0).abs() < 1e-9);
+        assert_eq!(fv.max_abs_frequency(), 10);
+    }
+
+    #[test]
+    fn residual_f2_drops_largest() {
+        let fv = sample(); // magnitudes 10, 5, 3
+        assert_eq!(fv.residual_f2(0), 134.0);
+        assert_eq!(fv.residual_f2(1), 25.0 + 9.0);
+        assert_eq!(fv.residual_f2(2), 9.0);
+        assert_eq!(fv.residual_f2(3), 0.0);
+        assert_eq!(fv.residual_f2(10), 0.0);
+    }
+
+    #[test]
+    fn f2_heavy_hitters_identifies_dominant_item() {
+        let mut fv = FrequencyVector::new(100);
+        fv.apply(5, 100);
+        for i in 10..20 {
+            fv.apply(i, 1);
+        }
+        // v_5^2 = 10000 vs rest = 10, so item 5 is heavy for any λ ≤ 1000.
+        assert_eq!(fv.f2_heavy_hitters(0.5), vec![5]);
+        assert_eq!(fv.f2_heavy_hitters(999.0), vec![5]);
+        // With λ huge nothing qualifies.
+        assert!(fv.f2_heavy_hitters(1001.0).is_empty());
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let fv = sample();
+        let dense = fv.to_dense();
+        assert_eq!(dense.len(), 10);
+        assert_eq!(dense[9], 10);
+        let back = FrequencyVector::from_dense(&dense);
+        assert_eq!(back, fv);
+    }
+
+    #[test]
+    fn difference_matches_coordinatewise_subtraction() {
+        let mut a = FrequencyVector::new(5);
+        a.apply(0, 3);
+        a.apply(1, 4);
+        let mut b = FrequencyVector::new(5);
+        b.apply(1, 4);
+        b.apply(2, -2);
+        let d = a.difference(&b);
+        assert_eq!(d.get(0), 3);
+        assert_eq!(d.get(1), 0);
+        assert_eq!(d.get(2), 2);
+        assert_eq!(d.support_size(), 2);
+    }
+
+    #[test]
+    fn sorted_entries_are_sorted() {
+        let fv = sample();
+        let entries = fv.sorted_entries();
+        assert_eq!(entries, vec![(1, 5), (2, -3), (9, 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain mismatch")]
+    fn difference_domain_mismatch_panics() {
+        let a = FrequencyVector::new(5);
+        let b = FrequencyVector::new(6);
+        let _ = a.difference(&b);
+    }
+}

@@ -1,0 +1,144 @@
+//! Adversarial "local variability" workload.
+//!
+//! The predictability lower bound (Lemma 25) hides information in the
+//! low-order part of a heavy frequency: many items share a base frequency
+//! `y`, and one distinguished item has frequency either `x` or `x + y` with
+//! `y ≪ x`.  A 1-pass algorithm that cannot resolve the heavy frequency to
+//! within `±y` cannot evaluate an unpredictable function (whose value swings
+//! by a constant factor between `x` and `x + y`).  This generator produces
+//! both branches of that construction so experiment E3 can measure how often
+//! a bounded-space sketch distinguishes them.
+
+use super::StreamGenerator;
+use crate::stream::TurnstileStream;
+use crate::update::Update;
+use gsum_hash::Xoshiro256;
+
+/// Generates the Lemma-25 style two-branch workload.
+#[derive(Debug, Clone)]
+pub struct AdversarialCollisionGenerator {
+    domain: u64,
+    /// Base frequency of the light items (the `y_k` of the proof).
+    light_frequency: u64,
+    /// Number of light items (the `|A|` of the proof).
+    light_items: u64,
+    /// Heavy frequency (the `x_k` of the proof).
+    heavy_frequency: u64,
+    /// If true, the heavy item's frequency is `x + y` (the "intersecting"
+    /// branch); otherwise exactly `x`.
+    collide: bool,
+    seed: u64,
+}
+
+impl AdversarialCollisionGenerator {
+    /// Create the generator.
+    ///
+    /// # Panics
+    /// Panics if fewer than `light_items + 1` identifiers fit in the domain.
+    pub fn new(
+        domain: u64,
+        light_frequency: u64,
+        light_items: u64,
+        heavy_frequency: u64,
+        collide: bool,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            light_items + 1 <= domain,
+            "domain too small for the requested number of items"
+        );
+        assert!(light_frequency > 0 && heavy_frequency > 0);
+        Self {
+            domain,
+            light_frequency,
+            light_items,
+            heavy_frequency,
+            collide,
+            seed,
+        }
+    }
+
+    /// The item identifier carrying the heavy frequency.
+    pub fn heavy_item(&self) -> u64 {
+        // Fixed, so the two branches differ only in the heavy frequency.
+        0
+    }
+
+    /// Final frequency of the heavy item in this branch.
+    pub fn heavy_value(&self) -> u64 {
+        if self.collide {
+            self.heavy_frequency + self.light_frequency
+        } else {
+            self.heavy_frequency
+        }
+    }
+}
+
+impl StreamGenerator for AdversarialCollisionGenerator {
+    fn generate(&mut self) -> TurnstileStream {
+        let mut updates = Vec::new();
+        // Light items occupy identifiers 1..=light_items.
+        for item in 1..=self.light_items {
+            for _ in 0..self.light_frequency {
+                updates.push(Update::insert(item));
+            }
+        }
+        for _ in 0..self.heavy_value() {
+            updates.push(Update::insert(self.heavy_item()));
+        }
+        // Shuffle so the heavy item is not trivially last.
+        let mut rng = Xoshiro256::new(self.seed);
+        for i in (1..updates.len()).rev() {
+            let j = rng.next_below((i + 1) as u64) as usize;
+            updates.swap(i, j);
+        }
+        TurnstileStream::from_updates(self.domain, updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branches_differ_only_on_heavy_item() {
+        let mk = |collide| {
+            AdversarialCollisionGenerator::new(1 << 10, 8, 100, 4096, collide, 3).generate()
+        };
+        let a = mk(false).frequency_vector();
+        let b = mk(true).frequency_vector();
+        assert_eq!(a.get(0), 4096);
+        assert_eq!(b.get(0), 4096 + 8);
+        for item in 1..=100u64 {
+            assert_eq!(a.get(item), 8);
+            assert_eq!(b.get(item), 8);
+        }
+        assert_eq!(a.support_size(), 101);
+        assert_eq!(b.support_size(), 101);
+    }
+
+    #[test]
+    fn insertion_only_and_deterministic() {
+        let g = || {
+            AdversarialCollisionGenerator::new(256, 4, 10, 100, true, 7).generate()
+        };
+        let s = g();
+        assert!(s.is_insertion_only());
+        assert_eq!(s, g());
+        assert_eq!(s.len(), (10 * 4 + 104) as usize);
+    }
+
+    #[test]
+    fn heavy_value_reporting() {
+        let g = AdversarialCollisionGenerator::new(64, 3, 5, 50, false, 0);
+        assert_eq!(g.heavy_value(), 50);
+        let g = AdversarialCollisionGenerator::new(64, 3, 5, 50, true, 0);
+        assert_eq!(g.heavy_value(), 53);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain too small")]
+    fn domain_too_small_panics() {
+        let _ = AdversarialCollisionGenerator::new(4, 1, 4, 10, false, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Workload generators.
+//!
+//! Each generator produces a [`TurnstileStream`] from a [`StreamConfig`] and a
+//! seed.  The experiment suite uses:
+//!
+//! * [`UniformStreamGenerator`] — items drawn uniformly from the domain
+//!   (light-tailed frequencies; stresses the "no heavy hitter" regime).
+//! * [`ZipfStreamGenerator`] — Zipf-distributed item popularity (the classical
+//!   skewed workload; its heavy hitters are exactly what the recursive sketch
+//!   exploits).
+//! * [`PlantedStreamGenerator`] — background traffic plus explicitly planted
+//!   heavy items with prescribed frequencies (ground truth for heavy-hitter
+//!   recall tests).
+//! * [`FrequencyPrescribedGenerator`] — builds a stream whose final frequency
+//!   vector is exactly a prescribed multiset of values (the communication
+//!   reductions of §4.4/§4.5 and Appendix C are phrased this way).
+//! * [`AdversarialCollisionGenerator`] — the "local variability" workload used
+//!   by E3: many items share a base frequency `x` while a planted item sits at
+//!   `x + y` for a small `y`, so a 1-pass algorithm must resolve frequencies
+//!   to within `y` to evaluate an unpredictable function correctly.
+
+mod adversarial;
+mod planted;
+mod prescribed;
+mod uniform;
+mod zipf;
+
+pub use adversarial::AdversarialCollisionGenerator;
+pub use planted::PlantedStreamGenerator;
+pub use prescribed::FrequencyPrescribedGenerator;
+pub use uniform::UniformStreamGenerator;
+pub use zipf::ZipfStreamGenerator;
+
+use crate::stream::TurnstileStream;
+
+/// Shared configuration for stream generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// Domain size `n`.
+    pub domain: u64,
+    /// Number of updates `m` to generate.
+    pub length: usize,
+    /// If true, only unit insertions are produced (insertion-only model);
+    /// otherwise a configurable fraction of updates are deletions.
+    pub insertion_only: bool,
+    /// Fraction of updates that are deletions when `insertion_only` is false.
+    /// Deletions always target items that currently have positive frequency,
+    /// so the strict turnstile promise `v_i ≥ 0` is maintained.
+    pub deletion_fraction: f64,
+}
+
+impl StreamConfig {
+    /// Insertion-only configuration with the given domain and length.
+    pub fn new(domain: u64, length: usize) -> Self {
+        Self {
+            domain,
+            length,
+            insertion_only: true,
+            deletion_fraction: 0.0,
+        }
+    }
+
+    /// Turnstile configuration with the given fraction of deletions.
+    pub fn turnstile(domain: u64, length: usize, deletion_fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&deletion_fraction),
+            "deletion fraction must be in [0, 1)"
+        );
+        Self {
+            domain,
+            length,
+            insertion_only: false,
+            deletion_fraction,
+        }
+    }
+}
+
+/// A workload generator: produces turnstile streams deterministically from
+/// its construction-time seed.
+pub trait StreamGenerator {
+    /// Generate the stream.
+    fn generate(&mut self) -> TurnstileStream;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_constructors() {
+        let c = StreamConfig::new(100, 1000);
+        assert!(c.insertion_only);
+        assert_eq!(c.deletion_fraction, 0.0);
+
+        let t = StreamConfig::turnstile(100, 1000, 0.25);
+        assert!(!t.insertion_only);
+        assert_eq!(t.deletion_fraction, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "deletion fraction")]
+    fn bad_deletion_fraction_panics() {
+        let _ = StreamConfig::turnstile(10, 10, 1.5);
+    }
+}

@@ -1,0 +1,143 @@
+//! Planted heavy-hitter workload.
+
+use super::{StreamConfig, StreamGenerator};
+use crate::stream::TurnstileStream;
+use crate::update::Update;
+use gsum_hash::Xoshiro256;
+
+/// Generates background traffic (uniform over the domain) plus a set of
+/// explicitly planted items with prescribed final frequencies.
+///
+/// This is the ground-truth workload for heavy-hitter recall tests: the
+/// planted items are known, so a `(g, λ)`-cover can be checked exactly.
+#[derive(Debug, Clone)]
+pub struct PlantedStreamGenerator {
+    config: StreamConfig,
+    /// `(item, frequency)` pairs to plant.
+    planted: Vec<(u64, u64)>,
+    rng: Xoshiro256,
+    /// If true, the planted insertions are interleaved uniformly with the
+    /// background traffic; otherwise they are appended at the end.
+    interleave: bool,
+}
+
+impl PlantedStreamGenerator {
+    /// Create a generator that plants `planted` on top of `config.length`
+    /// background updates.
+    ///
+    /// # Panics
+    /// Panics if any planted item lies outside the domain.
+    pub fn new(config: StreamConfig, planted: Vec<(u64, u64)>, seed: u64) -> Self {
+        for &(item, _) in &planted {
+            assert!(item < config.domain, "planted item outside domain");
+        }
+        Self {
+            config,
+            planted,
+            rng: Xoshiro256::new(seed),
+            interleave: true,
+        }
+    }
+
+    /// Disable interleaving: planted insertions are appended after the
+    /// background traffic (useful for worst-case prefix bounds).
+    pub fn without_interleaving(mut self) -> Self {
+        self.interleave = false;
+        self
+    }
+
+    /// The planted `(item, frequency)` pairs.
+    pub fn planted(&self) -> &[(u64, u64)] {
+        &self.planted
+    }
+}
+
+impl StreamGenerator for PlantedStreamGenerator {
+    fn generate(&mut self) -> TurnstileStream {
+        let mut updates: Vec<Update> = Vec::new();
+
+        for _ in 0..self.config.length {
+            let item = self.rng.next_below(self.config.domain);
+            updates.push(Update::insert(item));
+        }
+        let background_len = updates.len();
+
+        for &(item, freq) in &self.planted {
+            for _ in 0..freq {
+                updates.push(Update::insert(item));
+            }
+        }
+
+        if self.interleave && background_len > 0 {
+            // Fisher–Yates over the whole sequence, deterministic in the seed.
+            for i in (1..updates.len()).rev() {
+                let j = self.rng.next_below((i + 1) as u64) as usize;
+                updates.swap(i, j);
+            }
+        }
+
+        TurnstileStream::from_updates(self.config.domain, updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_frequencies_present() {
+        let planted = vec![(3u64, 500u64), (9, 1000)];
+        let mut g =
+            PlantedStreamGenerator::new(StreamConfig::new(64, 2000), planted.clone(), 4);
+        let fv = g.generate().frequency_vector();
+        // Planted frequency plus whatever background lands on the item.
+        assert!(fv.get(3) >= 500);
+        assert!(fv.get(9) >= 1000);
+        // The background contributes about 2000/64 ≈ 31 per item; planting
+        // dominates.
+        assert!(fv.get(3) < 600);
+        assert!(fv.get(9) < 1100);
+    }
+
+    #[test]
+    fn total_length_is_background_plus_planted() {
+        let mut g = PlantedStreamGenerator::new(
+            StreamConfig::new(16, 100),
+            vec![(0, 10), (1, 20)],
+            8,
+        );
+        assert_eq!(g.generate().len(), 130);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mk = || {
+            PlantedStreamGenerator::new(StreamConfig::new(32, 500), vec![(7, 99)], 123).generate()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn without_interleaving_puts_planted_last() {
+        let mut g = PlantedStreamGenerator::new(StreamConfig::new(8, 10), vec![(5, 4)], 3)
+            .without_interleaving();
+        let s = g.generate();
+        let tail: Vec<u64> = s.updates()[10..].iter().map(|u| u.item).collect();
+        assert_eq!(tail, vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn planted_item_outside_domain_panics() {
+        let _ = PlantedStreamGenerator::new(StreamConfig::new(8, 10), vec![(8, 1)], 0);
+    }
+
+    #[test]
+    fn no_background_only_planted() {
+        let mut g =
+            PlantedStreamGenerator::new(StreamConfig::new(8, 0), vec![(2, 5)], 0);
+        let s = g.generate();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.frequency_vector().get(2), 5);
+    }
+}

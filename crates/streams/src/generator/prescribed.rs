@@ -1,0 +1,201 @@
+//! Frequency-prescribed workload.
+//!
+//! The communication reductions of §4.4, §4.5 and Appendix C describe streams
+//! by their final frequency multiset ("|A| items with frequency n_k and one
+//! item with frequency x_k").  This generator builds exactly such a stream:
+//! the caller prescribes how many items take each frequency value, and the
+//! generator assigns concrete item identifiers and emits the insertions.
+
+use super::StreamGenerator;
+use crate::stream::TurnstileStream;
+use crate::update::Update;
+use gsum_hash::Xoshiro256;
+
+/// Builds a stream whose final frequency vector realizes a prescribed
+/// multiset of values.
+#[derive(Debug, Clone)]
+pub struct FrequencyPrescribedGenerator {
+    domain: u64,
+    /// `(frequency value, number of items with that value)`.
+    prescription: Vec<(i64, u64)>,
+    seed: u64,
+    /// Whether to shuffle the update order (on by default).
+    shuffle: bool,
+    /// Whether to emit one bulk update per item instead of unit insertions.
+    bulk_updates: bool,
+}
+
+impl FrequencyPrescribedGenerator {
+    /// Create a generator over domain `[0, n)` with the given prescription.
+    ///
+    /// # Panics
+    /// Panics if the prescription needs more items than the domain holds, or
+    /// if a prescribed frequency is zero.
+    pub fn new(domain: u64, prescription: Vec<(i64, u64)>, seed: u64) -> Self {
+        let needed: u64 = prescription.iter().map(|&(_, c)| c).sum();
+        assert!(
+            needed <= domain,
+            "prescription needs {needed} items but the domain has only {domain}"
+        );
+        assert!(
+            prescription.iter().all(|&(v, _)| v != 0),
+            "prescribed frequencies must be non-zero"
+        );
+        Self {
+            domain,
+            prescription,
+            seed,
+            shuffle: true,
+            bulk_updates: false,
+        }
+    }
+
+    /// Keep updates grouped by item, in prescription order (no shuffling).
+    pub fn without_shuffle(mut self) -> Self {
+        self.shuffle = false;
+        self
+    }
+
+    /// Emit a single update `(item, ±frequency)` per item instead of unit
+    /// insertions.  The stream is then a valid turnstile stream but not an
+    /// insertion-only stream.
+    pub fn with_bulk_updates(mut self) -> Self {
+        self.bulk_updates = true;
+        self
+    }
+
+    /// Total number of distinct items the prescription will occupy.
+    pub fn items_needed(&self) -> u64 {
+        self.prescription.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+impl StreamGenerator for FrequencyPrescribedGenerator {
+    fn generate(&mut self) -> TurnstileStream {
+        let mut rng = Xoshiro256::new(self.seed);
+
+        // Choose distinct item identifiers: a random permutation prefix of
+        // the domain, deterministic in the seed.
+        let needed = self.items_needed() as usize;
+        let mut ids: Vec<u64> = (0..self.domain).collect();
+        for i in 0..needed.min(ids.len().saturating_sub(1)) {
+            let j = i as u64 + rng.next_below(self.domain - i as u64);
+            ids.swap(i, j as usize);
+        }
+
+        let mut updates: Vec<Update> = Vec::new();
+        let mut next = 0usize;
+        for &(value, count) in &self.prescription {
+            for _ in 0..count {
+                let item = ids[next];
+                next += 1;
+                if self.bulk_updates {
+                    updates.push(Update::new(item, value));
+                } else {
+                    let unit = if value > 0 { 1 } else { -1 };
+                    for _ in 0..value.unsigned_abs() {
+                        updates.push(Update::new(item, unit));
+                    }
+                }
+            }
+        }
+
+        if self.shuffle && updates.len() > 1 {
+            for i in (1..updates.len()).rev() {
+                let j = rng.next_below((i + 1) as u64) as usize;
+                updates.swap(i, j);
+            }
+        }
+
+        TurnstileStream::from_updates(self.domain, updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Histogram of frequency values in a vector.
+    fn histogram(s: &TurnstileStream) -> BTreeMap<i64, u64> {
+        let mut h = BTreeMap::new();
+        for (_, v) in s.frequency_vector().iter() {
+            *h.entry(v).or_insert(0) += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn realizes_prescription_exactly() {
+        let mut g = FrequencyPrescribedGenerator::new(
+            1000,
+            vec![(7, 20), (100, 3), (1, 50)],
+            5,
+        );
+        let s = g.generate();
+        let h = histogram(&s);
+        assert_eq!(h.get(&7), Some(&20));
+        assert_eq!(h.get(&100), Some(&3));
+        assert_eq!(h.get(&1), Some(&50));
+        assert_eq!(s.frequency_vector().support_size(), 73);
+        assert!(s.is_insertion_only());
+    }
+
+    #[test]
+    fn negative_frequencies_via_unit_deletions() {
+        let mut g = FrequencyPrescribedGenerator::new(100, vec![(-5, 4)], 9);
+        let s = g.generate();
+        let h = histogram(&s);
+        assert_eq!(h.get(&-5), Some(&4));
+        assert!(!s.is_insertion_only());
+    }
+
+    #[test]
+    fn bulk_updates_mode() {
+        let mut g = FrequencyPrescribedGenerator::new(100, vec![(9, 3), (-2, 2)], 1)
+            .with_bulk_updates();
+        let s = g.generate();
+        assert_eq!(s.len(), 5);
+        let h = histogram(&s);
+        assert_eq!(h.get(&9), Some(&3));
+        assert_eq!(h.get(&-2), Some(&2));
+    }
+
+    #[test]
+    fn deterministic() {
+        let mk = || {
+            FrequencyPrescribedGenerator::new(500, vec![(3, 10), (50, 2)], 42).generate()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn distinct_items_assigned() {
+        let mut g = FrequencyPrescribedGenerator::new(64, vec![(2, 30)], 8);
+        let s = g.generate();
+        assert_eq!(s.frequency_vector().support_size(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain has only")]
+    fn too_many_items_panics() {
+        let _ = FrequencyPrescribedGenerator::new(5, vec![(1, 10)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_panics() {
+        let _ = FrequencyPrescribedGenerator::new(5, vec![(0, 1)], 0);
+    }
+
+    #[test]
+    fn without_shuffle_groups_items() {
+        let mut g = FrequencyPrescribedGenerator::new(32, vec![(3, 2)], 7).without_shuffle();
+        let s = g.generate();
+        let items: Vec<u64> = s.iter().map(|u| u.item).collect();
+        assert_eq!(items.len(), 6);
+        assert_eq!(items[0], items[1]);
+        assert_eq!(items[1], items[2]);
+        assert_eq!(items[3], items[4]);
+    }
+}

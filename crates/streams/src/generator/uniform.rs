@@ -1,0 +1,119 @@
+//! Uniform item-popularity workload.
+
+use super::{StreamConfig, StreamGenerator};
+use crate::stream::TurnstileStream;
+use crate::update::Update;
+use gsum_hash::Xoshiro256;
+
+/// Generates a stream whose items are drawn uniformly at random from the
+/// domain.  In turnstile mode, a configurable fraction of updates delete one
+/// unit from a previously inserted item (chosen uniformly among items with
+/// positive frequency), so frequencies stay non-negative.
+#[derive(Debug, Clone)]
+pub struct UniformStreamGenerator {
+    config: StreamConfig,
+    rng: Xoshiro256,
+}
+
+impl UniformStreamGenerator {
+    /// Create a generator with the given configuration and seed.
+    pub fn new(config: StreamConfig, seed: u64) -> Self {
+        Self {
+            config,
+            rng: Xoshiro256::new(seed),
+        }
+    }
+}
+
+impl StreamGenerator for UniformStreamGenerator {
+    fn generate(&mut self) -> TurnstileStream {
+        let mut stream = TurnstileStream::new(self.config.domain);
+        // Track items with positive frequency so deletions never drive a
+        // frequency negative.
+        let mut positive: Vec<u64> = Vec::new();
+        let mut counts = std::collections::HashMap::<u64, i64>::new();
+
+        for _ in 0..self.config.length {
+            let delete = !self.config.insertion_only
+                && !positive.is_empty()
+                && self.rng.next_f64() < self.config.deletion_fraction;
+            if delete {
+                let idx = self.rng.next_below(positive.len() as u64) as usize;
+                let item = positive[idx];
+                stream.push(Update::delete(item));
+                let c = counts.get_mut(&item).expect("tracked item");
+                *c -= 1;
+                if *c == 0 {
+                    positive.swap_remove(idx);
+                }
+            } else {
+                let item = self.rng.next_below(self.config.domain);
+                stream.push(Update::insert(item));
+                let c = counts.entry(item).or_insert(0);
+                if *c == 0 {
+                    positive.push(item);
+                }
+                *c += 1;
+            }
+        }
+        stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_length_and_domain() {
+        let mut g = UniformStreamGenerator::new(StreamConfig::new(64, 5000), 1);
+        let s = g.generate();
+        assert_eq!(s.len(), 5000);
+        assert_eq!(s.domain(), 64);
+        assert!(s.is_insertion_only());
+        assert!(s.validate(i64::MAX).is_ok());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s1 = UniformStreamGenerator::new(StreamConfig::new(32, 1000), 9).generate();
+        let s2 = UniformStreamGenerator::new(StreamConfig::new(32, 1000), 9).generate();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s1 = UniformStreamGenerator::new(StreamConfig::new(32, 1000), 1).generate();
+        let s2 = UniformStreamGenerator::new(StreamConfig::new(32, 1000), 2).generate();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn items_cover_domain_roughly_uniformly() {
+        let mut g = UniformStreamGenerator::new(StreamConfig::new(16, 32_000), 5);
+        let fv = g.generate().frequency_vector();
+        let expect = 32_000.0 / 16.0;
+        for i in 0..16u64 {
+            let c = fv.get(i) as f64;
+            assert!(
+                (c - expect).abs() < 0.15 * expect,
+                "item {i} count {c} far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn turnstile_mode_keeps_frequencies_nonnegative() {
+        let mut g =
+            UniformStreamGenerator::new(StreamConfig::turnstile(32, 10_000, 0.4), 77);
+        let s = g.generate();
+        assert!(!s.is_insertion_only());
+        let fv = s.frequency_vector();
+        for (_, v) in fv.iter() {
+            assert!(v >= 0);
+        }
+        // Deletions really happened.
+        let dels = s.iter().filter(|u| u.delta < 0).count();
+        assert!(dels > 2000, "expected many deletions, got {dels}");
+    }
+}

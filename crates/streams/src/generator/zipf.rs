@@ -1,0 +1,179 @@
+//! Zipf-distributed item-popularity workload.
+
+use super::{StreamConfig, StreamGenerator};
+use crate::stream::TurnstileStream;
+use crate::update::Update;
+use gsum_hash::Xoshiro256;
+
+/// Generates a stream whose items follow a Zipf(`s`) popularity distribution:
+/// item of rank `r` (1-indexed) is chosen with probability proportional to
+/// `r^{-s}`.  Ranks are mapped to item identifiers by a fixed pseudo-random
+/// permutation so heavy items are spread across the domain.
+///
+/// Skewed workloads are the natural habitat of the paper's algorithms: a few
+/// items carry most of the `g`-mass, and the recursive sketch finds them as
+/// heavy hitters.
+#[derive(Debug, Clone)]
+pub struct ZipfStreamGenerator {
+    config: StreamConfig,
+    exponent: f64,
+    rng: Xoshiro256,
+    /// Cumulative distribution over ranks (length = domain).
+    cdf: Vec<f64>,
+    /// rank -> item permutation.
+    rank_to_item: Vec<u64>,
+}
+
+impl ZipfStreamGenerator {
+    /// Create a Zipf generator with skew `exponent > 0`.
+    ///
+    /// # Panics
+    /// Panics if `exponent <= 0` or the domain is empty.
+    pub fn new(config: StreamConfig, exponent: f64, seed: u64) -> Self {
+        assert!(exponent > 0.0, "Zipf exponent must be positive");
+        assert!(config.domain > 0, "domain must be positive");
+        let n = config.domain as usize;
+
+        let mut weights = Vec::with_capacity(n);
+        for r in 1..=n {
+            weights.push((r as f64).powf(-exponent));
+        }
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        // Guard against floating-point shortfall.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+
+        // Deterministic permutation of ranks onto items.
+        let mut rng = Xoshiro256::new(seed ^ 0x5ca1_ab1e);
+        let mut rank_to_item: Vec<u64> = (0..config.domain).collect();
+        for i in (1..rank_to_item.len()).rev() {
+            let j = rng.next_below((i + 1) as u64) as usize;
+            rank_to_item.swap(i, j);
+        }
+
+        Self {
+            config,
+            exponent,
+            rng: Xoshiro256::new(seed),
+            cdf,
+            rank_to_item,
+        }
+    }
+
+    /// The Zipf exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    fn sample_rank(&mut self) -> usize {
+        let u = self.rng.next_f64();
+        // Binary search the CDF.
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("no NaN in CDF"))
+        {
+            Ok(idx) => idx,
+            Err(idx) => idx.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+impl StreamGenerator for ZipfStreamGenerator {
+    fn generate(&mut self) -> TurnstileStream {
+        let mut stream = TurnstileStream::new(self.config.domain);
+        let mut positive: Vec<u64> = Vec::new();
+        let mut counts = std::collections::HashMap::<u64, i64>::new();
+
+        for _ in 0..self.config.length {
+            let delete = !self.config.insertion_only
+                && !positive.is_empty()
+                && self.rng.next_f64() < self.config.deletion_fraction;
+            if delete {
+                let idx = self.rng.next_below(positive.len() as u64) as usize;
+                let item = positive[idx];
+                stream.push(Update::delete(item));
+                let c = counts.get_mut(&item).expect("tracked item");
+                *c -= 1;
+                if *c == 0 {
+                    positive.swap_remove(idx);
+                }
+            } else {
+                let rank = self.sample_rank();
+                let item = self.rank_to_item[rank];
+                stream.push(Update::insert(item));
+                let c = counts.entry(item).or_insert(0);
+                if *c == 0 {
+                    positive.push(item);
+                }
+                *c += 1;
+            }
+        }
+        stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let mut g = ZipfStreamGenerator::new(StreamConfig::new(256, 10_000), 1.2, 3);
+        let s = g.generate();
+        assert_eq!(s.len(), 10_000);
+        assert_eq!(s.domain(), 256);
+        assert!(s.validate(i64::MAX).is_ok());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ZipfStreamGenerator::new(StreamConfig::new(64, 2000), 1.1, 5).generate();
+        let b = ZipfStreamGenerator::new(StreamConfig::new(64, 2000), 1.1, 5).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skew_produces_dominant_items() {
+        let mut g = ZipfStreamGenerator::new(StreamConfig::new(1 << 12, 50_000), 1.5, 11);
+        let fv = g.generate().frequency_vector();
+        let max = fv.max_abs_frequency() as f64;
+        // With exponent 1.5 the top item should capture a large share.
+        assert!(
+            max > 0.2 * 50_000.0,
+            "expected a dominant item, max frequency {max}"
+        );
+    }
+
+    #[test]
+    fn higher_exponent_is_more_skewed() {
+        let top_share = |expo: f64| {
+            let mut g = ZipfStreamGenerator::new(StreamConfig::new(1024, 30_000), expo, 21);
+            let fv = g.generate().frequency_vector();
+            fv.max_abs_frequency() as f64 / 30_000.0
+        };
+        assert!(top_share(2.0) > top_share(0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_exponent_panics() {
+        let _ = ZipfStreamGenerator::new(StreamConfig::new(8, 8), 0.0, 1);
+    }
+
+    #[test]
+    fn turnstile_mode_valid() {
+        let mut g =
+            ZipfStreamGenerator::new(StreamConfig::turnstile(128, 20_000, 0.3), 1.1, 17);
+        let s = g.generate();
+        for (_, v) in s.frequency_vector().iter() {
+            assert!(v >= 0);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # gsum-streams
+//!
+//! The data-stream model of the paper (§1.2) and the workload generators used
+//! by the experiment suite.
+//!
+//! A *turnstile stream* of length `m` over the domain `[n]` is a list of
+//! updates `(i, δ)` with `i ∈ [n]` and `δ ∈ Z`; the *frequency vector*
+//! `V(D) ∈ Z^n` has `v_i = Σ_{j : i_j = i} δ_j`.  The model promises
+//! `|v_i| ≤ M` for every prefix.  The paper's algorithms run in the turnstile
+//! model; its lower bounds already hold for insertion-only streams (`δ = 1`).
+//!
+//! This crate provides:
+//! * [`Update`] / [`TurnstileStream`] — the stream representation, with
+//!   prefix-bound (`M`) tracking and insertion-only detection.
+//! * [`FrequencyVector`] — the exact frequency vector with the norms and
+//!   order statistics the analyses refer to (`F_2`, tail mass, heavy-hitter
+//!   queries).
+//! * [`generator`] — workload generators: uniform and Zipf item popularity,
+//!   planted heavy-hitter streams, frequency-prescribed streams (used by the
+//!   communication reductions), and adversarial collision workloads.
+//! * [`multipass`] — a tiny driver that feeds a stream to a `p`-pass
+//!   algorithm, pass by pass, so that 2-pass algorithms are exercised through
+//!   the same interface as 1-pass ones.
+
+pub mod error;
+pub mod frequency;
+pub mod generator;
+pub mod multipass;
+pub mod stream;
+pub mod update;
+
+pub use error::StreamError;
+pub use frequency::FrequencyVector;
+pub use generator::{
+    AdversarialCollisionGenerator, FrequencyPrescribedGenerator, PlantedStreamGenerator,
+    StreamConfig, StreamGenerator, UniformStreamGenerator, ZipfStreamGenerator,
+};
+pub use multipass::{run_multi_pass, run_one_pass, MultiPassAlgorithm, OnePassAlgorithm};
+pub use stream::TurnstileStream;
+pub use update::Update;

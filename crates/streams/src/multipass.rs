@@ -1,0 +1,148 @@
+//! Multi-pass driver.
+//!
+//! The paper distinguishes 1-pass and `p`-pass algorithms (Theorems 2 and 3).
+//! Both are exercised through the same trait-based driver: a pass consists of
+//! feeding every update in order; the algorithm is told when a pass ends and
+//! how many passes remain so a 2-pass algorithm can switch from its
+//! CountSketch phase to its exact-tabulation phase.
+
+use crate::stream::TurnstileStream;
+use crate::update::Update;
+
+/// A streaming algorithm that uses exactly one pass.
+pub trait OnePassAlgorithm {
+    /// The output produced after the pass completes.
+    type Output;
+
+    /// Process one update.
+    fn process(&mut self, update: Update);
+
+    /// Produce the output after the stream has been fully consumed.
+    fn finish(self) -> Self::Output;
+}
+
+/// A streaming algorithm that uses a fixed number of passes over the stream.
+pub trait MultiPassAlgorithm {
+    /// The output produced after the final pass completes.
+    type Output;
+
+    /// Total number of passes the algorithm requires.
+    fn passes(&self) -> usize;
+
+    /// Process one update during pass `pass` (0-indexed).
+    fn process(&mut self, pass: usize, update: Update);
+
+    /// Called after pass `pass` completes (0-indexed). The algorithm may
+    /// reorganize its state between passes (e.g. fix the candidate set whose
+    /// frequencies the second pass will tabulate exactly).
+    fn end_pass(&mut self, pass: usize);
+
+    /// Produce the output after the final pass.
+    fn finish(self) -> Self::Output;
+}
+
+/// Run a one-pass algorithm over a stream.
+pub fn run_one_pass<A: OnePassAlgorithm>(mut algo: A, stream: &TurnstileStream) -> A::Output {
+    for &u in stream.iter() {
+        algo.process(u);
+    }
+    algo.finish()
+}
+
+/// Run a multi-pass algorithm over a stream, replaying the stream once per
+/// pass in the original order.
+pub fn run_multi_pass<A: MultiPassAlgorithm>(mut algo: A, stream: &TurnstileStream) -> A::Output {
+    let passes = algo.passes();
+    for pass in 0..passes {
+        for &u in stream.iter() {
+            algo.process(pass, u);
+        }
+        algo.end_pass(pass);
+    }
+    algo.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts total |delta| seen.
+    struct AbsSum {
+        total: i64,
+    }
+
+    impl OnePassAlgorithm for AbsSum {
+        type Output = i64;
+        fn process(&mut self, update: Update) {
+            self.total += update.delta.abs();
+        }
+        fn finish(self) -> i64 {
+            self.total
+        }
+    }
+
+    /// Two passes: first counts updates, second sums deltas; output is a pair.
+    struct TwoPassProbe {
+        pass_updates: [usize; 2],
+        delta_sum: i64,
+        pass_end_calls: Vec<usize>,
+    }
+
+    impl MultiPassAlgorithm for TwoPassProbe {
+        type Output = (usize, usize, i64, Vec<usize>);
+        fn passes(&self) -> usize {
+            2
+        }
+        fn process(&mut self, pass: usize, update: Update) {
+            self.pass_updates[pass] += 1;
+            if pass == 1 {
+                self.delta_sum += update.delta;
+            }
+        }
+        fn end_pass(&mut self, pass: usize) {
+            self.pass_end_calls.push(pass);
+        }
+        fn finish(self) -> Self::Output {
+            (
+                self.pass_updates[0],
+                self.pass_updates[1],
+                self.delta_sum,
+                self.pass_end_calls,
+            )
+        }
+    }
+
+    fn stream() -> TurnstileStream {
+        let mut s = TurnstileStream::new(4);
+        s.push_delta(0, 3);
+        s.push_delta(1, -2);
+        s.push_delta(2, 5);
+        s
+    }
+
+    #[test]
+    fn one_pass_driver_visits_every_update() {
+        let out = run_one_pass(AbsSum { total: 0 }, &stream());
+        assert_eq!(out, 10);
+    }
+
+    #[test]
+    fn multi_pass_driver_replays_stream_per_pass() {
+        let probe = TwoPassProbe {
+            pass_updates: [0, 0],
+            delta_sum: 0,
+            pass_end_calls: vec![],
+        };
+        let (p0, p1, sum, ends) = run_multi_pass(probe, &stream());
+        assert_eq!(p0, 3);
+        assert_eq!(p1, 3);
+        assert_eq!(sum, 6);
+        assert_eq!(ends, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_stream_still_finishes() {
+        let s = TurnstileStream::new(4);
+        assert_eq!(run_one_pass(AbsSum { total: 0 }, &s), 0);
+    }
+}

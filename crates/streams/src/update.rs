@@ -1,0 +1,66 @@
+//! A single turnstile update `(i, δ)`.
+
+/// One stream update: item `i` receives an additive change `δ`.
+///
+/// The paper's turnstile model allows arbitrary integer deltas (subject to the
+/// prefix bound `M`); the insertion-only model restricts `δ = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Update {
+    /// Item identifier in `[0, n)`.
+    pub item: u64,
+    /// Additive change to the item's frequency.
+    pub delta: i64,
+}
+
+impl Update {
+    /// Create an update.
+    pub fn new(item: u64, delta: i64) -> Self {
+        Self { item, delta }
+    }
+
+    /// An insertion-only update (`δ = +1`).
+    pub fn insert(item: u64) -> Self {
+        Self { item, delta: 1 }
+    }
+
+    /// A deletion update (`δ = -1`).
+    pub fn delete(item: u64) -> Self {
+        Self { item, delta: -1 }
+    }
+
+    /// Whether the update is an insertion-only update.
+    pub fn is_unit_insertion(&self) -> bool {
+        self.delta == 1
+    }
+}
+
+impl From<(u64, i64)> for Update {
+    fn from((item, delta): (u64, i64)) -> Self {
+        Self { item, delta }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Update::new(4, -3), Update { item: 4, delta: -3 });
+        assert_eq!(Update::insert(7), Update { item: 7, delta: 1 });
+        assert_eq!(Update::delete(7), Update { item: 7, delta: -1 });
+    }
+
+    #[test]
+    fn unit_insertion_detection() {
+        assert!(Update::insert(0).is_unit_insertion());
+        assert!(!Update::delete(0).is_unit_insertion());
+        assert!(!Update::new(0, 2).is_unit_insertion());
+    }
+
+    #[test]
+    fn from_tuple() {
+        let u: Update = (3u64, 5i64).into();
+        assert_eq!(u, Update::new(3, 5));
+    }
+}

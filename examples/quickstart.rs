@@ -1,0 +1,40 @@
+//! Quickstart: approximate `Σ g(|v_i|)` on a skewed turnstile stream with the
+//! one-pass universal sketch and compare against the exact value.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use zerolaw::prelude::*;
+
+fn main() {
+    let domain = 1u64 << 12;
+    let mut generator = ZipfStreamGenerator::new(StreamConfig::new(domain, 100_000), 1.2, 7);
+    let stream = generator.generate();
+    println!(
+        "stream: {} updates over a domain of {} items (max frequency {})",
+        stream.len(),
+        domain,
+        stream.frequency_vector().max_abs_frequency()
+    );
+
+    // Three tractable functions from the paper's examples.
+    let functions: Vec<(&str, Box<dyn zerolaw::gfunc::GFunction>)> = vec![
+        ("x^1.5 (fractional moment)", Box::new(PowerFunction::new(1.5))),
+        ("x^2 lg(1+x)", Box::new(zerolaw::gfunc::LEta::new(PowerFunction::new(2.0), 1.0))),
+        ("spam-discount utility", Box::new(SpamDiscountUtility::new(64))),
+    ];
+
+    for (name, g) in &functions {
+        let truth = exact_gsum(g.as_ref(), &stream.frequency_vector());
+        let config = GSumConfig::with_space_budget(domain, 0.2, 2048, 11);
+        let estimator = OnePassGSum::new(g.as_ref(), config);
+        let estimate = estimator.estimate_median(&stream, 3);
+        let rel = (estimate - truth).abs() / truth;
+        println!(
+            "{name:<28} exact = {truth:>14.1}  sketch = {estimate:>14.1}  rel.err = {:.3}  space = {} words",
+            rel,
+            estimator.space_words()
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Utility aggregates (§1.1.2): bill advertisers per click with a
+//! non-monotone, spam-discounted fee schedule, computed in one pass over the
+//! click stream.
+//!
+//! ```text
+//! cargo run --release --example spam_click_billing
+//! ```
+
+use zerolaw::core::apps::ClickBilling;
+use zerolaw::prelude::*;
+
+fn main() {
+    let users = 1u64 << 12;
+    // Organic traffic plus three click-bots.
+    let clicks = PlantedStreamGenerator::new(
+        StreamConfig::new(users, 200_000),
+        vec![(17, 60_000), (99, 25_000), (1_000, 12_000)],
+        2024,
+    )
+    .generate();
+    println!(
+        "click log: {} clicks from up to {} users (busiest user: {} clicks)",
+        clicks.len(),
+        users,
+        clicks.frequency_vector().max_abs_frequency()
+    );
+
+    let threshold = 200;
+    let billing = ClickBilling::new(
+        threshold,
+        GSumConfig::with_space_budget(users, 0.2, 2048, 7),
+    );
+    let report = billing.bill(&clicks, 3);
+
+    println!("\nspam threshold: {threshold} clicks per user");
+    println!("exact spam-discounted bill:   {:>12.1}", report.exact_discounted);
+    println!("sketched spam-discounted bill:{:>12.1}", report.estimated_discounted);
+    println!("relative error:               {:>12.4}", report.relative_error);
+    println!("naive capped-linear bill:     {:>12.1}", report.exact_capped);
+    println!(
+        "discount granted for suspected spam: {:>12.1}",
+        report.exact_capped - report.exact_discounted
+    );
+    println!("sketch space: {} words", billing.space_words());
+}

@@ -1,0 +1,51 @@
+//! Tractability audit: run the zero-one-law classifier (Theorems 2 and 3)
+//! over the built-in function library and print the verdicts alongside the
+//! paper's ground truth.
+//!
+//! ```text
+//! cargo run --release --example tractability_audit
+//! ```
+
+use zerolaw::prelude::*;
+
+fn main() {
+    let config = PropertyConfig::default();
+    let registry = FunctionRegistry::standard();
+    println!(
+        "classifying {} functions over the window [1, {}]\n",
+        registry.len(),
+        config.max_x
+    );
+    println!(
+        "{:<30} {:>6} {:>6} {:>6} {:>6}  {:<18} {:<18} {:>7}",
+        "function", "jump", "drop", "pred", "np", "1-pass", "2-pass", "matches"
+    );
+    let mut mismatches = 0;
+    for (entry, report, matches) in registry.classification_table(&config) {
+        println!(
+            "{:<30} {:>6} {:>6} {:>6} {:>6}  {:<18} {:<18} {:>7}",
+            entry.name(),
+            report.slow_jumping.holds,
+            report.slow_dropping.holds,
+            report.predictable.holds,
+            report.nearly_periodic.nearly_periodic,
+            format!("{:?}", report.one_pass),
+            format!("{:?}", report.two_pass),
+            matches
+        );
+        if !matches {
+            mismatches += 1;
+        }
+    }
+    println!("\nmismatches against the paper's classification: {mismatches}");
+
+    // Show a witness for one intractable function, as the lower-bound proofs do.
+    let report = zerolaw::gfunc::classify(&PowerFunction::new(3.0), &config);
+    if let Some(w) = &report.slow_jumping.witness {
+        println!(
+            "\nwitness that x^3 is not slow-jumping: g({}) = {:.0} exceeds \
+             (y/x)^(2+a) x^a g(x) with x = {}, alpha = {}",
+            w.y, w.gy, w.x, w.exponent
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! # zerolaw — umbrella crate
+//!
+//! `zerolaw` is a from-scratch Rust reproduction of
+//! *"Streaming Space Complexity of Nearly All Functions of One Variable on
+//! Frequency Vectors"* (Braverman, Chestnut, Woodruff, Yang — PODS 2016).
+//!
+//! The workspace is split into focused crates; this umbrella crate re-exports
+//! their public APIs so that downstream users (and the examples and
+//! integration tests in this repository) can depend on a single crate.
+//!
+//! * [`hash`] — k-wise independent hashing, sign/bucket hashes, seeded RNG.
+//! * [`streams`] — the turnstile stream model, frequency vectors and
+//!   workload generators.
+//! * [`sketch`] — CountSketch, Count-Min, the AMS F₂ sketch and exact
+//!   baselines.
+//! * [`gfunc`] — the function class `G`, the slow-jumping / slow-dropping /
+//!   predictable analyzers and the zero-one-law classifier.
+//! * [`core`] — the g-SUM algorithms (recursive sketch, 1-pass and 2-pass
+//!   heavy hitters, the nearly-periodic special case, the DIST counter
+//!   algorithm) and the paper's applications.
+//! * [`comm`] — communication-problem instances (INDEX, DISJ, DISJ+IND,
+//!   ShortLinearCombination) and their stream reductions, used to exercise
+//!   the lower-bound side of the zero-one laws.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use zerolaw::prelude::*;
+//!
+//! // A turnstile stream over a universe of 1024 items.
+//! let mut gen = ZipfStreamGenerator::new(StreamConfig::new(1 << 10, 20_000), 1.2, 7);
+//! let stream = gen.generate();
+//!
+//! // Approximate sum of g(|v_i|) for g(x) = x^1.5 with a one-pass universal sketch.
+//! let g = PowerFunction::new(1.5);
+//! let cfg = GSumConfig::with_space_budget(1 << 10, 0.2, 4096, 11);
+//! let est = OnePassGSum::new(&g, cfg).estimate(&stream);
+//! let exact = exact_gsum(&g, &stream.frequency_vector());
+//! let rel = (est - exact).abs() / exact.max(1.0);
+//! assert!(rel < 0.5, "relative error {rel} too large");
+//! ```
+
+pub use gsum_comm as comm;
+pub use gsum_core as core;
+pub use gsum_gfunc as gfunc;
+pub use gsum_hash as hash;
+pub use gsum_sketch as sketch;
+pub use gsum_streams as streams;
+
+/// A convenience prelude re-exporting the most commonly used types.
+pub mod prelude {
+    pub use gsum_comm::{
+        DisjInstance, DisjIndInstance, DistInstance, IndexInstance, SketchDistinguisher,
+    };
+    pub use gsum_core::{
+        exact_gsum, DistCounter, GSumConfig, GSumEstimator, NearlyPeriodicGSum, OnePassGSum,
+        RecursiveSketch, TwoPassGSum,
+    };
+    pub use gsum_gfunc::{
+        classify::{OnePassVerdict, TractabilityReport, TwoPassVerdict},
+        library::{
+            GnpFunction, OscillatingQuadratic, PoissonMixtureNll, PolylogFunction, PowerFunction,
+            SpamDiscountUtility,
+        },
+        properties::PropertyConfig,
+        registry::FunctionRegistry,
+        GFunction,
+    };
+    pub use gsum_sketch::{AmsF2Sketch, CountMinSketch, CountSketch, ExactFrequencies};
+    pub use gsum_streams::{
+        FrequencyVector, PlantedStreamGenerator, StreamConfig, StreamGenerator, TurnstileStream,
+        UniformStreamGenerator, Update, ZipfStreamGenerator,
+    };
+}

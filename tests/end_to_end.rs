@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: streams → sketches → g-SUM estimators →
+//! applications, driven through the umbrella crate's public API.
+
+use zerolaw::core::apps::{exact_distance, sketched_distance, ClickBilling};
+use zerolaw::prelude::*;
+
+fn zipf(domain: u64, length: usize, seed: u64) -> TurnstileStream {
+    ZipfStreamGenerator::new(StreamConfig::new(domain, length), 1.2, seed).generate()
+}
+
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-12)
+}
+
+#[test]
+fn one_pass_estimator_tracks_tractable_functions_end_to_end() {
+    let domain = 1u64 << 10;
+    let stream = zipf(domain, 30_000, 3);
+    let fv = stream.frequency_vector();
+    let cfg = GSumConfig::with_space_budget(domain, 0.2, 1024, 7);
+
+    let cases: Vec<Box<dyn zerolaw::gfunc::GFunction>> = vec![
+        Box::new(PowerFunction::new(2.0)),
+        Box::new(PowerFunction::new(1.0)),
+        Box::new(OscillatingQuadratic::log()),
+        Box::new(SpamDiscountUtility::new(50)),
+    ];
+    for g in &cases {
+        let truth = exact_gsum(g.as_ref(), &fv);
+        let est = OnePassGSum::new(g.as_ref(), cfg.clone());
+        let approx = est.estimate_median(&stream, 5);
+        assert!(
+            rel(approx, truth) < 0.35,
+            "{}: {approx} vs {truth}",
+            g.name()
+        );
+        assert_eq!(est.passes(), 1);
+        // The sketch must be far smaller than the exact frequency vector for
+        // wide domains... at this scale we at least check it is bounded.
+        assert!(est.space_words() > 0);
+    }
+}
+
+#[test]
+fn two_pass_estimator_handles_the_unpredictable_function() {
+    let domain = 1u64 << 10;
+    let stream = PlantedStreamGenerator::new(
+        StreamConfig::new(domain, 40_000),
+        vec![(9, 90_000)],
+        5,
+    )
+    .generate();
+    let g = OscillatingQuadratic::direct();
+    let truth = exact_gsum(&g, &stream.frequency_vector());
+    let cfg = GSumConfig::with_space_budget(domain, 0.1, 128, 3);
+    let two = TwoPassGSum::new(g, cfg);
+    assert_eq!(two.passes(), 2);
+    let approx = two.estimate_median(&stream, 5);
+    assert!(rel(approx, truth) < 0.3, "{approx} vs {truth}");
+}
+
+#[test]
+fn nearly_periodic_pipeline_end_to_end() {
+    // g_np is nearly periodic (outside the zero-one law) yet 1-pass
+    // tractable via the dedicated algorithm.
+    let report = zerolaw::gfunc::classify(
+        &GnpFunction::new(),
+        &zerolaw::gfunc::properties::PropertyConfig::fast(),
+    );
+    assert_eq!(report.one_pass, OnePassVerdict::OutsideNormalScope);
+
+    let domain = 1u64 << 10;
+    let stream = zerolaw::streams::FrequencyPrescribedGenerator::new(
+        domain,
+        vec![(1024, 1), (32, 4), (3, 50), (1, 120)],
+        7,
+    )
+    .with_bulk_updates()
+    .generate();
+    let truth = exact_gsum(&GnpFunction::new(), &stream.frequency_vector());
+    let est = NearlyPeriodicGSum::new(GSumConfig::with_space_budget(domain, 0.2, 256, 9));
+    let approx = est.estimate_median(&stream, 5);
+    assert!(rel(approx, truth) < 0.4, "{approx} vs {truth}");
+}
+
+#[test]
+fn distance_and_billing_applications() {
+    let domain = 1u64 << 10;
+    let u = zipf(domain, 20_000, 1);
+    let v = zipf(domain, 20_000, 2);
+    let g = PowerFunction::new(2.0);
+    let truth = exact_distance(&g, &u, &v);
+    let est = OnePassGSum::new(g, GSumConfig::with_space_budget(domain, 0.2, 1024, 5));
+    let approx = sketched_distance(&est, &u, &v, 3);
+    assert!(rel(approx, truth) < 0.35, "{approx} vs {truth}");
+
+    let clicks = PlantedStreamGenerator::new(
+        StreamConfig::new(domain, 30_000),
+        vec![(7, 15_000)],
+        11,
+    )
+    .generate();
+    let billing = ClickBilling::new(100, GSumConfig::with_space_budget(domain, 0.2, 1024, 3));
+    let report = billing.bill(&clicks, 3);
+    assert!(report.relative_error < 0.3);
+    assert!(report.exact_discounted < report.exact_capped);
+}
+
+#[test]
+fn sketch_space_is_sublinear_in_the_domain_for_wide_universes() {
+    // The whole point of the zero-one law: for a tractable function the
+    // sketch is tiny compared to the universe.
+    let domain = 1u64 << 22;
+    let cfg = GSumConfig::with_space_budget(domain, 0.2, 1024, 1);
+    let est = OnePassGSum::new(PowerFunction::new(2.0), cfg);
+    let words = est.space_words();
+    assert!(
+        (words as u64) < domain / 16,
+        "sketch uses {words} words for a domain of {domain}"
+    );
+}
+
+#[test]
+fn dist_counter_integrates_with_comm_instances() {
+    let domain = 1u64 << 12;
+    let yes = DistInstance::random(domain, 11, 9, 1, 80, 80, true, 5);
+    let no = DistInstance::random(domain, 11, 9, 1, 80, 80, false, 6);
+    let mut counter = zerolaw::core::DistCounter::new(domain, 11, 9, 1, 3);
+    counter.process_stream(&yes.stream());
+    assert_eq!(
+        counter.verdict(),
+        zerolaw::core::DistVerdict::HasTargetFrequency
+    );
+    let mut counter = zerolaw::core::DistCounter::new(domain, 11, 9, 1, 4);
+    counter.process_stream(&no.stream());
+    assert_eq!(
+        counter.verdict(),
+        zerolaw::core::DistVerdict::NoTargetFrequency
+    );
+}

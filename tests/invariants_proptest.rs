@@ -1,0 +1,133 @@
+//! Property-based invariants spanning the workspace: linearity of the
+//! sketches, order-insensitivity, exactness of the recursive estimator under
+//! exact covers, and class-G structural requirements.
+
+use proptest::prelude::*;
+use zerolaw::core::heavy_hitters::{GCover, HeavyHitterSketch};
+use zerolaw::core::RecursiveSketch;
+use zerolaw::prelude::*;
+use zerolaw::sketch::{CountSketch, CountSketchConfig, FrequencySketch};
+
+/// Strategy: a small turnstile stream described as (item, delta) pairs.
+fn stream_strategy(domain: u64, max_len: usize) -> impl Strategy<Value = TurnstileStream> {
+    prop::collection::vec((0..domain, -50i64..50), 0..max_len).prop_map(move |pairs| {
+        let mut s = TurnstileStream::new(domain);
+        for (item, delta) in pairs {
+            if delta != 0 {
+                s.push_delta(item, delta);
+            }
+        }
+        s
+    })
+}
+
+/// An exact heavy-hitter oracle reporting every item (weights g = x^2).
+struct ExactOracle(std::collections::HashMap<u64, i64>);
+
+impl HeavyHitterSketch for ExactOracle {
+    fn update(&mut self, update: Update) {
+        *self.0.entry(update.item).or_insert(0) += update.delta;
+    }
+    fn cover(&self, _domain: u64) -> GCover {
+        GCover::from_pairs(
+            self.0
+                .iter()
+                .filter(|(_, &v)| v != 0)
+                .map(|(&i, &v)| (i, (v * v) as f64))
+                .collect(),
+        )
+    }
+    fn space_words(&self) -> usize {
+        2 * self.0.len()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The frequency vector is a linear function of the stream: shuffling
+    /// updates never changes it, and concatenation adds coordinate-wise.
+    #[test]
+    fn frequency_vector_is_linear(s1 in stream_strategy(64, 60), s2 in stream_strategy(64, 60), seed in 0u64..1000) {
+        let shuffled = s1.shuffled(seed);
+        prop_assert_eq!(s1.frequency_vector(), shuffled.frequency_vector());
+
+        let mut concat = s1.clone();
+        concat.extend_from(&s2);
+        let direct = concat.frequency_vector();
+        let mut summed = s1.frequency_vector();
+        for (item, v) in s2.frequency_vector().iter() {
+            summed.apply(item, v);
+        }
+        prop_assert_eq!(direct, summed);
+    }
+
+    /// CountSketch is a linear sketch: processing a stream or any reordering
+    /// of it yields identical estimates for every item.
+    #[test]
+    fn countsketch_is_order_insensitive(s in stream_strategy(64, 80), seed in 0u64..1000) {
+        let cfg = CountSketchConfig::new(3, 32).unwrap();
+        let mut a = CountSketch::new(cfg, 7);
+        let mut b = CountSketch::new(cfg, 7);
+        a.process_stream(&s);
+        b.process_stream(&s.shuffled(seed));
+        for item in 0..64u64 {
+            prop_assert!((a.estimate(item) - b.estimate(item)).abs() < 1e-9);
+        }
+    }
+
+    /// With exact per-level covers, the recursive estimator reproduces the
+    /// exact g-SUM (g = x^2) for every stream — the combination identity
+    /// behind Theorem 13.
+    #[test]
+    fn recursive_estimator_is_exact_under_exact_covers(s in stream_strategy(128, 80), seed in 0u64..1000) {
+        let mut rs = RecursiveSketch::new(128, 8, seed, |_, _| ExactOracle(Default::default()));
+        rs.process_stream(&s);
+        let truth = exact_gsum(&PowerFunction::new(2.0), &s.frequency_vector());
+        let est = rs.estimate();
+        prop_assert!((est - truth).abs() <= 1e-6 * truth.abs().max(1.0),
+            "estimate {} vs truth {}", est, truth);
+    }
+
+    /// Exact g-SUM is invariant under the turnstile encoding of the same
+    /// frequency vector (unit insertions vs bulk updates).
+    #[test]
+    fn exact_gsum_depends_only_on_the_frequency_vector(values in prop::collection::vec(1i64..40, 1..20)) {
+        let domain = values.len() as u64;
+        let mut bulk = TurnstileStream::new(domain);
+        let mut units = TurnstileStream::new(domain);
+        for (i, &v) in values.iter().enumerate() {
+            bulk.push_delta(i as u64, v);
+            for _ in 0..v {
+                units.push(Update::insert(i as u64));
+            }
+        }
+        let g = SpamDiscountUtility::new(10);
+        let a = exact_gsum(&g, &bulk.frequency_vector());
+        let b = exact_gsum(&g, &units.frequency_vector());
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// Every registry function satisfies the class-G structural requirements
+    /// on arbitrary probe points: g(0) = 0 and g(x) > 0 for x > 0.
+    #[test]
+    fn registry_functions_stay_in_class_g(x in 1u64..100_000) {
+        let registry = FunctionRegistry::standard();
+        for entry in registry.iter() {
+            prop_assert_eq!(entry.function.eval(0), 0.0);
+            prop_assert!(entry.function.eval(x) > 0.0, "{} at {}", entry.name(), x);
+        }
+    }
+
+    /// The AMS estimate of F2 is exactly v^2 whenever the stream has a single
+    /// non-zero coordinate, for any value and any seed.
+    #[test]
+    fn ams_exact_on_single_coordinates(item in 0u64..1000, value in 1i64..10_000, seed in 0u64..500) {
+        let mut s = TurnstileStream::new(1024);
+        s.push_delta(item, value);
+        let mut ams = AmsF2Sketch::new(8, 3, seed).unwrap();
+        ams.process_stream(&s);
+        let expect = (value as f64) * (value as f64);
+        prop_assert!((ams.estimate_f2() - expect).abs() < 1e-6);
+    }
+}

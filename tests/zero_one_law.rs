@@ -1,0 +1,124 @@
+//! Integration tests for the zero-one laws themselves: the classifier's
+//! verdicts line up with what the algorithms and lower-bound reductions
+//! actually do.
+
+use zerolaw::comm::{IndexInstance, SketchDistinguisher};
+use zerolaw::gfunc::library::InversePowerFunction;
+use zerolaw::prelude::*;
+
+#[test]
+fn classification_agrees_with_paper_for_the_whole_registry() {
+    let registry = FunctionRegistry::standard();
+    let table = registry.classification_table(&PropertyConfig::fast());
+    let mismatches: Vec<String> = table
+        .iter()
+        .filter(|(_, _, ok)| !ok)
+        .map(|(e, r, _)| format!("{}: {}", e.name(), r.summary_row()))
+        .collect();
+    assert!(mismatches.is_empty(), "{}", mismatches.join("\n"));
+}
+
+#[test]
+fn tractable_verdict_implies_accurate_one_pass_estimation() {
+    // Take a verdict from the classifier and check the matching algorithm
+    // delivers: the law's "1" direction.
+    let g = OscillatingQuadratic::log();
+    let report = zerolaw::gfunc::classify(&g, &PropertyConfig::fast());
+    assert_eq!(report.one_pass, OnePassVerdict::Tractable);
+
+    let domain = 1u64 << 10;
+    let stream =
+        ZipfStreamGenerator::new(StreamConfig::new(domain, 30_000), 1.3, 9).generate();
+    let truth = exact_gsum(&g, &stream.frequency_vector());
+    let est = OnePassGSum::new(g, GSumConfig::with_space_budget(domain, 0.2, 1024, 3));
+    let approx = est.estimate_median(&stream, 5);
+    assert!((approx - truth).abs() / truth < 0.35, "{approx} vs {truth}");
+}
+
+#[test]
+fn intractable_verdict_shows_up_on_the_index_reduction() {
+    // The law's "0" direction, empirically: 1/x is not slow-dropping.  The
+    // INDEX reduction produces two worlds whose exact g-SUMs differ by a
+    // constant factor (so the exact statistic distinguishes them perfectly),
+    // while a small sketch fails to deliver a (1 ± ε)-approximation of the
+    // g-SUM on these very streams — which is exactly what Lemma 23 says must
+    // happen for any sub-polynomial-space algorithm.
+    let g = InversePowerFunction::new(1.0);
+    let report = zerolaw::gfunc::classify(&g, &PropertyConfig::fast());
+    assert_eq!(report.one_pass, OnePassVerdict::Intractable);
+
+    let n = 256u64;
+    let exact = SketchDistinguisher::run(
+        25,
+        |t| IndexInstance::random(n, false, t).reduction_stream(n, 1),
+        |t| IndexInstance::random(n, true, t).reduction_stream(n, 1),
+        |_t, s| exact_gsum(&InversePowerFunction::new(1.0), &s.frequency_vector()),
+    );
+    assert!(exact.advantage > 0.95, "exact advantage {}", exact.advantage);
+
+    // A deliberately small sketch: its g-SUM estimates on the reduction
+    // streams are far outside the (1 ± ε) band.
+    let sketch = OnePassGSum::new(
+        InversePowerFunction::new(1.0),
+        GSumConfig::with_space_budget(n, 0.2, 16, 3).with_levels(4),
+    );
+    let mut errors: Vec<f64> = (0..25u64)
+        .map(|t| {
+            let stream = IndexInstance::random(n, true, t).reduction_stream(n, 1);
+            let truth = exact_gsum(&InversePowerFunction::new(1.0), &stream.frequency_vector());
+            (sketch.estimate_with_seed(&stream, t) - truth).abs() / truth
+        })
+        .collect();
+    errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_error = errors[errors.len() / 2];
+    assert!(
+        median_error > 0.5,
+        "a 16-column sketch should not approximate 1/x-SUM on the INDEX streams, \
+         but its median relative error is only {median_error}"
+    );
+}
+
+#[test]
+fn predictability_is_what_separates_one_pass_from_two() {
+    // (2 + sin √x) x²: 2-pass tractable, 1-pass intractable.
+    let g = OscillatingQuadratic::sqrt();
+    let report = zerolaw::gfunc::classify(&g, &PropertyConfig::fast());
+    assert_eq!(report.one_pass, OnePassVerdict::Intractable);
+    assert_eq!(report.two_pass, TwoPassVerdict::Tractable);
+
+    // And the two-pass algorithm indeed nails a stream whose dominant item
+    // sits at an adversarial frequency.
+    let domain = 1u64 << 10;
+    let stream = PlantedStreamGenerator::new(
+        StreamConfig::new(domain, 30_000),
+        vec![(4, 70_001)],
+        13,
+    )
+    .generate();
+    let truth = exact_gsum(&g, &stream.frequency_vector());
+    let two = TwoPassGSum::new(g, GSumConfig::with_space_budget(domain, 0.1, 128, 5));
+    let approx = two.estimate_median(&stream, 5);
+    assert!((approx - truth).abs() / truth < 0.3, "{approx} vs {truth}");
+}
+
+#[test]
+fn l_eta_transformation_preserves_normal_tractability() {
+    // Theorem 31: applying L_eta to a tractable normal function keeps it
+    // tractable (and normal).
+    let base = PowerFunction::new(2.0);
+    let transformed = zerolaw::gfunc::LEta::new(base, 1.0);
+    let report = zerolaw::gfunc::classify(&transformed, &PropertyConfig::fast());
+    assert_eq!(report.one_pass, OnePassVerdict::Tractable);
+    assert!(report.is_normal());
+}
+
+#[test]
+fn l_eta_transformation_breaks_near_periodicity() {
+    // Theorem 30: L_eta(g_np) is no longer nearly periodic (and is not
+    // slow-dropping, hence intractable).
+    let transformed = zerolaw::gfunc::LEta::new(GnpFunction::new(), 1.0);
+    let report = zerolaw::gfunc::classify(&transformed, &PropertyConfig::fast());
+    assert!(report.is_normal());
+    assert_eq!(report.one_pass, OnePassVerdict::Intractable);
+    assert!(!report.slow_dropping.holds);
+}
