@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gsum_gfunc::library::{OscillatingQuadratic, PowerFunction};
-use gsum_gfunc::properties::{
-    analyze_predictable, analyze_slow_dropping, analyze_slow_jumping,
-};
+use gsum_gfunc::properties::{analyze_predictable, analyze_slow_dropping, analyze_slow_jumping};
 use gsum_gfunc::{classify, PropertyConfig};
 
 fn bench_classify(c: &mut Criterion) {

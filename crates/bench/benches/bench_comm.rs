@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gsum_comm::{DisjIndInstance, DistInstance, IndexInstance};
-use gsum_core::DistCounter;
+use gsum_core::{DistCounter, StreamSink};
 
 fn bench_comm(c: &mut Criterion) {
     c.bench_function("index_reduction_n256", |b| {

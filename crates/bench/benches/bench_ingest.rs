@@ -1,0 +1,102 @@
+//! Ingestion throughput: per-update push vs batched push vs sharded
+//! parallel ingestion, measured in updates/second on the same Zipf workload.
+//!
+//! The numbers justify the push-based architecture: `update_batch` amortizes
+//! dispatch overhead, and `ShardedIngest` scales across cores because every
+//! sketch is a mergeable linear state.  Note: sharded wall-clock speedup is
+//! only visible on multi-core hosts (`nproc > 1`); on a single-core runner
+//! the sharded rows measure the channel/merge overhead, which should stay
+//! within a few percent of the batched baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gsum_core::{GSumConfig, OnePassGSumSketch};
+use gsum_gfunc::library::PowerFunction;
+use gsum_sketch::{CountSketch, CountSketchConfig};
+use gsum_streams::{ShardedIngest, StreamConfig, StreamGenerator, StreamSink, ZipfStreamGenerator};
+
+const DOMAIN: u64 = 1 << 12;
+const UPDATES: usize = 50_000;
+
+fn stream() -> gsum_streams::TurnstileStream {
+    ZipfStreamGenerator::new(StreamConfig::new(DOMAIN, UPDATES), 1.2, 7).generate()
+}
+
+fn countsketch() -> CountSketch {
+    CountSketch::new(CountSketchConfig::new(5, 1024).unwrap(), 3)
+}
+
+fn gsum_sketch() -> OnePassGSumSketch<PowerFunction> {
+    let config = GSumConfig::with_space_budget(DOMAIN, 0.2, 512, 11);
+    OnePassGSumSketch::new(PowerFunction::new(2.0), &config)
+}
+
+fn bench_countsketch_ingest(c: &mut Criterion) {
+    let s = stream();
+    let mut group = c.benchmark_group("countsketch_ingest_50k");
+    group.throughput(Throughput::Elements(UPDATES as u64));
+
+    group.bench_function("per_update", |b| {
+        b.iter(|| {
+            let mut cs = countsketch();
+            for &u in s.iter() {
+                cs.update(u);
+            }
+            cs
+        })
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut cs = countsketch();
+            cs.update_batch(s.updates());
+            cs
+        })
+    });
+    for shards in [2usize, 4, 8] {
+        group.bench_function(format!("sharded_{shards}"), |b| {
+            b.iter(|| {
+                ShardedIngest::new(shards)
+                    .with_batch_size(2048)
+                    .ingest(&mut s.source(), &countsketch())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gsum_ingest(c: &mut Criterion) {
+    let s = stream();
+    let mut group = c.benchmark_group("onepass_gsum_ingest_50k");
+    group.throughput(Throughput::Elements(UPDATES as u64));
+
+    group.bench_function("per_update", |b| {
+        b.iter(|| {
+            let mut sk = gsum_sketch();
+            for &u in s.iter() {
+                sk.update(u);
+            }
+            sk
+        })
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut sk = gsum_sketch();
+            sk.update_batch(s.updates());
+            sk
+        })
+    });
+    for shards in [2usize, 4, 8] {
+        group.bench_function(format!("sharded_{shards}"), |b| {
+            b.iter(|| {
+                ShardedIngest::new(shards)
+                    .with_batch_size(2048)
+                    .ingest(&mut s.source(), &gsum_sketch())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_countsketch_ingest, bench_gsum_ingest);
+criterion_main!(benches);

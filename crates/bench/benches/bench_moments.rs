@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gsum_core::{GSumConfig, MomentEstimator};
-use gsum_sketch::{AmsF2Sketch, FrequencySketch};
+use gsum_sketch::{AmsF2Sketch, StreamSink};
 use gsum_streams::{StreamConfig, StreamGenerator, ZipfStreamGenerator};
 
 fn bench_moments(c: &mut Criterion) {
@@ -12,7 +12,9 @@ fn bench_moments(c: &mut Criterion) {
     let mut group = c.benchmark_group("moments_30k_updates");
     for &k in &[1.0f64, 2.0] {
         let est = MomentEstimator::new(k, GSumConfig::with_space_budget(domain, 0.2, 1024, 3));
-        group.bench_function(format!("universal_F{k}"), |b| b.iter(|| est.estimate(&stream)));
+        group.bench_function(format!("universal_F{k}"), |b| {
+            b.iter(|| est.estimate(&stream))
+        });
     }
     group.bench_function("ams_F2", |b| {
         b.iter(|| {

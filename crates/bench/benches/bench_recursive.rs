@@ -13,7 +13,9 @@ fn bench_recursive(c: &mut Criterion) {
     for &levels in &[2usize, 6, 12] {
         let cfg = GSumConfig::with_space_budget(domain, 0.2, 512, 5).with_levels(levels);
         let est = OnePassGSum::new(PowerFunction::new(2.0), cfg);
-        group.bench_function(format!("levels_{levels}"), |b| b.iter(|| est.estimate(&stream)));
+        group.bench_function(format!("levels_{levels}"), |b| {
+            b.iter(|| est.estimate(&stream))
+        });
     }
     group.finish();
 }

@@ -2,7 +2,7 @@
 //! and CountSketch heavy-hitter extraction.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use gsum_sketch::{AmsF2Sketch, CountMinSketch, CountSketch, CountSketchConfig, FrequencySketch};
+use gsum_sketch::{AmsF2Sketch, CountMinSketch, CountSketch, CountSketchConfig, StreamSink};
 use gsum_streams::{StreamConfig, StreamGenerator, ZipfStreamGenerator};
 
 fn stream() -> gsum_streams::TurnstileStream {

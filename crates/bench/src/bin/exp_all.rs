@@ -8,10 +8,7 @@
 //! The output of this binary is what `EXPERIMENTS.md` records.
 
 fn main() {
-    let filters: Vec<String> = std::env::args()
-        .skip(1)
-        .map(|s| s.to_uppercase())
-        .collect();
+    let filters: Vec<String> = std::env::args().skip(1).map(|s| s.to_uppercase()).collect();
     for table in gsum_bench::run_all() {
         if filters.is_empty() || filters.iter().any(|f| f == &table.id) {
             println!("{}", table.to_markdown());

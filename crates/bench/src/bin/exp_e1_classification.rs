@@ -1,5 +1,8 @@
 //! Experiment E1 table emitter (see EXPERIMENTS.md). Prints Markdown to stdout.
 
 fn main() {
-    println!("{}", gsum_bench::e1_classification(&gsum_gfunc::PropertyConfig::default()).to_markdown());
+    println!(
+        "{}",
+        gsum_bench::e1_classification(&gsum_gfunc::PropertyConfig::default()).to_markdown()
+    );
 }

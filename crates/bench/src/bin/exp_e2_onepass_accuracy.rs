@@ -1,5 +1,8 @@
 //! Experiment E2 table emitter (see EXPERIMENTS.md). Prints Markdown to stdout.
 
 fn main() {
-    println!("{}", gsum_bench::e2_one_pass_accuracy(1 << 10, 30_000, 3).to_markdown());
+    println!(
+        "{}",
+        gsum_bench::e2_one_pass_accuracy(1 << 10, 30_000, 3).to_markdown()
+    );
 }

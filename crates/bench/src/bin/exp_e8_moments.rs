@@ -1,5 +1,8 @@
 //! Experiment E8 table emitter (see EXPERIMENTS.md). Prints Markdown to stdout.
 
 fn main() {
-    println!("{}", gsum_bench::e8_moments(1 << 10, 30_000, 3).to_markdown());
+    println!(
+        "{}",
+        gsum_bench::e8_moments(1 << 10, 30_000, 3).to_markdown()
+    );
 }

@@ -1,5 +1,8 @@
 //! Experiment E9 table emitter (see EXPERIMENTS.md). Prints Markdown to stdout.
 
 fn main() {
-    println!("{}", gsum_bench::e9_recursive_ablation(1 << 10, 30_000, 3).to_markdown());
+    println!(
+        "{}",
+        gsum_bench::e9_recursive_ablation(1 << 10, 30_000, 3).to_markdown()
+    );
 }

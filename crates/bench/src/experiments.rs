@@ -17,7 +17,7 @@ use gsum_gfunc::library::{
 };
 use gsum_gfunc::{FunctionRegistry, GFunction, PropertyConfig};
 use gsum_streams::{
-    FrequencyPrescribedGenerator, StreamConfig, StreamGenerator, TurnstileStream,
+    FrequencyPrescribedGenerator, StreamConfig, StreamGenerator, StreamSink, TurnstileStream,
     ZipfStreamGenerator,
 };
 
@@ -467,7 +467,11 @@ pub fn e8_moments(domain: u64, length: usize, trials: usize) -> ExperimentTable 
         "x^k is slow-jumping iff k ≤ 2 (Definition 6), so the one-pass estimator tracks \
          F_k accurately for k ≤ 2 and loses accuracy for k > 2 at the same space budget \
          (Indyk–Woodruff lineage; AMS for k = 2 shown for comparison).",
-        vec!["k", "median rel. error (universal)", "rel. error (AMS, k=2 only)"],
+        vec![
+            "k",
+            "median rel. error (universal)",
+            "rel. error (AMS, k=2 only)",
+        ],
     );
     let stream = zipf(domain, length, 29);
     for &k in &[0.5f64, 1.0, 1.5, 2.0, 2.5, 3.0] {
@@ -578,10 +582,18 @@ pub fn e10_applications(trials: usize) -> ExperimentTable {
         let a1 = rng.next_below(base);
         let a2 = rng.next_below(base);
         if a1 > 0 {
-            enc.push(TwoAttributeRecord { id, attribute: 0, delta: a1 as i64 });
+            enc.push(TwoAttributeRecord {
+                id,
+                attribute: 0,
+                delta: a1 as i64,
+            });
         }
         if a2 > 0 {
-            enc.push(TwoAttributeRecord { id, attribute: 1, delta: a2 as i64 });
+            enc.push(TwoAttributeRecord {
+                id,
+                attribute: 1,
+                delta: a2 as i64,
+            });
         }
     }
     let truth = enc.exact_query(&query);

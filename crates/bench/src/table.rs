@@ -1,10 +1,8 @@
 //! A small table type shared by all experiments: serializable (for archival)
 //! and Markdown-renderable (for EXPERIMENTS.md).
 
-use serde::{Deserialize, Serialize};
-
 /// A titled table of string cells.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentTable {
     /// Experiment identifier, e.g. "E2".
     pub id: String,
@@ -40,7 +38,11 @@ impl ExperimentTable {
     /// # Panics
     /// Panics if the row length does not match the header length.
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row/header length mismatch");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row/header length mismatch"
+        );
         self.rows.push(cells);
     }
 
@@ -61,9 +63,53 @@ impl ExperimentTable {
     }
 
     /// Render as a JSON string (for archival alongside the Markdown).
+    /// Serialization is hand-rolled — the build environment has no network
+    /// access, so `serde_json` is not available.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serializes")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_string(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str(&format!("  \"claim\": {},\n", json_string(&self.claim)));
+        out.push_str(&format!(
+            "  \"headers\": [{}],\n",
+            self.headers
+                .iter()
+                .map(|h| json_string(h))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let cells = row
+                .iter()
+                .map(|c| json_string(c))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!("    [{cells}]{comma}\n"));
+        }
+        out.push_str("  ]\n}");
+        out
     }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format a float with three significant-ish decimals for table cells.
@@ -95,12 +141,14 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trip() {
-        let mut t = ExperimentTable::new("E1", "demo", "claim", vec!["c"]);
-        t.push_row(vec!["v".into()]);
+    fn json_contains_fields_and_escapes() {
+        let mut t = ExperimentTable::new("E1", "de\"mo", "claim", vec!["c"]);
+        t.push_row(vec!["v\n".into()]);
         let json = t.to_json();
-        let back: ExperimentTable = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, t);
+        assert!(json.contains("\"id\": \"E1\""));
+        assert!(json.contains("de\\\"mo"));
+        assert!(json.contains("v\\n"));
+        assert!(json.contains("\"headers\": [\"c\"]"));
     }
 
     #[test]
@@ -114,7 +162,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(12345.6), "12346");
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(1.23456), "1.23");
         assert_eq!(fmt(0.01234), "0.0123");
     }
 }

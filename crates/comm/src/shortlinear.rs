@@ -29,6 +29,7 @@ impl DistInstance {
     /// Sample an instance with `count_a` coordinates at `±a` and `count_b`
     /// at `±b` (signs uniform); if `has_target` is true one further
     /// coordinate is set to `±c`.
+    #[allow(clippy::too_many_arguments)]
     pub fn random(
         universe: u64,
         a: u64,
@@ -39,7 +40,10 @@ impl DistInstance {
         has_target: bool,
         seed: u64,
     ) -> Self {
-        assert!(a > 0 && b > 0 && c > 0 && c != a && c != b, "bad frequencies");
+        assert!(
+            a > 0 && b > 0 && c > 0 && c != a && c != b,
+            "bad frequencies"
+        );
         let needed = count_a + count_b + u64::from(has_target);
         assert!(needed <= universe, "universe too small");
         let mut rng = Xoshiro256::new(seed);

@@ -76,7 +76,10 @@ mod tests {
         let est = OnePassGSum::new(g, GSumConfig::with_space_budget(1 << 10, 0.2, 1024, 7));
         let approx = sketched_distance(&est, &u, &v, 3);
         let rel = (approx - truth).abs() / truth;
-        assert!(rel < 0.35, "distance estimate {approx} vs {truth} (rel {rel})");
+        assert!(
+            rel < 0.35,
+            "distance estimate {approx} vs {truth} (rel {rel})"
+        );
     }
 
     #[test]

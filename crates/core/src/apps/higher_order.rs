@@ -136,11 +136,27 @@ mod tests {
         let query = HigherOrderEncoded::new(base, 3);
         let mut enc = HigherOrderStream::new(4, base);
         // Record 0: (6, 2) passes -> contributes 6.
-        enc.push(TwoAttributeRecord { id: 0, attribute: 0, delta: 6 });
-        enc.push(TwoAttributeRecord { id: 0, attribute: 1, delta: 2 });
+        enc.push(TwoAttributeRecord {
+            id: 0,
+            attribute: 0,
+            delta: 6,
+        });
+        enc.push(TwoAttributeRecord {
+            id: 0,
+            attribute: 1,
+            delta: 2,
+        });
         // Record 1: (5, 7) filtered out.
-        enc.push(TwoAttributeRecord { id: 1, attribute: 0, delta: 5 });
-        enc.push(TwoAttributeRecord { id: 1, attribute: 1, delta: 7 });
+        enc.push(TwoAttributeRecord {
+            id: 1,
+            attribute: 0,
+            delta: 5,
+        });
+        enc.push(TwoAttributeRecord {
+            id: 1,
+            attribute: 1,
+            delta: 7,
+        });
         assert_eq!(enc.exact_query(&query), 6.0);
     }
 
@@ -155,16 +171,18 @@ mod tests {
         let query = HigherOrderEncoded::new(base, 15);
         let mut enc = build_workload(domain, base, 3);
         // Plant a dominant record that passes the filter: attributes (31, 10).
-        enc.push(TwoAttributeRecord { id: 7, attribute: 0, delta: 31 - enc
-            .stream()
-            .frequency_vector()
-            .get(7)
-            .rem_euclid(base as i64) });
+        enc.push(TwoAttributeRecord {
+            id: 7,
+            attribute: 0,
+            delta: 31
+                - enc
+                    .stream()
+                    .frequency_vector()
+                    .get(7)
+                    .rem_euclid(base as i64),
+        });
         let truth = enc.exact_query(&query);
-        let est = TwoPassGSum::new(
-            query,
-            GSumConfig::with_space_budget(domain, 0.2, 512, 11),
-        );
+        let est = TwoPassGSum::new(query, GSumConfig::with_space_budget(domain, 0.2, 512, 11));
         let approx = est.estimate_median(enc.stream(), 3);
         let rel = (approx - truth).abs() / truth.max(1.0);
         assert!(rel < 0.5, "estimate {approx} vs truth {truth}");
@@ -174,6 +192,10 @@ mod tests {
     #[should_panic(expected = "two attributes")]
     fn third_attribute_rejected() {
         let mut enc = HigherOrderStream::new(8, 4);
-        enc.push(TwoAttributeRecord { id: 0, attribute: 2, delta: 1 });
+        enc.push(TwoAttributeRecord {
+            id: 0,
+            attribute: 2,
+            delta: 1,
+        });
     }
 }

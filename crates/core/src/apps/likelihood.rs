@@ -102,7 +102,10 @@ impl MleEstimator {
     /// # Panics
     /// Panics if the grid is empty.
     pub fn new(candidates: Vec<PoissonMixtureNll>, config: GSumConfig) -> Self {
-        assert!(!candidates.is_empty(), "the candidate grid must be non-empty");
+        assert!(
+            !candidates.is_empty(),
+            "the candidate grid must be non-empty"
+        );
         Self { candidates, config }
     }
 
@@ -177,7 +180,10 @@ mod tests {
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| sampler.sample() as f64).sum::<f64>() / n as f64;
         let expect = 0.5 * 0.5 + 0.5 * 6.0;
-        assert!((mean - expect).abs() < 0.15, "sample mean {mean} vs {expect}");
+        assert!(
+            (mean - expect).abs() < 0.15,
+            "sample mean {mean} vs {expect}"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ mod higher_order;
 mod likelihood;
 mod utility;
 
-pub use distance::{sketched_distance, exact_distance};
+pub use distance::{exact_distance, sketched_distance};
 pub use higher_order::{HigherOrderStream, TwoAttributeRecord};
 pub use likelihood::{MixtureSampler, MleEstimate, MleEstimator};
 pub use utility::{BillingReport, ClickBilling};

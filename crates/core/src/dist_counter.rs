@@ -16,7 +16,7 @@
 //!   problem.
 
 use gsum_hash::{derive_seeds, BucketHash, SignHash};
-use gsum_streams::{TurnstileStream, Update};
+use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
 use std::collections::BTreeSet;
 
 /// The verdict of the DIST decision procedure.
@@ -40,6 +40,8 @@ pub struct DistCounter {
     counters: Vec<i64>,
     split: BucketHash,
     signs: SignHash,
+    /// Construction seed, kept so merges can verify hash compatibility.
+    seed: u64,
     /// Residues of `z·b (mod a)` for `|z| ≤ |q|/4` — the values compatible
     /// with "no `c` present".
     allowed_residues: BTreeSet<i64>,
@@ -54,14 +56,7 @@ impl DistCounter {
     /// # Panics
     /// Panics if `a, b, c` are not positive and distinct, or if `c` is not an
     /// integer combination of `a` and `b` (i.e. `gcd(a, b) ∤ c`).
-    pub fn with_oversampling(
-        domain: u64,
-        a: u64,
-        b: u64,
-        c: u64,
-        kappa: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn with_oversampling(domain: u64, a: u64, b: u64, c: u64, kappa: f64, seed: u64) -> Self {
         assert!(a > 0 && b > 0 && c > 0, "frequencies must be positive");
         assert!(c != a && c != b, "c must differ from a and b");
         assert!(domain > 0, "domain must be positive");
@@ -85,6 +80,7 @@ impl DistCounter {
             counters: vec![0i64; pieces],
             split: BucketHash::new(pieces as u64, seeds[0]),
             signs: SignHash::new(seeds[1]),
+            seed,
             allowed_residues,
         }
     }
@@ -142,19 +138,6 @@ impl DistCounter {
         self.counters.len() + 8 + self.allowed_residues.len()
     }
 
-    /// Process one update.
-    pub fn update(&mut self, update: Update) {
-        let piece = self.split.bucket(update.item) as usize;
-        self.counters[piece] += self.signs.sign(update.item) * update.delta;
-    }
-
-    /// Process a whole stream.
-    pub fn process_stream(&mut self, stream: &TurnstileStream) {
-        for &u in stream.iter() {
-            self.update(u);
-        }
-    }
-
     /// Decide whether a `±c` coordinate is present.
     pub fn verdict(&self) -> DistVerdict {
         for &counter in &self.counters {
@@ -172,6 +155,32 @@ impl DistCounter {
     }
 }
 
+impl StreamSink for DistCounter {
+    fn update(&mut self, update: Update) {
+        let piece = self.split.bucket(update.item) as usize;
+        self.counters[piece] += self.signs.sign(update.item) * update.delta;
+    }
+}
+
+/// The signed piece counters are linear in the frequency vector, so
+/// identically configured counters merge by addition.
+impl MergeableSketch for DistCounter {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if (self.a, self.b, self.c) != (other.a, other.b, other.c)
+            || self.pieces != other.pieces
+            || self.seed != other.seed
+        {
+            return Err(MergeError::new(
+                "DIST-counter merge requires identical (a, b, c), pieces and seed",
+            ));
+        }
+        for (mine, theirs) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *mine += theirs;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +189,7 @@ mod tests {
 
     /// Build a V0 / V1 instance: `count_a` coordinates at ±a, `count_b` at
     /// ±b, and optionally one coordinate at ±c.
+    #[allow(clippy::too_many_arguments)]
     fn instance(
         domain: u64,
         a: i64,
@@ -288,6 +298,28 @@ mod tests {
         let d = DistCounter::new(256, 5, 3, 1, 9);
         assert_eq!(d.verdict(), DistVerdict::NoTargetFrequency);
         assert_eq!(d.frequencies(), (5, 3, 1));
+    }
+
+    #[test]
+    fn sharded_halves_merge_to_the_same_verdict_state() {
+        let domain = 1u64 << 10;
+        let stream = instance(domain, 11, 9, 1, 100, 100, true, 33);
+        let mut whole = DistCounter::new(domain, 11, 9, 1, 5);
+        whole.process_stream(&stream);
+
+        let (front, back) = stream.updates().split_at(stream.len() / 2);
+        let mut a = DistCounter::new(domain, 11, 9, 1, 5);
+        a.update_batch(front);
+        let mut b = DistCounter::new(domain, 11, 9, 1, 5);
+        b.update_batch(back);
+        a.merge(&b).unwrap();
+
+        assert_eq!(a.counters, whole.counters);
+        assert_eq!(a.verdict(), whole.verdict());
+
+        // Seed or parameter mismatches are rejected.
+        let other_seed = DistCounter::new(domain, 11, 9, 1, 6);
+        assert!(a.merge(&other_seed).is_err());
     }
 
     #[test]

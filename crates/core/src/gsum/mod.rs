@@ -3,8 +3,8 @@
 mod one_pass;
 mod two_pass;
 
-pub use one_pass::OnePassGSum;
-pub use two_pass::TwoPassGSum;
+pub use one_pass::{OnePassGSum, OnePassGSumSketch};
+pub use two_pass::{TwoPassGSum, TwoPassGSumSketch};
 
 use gsum_gfunc::GFunction;
 use gsum_streams::{FrequencyVector, TurnstileStream};
@@ -43,6 +43,23 @@ pub trait GSumEstimator {
 /// streams).
 pub fn relative_error(estimate: f64, truth: f64) -> f64 {
     (estimate - truth).abs() / truth.abs().max(1e-12)
+}
+
+/// Median-of-repetitions success amplification: run `estimate_one` for each
+/// repetition index and return the middle estimate (upper median), sorting
+/// with a NaN-safe total order.
+///
+/// This is the one shared implementation behind every estimator's
+/// `estimate_median` — the repetition-to-seed mapping stays with the caller,
+/// the selection logic lives here.
+pub(crate) fn median_over_repetitions(
+    repetitions: usize,
+    mut estimate_one: impl FnMut(usize) -> f64,
+) -> f64 {
+    let reps = repetitions.max(1);
+    let mut estimates: Vec<f64> = (0..reps).map(&mut estimate_one).collect();
+    estimates.sort_unstable_by(f64::total_cmp);
+    estimates[reps / 2]
 }
 
 #[cfg(test)]

@@ -1,21 +1,94 @@
 //! The one-pass g-SUM estimator (Theorem 2's upper bound): Algorithm 2 per
 //! level inside the recursive sketch.
 
-use super::GSumEstimator;
+use super::{median_over_repetitions, GSumEstimator};
 use crate::config::GSumConfig;
 use crate::heavy_hitters::{OnePassHeavyHitter, OnePassHeavyHitterConfig};
 use crate::recursive_sketch::RecursiveSketch;
 use gsum_gfunc::GFunction;
-use gsum_streams::TurnstileStream;
+use gsum_streams::{MergeError, MergeableSketch, StreamSink, TurnstileStream, Update};
+
+/// Long-lived one-pass g-SUM state: the per-level Algorithm-2 sketches inside
+/// the recursive reduction, driven push-style.
+///
+/// Updates are pushed through [`StreamSink`]; [`estimate`](Self::estimate)
+/// can be queried at any prefix.  Clones share hash seeds, so clones that
+/// absorbed disjoint shards of a stream [`merge`](MergeableSketch::merge)
+/// into exactly the state a single sketch would have reached — the backbone
+/// of [`gsum_streams::ShardedIngest`] ingestion.
+#[derive(Debug, Clone)]
+pub struct OnePassGSumSketch<G> {
+    inner: RecursiveSketch<OnePassHeavyHitter<G>>,
+}
+
+impl<G: GFunction + Clone> OnePassGSumSketch<G> {
+    /// Build the sketch state for function `g` under `config`, with an
+    /// explicit seed.
+    pub fn with_seed(g: G, config: &GSumConfig, seed: u64) -> Self {
+        let hh_config = OnePassHeavyHitterConfig {
+            rows: config.countsketch_rows,
+            columns: config.countsketch_columns,
+            candidates: config.candidates_per_level,
+            epsilon: config.epsilon,
+            envelope_factor: config.envelope_factor,
+        };
+        let inner = RecursiveSketch::new(
+            config.domain,
+            config.levels,
+            seed,
+            move |_level, level_seed| OnePassHeavyHitter::new(g.clone(), hh_config, level_seed),
+        );
+        Self { inner }
+    }
+
+    /// Build the sketch state with the configuration's own seed.
+    pub fn new(g: G, config: &GSumConfig) -> Self {
+        Self::with_seed(g, config, config.seed)
+    }
+
+    /// The g-SUM estimate of the prefix absorbed so far (clamped at zero —
+    /// `g ≥ 0` so negative combinations are pure noise).
+    pub fn estimate(&self) -> f64 {
+        self.inner.estimate().max(0.0)
+    }
+
+    /// The domain size.
+    pub fn domain(&self) -> u64 {
+        self.inner.domain()
+    }
+
+    /// Sketch state in 64-bit words.
+    pub fn space_words(&self) -> usize {
+        self.inner.space_words()
+    }
+}
+
+impl<G: GFunction + Clone> StreamSink for OnePassGSumSketch<G> {
+    fn update(&mut self, update: Update) {
+        self.inner.update(update);
+    }
+
+    fn update_batch(&mut self, updates: &[Update]) {
+        self.inner.update_batch(updates);
+    }
+}
+
+impl<G: GFunction + Clone> MergeableSketch for OnePassGSumSketch<G> {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.inner.merge(&other.inner)
+    }
+}
 
 /// One-pass `(g, ε)`-SUM estimator for a slow-jumping, slow-dropping,
 /// predictable function.
 ///
-/// The estimator is stateless across calls: each [`estimate`](GSumEstimator::estimate)
-/// builds the level sketches from the configured seed, streams the input
-/// through them once, and combines the covers.  This makes it cheap to sweep
-/// configurations in the experiments and keeps repeated estimates independent
-/// given different seeds.
+/// This is the batch-world wrapper around [`OnePassGSumSketch`]: each
+/// [`estimate`](GSumEstimator::estimate) builds a fresh sketch from the
+/// configured seed, pushes the input through it once, and queries it.  This
+/// makes it cheap to sweep configurations in the experiments and keeps
+/// repeated estimates independent given different seeds.  Live ingestion
+/// should hold an [`OnePassGSumSketch`] instead and push updates as they
+/// arrive.
 #[derive(Debug, Clone)]
 pub struct OnePassGSum<G> {
     g: G,
@@ -33,33 +106,23 @@ impl<G: GFunction + Clone> OnePassGSum<G> {
         &self.config
     }
 
-    fn hh_config(&self) -> OnePassHeavyHitterConfig {
-        OnePassHeavyHitterConfig {
-            rows: self.config.countsketch_rows,
-            columns: self.config.countsketch_columns,
-            candidates: self.config.candidates_per_level,
-            epsilon: self.config.epsilon,
-            envelope_factor: self.config.envelope_factor,
-        }
+    /// A fresh long-lived sketch state with the configured seed (the
+    /// push-based entry point).
+    pub fn sketch(&self) -> OnePassGSumSketch<G> {
+        self.sketch_with_seed(self.config.seed)
     }
 
-    fn build(&self, seed: u64) -> RecursiveSketch<OnePassHeavyHitter<G>> {
-        let hh_config = self.hh_config();
-        let g = self.g.clone();
-        RecursiveSketch::new(
-            self.config.domain,
-            self.config.levels,
-            seed,
-            move |_level, level_seed| OnePassHeavyHitter::new(g.clone(), hh_config, level_seed),
-        )
+    /// A fresh long-lived sketch state with an explicit seed.
+    pub fn sketch_with_seed(&self, seed: u64) -> OnePassGSumSketch<G> {
+        OnePassGSumSketch::with_seed(self.g.clone(), &self.config, seed)
     }
 
     /// Estimate with an explicit seed override (used by the median
     /// amplification and by the experiments' repeated trials).
     pub fn estimate_with_seed(&self, stream: &TurnstileStream, seed: u64) -> f64 {
-        let mut sketch = self.build(seed);
+        let mut sketch = self.sketch_with_seed(seed);
         sketch.process_stream(stream);
-        sketch.estimate().max(0.0)
+        sketch.estimate()
     }
 }
 
@@ -73,16 +136,13 @@ impl<G: GFunction + Clone> GSumEstimator for OnePassGSum<G> {
     }
 
     fn space_words(&self) -> usize {
-        self.build(self.config.seed).space_words()
+        self.sketch().space_words()
     }
 
     fn estimate_median(&self, stream: &TurnstileStream, repetitions: usize) -> f64 {
-        let reps = repetitions.max(1);
-        let mut estimates: Vec<f64> = (0..reps)
-            .map(|r| self.estimate_with_seed(stream, self.config.seed.wrapping_add(r as u64 * 7919)))
-            .collect();
-        estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
-        estimates[reps / 2]
+        median_over_repetitions(repetitions, |r| {
+            self.estimate_with_seed(stream, self.config.seed.wrapping_add(r as u64 * 7919))
+        })
     }
 }
 
@@ -105,7 +165,10 @@ mod tests {
         let est = OnePassGSum::new(g, GSumConfig::with_space_budget(1 << 10, 0.2, 1024, 11));
         let approx = est.estimate_median(&stream, 3);
         let rel = relative_error(approx, truth);
-        assert!(rel < 0.3, "relative error {rel} too large ({approx} vs {truth})");
+        assert!(
+            rel < 0.3,
+            "relative error {rel} too large ({approx} vs {truth})"
+        );
     }
 
     #[test]
@@ -116,7 +179,10 @@ mod tests {
         let est = OnePassGSum::new(g, GSumConfig::with_space_budget(1 << 10, 0.2, 1024, 17));
         let approx = est.estimate_median(&stream, 3);
         let rel = relative_error(approx, truth);
-        assert!(rel < 0.35, "relative error {rel} too large ({approx} vs {truth})");
+        assert!(
+            rel < 0.35,
+            "relative error {rel} too large ({approx} vs {truth})"
+        );
     }
 
     #[test]
@@ -127,7 +193,10 @@ mod tests {
         let est = OnePassGSum::new(g, GSumConfig::with_space_budget(1 << 10, 0.2, 1024, 23));
         let approx = est.estimate_median(&stream, 3);
         let rel = relative_error(approx, truth);
-        assert!(rel < 0.35, "relative error {rel} too large ({approx} vs {truth})");
+        assert!(
+            rel < 0.35,
+            "relative error {rel} too large ({approx} vs {truth})"
+        );
     }
 
     #[test]
@@ -159,5 +228,63 @@ mod tests {
             est.estimate_with_seed(&stream, 1),
             est.estimate_with_seed(&stream, 2)
         );
+    }
+
+    /// The acceptance criterion of the push refactor: feeding updates one at
+    /// a time through the long-lived sketch — never materializing a stream on
+    /// the estimator side — matches the batch wrapper bit for bit.
+    #[test]
+    fn incremental_updates_match_batch_estimate_bit_for_bit() {
+        let stream = zipf_stream(512, 8_000, 7);
+        let g = PowerFunction::new(2.0);
+        let config = GSumConfig::with_space_budget(512, 0.2, 256, 13);
+        let batch = OnePassGSum::new(g, config.clone()).estimate(&stream);
+
+        let mut sketch = OnePassGSumSketch::new(g, &config);
+        for &u in stream.iter() {
+            sketch.update(u);
+        }
+        assert_eq!(sketch.estimate().to_bits(), batch.to_bits());
+    }
+
+    #[test]
+    fn estimate_at_prefixes_is_monotone_in_information() {
+        // Queries at any prefix are legal; the empty prefix estimates zero.
+        let g = PowerFunction::new(2.0);
+        let config = GSumConfig::with_space_budget(64, 0.2, 64, 3);
+        let mut sketch = OnePassGSumSketch::new(g, &config);
+        assert_eq!(sketch.estimate(), 0.0);
+        sketch.update(gsum_streams::Update::new(5, 10));
+        assert!(sketch.estimate() > 0.0);
+        assert_eq!(sketch.domain(), 64);
+    }
+
+    #[test]
+    fn sharded_clones_merge_to_the_single_threaded_state() {
+        let stream = zipf_stream(256, 6_000, 9);
+        let g = PowerFunction::new(2.0);
+        let config = GSumConfig::with_space_budget(256, 0.2, 128, 17);
+
+        let mut whole = OnePassGSumSketch::new(g, &config);
+        whole.process_stream(&stream);
+
+        let prototype = OnePassGSumSketch::new(g, &config);
+        let (front, back) = stream.updates().split_at(stream.len() / 3);
+        let mut a = prototype.clone();
+        a.update_batch(front);
+        let mut b = prototype;
+        b.update_batch(back);
+        a.merge(&b).unwrap();
+
+        assert_eq!(a.estimate().to_bits(), whole.estimate().to_bits());
+    }
+
+    #[test]
+    fn merge_rejects_different_seeds() {
+        let g = PowerFunction::new(2.0);
+        let config = GSumConfig::with_space_budget(64, 0.2, 64, 3);
+        let mut a = OnePassGSumSketch::with_seed(g, &config, 1);
+        let b = OnePassGSumSketch::with_seed(g, &config, 2);
+        assert!(a.merge(&b).is_err());
     }
 }

@@ -12,7 +12,7 @@ pub mod two_pass;
 pub use one_pass::{OnePassHeavyHitter, OnePassHeavyHitterConfig};
 pub use two_pass::{TwoPassHeavyHitter, TwoPassHeavyHitterConfig};
 
-use gsum_streams::{FrequencyVector, Update};
+use gsum_streams::{FrequencyVector, StreamSink};
 
 /// A `(g, λ, ε)`-cover: `(item, approximate g-value)` pairs
 /// (Definition 12).
@@ -46,7 +46,9 @@ impl GCover {
 
     /// Whether the cover contains an item.
     pub fn contains(&self, item: u64) -> bool {
-        self.entries.binary_search_by_key(&item, |&(i, _)| i).is_ok()
+        self.entries
+            .binary_search_by_key(&item, |&(i, _)| i)
+            .is_ok()
     }
 
     /// The approximate g-value recorded for an item, if present.
@@ -70,14 +72,12 @@ impl GCover {
 
 /// A one-pass streaming algorithm producing a `(g, λ, ε)`-cover.
 ///
+/// Updates are pushed through the [`StreamSink`] supertrait.
 /// Implementations are *linear sketches over a fixed hash seed*: processing a
 /// stream and then querying gives the cover of the stream's frequency vector,
 /// and the same structure can be reused across recursion levels of the
 /// recursive sketch.
-pub trait HeavyHitterSketch {
-    /// Process one turnstile update.
-    fn update(&mut self, update: Update);
-
+pub trait HeavyHitterSketch: StreamSink {
     /// Produce a cover of the stream processed so far.  `domain` bounds the
     /// item identifiers that may be reported.
     fn cover(&self, domain: u64) -> GCover;

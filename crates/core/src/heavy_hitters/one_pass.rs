@@ -21,7 +21,7 @@
 use super::{GCover, HeavyHitterSketch};
 use gsum_gfunc::GFunction;
 use gsum_sketch::{AmsF2Sketch, CountSketch, CountSketchConfig, FrequencySketch};
-use gsum_streams::Update;
+use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
 
 /// Configuration knobs for [`OnePassHeavyHitter`] (usually derived from
 /// [`crate::GSumConfig`]).
@@ -114,14 +114,7 @@ impl<G: GFunction> OnePassHeavyHitter<G> {
         let err = error.ceil() as i64;
         // Probe a handful of perturbations across the error interval,
         // including its endpoints (the worst case for monotone-ish g).
-        let probes = [
-            -err,
-            -(err / 2).max(1),
-            -1,
-            1,
-            (err / 2).max(1),
-            err,
-        ];
+        let probes = [-err, -(err / 2).max(1), -1, 1, (err / 2).max(1), err];
         for &y in &probes {
             let shifted = self.g.eval_signed(v_hat + y);
             if (base - shifted).abs() > eps * shifted.max(base) {
@@ -132,12 +125,28 @@ impl<G: GFunction> OnePassHeavyHitter<G> {
     }
 }
 
-impl<G: GFunction> HeavyHitterSketch for OnePassHeavyHitter<G> {
+impl<G: GFunction> StreamSink for OnePassHeavyHitter<G> {
     fn update(&mut self, update: Update) {
         self.countsketch.update(update);
         self.ams.update(update);
     }
+}
 
+/// Algorithm 2's state is a pair of linear sketches, so it merges
+/// component-wise (the two sketches enforce seed/shape compatibility).
+impl<G: GFunction> MergeableSketch for OnePassHeavyHitter<G> {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.config != other.config {
+            return Err(MergeError::new(
+                "one-pass heavy-hitter merge requires identical configuration",
+            ));
+        }
+        self.countsketch.merge(&other.countsketch)?;
+        self.ams.merge(&other.ams)
+    }
+}
+
+impl<G: GFunction> HeavyHitterSketch for OnePassHeavyHitter<G> {
     fn cover(&self, domain: u64) -> GCover {
         let candidates = self
             .countsketch
@@ -166,9 +175,7 @@ mod tests {
     use super::*;
     use crate::heavy_hitters::exact_heavy_hitters;
     use gsum_gfunc::library::{OscillatingQuadratic, PowerFunction};
-    use gsum_streams::{
-        PlantedStreamGenerator, StreamConfig, StreamGenerator, TurnstileStream,
-    };
+    use gsum_streams::{PlantedStreamGenerator, StreamConfig, StreamGenerator, TurnstileStream};
 
     fn config() -> OnePassHeavyHitterConfig {
         OnePassHeavyHitterConfig {
@@ -228,12 +235,9 @@ mod tests {
         // (2 + sin x) x² swings by a constant factor under ±1 frequency
         // error, so the pruning stage rejects items whose estimate is not
         // exact. Plant noise so the CountSketch error is non-zero.
-        let stream = PlantedStreamGenerator::new(
-            StreamConfig::new(1 << 10, 60_000),
-            vec![(100, 3000)],
-            3,
-        )
-        .generate();
+        let stream =
+            PlantedStreamGenerator::new(StreamConfig::new(1 << 10, 60_000), vec![(100, 3000)], 3)
+                .generate();
         let g = OscillatingQuadratic::direct();
         let mut cfg = config();
         cfg.columns = 32; // deliberately tight: estimates carry error

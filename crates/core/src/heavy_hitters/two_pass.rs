@@ -15,7 +15,7 @@
 use super::{GCover, HeavyHitterSketch};
 use gsum_gfunc::GFunction;
 use gsum_sketch::{CountSketch, CountSketchConfig, FrequencySketch};
-use gsum_streams::Update;
+use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
 use std::collections::HashMap;
 
 /// Configuration knobs for [`TwoPassHeavyHitter`].
@@ -61,7 +61,7 @@ impl<G: GFunction> TwoPassHeavyHitter<G> {
         Self {
             g,
             config,
-            countsketch: CountSketch::new(cs_config, seed ^ 0x2Da5_5e1f),
+            countsketch: CountSketch::new(cs_config, seed ^ 0x2da5_5e1f),
             phase: Phase::First,
             exact: HashMap::new(),
         }
@@ -109,14 +109,57 @@ impl<G: GFunction> TwoPassHeavyHitter<G> {
     }
 }
 
-impl<G: GFunction> HeavyHitterSketch for TwoPassHeavyHitter<G> {
+impl<G: GFunction> StreamSink for TwoPassHeavyHitter<G> {
     fn update(&mut self, update: Update) {
         match self.phase {
             Phase::First => self.update_pass1(update),
             Phase::Second => self.update_pass2(update),
         }
     }
+}
 
+/// Both phases are mergeable: first-pass states merge their CountSketches;
+/// second-pass states merge their exact tabulations, provided the candidate
+/// sets (fixed when the first pass closed) agree.
+///
+/// In the second phase the CountSketch is deliberately *not* summed: the
+/// sharding protocol clones one post-transition state per worker, so both
+/// sides already hold the identical full first-pass counters, and adding
+/// them would double every frequency.  Pass-2 updates never touch the
+/// CountSketch, so keeping `self`'s copy preserves exactly the
+/// single-threaded state.
+impl<G: GFunction> MergeableSketch for TwoPassHeavyHitter<G> {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.config != other.config {
+            return Err(MergeError::new(
+                "two-pass heavy-hitter merge requires identical configuration",
+            ));
+        }
+        if self.phase != other.phase {
+            return Err(MergeError::new(
+                "two-pass heavy-hitter merge requires matching phases",
+            ));
+        }
+        match self.phase {
+            Phase::First => self.countsketch.merge(&other.countsketch)?,
+            Phase::Second => {
+                if self.exact.len() != other.exact.len()
+                    || !other.exact.keys().all(|k| self.exact.contains_key(k))
+                {
+                    return Err(MergeError::new(
+                        "second-pass merge requires identical candidate sets",
+                    ));
+                }
+                for (item, v) in &other.exact {
+                    *self.exact.get_mut(item).expect("checked above") += v;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<G: GFunction> HeavyHitterSketch for TwoPassHeavyHitter<G> {
     fn cover(&self, _domain: u64) -> GCover {
         // Exact frequencies, hence exact g-values (the ε = 0 of Algorithm 1).
         let pairs = self
@@ -185,19 +228,15 @@ mod tests {
 
     #[test]
     fn trait_driver_switches_phase() {
-        let stream = PlantedStreamGenerator::new(
-            StreamConfig::new(256, 2_000),
-            vec![(7, 500)],
-            3,
-        )
-        .generate();
+        let stream = PlantedStreamGenerator::new(StreamConfig::new(256, 2_000), vec![(7, 500)], 3)
+            .generate();
         let mut hh = TwoPassHeavyHitter::new(PowerFunction::new(2.0), config(), 5);
         for &u in stream.iter() {
-            HeavyHitterSketch::update(&mut hh, u);
+            StreamSink::update(&mut hh, u);
         }
         hh.begin_second_pass(256);
         for &u in stream.iter() {
-            HeavyHitterSketch::update(&mut hh, u);
+            StreamSink::update(&mut hh, u);
         }
         let cover = hh.cover(256);
         assert!(cover.contains(7));
@@ -207,12 +246,9 @@ mod tests {
 
     #[test]
     fn candidate_set_bounded() {
-        let stream = PlantedStreamGenerator::new(
-            StreamConfig::new(1 << 12, 8_000),
-            vec![(1, 100)],
-            5,
-        )
-        .generate();
+        let stream =
+            PlantedStreamGenerator::new(StreamConfig::new(1 << 12, 8_000), vec![(1, 100)], 5)
+                .generate();
         let mut hh = TwoPassHeavyHitter::new(PowerFunction::new(2.0), config(), 1);
         for &u in stream.iter() {
             hh.update_pass1(u);

@@ -5,20 +5,32 @@
 //!
 //! ## Architecture (mirrors §3.1 and §4 of the paper)
 //!
+//! Everything is *push-based*: estimator state objects implement
+//! [`StreamSink`] (`update` / `update_batch`), absorb live updates in
+//! constant work per update, and answer [`estimate`](OnePassGSumSketch::estimate)
+//! queries at any prefix.  Linear states also implement [`MergeableSketch`],
+//! so N ingest workers can each feed a clone and merge
+//! ([`ShardedIngest`]).
+//!
 //! ```text
-//!                        ┌────────────────────────────┐
-//!   stream updates ────▶ │ per-level heavy-hitter      │   L = O(log n) levels,
-//!                        │ sketches (Algorithm 1 or 2, │   level j sees items
-//!                        │ or the g_np routine)        │   subsampled w.p. 2^-j
-//!                        └───────────┬────────────────┘
-//!                                    │ (g, λ, ε)-covers
-//!                                    ▼
-//!                        ┌────────────────────────────┐
-//!                        │ Recursive Sketch            │  Theorem 13: g-SUM with
-//!                        │ (Braverman–Ostrovsky)       │  O(log n) overhead
-//!                        └───────────┬────────────────┘
-//!                                    ▼
-//!                               ĝ ≈ Σ g(|v_i|)
+//!  UpdateSource (lazy generators, live traffic, stream replay)
+//!       │ update(i, δ)                          ... shard 1..N ─┐
+//!       ▼                                                       ▼
+//!  ┌───────────────────────────────────────────────┐   ┌────────────────┐
+//!  │ OnePassGSumSketch / TwoPassGSumSketch /       │   │ clone sketches │
+//!  │ NearlyPeriodicGSum::sketch()                  │◀──│ …then merge()  │
+//!  │                                               │   └────────────────┘
+//!  │  RecursiveSketch: routes the update to every  │
+//!  │  level j whose substream samples the item     │   L = O(log n) levels,
+//!  │  (inclusion probability 2^-j, nested)         │   Theorem 13
+//!  │        │                                      │
+//!  │        ▼                                      │
+//!  │  per-level heavy-hitter sketches              │   Algorithm 1 or 2,
+//!  │  (CountSketch + AMS + pruning, or g_np)       │   or Proposition 54
+//!  └───────────────────┬───────────────────────────┘
+//!                      │ cover() → (g, λ, ε)-covers   (query time, any prefix)
+//!                      ▼
+//!              ĝ ≈ Σ g(|v_i|)
 //! ```
 //!
 //! * [`heavy_hitters`] — the `(g, λ, ε, δ)`-heavy-hitter algorithms:
@@ -27,13 +39,16 @@
 //!   exact second-pass tabulation), plus the [`HeavyHitterSketch`] trait and
 //!   the [`GCover`] type (Definition 12).
 //! * [`recursive_sketch`] — the recursive estimator combining per-level
-//!   covers into a g-SUM estimate.
-//! * [`gsum`] — user-facing estimators: [`OnePassGSum`], [`TwoPassGSum`],
-//!   [`exact_gsum`] and the [`GSumEstimator`] trait.
+//!   covers into a g-SUM estimate; a [`StreamSink`] and (over mergeable
+//!   levels) a [`MergeableSketch`].
+//! * [`gsum`] — the long-lived sketch states [`OnePassGSumSketch`] /
+//!   [`TwoPassGSumSketch`] plus the batch wrappers [`OnePassGSum`] /
+//!   [`TwoPassGSum`], [`exact_gsum`] and the [`GSumEstimator`] trait.
 //! * [`np_algorithm`] — the bespoke 1-pass algorithm for the nearly periodic
 //!   function `g_np` (Proposition 54).
 //! * [`dist_counter`] — the `O(n/q²)`-space algorithm for the
-//!   ShortLinearCombination problem (Proposition 49).
+//!   ShortLinearCombination problem (Proposition 49); push-based and
+//!   mergeable like the rest.
 //! * [`moments`] — frequency-moment (`F_k`) convenience wrappers.
 //! * [`apps`] — the §1.1 applications: approximate MLE over a parameter grid,
 //!   utility aggregates, sketchable distances and the higher-order encoding.
@@ -51,8 +66,14 @@ pub mod recursive_sketch;
 pub use config::GSumConfig;
 pub use dist_counter::{DistCounter, DistVerdict};
 pub use error::CoreError;
-pub use gsum::{exact_gsum, GSumEstimator, OnePassGSum, TwoPassGSum};
+pub use gsum::{
+    exact_gsum, GSumEstimator, OnePassGSum, OnePassGSumSketch, TwoPassGSum, TwoPassGSumSketch,
+};
 pub use heavy_hitters::{GCover, HeavyHitterSketch, OnePassHeavyHitter, TwoPassHeavyHitter};
 pub use moments::MomentEstimator;
 pub use np_algorithm::NearlyPeriodicGSum;
 pub use recursive_sketch::RecursiveSketch;
+
+// The push-based ingestion contract, re-exported so estimator users need
+// only this crate.
+pub use gsum_streams::{MergeError, MergeableSketch, ShardedIngest, StreamSink, UpdateSource};

@@ -7,10 +7,10 @@
 //! experiment E8 confirms the estimator degrades.
 
 use crate::config::GSumConfig;
-use crate::gsum::{GSumEstimator, OnePassGSum};
+use crate::gsum::{GSumEstimator, OnePassGSum, OnePassGSumSketch};
 use gsum_gfunc::library::PowerFunction;
-use gsum_sketch::{AmsF2Sketch, FrequencySketch};
-use gsum_streams::TurnstileStream;
+use gsum_sketch::AmsF2Sketch;
+use gsum_streams::{StreamSink, TurnstileStream};
 
 /// Convenience wrapper estimating `F_k = Σ |v_i|^k`.
 #[derive(Debug, Clone)]
@@ -31,6 +31,12 @@ impl MomentEstimator {
     /// The moment order `k`.
     pub fn order(&self) -> f64 {
         self.k
+    }
+
+    /// A fresh long-lived push-based sketch state for `F_k`: updates can be
+    /// pushed as they arrive and the estimate queried at any prefix.
+    pub fn sketch(&self) -> OnePassGSumSketch<PowerFunction> {
+        self.inner.sketch()
     }
 
     /// Estimate `F_k` via the universal sketch.

@@ -22,13 +22,13 @@
 //! `g_np`-SUM algorithm in `poly(λ^{-1} log n)` space.
 
 use crate::config::GSumConfig;
-use crate::gsum::GSumEstimator;
+use crate::gsum::{median_over_repetitions, GSumEstimator};
 use crate::heavy_hitters::{GCover, HeavyHitterSketch};
 use crate::recursive_sketch::RecursiveSketch;
 use gsum_gfunc::library::GnpFunction;
 use gsum_gfunc::GFunction;
 use gsum_hash::{derive_seeds, BucketHash, KWiseHash};
-use gsum_streams::{TurnstileStream, Update};
+use gsum_streams::{MergeError, MergeableSketch, StreamSink, TurnstileStream, Update};
 
 /// The Proposition-54 heavy-hitter sketch for `g_np`.
 #[derive(Debug, Clone)]
@@ -40,6 +40,8 @@ pub struct GnpHeavyHitter {
     split: BucketHash,
     /// Trial sampling hashes (pairwise independent Bernoulli(1/2)).
     samplers: Vec<KWiseHash>,
+    /// Construction seed, kept so merges can verify hash compatibility.
+    seed: u64,
 }
 
 impl GnpHeavyHitter {
@@ -53,7 +55,11 @@ impl GnpHeavyHitter {
             trials,
             counters: vec![0i64; substreams * trials],
             split: BucketHash::new(substreams as u64, seeds[trials]),
-            samplers: seeds[..trials].iter().map(|&s| KWiseHash::new(2, s)).collect(),
+            samplers: seeds[..trials]
+                .iter()
+                .map(|&s| KWiseHash::new(2, s))
+                .collect(),
+            seed,
         }
     }
 
@@ -114,7 +120,7 @@ impl GnpHeavyHitter {
     }
 }
 
-impl HeavyHitterSketch for GnpHeavyHitter {
+impl StreamSink for GnpHeavyHitter {
     fn update(&mut self, update: Update) {
         let substream = self.split.bucket(update.item) as usize;
         for trial in 0..self.trials {
@@ -124,7 +130,28 @@ impl HeavyHitterSketch for GnpHeavyHitter {
             }
         }
     }
+}
 
+/// The low-bit counters are linear in the frequency vector, so identically
+/// seeded sketches merge by adding counters.
+impl MergeableSketch for GnpHeavyHitter {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.substreams != other.substreams
+            || self.trials != other.trials
+            || self.seed != other.seed
+        {
+            return Err(MergeError::new(
+                "g_np heavy-hitter merge requires identical shape and seed",
+            ));
+        }
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+}
+
+impl HeavyHitterSketch for GnpHeavyHitter {
     fn cover(&self, domain: u64) -> GCover {
         let pairs = (0..self.substreams)
             .filter_map(|c| self.recover_substream(c, domain))
@@ -150,8 +177,8 @@ impl NearlyPeriodicGSum {
     /// Create the estimator.  The number of substreams and trials per level
     /// are derived from the configured candidate budget.
     pub fn new(config: GSumConfig) -> Self {
-        let substreams = (config.candidates_per_level * config.candidates_per_level)
-            .clamp(16, 4096);
+        let substreams =
+            (config.candidates_per_level * config.candidates_per_level).clamp(16, 4096);
         let trials = (2 * GSumConfig::default_levels(config.domain)).clamp(12, 40);
         Self {
             config,
@@ -170,7 +197,12 @@ impl NearlyPeriodicGSum {
         self.trials
     }
 
-    fn build(&self, seed: u64) -> RecursiveSketch<GnpHeavyHitter> {
+    /// A fresh long-lived push-based sketch state with an explicit seed: the
+    /// Proposition-54 routine per level of the recursive reduction.  The
+    /// returned sketch is a [`StreamSink`] and a
+    /// [`MergeableSketch`], so it can absorb live updates and participate in
+    /// sharded ingestion.
+    pub fn sketch_with_seed(&self, seed: u64) -> RecursiveSketch<GnpHeavyHitter> {
         let substreams = self.substreams;
         let trials = self.trials;
         RecursiveSketch::new(
@@ -181,9 +213,14 @@ impl NearlyPeriodicGSum {
         )
     }
 
+    /// A fresh long-lived sketch state with the configured seed.
+    pub fn sketch(&self) -> RecursiveSketch<GnpHeavyHitter> {
+        self.sketch_with_seed(self.config.seed)
+    }
+
     /// Estimate with an explicit seed override.
     pub fn estimate_with_seed(&self, stream: &TurnstileStream, seed: u64) -> f64 {
-        let mut sketch = self.build(seed);
+        let mut sketch = self.sketch_with_seed(seed);
         sketch.process_stream(stream);
         sketch.estimate().max(0.0)
     }
@@ -199,16 +236,13 @@ impl GSumEstimator for NearlyPeriodicGSum {
     }
 
     fn space_words(&self) -> usize {
-        self.build(self.config.seed).space_words()
+        self.sketch().space_words()
     }
 
     fn estimate_median(&self, stream: &TurnstileStream, repetitions: usize) -> f64 {
-        let reps = repetitions.max(1);
-        let mut estimates: Vec<f64> = (0..reps)
-            .map(|r| self.estimate_with_seed(stream, self.config.seed.wrapping_add(r as u64 * 31, )))
-            .collect();
-        estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
-        estimates[reps / 2]
+        median_over_repetitions(repetitions, |r| {
+            self.estimate_with_seed(stream, self.config.seed.wrapping_add(r as u64 * 31))
+        })
     }
 }
 

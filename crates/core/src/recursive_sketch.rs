@@ -21,15 +21,23 @@
 
 use crate::heavy_hitters::{GCover, HeavyHitterSketch};
 use gsum_hash::KWiseHash;
-use gsum_streams::{TurnstileStream, Update};
+use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
 
 /// The recursive g-SUM estimator, generic over the per-level heavy-hitter
 /// sketch.
+///
+/// The sketch is a push-based [`StreamSink`]: each update is routed to every
+/// level whose substream contains its item, and [`RecursiveSketch::estimate`]
+/// can be queried at any prefix.  When the per-level sketches are
+/// [`MergeableSketch`]es the whole structure is too, enabling sharded
+/// ingestion.
 #[derive(Debug, Clone)]
 pub struct RecursiveSketch<S> {
     domain: u64,
     levels: Vec<S>,
     selector: KWiseHash,
+    /// Master seed, kept so merges can verify hash compatibility.
+    seed: u64,
 }
 
 impl<S: HeavyHitterSketch> RecursiveSketch<S> {
@@ -53,6 +61,7 @@ impl<S: HeavyHitterSketch> RecursiveSketch<S> {
             domain,
             levels: level_sketches,
             selector: KWiseHash::new(2, seeds[levels]),
+            seed,
         }
     }
 
@@ -87,25 +96,15 @@ impl<S: HeavyHitterSketch> RecursiveSketch<S> {
         (h.trailing_zeros() as usize).min(self.levels.len() - 1)
     }
 
-    /// Feed one update to every level whose substream includes the item.
-    pub fn update(&mut self, update: Update) {
-        let deepest = self.deepest_level(update.item);
-        for level in 0..=deepest {
-            self.levels[level].update(update);
-        }
-    }
-
-    /// Process an entire stream.
-    pub fn process_stream(&mut self, stream: &TurnstileStream) {
-        for &u in stream.iter() {
-            self.update(u);
-        }
-    }
-
     /// The per-level covers (useful for diagnostics and the ablation
     /// experiment E9).
     pub fn covers(&self) -> Vec<GCover> {
         self.levels.iter().map(|s| s.cover(self.domain)).collect()
+    }
+
+    /// Read access to the per-level sketches.
+    pub fn level_sketches(&self) -> &[S] {
+        &self.levels
     }
 
     /// Access the per-level sketches (e.g. to drive a two-pass algorithm's
@@ -145,10 +144,43 @@ impl<S: HeavyHitterSketch> RecursiveSketch<S> {
     }
 }
 
+impl<S: HeavyHitterSketch> StreamSink for RecursiveSketch<S> {
+    /// Feed one update to every level whose substream includes the item —
+    /// the incremental per-update subsampling of the recursive reduction.
+    fn update(&mut self, update: Update) {
+        let deepest = self.deepest_level(update.item);
+        for level in &mut self.levels[..=deepest] {
+            level.update(update);
+        }
+    }
+}
+
+/// The recursive sketch of mergeable level sketches is itself mergeable:
+/// matching seeds guarantee the subsampling selectors agree, and the levels
+/// merge pairwise.
+impl<S: HeavyHitterSketch + MergeableSketch> MergeableSketch for RecursiveSketch<S> {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.domain != other.domain
+            || self.levels.len() != other.levels.len()
+            || self.seed != other.seed
+        {
+            return Err(MergeError::new(
+                "recursive-sketch merge requires identical domain, levels and seed",
+            ));
+        }
+        for (mine, theirs) in self.levels.iter_mut().zip(other.levels.iter()) {
+            mine.merge(theirs)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsum_streams::{StreamConfig, StreamGenerator, UniformStreamGenerator, ZipfStreamGenerator};
+    use gsum_streams::{
+        StreamConfig, StreamGenerator, UniformStreamGenerator, ZipfStreamGenerator,
+    };
 
     /// A heavy-hitter oracle that tracks everything exactly and reports every
     /// item as its cover.  With exact per-level covers the recursive
@@ -166,10 +198,13 @@ mod tests {
         }
     }
 
-    impl HeavyHitterSketch for ExactOracle {
+    impl StreamSink for ExactOracle {
         fn update(&mut self, update: Update) {
             *self.counts.entry(update.item).or_insert(0) += update.delta;
         }
+    }
+
+    impl HeavyHitterSketch for ExactOracle {
         fn cover(&self, _domain: u64) -> GCover {
             GCover::from_pairs(
                 self.counts
@@ -184,6 +219,15 @@ mod tests {
         }
     }
 
+    impl MergeableSketch for ExactOracle {
+        fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+            for (&i, &v) in &other.counts {
+                *self.counts.entry(i).or_insert(0) += v;
+            }
+            Ok(())
+        }
+    }
+
     /// An oracle that only reports the `k` largest-magnitude items of its own
     /// substream — exercises the "light mass is extrapolated from deeper
     /// levels" path (shallow levels cover only a fraction of their mass,
@@ -193,10 +237,13 @@ mod tests {
         counts: std::collections::HashMap<u64, i64>,
     }
 
-    impl HeavyHitterSketch for TopKOracle {
+    impl StreamSink for TopKOracle {
         fn update(&mut self, update: Update) {
             *self.counts.entry(update.item).or_insert(0) += update.delta;
         }
+    }
+
+    impl HeavyHitterSketch for TopKOracle {
         fn cover(&self, _domain: u64) -> GCover {
             let mut items: Vec<(u64, i64)> = self
                 .counts
@@ -266,8 +313,7 @@ mod tests {
         // With only the top-k items of each substream covered, individual
         // estimates are noisy but the median over independent seeds
         // concentrates around the truth (the content of Theorem 13).
-        let stream =
-            UniformStreamGenerator::new(StreamConfig::new(1 << 10, 40_000), 11).generate();
+        let stream = UniformStreamGenerator::new(StreamConfig::new(1 << 10, 40_000), 11).generate();
         let truth: f64 = stream
             .frequency_vector()
             .iter()
@@ -312,6 +358,33 @@ mod tests {
         assert_eq!(rs.domain(), 64);
         assert!(rs.space_words() >= 4);
         assert!(rs.deepest_level(3) < 4);
+    }
+
+    #[test]
+    fn merged_halves_estimate_like_the_whole() {
+        let stream = ZipfStreamGenerator::new(StreamConfig::new(256, 8_000), 1.2, 5).generate();
+        let build = || RecursiveSketch::new(256, 8, 21, |_, _| ExactOracle::new());
+
+        let mut whole = build();
+        whole.process_stream(&stream);
+
+        let (front, back) = stream.updates().split_at(stream.len() / 2);
+        let mut a = build();
+        a.update_batch(front);
+        let mut b = build();
+        b.update_batch(back);
+        a.merge(&b).unwrap();
+
+        assert_eq!(a.estimate(), whole.estimate());
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_seed() {
+        let mut a = RecursiveSketch::new(64, 4, 1, |_, _| ExactOracle::new());
+        let b = RecursiveSketch::new(64, 4, 2, |_, _| ExactOracle::new());
+        assert!(a.merge(&b).is_err());
+        let c = RecursiveSketch::new(32, 4, 1, |_, _| ExactOracle::new());
+        assert!(a.merge(&c).is_err());
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! A minimal, dependency-free stand-in for the [criterion](https://docs.rs/criterion)
+//! benchmark harness, implementing the subset of its API used by this
+//! workspace's benches.
+//!
+//! The build environment for this repository has no network access, so the
+//! real crate cannot be fetched; this shim keeps the bench targets compiling
+//! and producing useful wall-clock numbers (`cargo bench`).  Measurements are
+//! simple mean-of-iterations timings without criterion's statistical
+//! machinery — adequate for the relative comparisons the benches make.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How the per-iteration input of [`Bencher::iter_batched`] is grouped.
+/// The shim runs every batch size the same way; the variants exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group (accepted, reported alongside
+/// the timing when set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Runs closures repeatedly and records the mean iteration time.
+pub struct Bencher {
+    /// Target measurement budget.
+    budget: Duration,
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Self {
+            budget,
+            mean_ns: 0.0,
+            iterations: 0,
+        }
+    }
+
+    /// Time a closure: a couple of warm-up runs, then as many measured runs
+    /// as fit in the budget (at least 5).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        while iterations < 5 || (start.elapsed() < self.budget && iterations < 1_000_000) {
+            black_box(routine());
+            iterations += 1;
+        }
+        let total = start.elapsed();
+        self.iterations = iterations;
+        self.mean_ns = total.as_nanos() as f64 / iterations as f64;
+    }
+
+    /// Time a closure with a per-iteration setup whose cost is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut measured = Duration::ZERO;
+        let mut iterations = 0u64;
+        let start = Instant::now();
+        while iterations < 5 || (start.elapsed() < self.budget && iterations < 1_000_000) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            iterations += 1;
+        }
+        self.iterations = iterations;
+        self.mean_ns = measured.as_nanos() as f64 / iterations as f64;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Configure the (ignored) sample count, for API compatibility.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(&name.into(), None, &b);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+fn report(name: &str, throughput: Option<Throughput>, b: &Bencher) {
+    let mut line = format!(
+        "{name:<48} {:>12}/iter  ({} iterations)",
+        format_ns(b.mean_ns),
+        b.iterations
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if b.mean_ns > 0.0 {
+            let per_sec = count as f64 / (b.mean_ns / 1e9);
+            line.push_str(&format!("  {per_sec:.3e} {unit}/s"));
+        }
+    }
+    println!("{line}");
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name.into()),
+            self.throughput,
+            &b,
+        );
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.mean_ns > 0.0);
+        assert!(b.iterations >= 5);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(
+            || vec![1u64; 16],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.iterations >= 5);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(2));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("inner", |b| b.iter(|| 2 * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

@@ -16,8 +16,8 @@
 
 use crate::properties::{
     analyze_nearly_periodic, analyze_predictable, analyze_slow_dropping, analyze_slow_jumping,
-    estimate_envelope, NearlyPeriodicReport, PredictableReport, PropertyConfig,
-    SlowDroppingReport, SlowJumpingReport, SubpolyEnvelope,
+    estimate_envelope, NearlyPeriodicReport, PredictableReport, PropertyConfig, SlowDroppingReport,
+    SlowJumpingReport, SubpolyEnvelope,
 };
 use crate::GFunction;
 
@@ -144,9 +144,7 @@ pub fn classify<G: GFunction + ?Sized>(g: &G, config: &PropertyConfig) -> Tracta
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::library::{
-        GnpFunction, InversePowerFunction, OscillatingQuadratic, PowerFunction,
-    };
+    use crate::library::{GnpFunction, InversePowerFunction, OscillatingQuadratic, PowerFunction};
 
     fn cfg() -> PropertyConfig {
         PropertyConfig::fast()

@@ -137,10 +137,7 @@ mod tests {
 
     #[test]
     fn scale_accessors() {
-        assert_eq!(
-            OscillatingQuadratic::sqrt().scale(),
-            OscillationScale::Sqrt
-        );
+        assert_eq!(OscillatingQuadratic::sqrt().scale(), OscillationScale::Sqrt);
         assert!(OscillatingQuadratic::direct().name().contains("sin x"));
     }
 

@@ -122,7 +122,10 @@ impl HigherOrderEncoded {
 
     /// Encode an attribute pair.
     pub fn encode(&self, attr1: u64, attr2: u64) -> u64 {
-        assert!(attr1 < self.base && attr2 < self.base, "digits out of range");
+        assert!(
+            attr1 < self.base && attr2 < self.base,
+            "digits out of range"
+        );
         attr1 + self.base * attr2
     }
 }

@@ -200,7 +200,7 @@ mod tests {
     #[test]
     fn perturbation_probe_grid_shape() {
         let ys = perturbation_probes(10_000);
-        assert!(ys.iter().all(|&y| y >= 1 && y < 10_000));
+        assert!(ys.iter().all(|&y| (1..10_000).contains(&y)));
         assert!(ys.windows(2).all(|w| w[0] < w[1]));
         // Dense start.
         assert!(ys.contains(&1) && ys.contains(&37) && ys.contains(&64));

@@ -46,12 +46,7 @@ pub fn analyze_slow_dropping<G: GFunction + ?Sized>(
                 let bound = gy * (y as f64).powf(alpha);
                 if prefix_max > bound {
                     last_violation = y;
-                    if y >= cutoff
-                        && witness
-                            .as_ref()
-                            .map(|w| y > w.y)
-                            .unwrap_or(true)
-                    {
+                    if y >= cutoff && witness.as_ref().map(|w| y > w.y).unwrap_or(true) {
                         witness = Some(Witness {
                             x: prefix_argmax,
                             y,
@@ -99,10 +94,7 @@ mod tests {
         let report = analyze_slow_dropping(&g, &cfg());
         assert!(report.holds);
         assert!(report.witness.is_none());
-        assert!(report
-            .last_violation_per_alpha
-            .iter()
-            .all(|&(_, y)| y == 0));
+        assert!(report.last_violation_per_alpha.iter().all(|&(_, y)| y == 0));
     }
 
     #[test]

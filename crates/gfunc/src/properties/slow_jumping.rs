@@ -79,9 +79,7 @@ pub fn analyze_slow_jumping<G: GFunction + ?Sized>(
                     if y > last_violation {
                         last_violation = y;
                     }
-                    if y >= cutoff
-                        && witness.as_ref().map(|w| y > w.y).unwrap_or(true)
-                    {
+                    if y >= cutoff && witness.as_ref().map(|w| y > w.y).unwrap_or(true) {
                         witness = Some(Witness {
                             x,
                             y,
@@ -142,7 +140,8 @@ mod tests {
         let w = report.witness.expect("witness");
         assert!(w.y >= cfg().cutoff());
         // The witness really violates the inequality.
-        let bound = ((w.y / w.x) as f64).powf(2.0 + w.exponent) * (w.x as f64).powf(w.exponent) * w.gx;
+        let bound =
+            ((w.y / w.x) as f64).powf(2.0 + w.exponent) * (w.x as f64).powf(w.exponent) * w.gx;
         assert!(w.gy > bound);
     }
 

@@ -36,10 +36,7 @@ impl SubpolyEnvelope {
 }
 
 /// Compute the empirical envelope of `g` over `[1, config.max_x]`.
-pub fn estimate_envelope<G: GFunction + ?Sized>(
-    g: &G,
-    config: &PropertyConfig,
-) -> SubpolyEnvelope {
+pub fn estimate_envelope<G: GFunction + ?Sized>(g: &G, config: &PropertyConfig) -> SubpolyEnvelope {
     let probes = evaluate_probes(g, config);
 
     // Drop factor: max over y of (max_{x<y} g(x)) / g(y).

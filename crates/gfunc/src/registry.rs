@@ -243,7 +243,11 @@ impl FunctionRegistry {
     pub fn classification_table(
         &self,
         config: &PropertyConfig,
-    ) -> Vec<(&RegisteredFunction, crate::classify::TractabilityReport, bool)> {
+    ) -> Vec<(
+        &RegisteredFunction,
+        crate::classify::TractabilityReport,
+        bool,
+    )> {
         self.entries
             .iter()
             .map(|entry| {
@@ -294,7 +298,11 @@ mod tests {
     #[test]
     fn registry_is_well_formed() {
         let reg = FunctionRegistry::standard();
-        assert!(reg.len() >= 20, "expected a rich library, got {}", reg.len());
+        assert!(
+            reg.len() >= 20,
+            "expected a rich library, got {}",
+            reg.len()
+        );
         assert!(!reg.is_empty());
         // Names are unique.
         let mut names: Vec<String> = reg.iter().map(|e| e.name()).collect();

@@ -34,16 +34,18 @@ pub trait GFunction {
         if self.eval(0) != 0.0 {
             return false;
         }
-        let probe = probe_limit.min(4096).max(1);
+        let probe = probe_limit.clamp(1, 4096);
+        // A probe passes only when g(x) is strictly positive; NaN fails.
+        let positive = |x: u64| self.eval(x).partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
         // Check a dense prefix and a geometric tail.
         for x in 1..=probe.min(512) {
-            if !(self.eval(x) > 0.0) {
+            if !positive(x) {
                 return false;
             }
         }
         let mut x = 512u64;
         while x <= probe_limit {
-            if !(self.eval(x) > 0.0) {
+            if !positive(x) {
                 return false;
             }
             x = x.saturating_mul(2);
@@ -181,7 +183,10 @@ pub struct ClosureG<F> {
 impl<F: Fn(u64) -> f64> ClosureG<F> {
     /// Wrap a closure as a `GFunction`.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        Self { name: name.into(), f }
+        Self {
+            name: name.into(),
+            f,
+        }
     }
 }
 
@@ -279,7 +284,7 @@ mod tests {
         assert_eq!(r.eval(3), 9.0);
         let b: Box<dyn GFunction> = Box::new(Square);
         assert_eq!(b.eval(3), 9.0);
-        assert_eq!((&b).name(), "x^2");
+        assert_eq!(b.name(), "x^2");
         // A reference to a reference still works (blanket impl).
         fn takes_g<G: GFunction>(g: G) -> f64 {
             g.eval(2)

@@ -11,9 +11,10 @@
 //! candidate heavy hitters.
 
 use crate::error::SketchError;
+use crate::util::median_in_place;
 use crate::FrequencySketch;
 use gsum_hash::{derive_seeds, SignHash};
-use gsum_streams::Update;
+use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
 
 /// The AMS F₂ estimator: `averages × medians` independent tug-of-war counters.
 #[derive(Debug, Clone)]
@@ -25,6 +26,8 @@ pub struct AmsF2Sketch {
     /// Counters, length `averages * medians`.
     counters: Vec<f64>,
     signs: Vec<SignHash>,
+    /// Construction seed, kept so merges can verify hash compatibility.
+    seed: u64,
 }
 
 impl AmsF2Sketch {
@@ -48,6 +51,7 @@ impl AmsF2Sketch {
             medians,
             counters: vec![0.0; total],
             signs,
+            seed,
         })
     }
 
@@ -83,13 +87,7 @@ impl AmsF2Sketch {
                 sum / self.averages as f64
             })
             .collect();
-        group_means.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite means"));
-        let mid = group_means.len() / 2;
-        if group_means.len() % 2 == 1 {
-            group_means[mid]
-        } else {
-            0.5 * (group_means[mid - 1] + group_means[mid])
-        }
+        median_in_place(&mut group_means)
     }
 
     /// Current estimate of the L2 norm `√F₂`.
@@ -98,13 +96,34 @@ impl AmsF2Sketch {
     }
 }
 
-impl FrequencySketch for AmsF2Sketch {
+impl StreamSink for AmsF2Sketch {
     fn update(&mut self, update: Update) {
         for (counter, sign) in self.counters.iter_mut().zip(self.signs.iter()) {
             *counter += sign.sign_f64(update.item) * update.delta as f64;
         }
     }
+}
 
+/// The tug-of-war counters are linear in the frequency vector, so two
+/// sketches with the same shape and seed merge by adding counters.
+impl MergeableSketch for AmsF2Sketch {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.averages != other.averages
+            || self.medians != other.medians
+            || self.seed != other.seed
+        {
+            return Err(MergeError::new(
+                "AMS merge requires identical shape and seed",
+            ));
+        }
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+}
+
+impl FrequencySketch for AmsF2Sketch {
     /// The AMS sketch does not estimate individual frequencies; per-item
     /// estimates are reported as 0.  (It implements the trait so the generic
     /// stream-processing plumbing can drive it.)
@@ -121,8 +140,7 @@ impl FrequencySketch for AmsF2Sketch {
 mod tests {
     use super::*;
     use gsum_streams::{
-        StreamConfig, StreamGenerator, TurnstileStream, UniformStreamGenerator,
-        ZipfStreamGenerator,
+        StreamConfig, StreamGenerator, TurnstileStream, UniformStreamGenerator, ZipfStreamGenerator,
     };
 
     #[test]

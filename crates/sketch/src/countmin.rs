@@ -9,7 +9,7 @@
 use crate::error::SketchError;
 use crate::FrequencySketch;
 use gsum_hash::{derive_seeds, BucketHash};
-use gsum_streams::Update;
+use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
 
 /// A Count-Min sketch: `rows × columns` non-negative counters, estimate is the
 /// minimum over rows.
@@ -19,6 +19,8 @@ pub struct CountMinSketch {
     columns: usize,
     counters: Vec<f64>,
     hashes: Vec<BucketHash>,
+    /// Construction seed, kept so merges can verify hash compatibility.
+    seed: u64,
 }
 
 impl CountMinSketch {
@@ -28,7 +30,9 @@ impl CountMinSketch {
             return Err(SketchError::EmptyDimension { parameter: "rows" });
         }
         if columns == 0 {
-            return Err(SketchError::EmptyDimension { parameter: "columns" });
+            return Err(SketchError::EmptyDimension {
+                parameter: "columns",
+            });
         }
         let seeds = derive_seeds(seed, rows);
         let hashes = seeds
@@ -40,6 +44,7 @@ impl CountMinSketch {
             columns,
             counters: vec![0.0; rows * columns],
             hashes,
+            seed,
         })
     }
 
@@ -69,7 +74,7 @@ impl CountMinSketch {
     }
 }
 
-impl FrequencySketch for CountMinSketch {
+impl StreamSink for CountMinSketch {
     fn update(&mut self, update: Update) {
         for row in 0..self.rows {
             let col = self.hashes[row].bucket(update.item) as usize;
@@ -77,7 +82,25 @@ impl FrequencySketch for CountMinSketch {
             self.counters[idx] += update.delta as f64;
         }
     }
+}
 
+/// Count-Min counters are linear in the frequency vector, so identically
+/// configured sketches merge by adding counters.
+impl MergeableSketch for CountMinSketch {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.rows != other.rows || self.columns != other.columns || self.seed != other.seed {
+            return Err(MergeError::new(
+                "Count-Min merge requires identical shape and seed",
+            ));
+        }
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+}
+
+impl FrequencySketch for CountMinSketch {
     fn estimate(&self, item: u64) -> f64 {
         (0..self.rows)
             .map(|row| {
@@ -136,7 +159,10 @@ mod tests {
                 violations += 1;
             }
         }
-        assert!(violations <= 2, "too many error-bound violations: {violations}");
+        assert!(
+            violations <= 2,
+            "too many error-bound violations: {violations}"
+        );
     }
 
     #[test]

@@ -15,9 +15,10 @@
 //! within `ε √(λ F₂)`.
 
 use crate::error::SketchError;
+use crate::util::median_in_place;
 use crate::FrequencySketch;
 use gsum_hash::{derive_seeds, BucketHash, SignHash};
-use gsum_streams::Update;
+use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
 
 /// Configuration for a [`CountSketch`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,7 +37,9 @@ impl CountSketchConfig {
             return Err(SketchError::EmptyDimension { parameter: "rows" });
         }
         if columns == 0 {
-            return Err(SketchError::EmptyDimension { parameter: "columns" });
+            return Err(SketchError::EmptyDimension {
+                parameter: "columns",
+            });
         }
         Ok(Self { rows, columns })
     }
@@ -138,10 +141,12 @@ impl CountSketch {
     /// The top-`k` items (by estimated magnitude) among the given candidate
     /// item identifiers.  Returned as `(item, estimate)` sorted by decreasing
     /// `|estimate|`.
-    pub fn top_candidates(&self, candidates: impl Iterator<Item = u64>, k: usize) -> Vec<(u64, f64)> {
-        let mut scored: Vec<(u64, f64)> = candidates
-            .map(|i| (i, self.estimate(i)))
-            .collect();
+    pub fn top_candidates(
+        &self,
+        candidates: impl Iterator<Item = u64>,
+        k: usize,
+    ) -> Vec<(u64, f64)> {
+        let mut scored: Vec<(u64, f64)> = candidates.map(|i| (i, self.estimate(i))).collect();
         scored.sort_unstable_by(|a, b| {
             b.1.abs()
                 .partial_cmp(&a.1.abs())
@@ -174,34 +179,40 @@ impl CountSketch {
                 excluded_cols[self.bucket_hashes[row].bucket(item) as usize] = true;
             }
             let mut sum = 0.0;
-            for col in 0..self.config.columns {
-                if !excluded_cols[col] {
+            for (col, &is_excluded) in excluded_cols.iter().enumerate() {
+                if !is_excluded {
                     let c = self.counters[self.cell(row, col)];
                     sum += c * c;
                 }
             }
             row_sums.push(sum);
         }
-        row_sums.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite sums"));
-        let mid = row_sums.len() / 2;
-        if row_sums.len() % 2 == 1 {
-            row_sums[mid]
-        } else {
-            0.5 * (row_sums[mid - 1] + row_sums[mid])
+        median_in_place(&mut row_sums)
+    }
+}
+
+impl StreamSink for CountSketch {
+    fn update(&mut self, update: Update) {
+        for row in 0..self.config.rows {
+            let col = self.bucket_hashes[row].bucket(update.item) as usize;
+            let sign = self.sign_hashes[row].sign_f64(update.item);
+            let idx = self.cell(row, col);
+            self.counters[idx] += sign * update.delta as f64;
         }
     }
+}
 
-    /// Merge another CountSketch built with the same configuration and seed
-    /// (so the hash functions agree).  The merged sketch summarizes the
-    /// concatenation of the two input streams — this is the linearity
-    /// property that makes the sketch usable in distributed settings and that
-    /// [Li–Nguyen–Woodruff 2014] shows is essentially without loss of
-    /// generality.
-    pub fn merge(&mut self, other: &CountSketch) -> Result<(), SketchError> {
+/// CountSketch is a linear sketch: merging two copies built with the same
+/// configuration and seed (so the hash functions agree) summarizes the
+/// concatenation of the two input streams — the property that makes the
+/// sketch usable in distributed settings and that [Li–Nguyen–Woodruff 2014]
+/// shows is essentially without loss of generality.
+impl MergeableSketch for CountSketch {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
         if self.config != other.config || self.seed != other.seed {
-            return Err(SketchError::IncompatibleMerge {
-                reason: "CountSketch merge requires identical configuration and seed".into(),
-            });
+            return Err(MergeError::new(
+                "CountSketch merge requires identical configuration and seed",
+            ));
         }
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
             *a += b;
@@ -211,15 +222,6 @@ impl CountSketch {
 }
 
 impl FrequencySketch for CountSketch {
-    fn update(&mut self, update: Update) {
-        for row in 0..self.config.rows {
-            let col = self.bucket_hashes[row].bucket(update.item) as usize;
-            let sign = self.sign_hashes[row].sign_f64(update.item);
-            let idx = self.cell(row, col);
-            self.counters[idx] += sign * update.delta as f64;
-        }
-    }
-
     fn estimate(&self, item: u64) -> f64 {
         let mut row_estimates: Vec<f64> = (0..self.config.rows)
             .map(|row| {
@@ -227,13 +229,7 @@ impl FrequencySketch for CountSketch {
                 self.sign_hashes[row].sign_f64(item) * self.counters[self.cell(row, col)]
             })
             .collect();
-        row_estimates.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
-        let mid = row_estimates.len() / 2;
-        if row_estimates.len() % 2 == 1 {
-            row_estimates[mid]
-        } else {
-            0.5 * (row_estimates[mid - 1] + row_estimates[mid])
-        }
+        median_in_place(&mut row_estimates)
     }
 
     fn space_words(&self) -> usize {
@@ -281,8 +277,8 @@ mod tests {
         // Plant a dominant item among uniform noise; estimate error should be
         // far below the planted frequency.
         let planted = vec![(13u64, 5_000u64)];
-        let stream = PlantedStreamGenerator::new(StreamConfig::new(1 << 12, 40_000), planted, 7)
-            .generate();
+        let stream =
+            PlantedStreamGenerator::new(StreamConfig::new(1 << 12, 40_000), planted, 7).generate();
         let fv = stream.frequency_vector();
         let mut cs = CountSketch::new(CountSketchConfig::new(7, 512).unwrap(), 11);
         cs.process_stream(&stream);
@@ -376,8 +372,8 @@ mod tests {
         // item, the residual should be near the background F2 and far below
         // the full F2.
         let planted = vec![(9u64, 10_000u64)];
-        let stream = PlantedStreamGenerator::new(StreamConfig::new(1 << 10, 20_000), planted, 3)
-            .generate();
+        let stream =
+            PlantedStreamGenerator::new(StreamConfig::new(1 << 10, 20_000), planted, 3).generate();
         let fv = stream.frequency_vector();
         let full_f2 = fv.f2();
         let true_residual = full_f2 - (fv.get(9) as f64).powi(2);
@@ -385,7 +381,10 @@ mod tests {
         let mut cs = CountSketch::new(CountSketchConfig::new(7, 1024).unwrap(), 19);
         cs.process_stream(&stream);
         let est = cs.residual_f2_excluding(&[9]);
-        assert!(est < 0.05 * full_f2, "residual {est} not far below full {full_f2}");
+        assert!(
+            est < 0.05 * full_f2,
+            "residual {est} not far below full {full_f2}"
+        );
         assert!(
             est < 2.0 * true_residual + 1.0,
             "residual {est} vs true tail {true_residual}"

@@ -18,10 +18,21 @@ pub enum SketchError {
         value: f64,
     },
     /// Attempted to merge two sketches with incompatible shapes or seeds.
+    ///
+    /// Merge failures are reported as [`gsum_streams::MergeError`] by the
+    /// [`gsum_streams::MergeableSketch`] implementations; the `From`
+    /// conversion below folds them into a `SketchError` for callers whose
+    /// error paths mix construction and merge failures.
     IncompatibleMerge {
         /// Human-readable reason.
         reason: String,
     },
+}
+
+impl From<gsum_streams::MergeError> for SketchError {
+    fn from(e: gsum_streams::MergeError) -> Self {
+        SketchError::IncompatibleMerge { reason: e.reason }
+    }
 }
 
 impl fmt::Display for SketchError {
@@ -31,7 +42,10 @@ impl fmt::Display for SketchError {
                 write!(f, "sketch parameter `{parameter}` must be positive")
             }
             SketchError::InvalidProbability { parameter, value } => {
-                write!(f, "sketch parameter `{parameter}` = {value} must lie in (0, 1)")
+                write!(
+                    f,
+                    "sketch parameter `{parameter}` = {value} must lie in (0, 1)"
+                )
             }
             SketchError::IncompatibleMerge { reason } => {
                 write!(f, "cannot merge sketches: {reason}")
@@ -59,5 +73,17 @@ mod tests {
             reason: "different seeds".into(),
         };
         assert!(e.to_string().contains("different seeds"));
+    }
+
+    #[test]
+    fn merge_error_folds_into_sketch_error() {
+        let merge = gsum_streams::MergeError::new("seed mismatch");
+        let folded: SketchError = merge.into();
+        assert_eq!(
+            folded,
+            SketchError::IncompatibleMerge {
+                reason: "seed mismatch".into()
+            }
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! would have paid" comparison point.
 
 use crate::FrequencySketch;
-use gsum_streams::{FrequencyVector, Update};
+use gsum_streams::{FrequencyVector, MergeError, MergeableSketch, StreamSink, Update};
 
 /// Exact per-item frequencies (a thin wrapper around [`FrequencyVector`] that
 /// implements the sketch interface).
@@ -35,11 +35,28 @@ impl ExactFrequencies {
     }
 }
 
-impl FrequencySketch for ExactFrequencies {
+impl StreamSink for ExactFrequencies {
     fn update(&mut self, update: Update) {
         self.vector.apply(update.item, update.delta);
     }
+}
 
+/// The exact tracker is trivially linear: merging adds frequency vectors.
+impl MergeableSketch for ExactFrequencies {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.vector.domain() != other.vector.domain() {
+            return Err(MergeError::new(
+                "exact-tracker merge requires equal domains",
+            ));
+        }
+        for (item, v) in other.vector.iter() {
+            self.vector.apply(item, v);
+        }
+        Ok(())
+    }
+}
+
+impl FrequencySketch for ExactFrequencies {
     fn estimate(&self, item: u64) -> f64 {
         self.vector.get(item) as f64
     }

@@ -20,9 +20,13 @@
 //! * [`SamplingEstimator`] — a uniform-sampling baseline for g-SUM, the naive
 //!   alternative the introduction implicitly compares against.
 //!
-//! All sketches implement [`FrequencySketch`] so the higher-level algorithms
-//! can be written generically, and all are linear: they support `merge`, and
-//! processing a stream is equivalent to processing any reordering of it.
+//! All sketches implement the push-based
+//! [`StreamSink`](gsum_streams::StreamSink) contract (updates are pushed one
+//! at a time or in batches; queries reflect the prefix absorbed so far) plus
+//! [`FrequencySketch`] for per-item estimates, and all are linear: they
+//! implement [`MergeableSketch`](gsum_streams::MergeableSketch), and
+//! processing a stream is equivalent to processing any reordering or
+//! resharding of it.
 
 pub mod ams;
 pub mod countmin;
@@ -30,6 +34,7 @@ pub mod countsketch;
 pub mod error;
 pub mod exact;
 pub mod sampling;
+pub(crate) mod util;
 
 pub use ams::AmsF2Sketch;
 pub use countmin::CountMinSketch;
@@ -38,44 +43,39 @@ pub use error::SketchError;
 pub use exact::ExactFrequencies;
 pub use sampling::SamplingEstimator;
 
-use gsum_streams::{TurnstileStream, Update};
+// The push-based ingestion contract, re-exported so sketch users need only
+// this crate.
+pub use gsum_streams::{MergeError, MergeableSketch, StreamSink};
 
 /// A frequency sketch: a compact summary of a turnstile stream from which
-/// per-item frequency estimates can be extracted.
-pub trait FrequencySketch {
-    /// Process one turnstile update.
-    fn update(&mut self, update: Update);
-
+/// per-item frequency estimates can be extracted.  Updates are pushed through
+/// the [`StreamSink`] supertrait.
+pub trait FrequencySketch: StreamSink {
     /// Estimated frequency of `item`.
     fn estimate(&self, item: u64) -> f64;
 
     /// Number of 64-bit words of state the sketch occupies (the "space" that
     /// the zero-one laws are about). Hash-function descriptions are counted.
     fn space_words(&self) -> usize;
-
-    /// Process an entire stream.
-    fn process_stream(&mut self, stream: &TurnstileStream) {
-        for &u in stream.iter() {
-            self.update(u);
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsum_streams::{StreamConfig, StreamGenerator, UniformStreamGenerator};
+    use gsum_streams::{StreamConfig, StreamGenerator, UniformStreamGenerator, Update};
 
-    /// The default trait method should feed every update to `update`.
+    /// The sink plumbing should feed every update to `update`.
     #[test]
-    fn process_stream_default_method() {
+    fn process_stream_feeds_update() {
         struct Counter {
             n: usize,
         }
-        impl FrequencySketch for Counter {
+        impl StreamSink for Counter {
             fn update(&mut self, _u: Update) {
                 self.n += 1;
             }
+        }
+        impl FrequencySketch for Counter {
             fn estimate(&self, _item: u64) -> f64 {
                 self.n as f64
             }
@@ -87,5 +87,7 @@ mod tests {
         let s = UniformStreamGenerator::new(StreamConfig::new(16, 250), 1).generate();
         c.process_stream(&s);
         assert_eq!(c.n, 250);
+        c.update_batch(s.updates());
+        assert_eq!(c.n, 500);
     }
 }

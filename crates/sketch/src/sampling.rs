@@ -9,7 +9,7 @@
 
 use crate::FrequencySketch;
 use gsum_hash::Xoshiro256;
-use gsum_streams::Update;
+use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
 use std::collections::HashMap;
 
 /// Tracks the exact frequencies of a uniformly chosen sample of coordinates.
@@ -17,6 +17,8 @@ use std::collections::HashMap;
 pub struct SamplingEstimator {
     domain: u64,
     sample: HashMap<u64, i64>,
+    /// Construction seed, kept so merges can verify the samples agree.
+    seed: u64,
 }
 
 impl SamplingEstimator {
@@ -45,7 +47,11 @@ impl SamplingEstimator {
                 }
             }
         }
-        Self { domain, sample }
+        Self {
+            domain,
+            sample,
+            seed,
+        }
     }
 
     /// Number of sampled coordinates.
@@ -71,13 +77,41 @@ impl SamplingEstimator {
     }
 }
 
-impl FrequencySketch for SamplingEstimator {
+impl StreamSink for SamplingEstimator {
     fn update(&mut self, update: Update) {
         if let Some(count) = self.sample.get_mut(&update.item) {
             *count += update.delta;
         }
     }
+}
 
+/// Two samplers over the same coordinate sample merge by adding the tracked
+/// frequencies.
+impl MergeableSketch for SamplingEstimator {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.domain != other.domain
+            || self.seed != other.seed
+            || self.sample.len() != other.sample.len()
+        {
+            return Err(MergeError::new(
+                "sampling merge requires identical domain, seed and sample size",
+            ));
+        }
+        for (item, v) in &other.sample {
+            match self.sample.get_mut(item) {
+                Some(count) => *count += v,
+                None => {
+                    return Err(MergeError::new(
+                        "sampling merge requires identical coordinate samples",
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FrequencySketch for SamplingEstimator {
     fn estimate(&self, item: u64) -> f64 {
         self.sample.get(&item).copied().unwrap_or(0) as f64
     }
@@ -111,10 +145,8 @@ mod tests {
         let a = SamplingEstimator::new(1 << 16, 100, 7);
         let b = SamplingEstimator::new(1 << 16, 100, 7);
         assert_eq!(a.sample_size(), 100);
-        let keys_a: std::collections::BTreeSet<u64> =
-            a.sample.keys().copied().collect();
-        let keys_b: std::collections::BTreeSet<u64> =
-            b.sample.keys().copied().collect();
+        let keys_a: std::collections::BTreeSet<u64> = a.sample.keys().copied().collect();
+        let keys_b: std::collections::BTreeSet<u64> = b.sample.keys().copied().collect();
         assert_eq!(keys_a, keys_b);
     }
 

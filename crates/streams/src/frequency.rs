@@ -75,10 +75,7 @@ impl FrequencyVector {
 
     /// Second moment `F_2 = Σ v_i²`.
     pub fn f2(&self) -> f64 {
-        self.counts
-            .values()
-            .map(|&v| (v as f64) * (v as f64))
-            .sum()
+        self.counts.values().map(|&v| (v as f64) * (v as f64)).sum()
     }
 
     /// `k`-th frequency moment `F_k = Σ |v_i|^k` (for `k ≥ 0`; items with zero

@@ -9,12 +9,20 @@
 //! both branches of that construction so experiment E3 can measure how often
 //! a bounded-space sketch distinguishes them.
 
+use super::pool::CountPool;
 use super::StreamGenerator;
+use crate::source::UpdateSource;
 use crate::stream::TurnstileStream;
 use crate::update::Update;
 use gsum_hash::Xoshiro256;
 
 /// Generates the Lemma-25 style two-branch workload.
+///
+/// Also a lazy [`UpdateSource`]: the pull path emits a uniformly random
+/// interleaving of the heavy and light insertions by sampling without
+/// replacement from the remaining pools (same distribution as `generate`'s
+/// shuffle, different permutation for a given seed; identical frequency
+/// vector).
 #[derive(Debug, Clone)]
 pub struct AdversarialCollisionGenerator {
     domain: u64,
@@ -28,6 +36,10 @@ pub struct AdversarialCollisionGenerator {
     /// branch); otherwise exactly `x`.
     collide: bool,
     seed: u64,
+    rng: Xoshiro256,
+    /// Remaining insertions (lazy path): pool 0 is the heavy item, pool `i`
+    /// for `i ≥ 1` is light item `i`.
+    pools: CountPool,
 }
 
 impl AdversarialCollisionGenerator {
@@ -44,18 +56,30 @@ impl AdversarialCollisionGenerator {
         seed: u64,
     ) -> Self {
         assert!(
-            light_items + 1 <= domain,
+            light_items < domain,
             "domain too small for the requested number of items"
         );
         assert!(light_frequency > 0 && heavy_frequency > 0);
-        Self {
+        let mut g = Self {
             domain,
             light_frequency,
             light_items,
             heavy_frequency,
             collide,
             seed,
-        }
+            rng: Xoshiro256::new(seed),
+            pools: CountPool::new(&[]),
+        };
+        g.reset();
+        g
+    }
+
+    /// Rewind the lazy source to the beginning.
+    pub fn reset(&mut self) {
+        self.rng = Xoshiro256::new(self.seed);
+        let mut counts = vec![self.light_frequency; self.light_items as usize + 1];
+        counts[0] = self.heavy_value();
+        self.pools = CountPool::new(&counts);
     }
 
     /// The item identifier carrying the heavy frequency.
@@ -71,6 +95,33 @@ impl AdversarialCollisionGenerator {
         } else {
             self.heavy_frequency
         }
+    }
+}
+
+impl UpdateSource for AdversarialCollisionGenerator {
+    fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    fn next_update(&mut self) -> Option<Update> {
+        let total = self.pools.total();
+        if total == 0 {
+            return None;
+        }
+        let pick = self.rng.next_below(total);
+        let pool = self.pools.take_nth(pick);
+        // Pool 0 is the heavy item; light items occupy identifiers
+        // 1..=light_items, matching their pool indices.
+        Some(Update::insert(if pool == 0 {
+            self.heavy_item()
+        } else {
+            pool as u64
+        }))
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        let left = self.pools.total() as usize;
+        (left, Some(left))
     }
 }
 
@@ -119,9 +170,7 @@ mod tests {
 
     #[test]
     fn insertion_only_and_deterministic() {
-        let g = || {
-            AdversarialCollisionGenerator::new(256, 4, 10, 100, true, 7).generate()
-        };
+        let g = || AdversarialCollisionGenerator::new(256, 4, 10, 100, true, 7).generate();
         let s = g();
         assert!(s.is_insertion_only());
         assert_eq!(s, g());
@@ -134,6 +183,19 @@ mod tests {
         assert_eq!(g.heavy_value(), 50);
         let g = AdversarialCollisionGenerator::new(64, 3, 5, 50, true, 0);
         assert_eq!(g.heavy_value(), 53);
+    }
+
+    #[test]
+    fn lazy_source_realizes_the_same_frequency_vector() {
+        let mut g = AdversarialCollisionGenerator::new(256, 4, 10, 100, true, 7);
+        let materialized = g.generate().frequency_vector();
+        let pulled = g.collect_stream();
+        assert_eq!(pulled.frequency_vector(), materialized);
+        assert_eq!(g.next_update(), None);
+        // reset() replays the identical lazy sequence.
+        g.reset();
+        let replay = g.collect_stream();
+        assert_eq!(replay.frequency_vector(), materialized);
     }
 
     #[test]

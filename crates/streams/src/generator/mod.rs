@@ -21,7 +21,9 @@
 
 mod adversarial;
 mod planted;
+mod pool;
 mod prescribed;
+mod turnstile_state;
 mod uniform;
 mod zipf;
 

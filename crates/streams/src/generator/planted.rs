@@ -1,6 +1,8 @@
 //! Planted heavy-hitter workload.
 
+use super::pool::CountPool;
 use super::{StreamConfig, StreamGenerator};
+use crate::source::UpdateSource;
 use crate::stream::TurnstileStream;
 use crate::update::Update;
 use gsum_hash::Xoshiro256;
@@ -10,15 +12,25 @@ use gsum_hash::Xoshiro256;
 ///
 /// This is the ground-truth workload for heavy-hitter recall tests: the
 /// planted items are known, so a `(g, λ)`-cover can be checked exactly.
+///
+/// The generator is also a lazy [`UpdateSource`]: the pull path interleaves
+/// planted and background insertions by sampling without replacement from
+/// the remaining pools — the same uniformly-random-interleaving distribution
+/// as `generate`'s Fisher–Yates shuffle, though not the identical permutation
+/// for a given seed.  The final frequency vector is identical either way.
 #[derive(Debug, Clone)]
 pub struct PlantedStreamGenerator {
     config: StreamConfig,
     /// `(item, frequency)` pairs to plant.
     planted: Vec<(u64, u64)>,
+    seed: u64,
     rng: Xoshiro256,
     /// If true, the planted insertions are interleaved uniformly with the
     /// background traffic; otherwise they are appended at the end.
     interleave: bool,
+    /// Remaining insertions (lazy path): pool 0 is the uniform background,
+    /// pool `i` for `i ≥ 1` is planted pair `i - 1`.
+    pools: CountPool,
 }
 
 impl PlantedStreamGenerator {
@@ -31,12 +43,16 @@ impl PlantedStreamGenerator {
         for &(item, _) in &planted {
             assert!(item < config.domain, "planted item outside domain");
         }
-        Self {
+        let mut g = Self {
             config,
             planted,
+            seed,
             rng: Xoshiro256::new(seed),
             interleave: true,
-        }
+            pools: CountPool::new(&[]),
+        };
+        g.reset();
+        g
     }
 
     /// Disable interleaving: planted insertions are appended after the
@@ -50,10 +66,50 @@ impl PlantedStreamGenerator {
     pub fn planted(&self) -> &[(u64, u64)] {
         &self.planted
     }
+
+    /// Rewind the lazy source to the beginning.
+    pub fn reset(&mut self) {
+        self.rng = Xoshiro256::new(self.seed);
+        let mut counts = Vec::with_capacity(self.planted.len() + 1);
+        counts.push(self.config.length as u64);
+        counts.extend(self.planted.iter().map(|&(_, f)| f));
+        self.pools = CountPool::new(&counts);
+    }
+}
+
+impl UpdateSource for PlantedStreamGenerator {
+    fn domain(&self) -> u64 {
+        self.config.domain
+    }
+
+    fn next_update(&mut self) -> Option<Update> {
+        let total = self.pools.total();
+        if total == 0 {
+            return None;
+        }
+        let pick = if self.interleave {
+            self.rng.next_below(total)
+        } else {
+            // Background first, planted afterwards in prescription order.
+            0
+        };
+        let pool = self.pools.take_nth(pick);
+        Some(Update::insert(if pool == 0 {
+            self.rng.next_below(self.config.domain)
+        } else {
+            self.planted[pool - 1].0
+        }))
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        let left = self.pools.total() as usize;
+        (left, Some(left))
+    }
 }
 
 impl StreamGenerator for PlantedStreamGenerator {
     fn generate(&mut self) -> TurnstileStream {
+        self.rng = Xoshiro256::new(self.seed);
         let mut updates: Vec<Update> = Vec::new();
 
         for _ in 0..self.config.length {
@@ -87,8 +143,7 @@ mod tests {
     #[test]
     fn planted_frequencies_present() {
         let planted = vec![(3u64, 500u64), (9, 1000)];
-        let mut g =
-            PlantedStreamGenerator::new(StreamConfig::new(64, 2000), planted.clone(), 4);
+        let mut g = PlantedStreamGenerator::new(StreamConfig::new(64, 2000), planted.clone(), 4);
         let fv = g.generate().frequency_vector();
         // Planted frequency plus whatever background lands on the item.
         assert!(fv.get(3) >= 500);
@@ -101,11 +156,8 @@ mod tests {
 
     #[test]
     fn total_length_is_background_plus_planted() {
-        let mut g = PlantedStreamGenerator::new(
-            StreamConfig::new(16, 100),
-            vec![(0, 10), (1, 20)],
-            8,
-        );
+        let mut g =
+            PlantedStreamGenerator::new(StreamConfig::new(16, 100), vec![(0, 10), (1, 20)], 8);
         assert_eq!(g.generate().len(), 130);
     }
 
@@ -127,6 +179,34 @@ mod tests {
     }
 
     #[test]
+    fn lazy_source_realizes_the_same_frequency_vector() {
+        let planted = vec![(3u64, 500u64), (9, 1000)];
+        let mut g = PlantedStreamGenerator::new(StreamConfig::new(64, 2000), planted.clone(), 4);
+        let materialized = g.generate();
+        g.reset();
+        let pulled = g.collect_stream();
+        assert_eq!(pulled.len(), materialized.len());
+        // The lazy interleave draws a different permutation (and different
+        // background placements) than the Fisher–Yates shuffle, but the
+        // planted mass is guaranteed either way.
+        let fv = pulled.frequency_vector();
+        assert!(fv.get(3) >= 500 && fv.get(3) < 600);
+        assert!(fv.get(9) >= 1000 && fv.get(9) < 1100);
+        // Deterministic: resetting replays the same lazy sequence.
+        g.reset();
+        assert_eq!(g.collect_stream(), pulled);
+    }
+
+    #[test]
+    fn lazy_source_without_interleaving_is_background_then_planted() {
+        let mut g = PlantedStreamGenerator::new(StreamConfig::new(8, 10), vec![(5, 4)], 3)
+            .without_interleaving();
+        let s = g.collect_stream();
+        let tail: Vec<u64> = s.updates()[10..].iter().map(|u| u.item).collect();
+        assert_eq!(tail, vec![5, 5, 5, 5]);
+    }
+
+    #[test]
     #[should_panic(expected = "outside domain")]
     fn planted_item_outside_domain_panics() {
         let _ = PlantedStreamGenerator::new(StreamConfig::new(8, 10), vec![(8, 1)], 0);
@@ -134,8 +214,7 @@ mod tests {
 
     #[test]
     fn no_background_only_planted() {
-        let mut g =
-            PlantedStreamGenerator::new(StreamConfig::new(8, 0), vec![(2, 5)], 0);
+        let mut g = PlantedStreamGenerator::new(StreamConfig::new(8, 0), vec![(2, 5)], 0);
         let s = g.generate();
         assert_eq!(s.len(), 5);
         assert_eq!(s.frequency_vector().get(2), 5);

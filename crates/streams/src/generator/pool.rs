@@ -1,0 +1,133 @@
+//! Weighted sampling without replacement over a small family of pools.
+
+/// A multiset of `k` indexed pools, each holding a remaining count,
+/// supporting "take the `offset`-th remaining element (in index order)" in
+/// O(log k) via a Fenwick (binary indexed) tree.
+///
+/// The lazy generators use this to emit a uniformly random interleaving of
+/// their insertion pools: draw `offset` uniformly from `[0, total)`, take,
+/// repeat.  Sampling positions in index order makes the behaviour identical
+/// to a linear scan over the pools, just sublinear.
+#[derive(Debug, Clone)]
+pub(crate) struct CountPool {
+    /// 1-based Fenwick tree over the pool counts.
+    fenwick: Vec<u64>,
+    total: u64,
+    len: usize,
+}
+
+impl CountPool {
+    /// Build from per-pool counts in O(k).
+    pub(crate) fn new(counts: &[u64]) -> Self {
+        let len = counts.len();
+        let mut fenwick = vec![0u64; len + 1];
+        for (i, &c) in counts.iter().enumerate() {
+            fenwick[i + 1] += c;
+            let parent = (i + 1) + lowest_set_bit(i + 1);
+            if parent <= len {
+                fenwick[parent] += fenwick[i + 1];
+            }
+        }
+        Self {
+            fenwick,
+            total: counts.iter().sum(),
+            len,
+        }
+    }
+
+    /// Remaining elements across all pools.
+    pub(crate) fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Remove the `offset`-th remaining element (ordering pools by index)
+    /// and return its pool index.
+    ///
+    /// # Panics
+    /// Panics if `offset >= total()`.
+    pub(crate) fn take_nth(&mut self, offset: u64) -> usize {
+        assert!(offset < self.total, "offset outside the remaining pool");
+        // Find the largest index whose prefix sum is <= offset.
+        let mut idx = 0usize;
+        let mut remaining = offset;
+        let mut step = self.len.next_power_of_two();
+        while step > 0 {
+            let next = idx + step;
+            if next <= self.len && self.fenwick[next] <= remaining {
+                idx = next;
+                remaining -= self.fenwick[next];
+            }
+            step >>= 1;
+        }
+        // `idx` pools lie strictly before the hit, so the 0-based pool index
+        // is `idx` itself.  Decrement its count.
+        let mut i = idx + 1;
+        while i <= self.len {
+            self.fenwick[i] -= 1;
+            i += lowest_set_bit(i);
+        }
+        self.total -= 1;
+        idx
+    }
+}
+
+#[inline]
+fn lowest_set_bit(i: usize) -> usize {
+    i & i.wrapping_neg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_index_order_for_sequential_offsets() {
+        // Taking offset 0 repeatedly walks the pools front to back.
+        let mut pool = CountPool::new(&[2, 0, 3]);
+        assert_eq!(pool.total(), 5);
+        let drained: Vec<usize> = (0..5).map(|_| pool.take_nth(0)).collect();
+        assert_eq!(drained, vec![0, 0, 2, 2, 2]);
+        assert_eq!(pool.total(), 0);
+    }
+
+    #[test]
+    fn offsets_address_pools_by_prefix() {
+        let mut pool = CountPool::new(&[2, 3, 1]);
+        assert_eq!(pool.take_nth(5), 2); // last element
+        assert_eq!(pool.take_nth(2), 1); // now inside pool 1
+        assert_eq!(pool.take_nth(0), 0);
+    }
+
+    #[test]
+    fn matches_linear_scan_reference() {
+        let counts = [3u64, 0, 7, 1, 4, 0, 2];
+        let mut pool = CountPool::new(&counts);
+        let mut reference = counts.to_vec();
+        // A fixed pseudo-random offset sequence.
+        let mut x = 9u64;
+        while pool.total() > 0 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let offset = x % pool.total();
+            // Linear reference walk.
+            let mut rem = offset;
+            let mut expect = usize::MAX;
+            for (i, c) in reference.iter_mut().enumerate() {
+                if rem < *c {
+                    *c -= 1;
+                    expect = i;
+                    break;
+                }
+                rem -= *c;
+            }
+            assert_eq!(pool.take_nth(offset), expect);
+        }
+        assert!(reference.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the remaining pool")]
+    fn out_of_range_offset_panics() {
+        let mut pool = CountPool::new(&[1]);
+        pool.take_nth(1);
+    }
+}

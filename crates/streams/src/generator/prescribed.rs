@@ -127,11 +127,7 @@ mod tests {
 
     #[test]
     fn realizes_prescription_exactly() {
-        let mut g = FrequencyPrescribedGenerator::new(
-            1000,
-            vec![(7, 20), (100, 3), (1, 50)],
-            5,
-        );
+        let mut g = FrequencyPrescribedGenerator::new(1000, vec![(7, 20), (100, 3), (1, 50)], 5);
         let s = g.generate();
         let h = histogram(&s);
         assert_eq!(h.get(&7), Some(&20));
@@ -152,8 +148,8 @@ mod tests {
 
     #[test]
     fn bulk_updates_mode() {
-        let mut g = FrequencyPrescribedGenerator::new(100, vec![(9, 3), (-2, 2)], 1)
-            .with_bulk_updates();
+        let mut g =
+            FrequencyPrescribedGenerator::new(100, vec![(9, 3), (-2, 2)], 1).with_bulk_updates();
         let s = g.generate();
         assert_eq!(s.len(), 5);
         let h = histogram(&s);
@@ -163,9 +159,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let mk = || {
-            FrequencyPrescribedGenerator::new(500, vec![(3, 10), (50, 2)], 42).generate()
-        };
+        let mk = || FrequencyPrescribedGenerator::new(500, vec![(3, 10), (50, 2)], 42).generate();
         assert_eq!(mk(), mk());
     }
 

@@ -1,0 +1,70 @@
+//! Shared per-update bookkeeping for the stateful workload generators.
+
+use super::StreamConfig;
+use crate::update::Update;
+use gsum_hash::Xoshiro256;
+use std::collections::HashMap;
+
+/// Tracks which items currently have positive frequency so turnstile-mode
+/// deletions never drive a frequency negative.  [`UniformStreamGenerator`]
+/// and [`ZipfStreamGenerator`] share this state machine and differ only in
+/// how an inserted item is drawn.
+///
+/// [`UniformStreamGenerator`]: super::UniformStreamGenerator
+/// [`ZipfStreamGenerator`]: super::ZipfStreamGenerator
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TurnstileState {
+    /// Items with positive frequency (deletion candidates).
+    positive: Vec<u64>,
+    /// Current frequency of each touched item.
+    counts: HashMap<u64, i64>,
+}
+
+impl TurnstileState {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forget all tracked frequencies (source rewind).
+    pub(crate) fn clear(&mut self) {
+        self.positive.clear();
+        self.counts.clear();
+    }
+
+    /// One generator step: in turnstile mode, with probability
+    /// `config.deletion_fraction` (and at least one positive item) emit a
+    /// unit deletion of a uniformly chosen positive item; otherwise insert
+    /// the item produced by `draw`.
+    ///
+    /// The RNG call order (deletion coin, then either the victim index or
+    /// the draw) is part of the generators' deterministic output format —
+    /// keep it stable.
+    pub(crate) fn step(
+        &mut self,
+        rng: &mut Xoshiro256,
+        config: &StreamConfig,
+        draw: impl FnOnce(&mut Xoshiro256) -> u64,
+    ) -> Update {
+        let delete = !config.insertion_only
+            && !self.positive.is_empty()
+            && rng.next_f64() < config.deletion_fraction;
+        if delete {
+            let idx = rng.next_below(self.positive.len() as u64) as usize;
+            let item = self.positive[idx];
+            let c = self.counts.get_mut(&item).expect("tracked item");
+            *c -= 1;
+            if *c == 0 {
+                self.positive.swap_remove(idx);
+            }
+            Update::delete(item)
+        } else {
+            let item = draw(rng);
+            let c = self.counts.entry(item).or_insert(0);
+            if *c == 0 {
+                self.positive.push(item);
+            }
+            *c += 1;
+            Update::insert(item)
+        }
+    }
+}

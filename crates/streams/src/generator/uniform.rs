@@ -1,6 +1,8 @@
 //! Uniform item-popularity workload.
 
+use super::turnstile_state::TurnstileState;
 use super::{StreamConfig, StreamGenerator};
+use crate::source::UpdateSource;
 use crate::stream::TurnstileStream;
 use crate::update::Update;
 use gsum_hash::Xoshiro256;
@@ -9,10 +11,17 @@ use gsum_hash::Xoshiro256;
 /// domain.  In turnstile mode, a configurable fraction of updates delete one
 /// unit from a previously inserted item (chosen uniformly among items with
 /// positive frequency), so frequencies stay non-negative.
+///
+/// The generator is a lazy [`UpdateSource`];
+/// [`StreamGenerator::generate`] resets the source and drains it.
 #[derive(Debug, Clone)]
 pub struct UniformStreamGenerator {
     config: StreamConfig,
+    seed: u64,
     rng: Xoshiro256,
+    state: TurnstileState,
+    /// Updates emitted since the last reset.
+    emitted: usize,
 }
 
 impl UniformStreamGenerator {
@@ -20,43 +29,49 @@ impl UniformStreamGenerator {
     pub fn new(config: StreamConfig, seed: u64) -> Self {
         Self {
             config,
+            seed,
             rng: Xoshiro256::new(seed),
+            state: TurnstileState::new(),
+            emitted: 0,
         }
+    }
+
+    /// Rewind the source to the beginning: a subsequent drain reproduces
+    /// exactly the same update sequence.
+    pub fn reset(&mut self) {
+        self.rng = Xoshiro256::new(self.seed);
+        self.state.clear();
+        self.emitted = 0;
+    }
+}
+
+impl UpdateSource for UniformStreamGenerator {
+    fn domain(&self) -> u64 {
+        self.config.domain
+    }
+
+    fn next_update(&mut self) -> Option<Update> {
+        if self.emitted >= self.config.length {
+            return None;
+        }
+        self.emitted += 1;
+        let domain = self.config.domain;
+        Some(
+            self.state
+                .step(&mut self.rng, &self.config, |rng| rng.next_below(domain)),
+        )
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        let left = self.config.length - self.emitted;
+        (left, Some(left))
     }
 }
 
 impl StreamGenerator for UniformStreamGenerator {
     fn generate(&mut self) -> TurnstileStream {
-        let mut stream = TurnstileStream::new(self.config.domain);
-        // Track items with positive frequency so deletions never drive a
-        // frequency negative.
-        let mut positive: Vec<u64> = Vec::new();
-        let mut counts = std::collections::HashMap::<u64, i64>::new();
-
-        for _ in 0..self.config.length {
-            let delete = !self.config.insertion_only
-                && !positive.is_empty()
-                && self.rng.next_f64() < self.config.deletion_fraction;
-            if delete {
-                let idx = self.rng.next_below(positive.len() as u64) as usize;
-                let item = positive[idx];
-                stream.push(Update::delete(item));
-                let c = counts.get_mut(&item).expect("tracked item");
-                *c -= 1;
-                if *c == 0 {
-                    positive.swap_remove(idx);
-                }
-            } else {
-                let item = self.rng.next_below(self.config.domain);
-                stream.push(Update::insert(item));
-                let c = counts.entry(item).or_insert(0);
-                if *c == 0 {
-                    positive.push(item);
-                }
-                *c += 1;
-            }
-        }
-        stream
+        self.reset();
+        self.collect_stream()
     }
 }
 
@@ -103,9 +118,18 @@ mod tests {
     }
 
     #[test]
+    fn lazy_source_matches_generate_exactly() {
+        let config = StreamConfig::turnstile(64, 3_000, 0.3);
+        let materialized = UniformStreamGenerator::new(config, 11).generate();
+        let mut source = UniformStreamGenerator::new(config, 11);
+        let pulled = source.collect_stream();
+        assert_eq!(pulled, materialized);
+        assert_eq!(source.next_update(), None);
+    }
+
+    #[test]
     fn turnstile_mode_keeps_frequencies_nonnegative() {
-        let mut g =
-            UniformStreamGenerator::new(StreamConfig::turnstile(32, 10_000, 0.4), 77);
+        let mut g = UniformStreamGenerator::new(StreamConfig::turnstile(32, 10_000, 0.4), 77);
         let s = g.generate();
         assert!(!s.is_insertion_only());
         let fv = s.frequency_vector();

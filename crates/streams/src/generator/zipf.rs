@@ -1,6 +1,8 @@
 //! Zipf-distributed item-popularity workload.
 
+use super::turnstile_state::TurnstileState;
 use super::{StreamConfig, StreamGenerator};
+use crate::source::UpdateSource;
 use crate::stream::TurnstileStream;
 use crate::update::Update;
 use gsum_hash::Xoshiro256;
@@ -13,15 +15,23 @@ use gsum_hash::Xoshiro256;
 /// Skewed workloads are the natural habitat of the paper's algorithms: a few
 /// items carry most of the `g`-mass, and the recursive sketch finds them as
 /// heavy hitters.
+///
+/// The generator is a lazy [`UpdateSource`]: updates can be pulled one at a
+/// time (O(1) memory per update), and [`StreamGenerator::generate`] is the
+/// materializing convenience that resets the source and drains it.
 #[derive(Debug, Clone)]
 pub struct ZipfStreamGenerator {
     config: StreamConfig,
     exponent: f64,
+    seed: u64,
     rng: Xoshiro256,
     /// Cumulative distribution over ranks (length = domain).
     cdf: Vec<f64>,
     /// rank -> item permutation.
     rank_to_item: Vec<u64>,
+    state: TurnstileState,
+    /// Updates emitted since the last reset.
+    emitted: usize,
 }
 
 impl ZipfStreamGenerator {
@@ -61,9 +71,12 @@ impl ZipfStreamGenerator {
         Self {
             config,
             exponent,
+            seed,
             rng: Xoshiro256::new(seed),
             cdf,
             rank_to_item,
+            state: TurnstileState::new(),
+            emitted: 0,
         }
     }
 
@@ -72,50 +85,50 @@ impl ZipfStreamGenerator {
         self.exponent
     }
 
-    fn sample_rank(&mut self) -> usize {
-        let u = self.rng.next_f64();
-        // Binary search the CDF.
-        match self
-            .cdf
-            .binary_search_by(|probe| probe.partial_cmp(&u).expect("no NaN in CDF"))
-        {
-            Ok(idx) => idx,
-            Err(idx) => idx.min(self.cdf.len() - 1),
+    /// Rewind the source to the beginning: a subsequent drain reproduces
+    /// exactly the same update sequence.
+    pub fn reset(&mut self) {
+        self.rng = Xoshiro256::new(self.seed);
+        self.state.clear();
+        self.emitted = 0;
+    }
+}
+
+/// Draw a rank from the CDF by binary search.
+fn sample_rank(cdf: &[f64], rng: &mut Xoshiro256) -> usize {
+    let u = rng.next_f64();
+    match cdf.binary_search_by(|probe| probe.total_cmp(&u)) {
+        Ok(idx) => idx,
+        Err(idx) => idx.min(cdf.len() - 1),
+    }
+}
+
+impl UpdateSource for ZipfStreamGenerator {
+    fn domain(&self) -> u64 {
+        self.config.domain
+    }
+
+    fn next_update(&mut self) -> Option<Update> {
+        if self.emitted >= self.config.length {
+            return None;
         }
+        self.emitted += 1;
+        let (cdf, rank_to_item) = (&self.cdf, &self.rank_to_item);
+        Some(self.state.step(&mut self.rng, &self.config, |rng| {
+            rank_to_item[sample_rank(cdf, rng)]
+        }))
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        let left = self.config.length - self.emitted;
+        (left, Some(left))
     }
 }
 
 impl StreamGenerator for ZipfStreamGenerator {
     fn generate(&mut self) -> TurnstileStream {
-        let mut stream = TurnstileStream::new(self.config.domain);
-        let mut positive: Vec<u64> = Vec::new();
-        let mut counts = std::collections::HashMap::<u64, i64>::new();
-
-        for _ in 0..self.config.length {
-            let delete = !self.config.insertion_only
-                && !positive.is_empty()
-                && self.rng.next_f64() < self.config.deletion_fraction;
-            if delete {
-                let idx = self.rng.next_below(positive.len() as u64) as usize;
-                let item = positive[idx];
-                stream.push(Update::delete(item));
-                let c = counts.get_mut(&item).expect("tracked item");
-                *c -= 1;
-                if *c == 0 {
-                    positive.swap_remove(idx);
-                }
-            } else {
-                let rank = self.sample_rank();
-                let item = self.rank_to_item[rank];
-                stream.push(Update::insert(item));
-                let c = counts.entry(item).or_insert(0);
-                if *c == 0 {
-                    positive.push(item);
-                }
-                *c += 1;
-            }
-        }
-        stream
+        self.reset();
+        self.collect_stream()
     }
 }
 
@@ -168,9 +181,24 @@ mod tests {
     }
 
     #[test]
+    fn lazy_source_matches_generate_exactly() {
+        let config = StreamConfig::turnstile(128, 5_000, 0.25);
+        let materialized = ZipfStreamGenerator::new(config, 1.2, 9).generate();
+        let mut source = ZipfStreamGenerator::new(config, 1.2, 9);
+        let mut pulled = TurnstileStream::new(128);
+        assert_eq!(source.remaining_hint(), (5_000, Some(5_000)));
+        while let Some(u) = source.next_update() {
+            pulled.push(u);
+        }
+        assert_eq!(pulled, materialized);
+        // reset() rewinds the source.
+        source.reset();
+        assert_eq!(source.collect_stream(), materialized);
+    }
+
+    #[test]
     fn turnstile_mode_valid() {
-        let mut g =
-            ZipfStreamGenerator::new(StreamConfig::turnstile(128, 20_000, 0.3), 1.1, 17);
+        let mut g = ZipfStreamGenerator::new(StreamConfig::turnstile(128, 20_000, 0.3), 1.1, 17);
         let s = g.generate();
         for (_, v) in s.frequency_vector().iter() {
             assert!(v >= 0);

@@ -12,6 +12,14 @@
 //! This crate provides:
 //! * [`Update`] / [`TurnstileStream`] — the stream representation, with
 //!   prefix-bound (`M`) tracking and insertion-only detection.
+//! * [`StreamSink`] / [`MergeableSketch`] — the push-based ingestion
+//!   contract every sketch and estimator state object implements: constant
+//!   work per [`StreamSink::update`], queryable at any prefix, and (for
+//!   linear sketches) mergeable across shards.
+//! * [`UpdateSource`] — the lazy, pull-based dual: workload generators yield
+//!   updates one at a time without materializing a `Vec<Update>`.
+//! * [`ShardedIngest`] — splits an [`UpdateSource`] across worker threads,
+//!   each feeding a clone of a prototype sketch, then merges.
 //! * [`FrequencyVector`] — the exact frequency vector with the norms and
 //!   order statistics the analyses refer to (`F_2`, tail mass, heavy-hitter
 //!   queries).
@@ -26,6 +34,9 @@ pub mod error;
 pub mod frequency;
 pub mod generator;
 pub mod multipass;
+pub mod sharded;
+pub mod sink;
+pub mod source;
 pub mod stream;
 pub mod update;
 
@@ -36,5 +47,8 @@ pub use generator::{
     StreamConfig, StreamGenerator, UniformStreamGenerator, ZipfStreamGenerator,
 };
 pub use multipass::{run_multi_pass, run_one_pass, MultiPassAlgorithm, OnePassAlgorithm};
+pub use sharded::ShardedIngest;
+pub use sink::{MergeError, MergeableSketch, StreamSink};
+pub use source::{IterSource, StreamSource, UpdateSource};
 pub use stream::TurnstileStream;
 pub use update::Update;

@@ -1,0 +1,209 @@
+//! Sharded parallel ingestion.
+//!
+//! Linear sketches make parallel ingestion trivial: clone one prototype
+//! sketch per worker (identical hash seeds), split the update stream across
+//! the workers, and [`merge`](crate::MergeableSketch::merge) the per-worker
+//! states at the end.  Because every sketch in this workspace is a linear
+//! function of the frequency vector — and its counters take integer values
+//! that `f64` represents exactly — the merged result is *identical* to
+//! single-threaded ingestion of the same updates, in any order.
+//!
+//! This is the ingestion topology a production deployment uses: N ingest
+//! workers behind a load balancer, each absorbing a shard of the traffic,
+//! with a periodic merge producing the queryable global sketch.
+
+use crate::sink::{MergeError, MergeableSketch, StreamSink};
+use crate::source::UpdateSource;
+use crate::update::Update;
+use std::sync::mpsc;
+
+/// Configuration for sharded ingestion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedIngest {
+    shards: usize,
+    batch: usize,
+}
+
+impl ShardedIngest {
+    /// Ingest with `shards` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Self {
+            shards,
+            batch: 1024,
+        }
+    }
+
+    /// Override the number of updates per message handed to a worker
+    /// (larger batches amortize channel overhead).
+    ///
+    /// # Panics
+    /// Panics if `batch == 0`.
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        self.batch = batch;
+        self
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Split `source` across the shards round-robin (in batches), feed each
+    /// shard's updates into a clone of `prototype` on its own thread, and
+    /// merge the shard sketches back into one.
+    ///
+    /// The clones share the prototype's hash seeds, so the merge is exact:
+    /// the result answers every query identically to a single sketch that
+    /// absorbed the whole stream.
+    pub fn ingest<Src, S>(&self, source: &mut Src, prototype: &S) -> Result<S, MergeError>
+    where
+        Src: UpdateSource,
+        S: StreamSink + MergeableSketch + Clone + Send,
+    {
+        if self.shards == 1 {
+            let mut sketch = prototype.clone();
+            source.feed_batched(&mut sketch, self.batch);
+            return Ok(sketch);
+        }
+
+        let shard_results = std::thread::scope(|scope| {
+            let mut senders: Vec<mpsc::SyncSender<Vec<Update>>> = Vec::with_capacity(self.shards);
+            let mut handles = Vec::with_capacity(self.shards);
+            for _ in 0..self.shards {
+                // A small bounded queue keeps memory flat when the producer
+                // outpaces the workers.
+                let (tx, rx) = mpsc::sync_channel::<Vec<Update>>(4);
+                senders.push(tx);
+                let mut sketch = prototype.clone();
+                handles.push(scope.spawn(move || {
+                    while let Ok(batch) = rx.recv() {
+                        sketch.update_batch(&batch);
+                    }
+                    sketch
+                }));
+            }
+
+            // Round-robin batches over the shards.
+            let mut shard = 0usize;
+            let mut buf: Vec<Update> = Vec::with_capacity(self.batch);
+            loop {
+                buf.clear();
+                while buf.len() < self.batch {
+                    match source.next_update() {
+                        Some(u) => buf.push(u),
+                        None => break,
+                    }
+                }
+                if buf.is_empty() {
+                    break;
+                }
+                senders[shard]
+                    .send(std::mem::replace(&mut buf, Vec::with_capacity(self.batch)))
+                    .expect("worker alive while its sender is held");
+                shard = (shard + 1) % self.shards;
+            }
+            drop(senders);
+
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect::<Vec<S>>()
+        });
+
+        let mut iter = shard_results.into_iter();
+        let mut merged = iter.next().expect("at least one shard");
+        for other in iter {
+            merged.merge(&other)?;
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frequency::FrequencyVector;
+    use crate::generator::{StreamConfig, StreamGenerator, UniformStreamGenerator};
+    use crate::stream::TurnstileStream;
+
+    /// A frequency vector is itself a (trivially mergeable) linear sketch.
+    #[derive(Debug, Clone)]
+    struct ExactSink {
+        fv: FrequencyVector,
+    }
+
+    impl StreamSink for ExactSink {
+        fn update(&mut self, u: Update) {
+            self.fv.apply(u.item, u.delta);
+        }
+    }
+
+    impl MergeableSketch for ExactSink {
+        fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+            if self.fv.domain() != other.fv.domain() {
+                return Err(MergeError::new("domain mismatch"));
+            }
+            for (item, v) in other.fv.iter() {
+                self.fv.apply(item, v);
+            }
+            Ok(())
+        }
+    }
+
+    fn exact(domain: u64) -> ExactSink {
+        ExactSink {
+            fv: FrequencyVector::new(domain),
+        }
+    }
+
+    #[test]
+    fn sharded_equals_single_threaded() {
+        let mut gen = UniformStreamGenerator::new(StreamConfig::turnstile(128, 20_000, 0.2), 7);
+        let reference = gen.generate();
+
+        for shards in [1usize, 2, 4, 8] {
+            gen.reset();
+            let merged = ShardedIngest::new(shards)
+                .with_batch_size(256)
+                .ingest(&mut gen, &exact(128))
+                .unwrap();
+            assert_eq!(
+                merged.fv,
+                reference.frequency_vector(),
+                "sharded ({shards}) ingestion must agree with the exact frequency vector"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_failure_propagates() {
+        // Two-shard ingest of a source whose updates are fine, but the
+        // prototype is rigged to fail merges via a domain mismatch is not
+        // constructible here (clones agree); instead check the error path
+        // directly.
+        let mut a = exact(8);
+        let b = exact(9);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn single_shard_short_circuits() {
+        let mut s = TurnstileStream::new(16);
+        s.push_delta(3, 5);
+        let merged = ShardedIngest::new(1)
+            .ingest(&mut s.source(), &exact(16))
+            .unwrap();
+        assert_eq!(merged.fv.get(3), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedIngest::new(0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Push-based ingestion: the [`StreamSink`] and [`MergeableSketch`] traits.
+//!
+//! The paper's algorithms are one-pass state machines: they observe updates
+//! `(i, δ)` one at a time and never see the stream again.  `StreamSink` is
+//! that contract.  Every sketch and estimator state object in the workspace
+//! implements it, so live traffic can be pushed straight into an estimator
+//! without ever materializing a [`TurnstileStream`](crate::TurnstileStream)
+//! in memory.
+//!
+//! `MergeableSketch` captures the *linearity* that [Li–Nguyen–Woodruff 2014]
+//! shows is essentially without loss of generality for turnstile algorithms:
+//! two sketches built with identical configuration and seeds can be merged
+//! into the sketch of the concatenated stream.  Linearity is what makes
+//! sharded parallel ingestion ([`crate::ShardedIngest`]) and distributed
+//! aggregation possible.
+
+use crate::stream::TurnstileStream;
+use crate::update::Update;
+use std::fmt;
+
+/// A push-based consumer of turnstile updates.
+///
+/// Implementations must be *online*: `update` may be called any number of
+/// times, in any order relative to queries, and queries (`estimate`,
+/// `cover`, ...) reflect exactly the prefix pushed so far.
+pub trait StreamSink {
+    /// Process one turnstile update.
+    fn update(&mut self, update: Update);
+
+    /// Process a batch of updates (amortizes per-call overhead; semantically
+    /// identical to updating one at a time, in order).
+    fn update_batch(&mut self, updates: &[Update]) {
+        for &u in updates {
+            self.update(u);
+        }
+    }
+
+    /// Process an entire materialized stream (batch convenience; equivalent
+    /// to pushing every update in order).
+    fn process_stream(&mut self, stream: &TurnstileStream) {
+        self.update_batch(stream.updates());
+    }
+}
+
+/// Error returned when two sketches cannot be merged (different shapes,
+/// seeds, domains, or phases).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl MergeError {
+    /// Create a merge error with the given reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        Self {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot merge sketches: {}", self.reason)
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// A linear sketch: merging two copies built with identical configuration and
+/// seeds yields the sketch of the concatenated input streams.
+///
+/// Laws (checked by the workspace's property tests):
+/// * **concatenation**: `a.process(s1); a.merge(&b_with(s2))` equals
+///   `a.process(s1 ++ s2)` for query purposes;
+/// * **commutativity**: `a.merge(&b)` and `b.merge(&a)` answer queries
+///   identically;
+/// * **associativity**: `(a ⊔ b) ⊔ c` equals `a ⊔ (b ⊔ c)`.
+pub trait MergeableSketch: StreamSink {
+    /// Fold another sketch's state into this one.
+    ///
+    /// Fails if the two sketches were not built with identical configuration
+    /// and seeds (so their hash functions disagree) — merging such sketches
+    /// would silently corrupt estimates.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial sink counting total |δ| pushed.
+    struct AbsMass(i64);
+
+    impl StreamSink for AbsMass {
+        fn update(&mut self, u: Update) {
+            self.0 += u.delta.abs();
+        }
+    }
+
+    impl MergeableSketch for AbsMass {
+        fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+            self.0 += other.0;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn default_batch_and_stream_methods_feed_update() {
+        let mut sink = AbsMass(0);
+        sink.update_batch(&[Update::new(0, 3), Update::new(1, -2)]);
+        assert_eq!(sink.0, 5);
+
+        let mut s = TurnstileStream::new(4);
+        s.push_delta(2, 7);
+        sink.process_stream(&s);
+        assert_eq!(sink.0, 12);
+    }
+
+    #[test]
+    fn merge_error_display() {
+        let e = MergeError::new("seed mismatch");
+        assert!(e.to_string().contains("seed mismatch"));
+    }
+
+    #[test]
+    fn trivial_merge() {
+        let mut a = AbsMass(3);
+        let b = AbsMass(4);
+        a.merge(&b).unwrap();
+        assert_eq!(a.0, 7);
+    }
+}

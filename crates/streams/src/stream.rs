@@ -2,6 +2,8 @@
 
 use crate::error::StreamError;
 use crate::frequency::FrequencyVector;
+use crate::sink::StreamSink;
+use crate::source::StreamSource;
 use crate::update::Update;
 
 /// A turnstile stream `D ∈ D(n, m)`: a domain size `n` together with an
@@ -56,8 +58,17 @@ impl TurnstileStream {
         self.updates.push(update);
     }
 
-    /// Append `count` unit insertions of `item`.
+    /// Append `count` unit insertions of `item` — `count` separate `(item, +1)`
+    /// updates, so the stream stays valid in the *insertion-only* model that
+    /// the paper's lower bounds are stated in (and that
+    /// [`TurnstileStream::is_insertion_only`] detects).
+    ///
+    /// Callers that only care about the final frequency vector should prefer
+    /// [`TurnstileStream::push_delta`], which records one bulk update and
+    /// keeps the stream length — and every per-update cost downstream —
+    /// independent of `count`.
     pub fn push_insertions(&mut self, item: u64, count: u64) {
+        self.updates.reserve(count as usize);
         for _ in 0..count {
             self.updates.push(Update::insert(item));
         }
@@ -91,6 +102,12 @@ impl TurnstileStream {
         self.updates.iter()
     }
 
+    /// Replay the stream as a lazy [`UpdateSource`](crate::UpdateSource) —
+    /// e.g. to feed a materialized stream into [`crate::ShardedIngest`].
+    pub fn source(&self) -> StreamSource<'_> {
+        StreamSource::new(self)
+    }
+
     /// Whether every update is a unit insertion (`δ = 1`), i.e. the stream is
     /// valid in the insertion-only model used by the lower bounds.
     pub fn is_insertion_only(&self) -> bool {
@@ -106,25 +123,17 @@ impl TurnstileStream {
         fv
     }
 
-    /// The largest `|v_i|` reached by any prefix of the stream — the smallest
-    /// `M` for which the turnstile promise holds.
-    pub fn magnitude_bound(&self) -> i64 {
-        let mut fv = FrequencyVector::new(self.domain);
-        let mut max_abs = 0i64;
-        for u in &self.updates {
-            fv.apply(u.item, u.delta);
-            max_abs = max_abs.max(fv.get(u.item).abs());
-        }
-        max_abs
-    }
-
-    /// Validate the stream against the model: all items inside the domain and
-    /// no prefix frequency exceeding `bound` in absolute value.
-    pub fn validate(&self, bound: i64) -> Result<(), StreamError> {
+    /// One shared accumulation pass over the prefix frequencies: returns the
+    /// largest `|v_i|` any prefix reaches, checking items against the domain
+    /// and (when given) the magnitude bound along the way.  Both
+    /// [`TurnstileStream::magnitude_bound`] and [`TurnstileStream::validate`]
+    /// are thin wrappers over this pass.
+    fn scan_prefix_magnitudes(&self, bound: Option<i64>) -> Result<i64, StreamError> {
         if self.domain == 0 {
             return Err(StreamError::EmptyDomain);
         }
         let mut fv = FrequencyVector::new(self.domain);
+        let mut max_abs = 0i64;
         for u in &self.updates {
             if u.item >= self.domain {
                 return Err(StreamError::ItemOutOfDomain {
@@ -134,15 +143,35 @@ impl TurnstileStream {
             }
             fv.apply(u.item, u.delta);
             let f = fv.get(u.item);
-            if f.abs() > bound {
-                return Err(StreamError::MagnitudeBoundViolated {
-                    item: u.item,
-                    frequency: f,
-                    bound,
-                });
+            max_abs = max_abs.max(f.abs());
+            if let Some(bound) = bound {
+                if f.abs() > bound {
+                    return Err(StreamError::MagnitudeBoundViolated {
+                        item: u.item,
+                        frequency: f,
+                        bound,
+                    });
+                }
             }
         }
-        Ok(())
+        Ok(max_abs)
+    }
+
+    /// The largest `|v_i|` reached by any prefix of the stream — the smallest
+    /// `M` for which the turnstile promise holds.
+    ///
+    /// # Panics
+    /// Panics if the stream contains items outside the domain (use
+    /// [`TurnstileStream::validate`] for a fallible check).
+    pub fn magnitude_bound(&self) -> i64 {
+        self.scan_prefix_magnitudes(None)
+            .expect("stream items inside the domain")
+    }
+
+    /// Validate the stream against the model: all items inside the domain and
+    /// no prefix frequency exceeding `bound` in absolute value.
+    pub fn validate(&self, bound: i64) -> Result<(), StreamError> {
+        self.scan_prefix_magnitudes(Some(bound)).map(|_| ())
     }
 
     /// A deterministically shuffled copy of the stream (Fisher–Yates driven by
@@ -162,6 +191,18 @@ impl TurnstileStream {
             domain: self.domain,
             updates,
         }
+    }
+}
+
+/// A materialized stream is itself a (space-unbounded) sink: pushing updates
+/// appends them.  This lets recording taps share the push-based plumbing.
+impl StreamSink for TurnstileStream {
+    fn update(&mut self, update: Update) {
+        self.push(update);
+    }
+
+    fn update_batch(&mut self, updates: &[Update]) {
+        self.updates.extend_from_slice(updates);
     }
 }
 

@@ -21,9 +21,15 @@ fn main() {
 
     let config = GSumConfig::with_space_budget(domain, 0.2, 2048, 5);
     let cases: Vec<(&str, Box<dyn zerolaw::gfunc::GFunction>)> = vec![
-        ("squared Euclidean (g = x^2)", Box::new(PowerFunction::new(2.0))),
+        (
+            "squared Euclidean (g = x^2)",
+            Box::new(PowerFunction::new(2.0)),
+        ),
         ("Manhattan (g = x)", Box::new(PowerFunction::new(1.0))),
-        ("soft Hamming (g = ln^2(1+x))", Box::new(PolylogFunction::new(2.0))),
+        (
+            "soft Hamming (g = ln^2(1+x))",
+            Box::new(PolylogFunction::new(2.0)),
+        ),
     ];
 
     for (name, g) in &cases {

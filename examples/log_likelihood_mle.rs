@@ -21,10 +21,7 @@ fn main() {
         .iter()
         .map(|&b| PoissonMixtureNll::new(0.5, 0.5, b))
         .collect();
-    let estimator = MleEstimator::new(
-        grid,
-        GSumConfig::with_space_budget(samples, 0.2, 2048, 9),
-    );
+    let estimator = MleEstimator::new(grid, GSumConfig::with_space_budget(samples, 0.2, 2048, 9));
 
     let exact = estimator.exact(&stream);
     let approx = estimator.approximate(&stream, 3);

@@ -20,9 +20,18 @@ fn main() {
 
     // Three tractable functions from the paper's examples.
     let functions: Vec<(&str, Box<dyn zerolaw::gfunc::GFunction>)> = vec![
-        ("x^1.5 (fractional moment)", Box::new(PowerFunction::new(1.5))),
-        ("x^2 lg(1+x)", Box::new(zerolaw::gfunc::LEta::new(PowerFunction::new(2.0), 1.0))),
-        ("spam-discount utility", Box::new(SpamDiscountUtility::new(64))),
+        (
+            "x^1.5 (fractional moment)",
+            Box::new(PowerFunction::new(1.5)),
+        ),
+        (
+            "x^2 lg(1+x)",
+            Box::new(zerolaw::gfunc::LEta::new(PowerFunction::new(2.0), 1.0)),
+        ),
+        (
+            "spam-discount utility",
+            Box::new(SpamDiscountUtility::new(64)),
+        ),
     ];
 
     for (name, g) in &functions {

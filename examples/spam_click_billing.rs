@@ -33,10 +33,22 @@ fn main() {
     let report = billing.bill(&clicks, 3);
 
     println!("\nspam threshold: {threshold} clicks per user");
-    println!("exact spam-discounted bill:   {:>12.1}", report.exact_discounted);
-    println!("sketched spam-discounted bill:{:>12.1}", report.estimated_discounted);
-    println!("relative error:               {:>12.4}", report.relative_error);
-    println!("naive capped-linear bill:     {:>12.1}", report.exact_capped);
+    println!(
+        "exact spam-discounted bill:   {:>12.1}",
+        report.exact_discounted
+    );
+    println!(
+        "sketched spam-discounted bill:{:>12.1}",
+        report.estimated_discounted
+    );
+    println!(
+        "relative error:               {:>12.4}",
+        report.relative_error
+    );
+    println!(
+        "naive capped-linear bill:     {:>12.1}",
+        report.exact_capped
+    );
     println!(
         "discount granted for suspected spam: {:>12.1}",
         report.exact_capped - report.exact_discounted

@@ -22,22 +22,52 @@
 //!   ShortLinearCombination) and their stream reductions, used to exercise
 //!   the lower-bound side of the zero-one laws.
 //!
-//! ## Quickstart
+//! ## Quickstart — push-based ingestion
+//!
+//! Estimators are long-lived [`StreamSink`](prelude::StreamSink) state
+//! objects: push updates as they arrive (no materialized stream needed) and
+//! query the estimate at any prefix.
 //!
 //! ```
 //! use zerolaw::prelude::*;
 //!
-//! // A turnstile stream over a universe of 1024 items.
-//! let mut gen = ZipfStreamGenerator::new(StreamConfig::new(1 << 10, 20_000), 1.2, 7);
-//! let stream = gen.generate();
-//!
-//! // Approximate sum of g(|v_i|) for g(x) = x^1.5 with a one-pass universal sketch.
+//! // Approximate Σ g(|v_i|) for g(x) = x^1.5 with a one-pass universal sketch.
 //! let g = PowerFunction::new(1.5);
 //! let cfg = GSumConfig::with_space_budget(1 << 10, 0.2, 4096, 11);
-//! let est = OnePassGSum::new(&g, cfg).estimate(&stream);
+//! let mut sketch = OnePassGSumSketch::new(g.clone(), &cfg);
+//!
+//! // A lazy Zipf workload over a universe of 1024 items: updates are pulled
+//! // one at a time and pushed straight into the sketch.
+//! let mut source = ZipfStreamGenerator::new(StreamConfig::new(1 << 10, 20_000), 1.2, 7);
+//! while let Some(update) = source.next_update() {
+//!     sketch.update(update);
+//! }
+//! let est = sketch.estimate();
+//!
+//! // Ground truth from a materialized copy of the same stream.
+//! source.reset();
+//! let stream = source.collect_stream();
 //! let exact = exact_gsum(&g, &stream.frequency_vector());
 //! let rel = (est - exact).abs() / exact.max(1.0);
 //! assert!(rel < 0.5, "relative error {rel} too large");
+//! ```
+//!
+//! ### Sharded ingestion
+//!
+//! Every sketch is linear ([`MergeableSketch`](prelude::MergeableSketch)):
+//! clones absorb disjoint shards of the traffic on separate threads and merge
+//! into exactly the single-threaded state.
+//!
+//! ```
+//! use zerolaw::prelude::*;
+//!
+//! let cfg = GSumConfig::with_space_budget(1 << 8, 0.2, 256, 3);
+//! let prototype = OnePassGSumSketch::new(PowerFunction::new(2.0), &cfg);
+//! let mut source = ZipfStreamGenerator::new(StreamConfig::new(1 << 8, 10_000), 1.2, 5);
+//! let sketch = ShardedIngest::new(4)
+//!     .ingest(&mut source, &prototype)
+//!     .expect("clones always merge");
+//! assert!(sketch.estimate() > 0.0);
 //! ```
 
 pub use gsum_comm as comm;
@@ -50,11 +80,11 @@ pub use gsum_streams as streams;
 /// A convenience prelude re-exporting the most commonly used types.
 pub mod prelude {
     pub use gsum_comm::{
-        DisjInstance, DisjIndInstance, DistInstance, IndexInstance, SketchDistinguisher,
+        DisjIndInstance, DisjInstance, DistInstance, IndexInstance, SketchDistinguisher,
     };
     pub use gsum_core::{
         exact_gsum, DistCounter, GSumConfig, GSumEstimator, NearlyPeriodicGSum, OnePassGSum,
-        RecursiveSketch, TwoPassGSum,
+        OnePassGSumSketch, RecursiveSketch, TwoPassGSum, TwoPassGSumSketch,
     };
     pub use gsum_gfunc::{
         classify::{OnePassVerdict, TractabilityReport, TwoPassVerdict},
@@ -66,9 +96,12 @@ pub mod prelude {
         registry::FunctionRegistry,
         GFunction,
     };
-    pub use gsum_sketch::{AmsF2Sketch, CountMinSketch, CountSketch, ExactFrequencies};
+    pub use gsum_sketch::{
+        AmsF2Sketch, CountMinSketch, CountSketch, ExactFrequencies, FrequencySketch,
+    };
     pub use gsum_streams::{
-        FrequencyVector, PlantedStreamGenerator, StreamConfig, StreamGenerator, TurnstileStream,
-        UniformStreamGenerator, Update, ZipfStreamGenerator,
+        FrequencyVector, IterSource, MergeError, MergeableSketch, PlantedStreamGenerator,
+        ShardedIngest, StreamConfig, StreamGenerator, StreamSink, TurnstileStream,
+        UniformStreamGenerator, Update, UpdateSource, ZipfStreamGenerator,
     };
 }

@@ -44,12 +44,9 @@ fn one_pass_estimator_tracks_tractable_functions_end_to_end() {
 #[test]
 fn two_pass_estimator_handles_the_unpredictable_function() {
     let domain = 1u64 << 10;
-    let stream = PlantedStreamGenerator::new(
-        StreamConfig::new(domain, 40_000),
-        vec![(9, 90_000)],
-        5,
-    )
-    .generate();
+    let stream =
+        PlantedStreamGenerator::new(StreamConfig::new(domain, 40_000), vec![(9, 90_000)], 5)
+            .generate();
     let g = OscillatingQuadratic::direct();
     let truth = exact_gsum(&g, &stream.frequency_vector());
     let cfg = GSumConfig::with_space_budget(domain, 0.1, 128, 3);
@@ -94,12 +91,9 @@ fn distance_and_billing_applications() {
     let approx = sketched_distance(&est, &u, &v, 3);
     assert!(rel(approx, truth) < 0.35, "{approx} vs {truth}");
 
-    let clicks = PlantedStreamGenerator::new(
-        StreamConfig::new(domain, 30_000),
-        vec![(7, 15_000)],
-        11,
-    )
-    .generate();
+    let clicks =
+        PlantedStreamGenerator::new(StreamConfig::new(domain, 30_000), vec![(7, 15_000)], 11)
+            .generate();
     let billing = ClickBilling::new(100, GSumConfig::with_space_budget(domain, 0.2, 1024, 3));
     let report = billing.bill(&clicks, 3);
     assert!(report.relative_error < 0.3);

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use zerolaw::core::heavy_hitters::{GCover, HeavyHitterSketch};
 use zerolaw::core::RecursiveSketch;
 use zerolaw::prelude::*;
-use zerolaw::sketch::{CountSketch, CountSketchConfig, FrequencySketch};
+use zerolaw::sketch::{CountSketch, CountSketchConfig};
 
 /// Strategy: a small turnstile stream described as (item, delta) pairs.
 fn stream_strategy(domain: u64, max_len: usize) -> impl Strategy<Value = TurnstileStream> {
@@ -24,10 +24,13 @@ fn stream_strategy(domain: u64, max_len: usize) -> impl Strategy<Value = Turnsti
 /// An exact heavy-hitter oracle reporting every item (weights g = x^2).
 struct ExactOracle(std::collections::HashMap<u64, i64>);
 
-impl HeavyHitterSketch for ExactOracle {
+impl StreamSink for ExactOracle {
     fn update(&mut self, update: Update) {
         *self.0.entry(update.item).or_insert(0) += update.delta;
     }
+}
+
+impl HeavyHitterSketch for ExactOracle {
     fn cover(&self, _domain: u64) -> GCover {
         GCover::from_pairs(
             self.0

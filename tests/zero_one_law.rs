@@ -27,8 +27,7 @@ fn tractable_verdict_implies_accurate_one_pass_estimation() {
     assert_eq!(report.one_pass, OnePassVerdict::Tractable);
 
     let domain = 1u64 << 10;
-    let stream =
-        ZipfStreamGenerator::new(StreamConfig::new(domain, 30_000), 1.3, 9).generate();
+    let stream = ZipfStreamGenerator::new(StreamConfig::new(domain, 30_000), 1.3, 9).generate();
     let truth = exact_gsum(&g, &stream.frequency_vector());
     let est = OnePassGSum::new(g, GSumConfig::with_space_budget(domain, 0.2, 1024, 3));
     let approx = est.estimate_median(&stream, 5);
@@ -54,7 +53,11 @@ fn intractable_verdict_shows_up_on_the_index_reduction() {
         |t| IndexInstance::random(n, true, t).reduction_stream(n, 1),
         |_t, s| exact_gsum(&InversePowerFunction::new(1.0), &s.frequency_vector()),
     );
-    assert!(exact.advantage > 0.95, "exact advantage {}", exact.advantage);
+    assert!(
+        exact.advantage > 0.95,
+        "exact advantage {}",
+        exact.advantage
+    );
 
     // A deliberately small sketch: its g-SUM estimates on the reduction
     // streams are far outside the (1 ± ε) band.
@@ -89,12 +92,9 @@ fn predictability_is_what_separates_one_pass_from_two() {
     // And the two-pass algorithm indeed nails a stream whose dominant item
     // sits at an adversarial frequency.
     let domain = 1u64 << 10;
-    let stream = PlantedStreamGenerator::new(
-        StreamConfig::new(domain, 30_000),
-        vec![(4, 70_001)],
-        13,
-    )
-    .generate();
+    let stream =
+        PlantedStreamGenerator::new(StreamConfig::new(domain, 30_000), vec![(4, 70_001)], 13)
+            .generate();
     let truth = exact_gsum(&g, &stream.frequency_vector());
     let two = TwoPassGSum::new(g, GSumConfig::with_space_budget(domain, 0.1, 128, 5));
     let approx = two.estimate_median(&stream, 5);
