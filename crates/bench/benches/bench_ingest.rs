@@ -1,102 +1,289 @@
-//! Ingestion throughput: per-update push vs batched push vs sharded
-//! parallel ingestion, measured in updates/second on the same Zipf workload.
+//! Ingestion throughput: the hot-path matrix the repo's perf trajectory is
+//! measured against.
 //!
-//! The numbers justify the push-based architecture: `update_batch` amortizes
-//! dispatch overhead, and `ShardedIngest` scales across cores because every
-//! sketch is a mergeable linear state.  Note: sharded wall-clock speedup is
-//! only visible on multi-core hosts (`nproc > 1`); on a single-core runner
-//! the sharded rows measure the channel/merge overhead, which should stay
-//! within a few percent of the batched baseline.
+//! Variants, on the same Zipf(1.2) workload:
+//!
+//! * `per_update` — one `update` call per stream update (the baseline the
+//!   division-free hashing speeds up).
+//! * `batched_chunks` — `update_batch` in fixed-size chunks, the shape live
+//!   ingestion has: per-chunk coalescing of duplicate items plus row-major
+//!   counter walks.
+//! * `coalesced_full` — one `update_batch` over the whole stream: the upper
+//!   envelope of what coalescing buys (a Zipf head item is hashed once
+//!   instead of thousands of times).
+//! * `…/tabulation` — the same, with the tabulation hash backend instead of
+//!   the polynomial family.
+//! * `sharded_N` — `ShardedIngest` across N worker threads (wall-clock
+//!   speedup needs a multi-core host; on one core it measures channel
+//!   overhead).
+//!
+//! Besides the console table, the bench writes a machine-readable
+//! `BENCH_ingest.json` at the workspace root (override the path with the
+//! `BENCH_INGEST_JSON` env var) so CI can upload it and perf regressions are
+//! visible per PR.  Set `BENCH_INGEST_QUICK=1` for a fast smoke run.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gsum_core::{GSumConfig, OnePassGSumSketch};
 use gsum_gfunc::library::PowerFunction;
+use gsum_hash::HashBackend;
 use gsum_sketch::{CountSketch, CountSketchConfig};
-use gsum_streams::{ShardedIngest, StreamConfig, StreamGenerator, StreamSink, ZipfStreamGenerator};
+use gsum_streams::{
+    ShardedIngest, StreamConfig, StreamGenerator, StreamSink, TurnstileStream, ZipfStreamGenerator,
+};
+use std::time::{Duration, Instant};
 
 const DOMAIN: u64 = 1 << 12;
-const UPDATES: usize = 50_000;
+const ZIPF_ALPHA: f64 = 1.2;
+const CHUNK: usize = 4096;
 
-fn stream() -> gsum_streams::TurnstileStream {
-    ZipfStreamGenerator::new(StreamConfig::new(DOMAIN, UPDATES), 1.2, 7).generate()
+struct BenchResult {
+    name: String,
+    ns_per_iter: f64,
+    updates_per_sec: f64,
+    iterations: u64,
 }
 
-fn countsketch() -> CountSketch {
-    CountSketch::new(CountSketchConfig::new(5, 1024).unwrap(), 3)
+/// Time `routine` with a per-iteration `setup` whose cost (sketch
+/// construction — for the tabulation backend that is filling 8 × 256
+/// lookup tables per hash) is *excluded* from the measurement, so the
+/// reported numbers are ingestion only.  One warm-up run, then as many
+/// measured runs as fit in the budget (at least 3).  Returns mean
+/// ns/iteration and the iteration count.
+fn measure<T>(
+    budget: Duration,
+    mut setup: impl FnMut() -> T,
+    mut routine: impl FnMut(T),
+) -> (f64, u64) {
+    routine(setup());
+    let mut measured = Duration::ZERO;
+    let mut iterations = 0u64;
+    let wall = Instant::now();
+    while iterations < 3 || (wall.elapsed() < budget && iterations < 1_000_000) {
+        let input = setup();
+        let t = Instant::now();
+        routine(input);
+        measured += t.elapsed();
+        iterations += 1;
+    }
+    (measured.as_nanos() as f64 / iterations as f64, iterations)
 }
 
-fn gsum_sketch() -> OnePassGSumSketch<PowerFunction> {
-    let config = GSumConfig::with_space_budget(DOMAIN, 0.2, 512, 11);
+fn run<T>(
+    results: &mut Vec<BenchResult>,
+    name: &str,
+    updates: usize,
+    budget: Duration,
+    setup: impl FnMut() -> T,
+    routine: impl FnMut(T),
+) {
+    let (ns_per_iter, iterations) = measure(budget, setup, routine);
+    let updates_per_sec = updates as f64 / (ns_per_iter / 1e9);
+    println!(
+        "{name:<44} {ns_per_iter:>14.0} ns/iter  {updates_per_sec:>12.3e} upd/s  ({iterations} iters)"
+    );
+    results.push(BenchResult {
+        name: name.to_string(),
+        ns_per_iter,
+        updates_per_sec,
+        iterations,
+    });
+}
+
+fn countsketch(backend: HashBackend) -> CountSketch {
+    CountSketch::new(
+        CountSketchConfig::new(5, 1024)
+            .unwrap()
+            .with_backend(backend),
+        3,
+    )
+}
+
+fn gsum_sketch(backend: HashBackend) -> OnePassGSumSketch<PowerFunction> {
+    let config = GSumConfig::with_space_budget(DOMAIN, 0.2, 512, 11).with_hash_backend(backend);
     OnePassGSumSketch::new(PowerFunction::new(2.0), &config)
 }
 
-fn bench_countsketch_ingest(c: &mut Criterion) {
-    let s = stream();
-    let mut group = c.benchmark_group("countsketch_ingest_50k");
-    group.throughput(Throughput::Elements(UPDATES as u64));
-
-    group.bench_function("per_update", |b| {
-        b.iter(|| {
-            let mut cs = countsketch();
-            for &u in s.iter() {
-                cs.update(u);
-            }
-            cs
-        })
-    });
-    group.bench_function("batched", |b| {
-        b.iter(|| {
-            let mut cs = countsketch();
-            cs.update_batch(s.updates());
-            cs
-        })
-    });
-    for shards in [2usize, 4, 8] {
-        group.bench_function(format!("sharded_{shards}"), |b| {
-            b.iter(|| {
-                ShardedIngest::new(shards)
-                    .with_batch_size(2048)
-                    .ingest(&mut s.source(), &countsketch())
-                    .unwrap()
-            })
-        });
+fn bench_countsketch(
+    results: &mut Vec<BenchResult>,
+    s: &TurnstileStream,
+    updates: usize,
+    budget: Duration,
+) {
+    for backend in [HashBackend::Polynomial, HashBackend::Tabulation] {
+        let b = backend.name();
+        run(
+            results,
+            &format!("countsketch/per_update/{b}"),
+            updates,
+            budget,
+            || countsketch(backend),
+            |mut cs| {
+                for &u in s.iter() {
+                    cs.update(u);
+                }
+                std::hint::black_box(&cs);
+            },
+        );
+        run(
+            results,
+            &format!("countsketch/batched_chunks/{b}"),
+            updates,
+            budget,
+            || countsketch(backend),
+            |mut cs| {
+                for chunk in s.updates().chunks(CHUNK) {
+                    cs.update_batch(chunk);
+                }
+                std::hint::black_box(&cs);
+            },
+        );
+        run(
+            results,
+            &format!("countsketch/coalesced_full/{b}"),
+            updates,
+            budget,
+            || countsketch(backend),
+            |mut cs| {
+                cs.update_batch(s.updates());
+                std::hint::black_box(&cs);
+            },
+        );
     }
-    group.finish();
+    for shards in [2usize, 4] {
+        run(
+            results,
+            &format!("countsketch/sharded_{shards}/polynomial"),
+            updates,
+            budget,
+            || countsketch(HashBackend::Polynomial),
+            |prototype| {
+                let merged = ShardedIngest::new(shards)
+                    .with_batch_size(2048)
+                    .ingest(&mut s.source(), &prototype)
+                    .unwrap();
+                std::hint::black_box(&merged);
+            },
+        );
+    }
 }
 
-fn bench_gsum_ingest(c: &mut Criterion) {
-    let s = stream();
-    let mut group = c.benchmark_group("onepass_gsum_ingest_50k");
-    group.throughput(Throughput::Elements(UPDATES as u64));
-
-    group.bench_function("per_update", |b| {
-        b.iter(|| {
-            let mut sk = gsum_sketch();
-            for &u in s.iter() {
-                sk.update(u);
-            }
-            sk
-        })
-    });
-    group.bench_function("batched", |b| {
-        b.iter(|| {
-            let mut sk = gsum_sketch();
-            sk.update_batch(s.updates());
-            sk
-        })
-    });
-    for shards in [2usize, 4, 8] {
-        group.bench_function(format!("sharded_{shards}"), |b| {
-            b.iter(|| {
-                ShardedIngest::new(shards)
-                    .with_batch_size(2048)
-                    .ingest(&mut s.source(), &gsum_sketch())
-                    .unwrap()
-            })
-        });
+fn bench_gsum(
+    results: &mut Vec<BenchResult>,
+    s: &TurnstileStream,
+    updates: usize,
+    budget: Duration,
+) {
+    for backend in [HashBackend::Polynomial, HashBackend::Tabulation] {
+        let b = backend.name();
+        run(
+            results,
+            &format!("onepass_gsum/per_update/{b}"),
+            updates,
+            budget,
+            || gsum_sketch(backend),
+            |mut sk| {
+                for &u in s.iter() {
+                    sk.update(u);
+                }
+                std::hint::black_box(&sk);
+            },
+        );
+        run(
+            results,
+            &format!("onepass_gsum/batched_chunks/{b}"),
+            updates,
+            budget,
+            || gsum_sketch(backend),
+            |mut sk| {
+                for chunk in s.updates().chunks(CHUNK) {
+                    sk.update_batch(chunk);
+                }
+                std::hint::black_box(&sk);
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_countsketch_ingest, bench_gsum_ingest);
-criterion_main!(benches);
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(
+    path: &std::path::Path,
+    results: &[BenchResult],
+    updates: usize,
+    quick: bool,
+    speedup: f64,
+    tab_speedup: f64,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"bench_ingest\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!(
+        "  \"workload\": {{\"distribution\": \"zipf\", \"alpha\": {ZIPF_ALPHA}, \"domain\": {DOMAIN}, \"updates\": {updates}, \"chunk\": {CHUNK}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"speedup_coalesced_vs_per_update\": {speedup:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"speedup_tabulation_vs_polynomial_per_update\": {tab_speedup:.3},\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"updates_per_sec\": {:.1}, \"iterations\": {}}}{}\n",
+            json_escape(&r.name),
+            r.ns_per_iter,
+            r.updates_per_sec,
+            r.iterations,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Fetch a named result; a missing name is a bug in this bench (the name
+/// tables drifted), and silently emitting NaN would corrupt the JSON
+/// artifact CI uploads — fail loudly instead.
+fn lookup(results: &[BenchResult], name: &str) -> f64 {
+    results
+        .iter()
+        .find(|r| r.name == name)
+        .map(|r| r.ns_per_iter)
+        .unwrap_or_else(|| panic!("bench result {name:?} missing — variant names drifted"))
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_INGEST_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let (updates, budget) = if quick {
+        (20_000usize, Duration::from_millis(60))
+    } else {
+        (50_000usize, Duration::from_millis(300))
+    };
+    let s = ZipfStreamGenerator::new(StreamConfig::new(DOMAIN, updates), ZIPF_ALPHA, 7).generate();
+
+    let mut results = Vec::new();
+    println!("bench_ingest: zipf({ZIPF_ALPHA}) domain={DOMAIN} updates={updates} quick={quick}\n");
+    bench_countsketch(&mut results, &s, updates, budget);
+    bench_gsum(&mut results, &s, updates, budget);
+
+    let per_update = lookup(&results, "countsketch/per_update/polynomial");
+    let coalesced = lookup(&results, "countsketch/coalesced_full/polynomial");
+    let per_update_tab = lookup(&results, "countsketch/per_update/tabulation");
+    let speedup = per_update / coalesced;
+    let tab_speedup = per_update / per_update_tab;
+    println!("\ncoalesced-batched vs per-update CountSketch speedup: {speedup:.2}x");
+    println!("tabulation vs polynomial per-update speedup: {tab_speedup:.2}x");
+
+    let path = std::env::var("BENCH_INGEST_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ingest.json")
+        });
+    match write_json(&path, &results, updates, quick, speedup, tab_speedup) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

@@ -1,5 +1,7 @@
 //! Configuration shared by the g-SUM estimators.
 
+use gsum_hash::HashBackend;
+
 /// Configuration for the one-pass and two-pass g-SUM estimators.
 ///
 /// The paper's theoretical parameterization (Theorem 13 plus Algorithms 1/2)
@@ -34,6 +36,9 @@ pub struct GSumConfig {
     /// Number of candidates extracted from each level's CountSketch
     /// (the `O(H(M)/λ)` of Lemma 18).
     pub candidates_per_level: usize,
+    /// Hash family for the per-level CountSketch rows (polynomial by
+    /// default; tabulation trades provable independence for speed).
+    pub hash_backend: HashBackend,
     /// Master seed for all hash functions.
     pub seed: u64,
 }
@@ -56,6 +61,7 @@ impl GSumConfig {
             countsketch_columns: columns.max(16),
             countsketch_rows: 5,
             candidates_per_level: candidates,
+            hash_backend: HashBackend::default(),
             seed,
         }
     }
@@ -75,6 +81,7 @@ impl GSumConfig {
             countsketch_columns: columns,
             countsketch_rows: 5,
             candidates_per_level: (columns / 4).max(4),
+            hash_backend: HashBackend::default(),
             seed,
         }
     }
@@ -84,6 +91,12 @@ impl GSumConfig {
     pub fn with_envelope_factor(mut self, factor: f64) -> Self {
         assert!(factor >= 1.0, "the envelope factor is at least 1");
         self.envelope_factor = factor;
+        self
+    }
+
+    /// Select the hash backend for every sketch in the estimator stack.
+    pub fn with_hash_backend(mut self, backend: HashBackend) -> Self {
+        self.hash_backend = backend;
         self
     }
 

@@ -160,6 +160,15 @@ impl StreamSink for DistCounter {
         let piece = self.split.bucket(update.item) as usize;
         self.counters[piece] += self.signs.sign(update.item) * update.delta;
     }
+
+    /// Batched fast path: the signed piece counters are linear in `i64`, so
+    /// duplicate items coalesce exactly and are hashed once per batch.
+    fn update_batch(&mut self, updates: &[Update]) {
+        let mut scratch = Vec::new();
+        for &u in gsum_streams::coalesce_into(updates, &mut scratch) {
+            self.update(u);
+        }
+    }
 }
 
 /// The signed piece counters are linear in the frequency vector, so

@@ -31,6 +31,7 @@ impl<G: GFunction + Clone> OnePassGSumSketch<G> {
             candidates: config.candidates_per_level,
             epsilon: config.epsilon,
             envelope_factor: config.envelope_factor,
+            backend: config.hash_backend,
         };
         let inner = RecursiveSketch::new(
             config.domain,

@@ -30,6 +30,7 @@ impl<G: GFunction + Clone> TwoPassGSumSketch<G> {
             rows: config.countsketch_rows,
             columns: config.countsketch_columns,
             candidates: config.candidates_per_level,
+            backend: config.hash_backend,
         };
         let inner = RecursiveSketch::new(
             config.domain,

@@ -77,6 +77,17 @@ impl GCover {
 /// stream and then querying gives the cover of the stream's frequency vector,
 /// and the same structure can be reused across recursion levels of the
 /// recursive sketch.
+///
+/// **Linearity is a requirement, not a convention.**  The recursive sketch's
+/// batched ingestion path coalesces duplicate items (summing their deltas in
+/// `i64`, reordering by item) before routing a batch to the level sketches —
+/// exact for any sketch whose state is a linear function of the frequency
+/// vector, which is what [Li–Nguyen–Woodruff 2014] shows is WLOG for
+/// turnstile algorithms.  An implementation that is order- or
+/// occurrence-sensitive (per-update decay, update counting, max-delta
+/// tracking, ...) would observe different batches than a per-update replay
+/// and must not be driven through
+/// [`RecursiveSketch`](crate::RecursiveSketch) batching.
 pub trait HeavyHitterSketch: StreamSink {
     /// Produce a cover of the stream processed so far.  `domain` bounds the
     /// item identifiers that may be reported.

@@ -20,6 +20,7 @@
 
 use super::{GCover, HeavyHitterSketch};
 use gsum_gfunc::GFunction;
+use gsum_hash::HashBackend;
 use gsum_sketch::{AmsF2Sketch, CountSketch, CountSketchConfig, FrequencySketch};
 use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
 
@@ -37,6 +38,8 @@ pub struct OnePassHeavyHitterConfig {
     pub epsilon: f64,
     /// The envelope factor `H(M)` scaling the tolerated frequency error.
     pub envelope_factor: f64,
+    /// Hash family for the CountSketch rows.
+    pub backend: HashBackend,
 }
 
 /// The Algorithm-2 heavy-hitter sketch for a function `g`.
@@ -55,7 +58,8 @@ impl<G: GFunction> OnePassHeavyHitter<G> {
     /// Panics if the CountSketch or AMS dimensions are degenerate.
     pub fn new(g: G, config: OnePassHeavyHitterConfig, seed: u64) -> Self {
         let cs_config = CountSketchConfig::new(config.rows, config.columns)
-            .expect("non-degenerate CountSketch dimensions");
+            .expect("non-degenerate CountSketch dimensions")
+            .with_backend(config.backend);
         let countsketch = CountSketch::new(cs_config, seed ^ 0x0c5e_7c11);
         // A fixed, modest AMS sketch: the F2 estimate only calibrates the
         // pruning tolerance, so ±25% accuracy is plenty.
@@ -130,6 +134,19 @@ impl<G: GFunction> StreamSink for OnePassHeavyHitter<G> {
         self.countsketch.update(update);
         self.ams.update(update);
     }
+
+    /// Forward the batch to both component sketches so their coalescing
+    /// fast paths engage (instead of degrading to per-update dispatch).
+    /// Coalescing happens at most once on this path: the item→delta map is
+    /// built here (unless the caller — e.g. the recursive sketch — already
+    /// passed a coalesced batch), and the inner sketches detect the
+    /// coalesced form and use it as-is.
+    fn update_batch(&mut self, updates: &[Update]) {
+        let mut scratch = Vec::new();
+        let coalesced = gsum_streams::coalesce_into(updates, &mut scratch);
+        self.countsketch.update_batch(coalesced);
+        self.ams.update_batch(coalesced);
+    }
 }
 
 /// Algorithm 2's state is a pair of linear sketches, so it merges
@@ -184,6 +201,7 @@ mod tests {
             candidates: 32,
             epsilon: 0.2,
             envelope_factor: 1.0,
+            backend: gsum_hash::HashBackend::Polynomial,
         }
     }
 

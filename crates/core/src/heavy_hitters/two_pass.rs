@@ -14,6 +14,7 @@
 
 use super::{GCover, HeavyHitterSketch};
 use gsum_gfunc::GFunction;
+use gsum_hash::HashBackend;
 use gsum_sketch::{CountSketch, CountSketchConfig, FrequencySketch};
 use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
 use std::collections::HashMap;
@@ -27,6 +28,8 @@ pub struct TwoPassHeavyHitterConfig {
     pub columns: usize,
     /// Number of candidates whose frequencies the second pass tabulates.
     pub candidates: usize,
+    /// Hash family for the first-pass CountSketch rows.
+    pub backend: HashBackend,
 }
 
 /// Which pass the algorithm is currently in.
@@ -57,7 +60,8 @@ impl<G: GFunction> TwoPassHeavyHitter<G> {
     /// Create the algorithm.
     pub fn new(g: G, config: TwoPassHeavyHitterConfig, seed: u64) -> Self {
         let cs_config = CountSketchConfig::new(config.rows, config.columns)
-            .expect("non-degenerate CountSketch dimensions");
+            .expect("non-degenerate CountSketch dimensions")
+            .with_backend(config.backend);
         Self {
             g,
             config,
@@ -114,6 +118,20 @@ impl<G: GFunction> StreamSink for TwoPassHeavyHitter<G> {
         match self.phase {
             Phase::First => self.update_pass1(update),
             Phase::Second => self.update_pass2(update),
+        }
+    }
+
+    /// Phase-aware batching: the first pass forwards the whole batch to the
+    /// CountSketch's coalescing fast path; the second pass tabulates in
+    /// exact `i64` arithmetic where batching has nothing left to amortize.
+    fn update_batch(&mut self, updates: &[Update]) {
+        match self.phase {
+            Phase::First => self.countsketch.update_batch(updates),
+            Phase::Second => {
+                for &u in updates {
+                    self.update_pass2(u);
+                }
+            }
         }
     }
 }
@@ -188,6 +206,7 @@ mod tests {
             rows: 5,
             columns: 256,
             candidates: 24,
+            backend: gsum_hash::HashBackend::Polynomial,
         }
     }
 

@@ -69,9 +69,12 @@ pub use error::CoreError;
 pub use gsum::{
     exact_gsum, GSumEstimator, OnePassGSum, OnePassGSumSketch, TwoPassGSum, TwoPassGSumSketch,
 };
-pub use heavy_hitters::{GCover, HeavyHitterSketch, OnePassHeavyHitter, TwoPassHeavyHitter};
+pub use heavy_hitters::{
+    GCover, HeavyHitterSketch, OnePassHeavyHitter, OnePassHeavyHitterConfig, TwoPassHeavyHitter,
+    TwoPassHeavyHitterConfig,
+};
 pub use moments::MomentEstimator;
-pub use np_algorithm::NearlyPeriodicGSum;
+pub use np_algorithm::{GnpHeavyHitter, NearlyPeriodicGSum};
 pub use recursive_sketch::RecursiveSketch;
 
 // The push-based ingestion contract, re-exported so estimator users need

@@ -28,7 +28,20 @@ use crate::recursive_sketch::RecursiveSketch;
 use gsum_gfunc::library::GnpFunction;
 use gsum_gfunc::GFunction;
 use gsum_hash::{derive_seeds, BucketHash, KWiseHash};
-use gsum_streams::{MergeError, MergeableSketch, StreamSink, TurnstileStream, Update};
+use gsum_streams::{
+    coalesce_into, MergeError, MergeableSketch, StreamSink, TurnstileStream, Update,
+};
+use std::collections::HashSet;
+
+/// Cap on stored reverse hints per substream.  A substream whose distinct
+/// observed items exceed the cap discards its hints ("saturates") and falls
+/// back to the original domain scan at query time, so the sketch's space
+/// stays bounded by `substreams × HINT_CAP` words regardless of the stream's
+/// support size — the sublinearity of Proposition 54 is preserved.
+/// Saturation depends only on the *set* of distinct items observed, never on
+/// arrival order, so batched and per-update ingestion stay bit-for-bit
+/// equivalent.
+const HINT_CAP: usize = 512;
 
 /// The Proposition-54 heavy-hitter sketch for `g_np`.
 #[derive(Debug, Clone)]
@@ -40,6 +53,13 @@ pub struct GnpHeavyHitter {
     split: BucketHash,
     /// Trial sampling hashes (pairwise independent Bernoulli(1/2)).
     samplers: Vec<KWiseHash>,
+    /// Reverse hints recorded at update time: the distinct items observed in
+    /// each substream (up to [`HINT_CAP`]).  Identification at query time
+    /// scans only these instead of the whole `n`-sized domain.
+    seen: Vec<HashSet<u64>>,
+    /// Substreams whose distinct-item count exceeded [`HINT_CAP`]: their
+    /// hints were discarded and queries use the domain scan.
+    saturated: Vec<bool>,
     /// Construction seed, kept so merges can verify hash compatibility.
     seed: u64,
 }
@@ -59,7 +79,22 @@ impl GnpHeavyHitter {
                 .iter()
                 .map(|&s| KWiseHash::new(2, s))
                 .collect(),
+            seen: vec![HashSet::new(); substreams],
+            saturated: vec![false; substreams],
             seed,
+        }
+    }
+
+    /// Record a reverse hint for `item` in `substream`, saturating the
+    /// substream (and freeing its hint memory) once the cap is crossed.
+    fn record_hint(&mut self, substream: usize, item: u64) {
+        if self.saturated[substream] {
+            return;
+        }
+        self.seen[substream].insert(item);
+        if self.seen[substream].len() > HINT_CAP {
+            self.seen[substream] = HashSet::new();
+            self.saturated[substream] = true;
         }
     }
 
@@ -99,21 +134,48 @@ impl GnpHeavyHitter {
             return None;
         }
         // Identify the unique item in this substream whose sampling pattern
-        // matches the maximizing trials.
-        let mut found: Option<u64> = None;
-        for item in 0..domain {
-            if self.split.bucket(item) as usize != substream {
-                continue;
-            }
-            let matches = (0..self.trials).all(|trial| {
+        // matches the maximizing trials.  Only the items actually observed in
+        // this substream (the reverse hints stored at update time) can carry
+        // mass, so the scan is over the substream's support — not the whole
+        // `n`-sized domain — unless the substream saturated its hint budget,
+        // in which case we fall back to the domain scan.  The two scans are
+        // deliberately not identical on noise cases: an *unobserved* item
+        // whose sampling pattern happens to match (probability ~2^-trials)
+        // can create a spurious ambiguity (or a spurious identification) in
+        // the domain scan, while the hint scan correctly ignores it — a
+        // genuinely heavy item is always observed, so the hint path only ever
+        // improves identification.
+        let pattern_matches = |item: u64| {
+            (0..self.trials).all(|trial| {
                 let sampled = self.samplers[trial].hash_to_bool(item);
                 sampled == maximizing[trial]
-            });
-            if matches {
-                if found.is_some() {
-                    return None; // ambiguous
+            })
+        };
+        let mut found: Option<u64> = None;
+        if self.saturated[substream] {
+            for item in 0..domain {
+                if self.split.bucket(item) as usize != substream {
+                    continue;
                 }
-                found = Some(item);
+                if pattern_matches(item) {
+                    if found.is_some() {
+                        return None; // ambiguous
+                    }
+                    found = Some(item);
+                }
+            }
+        } else {
+            for &item in &self.seen[substream] {
+                if item >= domain {
+                    continue;
+                }
+                debug_assert_eq!(self.split.bucket(item) as usize, substream);
+                if pattern_matches(item) {
+                    if found.is_some() {
+                        return None; // ambiguous
+                    }
+                    found = Some(item);
+                }
             }
         }
         found.map(|item| (item, best_value))
@@ -123,6 +185,7 @@ impl GnpHeavyHitter {
 impl StreamSink for GnpHeavyHitter {
     fn update(&mut self, update: Update) {
         let substream = self.split.bucket(update.item) as usize;
+        self.record_hint(substream, update.item);
         for trial in 0..self.trials {
             if self.samplers[trial].hash_to_bool(update.item) {
                 let idx = self.cell(substream, trial);
@@ -130,10 +193,22 @@ impl StreamSink for GnpHeavyHitter {
             }
         }
     }
+
+    /// Batched fast path: duplicate items coalesce exactly in `i64`
+    /// (the counters are linear), so each distinct item is split-hashed and
+    /// trial-sampled once per batch instead of once per occurrence.
+    /// `coalesce_updates` keeps net-zero items, so the reverse hints record
+    /// exactly the items a per-update replay would have recorded.
+    fn update_batch(&mut self, updates: &[Update]) {
+        let mut scratch = Vec::new();
+        for &u in coalesce_into(updates, &mut scratch) {
+            self.update(u);
+        }
+    }
 }
 
 /// The low-bit counters are linear in the frequency vector, so identically
-/// seeded sketches merge by adding counters.
+/// seeded sketches merge by adding counters (and uniting the reverse hints).
 impl MergeableSketch for GnpHeavyHitter {
     fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
         if self.substreams != other.substreams
@@ -146,6 +221,19 @@ impl MergeableSketch for GnpHeavyHitter {
         }
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
             *a += b;
+        }
+        // Unite the reverse hints.  Saturation is a function of the union of
+        // distinct items, so the merged state matches what single-threaded
+        // ingestion of the concatenated stream would have produced.
+        for substream in 0..self.substreams {
+            if other.saturated[substream] {
+                self.seen[substream] = HashSet::new();
+                self.saturated[substream] = true;
+            } else if !self.saturated[substream] {
+                for &item in &other.seen[substream] {
+                    self.record_hint(substream, item);
+                }
+            }
         }
         Ok(())
     }
@@ -160,7 +248,12 @@ impl HeavyHitterSketch for GnpHeavyHitter {
     }
 
     fn space_words(&self) -> usize {
-        self.counters.len() + 4 * (self.samplers.len() + 1)
+        // Counters, hash descriptions, and the reverse hints (one word per
+        // stored hint, capped at HINT_CAP per substream — the bounded price
+        // of O(support) identification).
+        self.counters.len()
+            + 4 * (self.samplers.len() + 1)
+            + self.seen.iter().map(HashSet::len).sum::<usize>()
     }
 }
 
@@ -283,6 +376,31 @@ mod tests {
         assert!(cover.contains(17), "cover {:?}", cover);
         assert!((cover.weight(17).unwrap() - 1.0).abs() < 1e-12);
         assert!(hh.space_words() >= 64 * 20);
+    }
+
+    #[test]
+    fn hint_saturation_keeps_space_bounded_and_falls_back_to_domain_scan() {
+        // One substream, far more distinct items than the hint cap: the
+        // substream must saturate (hints freed, space bounded) and queries
+        // must still work through the domain-scan fallback.
+        let domain = 4096u64;
+        let trials = 16usize;
+        let mut hh = GnpHeavyHitter::new(1, trials, 3);
+        for item in 0..2000u64 {
+            hh.update(Update::new(item, 2)); // even: g_np ≤ 1/2 everywhere
+        }
+        let baseline = hh.space_words();
+        assert!(
+            baseline < trials + 4 * (trials + 1) + 600,
+            "hints must stay capped: {baseline} words"
+        );
+        // More distinct items must not grow the hint storage further.
+        for item in 2000..3000u64 {
+            hh.update(Update::new(item, 2));
+        }
+        assert_eq!(hh.space_words(), baseline);
+        // The cover query still runs (domain-scan fallback), no panic.
+        let _ = hh.cover(domain);
     }
 
     #[test]

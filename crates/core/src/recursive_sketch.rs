@@ -153,6 +153,48 @@ impl<S: HeavyHitterSketch> StreamSink for RecursiveSketch<S> {
             level.update(update);
         }
     }
+
+    /// Route the batch level by level instead of update by update: each
+    /// level receives, in one `update_batch` call, exactly the sub-batch its
+    /// substream contains — in coalesced (item-sorted, deduplicated) form,
+    /// which is exact for the linear level sketches [`HeavyHitterSketch`]
+    /// requires — so the per-level sketches' fast paths engage across the
+    /// whole batch instead of degrading to per-update dispatch here.
+    fn update_batch(&mut self, updates: &[Update]) {
+        if updates.len() <= 1 {
+            for &u in updates {
+                self.update(u);
+            }
+            return;
+        }
+        // Coalesce once, up front: the depth computation below then runs
+        // over distinct items only, and the per-level sketches detect the
+        // coalesced form and skip their own passes.
+        let mut scratch = Vec::new();
+        let updates = gsum_streams::coalesce_into(updates, &mut scratch);
+        // The subsampling depth of each update's item, computed once.
+        let depths: Vec<usize> = updates.iter().map(|u| self.deepest_level(u.item)).collect();
+        let mut sub_batch: Vec<Update> = Vec::with_capacity(updates.len());
+        for (j, level) in self.levels.iter_mut().enumerate() {
+            if j == 0 {
+                level.update_batch(updates);
+                continue;
+            }
+            sub_batch.clear();
+            sub_batch.extend(
+                updates
+                    .iter()
+                    .zip(&depths)
+                    .filter(|&(_, &d)| d >= j)
+                    .map(|(&u, _)| u),
+            );
+            if sub_batch.is_empty() {
+                // Deeper levels see nested subsets: nothing survives below.
+                break;
+            }
+            level.update_batch(&sub_batch);
+        }
+    }
 }
 
 /// The recursive sketch of mergeable level sketches is itself mergeable:

@@ -1,0 +1,244 @@
+//! Pluggable per-row hash backends for the sketches.
+//!
+//! Every sketch row needs the same two primitives: a bucket map
+//! `h : u64 → [0, columns)` and a sign map `σ : u64 → {−1, +1}`.  The
+//! workspace ships two interchangeable implementations:
+//!
+//! * [`HashBackend::Polynomial`] — the provable default: one polynomial per
+//!   row drawn from the 4-wise independent family over `GF(2^61 − 1)` (the
+//!   independence the CountSketch/AMS variance analyses require).
+//! * [`HashBackend::Tabulation`] — Pătraşcu–Thorup simple tabulation: eight
+//!   table lookups and xors per evaluation, no multiplications.  Only 3-wise
+//!   independent, but known to behave like a fully random function for
+//!   hashing-based sketches; measurably faster on the ingestion hot path.
+//!
+//! Both backends reduce hash values into `[0, columns)` with a division-free
+//! multiply-shift (Lemire) reduction — the hardware `%` the sketches used to
+//! pay per row per update is gone.  [`RowHasher::column_sign`] derives the
+//! bucket (high bits, multiply-shift) and the sign (low bit) from a *single*
+//! hash evaluation, so the ingestion loop obtains `(column, sign)` for a row
+//! from one pass over the key per row state.
+
+use crate::kwise::KWiseHash;
+use crate::tabulation::TabulationHash;
+
+/// Which hash family a sketch draws its per-row bucket and sign hashes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HashBackend {
+    /// Polynomial hashing over `GF(2^61 − 1)`: pairwise independent buckets,
+    /// 4-wise independent signs.  The provable default.
+    #[default]
+    Polynomial,
+    /// Simple tabulation hashing (Pătraşcu–Thorup): 3-wise independent,
+    /// multiplication-free, fastest per evaluation.
+    Tabulation,
+}
+
+impl HashBackend {
+    /// A short stable name (used by benchmark reports and config dumps).
+    pub fn name(self) -> &'static str {
+        match self {
+            HashBackend::Polynomial => "polynomial",
+            HashBackend::Tabulation => "tabulation",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum RowState {
+    Polynomial(KWiseHash),
+    Tabulation(TabulationHash),
+}
+
+/// One sketch row's hashing state: a bucket hash into `[0, columns)` and a
+/// sign hash into `{−1, +1}`, derived from a *single* hash evaluation per
+/// key, drawn from the chosen [`HashBackend`].
+///
+/// The bucket is the multiply-shift (Lemire) reduction of the hash value —
+/// its high bits — and the sign is the hash value's lowest bit, so
+/// [`column_sign`](Self::column_sign) really is one fused pass: one
+/// polynomial evaluation (3 field multiplies for the 4-wise family) or one
+/// tabulation lookup chain (8 table reads) yields both outputs.
+///
+/// Independence: the polynomial backend draws from the 4-wise family, so the
+/// sign (low bit) is 4-wise independent — what the CountSketch/AMS variance
+/// analyses need — and the bucket (a projection of the same values) is at
+/// least pairwise.  Per key, bucket and sign come from disjoint ends of one
+/// field value; over any bucket's ~`p/columns`-sized preimage interval the
+/// low bit balances to within `columns/2^61`, a bias far below the sketches'
+/// error terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowHasher {
+    state: RowState,
+    columns: u64,
+}
+
+impl RowHasher {
+    /// Build a row's hash state from a seed.
+    ///
+    /// # Panics
+    /// Panics if `columns == 0`.
+    pub fn new(backend: HashBackend, columns: u64, seed: u64) -> Self {
+        assert!(columns > 0, "column count must be positive");
+        let state = match backend {
+            HashBackend::Polynomial => RowState::Polynomial(KWiseHash::new(4, seed)),
+            HashBackend::Tabulation => RowState::Tabulation(TabulationHash::new(seed)),
+        };
+        Self { state, columns }
+    }
+
+    /// The backend this row was drawn from.
+    pub fn backend(&self) -> HashBackend {
+        match self.state {
+            RowState::Polynomial(_) => HashBackend::Polynomial,
+            RowState::Tabulation(_) => HashBackend::Tabulation,
+        }
+    }
+
+    /// Number of columns `b` the bucket hash maps into.
+    pub fn columns(&self) -> u64 {
+        self.columns
+    }
+
+    /// The raw hash value and the width (in bits) of its uniform range:
+    /// 61 for the polynomial field `[0, 2^61 − 1)`, 64 for tabulation.
+    #[inline]
+    fn raw(&self, key: u64) -> (u64, u32) {
+        match &self.state {
+            RowState::Polynomial(h) => (h.hash(key), 61),
+            RowState::Tabulation(h) => (h.hash(key), 64),
+        }
+    }
+
+    #[inline]
+    fn reduce(&self, value: u64, bits: u32) -> u64 {
+        (((value as u128) * (self.columns as u128)) >> bits) as u64
+    }
+
+    /// The row's bucket for a key, in `[0, columns)` — division-free.
+    #[inline]
+    pub fn column(&self, key: u64) -> u64 {
+        let (value, bits) = self.raw(key);
+        self.reduce(value, bits)
+    }
+
+    /// The row's sign for a key: `+1` or `−1`.
+    #[inline]
+    pub fn sign(&self, key: u64) -> i64 {
+        let (value, _) = self.raw(key);
+        if value & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Fused evaluation: `(column, sign)` for a key from one hash pass.
+    #[inline]
+    pub fn column_sign(&self, key: u64) -> (u64, i64) {
+        let (value, bits) = self.raw(key);
+        let sign = if value & 1 == 1 { 1 } else { -1 };
+        (self.reduce(value, bits), sign)
+    }
+
+    /// Rough size of the row state in 64-bit words (for space accounting).
+    pub fn space_words(&self) -> usize {
+        match &self.state {
+            // 4 polynomial coefficients plus the column count.
+            RowState::Polynomial(_) => 5,
+            // One 8 × 256 table of u64 plus the column count.
+            RowState::Tabulation(_) => 8 * 256 + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seeds() {
+        for backend in [HashBackend::Polynomial, HashBackend::Tabulation] {
+            let a = RowHasher::new(backend, 64, 1);
+            let b = RowHasher::new(backend, 64, 1);
+            for key in 0..512u64 {
+                assert_eq!(a.column_sign(key), b.column_sign(key));
+            }
+            assert_eq!(a.backend(), backend);
+            assert_eq!(a.columns(), 64);
+        }
+    }
+
+    #[test]
+    fn columns_in_range_and_signs_valid() {
+        for backend in [HashBackend::Polynomial, HashBackend::Tabulation] {
+            for columns in [1u64, 2, 7, 64, 1000] {
+                let h = RowHasher::new(backend, columns, 99);
+                for key in 0..2000u64 {
+                    let (col, sign) = h.column_sign(key);
+                    assert!(col < columns);
+                    assert!(sign == 1 || sign == -1);
+                    assert_eq!(col, h.column(key));
+                    assert_eq!(sign, h.sign(key));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_roughly_balanced_both_backends() {
+        for backend in [HashBackend::Polynomial, HashBackend::Tabulation] {
+            let columns = 16u64;
+            let h = RowHasher::new(backend, columns, 4242);
+            let n = 64_000u64;
+            let mut counts = vec![0usize; columns as usize];
+            for key in 0..n {
+                counts[h.column(key) as usize] += 1;
+            }
+            let expect = n as f64 / columns as f64;
+            for &c in &counts {
+                assert!(
+                    (c as f64 - expect).abs() < 0.1 * expect,
+                    "{}: bucket {c} deviates from {expect}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signs_roughly_balanced_both_backends() {
+        for backend in [HashBackend::Polynomial, HashBackend::Tabulation] {
+            let h = RowHasher::new(backend, 8, 2025);
+            let sum: i64 = (0..100_000u64).map(|k| h.sign(k)).sum();
+            assert!(sum.abs() < 2000, "{}: sign sum {sum}", backend.name());
+        }
+    }
+
+    #[test]
+    fn backends_differ() {
+        let p = RowHasher::new(HashBackend::Polynomial, 1024, 3);
+        let t = RowHasher::new(HashBackend::Tabulation, 1024, 3);
+        let same = (0..256u64).filter(|&k| p.column(k) == t.column(k)).count();
+        assert!(same < 32, "backends should hash differently ({same} agree)");
+    }
+
+    #[test]
+    fn backend_names() {
+        assert_eq!(HashBackend::Polynomial.name(), "polynomial");
+        assert_eq!(HashBackend::Tabulation.name(), "tabulation");
+        assert_eq!(HashBackend::default(), HashBackend::Polynomial);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_columns_panics() {
+        let _ = RowHasher::new(HashBackend::Polynomial, 0, 1);
+    }
+
+    #[test]
+    fn space_words_positive() {
+        assert!(RowHasher::new(HashBackend::Polynomial, 4, 0).space_words() >= 5);
+        assert!(RowHasher::new(HashBackend::Tabulation, 4, 0).space_words() >= 2048);
+    }
+}

@@ -55,15 +55,20 @@ impl KWiseHash {
         poly_eval(&self.coeffs, key)
     }
 
-    /// Hash into `[0, range)` by taking the field value modulo `range`.
+    /// Hash into `[0, range)` with a division-free multiply-shift (Lemire)
+    /// reduction: the field value is uniform on `[0, p)` with `p = 2^61 - 1`,
+    /// so `(hash · range) >> 61` is near-uniform on `[0, range)`.
     ///
-    /// Because `p = 2^61 - 1` is enormous relative to any realistic `range`,
-    /// the modulo bias is at most `range / p < 2^-40` for ranges below 2^21
-    /// and is negligible for the bucket counts used by the sketches.
+    /// The reduction bias is at most `range / p < 2^-40` for ranges below
+    /// 2^21 — the same negligible bias a modulo reduction would have, minus
+    /// the hardware division it would cost on every sketch row of every
+    /// update.
     #[inline]
     pub fn hash_to_range(&self, key: u64, range: u64) -> u64 {
         assert!(range > 0, "range must be positive");
-        self.hash(key) % range
+        // hash < 2^61, so the product fits comfortably in u128 and the
+        // result is strictly below `range`.
+        (((self.hash(key) as u128) * (range as u128)) >> 61) as u64
     }
 
     /// A pairwise-independent Bernoulli(1/2) variable derived from the hash

@@ -14,6 +14,10 @@
 //! * **Bucket hashes** mapping items to `[b]` ([`BucketHash`]), used to split
 //!   a stream into substreams (recursive sketch levels, the `g_np` algorithm,
 //!   the DIST counter algorithm).
+//! * **Pluggable row backends** ([`HashBackend`], [`RowHasher`]): the fused
+//!   per-row `(bucket, sign)` evaluation the sketches' ingestion hot path is
+//!   written against, selectable between the polynomial family and
+//!   [`TabulationHash`], both with division-free multiply-shift reduction.
 //! * A small, fully deterministic PRNG ([`rng::SplitMix64`] /
 //!   [`rng::Xoshiro256`]) used to derive seeds, so that every sketch in the
 //!   workspace is reproducible from a single `u64` seed without depending on
@@ -22,6 +26,7 @@
 //! The crate is `no_std`-friendly in spirit (no allocation beyond small
 //! `Vec`s of coefficients) and has no external dependencies.
 
+pub mod backend;
 pub mod bucket;
 pub mod kwise;
 pub mod prime;
@@ -29,6 +34,7 @@ pub mod rng;
 pub mod sign;
 pub mod tabulation;
 
+pub use backend::{HashBackend, RowHasher};
 pub use bucket::BucketHash;
 pub use kwise::KWiseHash;
 pub use prime::MERSENNE_PRIME_61;

@@ -3,9 +3,15 @@
 //! Tabulation hashing splits a 64-bit key into 8 bytes and xors together one
 //! random table entry per byte.  It is 3-wise independent, extremely fast
 //! (eight table lookups, no multiplications), and is known to behave like a
-//! fully random function for many algorithms (Pătraşcu–Thorup).  The sketches
-//! accept either polynomial or tabulation hashing; the benchmark crate uses it
-//! for the hashing-cost ablation.
+//! fully random function for many algorithms (Pătraşcu–Thorup).
+//!
+//! The sketches select their hash family through
+//! [`HashBackend`](crate::HashBackend) /[`RowHasher`](crate::RowHasher):
+//! `HashBackend::Tabulation` plugs this implementation into CountSketch and
+//! Count-Min via `CountSketchConfig::with_backend` /
+//! `CountMinConfig::with_backend` (and from there into the whole g-SUM
+//! estimator stack through `GSumConfig::with_hash_backend`).  The benchmark
+//! crate's `bench_ingest` uses the same switch for the hashing-cost ablation.
 
 use crate::rng::SplitMix64;
 

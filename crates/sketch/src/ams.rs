@@ -14,7 +14,7 @@ use crate::error::SketchError;
 use crate::util::median_in_place;
 use crate::FrequencySketch;
 use gsum_hash::{derive_seeds, SignHash};
-use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
+use gsum_streams::{coalesce_into, MergeError, MergeableSketch, StreamSink, Update};
 
 /// The AMS F₂ estimator: `averages × medians` independent tug-of-war counters.
 #[derive(Debug, Clone)]
@@ -100,6 +100,24 @@ impl StreamSink for AmsF2Sketch {
     fn update(&mut self, update: Update) {
         for (counter, sign) in self.counters.iter_mut().zip(self.signs.iter()) {
             *counter += sign.sign_f64(update.item) * update.delta as f64;
+        }
+    }
+
+    /// Batched fast path: the tug-of-war counters are linear, so duplicate
+    /// items coalesce exactly in `i64` and each distinct item is sign-hashed
+    /// once per counter instead of once per occurrence; counters are walked
+    /// in order (counter-major) so each accumulates in a register.
+    fn update_batch(&mut self, updates: &[Update]) {
+        let mut scratch = Vec::new();
+        let coalesced = coalesce_into(updates, &mut scratch);
+        for (counter, sign) in self.counters.iter_mut().zip(self.signs.iter()) {
+            // Accumulate in f64 (exactly as the per-update path does):
+            // an i64 accumulator could overflow on extreme deltas.
+            let mut acc = 0.0f64;
+            for u in coalesced {
+                acc += sign.sign_f64(u.item) * u.delta as f64;
+            }
+            *counter += acc;
         }
     }
 }

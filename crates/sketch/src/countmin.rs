@@ -8,24 +8,24 @@
 
 use crate::error::SketchError;
 use crate::FrequencySketch;
-use gsum_hash::{derive_seeds, BucketHash};
-use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
+use gsum_hash::{derive_seeds, HashBackend, RowHasher};
+use gsum_streams::{coalesce_into, MergeError, MergeableSketch, StreamSink, Update};
 
-/// A Count-Min sketch: `rows × columns` non-negative counters, estimate is the
-/// minimum over rows.
-#[derive(Debug, Clone)]
-pub struct CountMinSketch {
-    rows: usize,
-    columns: usize,
-    counters: Vec<f64>,
-    hashes: Vec<BucketHash>,
-    /// Construction seed, kept so merges can verify hash compatibility.
-    seed: u64,
+/// Configuration for a [`CountMinSketch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountMinConfig {
+    /// Number of rows (the estimate is the minimum across rows).
+    pub rows: usize,
+    /// Number of columns (buckets per row).
+    pub columns: usize,
+    /// Hash family the per-row bucket hashes are drawn from.
+    pub backend: HashBackend,
 }
 
-impl CountMinSketch {
-    /// Create a Count-Min sketch with the given shape.
-    pub fn new(rows: usize, columns: usize, seed: u64) -> Result<Self, SketchError> {
+impl CountMinConfig {
+    /// Direct `(rows, columns)` configuration with the default
+    /// ([`HashBackend::Polynomial`]) backend.
+    pub fn new(rows: usize, columns: usize) -> Result<Self, SketchError> {
         if rows == 0 {
             return Err(SketchError::EmptyDimension { parameter: "rows" });
         }
@@ -34,18 +34,57 @@ impl CountMinSketch {
                 parameter: "columns",
             });
         }
-        let seeds = derive_seeds(seed, rows);
-        let hashes = seeds
-            .iter()
-            .map(|&s| BucketHash::new(columns as u64, s))
-            .collect();
         Ok(Self {
             rows,
             columns,
-            counters: vec![0.0; rows * columns],
+            backend: HashBackend::default(),
+        })
+    }
+
+    /// Select the hash backend (sketches merge only with matching backends).
+    pub fn with_backend(mut self, backend: HashBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+/// A Count-Min sketch: `rows × columns` non-negative counters, estimate is the
+/// minimum over rows.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    config: CountMinConfig,
+    counters: Vec<f64>,
+    /// Per-row bucket hash state (the sign half of the row state is unused).
+    hashes: Vec<RowHasher>,
+    /// Construction seed, kept so merges can verify hash compatibility.
+    seed: u64,
+}
+
+impl CountMinSketch {
+    /// Create a Count-Min sketch from a configuration.
+    pub fn with_config(config: CountMinConfig, seed: u64) -> Self {
+        let seeds = derive_seeds(seed, config.rows);
+        let hashes = seeds
+            .iter()
+            .map(|&s| RowHasher::new(config.backend, config.columns as u64, s))
+            .collect();
+        Self {
+            config,
+            counters: vec![0.0; config.rows * config.columns],
             hashes,
             seed,
-        })
+        }
+    }
+
+    /// Create a Count-Min sketch with the given shape and the default
+    /// polynomial backend.
+    pub fn new(rows: usize, columns: usize, seed: u64) -> Result<Self, SketchError> {
+        Ok(Self::with_config(CountMinConfig::new(rows, columns)?, seed))
+    }
+
+    /// The configuration this sketch was built with.
+    pub fn config(&self) -> CountMinConfig {
+        self.config
     }
 
     /// The `(ε, δ)` parameterization: `columns = ceil(e/ε)`,
@@ -70,16 +109,30 @@ impl CountMinSketch {
 
     #[inline]
     fn cell(&self, row: usize, col: usize) -> usize {
-        row * self.columns + col
+        row * self.config.columns + col
     }
 }
 
 impl StreamSink for CountMinSketch {
     fn update(&mut self, update: Update) {
-        for row in 0..self.rows {
-            let col = self.hashes[row].bucket(update.item) as usize;
-            let idx = self.cell(row, col);
-            self.counters[idx] += update.delta as f64;
+        let columns = self.config.columns;
+        for (row, hasher) in self.hashes.iter().enumerate() {
+            let col = hasher.column(update.item) as usize;
+            self.counters[row * columns + col] += update.delta as f64;
+        }
+    }
+
+    /// Batched fast path: coalesce duplicate items exactly in `i64`, hash
+    /// each distinct item once per row, walk the counters row-major.
+    fn update_batch(&mut self, updates: &[Update]) {
+        let mut scratch = Vec::new();
+        let coalesced = coalesce_into(updates, &mut scratch);
+        let columns = self.config.columns;
+        for (row, hasher) in self.hashes.iter().enumerate() {
+            let row_counters = &mut self.counters[row * columns..(row + 1) * columns];
+            for u in coalesced {
+                row_counters[hasher.column(u.item) as usize] += u.delta as f64;
+            }
         }
     }
 }
@@ -88,9 +141,9 @@ impl StreamSink for CountMinSketch {
 /// configured sketches merge by adding counters.
 impl MergeableSketch for CountMinSketch {
     fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
-        if self.rows != other.rows || self.columns != other.columns || self.seed != other.seed {
+        if self.config != other.config || self.seed != other.seed {
             return Err(MergeError::new(
-                "Count-Min merge requires identical shape and seed",
+                "Count-Min merge requires identical shape, backend and seed",
             ));
         }
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
@@ -102,16 +155,15 @@ impl MergeableSketch for CountMinSketch {
 
 impl FrequencySketch for CountMinSketch {
     fn estimate(&self, item: u64) -> f64 {
-        (0..self.rows)
-            .map(|row| {
-                let col = self.hashes[row].bucket(item) as usize;
-                self.counters[self.cell(row, col)]
-            })
+        self.hashes
+            .iter()
+            .enumerate()
+            .map(|(row, hasher)| self.counters[self.cell(row, hasher.column(item) as usize)])
             .fold(f64::INFINITY, f64::min)
     }
 
     fn space_words(&self) -> usize {
-        self.counters.len() + 4 * self.hashes.len()
+        self.counters.len() + self.hashes.iter().map(|h| h.space_words()).sum::<usize>()
     }
 }
 
@@ -127,8 +179,8 @@ mod tests {
         assert!(CountMinSketch::with_guarantee(0.0, 0.1, 0).is_err());
         assert!(CountMinSketch::with_guarantee(0.1, 0.0, 0).is_err());
         let cm = CountMinSketch::with_guarantee(0.01, 0.05, 0).unwrap();
-        assert!(cm.columns >= 271);
-        assert!(cm.rows >= 3);
+        assert!(cm.config().columns >= 271);
+        assert!(cm.config().rows >= 3);
     }
 
     #[test]
@@ -178,5 +230,18 @@ mod tests {
     fn space_words_positive() {
         let cm = CountMinSketch::new(2, 32, 0).unwrap();
         assert!(cm.space_words() >= 64);
+    }
+
+    #[test]
+    fn tabulation_backend_exact_for_isolated_item() {
+        let cfg = CountMinConfig::new(3, 64)
+            .unwrap()
+            .with_backend(HashBackend::Tabulation);
+        let mut cm = CountMinSketch::with_config(cfg, 1);
+        let mut s = TurnstileStream::new(1024);
+        s.push_delta(77, 500);
+        cm.process_stream(&s);
+        assert!((cm.estimate(77) - 500.0).abs() < 1e-9);
+        assert_eq!(cm.config().backend, HashBackend::Tabulation);
     }
 }

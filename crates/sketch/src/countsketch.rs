@@ -17,8 +17,9 @@
 use crate::error::SketchError;
 use crate::util::median_in_place;
 use crate::FrequencySketch;
-use gsum_hash::{derive_seeds, BucketHash, SignHash};
-use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
+use gsum_hash::{derive_seeds, HashBackend, RowHasher};
+use gsum_streams::{coalesce_into, MergeError, MergeableSketch, StreamSink, Update};
+use std::cell::RefCell;
 
 /// Configuration for a [`CountSketch`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,10 +29,13 @@ pub struct CountSketchConfig {
     pub rows: usize,
     /// Number of columns (buckets per row).
     pub columns: usize,
+    /// Hash family the per-row bucket and sign hashes are drawn from.
+    pub backend: HashBackend,
 }
 
 impl CountSketchConfig {
-    /// Direct `(rows, columns)` configuration.
+    /// Direct `(rows, columns)` configuration with the default
+    /// ([`HashBackend::Polynomial`]) backend.
     pub fn new(rows: usize, columns: usize) -> Result<Self, SketchError> {
         if rows == 0 {
             return Err(SketchError::EmptyDimension { parameter: "rows" });
@@ -41,7 +45,17 @@ impl CountSketchConfig {
                 parameter: "columns",
             });
         }
-        Ok(Self { rows, columns })
+        Ok(Self {
+            rows,
+            columns,
+            backend: HashBackend::default(),
+        })
+    }
+
+    /// Select the hash backend (sketches merge only with matching backends).
+    pub fn with_backend(mut self, backend: HashBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// The paper's parameterization `CountSketch(λ, ε, δ)`: enough columns to
@@ -85,26 +99,27 @@ pub struct CountSketch {
     config: CountSketchConfig,
     /// Row-major counters, length `rows * columns`.
     counters: Vec<f64>,
-    bucket_hashes: Vec<BucketHash>,
-    sign_hashes: Vec<SignHash>,
+    /// Per-row fused bucket+sign hash state.
+    rows: Vec<RowHasher>,
+    /// Reused scratch for [`residual_f2_excluding`](Self::residual_f2_excluding)
+    /// (one flag per column), so queries on the hot path do not allocate.
+    excluded_scratch: RefCell<Vec<bool>>,
     seed: u64,
 }
 
 impl CountSketch {
     /// Create a CountSketch with the given configuration and seed.
     pub fn new(config: CountSketchConfig, seed: u64) -> Self {
-        let seeds = derive_seeds(seed, config.rows * 2);
-        let bucket_hashes = (0..config.rows)
-            .map(|r| BucketHash::new(config.columns as u64, seeds[2 * r]))
-            .collect();
-        let sign_hashes = (0..config.rows)
-            .map(|r| SignHash::new(seeds[2 * r + 1]))
+        let seeds = derive_seeds(seed, config.rows);
+        let rows = seeds
+            .iter()
+            .map(|&s| RowHasher::new(config.backend, config.columns as u64, s))
             .collect();
         Self {
             config,
             counters: vec![0.0; config.rows * config.columns],
-            bucket_hashes,
-            sign_hashes,
+            rows,
+            excluded_scratch: RefCell::new(Vec::new()),
             seed,
         }
     }
@@ -170,13 +185,26 @@ impl CountSketch {
     /// proportional to the *full* `F₂`.
     pub fn residual_f2_excluding(&self, excluded: &[u64]) -> f64 {
         let mut row_sums: Vec<f64> = Vec::with_capacity(self.config.rows);
-        let mut excluded_cols = vec![false; self.config.columns];
+        if excluded.is_empty() {
+            // Nothing to mask: every bucket contributes, no flag pass needed.
+            for row in 0..self.config.rows {
+                let start = row * self.config.columns;
+                let sum = self.counters[start..start + self.config.columns]
+                    .iter()
+                    .map(|&c| c * c)
+                    .sum();
+                row_sums.push(sum);
+            }
+            return median_in_place(&mut row_sums);
+        }
+        let mut excluded_cols = self.excluded_scratch.borrow_mut();
+        excluded_cols.resize(self.config.columns, false);
         for row in 0..self.config.rows {
             for flag in excluded_cols.iter_mut() {
                 *flag = false;
             }
             for &item in excluded {
-                excluded_cols[self.bucket_hashes[row].bucket(item) as usize] = true;
+                excluded_cols[self.rows[row].column(item) as usize] = true;
             }
             let mut sum = 0.0;
             for (col, &is_excluded) in excluded_cols.iter().enumerate() {
@@ -193,11 +221,30 @@ impl CountSketch {
 
 impl StreamSink for CountSketch {
     fn update(&mut self, update: Update) {
-        for row in 0..self.config.rows {
-            let col = self.bucket_hashes[row].bucket(update.item) as usize;
-            let sign = self.sign_hashes[row].sign_f64(update.item);
-            let idx = self.cell(row, col);
-            self.counters[idx] += sign * update.delta as f64;
+        let columns = self.config.columns;
+        for (row, hasher) in self.rows.iter().enumerate() {
+            let (col, sign) = hasher.column_sign(update.item);
+            // Apply the sign in f64: `sign * delta` in i64 would overflow
+            // for delta = i64::MIN.
+            self.counters[row * columns + col as usize] += sign as f64 * update.delta as f64;
+        }
+    }
+
+    /// Batched ingestion fast path: duplicate items in the batch are
+    /// coalesced exactly in `i64` (the sketch is linear, so the result is
+    /// bit-for-bit identical to per-update ingestion), each distinct item is
+    /// hashed once per row instead of once per occurrence, and the counters
+    /// are walked row-major so each row's counter segment stays cache-hot.
+    fn update_batch(&mut self, updates: &[Update]) {
+        let mut scratch = Vec::new();
+        let coalesced = coalesce_into(updates, &mut scratch);
+        let columns = self.config.columns;
+        for (row, hasher) in self.rows.iter().enumerate() {
+            let row_counters = &mut self.counters[row * columns..(row + 1) * columns];
+            for u in coalesced {
+                let (col, sign) = hasher.column_sign(u.item);
+                row_counters[col as usize] += sign as f64 * u.delta as f64;
+            }
         }
     }
 }
@@ -223,18 +270,20 @@ impl MergeableSketch for CountSketch {
 
 impl FrequencySketch for CountSketch {
     fn estimate(&self, item: u64) -> f64 {
-        let mut row_estimates: Vec<f64> = (0..self.config.rows)
-            .map(|row| {
-                let col = self.bucket_hashes[row].bucket(item) as usize;
-                self.sign_hashes[row].sign_f64(item) * self.counters[self.cell(row, col)]
+        let mut row_estimates: Vec<f64> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(row, hasher)| {
+                let (col, sign) = hasher.column_sign(item);
+                sign as f64 * self.counters[self.cell(row, col as usize)]
             })
             .collect();
         median_in_place(&mut row_estimates)
     }
 
     fn space_words(&self) -> usize {
-        // Counters plus (roughly) 4 words per hash function description.
-        self.counters.len() + 4 * (self.bucket_hashes.len() + self.sign_hashes.len())
+        self.counters.len() + self.rows.iter().map(|r| r.space_words()).sum::<usize>()
     }
 }
 
@@ -392,6 +441,28 @@ mod tests {
         // Excluding nothing gives roughly the full F2.
         let all = cs.residual_f2_excluding(&[]);
         assert!((all - full_f2).abs() < 0.3 * full_f2, "{all} vs {full_f2}");
+    }
+
+    #[test]
+    fn tabulation_backend_tracks_frequencies() {
+        let cfg = CountSketchConfig::new(5, 64)
+            .unwrap()
+            .with_backend(HashBackend::Tabulation);
+        let mut cs = CountSketch::new(cfg, 9);
+        let mut s = TurnstileStream::new(100);
+        s.push_delta(42, 17);
+        s.push_delta(42, -3);
+        cs.process_stream(&s);
+        assert!((cs.estimate(42) - 14.0).abs() < 1e-9);
+        assert_eq!(cs.config().backend, HashBackend::Tabulation);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_backend() {
+        let cfg = CountSketchConfig::new(2, 8).unwrap();
+        let mut a = CountSketch::new(cfg, 1);
+        let b = CountSketch::new(cfg.with_backend(HashBackend::Tabulation), 1);
+        assert!(a.merge(&b).is_err());
     }
 
     #[test]

@@ -37,14 +37,15 @@ pub mod sampling;
 pub(crate) mod util;
 
 pub use ams::AmsF2Sketch;
-pub use countmin::CountMinSketch;
+pub use countmin::{CountMinConfig, CountMinSketch};
 pub use countsketch::{CountSketch, CountSketchConfig};
 pub use error::SketchError;
 pub use exact::ExactFrequencies;
 pub use sampling::SamplingEstimator;
 
-// The push-based ingestion contract, re-exported so sketch users need only
-// this crate.
+// The hash-backend switch and the push-based ingestion contract, re-exported
+// so sketch users need only this crate.
+pub use gsum_hash::HashBackend;
 pub use gsum_streams::{MergeError, MergeableSketch, StreamSink};
 
 /// A frequency sketch: a compact summary of a turnstile stream from which

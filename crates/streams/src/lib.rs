@@ -48,7 +48,9 @@ pub use generator::{
 };
 pub use multipass::{run_multi_pass, run_one_pass, MultiPassAlgorithm, OnePassAlgorithm};
 pub use sharded::ShardedIngest;
-pub use sink::{MergeError, MergeableSketch, StreamSink};
+pub use sink::{
+    coalesce_into, coalesce_updates, is_coalesced, MergeError, MergeableSketch, StreamSink,
+};
 pub use source::{IterSource, StreamSource, UpdateSource};
 pub use stream::TurnstileStream;
 pub use update::Update;

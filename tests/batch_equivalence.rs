@@ -1,0 +1,334 @@
+//! Property tests for the batched-ingestion fast paths.
+//!
+//! The contract of `StreamSink::update_batch` — including the coalescing
+//! overrides introduced by the hot-path overhaul — is that it is
+//! *semantically identical* to updating one at a time, in order.  For
+//! integer-valued turnstile streams the sketches' counters hold integers
+//! that `f64` represents exactly, so the agreement must be **bit-for-bit**:
+//! these tests drive every `StreamSink` in the workspace three ways
+//! (per-update, one whole-stream batch, small chunked batches) and compare
+//! every query down to the bits, under both the polynomial and the
+//! tabulation hash backends.  The merge laws are re-checked under the
+//! tabulation backend too.
+
+use proptest::prelude::*;
+use zerolaw::core::{
+    DistCounter, GnpHeavyHitter, HeavyHitterSketch, NearlyPeriodicGSum, OnePassHeavyHitter,
+    OnePassHeavyHitterConfig, TwoPassHeavyHitter, TwoPassHeavyHitterConfig,
+};
+use zerolaw::prelude::*;
+use zerolaw::sketch::{
+    CountMinConfig, CountMinSketch, CountSketchConfig, HashBackend, SamplingEstimator,
+};
+
+const DOMAIN: u64 = 64;
+const BACKENDS: [HashBackend; 2] = [HashBackend::Polynomial, HashBackend::Tabulation];
+
+/// Strategy: a small turnstile stream described as (item, delta) pairs
+/// (delta 0 allowed — sinks must tolerate it).
+fn stream_strategy(domain: u64, max_len: usize) -> impl Strategy<Value = TurnstileStream> {
+    prop::collection::vec((0..domain, -50i64..50), 1..max_len).prop_map(move |pairs| {
+        let mut s = TurnstileStream::new(domain);
+        for (item, delta) in pairs {
+            if delta != 0 {
+                s.push_delta(item, delta);
+            }
+        }
+        s
+    })
+}
+
+/// Drive a fresh clone of `proto` three ways over `s` and hand each result
+/// to `check` for bitwise query comparison against the per-update reference.
+fn assert_batch_equivalent<S: StreamSink + Clone>(
+    proto: &S,
+    s: &TurnstileStream,
+    check: impl Fn(&S, &S) -> Result<(), TestCaseError>,
+) -> Result<(), TestCaseError> {
+    let mut per_update = proto.clone();
+    for &u in s.iter() {
+        per_update.update(u);
+    }
+
+    let mut whole_batch = proto.clone();
+    whole_batch.update_batch(s.updates());
+    check(&per_update, &whole_batch)?;
+
+    let mut chunked = proto.clone();
+    for chunk in s.updates().chunks(7) {
+        chunked.update_batch(chunk);
+    }
+    check(&per_update, &chunked)
+}
+
+fn check_estimates<S: FrequencySketch>(a: &S, b: &S) -> Result<(), TestCaseError> {
+    for item in 0..DOMAIN {
+        prop_assert_eq!(
+            a.estimate(item).to_bits(),
+            b.estimate(item).to_bits(),
+            "estimates diverge on item {}",
+            item
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// CountSketch: coalesced batches agree bit-for-bit under both backends,
+    /// including the residual-F2 query (which exercises the scratch buffer).
+    #[test]
+    fn countsketch_batch_equals_single(s in stream_strategy(DOMAIN, 120), seed in 0u64..200) {
+        for backend in BACKENDS {
+            let proto = CountSketch::new(
+                CountSketchConfig::new(3, 32).unwrap().with_backend(backend),
+                seed,
+            );
+            assert_batch_equivalent(&proto, &s, |a, b| {
+                check_estimates(a, b)?;
+                prop_assert_eq!(
+                    a.residual_f2_excluding(&[]).to_bits(),
+                    b.residual_f2_excluding(&[]).to_bits()
+                );
+                prop_assert_eq!(
+                    a.residual_f2_excluding(&[1, 5, 9]).to_bits(),
+                    b.residual_f2_excluding(&[1, 5, 9]).to_bits()
+                );
+                Ok(())
+            })?;
+        }
+    }
+
+    /// Count-Min: same agreement under both backends.
+    #[test]
+    fn countmin_batch_equals_single(s in stream_strategy(DOMAIN, 120), seed in 0u64..200) {
+        for backend in BACKENDS {
+            let proto = CountMinSketch::with_config(
+                CountMinConfig::new(3, 32).unwrap().with_backend(backend),
+                seed,
+            );
+            assert_batch_equivalent(&proto, &s, check_estimates)?;
+        }
+    }
+
+    /// AMS: the F2 estimate agrees bit-for-bit.
+    #[test]
+    fn ams_batch_equals_single(s in stream_strategy(DOMAIN, 120), seed in 0u64..200) {
+        let proto = AmsF2Sketch::new(8, 3, seed).unwrap();
+        assert_batch_equivalent(&proto, &s, |a, b| {
+            prop_assert_eq!(a.estimate_f2().to_bits(), b.estimate_f2().to_bits());
+            Ok(())
+        })?;
+    }
+
+    /// Exact tracker and sampling estimator (default batch path).
+    #[test]
+    fn exact_and_sampling_batch_equals_single(s in stream_strategy(DOMAIN, 120)) {
+        let proto = ExactFrequencies::new(DOMAIN);
+        assert_batch_equivalent(&proto, &s, |a, b| {
+            prop_assert_eq!(a.vector(), b.vector());
+            Ok(())
+        })?;
+
+        let proto = SamplingEstimator::new(DOMAIN, 16, 3);
+        assert_batch_equivalent(&proto, &s, check_estimates)?;
+    }
+
+    /// DIST counter: coalesced batches give the same verdict state.
+    #[test]
+    fn dist_counter_batch_equals_single(s in stream_strategy(DOMAIN, 120), seed in 0u64..200) {
+        let proto = DistCounter::new(DOMAIN, 1, 4, 2, seed);
+        assert_batch_equivalent(&proto, &s, |a, b| {
+            prop_assert_eq!(a.verdict(), b.verdict());
+            Ok(())
+        })?;
+    }
+
+    /// g_np heavy hitter: the cover (which depends on the update-time
+    /// reverse hints as well as the counters) agrees exactly.
+    #[test]
+    fn gnp_heavy_hitter_batch_equals_single(s in stream_strategy(DOMAIN, 120), seed in 0u64..200) {
+        let proto = GnpHeavyHitter::new(16, 12, seed);
+        assert_batch_equivalent(&proto, &s, |a, b| {
+            prop_assert_eq!(a.cover(DOMAIN), b.cover(DOMAIN));
+            prop_assert_eq!(a.space_words(), b.space_words());
+            Ok(())
+        })?;
+    }
+
+    /// Algorithm-2 heavy hitter (CountSketch + AMS pair), both backends.
+    #[test]
+    fn one_pass_heavy_hitter_batch_equals_single(
+        s in stream_strategy(DOMAIN, 120),
+        seed in 0u64..200,
+    ) {
+        for backend in BACKENDS {
+            let config = OnePassHeavyHitterConfig {
+                rows: 3,
+                columns: 32,
+                candidates: 8,
+                epsilon: 0.2,
+                envelope_factor: 1.0,
+                backend,
+            };
+            let proto = OnePassHeavyHitter::new(PowerFunction::new(2.0), config, seed);
+            assert_batch_equivalent(&proto, &s, |a, b| {
+                prop_assert_eq!(a.cover(DOMAIN), b.cover(DOMAIN));
+                prop_assert_eq!(
+                    a.frequency_error_bound().to_bits(),
+                    b.frequency_error_bound().to_bits()
+                );
+                Ok(())
+            })?;
+        }
+    }
+
+    /// The full one-pass g-SUM stack: recursive-sketch level routing plus
+    /// per-level coalescing, both backends.
+    #[test]
+    fn one_pass_gsum_batch_equals_single(s in stream_strategy(DOMAIN, 100), seed in 0u64..100) {
+        for backend in BACKENDS {
+            let config = GSumConfig::with_space_budget(DOMAIN, 0.25, 32, seed)
+                .with_hash_backend(backend);
+            let proto = OnePassGSumSketch::new(PowerFunction::new(2.0), &config);
+            assert_batch_equivalent(&proto, &s, |a, b| {
+                prop_assert_eq!(a.estimate().to_bits(), b.estimate().to_bits());
+                Ok(())
+            })?;
+        }
+    }
+
+    /// The recursive g_np stack (Proposition 54 per level).
+    #[test]
+    fn nearly_periodic_sketch_batch_equals_single(
+        s in stream_strategy(DOMAIN, 100),
+        seed in 0u64..100,
+    ) {
+        let est = NearlyPeriodicGSum::new(GSumConfig::with_space_budget(DOMAIN, 0.25, 32, seed));
+        let proto = est.sketch();
+        assert_batch_equivalent(&proto, &s, |a, b| {
+            prop_assert_eq!(a.estimate().to_bits(), b.estimate().to_bits());
+            Ok(())
+        })?;
+    }
+
+    /// Two-pass heavy hitter: batch equivalence holds in both phases, and
+    /// the phase transition picks identical candidate sets.
+    #[test]
+    fn two_pass_heavy_hitter_batch_equals_single(
+        s in stream_strategy(DOMAIN, 100),
+        seed in 0u64..100,
+    ) {
+        for backend in BACKENDS {
+            let config = TwoPassHeavyHitterConfig {
+                rows: 3,
+                columns: 32,
+                candidates: 8,
+                backend,
+            };
+            let build = || TwoPassHeavyHitter::new(PowerFunction::new(2.0), config, seed);
+
+            let mut per_update = build();
+            for &u in s.iter() {
+                per_update.update(u);
+            }
+            per_update.begin_second_pass(DOMAIN);
+            for &u in s.iter() {
+                per_update.update(u);
+            }
+
+            let mut batched = build();
+            batched.update_batch(s.updates());
+            batched.begin_second_pass(DOMAIN);
+            batched.update_batch(s.updates());
+
+            prop_assert_eq!(per_update.candidates(), batched.candidates());
+            prop_assert_eq!(per_update.cover(DOMAIN), batched.cover(DOMAIN));
+        }
+    }
+
+    /// The merge laws hold under the tabulation backend too: merging shard
+    /// sketches equals the sketch of the concatenated stream, and the full
+    /// g-SUM sketch merges to the single-threaded state.
+    #[test]
+    fn tabulation_merge_laws(s in stream_strategy(DOMAIN, 120), seed in 0u64..200) {
+        let mid = s.len() / 2;
+        let (front, back) = s.updates().split_at(mid);
+
+        let cfg = CountSketchConfig::new(3, 32)
+            .unwrap()
+            .with_backend(HashBackend::Tabulation);
+        let mut whole = CountSketch::new(cfg, seed);
+        whole.process_stream(&s);
+        let mut a = CountSketch::new(cfg, seed);
+        a.update_batch(front);
+        let mut b = CountSketch::new(cfg, seed);
+        b.update_batch(back);
+        a.merge(&b).unwrap();
+        check_estimates(&whole, &a)?;
+
+        let gs_config = GSumConfig::with_space_budget(DOMAIN, 0.25, 32, seed)
+            .with_hash_backend(HashBackend::Tabulation);
+        let proto = OnePassGSumSketch::new(PowerFunction::new(2.0), &gs_config);
+        let mut single = proto.clone();
+        single.process_stream(&s);
+        let mut left = proto.clone();
+        left.update_batch(front);
+        let mut right = proto.clone();
+        right.update_batch(back);
+        left.merge(&right).unwrap();
+        prop_assert_eq!(left.estimate().to_bits(), single.estimate().to_bits());
+    }
+}
+
+/// Backend mismatches are merge errors: a polynomial sketch must refuse a
+/// tabulation sketch even when shape and seed agree.
+#[test]
+fn merge_rejects_backend_mismatch() {
+    let poly = CountSketch::new(CountSketchConfig::new(3, 32).unwrap(), 7);
+    let tab = CountSketch::new(
+        CountSketchConfig::new(3, 32)
+            .unwrap()
+            .with_backend(HashBackend::Tabulation),
+        7,
+    );
+    let mut a = poly.clone();
+    assert!(a.merge(&tab).is_err());
+
+    let cm_poly = CountMinSketch::with_config(CountMinConfig::new(2, 16).unwrap(), 5);
+    let cm_tab = CountMinSketch::with_config(
+        CountMinConfig::new(2, 16)
+            .unwrap()
+            .with_backend(HashBackend::Tabulation),
+        5,
+    );
+    let mut c = cm_poly.clone();
+    assert!(c.merge(&cm_tab).is_err());
+}
+
+/// Sharded ingestion stays exact under the tabulation backend end to end.
+#[test]
+fn sharded_tabulation_ingest_matches_single_threaded() {
+    let domain = 1u64 << 8;
+    let config = GSumConfig::with_space_budget(domain, 0.2, 64, 29)
+        .with_hash_backend(HashBackend::Tabulation);
+    let prototype = OnePassGSumSketch::new(PowerFunction::new(2.0), &config);
+
+    let mut gen = ZipfStreamGenerator::new(StreamConfig::new(domain, 20_000), 1.2, 3);
+    let mut single = prototype.clone();
+    gen.feed(&mut single);
+
+    for shard_count in [2usize, 4] {
+        gen.reset();
+        let merged = ShardedIngest::new(shard_count)
+            .with_batch_size(512)
+            .ingest(&mut gen, &prototype)
+            .unwrap();
+        assert_eq!(
+            merged.estimate().to_bits(),
+            single.estimate().to_bits(),
+            "sharded ({shard_count}) tabulation ingestion must match single-threaded"
+        );
+    }
+}
