@@ -42,6 +42,44 @@ struct BenchResult {
     iterations: u64,
 }
 
+impl BenchResult {
+    /// The coalescing mode, parsed from the `family/mode/backend` name —
+    /// recorded per result so the JSON is self-describing.
+    fn mode(&self) -> &str {
+        self.name.split('/').nth(1).unwrap_or("unknown")
+    }
+
+    /// The hash backend, parsed from the variant name (sharded variants run
+    /// the polynomial backend).
+    fn backend(&self) -> &str {
+        self.name.split('/').nth(2).unwrap_or("unknown")
+    }
+}
+
+/// The git commit the bench ran against, so `BENCH_ingest.json` artifacts
+/// are comparable across the PR trajectory.  Tries the `GITHUB_SHA` /
+/// `BENCH_GIT_COMMIT` environment (CI), then `git rev-parse HEAD`, and
+/// reports `"unknown"` when neither works (e.g. a source tarball).
+fn git_commit() -> String {
+    for var in ["BENCH_GIT_COMMIT", "GITHUB_SHA"] {
+        if let Ok(sha) = std::env::var(var) {
+            if !sha.is_empty() {
+                return sha;
+            }
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|sha| sha.trim().to_string())
+        .filter(|sha| !sha.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Time `routine` with a per-iteration `setup` whose cost (sketch
 /// construction — for the tabulation backend that is filling 8 × 256
 /// lookup tables per hash) is *excluded* from the measurement, so the
@@ -218,8 +256,46 @@ fn write_json(
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"bench_ingest\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
-    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"schema_version\": 2,\n");
+    // Provenance metadata: which commit produced these numbers, which hash
+    // backends and coalescing modes the matrix swept, and whether this was
+    // a quick smoke run — so the bench trajectory across PRs is
+    // self-describing without consulting CI logs.
+    // The backend and mode lists are collected from the recorded results,
+    // so adding or dropping a bench variant keeps the meta honest without a
+    // string literal to update.
+    let distinct = |f: fn(&BenchResult) -> &str| {
+        let mut seen: Vec<&str> = Vec::new();
+        for r in results {
+            let v = f(r);
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        seen.iter()
+            .map(|v| format!("\"{}\"", json_escape(v)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    out.push_str("  \"meta\": {\n");
+    out.push_str(&format!(
+        "    \"git_commit\": \"{}\",\n",
+        json_escape(&git_commit())
+    ));
+    out.push_str(&format!(
+        "    \"backends\": [{}],\n",
+        distinct(BenchResult::backend)
+    ));
+    out.push_str(&format!(
+        "    \"default_backend\": \"{}\",\n",
+        HashBackend::default().name()
+    ));
+    out.push_str(&format!(
+        "    \"coalescing_modes\": [{}],\n",
+        distinct(BenchResult::mode)
+    ));
+    out.push_str(&format!("    \"quick\": {quick}\n"));
+    out.push_str("  },\n");
     out.push_str(&format!(
         "  \"workload\": {{\"distribution\": \"zipf\", \"alpha\": {ZIPF_ALPHA}, \"domain\": {DOMAIN}, \"updates\": {updates}, \"chunk\": {CHUNK}}},\n"
     ));
@@ -232,8 +308,10 @@ fn write_json(
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"updates_per_sec\": {:.1}, \"iterations\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"mode\": \"{}\", \"backend\": \"{}\", \"ns_per_iter\": {:.1}, \"updates_per_sec\": {:.1}, \"iterations\": {}}}{}\n",
             json_escape(&r.name),
+            json_escape(r.mode()),
+            json_escape(r.backend()),
             r.ns_per_iter,
             r.updates_per_sec,
             r.iterations,

@@ -39,9 +39,21 @@ pub struct GSumConfig {
     /// Hash family for the per-level CountSketch rows (polynomial by
     /// default; tabulation trades provable independence for speed).
     pub hash_backend: HashBackend,
+    /// Cap on the reverse hints (distinct observed items) each heavy-hitter
+    /// sketch stores for candidate identification.  Identification scans the
+    /// observed support instead of the whole domain while a sketch stays
+    /// under the cap; past it the hints are discarded and queries fall back
+    /// to the domain scan.  Larger caps trade space for identification
+    /// speed on wide domains; [`DEFAULT_HINT_CAP`] words per sketch keeps the
+    /// state sublinear.
+    pub hint_cap: usize,
     /// Master seed for all hash functions.
     pub seed: u64,
 }
+
+/// The default reverse-hint cap (distinct observed items remembered per
+/// heavy-hitter sketch, and per `g_np` substream).
+pub const DEFAULT_HINT_CAP: usize = 512;
 
 impl GSumConfig {
     /// The faithful (capped) theoretical parameterization for accuracy `ε`.
@@ -62,6 +74,7 @@ impl GSumConfig {
             countsketch_rows: 5,
             candidates_per_level: candidates,
             hash_backend: HashBackend::default(),
+            hint_cap: DEFAULT_HINT_CAP,
             seed,
         }
     }
@@ -82,6 +95,7 @@ impl GSumConfig {
             countsketch_rows: 5,
             candidates_per_level: (columns / 4).max(4),
             hash_backend: HashBackend::default(),
+            hint_cap: DEFAULT_HINT_CAP,
             seed,
         }
     }
@@ -97,6 +111,18 @@ impl GSumConfig {
     /// Select the hash backend for every sketch in the estimator stack.
     pub fn with_hash_backend(mut self, backend: HashBackend) -> Self {
         self.hash_backend = backend;
+        self
+    }
+
+    /// Override the reverse-hint cap for every heavy-hitter sketch in the
+    /// estimator stack (the space / identification-speed tradeoff knob).
+    ///
+    /// # Panics
+    /// Panics if `hint_cap == 0` (a sketch must be able to remember at least
+    /// one observed item before saturating).
+    pub fn with_hint_cap(mut self, hint_cap: usize) -> Self {
+        assert!(hint_cap >= 1, "hint cap must be at least 1");
+        self.hint_cap = hint_cap;
         self
     }
 
@@ -151,6 +177,23 @@ mod tests {
         assert_eq!(cfg.envelope_factor, 3.0);
         assert_eq!(cfg.levels, 5);
         assert_eq!(cfg.countsketch_rows, 7);
+    }
+
+    #[test]
+    fn hint_cap_defaults_and_overrides() {
+        let cfg = GSumConfig::with_space_budget(1 << 10, 0.1, 256, 3);
+        assert_eq!(cfg.hint_cap, DEFAULT_HINT_CAP);
+        assert_eq!(
+            GSumConfig::theoretical(1 << 10, 0.2, 1).hint_cap,
+            DEFAULT_HINT_CAP
+        );
+        assert_eq!(cfg.with_hint_cap(64).hint_cap, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "hint cap")]
+    fn zero_hint_cap_rejected() {
+        let _ = GSumConfig::with_space_budget(64, 0.1, 16, 0).with_hint_cap(0);
     }
 
     #[test]

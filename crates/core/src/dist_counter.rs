@@ -16,8 +16,10 @@
 //!   problem.
 
 use gsum_hash::{derive_seeds, BucketHash, SignHash};
+use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
 use std::collections::BTreeSet;
+use std::io::{Read, Write};
 
 /// The verdict of the DIST decision procedure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,10 +70,19 @@ impl DistCounter {
             / (q_abs as f64 * q_abs as f64))
             .ceil() as u64)
             .clamp(1, domain) as usize;
+        Self::from_parts(a, b, c, pieces, seed).expect("q already verified to exist")
+    }
 
+    /// Assemble the structure from `(a, b, c)`, an explicit piece count and
+    /// the seed, re-deriving `q`, the residue set and the hash functions —
+    /// the single code path shared by [`with_oversampling`](Self::with_oversampling)
+    /// and checkpoint rehydration.  `None` when `c` is not an integer
+    /// combination of `a` and `b`.
+    fn from_parts(a: i64, b: i64, c: i64, pieces: usize, seed: u64) -> Option<Self> {
+        let q = Self::minimal_q(a, b, c)?;
         let seeds = derive_seeds(seed ^ 0xd157_c047, 2);
         let allowed_residues = Self::residue_set(a, b, q);
-        Self {
+        Some(Self {
             a,
             b,
             c,
@@ -82,7 +93,7 @@ impl DistCounter {
             signs: SignHash::new(seeds[1]),
             seed,
             allowed_residues,
-        }
+        })
     }
 
     /// Create the structure with the default oversampling constant (32).
@@ -187,6 +198,42 @@ impl MergeableSketch for DistCounter {
             *mine += theirs;
         }
         Ok(())
+    }
+}
+
+/// The DIST counter's state is its signed piece counters plus the
+/// `(a, b, c, pieces, seed)` tuple everything else (`q`, the residue set,
+/// both hash functions) re-derives from.
+impl Checkpoint for DistCounter {
+    fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::DIST_COUNTER)?;
+        checkpoint::write_i64(w, self.a)?;
+        checkpoint::write_i64(w, self.b)?;
+        checkpoint::write_i64(w, self.c)?;
+        checkpoint::write_u64(w, self.pieces as u64)?;
+        checkpoint::write_u64(w, self.seed)?;
+        checkpoint::write_i64_slice(w, &self.counters)?;
+        Ok(())
+    }
+
+    fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {
+        checkpoint::read_header(r, kind::DIST_COUNTER)?;
+        let a = checkpoint::read_i64(r)?;
+        let b = checkpoint::read_i64(r)?;
+        let c = checkpoint::read_i64(r)?;
+        let pieces = checkpoint::read_len(r)?;
+        let seed = checkpoint::read_u64(r)?;
+        if a <= 0 || b <= 0 || c <= 0 || c == a || c == b || pieces == 0 {
+            return Err(CheckpointError::Corrupt(
+                "invalid (a, b, c) or piece count".into(),
+            ));
+        }
+        let counters = checkpoint::read_i64_counters(r, pieces, "DIST counters")?;
+        let mut counter = Self::from_parts(a, b, c, pieces, seed).ok_or_else(|| {
+            CheckpointError::Corrupt("c is not an integer combination of a and b".into())
+        })?;
+        counter.counters = counters;
+        Ok(counter)
     }
 }
 

@@ -5,8 +5,10 @@ use super::{median_over_repetitions, GSumEstimator};
 use crate::config::GSumConfig;
 use crate::heavy_hitters::{OnePassHeavyHitter, OnePassHeavyHitterConfig};
 use crate::recursive_sketch::RecursiveSketch;
-use gsum_gfunc::GFunction;
+use gsum_gfunc::{FunctionCodec, GFunction};
+use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{MergeError, MergeableSketch, StreamSink, TurnstileStream, Update};
+use std::io::{Read, Write};
 
 /// Long-lived one-pass g-SUM state: the per-level Algorithm-2 sketches inside
 /// the recursive reduction, driven push-style.
@@ -32,6 +34,7 @@ impl<G: GFunction + Clone> OnePassGSumSketch<G> {
             epsilon: config.epsilon,
             envelope_factor: config.envelope_factor,
             backend: config.hash_backend,
+            hint_cap: config.hint_cap,
         };
         let inner = RecursiveSketch::new(
             config.domain,
@@ -77,6 +80,25 @@ impl<G: GFunction + Clone> StreamSink for OnePassGSumSketch<G> {
 impl<G: GFunction + Clone> MergeableSketch for OnePassGSumSketch<G> {
     fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
         self.inner.merge(&other.inner)
+    }
+}
+
+/// The whole estimator state — every level's CountSketch + AMS counters,
+/// their seeds, and the function's parameters — serializes through the
+/// nested recursive-sketch checkpoint, so a long-running ingestion can be
+/// snapshotted at any prefix and resumed bit-for-bit (see
+/// `gsum_streams::ShardedIngest::resume`).
+impl<G: GFunction + Clone + FunctionCodec> Checkpoint for OnePassGSumSketch<G> {
+    fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::ONE_PASS_GSUM)?;
+        self.inner.save(w)
+    }
+
+    fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {
+        checkpoint::read_header(r, kind::ONE_PASS_GSUM)?;
+        Ok(Self {
+            inner: RecursiveSketch::restore(r)?,
+        })
     }
 }
 

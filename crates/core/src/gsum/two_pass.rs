@@ -6,8 +6,12 @@ use crate::config::GSumConfig;
 use crate::heavy_hitters::two_pass::TwoPassHeavyHitterConfig;
 use crate::heavy_hitters::TwoPassHeavyHitter;
 use crate::recursive_sketch::RecursiveSketch;
-use gsum_gfunc::GFunction;
-use gsum_streams::{MergeError, MergeableSketch, StreamSink, TurnstileStream, Update};
+use gsum_gfunc::{FunctionCodec, GFunction};
+use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
+use gsum_streams::{
+    MergeError, MergeableSketch, StreamSink, TurnstileStream, TwoPhaseSketch, Update,
+};
+use std::io::{Read, Write};
 
 /// Long-lived two-pass g-SUM state: Algorithm-1 level sketches inside the
 /// recursive reduction, driven push-style.
@@ -31,6 +35,7 @@ impl<G: GFunction + Clone> TwoPassGSumSketch<G> {
             columns: config.countsketch_columns,
             candidates: config.candidates_per_level,
             backend: config.hash_backend,
+            hint_cap: config.hint_cap,
         };
         let inner = RecursiveSketch::new(
             config.domain,
@@ -94,6 +99,48 @@ impl<G: GFunction + Clone> StreamSink for TwoPassGSumSketch<G> {
 impl<G: GFunction + Clone> MergeableSketch for TwoPassGSumSketch<G> {
     fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
         self.inner.merge(&other.inner)
+    }
+}
+
+/// The two-phase contract the sharded coordinator
+/// (`gsum_streams::ShardedTwoPassCoordinator`) drives: one transition on the
+/// merged phase-1 state, phase-2 workers rehydrated from its checkpoint.
+impl<G: GFunction + Clone> TwoPhaseSketch for TwoPassGSumSketch<G> {
+    fn begin_second_pass(&mut self) {
+        TwoPassGSumSketch::begin_second_pass(self);
+    }
+
+    fn in_second_pass(&self) -> bool {
+        TwoPassGSumSketch::in_second_pass(self)
+    }
+}
+
+/// Seeds + counters + **phase**: each level's checkpoint carries its phase
+/// tag and (after the transition) its frozen candidate set, so a state saved
+/// between the passes rehydrates ready for the second pass — the
+/// clone-after-transition distribution the sharded coordinator performs.
+impl<G: GFunction + Clone + FunctionCodec> Checkpoint for TwoPassGSumSketch<G> {
+    fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::TWO_PASS_GSUM)?;
+        self.inner.save(w)
+    }
+
+    fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {
+        checkpoint::read_header(r, kind::TWO_PASS_GSUM)?;
+        let inner: RecursiveSketch<TwoPassHeavyHitter<G>> = RecursiveSketch::restore(r)?;
+        // A valid checkpoint has every level in the same phase (the
+        // transition is atomic across levels).
+        let phases: Vec<bool> = inner
+            .level_sketches()
+            .iter()
+            .map(|l| l.in_second_pass())
+            .collect();
+        if phases.windows(2).any(|w| w[0] != w[1]) {
+            return Err(CheckpointError::Corrupt(
+                "levels disagree about the two-pass phase".into(),
+            ));
+        }
+        Ok(Self { inner })
     }
 }
 

@@ -19,10 +19,13 @@
 //! off), which is exactly the failure mode experiment E3 measures.
 
 use super::{GCover, HeavyHitterSketch};
-use gsum_gfunc::GFunction;
+use crate::hints::ReverseHints;
+use gsum_gfunc::{FunctionCodec, GFunction};
 use gsum_hash::HashBackend;
 use gsum_sketch::{AmsF2Sketch, CountSketch, CountSketchConfig, FrequencySketch};
+use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
+use std::io::{Read, Write};
 
 /// Configuration knobs for [`OnePassHeavyHitter`] (usually derived from
 /// [`crate::GSumConfig`]).
@@ -40,6 +43,13 @@ pub struct OnePassHeavyHitterConfig {
     pub envelope_factor: f64,
     /// Hash family for the CountSketch rows.
     pub backend: HashBackend,
+    /// Cap on the reverse hints (distinct observed items) kept for candidate
+    /// identification: under the cap, [`cover`](HeavyHitterSketch::cover)
+    /// scans the observed support instead of the whole domain; past it the
+    /// sketch saturates and falls back to the domain scan.  Defaults to
+    /// [`crate::config::DEFAULT_HINT_CAP`] when derived from a
+    /// [`crate::GSumConfig`].
+    pub hint_cap: usize,
 }
 
 /// The Algorithm-2 heavy-hitter sketch for a function `g`.
@@ -49,13 +59,18 @@ pub struct OnePassHeavyHitter<G> {
     config: OnePassHeavyHitterConfig,
     countsketch: CountSketch,
     ams: AmsF2Sketch,
+    /// Distinct items observed at update time, capped at
+    /// `config.hint_cap`: candidate identification scans these instead of
+    /// the whole domain until the sketch saturates.
+    hints: ReverseHints,
 }
 
 impl<G: GFunction> OnePassHeavyHitter<G> {
     /// Create the sketch.
     ///
     /// # Panics
-    /// Panics if the CountSketch or AMS dimensions are degenerate.
+    /// Panics if the CountSketch or AMS dimensions or the hint cap are
+    /// degenerate.
     pub fn new(g: G, config: OnePassHeavyHitterConfig, seed: u64) -> Self {
         let cs_config = CountSketchConfig::new(config.rows, config.columns)
             .expect("non-degenerate CountSketch dimensions")
@@ -64,17 +79,42 @@ impl<G: GFunction> OnePassHeavyHitter<G> {
         // A fixed, modest AMS sketch: the F2 estimate only calibrates the
         // pruning tolerance, so ±25% accuracy is plenty.
         let ams = AmsF2Sketch::new(64, 5, seed ^ 0xa355_f2f2).expect("valid AMS dimensions");
+        Self::from_parts(
+            g,
+            config,
+            countsketch,
+            ams,
+            ReverseHints::new(config.hint_cap),
+        )
+    }
+
+    /// Assemble the sketch from explicit components — the single code path
+    /// shared by fresh construction ([`new`](Self::new)) and checkpoint
+    /// rehydration ([`Checkpoint::restore`]).
+    fn from_parts(
+        g: G,
+        config: OnePassHeavyHitterConfig,
+        countsketch: CountSketch,
+        ams: AmsF2Sketch,
+        hints: ReverseHints,
+    ) -> Self {
         Self {
             g,
             config,
             countsketch,
             ams,
+            hints,
         }
     }
 
     /// The wrapped function.
     pub fn function(&self) -> &G {
         &self.g
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> OnePassHeavyHitterConfig {
+        self.config
     }
 
     /// A conservative additive frequency-error bound for the CountSketch:
@@ -131,6 +171,7 @@ impl<G: GFunction> OnePassHeavyHitter<G> {
 
 impl<G: GFunction> StreamSink for OnePassHeavyHitter<G> {
     fn update(&mut self, update: Update) {
+        self.hints.record(update.item);
         self.countsketch.update(update);
         self.ams.update(update);
     }
@@ -140,10 +181,15 @@ impl<G: GFunction> StreamSink for OnePassHeavyHitter<G> {
     /// Coalescing happens at most once on this path: the item→delta map is
     /// built here (unless the caller — e.g. the recursive sketch — already
     /// passed a coalesced batch), and the inner sketches detect the
-    /// coalesced form and use it as-is.
+    /// coalesced form and use it as-is.  Hints are recorded per distinct
+    /// item; coalescing keeps net-zero items, so the observed set matches a
+    /// per-update replay exactly.
     fn update_batch(&mut self, updates: &[Update]) {
         let mut scratch = Vec::new();
         let coalesced = gsum_streams::coalesce_into(updates, &mut scratch);
+        for u in coalesced {
+            self.hints.record(u.item);
+        }
         self.countsketch.update_batch(coalesced);
         self.ams.update_batch(coalesced);
     }
@@ -159,15 +205,29 @@ impl<G: GFunction> MergeableSketch for OnePassHeavyHitter<G> {
             ));
         }
         self.countsketch.merge(&other.countsketch)?;
-        self.ams.merge(&other.ams)
+        self.ams.merge(&other.ams)?;
+        self.hints.merge_from(&other.hints);
+        Ok(())
     }
 }
 
 impl<G: GFunction> HeavyHitterSketch for OnePassHeavyHitter<G> {
     fn cover(&self, domain: u64) -> GCover {
-        let candidates = self
-            .countsketch
-            .top_candidates(0..domain, self.config.candidates);
+        // Candidate identification scans the observed support (the reverse
+        // hints) instead of the whole domain whenever the hint budget held;
+        // only the items that actually carry mass can be heavy, and
+        // `top_candidates` imposes a total order, so the selection is
+        // deterministic regardless of hint iteration order.  A saturated
+        // sketch falls back to the exhaustive domain scan.
+        let candidates = if self.hints.is_saturated() {
+            self.countsketch
+                .top_candidates(0..domain, self.config.candidates)
+        } else {
+            self.countsketch.top_candidates(
+                self.hints.iter().filter(|&item| item < domain),
+                self.config.candidates,
+            )
+        };
         let error = self.residual_error_bound(&candidates);
         let mut pairs = Vec::with_capacity(candidates.len());
         for (item, estimate) in candidates {
@@ -183,7 +243,57 @@ impl<G: GFunction> HeavyHitterSketch for OnePassHeavyHitter<G> {
     }
 
     fn space_words(&self) -> usize {
-        self.countsketch.space_words() + self.ams.space_words()
+        self.countsketch.space_words() + self.ams.space_words() + self.hints.len()
+    }
+}
+
+/// Algorithm 2's state is its two linear sketches plus the reverse hints;
+/// the function itself is configuration and checkpoints as its
+/// [`FunctionCodec`] parameters, so restore is fully self-contained.
+impl<G: GFunction + FunctionCodec> Checkpoint for OnePassHeavyHitter<G> {
+    fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::ONE_PASS_HEAVY_HITTER)?;
+        checkpoint::write_u64(w, self.config.rows as u64)?;
+        checkpoint::write_u64(w, self.config.columns as u64)?;
+        checkpoint::write_u64(w, self.config.candidates as u64)?;
+        checkpoint::write_f64(w, self.config.epsilon)?;
+        checkpoint::write_f64(w, self.config.envelope_factor)?;
+        checkpoint::write_backend(w, self.config.backend)?;
+        checkpoint::write_u64(w, self.config.hint_cap as u64)?;
+        checkpoint::write_bytes(w, &self.g.encode_params())?;
+        self.countsketch.save(w)?;
+        self.ams.save(w)?;
+        self.hints.save_body(w)?;
+        Ok(())
+    }
+
+    fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {
+        checkpoint::read_header(r, kind::ONE_PASS_HEAVY_HITTER)?;
+        let config = OnePassHeavyHitterConfig {
+            rows: checkpoint::read_len(r)?,
+            columns: checkpoint::read_len(r)?,
+            candidates: checkpoint::read_len(r)?,
+            epsilon: checkpoint::read_f64(r)?,
+            envelope_factor: checkpoint::read_f64(r)?,
+            backend: checkpoint::read_backend(r)?,
+            hint_cap: checkpoint::read_len(r)?,
+        };
+        let params = checkpoint::read_bounded_bytes(r, 1 << 16, "function parameters")?;
+        let g = G::decode_params(&params)
+            .ok_or_else(|| CheckpointError::Corrupt("invalid function parameters".into()))?;
+        let countsketch = CountSketch::restore(r)?;
+        let ams = AmsF2Sketch::restore(r)?;
+        let hints = ReverseHints::restore_body(r, config.hint_cap)?;
+        let cs_config = countsketch.config();
+        if cs_config.rows != config.rows
+            || cs_config.columns != config.columns
+            || cs_config.backend != config.backend
+        {
+            return Err(CheckpointError::Corrupt(
+                "nested CountSketch disagrees with the heavy-hitter configuration".into(),
+            ));
+        }
+        Ok(Self::from_parts(g, config, countsketch, ams, hints))
     }
 }
 
@@ -202,6 +312,7 @@ mod tests {
             epsilon: 0.2,
             envelope_factor: 1.0,
             backend: gsum_hash::HashBackend::Polynomial,
+            hint_cap: crate::config::DEFAULT_HINT_CAP,
         }
     }
 
@@ -286,5 +397,47 @@ mod tests {
         }
         let after = hh.frequency_error_bound();
         assert!(after > before);
+    }
+
+    #[test]
+    fn hint_scan_and_domain_scan_agree_on_heavy_items() {
+        // A tight hint cap forces saturation; the saturated (domain-scan)
+        // cover and an uncapped (hint-scan) cover must both report the
+        // planted heavy hitters.
+        let stream = planted_stream();
+        let fv = stream.frequency_vector();
+        let mut capped_cfg = config();
+        capped_cfg.hint_cap = 4; // far below the stream's support: saturates
+        let mut capped = OnePassHeavyHitter::new(PowerFunction::new(2.0), capped_cfg, 41);
+        let mut uncapped = OnePassHeavyHitter::new(PowerFunction::new(2.0), config(), 41);
+        for &u in stream.iter() {
+            capped.update(u);
+            uncapped.update(u);
+        }
+        let capped_cover = capped.cover(1 << 10);
+        let uncapped_cover = uncapped.cover(1 << 10);
+        for item in exact_heavy_hitters(&PowerFunction::new(2.0), &fv, 0.05) {
+            assert!(capped_cover.contains(item), "saturated cover lost {item}");
+            assert!(uncapped_cover.contains(item), "hint cover lost {item}");
+            assert_eq!(capped_cover.weight(item), uncapped_cover.weight(item));
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_cover_and_bounds() {
+        let stream = planted_stream();
+        let mut hh = OnePassHeavyHitter::new(PowerFunction::new(2.0), config(), 41);
+        for &u in stream.iter() {
+            hh.update(u);
+        }
+        let bytes = hh.to_checkpoint_bytes().unwrap();
+        let restored = OnePassHeavyHitter::<PowerFunction>::from_checkpoint_bytes(&bytes).unwrap();
+        assert_eq!(restored.cover(1 << 10), hh.cover(1 << 10));
+        assert_eq!(
+            restored.frequency_error_bound().to_bits(),
+            hh.frequency_error_bound().to_bits()
+        );
+        assert_eq!(restored.space_words(), hh.space_words());
+        assert_eq!(restored.config(), hh.config());
     }
 }

@@ -13,11 +13,14 @@
 //! drops out of the two-pass zero-one law (Theorem 3).
 
 use super::{GCover, HeavyHitterSketch};
-use gsum_gfunc::GFunction;
+use crate::hints::ReverseHints;
+use gsum_gfunc::{FunctionCodec, GFunction};
 use gsum_hash::HashBackend;
 use gsum_sketch::{CountSketch, CountSketchConfig, FrequencySketch};
+use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
 use std::collections::HashMap;
+use std::io::{Read, Write};
 
 /// Configuration knobs for [`TwoPassHeavyHitter`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +33,13 @@ pub struct TwoPassHeavyHitterConfig {
     pub candidates: usize,
     /// Hash family for the first-pass CountSketch rows.
     pub backend: HashBackend,
+    /// Cap on the reverse hints (distinct observed items) kept during the
+    /// first pass: under the cap, [`begin_second_pass`](TwoPassHeavyHitter::begin_second_pass)
+    /// picks its candidates by scanning the observed support instead of the
+    /// whole domain; past it the sketch saturates and falls back to the
+    /// domain scan.  Defaults to [`crate::config::DEFAULT_HINT_CAP`] when
+    /// derived from a [`crate::GSumConfig`].
+    pub hint_cap: usize,
 }
 
 /// Which pass the algorithm is currently in.
@@ -54,6 +64,10 @@ pub struct TwoPassHeavyHitter<G> {
     phase: Phase,
     /// Exact counters for the candidate set (second pass).
     exact: HashMap<u64, i64>,
+    /// Distinct items observed during the first pass, capped at
+    /// `config.hint_cap`: the phase transition scans these instead of the
+    /// whole domain when picking candidates.
+    hints: ReverseHints,
 }
 
 impl<G: GFunction> TwoPassHeavyHitter<G> {
@@ -62,32 +76,73 @@ impl<G: GFunction> TwoPassHeavyHitter<G> {
         let cs_config = CountSketchConfig::new(config.rows, config.columns)
             .expect("non-degenerate CountSketch dimensions")
             .with_backend(config.backend);
+        let countsketch = CountSketch::new(cs_config, seed ^ 0x2da5_5e1f);
+        Self::from_parts(
+            g,
+            config,
+            countsketch,
+            Phase::First,
+            HashMap::new(),
+            ReverseHints::new(config.hint_cap),
+        )
+    }
+
+    /// Assemble the algorithm from explicit components — the single code
+    /// path shared by fresh construction ([`new`](Self::new)) and checkpoint
+    /// rehydration ([`Checkpoint::restore`]).
+    fn from_parts(
+        g: G,
+        config: TwoPassHeavyHitterConfig,
+        countsketch: CountSketch,
+        phase: Phase,
+        exact: HashMap<u64, i64>,
+        hints: ReverseHints,
+    ) -> Self {
         Self {
             g,
             config,
-            countsketch: CountSketch::new(cs_config, seed ^ 0x2da5_5e1f),
-            phase: Phase::First,
-            exact: HashMap::new(),
+            countsketch,
+            phase,
+            exact,
+            hints,
         }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> TwoPassHeavyHitterConfig {
+        self.config
     }
 
     /// Process an update during the first pass.
     pub fn update_pass1(&mut self, update: Update) {
         debug_assert_eq!(self.phase, Phase::First, "first pass already closed");
+        self.hints.record(update.item);
         self.countsketch.update(update);
     }
 
     /// Close the first pass: fix the candidate set whose frequencies the
     /// second pass will tabulate exactly (identities only; the CountSketch
-    /// estimates are discarded, as in the paper).
+    /// estimates are discarded, as in the paper).  Candidate identification
+    /// scans the observed support (the reverse hints) when the hint budget
+    /// held, falling back to the domain scan after saturation.
     pub fn begin_second_pass(&mut self, domain: u64) {
         if self.phase == Phase::Second {
             return;
         }
-        let candidates = self
-            .countsketch
-            .top_candidates(0..domain, self.config.candidates);
+        let candidates = if self.hints.is_saturated() {
+            self.countsketch
+                .top_candidates(0..domain, self.config.candidates)
+        } else {
+            self.countsketch.top_candidates(
+                self.hints.iter().filter(|&item| item < domain),
+                self.config.candidates,
+            )
+        };
         self.exact = candidates.into_iter().map(|(i, _)| (i, 0i64)).collect();
+        // Nothing reads the hints after the candidate set is frozen: free
+        // them so the second pass (and every frozen-state checkpoint the
+        // sharded coordinator broadcasts) does not carry dead state.
+        self.hints = ReverseHints::new(self.config.hint_cap);
         self.phase = Phase::Second;
     }
 
@@ -121,12 +176,20 @@ impl<G: GFunction> StreamSink for TwoPassHeavyHitter<G> {
         }
     }
 
-    /// Phase-aware batching: the first pass forwards the whole batch to the
-    /// CountSketch's coalescing fast path; the second pass tabulates in
-    /// exact `i64` arithmetic where batching has nothing left to amortize.
+    /// Phase-aware batching: the first pass coalesces once (recording the
+    /// distinct items as reverse hints) and forwards the coalesced batch to
+    /// the CountSketch's fast path; the second pass tabulates in exact
+    /// `i64` arithmetic where batching has nothing left to amortize.
     fn update_batch(&mut self, updates: &[Update]) {
         match self.phase {
-            Phase::First => self.countsketch.update_batch(updates),
+            Phase::First => {
+                let mut scratch = Vec::new();
+                let coalesced = gsum_streams::coalesce_into(updates, &mut scratch);
+                for u in coalesced {
+                    self.hints.record(u.item);
+                }
+                self.countsketch.update_batch(coalesced);
+            }
             Phase::Second => {
                 for &u in updates {
                     self.update_pass2(u);
@@ -159,7 +222,10 @@ impl<G: GFunction> MergeableSketch for TwoPassHeavyHitter<G> {
             ));
         }
         match self.phase {
-            Phase::First => self.countsketch.merge(&other.countsketch)?,
+            Phase::First => {
+                self.countsketch.merge(&other.countsketch)?;
+                self.hints.merge_from(&other.hints);
+            }
             Phase::Second => {
                 if self.exact.len() != other.exact.len()
                     || !other.exact.keys().all(|k| self.exact.contains_key(k))
@@ -190,7 +256,94 @@ impl<G: GFunction> HeavyHitterSketch for TwoPassHeavyHitter<G> {
     }
 
     fn space_words(&self) -> usize {
-        self.countsketch.space_words() + 2 * self.config.candidates
+        self.countsketch.space_words() + 2 * self.config.candidates + self.hints.len()
+    }
+}
+
+/// The two-pass state is seeds + counters + **phase**: the checkpoint
+/// records which pass the algorithm is in and, once the first pass has been
+/// closed, the frozen candidate set with its exact tabulations — so a state
+/// saved between the passes (or mid-second-pass) rehydrates ready to
+/// continue exactly where it stopped.  The function checkpoints as its
+/// [`FunctionCodec`] parameters.
+impl<G: GFunction + FunctionCodec> Checkpoint for TwoPassHeavyHitter<G> {
+    fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::TWO_PASS_HEAVY_HITTER)?;
+        checkpoint::write_u64(w, self.config.rows as u64)?;
+        checkpoint::write_u64(w, self.config.columns as u64)?;
+        checkpoint::write_u64(w, self.config.candidates as u64)?;
+        checkpoint::write_backend(w, self.config.backend)?;
+        checkpoint::write_u64(w, self.config.hint_cap as u64)?;
+        checkpoint::write_bytes(w, &self.g.encode_params())?;
+        self.countsketch.save(w)?;
+        checkpoint::write_u8(w, u8::from(self.phase == Phase::Second))?;
+        let mut frozen: Vec<(u64, i64)> = self.exact.iter().map(|(&i, &v)| (i, v)).collect();
+        frozen.sort_unstable_by_key(|&(i, _)| i);
+        checkpoint::write_len(w, frozen.len())?;
+        for (item, count) in frozen {
+            checkpoint::write_u64(w, item)?;
+            checkpoint::write_i64(w, count)?;
+        }
+        self.hints.save_body(w)?;
+        Ok(())
+    }
+
+    fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {
+        checkpoint::read_header(r, kind::TWO_PASS_HEAVY_HITTER)?;
+        let config = TwoPassHeavyHitterConfig {
+            rows: checkpoint::read_len(r)?,
+            columns: checkpoint::read_len(r)?,
+            candidates: checkpoint::read_len(r)?,
+            backend: checkpoint::read_backend(r)?,
+            hint_cap: checkpoint::read_len(r)?,
+        };
+        let params = checkpoint::read_bounded_bytes(r, 1 << 16, "function parameters")?;
+        let g = G::decode_params(&params)
+            .ok_or_else(|| CheckpointError::Corrupt("invalid function parameters".into()))?;
+        let countsketch = CountSketch::restore(r)?;
+        let phase = match checkpoint::read_u8(r)? {
+            0 => Phase::First,
+            1 => Phase::Second,
+            tag => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "invalid two-pass phase tag {tag}"
+                )))
+            }
+        };
+        let frozen_len = checkpoint::read_len(r)?;
+        if phase == Phase::First && frozen_len != 0 {
+            return Err(CheckpointError::Corrupt(
+                "first-pass state cannot carry frozen candidates".into(),
+            ));
+        }
+        let mut exact = HashMap::with_capacity(frozen_len.min(1 << 16));
+        for _ in 0..frozen_len {
+            let item = checkpoint::read_u64(r)?;
+            let count = checkpoint::read_i64(r)?;
+            if exact.insert(item, count).is_some() {
+                return Err(CheckpointError::Corrupt(format!(
+                    "duplicate frozen candidate {item}"
+                )));
+            }
+        }
+        let hints = ReverseHints::restore_body(r, config.hint_cap)?;
+        let cs_config = countsketch.config();
+        if cs_config.rows != config.rows
+            || cs_config.columns != config.columns
+            || cs_config.backend != config.backend
+        {
+            return Err(CheckpointError::Corrupt(
+                "nested CountSketch disagrees with the heavy-hitter configuration".into(),
+            ));
+        }
+        Ok(Self::from_parts(
+            g,
+            config,
+            countsketch,
+            phase,
+            exact,
+            hints,
+        ))
     }
 }
 
@@ -207,6 +360,7 @@ mod tests {
             columns: 256,
             candidates: 24,
             backend: gsum_hash::HashBackend::Polynomial,
+            hint_cap: crate::config::DEFAULT_HINT_CAP,
         }
     }
 
@@ -293,5 +447,60 @@ mod tests {
         hh.update_pass1(Update::new(3, 10));
         // No second pass yet: no exact counts, so no cover entries.
         assert!(hh.cover(16).is_empty());
+    }
+
+    #[test]
+    fn capped_hints_fall_back_to_the_domain_scan_for_candidates() {
+        let stream = PlantedStreamGenerator::new(
+            StreamConfig::new(1 << 10, 20_000),
+            vec![(100, 4000), (321, 2500)],
+            13,
+        )
+        .generate();
+        let mut capped_cfg = config();
+        capped_cfg.hint_cap = 2; // saturates immediately
+        let mut capped = TwoPassHeavyHitter::new(PowerFunction::new(2.0), capped_cfg, 99);
+        let mut uncapped = TwoPassHeavyHitter::new(PowerFunction::new(2.0), config(), 99);
+        for &u in stream.iter() {
+            capped.update_pass1(u);
+            uncapped.update_pass1(u);
+        }
+        capped.begin_second_pass(1 << 10);
+        uncapped.begin_second_pass(1 << 10);
+        // Planted heavy hitters survive either identification path.
+        for candidates in [capped.candidates(), uncapped.candidates()] {
+            assert!(candidates.contains(&100) && candidates.contains(&321));
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_in_both_phases() {
+        let stream = PlantedStreamGenerator::new(StreamConfig::new(256, 4_000), vec![(7, 900)], 5)
+            .generate();
+        let mut hh = TwoPassHeavyHitter::new(PowerFunction::new(2.0), config(), 3);
+        for &u in stream.iter() {
+            hh.update_pass1(u);
+        }
+        // Mid-pass-1 checkpoint: restore and finish the protocol.
+        let bytes = hh.to_checkpoint_bytes().unwrap();
+        let mut restored =
+            TwoPassHeavyHitter::<PowerFunction>::from_checkpoint_bytes(&bytes).unwrap();
+        assert!(!restored.in_second_pass());
+        restored.begin_second_pass(256);
+        hh.begin_second_pass(256);
+        assert_eq!(restored.candidates(), hh.candidates());
+
+        // Between-pass checkpoint: the frozen candidate set survives.
+        let frozen = hh.to_checkpoint_bytes().unwrap();
+        let mut rehydrated =
+            TwoPassHeavyHitter::<PowerFunction>::from_checkpoint_bytes(&frozen).unwrap();
+        assert!(rehydrated.in_second_pass());
+        for &u in stream.iter() {
+            rehydrated.update_pass2(u);
+            restored.update_pass2(u);
+            hh.update_pass2(u);
+        }
+        assert_eq!(rehydrated.cover(256), hh.cover(256));
+        assert_eq!(restored.cover(256), hh.cover(256));
     }
 }

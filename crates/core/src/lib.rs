@@ -59,11 +59,12 @@ pub mod dist_counter;
 pub mod error;
 pub mod gsum;
 pub mod heavy_hitters;
+pub mod hints;
 pub mod moments;
 pub mod np_algorithm;
 pub mod recursive_sketch;
 
-pub use config::GSumConfig;
+pub use config::{GSumConfig, DEFAULT_HINT_CAP};
 pub use dist_counter::{DistCounter, DistVerdict};
 pub use error::CoreError;
 pub use gsum::{
@@ -73,10 +74,14 @@ pub use heavy_hitters::{
     GCover, HeavyHitterSketch, OnePassHeavyHitter, OnePassHeavyHitterConfig, TwoPassHeavyHitter,
     TwoPassHeavyHitterConfig,
 };
+pub use hints::ReverseHints;
 pub use moments::MomentEstimator;
 pub use np_algorithm::{GnpHeavyHitter, NearlyPeriodicGSum};
 pub use recursive_sketch::RecursiveSketch;
 
-// The push-based ingestion contract, re-exported so estimator users need
-// only this crate.
-pub use gsum_streams::{MergeError, MergeableSketch, ShardedIngest, StreamSink, UpdateSource};
+// The push-based ingestion contract and the snapshot/restore layer,
+// re-exported so estimator users need only this crate.
+pub use gsum_streams::{
+    Checkpoint, CheckpointError, MergeError, MergeableSketch, ShardedIngest,
+    ShardedTwoPassCoordinator, StreamSink, TwoPhaseSketch, UpdateSource,
+};

@@ -21,81 +21,78 @@
 //! Wrapping this heavy-hitter routine in the recursive sketch gives a 1-pass
 //! `g_np`-SUM algorithm in `poly(λ^{-1} log n)` space.
 
-use crate::config::GSumConfig;
+use crate::config::{GSumConfig, DEFAULT_HINT_CAP};
 use crate::gsum::{median_over_repetitions, GSumEstimator};
 use crate::heavy_hitters::{GCover, HeavyHitterSketch};
+use crate::hints::ReverseHints;
 use crate::recursive_sketch::RecursiveSketch;
 use gsum_gfunc::library::GnpFunction;
 use gsum_gfunc::GFunction;
 use gsum_hash::{derive_seeds, BucketHash, KWiseHash};
+use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{
     coalesce_into, MergeError, MergeableSketch, StreamSink, TurnstileStream, Update,
 };
-use std::collections::HashSet;
-
-/// Cap on stored reverse hints per substream.  A substream whose distinct
-/// observed items exceed the cap discards its hints ("saturates") and falls
-/// back to the original domain scan at query time, so the sketch's space
-/// stays bounded by `substreams × HINT_CAP` words regardless of the stream's
-/// support size — the sublinearity of Proposition 54 is preserved.
-/// Saturation depends only on the *set* of distinct items observed, never on
-/// arrival order, so batched and per-update ingestion stay bit-for-bit
-/// equivalent.
-const HINT_CAP: usize = 512;
+use std::io::{Read, Write};
 
 /// The Proposition-54 heavy-hitter sketch for `g_np`.
 #[derive(Debug, Clone)]
 pub struct GnpHeavyHitter {
     substreams: usize,
     trials: usize,
+    /// Per-substream reverse-hint cap.  A substream whose distinct observed
+    /// items exceed the cap discards its hints ("saturates") and falls back
+    /// to the original domain scan at query time, so the sketch's space
+    /// stays bounded by `substreams × hint_cap` words regardless of the
+    /// stream's support size — the sublinearity of Proposition 54 is
+    /// preserved.
+    hint_cap: usize,
     /// Counters `m[c][ℓ]`, stored row-major.
     counters: Vec<i64>,
     split: BucketHash,
     /// Trial sampling hashes (pairwise independent Bernoulli(1/2)).
     samplers: Vec<KWiseHash>,
     /// Reverse hints recorded at update time: the distinct items observed in
-    /// each substream (up to [`HINT_CAP`]).  Identification at query time
+    /// each substream (up to `hint_cap`).  Identification at query time
     /// scans only these instead of the whole `n`-sized domain.
-    seen: Vec<HashSet<u64>>,
-    /// Substreams whose distinct-item count exceeded [`HINT_CAP`]: their
-    /// hints were discarded and queries use the domain scan.
-    saturated: Vec<bool>,
+    hints: Vec<ReverseHints>,
     /// Construction seed, kept so merges can verify hash compatibility.
     seed: u64,
 }
 
 impl GnpHeavyHitter {
     /// Create the sketch with `substreams` hash buckets and `trials`
-    /// independent trials per bucket.
+    /// independent trials per bucket, with the default reverse-hint cap
+    /// ([`DEFAULT_HINT_CAP`] per substream).
     pub fn new(substreams: usize, trials: usize, seed: u64) -> Self {
+        Self::with_hint_cap(substreams, trials, DEFAULT_HINT_CAP, seed)
+    }
+
+    /// Create the sketch with an explicit reverse-hint cap per substream —
+    /// the space / identification-speed tradeoff knob (threaded from
+    /// [`GSumConfig::hint_cap`] by [`NearlyPeriodicGSum`]).
+    pub fn with_hint_cap(substreams: usize, trials: usize, hint_cap: usize, seed: u64) -> Self {
         assert!(substreams >= 1 && trials >= 1, "degenerate dimensions");
+        assert!(hint_cap >= 1, "hint cap must be at least 1");
         let seeds = derive_seeds(seed ^ 0x6e9_0a16, trials + 1);
         Self {
             substreams,
             trials,
+            hint_cap,
             counters: vec![0i64; substreams * trials],
             split: BucketHash::new(substreams as u64, seeds[trials]),
             samplers: seeds[..trials]
                 .iter()
                 .map(|&s| KWiseHash::new(2, s))
                 .collect(),
-            seen: vec![HashSet::new(); substreams],
-            saturated: vec![false; substreams],
+            hints: vec![ReverseHints::new(hint_cap); substreams],
             seed,
         }
     }
 
-    /// Record a reverse hint for `item` in `substream`, saturating the
-    /// substream (and freeing its hint memory) once the cap is crossed.
-    fn record_hint(&mut self, substream: usize, item: u64) {
-        if self.saturated[substream] {
-            return;
-        }
-        self.seen[substream].insert(item);
-        if self.seen[substream].len() > HINT_CAP {
-            self.seen[substream] = HashSet::new();
-            self.saturated[substream] = true;
-        }
+    /// The reverse-hint cap per substream.
+    pub fn hint_cap(&self) -> usize {
+        self.hint_cap
     }
 
     #[inline]
@@ -152,7 +149,7 @@ impl GnpHeavyHitter {
             })
         };
         let mut found: Option<u64> = None;
-        if self.saturated[substream] {
+        if self.hints[substream].is_saturated() {
             for item in 0..domain {
                 if self.split.bucket(item) as usize != substream {
                     continue;
@@ -165,7 +162,7 @@ impl GnpHeavyHitter {
                 }
             }
         } else {
-            for &item in &self.seen[substream] {
+            for item in self.hints[substream].iter() {
                 if item >= domain {
                     continue;
                 }
@@ -185,7 +182,7 @@ impl GnpHeavyHitter {
 impl StreamSink for GnpHeavyHitter {
     fn update(&mut self, update: Update) {
         let substream = self.split.bucket(update.item) as usize;
-        self.record_hint(substream, update.item);
+        self.hints[substream].record(update.item);
         for trial in 0..self.trials {
             if self.samplers[trial].hash_to_bool(update.item) {
                 let idx = self.cell(substream, trial);
@@ -213,10 +210,11 @@ impl MergeableSketch for GnpHeavyHitter {
     fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
         if self.substreams != other.substreams
             || self.trials != other.trials
+            || self.hint_cap != other.hint_cap
             || self.seed != other.seed
         {
             return Err(MergeError::new(
-                "g_np heavy-hitter merge requires identical shape and seed",
+                "g_np heavy-hitter merge requires identical shape, hint cap and seed",
             ));
         }
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
@@ -225,15 +223,8 @@ impl MergeableSketch for GnpHeavyHitter {
         // Unite the reverse hints.  Saturation is a function of the union of
         // distinct items, so the merged state matches what single-threaded
         // ingestion of the concatenated stream would have produced.
-        for substream in 0..self.substreams {
-            if other.saturated[substream] {
-                self.seen[substream] = HashSet::new();
-                self.saturated[substream] = true;
-            } else if !self.saturated[substream] {
-                for &item in &other.seen[substream] {
-                    self.record_hint(substream, item);
-                }
-            }
+        for (mine, theirs) in self.hints.iter_mut().zip(other.hints.iter()) {
+            mine.merge_from(theirs);
         }
         Ok(())
     }
@@ -249,11 +240,53 @@ impl HeavyHitterSketch for GnpHeavyHitter {
 
     fn space_words(&self) -> usize {
         // Counters, hash descriptions, and the reverse hints (one word per
-        // stored hint, capped at HINT_CAP per substream — the bounded price
-        // of O(support) identification).
+        // stored hint, capped at `hint_cap` per substream — the bounded
+        // price of O(support) identification).
         self.counters.len()
             + 4 * (self.samplers.len() + 1)
-            + self.seen.iter().map(HashSet::len).sum::<usize>()
+            + self.hints.iter().map(ReverseHints::len).sum::<usize>()
+    }
+}
+
+/// The g_np sketch's state is its linear low-bit counters, the seeds the
+/// split/sampling hashes re-derive from, and the reverse hints.
+impl Checkpoint for GnpHeavyHitter {
+    fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::GNP_HEAVY_HITTER)?;
+        checkpoint::write_u64(w, self.substreams as u64)?;
+        checkpoint::write_u64(w, self.trials as u64)?;
+        checkpoint::write_u64(w, self.hint_cap as u64)?;
+        checkpoint::write_u64(w, self.seed)?;
+        checkpoint::write_i64_slice(w, &self.counters)?;
+        for hints in &self.hints {
+            hints.save_body(w)?;
+        }
+        Ok(())
+    }
+
+    fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {
+        checkpoint::read_header(r, kind::GNP_HEAVY_HITTER)?;
+        let substreams = checkpoint::read_len(r)?;
+        let trials = checkpoint::read_len(r)?;
+        let hint_cap = checkpoint::read_len(r)?;
+        let seed = checkpoint::read_u64(r)?;
+        if substreams == 0 || trials == 0 || hint_cap == 0 {
+            return Err(CheckpointError::Corrupt(
+                "g_np sketch needs positive substreams, trials and hint cap".into(),
+            ));
+        }
+        let cells = substreams
+            .checked_mul(trials)
+            .ok_or_else(|| CheckpointError::Corrupt("substreams × trials overflows".into()))?;
+        let counters = checkpoint::read_i64_counters(r, cells, "g_np counters")?;
+        let mut hints = Vec::with_capacity(substreams.min(1 << 16));
+        for _ in 0..substreams {
+            hints.push(ReverseHints::restore_body(r, hint_cap)?);
+        }
+        let mut sketch = Self::with_hint_cap(substreams, trials, hint_cap, seed);
+        sketch.counters = counters;
+        sketch.hints = hints;
+        Ok(sketch)
     }
 }
 
@@ -298,11 +331,14 @@ impl NearlyPeriodicGSum {
     pub fn sketch_with_seed(&self, seed: u64) -> RecursiveSketch<GnpHeavyHitter> {
         let substreams = self.substreams;
         let trials = self.trials;
+        let hint_cap = self.config.hint_cap;
         RecursiveSketch::new(
             self.config.domain,
             self.config.levels,
             seed,
-            move |_level, level_seed| GnpHeavyHitter::new(substreams, trials, level_seed),
+            move |_level, level_seed| {
+                GnpHeavyHitter::with_hint_cap(substreams, trials, hint_cap, level_seed)
+            },
         )
     }
 
@@ -401,6 +437,44 @@ mod tests {
         assert_eq!(hh.space_words(), baseline);
         // The cover query still runs (domain-scan fallback), no panic.
         let _ = hh.cover(domain);
+    }
+
+    #[test]
+    fn hint_cap_is_tunable_and_checked_by_merge() {
+        let mut tight = GnpHeavyHitter::with_hint_cap(1, 8, 4, 3);
+        assert_eq!(tight.hint_cap(), 4);
+        for item in 0..16u64 {
+            tight.update(Update::new(item, 2));
+        }
+        // A cap of 4 saturates immediately on 16 distinct items...
+        let saturated_space = tight.space_words();
+        for item in 16..32u64 {
+            tight.update(Update::new(item, 2));
+        }
+        assert_eq!(tight.space_words(), saturated_space);
+        // ...and merges refuse a differently-capped sketch.
+        let default_cap = GnpHeavyHitter::new(1, 8, 3);
+        assert_eq!(default_cap.hint_cap(), DEFAULT_HINT_CAP);
+        assert!(tight.merge(&default_cap).is_err());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_cover_and_hints() {
+        let domain = 256u64;
+        let mut stream = TurnstileStream::new(domain);
+        stream.push_delta(17, 5);
+        for item in 30..40u64 {
+            stream.push_delta(item, 64 * (item as i64 - 28));
+        }
+        let mut hh = GnpHeavyHitter::new(64, 20, 9);
+        hh.process_stream(&stream);
+        let bytes = hh.to_checkpoint_bytes().unwrap();
+        let restored = GnpHeavyHitter::from_checkpoint_bytes(&bytes).unwrap();
+        assert_eq!(restored.cover(domain), hh.cover(domain));
+        assert_eq!(restored.space_words(), hh.space_words());
+        assert_eq!(restored.hint_cap(), hh.hint_cap());
+        // Truncations fail instead of panicking.
+        assert!(GnpHeavyHitter::from_checkpoint_bytes(&bytes[..bytes.len() - 1]).is_err());
     }
 
     #[test]

@@ -21,7 +21,9 @@
 
 use crate::heavy_hitters::{GCover, HeavyHitterSketch};
 use gsum_hash::KWiseHash;
+use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
+use std::io::{Read, Write};
 
 /// The recursive g-SUM estimator, generic over the per-level heavy-hitter
 /// sketch.
@@ -54,13 +56,37 @@ impl<S: HeavyHitterSketch> RecursiveSketch<S> {
         mut factory: impl FnMut(usize, u64) -> S,
     ) -> Self {
         assert!(levels >= 1, "need at least one level");
-        assert!(domain > 0, "domain must be positive");
         let seeds = gsum_hash::derive_seeds(seed, levels + 1);
         let level_sketches = (0..levels).map(|j| factory(j, seeds[j])).collect();
+        Self::from_parts(
+            domain,
+            seed,
+            KWiseHash::new(2, seeds[levels]),
+            level_sketches,
+        )
+    }
+
+    /// Assemble the sketch from already-built level sketches, re-deriving
+    /// the subsampling selector from the master seed exactly as
+    /// [`new`](Self::new) does — the checkpoint-rehydration entry point.
+    ///
+    /// # Panics
+    /// Panics if `levels` is empty or `domain == 0`.
+    fn assemble(domain: u64, seed: u64, levels: Vec<S>) -> Self {
+        let seeds = gsum_hash::derive_seeds(seed, levels.len() + 1);
+        let selector = KWiseHash::new(2, seeds[levels.len()]);
+        Self::from_parts(domain, seed, selector, levels)
+    }
+
+    /// The shared final constructor behind [`new`](Self::new) (which already
+    /// holds the derived seed array) and [`assemble`](Self::assemble).
+    fn from_parts(domain: u64, seed: u64, selector: KWiseHash, levels: Vec<S>) -> Self {
+        assert!(!levels.is_empty(), "need at least one level");
+        assert!(domain > 0, "domain must be positive");
         Self {
             domain,
-            levels: level_sketches,
-            selector: KWiseHash::new(2, seeds[levels]),
+            levels,
+            selector,
             seed,
         }
     }
@@ -214,6 +240,40 @@ impl<S: HeavyHitterSketch + MergeableSketch> MergeableSketch for RecursiveSketch
             mine.merge(theirs)?;
         }
         Ok(())
+    }
+}
+
+/// A recursive sketch of checkpointable levels is itself checkpointable:
+/// the subsampling selector re-derives from the master seed (the same
+/// derivation [`RecursiveSketch::new`] uses), so the checkpoint is the
+/// domain, the seed and the nested per-level checkpoints.
+impl<S: HeavyHitterSketch + Checkpoint> Checkpoint for RecursiveSketch<S> {
+    fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::RECURSIVE_SKETCH)?;
+        checkpoint::write_u64(w, self.domain)?;
+        checkpoint::write_u64(w, self.seed)?;
+        checkpoint::write_len(w, self.levels.len())?;
+        for level in &self.levels {
+            level.save(w)?;
+        }
+        Ok(())
+    }
+
+    fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {
+        checkpoint::read_header(r, kind::RECURSIVE_SKETCH)?;
+        let domain = checkpoint::read_u64(r)?;
+        let seed = checkpoint::read_u64(r)?;
+        let count = checkpoint::read_len(r)?;
+        if domain == 0 || count == 0 {
+            return Err(CheckpointError::Corrupt(
+                "recursive sketch needs a positive domain and at least one level".into(),
+            ));
+        }
+        let mut levels = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            levels.push(S::restore(r)?);
+        }
+        Ok(Self::assemble(domain, seed, levels))
     }
 }
 

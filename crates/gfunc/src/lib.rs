@@ -47,4 +47,4 @@ pub mod traits;
 pub use classify::{classify, OnePassVerdict, TractabilityReport, TwoPassVerdict};
 pub use properties::PropertyConfig;
 pub use registry::{FunctionRegistry, GroundTruth, RegisteredFunction};
-pub use traits::{GFunction, LEta, NormalizedG, ScaledG};
+pub use traits::{FunctionCodec, GFunction, LEta, NormalizedG, ScaledG};

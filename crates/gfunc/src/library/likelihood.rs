@@ -6,6 +6,7 @@
 //! running example is a mixture of two Poissons, whose negative log
 //! likelihood is non-monotonic but satisfies all three tractability criteria.
 
+use crate::traits::{f64_param, FunctionCodec};
 use crate::GFunction;
 
 /// The negative log-likelihood of a two-component Poisson mixture,
@@ -39,8 +40,22 @@ impl PoissonMixtureNll {
     /// strict mode of the mixture over `x ∈ {1, ..., 512}` (which would make
     /// the centred function non-positive somewhere, leaving the class `G`).
     pub fn new(lambda: f64, alpha: f64, beta: f64) -> Self {
-        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
-        assert!(alpha > 0.0 && beta > 0.0, "rates must be positive");
+        Self::try_new(lambda, alpha, beta).expect(
+            "lambda must be in [0,1], rates positive, and p(0) must be the mode of the \
+             mixture for the centred NLL to stay in class G; pick smaller rates or use \
+             raw_nll directly",
+        )
+    }
+
+    /// Fallible constructor: `None` where [`new`](Self::new) would panic.
+    /// Used by the checkpoint codec so corrupt parameter bytes surface as
+    /// errors instead of panics.
+    pub fn try_new(lambda: f64, alpha: f64, beta: f64) -> Option<Self> {
+        // Positive comparisons so NaN parameters fail every check.
+        let params_ok = (0.0..=1.0).contains(&lambda) && alpha > 0.0 && beta > 0.0;
+        if !params_ok {
+            return None;
+        }
         let ln_p0 = Self::ln_p(lambda, alpha, beta, 0);
         let out = Self {
             lambda,
@@ -48,14 +63,7 @@ impl PoissonMixtureNll {
             beta,
             ln_p0,
         };
-        for x in 1..=512u64 {
-            assert!(
-                out.eval(x) > 0.0,
-                "p(0) must be the mode of the mixture for the centred NLL to stay in class G \
-                 (violated at x = {x}); pick smaller rates or use raw_nll directly"
-            );
-        }
-        out
+        (1..=512u64).all(|x| out.eval(x) > 0.0).then_some(out)
     }
 
     /// `ln(x!)`, exact for small `x` and via the Stirling series beyond, so
@@ -129,12 +137,45 @@ impl GFunction for PoissonMixtureNll {
     }
 }
 
+impl FunctionCodec for PoissonMixtureNll {
+    fn encode_params(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        for v in [self.lambda, self.alpha, self.beta] {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out
+    }
+    fn decode_params(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 24 {
+            return None;
+        }
+        let lambda = f64_param(&bytes[..8])?;
+        let alpha = f64_param(&bytes[8..16])?;
+        let beta = f64_param(&bytes[16..])?;
+        Self::try_new(lambda, alpha, beta)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn example() -> PoissonMixtureNll {
         PoissonMixtureNll::new(0.5, 0.5, 6.0)
+    }
+
+    #[test]
+    fn codec_roundtrips_and_validates() {
+        let g = example();
+        assert_eq!(
+            PoissonMixtureNll::decode_params(&g.encode_params()),
+            Some(g)
+        );
+        assert!(PoissonMixtureNll::decode_params(&[0u8; 23]).is_none());
+        let mut bad = g.encode_params();
+        bad[..8].copy_from_slice(&2.0f64.to_bits().to_le_bytes()); // lambda out of range
+        assert!(PoissonMixtureNll::decode_params(&bad).is_none());
+        assert!(PoissonMixtureNll::try_new(0.5, 100.0, 200.0).is_none());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The nearly periodic function `g_np` of Definition 52.
 
+use crate::traits::FunctionCodec;
 use crate::GFunction;
 
 /// `g_np(0) = 0` and `g_np(x) = 2^{-i_x}` where `i_x` is the index of the
@@ -38,6 +39,15 @@ impl GFunction for GnpFunction {
         } else {
             (0.5f64).powi(x.trailing_zeros() as i32)
         }
+    }
+}
+
+impl FunctionCodec for GnpFunction {
+    fn encode_params(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn decode_params(bytes: &[u8]) -> Option<Self> {
+        bytes.is_empty().then_some(GnpFunction)
     }
 }
 

@@ -1,5 +1,6 @@
 //! Oscillating functions — the paper's examples of local variability.
 
+use crate::traits::FunctionCodec;
 use crate::GFunction;
 
 /// The argument fed to the sine modulation of an [`OscillatingQuadratic`].
@@ -50,6 +51,25 @@ impl OscillatingQuadratic {
     }
 }
 
+impl FunctionCodec for OscillatingQuadratic {
+    fn encode_params(&self) -> Vec<u8> {
+        let tag = match self.scale {
+            OscillationScale::Direct => 0u8,
+            OscillationScale::Sqrt => 1,
+            OscillationScale::Log => 2,
+        };
+        vec![tag]
+    }
+    fn decode_params(bytes: &[u8]) -> Option<Self> {
+        match bytes {
+            [0] => Some(Self::direct()),
+            [1] => Some(Self::sqrt()),
+            [2] => Some(Self::log()),
+            _ => None,
+        }
+    }
+}
+
 impl GFunction for OscillatingQuadratic {
     fn name(&self) -> String {
         match self.scale {
@@ -89,6 +109,15 @@ impl GFunction for BoundedOscillation {
         } else {
             2.0 + (x as f64).sin()
         }
+    }
+}
+
+impl FunctionCodec for BoundedOscillation {
+    fn encode_params(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    fn decode_params(bytes: &[u8]) -> Option<Self> {
+        bytes.is_empty().then_some(BoundedOscillation)
     }
 }
 
@@ -133,6 +162,26 @@ mod tests {
             let ratio = g.eval(x + 1) / g.eval(x);
             assert!((ratio - 1.0).abs() < 0.01);
         }
+    }
+
+    #[test]
+    fn codec_roundtrips_every_scale() {
+        for g in [
+            OscillatingQuadratic::direct(),
+            OscillatingQuadratic::sqrt(),
+            OscillatingQuadratic::log(),
+        ] {
+            assert_eq!(
+                OscillatingQuadratic::decode_params(&g.encode_params()),
+                Some(g)
+            );
+        }
+        assert!(OscillatingQuadratic::decode_params(&[3]).is_none());
+        assert!(OscillatingQuadratic::decode_params(&[]).is_none());
+        assert_eq!(
+            BoundedOscillation::decode_params(&BoundedOscillation.encode_params()),
+            Some(BoundedOscillation)
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Power-law, polylogarithmic and related smooth functions.
 
+use crate::traits::{f64_param, FunctionCodec};
 use crate::GFunction;
 
 /// `g(x) = x^p` for `p ≥ 0` — the frequency-moment family of Alon, Matias
@@ -40,6 +41,16 @@ impl GFunction for PowerFunction {
     }
 }
 
+impl FunctionCodec for PowerFunction {
+    fn encode_params(&self) -> Vec<u8> {
+        self.exponent.to_bits().to_le_bytes().to_vec()
+    }
+    fn decode_params(bytes: &[u8]) -> Option<Self> {
+        let p = f64_param(bytes)?;
+        (p >= 0.0).then(|| Self::new(p))
+    }
+}
+
 /// `g(x) = x^{-p}` for `p > 0` (with `g(0) = 0`) — polynomially decreasing,
 /// hence **not** slow-dropping and not tractable in any constant number of
 /// passes (Lemma 27; see also Braverman–Chestnut for the monotone case).
@@ -66,6 +77,16 @@ impl GFunction for InversePowerFunction {
         } else {
             (x as f64).powf(-self.exponent)
         }
+    }
+}
+
+impl FunctionCodec for InversePowerFunction {
+    fn encode_params(&self) -> Vec<u8> {
+        self.exponent.to_bits().to_le_bytes().to_vec()
+    }
+    fn decode_params(bytes: &[u8]) -> Option<Self> {
+        let p = f64_param(bytes)?;
+        (p > 0.0).then(|| Self::new(p))
     }
 }
 
@@ -114,6 +135,37 @@ impl GFunction for PolylogFunction {
         }
     }
 }
+
+impl FunctionCodec for PolylogFunction {
+    fn encode_params(&self) -> Vec<u8> {
+        self.power.to_bits().to_le_bytes().to_vec()
+    }
+    fn decode_params(bytes: &[u8]) -> Option<Self> {
+        let p = f64_param(bytes)?;
+        (p > 0.0).then(|| Self::new(p))
+    }
+}
+
+/// Parameter-free functions encode as zero bytes.
+macro_rules! impl_unit_codec {
+    ($($ty:ident),* $(,)?) => {$(
+        impl FunctionCodec for $ty {
+            fn encode_params(&self) -> Vec<u8> {
+                Vec::new()
+            }
+            fn decode_params(bytes: &[u8]) -> Option<Self> {
+                bytes.is_empty().then_some($ty)
+            }
+        }
+    )*};
+}
+
+impl_unit_codec!(
+    ExponentialFunction,
+    InverseLogFunction,
+    SubpolyModulatedQuadratic,
+    ExpSqrtLogFunction,
+);
 
 /// `g(x) = 1 / log₂(1 + x)` for `x > 0` — the paper's example (after
 /// Definition 7) of a *decreasing but slow-dropping* (hence tractable)
@@ -247,6 +299,31 @@ mod tests {
         for x in [256u64, 65536] {
             assert!(g.eval(x) < q.eval(x) * (x as f64).powf(0.5));
         }
+    }
+
+    #[test]
+    fn codec_roundtrips_and_rejects_bad_params() {
+        let g = PowerFunction::new(1.5);
+        assert_eq!(PowerFunction::decode_params(&g.encode_params()), Some(g));
+        assert!(PowerFunction::decode_params(&[1, 2, 3]).is_none());
+        assert!(PowerFunction::decode_params(&(-1.0f64).to_bits().to_le_bytes()).is_none());
+        assert!(PowerFunction::decode_params(&f64::NAN.to_bits().to_le_bytes()).is_none());
+
+        let g = InversePowerFunction::new(0.5);
+        assert_eq!(
+            InversePowerFunction::decode_params(&g.encode_params()),
+            Some(g)
+        );
+        assert!(InversePowerFunction::decode_params(&0.0f64.to_bits().to_le_bytes()).is_none());
+
+        let g = PolylogFunction::new(2.0);
+        assert_eq!(PolylogFunction::decode_params(&g.encode_params()), Some(g));
+
+        assert_eq!(
+            ExponentialFunction::decode_params(&ExponentialFunction.encode_params()),
+            Some(ExponentialFunction)
+        );
+        assert!(ExponentialFunction::decode_params(&[0]).is_none());
     }
 
     #[test]

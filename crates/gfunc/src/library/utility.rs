@@ -1,5 +1,6 @@
 //! Utility-aggregate and higher-order-encoding functions (§1.1.2, §1.1.4).
 
+use crate::traits::{u64_param, FunctionCodec};
 use crate::GFunction;
 
 /// Spam-discounted click billing (§1.1.2): the fee grows linearly with the
@@ -50,6 +51,16 @@ impl GFunction for SpamDiscountUtility {
     }
 }
 
+impl FunctionCodec for SpamDiscountUtility {
+    fn encode_params(&self) -> Vec<u8> {
+        self.threshold.to_le_bytes().to_vec()
+    }
+    fn decode_params(bytes: &[u8]) -> Option<Self> {
+        let t = u64_param(bytes)?;
+        (t >= 1).then(|| Self::new(t))
+    }
+}
+
 /// Capped linear billing: `g(x) = min(x, T)` — the monotone baseline against
 /// which the spam-discounted version is compared in experiment E10.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +82,16 @@ impl GFunction for CappedLinear {
     }
     fn eval(&self, x: u64) -> f64 {
         x.min(self.cap) as f64
+    }
+}
+
+impl FunctionCodec for CappedLinear {
+    fn encode_params(&self) -> Vec<u8> {
+        self.cap.to_le_bytes().to_vec()
+    }
+    fn decode_params(bytes: &[u8]) -> Option<Self> {
+        let cap = u64_param(bytes)?;
+        (cap >= 1).then(|| Self::new(cap))
     }
 }
 
@@ -144,9 +165,49 @@ impl GFunction for HigherOrderEncoded {
     }
 }
 
+impl FunctionCodec for HigherOrderEncoded {
+    fn encode_params(&self) -> Vec<u8> {
+        let mut out = self.base.to_le_bytes().to_vec();
+        out.extend_from_slice(&self.filter.to_le_bytes());
+        out
+    }
+    fn decode_params(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 16 {
+            return None;
+        }
+        let base = u64_param(&bytes[..8])?;
+        let filter = u64_param(&bytes[8..])?;
+        (base >= 2 && filter < base).then(|| Self::new(base, filter))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn codec_roundtrips_and_validates() {
+        let g = SpamDiscountUtility::new(100);
+        assert_eq!(
+            SpamDiscountUtility::decode_params(&g.encode_params()),
+            Some(g)
+        );
+        assert!(SpamDiscountUtility::decode_params(&0u64.to_le_bytes()).is_none());
+
+        let g = CappedLinear::new(10);
+        assert_eq!(CappedLinear::decode_params(&g.encode_params()), Some(g));
+
+        let g = HigherOrderEncoded::new(32, 5);
+        assert_eq!(
+            HigherOrderEncoded::decode_params(&g.encode_params()),
+            Some(g)
+        );
+        // filter ≥ base is invalid, as is a truncated encoding.
+        let mut bad = 8u64.to_le_bytes().to_vec();
+        bad.extend_from_slice(&9u64.to_le_bytes());
+        assert!(HigherOrderEncoded::decode_params(&bad).is_none());
+        assert!(HigherOrderEncoded::decode_params(&bad[..12]).is_none());
+    }
 
     #[test]
     fn spam_discount_shape() {

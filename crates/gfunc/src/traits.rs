@@ -54,6 +54,39 @@ pub trait GFunction {
     }
 }
 
+/// Parameter-level serialization for a function, used by the estimator
+/// checkpoints (`gsum_streams::Checkpoint`).
+///
+/// A `GFunction` is pure configuration — it holds no stream-dependent state —
+/// so an estimator snapshot only needs the function's *parameters* (an
+/// exponent, a threshold, a modulation scale, ...) to be self-contained: the
+/// estimator's `restore` decodes the parameters and rebuilds the function
+/// through its ordinary constructor, the same code path fresh construction
+/// uses.  The encoding is little-endian and versionless; the surrounding
+/// checkpoint header carries the format version.
+///
+/// `decode_params` returns `None` for malformed bytes (wrong length, values a
+/// constructor would reject) — checkpoint restore translates that into an
+/// error instead of panicking.
+pub trait FunctionCodec: Sized {
+    /// Encode the function's parameters as bytes.
+    fn encode_params(&self) -> Vec<u8>;
+
+    /// Decode a function from bytes written by
+    /// [`encode_params`](Self::encode_params).
+    fn decode_params(bytes: &[u8]) -> Option<Self>;
+}
+
+/// Shared helper: interpret exactly eight bytes as a little-endian `f64`.
+pub(crate) fn f64_param(bytes: &[u8]) -> Option<f64> {
+    Some(f64::from_bits(u64::from_le_bytes(bytes.try_into().ok()?)))
+}
+
+/// Shared helper: interpret exactly eight bytes as a little-endian `u64`.
+pub(crate) fn u64_param(bytes: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.try_into().ok()?))
+}
+
 /// Blanket implementation so `&G`, `Box<G>`, etc. can be passed where a
 /// `GFunction` is expected.
 impl<T: GFunction + ?Sized> GFunction for &T {

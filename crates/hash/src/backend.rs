@@ -42,6 +42,25 @@ impl HashBackend {
             HashBackend::Tabulation => "tabulation",
         }
     }
+
+    /// A stable single-byte tag for binary encodings (checkpoint format).
+    /// Tags are append-only: existing values never change meaning.
+    pub fn tag(self) -> u8 {
+        match self {
+            HashBackend::Polynomial => 0,
+            HashBackend::Tabulation => 1,
+        }
+    }
+
+    /// Decode a backend from its [`tag`](Self::tag); `None` for unknown tags
+    /// (e.g. a checkpoint written by a newer version, or corrupt bytes).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(HashBackend::Polynomial),
+            1 => Some(HashBackend::Tabulation),
+            _ => None,
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +90,11 @@ enum RowState {
 pub struct RowHasher {
     state: RowState,
     columns: u64,
+    /// The seed the row state was expanded from.  Kept so the row is
+    /// reconstructible from `(backend, columns, seed)` alone — the whole
+    /// hashing state of a sketch row checkpoints as three integers instead of
+    /// an opaque coefficient/table dump.
+    seed: u64,
 }
 
 impl RowHasher {
@@ -84,7 +108,11 @@ impl RowHasher {
             HashBackend::Polynomial => RowState::Polynomial(KWiseHash::new(4, seed)),
             HashBackend::Tabulation => RowState::Tabulation(TabulationHash::new(seed)),
         };
-        Self { state, columns }
+        Self {
+            state,
+            columns,
+            seed,
+        }
     }
 
     /// The backend this row was drawn from.
@@ -98,6 +126,13 @@ impl RowHasher {
     /// Number of columns `b` the bucket hash maps into.
     pub fn columns(&self) -> u64 {
         self.columns
+    }
+
+    /// The seed this row's state was expanded from.
+    /// `RowHasher::new(self.backend(), self.columns(), self.seed())`
+    /// reconstructs an identical row.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The raw hash value and the width (in bits) of its uniform range:
@@ -228,6 +263,25 @@ mod tests {
         assert_eq!(HashBackend::Polynomial.name(), "polynomial");
         assert_eq!(HashBackend::Tabulation.name(), "tabulation");
         assert_eq!(HashBackend::default(), HashBackend::Polynomial);
+    }
+
+    #[test]
+    fn backend_tags_roundtrip_and_unknown_tags_fail() {
+        for backend in [HashBackend::Polynomial, HashBackend::Tabulation] {
+            assert_eq!(HashBackend::from_tag(backend.tag()), Some(backend));
+        }
+        assert_eq!(HashBackend::from_tag(2), None);
+        assert_eq!(HashBackend::from_tag(255), None);
+    }
+
+    #[test]
+    fn reconstructible_from_seed() {
+        for backend in [HashBackend::Polynomial, HashBackend::Tabulation] {
+            let original = RowHasher::new(backend, 128, 0xDEAD_BEEF);
+            assert_eq!(original.seed(), 0xDEAD_BEEF);
+            let rebuilt = RowHasher::new(original.backend(), original.columns(), original.seed());
+            assert_eq!(original, rebuilt);
+        }
     }
 
     #[test]

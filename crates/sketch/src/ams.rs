@@ -14,7 +14,9 @@ use crate::error::SketchError;
 use crate::util::median_in_place;
 use crate::FrequencySketch;
 use gsum_hash::{derive_seeds, SignHash};
+use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{coalesce_into, MergeError, MergeableSketch, StreamSink, Update};
+use std::io::{Read, Write};
 
 /// The AMS F₂ estimator: `averages × medians` independent tug-of-war counters.
 #[derive(Debug, Clone)]
@@ -138,6 +140,34 @@ impl MergeableSketch for AmsF2Sketch {
             *a += b;
         }
         Ok(())
+    }
+}
+
+/// The tug-of-war counters plus `(averages, medians, seed)` are the whole
+/// state: restore re-derives the sign hashes through [`AmsF2Sketch::new`].
+impl Checkpoint for AmsF2Sketch {
+    fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::AMS_F2)?;
+        checkpoint::write_u64(w, self.averages as u64)?;
+        checkpoint::write_u64(w, self.medians as u64)?;
+        checkpoint::write_u64(w, self.seed)?;
+        checkpoint::write_f64_slice(w, &self.counters)?;
+        Ok(())
+    }
+
+    fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {
+        checkpoint::read_header(r, kind::AMS_F2)?;
+        let averages = checkpoint::read_len(r)?;
+        let medians = checkpoint::read_len(r)?;
+        let seed = checkpoint::read_u64(r)?;
+        let total = averages
+            .checked_mul(medians)
+            .ok_or_else(|| CheckpointError::Corrupt("averages × medians overflows".into()))?;
+        let counters = checkpoint::read_f64_counters(r, total, "AMS counters")?;
+        let mut sketch = Self::new(averages, medians, seed)
+            .map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
+        sketch.counters = counters;
+        Ok(sketch)
     }
 }
 

@@ -9,7 +9,9 @@
 use crate::error::SketchError;
 use crate::FrequencySketch;
 use gsum_hash::{derive_seeds, HashBackend, RowHasher};
+use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{coalesce_into, MergeError, MergeableSketch, StreamSink, Update};
+use std::io::{Read, Write};
 
 /// Configuration for a [`CountMinSketch`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,6 +152,39 @@ impl MergeableSketch for CountMinSketch {
             *a += b;
         }
         Ok(())
+    }
+}
+
+/// Count-Min state is seeds + counters, exactly like CountSketch: the
+/// checkpoint stores the shape, backend, master seed and raw counters, and
+/// restore re-derives the row hashers through [`CountMinSketch::with_config`].
+impl Checkpoint for CountMinSketch {
+    fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::COUNT_MIN)?;
+        checkpoint::write_u64(w, self.config.rows as u64)?;
+        checkpoint::write_u64(w, self.config.columns as u64)?;
+        checkpoint::write_backend(w, self.config.backend)?;
+        checkpoint::write_u64(w, self.seed)?;
+        checkpoint::write_f64_slice(w, &self.counters)?;
+        Ok(())
+    }
+
+    fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {
+        checkpoint::read_header(r, kind::COUNT_MIN)?;
+        let rows = checkpoint::read_len(r)?;
+        let columns = checkpoint::read_len(r)?;
+        let backend = checkpoint::read_backend(r)?;
+        let seed = checkpoint::read_u64(r)?;
+        let config = CountMinConfig::new(rows, columns)
+            .map_err(|e| CheckpointError::Corrupt(e.to_string()))?
+            .with_backend(backend);
+        let cells = rows
+            .checked_mul(columns)
+            .ok_or_else(|| CheckpointError::Corrupt("rows × columns overflows".into()))?;
+        let counters = checkpoint::read_f64_counters(r, cells, "Count-Min counters")?;
+        let mut sketch = Self::with_config(config, seed);
+        sketch.counters = counters;
+        Ok(sketch)
     }
 }
 

@@ -18,8 +18,10 @@ use crate::error::SketchError;
 use crate::util::median_in_place;
 use crate::FrequencySketch;
 use gsum_hash::{derive_seeds, HashBackend, RowHasher};
+use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{coalesce_into, MergeError, MergeableSketch, StreamSink, Update};
 use std::cell::RefCell;
+use std::io::{Read, Write};
 
 /// Configuration for a [`CountSketch`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -265,6 +267,42 @@ impl MergeableSketch for CountSketch {
             *a += b;
         }
         Ok(())
+    }
+}
+
+/// A CountSketch's state is seeds + counters: the per-row hashers re-expand
+/// from the master seed (the same derivation [`CountSketch::new`] uses), so
+/// the checkpoint stores only the configuration, the seed and the raw
+/// counter array.
+impl Checkpoint for CountSketch {
+    fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::COUNT_SKETCH)?;
+        checkpoint::write_u64(w, self.config.rows as u64)?;
+        checkpoint::write_u64(w, self.config.columns as u64)?;
+        checkpoint::write_backend(w, self.config.backend)?;
+        checkpoint::write_u64(w, self.seed)?;
+        checkpoint::write_f64_slice(w, &self.counters)?;
+        Ok(())
+    }
+
+    fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {
+        checkpoint::read_header(r, kind::COUNT_SKETCH)?;
+        let rows = checkpoint::read_len(r)?;
+        let columns = checkpoint::read_len(r)?;
+        let backend = checkpoint::read_backend(r)?;
+        let seed = checkpoint::read_u64(r)?;
+        let config = CountSketchConfig::new(rows, columns)
+            .map_err(|e| CheckpointError::Corrupt(e.to_string()))?
+            .with_backend(backend);
+        let cells = rows
+            .checked_mul(columns)
+            .ok_or_else(|| CheckpointError::Corrupt("rows × columns overflows".into()))?;
+        // Read the counters before expanding the hashers, so absurd corrupt
+        // dimensions fail on EOF instead of attempting a giant allocation.
+        let counters = checkpoint::read_f64_counters(r, cells, "CountSketch counters")?;
+        let mut sketch = Self::new(config, seed);
+        sketch.counters = counters;
+        Ok(sketch)
     }
 }
 

@@ -7,7 +7,9 @@
 //! would have paid" comparison point.
 
 use crate::FrequencySketch;
+use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{FrequencyVector, MergeError, MergeableSketch, StreamSink, Update};
+use std::io::{Read, Write};
 
 /// Exact per-item frequencies (a thin wrapper around [`FrequencyVector`] that
 /// implements the sketch interface).
@@ -53,6 +55,58 @@ impl MergeableSketch for ExactFrequencies {
             self.vector.apply(item, v);
         }
         Ok(())
+    }
+}
+
+/// The exact tracker checkpoints as its sparse frequency vector: the domain
+/// plus one `(item, frequency)` pair per non-zero coordinate, in item order.
+impl Checkpoint for ExactFrequencies {
+    fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::EXACT_FREQUENCIES)?;
+        checkpoint::write_u64(w, self.vector.domain())?;
+        let entries = self.vector.sorted_entries();
+        checkpoint::write_len(w, entries.len())?;
+        for (item, v) in entries {
+            checkpoint::write_u64(w, item)?;
+            checkpoint::write_i64(w, v)?;
+        }
+        Ok(())
+    }
+
+    fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {
+        checkpoint::read_header(r, kind::EXACT_FREQUENCIES)?;
+        let domain = checkpoint::read_u64(r)?;
+        if domain == 0 {
+            return Err(CheckpointError::Corrupt("zero domain".into()));
+        }
+        let mut tracker = Self::new(domain);
+        let entries = checkpoint::read_len(r)?;
+        let mut previous: Option<u64> = None;
+        for _ in 0..entries {
+            let item = checkpoint::read_u64(r)?;
+            let v = checkpoint::read_i64(r)?;
+            if item >= domain {
+                return Err(CheckpointError::Corrupt(format!(
+                    "item {item} outside domain {domain}"
+                )));
+            }
+            // `save` writes strictly increasing items with non-zero
+            // frequencies; anything else re-saves to different bytes and is
+            // rejected as corrupt rather than silently normalized.
+            if previous.is_some_and(|p| p >= item) {
+                return Err(CheckpointError::Corrupt(format!(
+                    "entries out of order at item {item}"
+                )));
+            }
+            if v == 0 {
+                return Err(CheckpointError::Corrupt(format!(
+                    "zero frequency recorded for item {item}"
+                )));
+            }
+            previous = Some(item);
+            tracker.vector.apply(item, v);
+        }
+        Ok(tracker)
     }
 }
 

@@ -43,10 +43,10 @@ pub use error::SketchError;
 pub use exact::ExactFrequencies;
 pub use sampling::SamplingEstimator;
 
-// The hash-backend switch and the push-based ingestion contract, re-exported
-// so sketch users need only this crate.
+// The hash-backend switch, the push-based ingestion contract and the
+// snapshot/restore layer, re-exported so sketch users need only this crate.
 pub use gsum_hash::HashBackend;
-pub use gsum_streams::{MergeError, MergeableSketch, StreamSink};
+pub use gsum_streams::{Checkpoint, CheckpointError, MergeError, MergeableSketch, StreamSink};
 
 /// A frequency sketch: a compact summary of a turnstile stream from which
 /// per-item frequency estimates can be extracted.  Updates are pushed through

@@ -9,8 +9,10 @@
 
 use crate::FrequencySketch;
 use gsum_hash::Xoshiro256;
+use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
 use std::collections::HashMap;
+use std::io::{Read, Write};
 
 /// Tracks the exact frequencies of a uniformly chosen sample of coordinates.
 #[derive(Debug, Clone)]
@@ -108,6 +110,54 @@ impl MergeableSketch for SamplingEstimator {
             }
         }
         Ok(())
+    }
+}
+
+/// The coordinate sample is a pure function of `(domain, sample_size, seed)`
+/// (Floyd's algorithm), so the checkpoint stores those three plus the tracked
+/// counts; restore redraws the sample through [`SamplingEstimator::new`] and
+/// refuses counts for coordinates outside it.
+impl Checkpoint for SamplingEstimator {
+    fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::SAMPLING)?;
+        checkpoint::write_u64(w, self.domain)?;
+        checkpoint::write_len(w, self.sample.len())?;
+        checkpoint::write_u64(w, self.seed)?;
+        let mut entries: Vec<(u64, i64)> = self.sample.iter().map(|(&i, &v)| (i, v)).collect();
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        checkpoint::write_len(w, entries.len())?;
+        for (item, v) in entries {
+            checkpoint::write_u64(w, item)?;
+            checkpoint::write_i64(w, v)?;
+        }
+        Ok(())
+    }
+
+    fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {
+        checkpoint::read_header(r, kind::SAMPLING)?;
+        let domain = checkpoint::read_u64(r)?;
+        let sample_size = checkpoint::read_len(r)?;
+        let seed = checkpoint::read_u64(r)?;
+        if domain == 0 || sample_size == 0 {
+            return Err(CheckpointError::Corrupt(
+                "sampling estimator needs a positive domain and sample size".into(),
+            ));
+        }
+        let mut estimator = Self::new(domain, sample_size, seed);
+        checkpoint::read_exact_len(r, estimator.sample.len(), "sample counts")?;
+        for _ in 0..estimator.sample.len() {
+            let item = checkpoint::read_u64(r)?;
+            let v = checkpoint::read_i64(r)?;
+            match estimator.sample.get_mut(&item) {
+                Some(count) => *count = v,
+                None => {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "item {item} is not in the coordinate sample"
+                    )))
+                }
+            }
+        }
+        Ok(estimator)
     }
 }
 

@@ -1,0 +1,308 @@
+//! The sharded two-pass coordinator.
+//!
+//! The two-pass g-SUM algorithms are a three-step state machine: absorb the
+//! stream (pass 1), freeze the per-level candidate sets
+//! (`begin_second_pass`), replay the stream tabulating candidates exactly
+//! (pass 2).  Sharding pass 1 is ordinary linear-sketch sharding; pass 2 is
+//! subtler because every worker needs the *same* frozen candidate sets — the
+//! transition must happen exactly once, on the merged pass-1 state, and the
+//! resulting frozen state must be distributed to the pass-2 workers
+//! (clone-after-transition).
+//!
+//! [`ShardedTwoPassCoordinator`] automates that protocol:
+//!
+//! ```text
+//! pass-1 source ──► ShardedIngest (clones of the fresh prototype)
+//!                        │ merge
+//!                        ▼
+//!                begin_second_pass()          (exactly once)
+//!                        │ Checkpoint::save
+//!                        ▼
+//!                frozen-state bytes ──► one Checkpoint::restore per shard
+//!                                             │
+//! pass-2 source ──► ShardedIngest::ingest_states (rehydrated workers)
+//!                        │ merge (phase-aware: exact counts sum,
+//!                        ▼        frozen first-pass state is kept once)
+//!                  final queryable state
+//! ```
+//!
+//! Distributing the frozen state as checkpoint *bytes* rather than in-memory
+//! clones is deliberate: it is exactly what a multi-machine deployment does
+//! (the coordinator broadcasts the frozen state over the wire), and it
+//! exercises the guarantee that a restored state is bit-identical to the
+//! original.  The result is proven bit-identical to a single-threaded
+//! two-pass run by the workspace's integration tests.
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::sharded::ShardedIngest;
+use crate::sink::{MergeableSketch, StreamSink};
+use crate::source::UpdateSource;
+
+/// A two-phase (two-pass) sketch: pass 1 absorbs the stream, a single
+/// [`begin_second_pass`](TwoPhaseSketch::begin_second_pass) transition
+/// freezes the candidate state, pass 2 replays the stream.
+///
+/// Implementations must be phase-aware mergeables: first-pass states merge
+/// their linear sketches; second-pass states merge their exact tabulations
+/// while keeping the (identical) frozen first-pass state once — the
+/// clone-after-transition contract the coordinator relies on.
+pub trait TwoPhaseSketch: StreamSink + MergeableSketch {
+    /// Close the first pass, freezing the candidate state.  Idempotent.
+    fn begin_second_pass(&mut self);
+
+    /// Whether the first pass has been closed.
+    fn in_second_pass(&self) -> bool;
+}
+
+/// Drives a [`TwoPhaseSketch`] through both passes with sharded ingestion,
+/// redistributing the frozen between-pass state to the phase-2 workers via
+/// checkpoint bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedTwoPassCoordinator {
+    ingest: ShardedIngest,
+}
+
+impl ShardedTwoPassCoordinator {
+    /// Coordinate with `shards` worker threads per pass.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            ingest: ShardedIngest::new(shards),
+        }
+    }
+
+    /// Override the per-worker message batch size (see
+    /// [`ShardedIngest::with_batch_size`]).
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.ingest = self.ingest.with_batch_size(batch);
+        self
+    }
+
+    /// Number of shards per pass.
+    pub fn shards(&self) -> usize {
+        self.ingest.shards()
+    }
+
+    /// Run the full two-phase protocol: shard-ingest `pass1`, transition
+    /// once, serialize the frozen state, rehydrate one worker per shard from
+    /// the bytes, shard-ingest `pass2`, and merge.  The two sources must
+    /// yield the same stream (the second pass is a replay).
+    ///
+    /// Returns the final state, bit-identical to a single-threaded run of
+    /// pass 1 → `begin_second_pass` → pass 2, together with the frozen-state
+    /// checkpoint bytes (which the caller can persist to restart pass 2 from
+    /// scratch, e.g. after a worker loss).
+    pub fn run<Src1, Src2, S>(
+        &self,
+        prototype: &S,
+        pass1: &mut Src1,
+        pass2: &mut Src2,
+    ) -> Result<(S, Vec<u8>), CheckpointError>
+    where
+        Src1: UpdateSource,
+        Src2: UpdateSource,
+        S: TwoPhaseSketch + Checkpoint + Clone + Send,
+    {
+        // Pass 1: ordinary sharded linear ingestion from the fresh prototype.
+        let mut merged = self.ingest.ingest(pass1, prototype)?;
+
+        // The transition happens exactly once, on the merged global state.
+        merged.begin_second_pass();
+
+        // Broadcast the frozen state as checkpoint bytes and rehydrate one
+        // pass-2 worker per shard from them (clone-after-transition).  Every
+        // worker starts from the identical frozen candidate sets with empty
+        // tabulations.
+        let frozen = merged.to_checkpoint_bytes()?;
+        let mut workers = Vec::with_capacity(self.ingest.shards());
+        for _ in 0..self.ingest.shards() {
+            workers.push(S::from_checkpoint_bytes(&frozen)?);
+        }
+
+        // Pass 2: each worker tabulates its shard of the replay; the
+        // phase-aware merge sums the exact counts while keeping the frozen
+        // first-pass state once.
+        let finished = self.ingest.ingest_states(pass2, workers)?;
+        Ok((finished, frozen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{
+        kind, read_header, read_i64, read_u64, read_u8, write_header, write_i64, write_u64,
+        write_u8,
+    };
+    use crate::generator::{StreamConfig, StreamGenerator, ZipfStreamGenerator};
+    use crate::sink::MergeError;
+    use crate::update::Update;
+    use std::collections::BTreeMap;
+
+    /// A miniature two-phase sketch: pass 1 counts everything exactly, the
+    /// transition freezes the currently-heaviest items as candidates, pass 2
+    /// re-tabulates only the candidates.  Small enough to reason about, yet
+    /// it exercises the whole protocol: phase tags, frozen candidate sets,
+    /// phase-aware merging and checkpoint rehydration.
+    #[derive(Debug, Clone, PartialEq)]
+    struct ToyTwoPass {
+        in_second: bool,
+        pass1: BTreeMap<u64, i64>,
+        candidates: BTreeMap<u64, i64>,
+    }
+
+    impl ToyTwoPass {
+        fn new() -> Self {
+            Self {
+                in_second: false,
+                pass1: BTreeMap::new(),
+                candidates: BTreeMap::new(),
+            }
+        }
+    }
+
+    impl StreamSink for ToyTwoPass {
+        fn update(&mut self, u: Update) {
+            if self.in_second {
+                if let Some(c) = self.candidates.get_mut(&u.item) {
+                    *c += u.delta;
+                }
+            } else {
+                *self.pass1.entry(u.item).or_insert(0) += u.delta;
+            }
+        }
+    }
+
+    impl MergeableSketch for ToyTwoPass {
+        fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+            if self.in_second != other.in_second {
+                return Err(MergeError::new("phase mismatch"));
+            }
+            if self.in_second {
+                if self.candidates.keys().ne(other.candidates.keys()) {
+                    return Err(MergeError::new("candidate sets differ"));
+                }
+                for (item, v) in &other.candidates {
+                    *self.candidates.get_mut(item).expect("same keys") += v;
+                }
+                // Clone-after-transition: the frozen pass-1 state is already
+                // identical on both sides; keep self's copy.
+            } else {
+                for (&item, &v) in &other.pass1 {
+                    *self.pass1.entry(item).or_insert(0) += v;
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl TwoPhaseSketch for ToyTwoPass {
+        fn begin_second_pass(&mut self) {
+            if self.in_second {
+                return;
+            }
+            // Freeze the top-2 items by |count| (deterministic tie-break).
+            let mut items: Vec<(u64, i64)> = self.pass1.iter().map(|(&i, &v)| (i, v)).collect();
+            items.sort_by_key(|&(i, v)| (std::cmp::Reverse(v.abs()), i));
+            self.candidates = items.into_iter().take(2).map(|(i, _)| (i, 0)).collect();
+            self.in_second = true;
+        }
+
+        fn in_second_pass(&self) -> bool {
+            self.in_second
+        }
+    }
+
+    impl Checkpoint for ToyTwoPass {
+        fn save(&self, w: &mut impl std::io::Write) -> Result<(), CheckpointError> {
+            write_header(w, kind::TWO_PASS_GSUM)?;
+            write_u8(w, u8::from(self.in_second))?;
+            for map in [&self.pass1, &self.candidates] {
+                write_u64(w, map.len() as u64)?;
+                for (&item, &v) in map {
+                    write_u64(w, item)?;
+                    write_i64(w, v)?;
+                }
+            }
+            Ok(())
+        }
+
+        fn restore(r: &mut impl std::io::Read) -> Result<Self, CheckpointError> {
+            read_header(r, kind::TWO_PASS_GSUM)?;
+            let in_second = read_u8(r)? != 0;
+            let mut maps = [BTreeMap::new(), BTreeMap::new()];
+            for map in &mut maps {
+                let n = read_u64(r)?;
+                for _ in 0..n {
+                    let item = read_u64(r)?;
+                    let v = read_i64(r)?;
+                    map.insert(item, v);
+                }
+            }
+            let [pass1, candidates] = maps;
+            Ok(ToyTwoPass {
+                in_second,
+                pass1,
+                candidates,
+            })
+        }
+    }
+
+    fn single_threaded(stream: &crate::stream::TurnstileStream) -> ToyTwoPass {
+        let mut s = ToyTwoPass::new();
+        s.process_stream(stream);
+        s.begin_second_pass();
+        s.process_stream(stream);
+        s
+    }
+
+    #[test]
+    fn coordinator_matches_single_threaded_two_pass() {
+        let stream = ZipfStreamGenerator::new(StreamConfig::new(64, 4_000), 1.2, 5).generate();
+        let reference = single_threaded(&stream);
+        for shards in [1usize, 2, 4] {
+            let coordinator = ShardedTwoPassCoordinator::new(shards).with_batch_size(128);
+            assert_eq!(coordinator.shards(), shards);
+            let (result, frozen) = coordinator
+                .run(
+                    &ToyTwoPass::new(),
+                    &mut stream.source(),
+                    &mut stream.source(),
+                )
+                .unwrap();
+            assert_eq!(result, reference, "{shards} shards");
+            // The frozen bytes restore to the just-transitioned state.
+            let rehydrated = ToyTwoPass::from_checkpoint_bytes(&frozen).unwrap();
+            assert!(rehydrated.in_second_pass());
+            assert!(rehydrated.candidates.values().all(|&v| v == 0));
+        }
+    }
+
+    #[test]
+    fn transition_happens_exactly_once_on_the_merged_state() {
+        // Plant heavy items in different halves of the stream: only the
+        // merged pass-1 state sees both, so per-shard transitions would
+        // freeze different candidate sets and the merge would fail.  The
+        // coordinator transitioning once on the merged state must succeed.
+        let mut stream = crate::stream::TurnstileStream::new(64);
+        for _ in 0..100 {
+            stream.push_delta(1, 1);
+        }
+        for _ in 0..100 {
+            stream.push_delta(2, 1);
+        }
+        let reference = single_threaded(&stream);
+        let (result, _) = ShardedTwoPassCoordinator::new(2)
+            .with_batch_size(16)
+            .run(
+                &ToyTwoPass::new(),
+                &mut stream.source(),
+                &mut stream.source(),
+            )
+            .unwrap();
+        assert_eq!(result, reference);
+        assert!(result.candidates.contains_key(&1) && result.candidates.contains_key(&2));
+    }
+}

@@ -19,7 +19,17 @@
 //! * [`UpdateSource`] — the lazy, pull-based dual: workload generators yield
 //!   updates one at a time without materializing a `Vec<Update>`.
 //! * [`ShardedIngest`] — splits an [`UpdateSource`] across worker threads,
-//!   each feeding a clone of a prototype sketch, then merges.
+//!   each feeding a clone of a prototype sketch, then merges; supports
+//!   checkpointed stop/resume ([`ShardedIngest::ingest_limited`] /
+//!   [`ShardedIngest::resume`]).
+//! * [`checkpoint`] — the versioned snapshot/restore layer: the
+//!   [`Checkpoint`] trait, its little-endian binary format, and the
+//!   [`CheckpointError`] taxonomy.  A linear sketch's whole state is
+//!   seeds + counters + phase, so every estimator in the workspace
+//!   serializes to a compact byte string and rehydrates bit-for-bit.
+//! * [`ShardedTwoPassCoordinator`] / [`TwoPhaseSketch`] — the sharded
+//!   two-phase protocol: pass 1 sharded, one transition on the merged state,
+//!   pass-2 workers rehydrated from the frozen state's checkpoint bytes.
 //! * [`FrequencyVector`] — the exact frequency vector with the norms and
 //!   order statistics the analyses refer to (`F_2`, tail mass, heavy-hitter
 //!   queries).
@@ -30,6 +40,8 @@
 //!   algorithm, pass by pass, so that 2-pass algorithms are exercised through
 //!   the same interface as 1-pass ones.
 
+pub mod checkpoint;
+pub mod coordinator;
 pub mod error;
 pub mod frequency;
 pub mod generator;
@@ -40,6 +52,8 @@ pub mod source;
 pub mod stream;
 pub mod update;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use coordinator::{ShardedTwoPassCoordinator, TwoPhaseSketch};
 pub use error::StreamError;
 pub use frequency::FrequencyVector;
 pub use generator::{

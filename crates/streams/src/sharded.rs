@@ -11,11 +11,51 @@
 //! This is the ingestion topology a production deployment uses: N ingest
 //! workers behind a load balancer, each absorbing a shard of the traffic,
 //! with a periodic merge producing the queryable global sketch.
+//!
+//! Long-running ingestions are also *checkpointable*: [`ShardedIngest::ingest_limited`]
+//! stops after a bounded number of updates so the merged state can be
+//! [saved](crate::Checkpoint::save) to bytes, and [`ShardedIngest::resume`]
+//! rehydrates that state and continues with the rest of the source — the
+//! final state is bit-identical to an uninterrupted run.
 
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::sink::{MergeError, MergeableSketch, StreamSink};
 use crate::source::UpdateSource;
 use crate::update::Update;
 use std::sync::mpsc;
+
+/// An [`UpdateSource`] adapter that stops after a fixed number of updates —
+/// the mechanism behind [`ShardedIngest::ingest_limited`].
+#[derive(Debug)]
+struct TakeSource<'a, Src> {
+    inner: &'a mut Src,
+    left: usize,
+}
+
+impl<Src: UpdateSource> UpdateSource for TakeSource<'_, Src> {
+    fn domain(&self) -> u64 {
+        self.inner.domain()
+    }
+
+    fn next_update(&mut self) -> Option<Update> {
+        if self.left == 0 {
+            return None;
+        }
+        let u = self.inner.next_update();
+        if u.is_some() {
+            self.left -= 1;
+        }
+        u
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        let (lo, hi) = self.inner.remaining_hint();
+        (
+            lo.min(self.left),
+            Some(hi.map_or(self.left, |h| h.min(self.left))),
+        )
+    }
+}
 
 /// Configuration for sharded ingestion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,8 +105,81 @@ impl ShardedIngest {
         Src: UpdateSource,
         S: StreamSink + MergeableSketch + Clone + Send,
     {
+        let states = vec![prototype.clone(); self.shards];
+        self.ingest_states(source, states)
+    }
+
+    /// Like [`ingest`](Self::ingest), but stop pulling from the source after
+    /// at most `limit` updates.  Returns the merged sketch and the number of
+    /// updates actually consumed (less than `limit` when the source ran dry).
+    ///
+    /// This is the "stop" half of checkpointed ingestion: serialize the
+    /// returned sketch with [`Checkpoint::save`], park the bytes, and later
+    /// continue from them with [`resume`](Self::resume).
+    pub fn ingest_limited<Src, S>(
+        &self,
+        source: &mut Src,
+        prototype: &S,
+        limit: usize,
+    ) -> Result<(S, usize), MergeError>
+    where
+        Src: UpdateSource,
+        S: StreamSink + MergeableSketch + Clone + Send,
+    {
+        let mut take = TakeSource {
+            inner: source,
+            left: limit,
+        };
+        let merged = self.ingest(&mut take, prototype)?;
+        let consumed = limit - take.left;
+        Ok((merged, consumed))
+    }
+
+    /// Continue a checkpointed ingestion: restore the saved state from `r`,
+    /// shard-ingest the (remaining) `source` into clones of `prototype`, and
+    /// fold the new mass into the restored state.
+    ///
+    /// `prototype` must be a *fresh* sketch built with the same configuration
+    /// and seed as the one the checkpoint was taken from (the merge refuses
+    /// anything else); a prototype that has already absorbed updates would
+    /// double-count them.  For a two-pass sketch resumed mid-second-pass, the
+    /// prototype must be a just-transitioned state with empty tabulations —
+    /// phase-aware merging then folds only the new exact counts.
+    ///
+    /// The result is bit-identical to a single sketch that absorbed the whole
+    /// stream without interruption.
+    pub fn resume<Src, S>(
+        &self,
+        source: &mut Src,
+        prototype: &S,
+        r: &mut impl std::io::Read,
+    ) -> Result<S, CheckpointError>
+    where
+        Src: UpdateSource,
+        S: StreamSink + MergeableSketch + Checkpoint + Clone + Send,
+    {
+        let mut restored = S::restore(r)?;
+        let delta = self.ingest(source, prototype)?;
+        restored.merge(&delta)?;
+        Ok(restored)
+    }
+
+    /// Shard-ingest `source` into explicitly provided worker states (one per
+    /// shard), then merge them left to right.  This is the primitive behind
+    /// [`ingest`](Self::ingest) (clones of a prototype) and the two-pass
+    /// coordinator's phase-2 fan-out (states rehydrated from checkpoint
+    /// bytes).
+    ///
+    /// # Panics
+    /// Panics if `states.len() != self.shards()`.
+    pub fn ingest_states<Src, S>(&self, source: &mut Src, states: Vec<S>) -> Result<S, MergeError>
+    where
+        Src: UpdateSource,
+        S: StreamSink + MergeableSketch + Send,
+    {
+        assert_eq!(states.len(), self.shards, "one worker state per shard");
         if self.shards == 1 {
-            let mut sketch = prototype.clone();
+            let mut sketch = states.into_iter().next().expect("one state");
             source.feed_batched(&mut sketch, self.batch);
             return Ok(sketch);
         }
@@ -74,12 +187,11 @@ impl ShardedIngest {
         let shard_results = std::thread::scope(|scope| {
             let mut senders: Vec<mpsc::SyncSender<Vec<Update>>> = Vec::with_capacity(self.shards);
             let mut handles = Vec::with_capacity(self.shards);
-            for _ in 0..self.shards {
+            for mut sketch in states {
                 // A small bounded queue keeps memory flat when the producer
                 // outpaces the workers.
                 let (tx, rx) = mpsc::sync_channel::<Vec<Update>>(4);
                 senders.push(tx);
-                let mut sketch = prototype.clone();
                 handles.push(scope.spawn(move || {
                     while let Ok(batch) = rx.recv() {
                         sketch.update_batch(&batch);
@@ -127,6 +239,10 @@ impl ShardedIngest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::{
+        kind, read_header, read_i64, read_u64, write_header, write_i64, write_u64, Checkpoint,
+        CheckpointError,
+    };
     use crate::frequency::FrequencyVector;
     use crate::generator::{StreamConfig, StreamGenerator, UniformStreamGenerator};
     use crate::stream::TurnstileStream;
@@ -152,6 +268,33 @@ mod tests {
                 self.fv.apply(item, v);
             }
             Ok(())
+        }
+    }
+
+    impl Checkpoint for ExactSink {
+        fn save(&self, w: &mut impl std::io::Write) -> Result<(), CheckpointError> {
+            write_header(w, kind::EXACT_FREQUENCIES)?;
+            write_u64(w, self.fv.domain())?;
+            let entries = self.fv.sorted_entries();
+            write_u64(w, entries.len() as u64)?;
+            for (item, v) in entries {
+                write_u64(w, item)?;
+                write_i64(w, v)?;
+            }
+            Ok(())
+        }
+
+        fn restore(r: &mut impl std::io::Read) -> Result<Self, CheckpointError> {
+            read_header(r, kind::EXACT_FREQUENCIES)?;
+            let domain = read_u64(r)?;
+            let mut fv = FrequencyVector::new(domain);
+            let n = read_u64(r)?;
+            for _ in 0..n {
+                let item = read_u64(r)?;
+                let v = read_i64(r)?;
+                fv.apply(item, v);
+            }
+            Ok(ExactSink { fv })
         }
     }
 
@@ -202,8 +345,52 @@ mod tests {
     }
 
     #[test]
+    fn ingest_limited_consumes_exactly_the_limit_and_resume_finishes() {
+        let mut gen = UniformStreamGenerator::new(StreamConfig::turnstile(64, 5_000, 0.2), 11);
+        let reference = gen.generate();
+
+        for shards in [1usize, 3] {
+            for limit in [0usize, 1, 1_000, 4_999, 5_000, 9_999] {
+                gen.reset();
+                let ingest = ShardedIngest::new(shards).with_batch_size(64);
+                let (partial, consumed) =
+                    ingest.ingest_limited(&mut gen, &exact(64), limit).unwrap();
+                assert_eq!(consumed, limit.min(5_000));
+
+                // Stop: serialize the partial state; continue from bytes.
+                let bytes = partial.to_checkpoint_bytes().unwrap();
+                let resumed = ingest
+                    .resume(&mut gen, &exact(64), &mut bytes.as_slice())
+                    .unwrap();
+                assert_eq!(
+                    resumed.fv,
+                    reference.frequency_vector(),
+                    "resume after {consumed}/{} updates ({shards} shards) must match",
+                    reference.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resume_propagates_restore_errors() {
+        let mut s = TurnstileStream::new(16);
+        s.push_delta(3, 5);
+        let err =
+            ShardedIngest::new(2).resume(&mut s.source(), &exact(16), &mut [0u8; 3].as_slice());
+        assert!(err.is_err());
+    }
+
+    #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = ShardedIngest::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one worker state per shard")]
+    fn ingest_states_requires_one_state_per_shard() {
+        let s = TurnstileStream::new(16);
+        let _ = ShardedIngest::new(2).ingest_states(&mut s.source(), vec![exact(16)]);
     }
 }

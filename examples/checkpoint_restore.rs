@@ -1,0 +1,100 @@
+//! Checkpoint / restore and the sharded two-pass coordinator.
+//!
+//! A linear sketch's whole state is seeds + counters + phase, so it
+//! serializes to a compact byte string and rehydrates bit-for-bit.  This
+//! example demonstrates the two workflows that buys:
+//!
+//! 1. **Stop/resume**: a long ingestion is interrupted after a bounded
+//!    number of updates, its state parked on disk, and later continued from
+//!    the bytes — landing in exactly the state an uninterrupted run reaches.
+//! 2. **The sharded two-pass protocol**: phase 1 sharded across workers,
+//!    one `begin_second_pass()` transition on the merged state, and the
+//!    frozen between-pass state redistributed to the phase-2 workers as
+//!    checkpoint bytes (what a multi-machine coordinator broadcasts over
+//!    the wire).
+//!
+//! Run with `cargo run --example checkpoint_restore`.
+
+use zerolaw::prelude::*;
+
+fn main() {
+    let domain = 1u64 << 10;
+    let config = GSumConfig::with_space_budget(domain, 0.2, 256, 42);
+    let g = PowerFunction::new(2.0);
+
+    // ------------------------------------------------------------------
+    // 1. Stop, checkpoint to disk, resume.
+    // ------------------------------------------------------------------
+    let prototype = OnePassGSumSketch::new(g, &config);
+    let ingest = ShardedIngest::new(4).with_batch_size(1024);
+
+    // Reference: the uninterrupted run.
+    let mut source = ZipfStreamGenerator::new(StreamConfig::new(domain, 100_000), 1.2, 7);
+    let uninterrupted = ingest
+        .ingest(&mut source, &prototype)
+        .expect("clones always merge");
+
+    // Interrupted run: absorb the first 40k updates, then stop.
+    source.reset();
+    let (partial, consumed) = ingest
+        .ingest_limited(&mut source, &prototype, 40_000)
+        .expect("clones always merge");
+    let path = std::env::temp_dir().join("zerolaw_checkpoint_demo.bin");
+    let bytes = partial.to_checkpoint_bytes().expect("serialize");
+    std::fs::write(&path, &bytes).expect("write checkpoint");
+    println!(
+        "checkpointed after {consumed} updates: {} bytes at {}",
+        bytes.len(),
+        path.display()
+    );
+
+    // ...possibly much later, on a different machine: restore and continue
+    // with the rest of the stream (the source is already positioned there).
+    let saved = std::fs::read(&path).expect("read checkpoint");
+    let resumed = ingest
+        .resume(&mut source, &prototype, &mut saved.as_slice())
+        .expect("resume from checkpoint");
+    assert_eq!(
+        resumed.estimate().to_bits(),
+        uninterrupted.estimate().to_bits(),
+        "resumed run must match the uninterrupted run bit for bit"
+    );
+    println!(
+        "resumed estimate {:.4e} == uninterrupted estimate (bit-exact)",
+        resumed.estimate()
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // ------------------------------------------------------------------
+    // 2. The sharded two-pass coordinator.
+    // ------------------------------------------------------------------
+    let stream = ZipfStreamGenerator::new(StreamConfig::new(domain, 60_000), 1.2, 9).generate();
+
+    // Single-threaded reference: pass 1, transition, pass 2 (a replay).
+    let mut reference = TwoPassGSumSketch::new(g, &config);
+    reference.process_stream(&stream);
+    reference.begin_second_pass();
+    reference.process_stream(&stream);
+
+    // Coordinated: phase 1 sharded, one transition on the merged state,
+    // phase-2 workers rehydrated from the frozen state's checkpoint bytes.
+    let prototype = TwoPassGSumSketch::new(g, &config);
+    let (coordinated, frozen) = ShardedTwoPassCoordinator::new(4)
+        .run(&prototype, &mut stream.source(), &mut stream.source())
+        .expect("coordinator run");
+    assert_eq!(
+        coordinated.estimate().to_bits(),
+        reference.estimate().to_bits(),
+        "coordinated two-pass must match single-threaded bit for bit"
+    );
+    println!(
+        "sharded two-pass estimate {:.4e} == single-threaded (bit-exact); \
+         frozen state broadcast as {} bytes",
+        coordinated.estimate(),
+        frozen.len()
+    );
+
+    // Ground truth for context.
+    let exact = exact_gsum(&g, &stream.frequency_vector());
+    println!("exact g-SUM: {exact:.4e}");
+}

@@ -102,6 +102,65 @@
 //!     .expect("clones always merge");
 //! assert!(sketch.estimate() > 0.0);
 //! ```
+//!
+//! ### Checkpoint lifecycle — stop, snapshot, resume
+//!
+//! A linear sketch's entire state is *seeds + counters + phase*, so every
+//! estimator implements [`Checkpoint`](prelude::Checkpoint): `save` writes a
+//! compact, versioned little-endian byte string (hash functions as their
+//! seeds, counters verbatim, two-pass phase tags and frozen candidate sets
+//! explicitly) and `restore` rehydrates it **bit-for-bit** — saving at an
+//! arbitrary stream prefix, restoring, and replaying the suffix lands in
+//! exactly the state an uninterrupted run reaches.  Malformed bytes
+//! (truncation, wrong version, wrong state kind, unknown hash backend) are
+//! [`CheckpointError`](prelude::CheckpointError)s, never panics.
+//!
+//! ```
+//! use zerolaw::prelude::*;
+//!
+//! let cfg = GSumConfig::with_space_budget(1 << 8, 0.2, 256, 3);
+//! let prototype = OnePassGSumSketch::new(PowerFunction::new(2.0), &cfg);
+//! let ingest = ShardedIngest::new(2);
+//!
+//! // Ingest a bounded slice of the stream, then stop and snapshot.
+//! let mut source = ZipfStreamGenerator::new(StreamConfig::new(1 << 8, 10_000), 1.2, 5);
+//! let (partial, consumed) = ingest
+//!     .ingest_limited(&mut source, &prototype, 4_000)
+//!     .expect("clones always merge");
+//! assert_eq!(consumed, 4_000);
+//! let bytes = partial.to_checkpoint_bytes().expect("serialize");
+//!
+//! // ...later (possibly elsewhere): restore and continue with the rest.
+//! let resumed = ingest
+//!     .resume(&mut source, &prototype, &mut bytes.as_slice())
+//!     .expect("resume");
+//! assert!(resumed.estimate() > 0.0);
+//! ```
+//!
+//! ### The sharded two-pass protocol
+//!
+//! Two-pass estimators are a three-step state machine (pass 1 →
+//! `begin_second_pass()` → pass 2, a replay), and sharding the second pass
+//! requires every worker to hold the *same* frozen candidate sets.  The
+//! [`ShardedTwoPassCoordinator`](prelude::ShardedTwoPassCoordinator)
+//! automates the protocol: phase 1 is ordinary sharded ingestion, the
+//! transition happens exactly once on the merged state, and the frozen state
+//! is redistributed to the phase-2 workers as checkpoint bytes
+//! (clone-after-transition — what a multi-machine coordinator broadcasts).
+//! The result is bit-identical to a single-threaded two-pass run.
+//!
+//! ```
+//! use zerolaw::prelude::*;
+//!
+//! let cfg = GSumConfig::with_space_budget(1 << 8, 0.2, 128, 3);
+//! let stream = ZipfStreamGenerator::new(StreamConfig::new(1 << 8, 8_000), 1.2, 5).generate();
+//! let prototype = TwoPassGSumSketch::new(PowerFunction::new(2.0), &cfg);
+//! let (sketch, frozen_bytes) = ShardedTwoPassCoordinator::new(2)
+//!     .run(&prototype, &mut stream.source(), &mut stream.source())
+//!     .expect("coordinator run");
+//! assert!(sketch.in_second_pass());
+//! assert!(!frozen_bytes.is_empty()); // persist to restart phase 2 at will
+//! ```
 
 pub use gsum_comm as comm;
 pub use gsum_core as core;
@@ -117,7 +176,7 @@ pub mod prelude {
     };
     pub use gsum_core::{
         exact_gsum, DistCounter, GSumConfig, GSumEstimator, NearlyPeriodicGSum, OnePassGSum,
-        OnePassGSumSketch, RecursiveSketch, TwoPassGSum, TwoPassGSumSketch,
+        OnePassGSumSketch, RecursiveSketch, TwoPassGSum, TwoPassGSumSketch, DEFAULT_HINT_CAP,
     };
     pub use gsum_gfunc::{
         classify::{OnePassVerdict, TractabilityReport, TwoPassVerdict},
@@ -127,7 +186,7 @@ pub mod prelude {
         },
         properties::PropertyConfig,
         registry::FunctionRegistry,
-        GFunction,
+        FunctionCodec, GFunction,
     };
     pub use gsum_hash::{HashBackend, RowHasher};
     pub use gsum_sketch::{
@@ -135,8 +194,9 @@ pub mod prelude {
         ExactFrequencies, FrequencySketch,
     };
     pub use gsum_streams::{
-        coalesce_updates, FrequencyVector, IterSource, MergeError, MergeableSketch,
-        PlantedStreamGenerator, ShardedIngest, StreamConfig, StreamGenerator, StreamSink,
-        TurnstileStream, UniformStreamGenerator, Update, UpdateSource, ZipfStreamGenerator,
+        coalesce_updates, Checkpoint, CheckpointError, FrequencyVector, IterSource, MergeError,
+        MergeableSketch, PlantedStreamGenerator, ShardedIngest, ShardedTwoPassCoordinator,
+        StreamConfig, StreamGenerator, StreamSink, TurnstileStream, TwoPhaseSketch,
+        UniformStreamGenerator, Update, UpdateSource, ZipfStreamGenerator,
     };
 }

@@ -171,6 +171,7 @@ proptest! {
                 epsilon: 0.2,
                 envelope_factor: 1.0,
                 backend,
+                hint_cap: 512,
             };
             let proto = OnePassHeavyHitter::new(PowerFunction::new(2.0), config, seed);
             assert_batch_equivalent(&proto, &s, |a, b| {
@@ -226,6 +227,7 @@ proptest! {
                 columns: 32,
                 candidates: 8,
                 backend,
+                hint_cap: 512,
             };
             let build = || TwoPassHeavyHitter::new(PowerFunction::new(2.0), config, seed);
 
