@@ -1,0 +1,376 @@
+//! CI gate: validate `BENCH_ingest.json` against the v2 bench schema.
+//!
+//! The ingestion bench writes a machine-readable artifact that CI uploads
+//! per PR; the whole point of that trajectory is comparability, so schema
+//! drift (a dropped `meta` block, a result missing its `mode`/`backend`
+//! fields, a NaN that corrupts the numbers) must fail the build rather than
+//! ship a silently unusable artifact.  This binary parses the JSON with the
+//! in-tree parser (no external deps) and checks every v2 invariant:
+//!
+//! * top level: `bench == "bench_ingest"`, `schema_version == 2`, a
+//!   `workload` object, finite positive `speedup_*` summary fields;
+//! * `meta`: non-empty `git_commit`, non-empty `backends` and
+//!   `coalescing_modes` string arrays, a `default_backend` contained in
+//!   `backends`, boolean `quick`;
+//! * `results`: non-empty; every entry carries `name` (shaped
+//!   `family/mode/backend`), `mode` and `backend` fields that agree with the
+//!   name and with the `meta` lists, finite positive `ns_per_iter` /
+//!   `updates_per_sec`, and an integral `iterations ≥ 1`.
+//!
+//! Usage: `check_bench_schema [path]` (default: `$BENCH_INGEST_JSON`, then
+//! `./BENCH_ingest.json`).  Exits non-zero listing every violation.
+
+use gsum_bench::json::{parse_json, JsonValue};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// The schema version this gate understands.
+const EXPECTED_SCHEMA_VERSION: f64 = 2.0;
+
+struct Violations(Vec<String>);
+
+impl Violations {
+    fn push(&mut self, v: impl Into<String>) {
+        self.0.push(v.into());
+    }
+}
+
+fn str_field<'a>(
+    obj: &'a JsonValue,
+    key: &str,
+    where_: &str,
+    out: &mut Violations,
+) -> Option<&'a str> {
+    match obj.get(key).and_then(JsonValue::as_str) {
+        Some(s) if !s.is_empty() => Some(s),
+        Some(_) => {
+            out.push(format!("{where_}: \"{key}\" is empty"));
+            None
+        }
+        None => {
+            out.push(format!("{where_}: missing string field \"{key}\""));
+            None
+        }
+    }
+}
+
+fn positive_number(obj: &JsonValue, key: &str, where_: &str, out: &mut Violations) -> Option<f64> {
+    match obj.get(key).and_then(JsonValue::as_f64) {
+        Some(n) if n.is_finite() && n > 0.0 => Some(n),
+        Some(n) => {
+            out.push(format!(
+                "{where_}: \"{key}\" must be finite and > 0, got {n}"
+            ));
+            None
+        }
+        None => {
+            out.push(format!("{where_}: missing numeric field \"{key}\""));
+            None
+        }
+    }
+}
+
+fn string_list(obj: &JsonValue, key: &str, where_: &str, out: &mut Violations) -> Vec<String> {
+    let Some(items) = obj.get(key).and_then(JsonValue::as_array) else {
+        out.push(format!("{where_}: missing array field \"{key}\""));
+        return Vec::new();
+    };
+    if items.is_empty() {
+        out.push(format!("{where_}: \"{key}\" must not be empty"));
+    }
+    items
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| match v.as_str() {
+            Some(s) => Some(s.to_string()),
+            None => {
+                out.push(format!("{where_}: \"{key}\"[{i}] is not a string"));
+                None
+            }
+        })
+        .collect()
+}
+
+fn check_meta(root: &JsonValue, out: &mut Violations) -> (Vec<String>, Vec<String>) {
+    let Some(meta) = root.get("meta") else {
+        out.push("missing \"meta\" provenance block (required since schema v2)");
+        return (Vec::new(), Vec::new());
+    };
+    if !matches!(meta, JsonValue::Object(_)) {
+        out.push("\"meta\" is not an object");
+        return (Vec::new(), Vec::new());
+    }
+    str_field(meta, "git_commit", "meta", out);
+    let backends = string_list(meta, "backends", "meta", out);
+    let modes = string_list(meta, "coalescing_modes", "meta", out);
+    if let Some(default) = str_field(meta, "default_backend", "meta", out) {
+        if !backends.is_empty() && !backends.iter().any(|b| b == default) {
+            out.push(format!(
+                "meta: default_backend {default:?} is not in backends {backends:?}"
+            ));
+        }
+    }
+    if meta.get("quick").and_then(JsonValue::as_bool).is_none() {
+        out.push("meta: missing boolean field \"quick\"");
+    }
+    (backends, modes)
+}
+
+fn check_result(
+    result: &JsonValue,
+    index: usize,
+    backends: &[String],
+    modes: &[String],
+    out: &mut Violations,
+) {
+    let where_ = format!("results[{index}]");
+    let name = str_field(result, "name", &where_, out);
+    let mode = str_field(result, "mode", &where_, out);
+    let backend = str_field(result, "backend", &where_, out);
+
+    if let Some(name) = name {
+        let parts: Vec<&str> = name.split('/').collect();
+        if parts.len() != 3 || parts.iter().any(|p| p.is_empty()) {
+            out.push(format!(
+                "{where_}: name {name:?} is not shaped family/mode/backend"
+            ));
+        } else {
+            if let Some(mode) = mode {
+                if mode != parts[1] {
+                    out.push(format!(
+                        "{where_}: mode {mode:?} disagrees with name {name:?}"
+                    ));
+                }
+            }
+            if let Some(backend) = backend {
+                if backend != parts[2] {
+                    out.push(format!(
+                        "{where_}: backend {backend:?} disagrees with name {name:?}"
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(mode) = mode {
+        if !modes.is_empty() && !modes.iter().any(|m| m == mode) {
+            out.push(format!(
+                "{where_}: mode {mode:?} is not in meta.coalescing_modes"
+            ));
+        }
+    }
+    if let Some(backend) = backend {
+        if !backends.is_empty() && !backends.iter().any(|b| b == backend) {
+            out.push(format!(
+                "{where_}: backend {backend:?} is not in meta.backends"
+            ));
+        }
+    }
+    positive_number(result, "ns_per_iter", &where_, out);
+    positive_number(result, "updates_per_sec", &where_, out);
+    match result.get("iterations").and_then(JsonValue::as_f64) {
+        Some(n) if n >= 1.0 && n.fract() == 0.0 => {}
+        Some(n) => out.push(format!(
+            "{where_}: iterations must be an integer ≥ 1, got {n}"
+        )),
+        None => out.push(format!("{where_}: missing numeric field \"iterations\"")),
+    }
+}
+
+fn validate(root: &JsonValue) -> Violations {
+    let mut out = Violations(Vec::new());
+
+    match root.get("bench").and_then(JsonValue::as_str) {
+        Some("bench_ingest") => {}
+        Some(other) => out.push(format!("\"bench\" is {other:?}, expected \"bench_ingest\"")),
+        None => out.push("missing string field \"bench\""),
+    }
+    match root.get("schema_version").and_then(JsonValue::as_f64) {
+        Some(v) if v == EXPECTED_SCHEMA_VERSION => {}
+        Some(v) => out.push(format!(
+            "schema_version is {v}, this gate validates v{EXPECTED_SCHEMA_VERSION}"
+        )),
+        None => out.push("missing numeric field \"schema_version\""),
+    }
+    if !matches!(root.get("workload"), Some(JsonValue::Object(_))) {
+        out.push("missing \"workload\" object");
+    }
+    positive_number(
+        root,
+        "speedup_coalesced_vs_per_update",
+        "top level",
+        &mut out,
+    );
+    positive_number(
+        root,
+        "speedup_tabulation_vs_polynomial_per_update",
+        "top level",
+        &mut out,
+    );
+
+    let (backends, modes) = check_meta(root, &mut out);
+
+    match root.get("results").and_then(JsonValue::as_array) {
+        Some([]) => out.push("\"results\" must not be empty"),
+        Some(results) => {
+            for (i, result) in results.iter().enumerate() {
+                check_result(result, i, &backends, &modes, &mut out);
+            }
+        }
+        None => out.push("missing \"results\" array"),
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("BENCH_INGEST_JSON").ok())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_ingest.json"));
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_bench_schema: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = match parse_json(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!(
+                "check_bench_schema: {} is not valid JSON: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let violations = validate(&root);
+    if violations.0.is_empty() {
+        let results = root
+            .get("results")
+            .and_then(JsonValue::as_array)
+            .map_or(0, <[JsonValue]>::len);
+        println!(
+            "check_bench_schema: {} conforms to bench schema v{EXPECTED_SCHEMA_VERSION} ({results} results)",
+            path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "check_bench_schema: {} violates bench schema v{EXPECTED_SCHEMA_VERSION}:",
+            path.display()
+        );
+        for v in &violations.0 {
+            eprintln!("  - {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_doc() -> String {
+        r#"{
+          "bench": "bench_ingest",
+          "schema_version": 2,
+          "meta": {
+            "git_commit": "abc123",
+            "backends": ["polynomial", "tabulation"],
+            "default_backend": "polynomial",
+            "coalescing_modes": ["per_update", "sharded_2"],
+            "quick": true
+          },
+          "workload": {"distribution": "zipf"},
+          "speedup_coalesced_vs_per_update": 5.1,
+          "speedup_tabulation_vs_polynomial_per_update": 3.9,
+          "results": [
+            {"name": "countsketch/per_update/polynomial", "mode": "per_update",
+             "backend": "polynomial", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
+             "iterations": 3},
+            {"name": "countsketch/sharded_2/tabulation", "mode": "sharded_2",
+             "backend": "tabulation", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
+             "iterations": 3}
+          ]
+        }"#
+        .to_string()
+    }
+
+    fn violations_of(doc: &str) -> Vec<String> {
+        validate(&parse_json(doc).unwrap()).0
+    }
+
+    #[test]
+    fn the_valid_document_passes() {
+        assert_eq!(violations_of(&valid_doc()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn the_committed_artifact_passes() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+        let text = std::fs::read_to_string(path).expect("committed BENCH_ingest.json");
+        assert_eq!(violations_of(&text), Vec::<String>::new());
+    }
+
+    #[test]
+    fn missing_meta_block_is_caught() {
+        let doc = valid_doc().replace("\"meta\"", "\"meta_gone\"");
+        assert!(violations_of(&doc).iter().any(|v| v.contains("meta")));
+    }
+
+    #[test]
+    fn wrong_schema_version_is_caught() {
+        let doc = valid_doc().replace("\"schema_version\": 2", "\"schema_version\": 1");
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("schema_version")));
+    }
+
+    #[test]
+    fn result_mode_and_name_disagreement_is_caught() {
+        let doc = valid_doc().replace("\"mode\": \"per_update\"", "\"mode\": \"sharded_2\"");
+        assert!(violations_of(&doc).iter().any(|v| v.contains("disagrees")));
+    }
+
+    #[test]
+    fn missing_per_result_backend_is_caught() {
+        let doc = valid_doc().replace("\"backend\": \"tabulation\",", "");
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("backend") && v.contains("results[1]")));
+    }
+
+    #[test]
+    fn nonfinite_and_nonpositive_numbers_are_caught() {
+        let doc = valid_doc().replace(
+            "\"ns_per_iter\": 10.0, \"updates_per_sec\": 100.0,\n             \"iterations\": 3},",
+            "\"ns_per_iter\": -1, \"updates_per_sec\": 100.0,\n             \"iterations\": 2.5},",
+        );
+        let violations = violations_of(&doc);
+        assert!(violations.iter().any(|v| v.contains("ns_per_iter")));
+        assert!(violations.iter().any(|v| v.contains("iterations")));
+    }
+
+    #[test]
+    fn unknown_backend_against_meta_is_caught() {
+        let doc = valid_doc().replace(
+            "\"backends\": [\"polynomial\", \"tabulation\"]",
+            "\"backends\": [\"polynomial\"]",
+        );
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("not in meta.backends")));
+    }
+
+    #[test]
+    fn empty_results_are_caught() {
+        let start = valid_doc().find("\"results\"").unwrap();
+        let doc = format!("{}\"results\": []\n        }}", &valid_doc()[..start]);
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("results") && v.contains("empty")));
+    }
+}

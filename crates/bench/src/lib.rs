@@ -15,6 +15,7 @@
 //! ShortLinearCombination threshold, and the §1.1 applications.
 
 pub mod experiments;
+pub mod json;
 pub mod table;
 
 pub use experiments::*;

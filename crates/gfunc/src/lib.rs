@@ -32,7 +32,7 @@
 //!   plus the application functions of §1.1.
 //! * [`properties`] — empirical analyzers for the three properties and the
 //!   nearly-periodic conditions, returning witnesses when a property fails.
-//! * [`classify`] — the zero-one-law classifier assembling the analyzer
+//! * [`classify`](mod@classify) — the zero-one-law classifier assembling the analyzer
 //!   outputs into 1-pass / 2-pass tractability verdicts (Theorems 2 and 3).
 //! * [`registry`] — a registry of the built-in functions together with their
 //!   ground-truth (paper-derived) classification, used by tests and by

@@ -21,10 +21,10 @@
 //!   alternative the introduction implicitly compares against.
 //!
 //! All sketches implement the push-based
-//! [`StreamSink`](gsum_streams::StreamSink) contract (updates are pushed one
+//! [`StreamSink`] contract (updates are pushed one
 //! at a time or in batches; queries reflect the prefix absorbed so far) plus
 //! [`FrequencySketch`] for per-item estimates, and all are linear: they
-//! implement [`MergeableSketch`](gsum_streams::MergeableSketch), and
+//! implement [`MergeableSketch`], and
 //! processing a stream is equivalent to processing any reordering or
 //! resharding of it.
 

@@ -22,6 +22,18 @@
 //!   each feeding a clone of a prototype sketch, then merges; supports
 //!   checkpointed stop/resume ([`ShardedIngest::ingest_limited`] /
 //!   [`ShardedIngest::resume`]).
+//! * [`wire`] — the framed wire format for update streams in motion:
+//!   [`FrameWriter`] / [`FrameReader`] speak a versioned little-endian
+//!   magic/length-prefixed framing with an explicit end-of-stream frame;
+//!   `FrameReader` implements [`UpdateSource`], so a socket plugs into any
+//!   sink unchanged, and malformed bytes are typed [`WireError`]s.
+//! * [`PipelinedIngest`] — backpressure-aware pipelined ingestion: a
+//!   decode/coalesce stage feeds N hash+apply workers over *bounded*
+//!   channels of configurable depth, so a fast producer blocks instead of
+//!   buffering unboundedly; the result is bit-identical to single-threaded
+//!   ingestion.  Configuration (worker count, batch size, channel depth) is
+//!   validated with typed [`IngestConfigError`]s shared with
+//!   [`ShardedIngest`]'s `try_*` constructors.
 //! * [`checkpoint`] — the versioned snapshot/restore layer: the
 //!   [`Checkpoint`] trait, its little-endian binary format, and the
 //!   [`CheckpointError`] taxonomy.  A linear sketch's whole state is
@@ -46,11 +58,13 @@ pub mod error;
 pub mod frequency;
 pub mod generator;
 pub mod multipass;
+pub mod pipeline;
 pub mod sharded;
 pub mod sink;
 pub mod source;
 pub mod stream;
 pub mod update;
+pub mod wire;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use coordinator::{ShardedTwoPassCoordinator, TwoPhaseSketch};
@@ -61,10 +75,13 @@ pub use generator::{
     StreamConfig, StreamGenerator, UniformStreamGenerator, ZipfStreamGenerator,
 };
 pub use multipass::{run_multi_pass, run_one_pass, MultiPassAlgorithm, OnePassAlgorithm};
+pub use pipeline::{IngestConfigError, PipelineError, PipelinedIngest};
 pub use sharded::ShardedIngest;
 pub use sink::{
-    coalesce_into, coalesce_updates, is_coalesced, MergeError, MergeableSketch, StreamSink,
+    checked_coalesce_updates, coalesce_into, coalesce_updates, is_coalesced, MergeError,
+    MergeableSketch, StreamSink,
 };
 pub use source::{IterSource, StreamSource, UpdateSource};
 pub use stream::TurnstileStream;
 pub use update::Update;
+pub use wire::{FrameReader, FrameWriter, WireError};

@@ -19,78 +19,86 @@
 //! final state is bit-identical to an uninterrupted run.
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::pipeline::{validate_batch, validate_depth, validate_workers, IngestConfigError};
 use crate::sink::{MergeError, MergeableSketch, StreamSink};
-use crate::source::UpdateSource;
+use crate::source::{TakeSource, UpdateSource};
 use crate::update::Update;
 use std::sync::mpsc;
-
-/// An [`UpdateSource`] adapter that stops after a fixed number of updates —
-/// the mechanism behind [`ShardedIngest::ingest_limited`].
-#[derive(Debug)]
-struct TakeSource<'a, Src> {
-    inner: &'a mut Src,
-    left: usize,
-}
-
-impl<Src: UpdateSource> UpdateSource for TakeSource<'_, Src> {
-    fn domain(&self) -> u64 {
-        self.inner.domain()
-    }
-
-    fn next_update(&mut self) -> Option<Update> {
-        if self.left == 0 {
-            return None;
-        }
-        let u = self.inner.next_update();
-        if u.is_some() {
-            self.left -= 1;
-        }
-        u
-    }
-
-    fn remaining_hint(&self) -> (usize, Option<usize>) {
-        let (lo, hi) = self.inner.remaining_hint();
-        (
-            lo.min(self.left),
-            Some(hi.map_or(self.left, |h| h.min(self.left))),
-        )
-    }
-}
 
 /// Configuration for sharded ingestion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardedIngest {
     shards: usize,
     batch: usize,
+    depth: usize,
 }
 
 impl ShardedIngest {
     /// Ingest with `shards` worker threads.
     ///
     /// # Panics
-    /// Panics if `shards == 0`.
+    /// Panics if `shards == 0`; use [`try_new`](Self::try_new) for a
+    /// fallible constructor.
     pub fn new(shards: usize) -> Self {
-        assert!(shards > 0, "need at least one shard");
-        Self {
-            shards,
+        Self::try_new(shards).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects `shards == 0` with a typed error —
+    /// the same validation [`PipelinedIngest`](crate::PipelinedIngest)
+    /// applies to its worker count.
+    pub fn try_new(shards: usize) -> Result<Self, IngestConfigError> {
+        Ok(Self {
+            shards: validate_workers(shards)?,
             batch: 1024,
-        }
+            depth: 4,
+        })
     }
 
     /// Override the number of updates per message handed to a worker
     /// (larger batches amortize channel overhead).
     ///
     /// # Panics
-    /// Panics if `batch == 0`.
-    pub fn with_batch_size(mut self, batch: usize) -> Self {
-        assert!(batch > 0, "batch size must be positive");
-        self.batch = batch;
-        self
+    /// Panics if `batch == 0`; use
+    /// [`try_with_batch_size`](Self::try_with_batch_size) for a fallible
+    /// builder.
+    pub fn with_batch_size(self, batch: usize) -> Self {
+        self.try_with_batch_size(batch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible builder: rejects `batch == 0`.
+    pub fn try_with_batch_size(mut self, batch: usize) -> Result<Self, IngestConfigError> {
+        self.batch = validate_batch(batch)?;
+        Ok(self)
+    }
+
+    /// Override the bounded per-worker channel depth (the backpressure knob:
+    /// at most `shards · depth · batch` updates are in flight before the
+    /// producer blocks).
+    ///
+    /// # Panics
+    /// Panics if `depth == 0`; use
+    /// [`try_with_channel_depth`](Self::try_with_channel_depth) for a
+    /// fallible builder.
+    pub fn with_channel_depth(self, depth: usize) -> Self {
+        self.try_with_channel_depth(depth)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible builder: rejects `depth == 0`.
+    pub fn try_with_channel_depth(mut self, depth: usize) -> Result<Self, IngestConfigError> {
+        self.depth = validate_depth(depth)?;
+        Ok(self)
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Bounded per-worker channel depth.
+    pub fn channel_depth(&self) -> usize {
+        self.depth
     }
 
     /// Split `source` across the shards round-robin (in batches), feed each
@@ -126,12 +134,9 @@ impl ShardedIngest {
         Src: UpdateSource,
         S: StreamSink + MergeableSketch + Clone + Send,
     {
-        let mut take = TakeSource {
-            inner: source,
-            left: limit,
-        };
+        let mut take = TakeSource::new(source, limit);
         let merged = self.ingest(&mut take, prototype)?;
-        let consumed = limit - take.left;
+        let consumed = limit - take.left();
         Ok((merged, consumed))
     }
 
@@ -188,9 +193,9 @@ impl ShardedIngest {
             let mut senders: Vec<mpsc::SyncSender<Vec<Update>>> = Vec::with_capacity(self.shards);
             let mut handles = Vec::with_capacity(self.shards);
             for mut sketch in states {
-                // A small bounded queue keeps memory flat when the producer
-                // outpaces the workers.
-                let (tx, rx) = mpsc::sync_channel::<Vec<Update>>(4);
+                // A bounded queue keeps memory flat when the producer
+                // outpaces the workers; its depth is the backpressure knob.
+                let (tx, rx) = mpsc::sync_channel::<Vec<Update>>(self.depth);
                 senders.push(tx);
                 handles.push(scope.spawn(move || {
                     while let Ok(batch) = rx.recv() {
@@ -385,6 +390,54 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = ShardedIngest::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_panics() {
+        let _ = ShardedIngest::new(1).with_batch_size(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel depth must be positive")]
+    fn zero_depth_panics() {
+        let _ = ShardedIngest::new(1).with_channel_depth(0);
+    }
+
+    #[test]
+    fn try_constructors_reject_zeros_with_typed_errors() {
+        use crate::pipeline::IngestConfigError;
+        assert_eq!(ShardedIngest::try_new(0), Err(IngestConfigError::NoWorkers));
+        assert_eq!(
+            ShardedIngest::try_new(2).unwrap().try_with_batch_size(0),
+            Err(IngestConfigError::ZeroBatch)
+        );
+        assert_eq!(
+            ShardedIngest::try_new(2).unwrap().try_with_channel_depth(0),
+            Err(IngestConfigError::ZeroDepth)
+        );
+        let ok = ShardedIngest::try_new(2)
+            .unwrap()
+            .try_with_batch_size(512)
+            .unwrap()
+            .try_with_channel_depth(8)
+            .unwrap();
+        assert_eq!((ok.shards(), ok.channel_depth()), (2, 8));
+    }
+
+    #[test]
+    fn channel_depth_does_not_change_the_result() {
+        let mut gen = UniformStreamGenerator::new(StreamConfig::turnstile(64, 4_000, 0.2), 3);
+        let reference = gen.generate();
+        for depth in [1usize, 2, 16] {
+            gen.reset();
+            let merged = ShardedIngest::new(3)
+                .with_batch_size(128)
+                .with_channel_depth(depth)
+                .ingest(&mut gen, &exact(64))
+                .unwrap();
+            assert_eq!(merged.fv, reference.frequency_vector(), "depth {depth}");
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! `(i, δ)` one at a time and never see the stream again.  `StreamSink` is
 //! that contract.  Every sketch and estimator state object in the workspace
 //! implements it, so live traffic can be pushed straight into an estimator
-//! without ever materializing a [`TurnstileStream`](crate::TurnstileStream)
+//! without ever materializing a [`TurnstileStream`]
 //! in memory.
 //!
 //! `MergeableSketch` captures the *linearity* that [Li–Nguyen–Woodruff 2014]
@@ -44,6 +44,31 @@ pub fn coalesce_updates(updates: &[Update]) -> Vec<Update> {
         .collect();
     out.sort_unstable_by_key(|u| u.item);
     out
+}
+
+/// Coalesce a batch with *checked* delta accumulation: like
+/// [`coalesce_updates`], but an item whose total over the batch overflows
+/// `i64` is reported as `Err(item)` instead of wrapping (release) or
+/// panicking (debug).
+///
+/// This is the boundary-safe variant for input that crosses a trust
+/// boundary — a wire frame can legally carry any `i64` deltas, and a
+/// crafted `[(i, i64::MAX), (i, 1)]` batch must surface as a typed error,
+/// not undefined-looking counter state.  An overflowing total also violates
+/// the turnstile model's prefix promise `|v_i| ≤ M`, so rejecting the batch
+/// is the honest outcome.
+pub fn checked_coalesce_updates(updates: &[Update]) -> Result<Vec<Update>, u64> {
+    let mut totals: HashMap<u64, i64> = HashMap::with_capacity(updates.len().min(1024));
+    for u in updates {
+        let total = totals.entry(u.item).or_insert(0);
+        *total = total.checked_add(u.delta).ok_or(u.item)?;
+    }
+    let mut out: Vec<Update> = totals
+        .into_iter()
+        .map(|(item, delta)| Update { item, delta })
+        .collect();
+    out.sort_unstable_by_key(|u| u.item);
+    Ok(out)
 }
 
 /// Whether a batch is already in coalesced form (strictly increasing item
@@ -200,6 +225,34 @@ mod tests {
         // Duplicates and out-of-order items are both rejected.
         assert!(!is_coalesced(&[Update::new(2, 1), Update::new(2, 1)]));
         assert!(!is_coalesced(&[Update::new(3, 1), Update::new(1, 1)]));
+    }
+
+    #[test]
+    fn checked_coalesce_matches_unchecked_when_in_range() {
+        let batch = vec![
+            Update::new(5, 3),
+            Update::new(1, -2),
+            Update::new(5, -3),
+            Update::new(2, 10),
+        ];
+        assert_eq!(
+            checked_coalesce_updates(&batch).unwrap(),
+            coalesce_updates(&batch)
+        );
+    }
+
+    #[test]
+    fn checked_coalesce_reports_the_overflowing_item() {
+        let overflow_pos = vec![Update::new(9, i64::MAX), Update::new(9, 1)];
+        assert_eq!(checked_coalesce_updates(&overflow_pos), Err(9));
+        let overflow_neg = vec![Update::new(4, i64::MIN), Update::new(4, -1)];
+        assert_eq!(checked_coalesce_updates(&overflow_neg), Err(4));
+        // Extremes that cancel are fine — only the running total matters.
+        let cancel = vec![Update::new(2, i64::MAX), Update::new(2, i64::MIN)];
+        assert_eq!(
+            checked_coalesce_updates(&cancel).unwrap(),
+            vec![Update::new(2, -1)]
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Lazy update sources: streams of updates that are *pulled* one at a time,
 //! without materializing a `Vec<Update>`.
 //!
-//! [`UpdateSource`] is the input-side dual of [`StreamSink`](crate::StreamSink):
+//! [`UpdateSource`] is the input-side dual of [`StreamSink`]:
 //! a source yields updates, a sink absorbs them, and [`UpdateSource::feed`]
 //! connects the two.  Workload generators implement `UpdateSource` so that a
 //! billion-update benchmark run needs O(1) memory for the stream itself, and
@@ -87,6 +87,52 @@ pub trait UpdateSource {
         Self: Sized,
     {
         Updates { source: self }
+    }
+}
+
+/// An [`UpdateSource`] adapter that stops after a fixed number of updates —
+/// the mechanism behind [`ShardedIngest::ingest_limited`](crate::ShardedIngest::ingest_limited)
+/// and [`PipelinedIngest::ingest_limited`](crate::PipelinedIngest::ingest_limited).
+#[derive(Debug)]
+pub(crate) struct TakeSource<'a, Src> {
+    inner: &'a mut Src,
+    left: usize,
+}
+
+impl<'a, Src: UpdateSource> TakeSource<'a, Src> {
+    /// Wrap `inner`, yielding at most `limit` updates.
+    pub(crate) fn new(inner: &'a mut Src, limit: usize) -> Self {
+        Self { inner, left: limit }
+    }
+
+    /// Number of updates still allowed through the cap.
+    pub(crate) fn left(&self) -> usize {
+        self.left
+    }
+}
+
+impl<Src: UpdateSource> UpdateSource for TakeSource<'_, Src> {
+    fn domain(&self) -> u64 {
+        self.inner.domain()
+    }
+
+    fn next_update(&mut self) -> Option<Update> {
+        if self.left == 0 {
+            return None;
+        }
+        let u = self.inner.next_update();
+        if u.is_some() {
+            self.left -= 1;
+        }
+        u
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        let (lo, hi) = self.inner.remaining_hint();
+        (
+            lo.min(self.left),
+            Some(hi.map_or(self.left, |h| h.min(self.left))),
+        )
     }
 }
 

@@ -1,0 +1,711 @@
+//! Framed wire format for turnstile update streams.
+//!
+//! A long-running ingest service accepts updates from the outside world over
+//! a byte stream (a TCP socket, a pipe, a file being tailed).  This module
+//! defines the versioned little-endian framing that byte stream uses — the
+//! same codec discipline as the [`checkpoint`](crate::checkpoint) layer, but
+//! for *data in motion* instead of state at rest:
+//!
+//! ```text
+//! stream  = magic version domain frame* end-frame
+//! magic   = b"ZLWU"                      4 bytes
+//! version = u16 LE                       format version (currently 1)
+//! domain  = u64 LE                       domain size n; items are in [0, n)
+//! frame   = tag len payload
+//! tag     = u8                           1 = updates, 2 = end of stream
+//! len     = u32 LE                       payload length in bytes
+//! payload = (item: u64 LE, delta: i64 LE)*   for updates frames (len % 16 == 0)
+//!         = empty                            for the end-of-stream frame
+//! ```
+//!
+//! Design points:
+//!
+//! * **Length-prefixed frames.** A receiver always knows how many bytes the
+//!   next frame occupies, so it can enforce a frame-size bound *before*
+//!   allocating ([`WireError::OversizedFrame`]) and a slow consumer
+//!   backpressures the socket instead of buffering unboundedly.
+//! * **Explicit end-of-stream.** A stream that simply stops (connection
+//!   reset, producer crash) is distinguishable from one that finished
+//!   cleanly: missing the end frame surfaces as
+//!   [`WireError::Io`]/`UnexpectedEof` — truncation, never silent success.
+//! * **Coalescable batches.** Frames carry `(item, delta)` batches, and
+//!   turnstile deltas add exactly in `i64`, so any stage downstream of the
+//!   decoder may [`coalesce`](crate::coalesce_updates) a frame without
+//!   changing what a linear sketch computes — the property
+//!   [`PipelinedIngest`](crate::PipelinedIngest)'s decode stage exploits.
+//! * **Typed errors, never panics.** Truncation, a bad magic, an unsupported
+//!   version, an unknown frame tag, an oversized length prefix and a
+//!   malformed payload all surface as [`WireError`]s.
+//!
+//! [`FrameWriter`] produces the format; [`FrameReader`] consumes it and
+//! implements [`UpdateSource`], so every existing sink — and the sharded /
+//! pipelined ingest machinery — ingests a wire stream unchanged.
+
+use crate::source::UpdateSource;
+use crate::update::Update;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// The 4-byte magic prefix of every wire stream ("ZeroLaw Wire Updates").
+pub const WIRE_MAGIC: [u8; 4] = *b"ZLWU";
+
+/// The current wire format version.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Frame tags.  Append-only: a tag's meaning never changes across versions.
+pub mod frame_tag {
+    /// A batch of `(item, delta)` updates.
+    pub const UPDATES: u8 = 1;
+    /// Explicit end of stream; its payload is empty.
+    pub const END: u8 = 2;
+}
+
+/// Bytes per encoded update on the wire (`u64` item + `i64` delta).
+pub const WIRE_UPDATE_BYTES: usize = 16;
+
+/// Default cap on a single frame's payload, in bytes (64 Ki updates).
+/// Writers chunk larger batches; readers reject larger length prefixes
+/// before allocating.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = (1 << 16) * WIRE_UPDATE_BYTES as u32;
+
+/// Error raised while writing or reading a wire stream.
+#[derive(Debug)]
+pub enum WireError {
+    /// An underlying I/O failure.  Truncation — bytes ending before the
+    /// explicit end-of-stream frame — surfaces here as `UnexpectedEof`.
+    Io(io::Error),
+    /// The stream does not start with the wire magic.
+    BadMagic,
+    /// The stream was written with a format version this build does not
+    /// understand.
+    UnsupportedVersion {
+        /// The version found in the stream header.
+        found: u16,
+    },
+    /// A frame carries a tag this build does not know.
+    UnknownFrameTag {
+        /// The tag byte found on the wire.
+        found: u8,
+    },
+    /// A frame's length prefix exceeds the receiver's frame-size bound —
+    /// rejected before any allocation happens.
+    OversizedFrame {
+        /// The length prefix found on the wire.
+        len: u32,
+        /// The receiver's configured bound.
+        max: u32,
+    },
+    /// The frame payload is structurally invalid: an updates payload whose
+    /// length is not a multiple of the encoded update size, a non-empty
+    /// end-of-stream frame, an item outside the stream's declared domain.
+    Corrupt(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire I/O error: {e}"),
+            WireError::BadMagic => write!(f, "not a wire stream (bad magic)"),
+            WireError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported wire format version {found} (this build reads {WIRE_VERSION})"
+            ),
+            WireError::UnknownFrameTag { found } => {
+                write!(f, "unknown wire frame tag {found}")
+            }
+            WireError::OversizedFrame { len, max } => write!(
+                f,
+                "frame length prefix {len} exceeds the {max}-byte frame bound"
+            ),
+            WireError::Corrupt(reason) => write!(f, "corrupt wire frame: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Whether the error is a truncation: the bytes ended before the
+    /// explicit end-of-stream frame.
+    pub fn is_truncation(&self) -> bool {
+        matches!(self, WireError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof)
+    }
+}
+
+/// Writes a framed wire stream of updates to any [`Write`].
+///
+/// The stream header is written on construction; updates are buffered and
+/// flushed as length-prefixed frames of at most
+/// [`frame_updates`](FrameWriter::frame_updates) entries; [`finish`](FrameWriter::finish)
+/// writes the explicit end-of-stream frame.  Dropping
+/// a writer without calling `finish` leaves the stream truncated — which the
+/// reader reports as an error, exactly as intended for a crashed producer.
+#[derive(Debug)]
+pub struct FrameWriter<W: Write> {
+    inner: W,
+    buf: Vec<Update>,
+    frame_updates: usize,
+    frames_written: u64,
+    updates_written: u64,
+    domain: u64,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Start a wire stream over the domain `[0, domain)`: writes the
+    /// magic/version/domain header immediately.
+    pub fn new(mut inner: W, domain: u64) -> Result<Self, WireError> {
+        if domain == 0 {
+            return Err(WireError::Corrupt(
+                "wire stream domain size must be positive".into(),
+            ));
+        }
+        inner.write_all(&WIRE_MAGIC)?;
+        inner.write_all(&WIRE_VERSION.to_le_bytes())?;
+        inner.write_all(&domain.to_le_bytes())?;
+        Ok(Self {
+            inner,
+            buf: Vec::new(),
+            frame_updates: DEFAULT_MAX_FRAME_BYTES as usize / WIRE_UPDATE_BYTES,
+            frames_written: 0,
+            updates_written: 0,
+            domain,
+        })
+    }
+
+    /// Cap the number of updates per frame (smaller frames mean earlier
+    /// flushes and finer-grained receiver backpressure; larger frames
+    /// amortize the 5-byte frame header).  Values are clamped to the
+    /// receiver-side default frame bound.
+    ///
+    /// Returns an error when `frame_updates == 0`.
+    pub fn with_frame_updates(mut self, frame_updates: usize) -> Result<Self, WireError> {
+        if frame_updates == 0 {
+            return Err(WireError::Corrupt(
+                "frame update capacity must be positive".into(),
+            ));
+        }
+        self.frame_updates =
+            frame_updates.min(DEFAULT_MAX_FRAME_BYTES as usize / WIRE_UPDATE_BYTES);
+        Ok(self)
+    }
+
+    /// Updates-per-frame cap currently in force.
+    pub fn frame_updates(&self) -> usize {
+        self.frame_updates
+    }
+
+    /// Domain size declared in the stream header.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Number of updates written so far (buffered ones included).
+    pub fn updates_written(&self) -> u64 {
+        self.updates_written + self.buf.len() as u64
+    }
+
+    /// Number of frames flushed so far.
+    pub fn frames_written(&self) -> u64 {
+        self.frames_written
+    }
+
+    /// Append one update, flushing a frame when the buffer fills.
+    pub fn write_update(&mut self, u: Update) -> Result<(), WireError> {
+        if u.item >= self.domain {
+            return Err(WireError::Corrupt(format!(
+                "item {} outside the stream domain [0, {})",
+                u.item, self.domain
+            )));
+        }
+        self.buf.push(u);
+        if self.buf.len() >= self.frame_updates {
+            self.flush_frame()?;
+        }
+        Ok(())
+    }
+
+    /// Append a batch of updates (chunked into frames as needed).
+    pub fn write_batch(&mut self, updates: &[Update]) -> Result<(), WireError> {
+        for &u in updates {
+            self.write_update(u)?;
+        }
+        Ok(())
+    }
+
+    /// Drain an [`UpdateSource`] into the stream.  Returns the number of
+    /// updates written.
+    pub fn write_source<Src: UpdateSource>(&mut self, source: &mut Src) -> Result<u64, WireError> {
+        let mut written = 0u64;
+        while let Some(u) = source.next_update() {
+            self.write_update(u)?;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    /// Flush any buffered updates as one frame (a no-op on an empty buffer).
+    pub fn flush_frame(&mut self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let payload_len = (self.buf.len() * WIRE_UPDATE_BYTES) as u32;
+        self.inner.write_all(&[frame_tag::UPDATES])?;
+        self.inner.write_all(&payload_len.to_le_bytes())?;
+        for u in &self.buf {
+            self.inner.write_all(&u.item.to_le_bytes())?;
+            self.inner.write_all(&u.delta.to_le_bytes())?;
+        }
+        self.updates_written += self.buf.len() as u64;
+        self.frames_written += 1;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flush buffered updates, write the explicit end-of-stream frame, flush
+    /// the underlying writer and hand it back (so e.g. a socket can be
+    /// reused for a response).
+    pub fn finish(mut self) -> Result<W, WireError> {
+        self.flush_frame()?;
+        self.inner.write_all(&[frame_tag::END])?;
+        self.inner.write_all(&0u32.to_le_bytes())?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Reads a framed wire stream from any [`Read`] and yields its updates.
+///
+/// The header is read and validated on construction.  `FrameReader`
+/// implements [`UpdateSource`], so a wire stream plugs into every existing
+/// sink, [`ShardedIngest`](crate::ShardedIngest) and
+/// [`PipelinedIngest`](crate::PipelinedIngest) unchanged.
+///
+/// `UpdateSource::next_update` has no error channel, so a decode failure
+/// mid-stream ends the source (returns `None`) and parks the error; callers
+/// that need the distinction check [`finish`](FrameReader::finish) (or
+/// [`take_error`](FrameReader::take_error)) after draining — exactly like
+/// checking a socket's close status.
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    inner: R,
+    domain: u64,
+    max_frame_bytes: u32,
+    pending: VecDeque<Update>,
+    finished: bool,
+    error: Option<WireError>,
+    frames_read: u64,
+    updates_read: u64,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Open a wire stream: reads and validates the magic/version/domain
+    /// header before returning.
+    pub fn new(mut inner: R) -> Result<Self, WireError> {
+        let mut magic = [0u8; 4];
+        inner.read_exact(&mut magic)?;
+        if magic != WIRE_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let mut v = [0u8; 2];
+        inner.read_exact(&mut v)?;
+        let version = u16::from_le_bytes(v);
+        if version != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion { found: version });
+        }
+        let mut d = [0u8; 8];
+        inner.read_exact(&mut d)?;
+        let domain = u64::from_le_bytes(d);
+        if domain == 0 {
+            return Err(WireError::Corrupt(
+                "wire stream domain size must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            inner,
+            domain,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            pending: VecDeque::new(),
+            finished: false,
+            error: None,
+            frames_read: 0,
+            updates_read: 0,
+        })
+    }
+
+    /// Tighten or loosen the frame-size bound (an incoming length prefix
+    /// beyond it is rejected before allocation).
+    ///
+    /// Returns an error when `max_frame_bytes` cannot hold even one update.
+    pub fn with_max_frame_bytes(mut self, max_frame_bytes: u32) -> Result<Self, WireError> {
+        if (max_frame_bytes as usize) < WIRE_UPDATE_BYTES {
+            return Err(WireError::Corrupt(format!(
+                "frame bound {max_frame_bytes} cannot hold one {WIRE_UPDATE_BYTES}-byte update"
+            )));
+        }
+        self.max_frame_bytes = max_frame_bytes;
+        Ok(self)
+    }
+
+    /// Whether the explicit end-of-stream frame has been consumed.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The decode error that ended the stream early, if any.
+    pub fn error(&self) -> Option<&WireError> {
+        self.error.as_ref()
+    }
+
+    /// Take ownership of the decode error, if any.
+    pub fn take_error(&mut self) -> Option<WireError> {
+        self.error.take()
+    }
+
+    /// Number of frames consumed so far (the end-of-stream frame included).
+    pub fn frames_read(&self) -> u64 {
+        self.frames_read
+    }
+
+    /// Number of updates yielded so far.
+    pub fn updates_read(&self) -> u64 {
+        self.updates_read
+    }
+
+    /// Close out the stream: succeeds only when the explicit end-of-stream
+    /// frame was consumed and no decode error occurred, handing back the
+    /// underlying reader (so e.g. a socket can be reused for a response).
+    /// A stream that merely ran out of bytes is a truncation error.
+    pub fn finish(mut self) -> Result<R, WireError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if !self.finished {
+            return Err(WireError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "wire stream closed before its end-of-stream frame",
+            )));
+        }
+        Ok(self.inner)
+    }
+
+    /// Read one frame into `pending`.  `Ok(true)` means more frames may
+    /// follow; `Ok(false)` means the end-of-stream frame was consumed.
+    fn read_frame(&mut self) -> Result<bool, WireError> {
+        let mut tag = [0u8; 1];
+        self.inner.read_exact(&mut tag)?;
+        let mut len_buf = [0u8; 4];
+        self.inner.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf);
+        match tag[0] {
+            frame_tag::END => {
+                if len != 0 {
+                    return Err(WireError::Corrupt(format!(
+                        "end-of-stream frame with a {len}-byte payload"
+                    )));
+                }
+                self.frames_read += 1;
+                self.finished = true;
+                Ok(false)
+            }
+            frame_tag::UPDATES => {
+                if len > self.max_frame_bytes {
+                    return Err(WireError::OversizedFrame {
+                        len,
+                        max: self.max_frame_bytes,
+                    });
+                }
+                if !(len as usize).is_multiple_of(WIRE_UPDATE_BYTES) {
+                    return Err(WireError::Corrupt(format!(
+                        "updates payload of {len} bytes is not a multiple of {WIRE_UPDATE_BYTES}"
+                    )));
+                }
+                let mut payload = vec![0u8; len as usize];
+                self.inner.read_exact(&mut payload)?;
+                for entry in payload.chunks_exact(WIRE_UPDATE_BYTES) {
+                    let item = u64::from_le_bytes(entry[..8].try_into().expect("8 bytes"));
+                    let delta = i64::from_le_bytes(entry[8..].try_into().expect("8 bytes"));
+                    if item >= self.domain {
+                        return Err(WireError::Corrupt(format!(
+                            "item {item} outside the stream domain [0, {})",
+                            self.domain
+                        )));
+                    }
+                    self.pending.push_back(Update { item, delta });
+                }
+                self.frames_read += 1;
+                Ok(true)
+            }
+            other => Err(WireError::UnknownFrameTag { found: other }),
+        }
+    }
+}
+
+impl<R: Read> UpdateSource for FrameReader<R> {
+    fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    fn next_update(&mut self) -> Option<Update> {
+        loop {
+            if let Some(u) = self.pending.pop_front() {
+                self.updates_read += 1;
+                return Some(u);
+            }
+            if self.finished || self.error.is_some() {
+                return None;
+            }
+            match self.read_frame() {
+                Ok(true) => continue,
+                Ok(false) => return None,
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn remaining_hint(&self) -> (usize, Option<usize>) {
+        let buffered = self.pending.len();
+        if self.finished || self.error.is_some() {
+            (buffered, Some(buffered))
+        } else {
+            (buffered, None)
+        }
+    }
+}
+
+/// Convenience: frame a whole batch of updates into a fresh byte vector
+/// (header, frames, end-of-stream).
+pub fn encode_updates(domain: u64, updates: &[Update]) -> Result<Vec<u8>, WireError> {
+    let mut writer = FrameWriter::new(Vec::new(), domain)?;
+    writer.write_batch(updates)?;
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_updates() -> Vec<Update> {
+        vec![
+            Update::new(0, 5),
+            Update::new(7, -3),
+            Update::new(7, 1),
+            Update::new(63, i64::MAX),
+            Update::new(2, i64::MIN),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_update_sequence() {
+        let updates = sample_updates();
+        let bytes = encode_updates(64, &updates).unwrap();
+        let mut reader = FrameReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.domain(), 64);
+        let decoded: Vec<Update> = reader.updates().collect();
+        assert_eq!(decoded, updates);
+        assert!(reader.finished());
+        assert!(reader.error().is_none());
+        reader.finish().unwrap();
+    }
+
+    #[test]
+    fn small_frames_chunk_and_roundtrip() {
+        let updates: Vec<Update> = (0..100u64).map(|i| Update::new(i % 32, 1)).collect();
+        let mut writer = FrameWriter::new(Vec::new(), 32)
+            .unwrap()
+            .with_frame_updates(7)
+            .unwrap();
+        writer.write_batch(&updates).unwrap();
+        let bytes = writer.finish().unwrap();
+        let mut reader = FrameReader::new(bytes.as_slice()).unwrap();
+        let decoded: Vec<Update> = reader.updates().collect();
+        assert_eq!(decoded, updates);
+        // 100 updates in frames of 7 = 15 update frames + the end frame.
+        assert_eq!(reader.frames_read(), 16);
+    }
+
+    #[test]
+    fn empty_stream_roundtrips() {
+        let bytes = encode_updates(8, &[]).unwrap();
+        let mut reader = FrameReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.next_update(), None);
+        assert!(reader.finished());
+        reader.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = encode_updates(64, &sample_updates()).unwrap();
+        for cut in 0..bytes.len() {
+            let truncated = &bytes[..cut];
+            match FrameReader::new(truncated) {
+                Err(e) => assert!(e.is_truncation(), "header cut at {cut}"),
+                Ok(mut reader) => {
+                    while reader.next_update().is_some() {}
+                    assert!(
+                        !reader.finished(),
+                        "cut at {cut} must not look like a clean end"
+                    );
+                    let err = reader.finish().expect_err("truncated stream must fail");
+                    assert!(err.is_truncation(), "cut at {cut}: {err}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_domain_are_rejected() {
+        let good = encode_updates(8, &[Update::insert(1)]).unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            FrameReader::new(bad_magic.as_slice()),
+            Err(WireError::BadMagic)
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xFF;
+        assert!(matches!(
+            FrameReader::new(bad_version.as_slice()),
+            Err(WireError::UnsupportedVersion { found }) if found != WIRE_VERSION
+        ));
+
+        let mut zero_domain = good.clone();
+        zero_domain[6..14].fill(0);
+        assert!(matches!(
+            FrameReader::new(zero_domain.as_slice()),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_oversized_and_misaligned_frames_are_rejected() {
+        let header_len = 14; // magic + version + domain
+        let good = encode_updates(8, &[Update::insert(1)]).unwrap();
+
+        let mut unknown_tag = good.clone();
+        unknown_tag[header_len] = 9;
+        let mut r = FrameReader::new(unknown_tag.as_slice()).unwrap();
+        assert_eq!(r.next_update(), None);
+        assert!(matches!(
+            r.take_error(),
+            Some(WireError::UnknownFrameTag { found: 9 })
+        ));
+
+        let mut oversized = good.clone();
+        oversized[header_len + 1..header_len + 5].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = FrameReader::new(oversized.as_slice()).unwrap();
+        assert_eq!(r.next_update(), None);
+        assert!(matches!(
+            r.error(),
+            Some(WireError::OversizedFrame { len: u32::MAX, .. })
+        ));
+
+        let mut misaligned = good.clone();
+        misaligned[header_len + 1..header_len + 5].copy_from_slice(&15u32.to_le_bytes());
+        let mut r = FrameReader::new(misaligned.as_slice()).unwrap();
+        assert_eq!(r.next_update(), None);
+        assert!(matches!(r.error(), Some(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn items_outside_the_declared_domain_are_corrupt() {
+        // Writer refuses them up front...
+        let mut w = FrameWriter::new(Vec::new(), 4).unwrap();
+        assert!(matches!(
+            w.write_update(Update::insert(4)),
+            Err(WireError::Corrupt(_))
+        ));
+        // ...and the reader catches a forged payload.
+        let mut bytes = FrameWriter::new(Vec::new(), 4).unwrap();
+        bytes.write_update(Update::insert(3)).unwrap();
+        let mut bytes = bytes.finish().unwrap();
+        // Patch the item id (first payload field after header + frame header).
+        bytes[14 + 5..14 + 13].copy_from_slice(&99u64.to_le_bytes());
+        let mut r = FrameReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(r.next_update(), None);
+        assert!(matches!(r.error(), Some(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn tight_reader_bound_rejects_legal_but_large_frames() {
+        let updates: Vec<Update> = (0..8u64).map(Update::insert).collect();
+        let bytes = encode_updates(8, &updates).unwrap();
+        let mut r = FrameReader::new(bytes.as_slice())
+            .unwrap()
+            .with_max_frame_bytes(2 * WIRE_UPDATE_BYTES as u32)
+            .unwrap();
+        assert_eq!(r.next_update(), None);
+        assert!(matches!(r.error(), Some(WireError::OversizedFrame { .. })));
+    }
+
+    #[test]
+    fn zero_config_values_are_rejected() {
+        assert!(matches!(
+            FrameWriter::new(Vec::new(), 0),
+            Err(WireError::Corrupt(_))
+        ));
+        assert!(matches!(
+            FrameWriter::new(Vec::new(), 8)
+                .unwrap()
+                .with_frame_updates(0),
+            Err(WireError::Corrupt(_))
+        ));
+        let good = encode_updates(8, &[]).unwrap();
+        assert!(matches!(
+            FrameReader::new(good.as_slice())
+                .unwrap()
+                .with_max_frame_bytes(3),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn finish_hands_back_the_inner_io_object() {
+        let updates = sample_updates();
+        let bytes = encode_updates(64, &updates).unwrap();
+        // Append trailing bytes after the end frame: a response phase on the
+        // same connection.  The reader must stop at the end frame and hand
+        // the rest back untouched.
+        let mut on_the_wire = bytes.clone();
+        on_the_wire.extend_from_slice(b"OK\n");
+        let mut reader = FrameReader::new(on_the_wire.as_slice()).unwrap();
+        while reader.next_update().is_some() {}
+        let rest = reader.finish().unwrap();
+        assert_eq!(rest, b"OK\n");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(WireError::BadMagic.to_string().contains("magic"));
+        assert!(WireError::UnsupportedVersion { found: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(WireError::UnknownFrameTag { found: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(WireError::OversizedFrame { len: 10, max: 4 }
+            .to_string()
+            .contains("10"));
+        assert!(WireError::Corrupt("odd payload".into())
+            .to_string()
+            .contains("odd payload"));
+    }
+}

@@ -161,6 +161,54 @@
 //! assert!(sketch.in_second_pass());
 //! assert!(!frozen_bytes.is_empty()); // persist to restart phase 2 at will
 //! ```
+//!
+//! ### Wire ingestion — framed streams and the backpressured pipeline
+//!
+//! Updates arriving from the outside world travel as a **framed wire
+//! stream** ([`FrameWriter`](prelude::FrameWriter) /
+//! [`FrameReader`](prelude::FrameReader)): a versioned little-endian header,
+//! length-prefixed frames of `(item, delta)` batches, and an explicit
+//! end-of-stream frame, so truncation is always distinguishable from clean
+//! completion and malformed bytes are typed
+//! [`WireError`](prelude::WireError)s.  `FrameReader` implements
+//! [`UpdateSource`](prelude::UpdateSource), so a socket feeds any sink
+//! unchanged — and feeds [`PipelinedIngest`](prelude::PipelinedIngest),
+//! which stages decode/coalesce and N hash+apply workers over *bounded*
+//! channels: when workers lag, the producer blocks (on a socket that
+//! propagates to the peer via TCP flow control), and the merged result is
+//! bit-identical to single-threaded ingestion.
+//! `examples/ingest_server.rs` combines the three layers into a TCP serving
+//! loop that checkpoints every K updates and resumes bit-exactly after a
+//! kill.
+//!
+//! ```
+//! use zerolaw::prelude::*;
+//! use zerolaw::streams::wire::encode_updates;
+//!
+//! let cfg = GSumConfig::with_space_budget(1 << 8, 0.2, 128, 3);
+//! let prototype = OnePassGSumSketch::new(PowerFunction::new(2.0), &cfg);
+//!
+//! // Producer side: frame a batch of updates (any Write works — here a Vec,
+//! // in production a socket).
+//! let updates: Vec<Update> = (0..4_000).map(|i| Update::new(i % 97, 1)).collect();
+//! let bytes = encode_updates(1 << 8, &updates).expect("encode");
+//!
+//! // Consumer side: decode + pipeline the stream into worker clones.
+//! let reader = FrameReader::new(bytes.as_slice()).expect("wire header");
+//! let (sketch, count, _io) = PipelinedIngest::new(2)
+//!     .with_batch_size(512)
+//!     .with_channel_depth(4)
+//!     .ingest_wire(reader, &prototype)
+//!     .expect("stream decodes cleanly");
+//! assert_eq!(count, 4_000);
+//!
+//! // Bit-identical to the single-threaded run.
+//! let mut single = prototype.clone();
+//! for &u in &updates {
+//!     single.update(u);
+//! }
+//! assert_eq!(sketch.estimate().to_bits(), single.estimate().to_bits());
+//! ```
 
 pub use gsum_comm as comm;
 pub use gsum_core as core;
@@ -194,9 +242,10 @@ pub mod prelude {
         ExactFrequencies, FrequencySketch,
     };
     pub use gsum_streams::{
-        coalesce_updates, Checkpoint, CheckpointError, FrequencyVector, IterSource, MergeError,
-        MergeableSketch, PlantedStreamGenerator, ShardedIngest, ShardedTwoPassCoordinator,
-        StreamConfig, StreamGenerator, StreamSink, TurnstileStream, TwoPhaseSketch,
-        UniformStreamGenerator, Update, UpdateSource, ZipfStreamGenerator,
+        coalesce_updates, Checkpoint, CheckpointError, FrameReader, FrameWriter, FrequencyVector,
+        IngestConfigError, IterSource, MergeError, MergeableSketch, PipelineError, PipelinedIngest,
+        PlantedStreamGenerator, ShardedIngest, ShardedTwoPassCoordinator, StreamConfig,
+        StreamGenerator, StreamSink, TurnstileStream, TwoPhaseSketch, UniformStreamGenerator,
+        Update, UpdateSource, WireError, ZipfStreamGenerator,
     };
 }
