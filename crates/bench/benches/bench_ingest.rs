@@ -256,11 +256,13 @@ fn write_json(
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"bench_ingest\",\n");
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     // Provenance metadata: which commit produced these numbers, which hash
-    // backends and coalescing modes the matrix swept, and whether this was
-    // a quick smoke run — so the bench trajectory across PRs is
-    // self-describing without consulting CI logs.
+    // backends and coalescing modes the matrix swept, how many hardware
+    // threads the host offered (sharded/pipelined numbers are meaningless
+    // without it — a single-core host measures channel overhead, not
+    // speedup), and whether this was a quick smoke run — so the bench
+    // trajectory across PRs is self-describing without consulting CI logs.
     // The backend and mode lists are collected from the recorded results,
     // so adding or dropping a bench variant keeps the meta honest without a
     // string literal to update.
@@ -293,6 +295,10 @@ fn write_json(
     out.push_str(&format!(
         "    \"coalescing_modes\": [{}],\n",
         distinct(BenchResult::mode)
+    ));
+    out.push_str(&format!(
+        "    \"available_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     ));
     out.push_str(&format!("    \"quick\": {quick}\n"));
     out.push_str("  },\n");

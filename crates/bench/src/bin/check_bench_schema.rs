@@ -1,17 +1,19 @@
-//! CI gate: validate `BENCH_ingest.json` against the v2 bench schema.
+//! CI gate: validate `BENCH_ingest.json` against the v3 bench schema.
 //!
 //! The ingestion bench writes a machine-readable artifact that CI uploads
 //! per PR; the whole point of that trajectory is comparability, so schema
 //! drift (a dropped `meta` block, a result missing its `mode`/`backend`
 //! fields, a NaN that corrupts the numbers) must fail the build rather than
 //! ship a silently unusable artifact.  This binary parses the JSON with the
-//! in-tree parser (no external deps) and checks every v2 invariant:
+//! in-tree parser (no external deps) and checks every v3 invariant:
 //!
-//! * top level: `bench == "bench_ingest"`, `schema_version == 2`, a
+//! * top level: `bench == "bench_ingest"`, `schema_version == 3`, a
 //!   `workload` object, finite positive `speedup_*` summary fields;
 //! * `meta`: non-empty `git_commit`, non-empty `backends` and
 //!   `coalescing_modes` string arrays, a `default_backend` contained in
-//!   `backends`, boolean `quick`;
+//!   `backends`, an integral `available_parallelism ≥ 1` (new in v3 —
+//!   sharded/pipelined numbers are uninterpretable without the host's
+//!   hardware-thread count), boolean `quick`;
 //! * `results`: non-empty; every entry carries `name` (shaped
 //!   `family/mode/backend`), `mode` and `backend` fields that agree with the
 //!   name and with the `meta` lists, finite positive `ns_per_iter` /
@@ -25,7 +27,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// The schema version this gate understands.
-const EXPECTED_SCHEMA_VERSION: f64 = 2.0;
+const EXPECTED_SCHEMA_VERSION: f64 = 3.0;
 
 struct Violations(Vec<String>);
 
@@ -112,6 +114,18 @@ fn check_meta(root: &JsonValue, out: &mut Violations) -> (Vec<String>, Vec<Strin
     }
     if meta.get("quick").and_then(JsonValue::as_bool).is_none() {
         out.push("meta: missing boolean field \"quick\"");
+    }
+    match meta
+        .get("available_parallelism")
+        .and_then(JsonValue::as_f64)
+    {
+        Some(n) if n >= 1.0 && n.fract() == 0.0 => {}
+        Some(n) => out.push(format!(
+            "meta: available_parallelism must be an integer ≥ 1, got {n}"
+        )),
+        None => {
+            out.push("meta: missing numeric field \"available_parallelism\" (required since v3)")
+        }
     }
     (backends, modes)
 }
@@ -276,12 +290,13 @@ mod tests {
     fn valid_doc() -> String {
         r#"{
           "bench": "bench_ingest",
-          "schema_version": 2,
+          "schema_version": 3,
           "meta": {
             "git_commit": "abc123",
             "backends": ["polynomial", "tabulation"],
             "default_backend": "polynomial",
             "coalescing_modes": ["per_update", "sharded_2"],
+            "available_parallelism": 4,
             "quick": true
           },
           "workload": {"distribution": "zipf"},
@@ -323,10 +338,26 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_is_caught() {
-        let doc = valid_doc().replace("\"schema_version\": 2", "\"schema_version\": 1");
+        let doc = valid_doc().replace("\"schema_version\": 3", "\"schema_version\": 2");
         assert!(violations_of(&doc)
             .iter()
             .any(|v| v.contains("schema_version")));
+    }
+
+    #[test]
+    fn missing_or_fractional_available_parallelism_is_caught() {
+        let doc = valid_doc().replace("\"available_parallelism\": 4,", "");
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("available_parallelism")));
+
+        let doc = valid_doc().replace(
+            "\"available_parallelism\": 4,",
+            "\"available_parallelism\": 2.5,",
+        );
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("available_parallelism")));
     }
 
     #[test]

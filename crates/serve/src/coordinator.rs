@@ -1,0 +1,373 @@
+//! The merge coordinator: fold completed client states into the long-lived
+//! serving state, snapshot every K merged updates.
+//!
+//! Every client connection feeds its own clone-with-shared-seeds sketch;
+//! linearity guarantees that folding those per-client states into the
+//! serving sketch — in *any* order, from any number of threads — lands in
+//! exactly the single-threaded state of the concatenated streams, bit for
+//! bit (integer-valued `f64` counters add exactly).  The coordinator is the
+//! one place that fold happens: it owns the serving sketch behind a lock,
+//! applies the durable-count accounting, honors the configured
+//! [`ServePolicy`] for partially-delivered streams, and publishes a
+//! [`CheckpointEnvelope`] snapshot every `checkpoint_every` merged updates
+//! (atomic temp-file + rename).
+//!
+//! The coordinator is deliberately transport-free: the TCP server drives it
+//! with socket-backed [`FrameReader`]s, the property tests drive it with
+//! in-memory byte slices, and a cross-machine deployment can fold
+//! [`ParkedState`] checkpoint bytes that arrived from another process —
+//! all three paths converge on the same [`fold`](MergeCoordinator::fold).
+
+use crate::checkpoint_envelope::CheckpointEnvelope;
+use crate::error::{ServeConfigError, ServeError};
+use crate::policy::ServePolicy;
+use crate::ServableSketch;
+use gsum_streams::wire::WireProgress;
+use gsum_streams::{FrameReader, ParkedState, PipelineError, PipelinedIngest, WireError};
+use std::io::Read;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// What happened to one fold request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoldOutcome {
+    /// The client state was merged; the serving state is now durable
+    /// through this many updates.
+    Merged {
+        /// The durable update count after the fold.
+        durable: u64,
+    },
+    /// The fault-injection crash point was reached: the state was *not*
+    /// merged and the coordinator refuses all further folds — exactly like
+    /// a SIGKILL between persistence points.
+    CrashInjected,
+}
+
+/// Counters describing a coordinator's lifetime so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Updates durably merged into the serving state.
+    pub durable_count: u64,
+    /// Client streams folded to clean completion (end-of-stream frame seen).
+    pub streams_completed: u64,
+    /// Client streams that died before their end-of-stream frame.  Under
+    /// [`ServePolicy::MergeCompleted`] their completed slices were kept;
+    /// under [`ServePolicy::DiscardPartial`] they contributed nothing.
+    pub streams_failed: u64,
+    /// Updates decoded from clients but dropped by the failure policy.
+    pub updates_discarded: u64,
+    /// Checkpoint envelopes published to disk.
+    pub snapshots_written: u64,
+}
+
+/// How one client stream ended, as reported by
+/// [`MergeCoordinator::ingest_stream`].
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Updates from this stream folded into the serving state.
+    pub merged_updates: u64,
+    /// Updates decoded from this stream but dropped by the failure policy.
+    pub discarded_updates: u64,
+    /// The serving state's durable count after this stream's folds.
+    pub durable_count: u64,
+    /// The wire reader's final progress counters (how far the stream got).
+    pub progress: WireProgress,
+    /// Why the stream did not complete, when it didn't.  Stream-level
+    /// failures are policy events, not server errors.
+    pub failure: Option<PipelineError>,
+    /// Whether the fault-injection crash point was reached while serving
+    /// this stream.
+    pub crashed: bool,
+}
+
+impl StreamOutcome {
+    /// Whether the stream was ingested through its end-of-stream frame and
+    /// fully folded.
+    pub fn completed(&self) -> bool {
+        self.failure.is_none() && !self.crashed
+    }
+}
+
+struct CoordinatorState<S> {
+    sketch: S,
+    durable_count: u64,
+    since_snapshot: usize,
+    stats: ServeStats,
+}
+
+/// Tracks the durable count of the last envelope written to disk, so
+/// concurrent publishers keep the on-disk checkpoint monotone.
+struct SnapshotPublisher {
+    last_published: Option<u64>,
+}
+
+/// The serving state's single point of mutation — see the module docs.
+pub struct MergeCoordinator<S> {
+    inner: Mutex<CoordinatorState<S>>,
+    publisher: Mutex<SnapshotPublisher>,
+    checkpoint_every: usize,
+    checkpoint_path: Option<PathBuf>,
+    crash_after: Option<u64>,
+    crashed: AtomicBool,
+}
+
+impl<S: ServableSketch> MergeCoordinator<S> {
+    /// Build a coordinator around an initial serving state (a fresh
+    /// prototype clone, or a sketch restored from a checkpoint envelope)
+    /// already durable through `durable_count` updates.
+    ///
+    /// `checkpoint_every` is both the snapshot cadence (a
+    /// [`CheckpointEnvelope`] is published once at least that many updates
+    /// merged since the last snapshot) and the slice granularity
+    /// [`ingest_stream`](Self::ingest_stream) pipelines at.  `crash_after`
+    /// is the fault-injection hook for crash-recovery tests: once merging
+    /// one more state would push the durable count past it, the coordinator
+    /// refuses the fold and every one after, and the server dies without a
+    /// final checkpoint.
+    pub fn new(
+        initial: S,
+        durable_count: u64,
+        checkpoint_every: usize,
+        checkpoint_path: Option<PathBuf>,
+        crash_after: Option<u64>,
+    ) -> Result<Self, ServeError> {
+        if checkpoint_every == 0 {
+            return Err(ServeConfigError::ZeroCheckpointEvery.into());
+        }
+        Ok(Self {
+            inner: Mutex::new(CoordinatorState {
+                sketch: initial,
+                durable_count,
+                since_snapshot: 0,
+                stats: ServeStats {
+                    durable_count,
+                    ..ServeStats::default()
+                },
+            }),
+            publisher: Mutex::new(SnapshotPublisher {
+                last_published: None,
+            }),
+            checkpoint_every,
+            checkpoint_path,
+            crash_after,
+            crashed: AtomicBool::new(false),
+        })
+    }
+
+    /// Whether the fault-injection crash point has been reached.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// The current g-SUM estimate of the serving state.
+    pub fn estimate(&self) -> f64 {
+        self.lock().sketch.estimate()
+    }
+
+    /// Updates durably merged so far.
+    pub fn durable_count(&self) -> u64 {
+        self.lock().durable_count
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServeStats {
+        self.lock().stats
+    }
+
+    /// Fold one client state (which absorbed `updates` updates) into the
+    /// serving state, snapshotting if the cadence came due.  Thread-safe:
+    /// concurrent folds serialize on the state lock, and linearity makes
+    /// their order irrelevant to the resulting bytes.
+    pub fn fold(&self, client: &S, updates: u64) -> Result<FoldOutcome, ServeError> {
+        let mut st = self.lock();
+        if self.crashed() {
+            return Ok(FoldOutcome::CrashInjected);
+        }
+        if let Some(limit) = self.crash_after {
+            if st.durable_count + updates > limit {
+                self.crashed.store(true, Ordering::SeqCst);
+                return Ok(FoldOutcome::CrashInjected);
+            }
+        }
+        st.sketch.merge(client)?;
+        st.durable_count += updates;
+        st.stats.durable_count = st.durable_count;
+        st.since_snapshot += updates as usize;
+        let durable = st.durable_count;
+        let due = if st.since_snapshot >= self.checkpoint_every {
+            st.since_snapshot = 0;
+            // Serialize under the lock (memory-only) so the envelope is a
+            // consistent cut; the disk write happens after the lock drops.
+            self.checkpoint_path
+                .is_some()
+                .then(|| CheckpointEnvelope::park(durable, &st.sketch))
+                .transpose()?
+        } else {
+            None
+        };
+        drop(st);
+        if let Some(envelope) = due {
+            self.publish(&envelope)?;
+        }
+        Ok(FoldOutcome::Merged { durable })
+    }
+
+    /// Fold a [`ParkedState`] — client state that traveled as checkpoint
+    /// bytes, e.g. from an ingest tier on another machine.  Equivalent to
+    /// rehydrating and [`fold`](Self::fold)ing: the bytes *are* a mergeable
+    /// handle.
+    pub fn fold_parked(&self, parked: &ParkedState) -> Result<FoldOutcome, ServeError> {
+        let restored: S = parked.restore()?;
+        self.fold(&restored, parked.updates())
+    }
+
+    /// Publish a snapshot now, regardless of cadence, and return the
+    /// envelope.  Used for the final checkpoint of a clean shutdown and by
+    /// tests that compare serving-state bytes.
+    pub fn snapshot(&self) -> Result<CheckpointEnvelope, ServeError> {
+        let env = {
+            let mut st = self.lock();
+            st.since_snapshot = 0;
+            CheckpointEnvelope::park(st.durable_count, &st.sketch)?
+        };
+        if self.checkpoint_path.is_some() {
+            self.publish(&env)?;
+        }
+        Ok(env)
+    }
+
+    /// Write an envelope to the checkpoint path, holding only the publisher
+    /// lock — folds and queries proceed during the disk I/O.  Concurrent
+    /// publishers race benignly: the durable-count check keeps the on-disk
+    /// envelope monotone, so a stale snapshot can never overwrite a newer
+    /// one.
+    fn publish(&self, envelope: &CheckpointEnvelope) -> Result<(), ServeError> {
+        let path = self
+            .checkpoint_path
+            .as_deref()
+            .expect("publish is only called with a checkpoint path configured");
+        let mut publisher = self
+            .publisher
+            .lock()
+            .expect("snapshot publisher lock poisoned");
+        if publisher
+            .last_published
+            .is_some_and(|last| envelope.durable_count() < last)
+        {
+            return Ok(());
+        }
+        envelope.save_atomic(path)?;
+        publisher.last_published = Some(envelope.durable_count());
+        drop(publisher);
+        self.lock().stats.snapshots_written += 1;
+        Ok(())
+    }
+
+    /// Drive one framed client stream to its end: pipeline-ingest it in
+    /// `checkpoint_every`-sized slices into clones of `prototype`, folding
+    /// according to `policy` (every completed slice immediately, or the
+    /// whole stream at its end frame — see [`ServePolicy`]).  Stream-level
+    /// failures (truncation, corruption, a crafted overflow batch) are
+    /// resolved by the policy and reported in the [`StreamOutcome`]; only
+    /// faults of the serving process itself are `Err`s.
+    pub fn ingest_stream<R: Read>(
+        &self,
+        prototype: &S,
+        pipeline: &PipelinedIngest,
+        policy: ServePolicy,
+        frames: &mut FrameReader<R>,
+    ) -> Result<StreamOutcome, ServeError> {
+        // The whole-stream accumulator for the all-or-nothing policy.
+        let mut pending = (!policy.folds_mid_stream()).then(|| prototype.clone());
+        let mut decoded: u64 = 0;
+        let mut merged: u64 = 0;
+        let mut crashed = false;
+        let mut failure: Option<PipelineError> = None;
+
+        loop {
+            if self.crashed() {
+                crashed = true;
+                break;
+            }
+            let (slice, consumed) =
+                match pipeline.ingest_limited(frames, prototype, self.checkpoint_every) {
+                    Ok(v) => v,
+                    Err(e @ PipelineError::DeltaOverflow { .. }) => {
+                        // A hostile or model-violating batch: a stream-level
+                        // failure the policy absorbs, not a server fault.
+                        failure = Some(e);
+                        break;
+                    }
+                    // Merging worker clones of one prototype cannot fail;
+                    // if it does, that is a configuration bug, not traffic.
+                    Err(e) => return Err(e.into()),
+                };
+            if consumed == 0 {
+                break;
+            }
+            decoded += consumed as u64;
+            if policy.folds_mid_stream() {
+                match self.fold(&slice, consumed as u64)? {
+                    FoldOutcome::Merged { .. } => merged += consumed as u64,
+                    FoldOutcome::CrashInjected => {
+                        crashed = true;
+                        break;
+                    }
+                }
+            } else {
+                pending
+                    .as_mut()
+                    .expect("pending state exists for the all-or-nothing policy")
+                    .merge(&slice)?;
+            }
+        }
+
+        // Resolve how the wire stream ended: a parked decode error, a clean
+        // end frame, or bytes that just stopped (truncation).
+        if failure.is_none() && !crashed {
+            if let Some(e) = frames.take_error() {
+                failure = Some(PipelineError::Wire(e));
+            } else if !frames.finished() {
+                failure = Some(PipelineError::Wire(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "wire stream closed before its end-of-stream frame",
+                ))));
+            }
+        }
+
+        if failure.is_none() && !crashed {
+            if let Some(whole) = pending.as_ref() {
+                match self.fold(whole, decoded)? {
+                    FoldOutcome::Merged { .. } => merged = decoded,
+                    FoldOutcome::CrashInjected => crashed = true,
+                }
+            }
+        }
+
+        let discarded = decoded - merged;
+        if !crashed {
+            // No bookkeeping when the server is dying mid-crash.
+            let mut st = self.lock();
+            if failure.is_none() {
+                st.stats.streams_completed += 1;
+            } else {
+                st.stats.streams_failed += 1;
+                st.stats.updates_discarded += discarded;
+            }
+        }
+
+        Ok(StreamOutcome {
+            merged_updates: merged,
+            discarded_updates: discarded,
+            durable_count: self.durable_count(),
+            progress: frames.progress(),
+            failure,
+            crashed,
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CoordinatorState<S>> {
+        self.inner.lock().expect("serving state lock poisoned")
+    }
+}

@@ -1,0 +1,139 @@
+//! The serving layer's error taxonomy.
+
+use gsum_streams::{CheckpointError, MergeError, PipelineError, WireError};
+use std::fmt;
+use std::io;
+
+/// A rejected serving configuration value, mirroring the ingestion layer's
+/// [`IngestConfigError`](gsum_streams::IngestConfigError) style: validated,
+/// typed, never asserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// `checkpoint_every == 0`: the serving state must become durable in
+    /// positive-size slices.
+    ZeroCheckpointEvery,
+}
+
+impl fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeConfigError::ZeroCheckpointEvery => {
+                write!(f, "checkpoint interval must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+/// Error raised by the serving layer.
+///
+/// Stream-level failures (a client that dies mid-frame, a crafted overflow
+/// batch) are *not* errors at this level — they are routine events the
+/// configured [`ServePolicy`](crate::ServePolicy) absorbs, reported per
+/// stream in a [`StreamOutcome`](crate::StreamOutcome).  `ServeError` is for
+/// faults of the serving process itself: a socket that cannot be accepted,
+/// a checkpoint that cannot be written, a merge that should be impossible
+/// for clones of one prototype.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An underlying I/O failure (socket accept/read/write, checkpoint
+    /// file I/O).
+    Io(io::Error),
+    /// The framed wire layer rejected a stream header (bad magic on a
+    /// connection sniffed as wire, unsupported version, domain mismatch).
+    Wire(WireError),
+    /// The pipelined ingest path failed in a way the failure policy does
+    /// not cover (a merge between worker clones — a configuration bug,
+    /// never routine traffic).
+    Pipeline(PipelineError),
+    /// Folding a client state into the serving state failed: the states
+    /// were not built from the same prototype (seeds/shape/phase mismatch).
+    Merge(MergeError),
+    /// Saving or restoring the serving-state checkpoint envelope failed.
+    Checkpoint(CheckpointError),
+    /// A serving configuration value was rejected.
+    Config(ServeConfigError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve I/O error: {e}"),
+            ServeError::Wire(e) => write!(f, "serve wire error: {e}"),
+            ServeError::Pipeline(e) => write!(f, "serve pipeline error: {e}"),
+            ServeError::Merge(e) => write!(f, "serve merge error: {e}"),
+            ServeError::Checkpoint(e) => write!(f, "serve checkpoint error: {e}"),
+            ServeError::Config(e) => write!(f, "serve configuration error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Wire(e) => Some(e),
+            ServeError::Pipeline(e) => Some(e),
+            ServeError::Merge(e) => Some(e),
+            ServeError::Checkpoint(e) => Some(e),
+            ServeError::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+impl From<PipelineError> for ServeError {
+    fn from(e: PipelineError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}
+
+impl From<MergeError> for ServeError {
+    fn from(e: MergeError) -> Self {
+        ServeError::Merge(e)
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}
+
+impl From<ServeConfigError> for ServeError {
+    fn from(e: ServeConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ServeConfigError::ZeroCheckpointEvery
+            .to_string()
+            .contains("positive"));
+        assert!(ServeError::Config(ServeConfigError::ZeroCheckpointEvery)
+            .to_string()
+            .contains("configuration"));
+        assert!(ServeError::Merge(MergeError::new("seed mismatch"))
+            .to_string()
+            .contains("seed mismatch"));
+        let io = ServeError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "gone"));
+        assert!(io.to_string().contains("gone"));
+    }
+}

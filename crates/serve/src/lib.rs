@@ -1,0 +1,86 @@
+//! # gsum-serve
+//!
+//! The serving layer: a concurrent multi-client TCP front-end over the
+//! workspace's linear sketches.
+//!
+//! The paper's sketches are **linear**, so independently-built per-client
+//! states merge into exactly the single-threaded state — the property the
+//! sharded ingest (PR 1/2), the checkpoint layer (PR 3) and the pipelined
+//! wire ingest (PR 4) all exploit.  This crate turns that property into a
+//! serving topology (the standard mergeable-sketch fan-in, cf. the
+//! universal-sketch line of work): an accept loop hands each connection its
+//! own thread, each client stream feeds a clone-with-shared-seeds sketch
+//! through [`FrameReader`](gsum_streams::FrameReader) +
+//! [`PipelinedIngest`](gsum_streams::PipelinedIngest), and a
+//! [`MergeCoordinator`] folds completed client states into the long-lived
+//! serving state — in any completion order, with a **bit-identical** result
+//! (integer-valued `f64` counters add exactly; `tests/serve_fan_in.rs`
+//! proptests the permutation invariance, and `examples/multi_client.rs`
+//! demonstrates it over real concurrent sockets).
+//!
+//! The pieces:
+//!
+//! * [`GsumServer`] / [`ServeConfig`] — the TCP serving loop: concurrent
+//!   framed ingest, `EST`/`COUNT`/`QUIT` point queries, clean shutdown with
+//!   a final snapshot.
+//! * [`MergeCoordinator`] — the transport-free fan-in core: fold live
+//!   states, fold [`ParkedState`](gsum_streams::ParkedState) checkpoint
+//!   bytes from another machine, drive in-memory streams in tests.
+//! * [`ServePolicy`] — what a stream that dies mid-frame keeps: nothing
+//!   ([`DiscardPartial`](ServePolicy::DiscardPartial), the no-double-count
+//!   default) or its completed slices
+//!   ([`MergeCompleted`](ServePolicy::MergeCompleted), the offset-replay
+//!   contract).
+//! * [`CheckpointEnvelope`] — serving-state bytes bound to the durable
+//!   update count, published atomically (temp-file + rename).
+//! * [`protocol`] — the text query grammar, parsed and formatted in one
+//!   unit-tested place.
+//! * [`ServeError`] — the typed error taxonomy; stream-level failures are
+//!   policy events reported per stream ([`StreamOutcome`]), never `Err`s.
+
+pub mod checkpoint_envelope;
+pub mod coordinator;
+pub mod error;
+pub mod policy;
+pub mod protocol;
+pub mod server;
+
+pub use checkpoint_envelope::{CheckpointEnvelope, ENVELOPE_MAGIC, ENVELOPE_VERSION};
+pub use coordinator::{FoldOutcome, MergeCoordinator, ServeStats, StreamOutcome};
+pub use error::{ServeConfigError, ServeError};
+pub use policy::ServePolicy;
+pub use protocol::{Command, ProtocolError, Response};
+pub use server::{GsumServer, ServeConfig, ServeSummary};
+
+use gsum_core::OnePassGSumSketch;
+use gsum_gfunc::{FunctionCodec, GFunction};
+use gsum_streams::{Checkpoint, MergeableSketch, StreamSink};
+
+/// A sketch a [`GsumServer`] can serve: push-ingestible, linear (mergeable
+/// across per-client clones), checkpointable (for durable snapshots and
+/// parked-state fan-in), and queryable for a scalar estimate.
+///
+/// Implemented for [`OnePassGSumSketch`] out of the box; any long-lived
+/// estimator state satisfying the bounds can implement it and be served
+/// unchanged.
+pub trait ServableSketch: StreamSink + MergeableSketch + Checkpoint + Clone + Send + Sync {
+    /// The current estimate of the absorbed prefix.
+    fn estimate(&self) -> f64;
+
+    /// The domain size the sketch serves; incoming wire streams must
+    /// declare exactly this domain (validated at header decode).
+    fn domain(&self) -> u64;
+}
+
+impl<G> ServableSketch for OnePassGSumSketch<G>
+where
+    G: GFunction + Clone + FunctionCodec + Send + Sync,
+{
+    fn estimate(&self) -> f64 {
+        OnePassGSumSketch::estimate(self)
+    }
+
+    fn domain(&self) -> u64 {
+        OnePassGSumSketch::domain(self)
+    }
+}

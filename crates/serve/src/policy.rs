@@ -1,0 +1,63 @@
+//! The failure policy for partially-delivered client streams.
+
+/// What the serving state keeps from a client stream that dies before its
+/// explicit end-of-stream frame (connection reset, producer crash, a
+/// mid-stream decode error).
+///
+/// Linearity makes both choices exact: every client's contribution is a
+/// per-client clone with the serving prototype's seeds, so whatever subset
+/// of it the policy folds in, the serving state equals a single-threaded
+/// sketch of exactly the kept updates — bit for bit, in any fold order.
+///
+/// The policies differ in *when* a client's updates become part of the
+/// serving state, which is also what decides their fate on failure:
+///
+/// | policy             | fold granularity        | a dead stream keeps      |
+/// |--------------------|-------------------------|--------------------------|
+/// | `DiscardPartial`   | whole stream, at its end frame | nothing           |
+/// | `MergeCompleted`   | every completed slice   | all completed slices     |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServePolicy {
+    /// All-or-nothing streams: a client's updates accumulate in its
+    /// per-client sketch and fold into the serving state only when the
+    /// end-of-stream frame arrives.  A stream that dies mid-flight is
+    /// discarded whole.
+    ///
+    /// This is the safe default for **at-least-once** producers: a client
+    /// that retries its entire stream after a failure can never double-count
+    /// updates, because the failed attempt contributed nothing.
+    #[default]
+    DiscardPartial,
+    /// Slice-streaming durability: every completed ingest slice folds into
+    /// the serving state immediately, so a stream that dies mid-frame is
+    /// merged up to its last completed slice (and the serving state
+    /// checkpoints mid-stream — the PR 4 kill/resume contract, where a
+    /// single writer replays only the non-durable suffix from the
+    /// acknowledged offset).
+    ///
+    /// Suits **offset-replay** producers (replay from the durable count, not
+    /// from zero) and at-most-once producers that never retry; a client that
+    /// blindly resends a whole failed stream under this policy would
+    /// double-count its completed slices.
+    MergeCompleted,
+}
+
+impl ServePolicy {
+    /// Whether completed slices fold into the serving state while the
+    /// stream is still in flight.
+    pub fn folds_mid_stream(self) -> bool {
+        matches!(self, ServePolicy::MergeCompleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_no_double_count_policy() {
+        assert_eq!(ServePolicy::default(), ServePolicy::DiscardPartial);
+        assert!(!ServePolicy::DiscardPartial.folds_mid_stream());
+        assert!(ServePolicy::MergeCompleted.folds_mid_stream());
+    }
+}

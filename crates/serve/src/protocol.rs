@@ -1,0 +1,227 @@
+//! The text point-query protocol served next to framed ingest streams.
+//!
+//! One TCP connection carries either a framed wire stream (recognized by
+//! the 4-byte wire magic) or a single ASCII command line.  This module is
+//! the command/response grammar — parsing and formatting live in one
+//! place, unit-tested, instead of being scattered through a serving loop:
+//!
+//! | client sends | server replies                                         |
+//! |--------------|--------------------------------------------------------|
+//! | `EST\n`      | `EST <f64-bits> <estimate>\n`                          |
+//! | `COUNT\n`    | `COUNT <durable-count>\n`                              |
+//! | `QUIT\n`     | `BYE\n`, then the server shuts down cleanly            |
+//!
+//! A completed ingest stream is acknowledged with `OK <durable-count>\n`;
+//! protocol violations are answered with `ERR <reason>\n`.  The estimate
+//! reply carries both the exact bit pattern (`f64::to_bits`, the form the
+//! bit-exactness proofs compare) and the human-readable value.
+
+use std::fmt;
+
+/// A parsed client command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Query the current g-SUM estimate of the serving state.
+    Est,
+    /// Query the durable update count (the offset-replay contract: after a
+    /// crash, an offset-replay client resends its stream from here).
+    Count,
+    /// Shut the server down cleanly (final checkpoint, then exit).
+    Quit,
+}
+
+/// A protocol violation: a command or response line that does not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The command line is not one of `EST` / `COUNT` / `QUIT`.
+    UnknownCommand(String),
+    /// A response line does not match the reply grammar.
+    MalformedResponse(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownCommand(line) => write!(f, "unknown command {line:?}"),
+            ProtocolError::MalformedResponse(line) => write!(f, "malformed response {line:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl Command {
+    /// Parse a command line (surrounding whitespace and the trailing
+    /// newline are ignored).
+    pub fn parse(line: &str) -> Result<Self, ProtocolError> {
+        match line.trim() {
+            "EST" => Ok(Command::Est),
+            "COUNT" => Ok(Command::Count),
+            "QUIT" => Ok(Command::Quit),
+            other => Err(ProtocolError::UnknownCommand(other.to_string())),
+        }
+    }
+
+    /// The wire form of the command (no trailing newline).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Command::Est => "EST",
+            Command::Count => "COUNT",
+            Command::Quit => "QUIT",
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A server reply line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `EST <bits> <value>` — the current estimate, bit pattern first.
+    Est {
+        /// `estimate.to_bits()` — the exact representation bit-exactness
+        /// assertions compare.
+        bits: u64,
+    },
+    /// `COUNT <durable>` — the durable update count.
+    Count(u64),
+    /// `OK <durable>` — a framed stream was ingested through its
+    /// end-of-stream frame; the server's durable count afterwards.
+    Ok(u64),
+    /// `BYE` — clean-shutdown acknowledgement to `QUIT`.
+    Bye,
+    /// `ERR <reason>` — the request failed.
+    Err(String),
+}
+
+impl Response {
+    /// The estimate a parsed `EST` reply carries (reconstructed from the
+    /// exact bit pattern, not the lossy decimal rendering).
+    pub fn estimate(&self) -> Option<f64> {
+        match self {
+            Response::Est { bits } => Some(f64::from_bits(*bits)),
+            _ => None,
+        }
+    }
+
+    /// Parse a response line (surrounding whitespace ignored).
+    pub fn parse(line: &str) -> Result<Self, ProtocolError> {
+        let malformed = || ProtocolError::MalformedResponse(line.trim().to_string());
+        let trimmed = line.trim();
+        if trimmed == "BYE" {
+            return Ok(Response::Bye);
+        }
+        if let Some(reason) = trimmed.strip_prefix("ERR ") {
+            return Ok(Response::Err(reason.to_string()));
+        }
+        if let Some(rest) = trimmed.strip_prefix("EST ") {
+            let bits = rest
+                .split_whitespace()
+                .next()
+                .and_then(|w| w.parse::<u64>().ok())
+                .ok_or_else(malformed)?;
+            return Ok(Response::Est { bits });
+        }
+        if let Some(rest) = trimmed.strip_prefix("COUNT ") {
+            return rest.parse().map(Response::Count).map_err(|_| malformed());
+        }
+        if let Some(rest) = trimmed.strip_prefix("OK ") {
+            return rest.parse().map(Response::Ok).map_err(|_| malformed());
+        }
+        Err(malformed())
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Est { bits } => {
+                write!(f, "EST {bits} {}", f64::from_bits(*bits))
+            }
+            Response::Count(n) => write!(f, "COUNT {n}"),
+            Response::Ok(n) => write!(f, "OK {n}"),
+            Response::Bye => f.write_str("BYE"),
+            Response::Err(reason) => write!(f, "ERR {reason}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_parse_with_whitespace_tolerance() {
+        assert_eq!(Command::parse("EST\n"), Ok(Command::Est));
+        assert_eq!(Command::parse("  COUNT  "), Ok(Command::Count));
+        assert_eq!(Command::parse("QUIT"), Ok(Command::Quit));
+        for c in [Command::Est, Command::Count, Command::Quit] {
+            assert_eq!(Command::parse(c.as_str()), Ok(c));
+            assert_eq!(Command::parse(&c.to_string()), Ok(c));
+        }
+    }
+
+    #[test]
+    fn unknown_commands_are_typed_errors() {
+        for bad in ["", "est", "STOP", "EST now", "COUNTER"] {
+            assert!(
+                matches!(Command::parse(bad), Err(ProtocolError::UnknownCommand(_))),
+                "{bad:?} must not parse"
+            );
+        }
+        assert!(ProtocolError::UnknownCommand("STOP".into())
+            .to_string()
+            .contains("STOP"));
+    }
+
+    #[test]
+    fn responses_roundtrip_through_their_wire_form() {
+        let est = Response::Est {
+            bits: 4_611_686_018_427_387_904, // 2.0
+        };
+        let cases = [
+            est.clone(),
+            Response::Count(0),
+            Response::Count(u64::MAX),
+            Response::Ok(9_000),
+            Response::Bye,
+            Response::Err("stream declares domain 8 but the receiver serves domain 64".into()),
+        ];
+        for case in cases {
+            let line = case.to_string();
+            assert_eq!(Response::parse(&line), Ok(case.clone()), "line {line:?}");
+            assert_eq!(Response::parse(&format!("{line}\n")), Ok(case));
+        }
+        assert_eq!(est.estimate(), Some(2.0));
+        assert_eq!(Response::Bye.estimate(), None);
+    }
+
+    #[test]
+    fn est_reply_preserves_the_exact_bit_pattern() {
+        // A value whose decimal rendering is lossy: the bits column is the
+        // authoritative channel.
+        let value = 0.1f64 + 0.2f64;
+        let resp = Response::Est {
+            bits: value.to_bits(),
+        };
+        let parsed = Response::parse(&resp.to_string()).unwrap();
+        assert_eq!(parsed.estimate().unwrap().to_bits(), value.to_bits());
+    }
+
+    #[test]
+    fn malformed_responses_are_typed_errors() {
+        for bad in ["EST", "EST x y", "COUNT ten", "OK", "NOPE 3", "BYEBYE"] {
+            assert!(
+                matches!(
+                    Response::parse(bad),
+                    Err(ProtocolError::MalformedResponse(_))
+                ),
+                "{bad:?} must not parse"
+            );
+        }
+    }
+}

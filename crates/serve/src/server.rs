@@ -1,0 +1,350 @@
+//! The concurrent TCP serving loop.
+//!
+//! [`GsumServer`] is the production shape of what PR 4 prototyped as a
+//! 380-line example: an accept loop that hands **each connection its own
+//! thread**, so N clients stream framed updates simultaneously — each into
+//! its own clone-with-shared-seeds sketch, pipelined with backpressure —
+//! while the [`MergeCoordinator`] folds completed states into the
+//! long-lived serving state and point queries answer from it at any
+//! moment.  A second client no longer waits in `accept`.
+
+use crate::checkpoint_envelope::CheckpointEnvelope;
+use crate::coordinator::MergeCoordinator;
+use crate::coordinator::ServeStats;
+use crate::error::ServeError;
+use crate::policy::ServePolicy;
+use crate::protocol::{Command, Response};
+use crate::ServableSketch;
+use gsum_streams::wire::WIRE_MAGIC;
+use gsum_streams::{FrameReader, PipelinedIngest};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Configuration for a [`GsumServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    policy: ServePolicy,
+    checkpoint_every: usize,
+    pipeline: PipelinedIngest,
+    crash_after: Option<u64>,
+    client_read_timeout: Option<std::time::Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration: [`ServePolicy::DiscardPartial`], a
+    /// snapshot every 512 merged updates, a 2-worker pipeline, a 30-second
+    /// client read timeout.
+    pub fn new() -> Self {
+        Self {
+            policy: ServePolicy::default(),
+            checkpoint_every: 512,
+            pipeline: PipelinedIngest::new(2),
+            crash_after: None,
+            client_read_timeout: Some(std::time::Duration::from_secs(30)),
+        }
+    }
+
+    /// Choose the failure policy for partially-delivered streams.
+    pub fn with_policy(mut self, policy: ServePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Snapshot cadence and ingest-slice granularity, in updates.
+    ///
+    /// # Panics
+    /// Panics if `every == 0`; use
+    /// [`try_with_checkpoint_every`](Self::try_with_checkpoint_every) for a
+    /// fallible builder.
+    pub fn with_checkpoint_every(self, every: usize) -> Self {
+        self.try_with_checkpoint_every(every)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible builder: rejects `every == 0`.
+    pub fn try_with_checkpoint_every(mut self, every: usize) -> Result<Self, ServeError> {
+        if every == 0 {
+            return Err(crate::error::ServeConfigError::ZeroCheckpointEvery.into());
+        }
+        self.checkpoint_every = every;
+        Ok(self)
+    }
+
+    /// The pipelined-ingest topology each client stream runs through.
+    pub fn with_pipeline(mut self, pipeline: PipelinedIngest) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Fault-injection hook for crash-recovery tests: once merging one more
+    /// client state would push the durable count past `updates`, the server
+    /// dies without a final checkpoint — exactly like a SIGKILL between
+    /// persistence points.  Never set this in production.
+    pub fn with_crash_after(mut self, updates: u64) -> Self {
+        self.crash_after = Some(updates);
+        self
+    }
+
+    /// How long a connection may sit idle (no bytes arriving) before the
+    /// server gives up on it.  The timeout is what keeps one stalled client
+    /// from pinning a handler thread forever — and, since a clean shutdown
+    /// drains in-flight handlers, from wedging `QUIT` indefinitely.  `None`
+    /// disables it (a stalled client then holds its thread until the peer
+    /// closes; use only on trusted networks).  The timeout bounds *idle*
+    /// time, not stream length: a slow stream that keeps trickling bytes is
+    /// never cut off, and server-side backpressure blocks the *client's*
+    /// writes, not the server's reads.
+    pub fn with_client_read_timeout(mut self, timeout: Option<std::time::Duration>) -> Self {
+        self.client_read_timeout = timeout;
+        self
+    }
+
+    /// The configured failure policy.
+    pub fn policy(&self) -> ServePolicy {
+        self.policy
+    }
+
+    /// The configured snapshot cadence.
+    pub fn checkpoint_every(&self) -> usize {
+        self.checkpoint_every
+    }
+
+    /// The configured pipeline topology.
+    pub fn pipeline(&self) -> PipelinedIngest {
+        self.pipeline
+    }
+}
+
+/// How a [`GsumServer::serve`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// `true` for a `QUIT`-triggered shutdown (final snapshot written when
+    /// a checkpoint path is configured); `false` when the fault-injection
+    /// crash point was reached (no final snapshot — only previously
+    /// published envelopes survive).
+    pub clean_shutdown: bool,
+    /// The coordinator's lifetime counters at shutdown.
+    pub stats: ServeStats,
+}
+
+enum ConnectionVerdict {
+    KeepServing,
+    Shutdown,
+    Crashed,
+}
+
+/// A long-lived serving process: concurrent framed ingest with
+/// merge-on-completion fan-in, point queries, and durable checkpointing.
+pub struct GsumServer<S> {
+    prototype: S,
+    config: ServeConfig,
+    coordinator: MergeCoordinator<S>,
+}
+
+impl<S: ServableSketch> GsumServer<S> {
+    /// Boot a server around `prototype` (the serving sketch, reconstructed
+    /// identically on every boot: same function, same configuration, same
+    /// seed).  When `checkpoint_path` holds a previous incarnation's
+    /// [`CheckpointEnvelope`], the serving state restores from it — a
+    /// checkpoint taken by one incarnation resumes seamlessly, and
+    /// bit-exactly, in the next.
+    pub fn boot(
+        prototype: S,
+        config: ServeConfig,
+        checkpoint_path: Option<PathBuf>,
+    ) -> Result<Self, ServeError> {
+        let restored = match checkpoint_path.as_deref() {
+            Some(path) => CheckpointEnvelope::load(path)?
+                .map(|env| Ok::<_, ServeError>((env.restore_state::<S>()?, env.durable_count())))
+                .transpose()?,
+            None => None,
+        };
+        let (initial, durable) = restored.unwrap_or_else(|| (prototype.clone(), 0));
+        let coordinator = MergeCoordinator::new(
+            initial,
+            durable,
+            config.checkpoint_every,
+            checkpoint_path,
+            config.crash_after,
+        )?;
+        Ok(Self {
+            prototype,
+            config,
+            coordinator,
+        })
+    }
+
+    /// Updates durably merged so far (non-zero after a checkpoint restore).
+    pub fn durable_count(&self) -> u64 {
+        self.coordinator.durable_count()
+    }
+
+    /// The current estimate of the serving state.
+    pub fn estimate(&self) -> f64 {
+        self.coordinator.estimate()
+    }
+
+    /// The coordinator, for direct (non-TCP) fan-in: folding
+    /// [`ParkedState`](gsum_streams::ParkedState) bytes from another
+    /// machine, or driving in-memory streams in tests.
+    pub fn coordinator(&self) -> &MergeCoordinator<S> {
+        &self.coordinator
+    }
+
+    /// Accept connections until a `QUIT` command (or the fault-injection
+    /// crash point).  Every connection gets its own thread: framed streams
+    /// ingest concurrently and fold through the coordinator; command lines
+    /// answer from the serving state.  In-flight streams run to completion
+    /// before a clean shutdown returns, and a final snapshot is published.
+    pub fn serve(&self, listener: TcpListener) -> Result<ServeSummary, ServeError> {
+        let wakeup_addr = Self::wakeup_addr(listener.local_addr()?);
+        let shutdown = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for conn in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) || self.coordinator.crashed() {
+                    break;
+                }
+                let stream = match conn {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("[gsum-serve] accept failed: {e}");
+                        continue;
+                    }
+                };
+                if let Some(timeout) = self.config.client_read_timeout {
+                    // Best effort: a socket that refuses the option still
+                    // gets served, just without the stall bound.
+                    let _ = stream.set_read_timeout(Some(timeout));
+                }
+                let shutdown = &shutdown;
+                scope.spawn(move || match self.handle_connection(stream) {
+                    Ok(ConnectionVerdict::KeepServing) => {}
+                    Ok(ConnectionVerdict::Shutdown) | Ok(ConnectionVerdict::Crashed) => {
+                        shutdown.store(true, Ordering::SeqCst);
+                        // Unblock the accept loop so it observes the flag.
+                        // A failed wakeup is worth shouting about: the loop
+                        // then only notices the flag on the next organic
+                        // connection.
+                        if let Err(e) = TcpStream::connect(wakeup_addr) {
+                            eprintln!(
+                                "[gsum-serve] shutdown wakeup connect to {wakeup_addr} \
+                                 failed ({e}); the accept loop will exit on the next \
+                                 incoming connection"
+                            );
+                        }
+                    }
+                    Err(e) => eprintln!("[gsum-serve] connection error: {e}"),
+                });
+            }
+        });
+        let crashed = self.coordinator.crashed();
+        if !crashed {
+            self.coordinator.snapshot()?;
+        }
+        Ok(ServeSummary {
+            clean_shutdown: !crashed,
+            stats: self.coordinator.stats(),
+        })
+    }
+
+    /// The address the shutdown path connects to in order to unblock the
+    /// accept loop.  A listener bound to the unspecified address
+    /// (`0.0.0.0` / `::`) is not connectable on every platform, so the
+    /// wakeup targets the loopback of the same family instead.
+    fn wakeup_addr(local: std::net::SocketAddr) -> std::net::SocketAddr {
+        let mut addr = local;
+        if addr.ip().is_unspecified() {
+            addr.set_ip(match addr {
+                std::net::SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                std::net::SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            });
+        }
+        addr
+    }
+
+    /// One connection: sniff 4 bytes to tell a framed wire stream from a
+    /// command line, then dispatch.
+    fn handle_connection(&self, stream: TcpStream) -> Result<ConnectionVerdict, ServeError> {
+        let mut reply = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream);
+
+        let mut head = [0u8; 4];
+        reader.read_exact(&mut head)?;
+        if head == WIRE_MAGIC {
+            return self.handle_ingest(head, reader, reply);
+        }
+
+        let mut line = head.to_vec();
+        if !line.contains(&b'\n') {
+            let mut rest = Vec::new();
+            reader.read_until(b'\n', &mut rest)?;
+            line.extend_from_slice(&rest);
+        }
+        let (response, verdict) = match Command::parse(&String::from_utf8_lossy(&line)) {
+            Ok(Command::Est) => (
+                Response::Est {
+                    bits: self.coordinator.estimate().to_bits(),
+                },
+                ConnectionVerdict::KeepServing,
+            ),
+            Ok(Command::Count) => (
+                Response::Count(self.coordinator.durable_count()),
+                ConnectionVerdict::KeepServing,
+            ),
+            Ok(Command::Quit) => (Response::Bye, ConnectionVerdict::Shutdown),
+            Err(e) => (Response::Err(e.to_string()), ConnectionVerdict::KeepServing),
+        };
+        writeln!(reply, "{response}")?;
+        reply.flush()?;
+        Ok(verdict)
+    }
+
+    /// One framed client stream: validate the header against the serving
+    /// domain (out-of-domain traffic dies at decode, never at apply), then
+    /// hand the reader to the coordinator.
+    fn handle_ingest(
+        &self,
+        magic: [u8; 4],
+        reader: BufReader<TcpStream>,
+        mut reply: BufWriter<TcpStream>,
+    ) -> Result<ConnectionVerdict, ServeError> {
+        let mut frames = match FrameReader::new((&magic[..]).chain(reader))
+            .and_then(|f| f.with_expected_domain(self.prototype.domain()))
+        {
+            Ok(f) => f,
+            Err(e) => {
+                // Header-level rejection: the peer is still listening.
+                writeln!(reply, "{}", Response::Err(e.to_string()))?;
+                reply.flush()?;
+                return Ok(ConnectionVerdict::KeepServing);
+            }
+        };
+        let outcome = self.coordinator.ingest_stream(
+            &self.prototype,
+            &self.config.pipeline,
+            self.config.policy,
+            &mut frames,
+        )?;
+        if outcome.crashed {
+            // Die like a SIGKILL: no reply, no final checkpoint.
+            return Ok(ConnectionVerdict::Crashed);
+        }
+        let response = match &outcome.failure {
+            None => Response::Ok(outcome.durable_count),
+            Some(e) => Response::Err(e.to_string()),
+        };
+        // A failed stream usually means the peer is gone; a dead reply
+        // socket must not take the server thread down with it.
+        let _ = writeln!(reply, "{response}");
+        let _ = reply.flush();
+        Ok(ConnectionVerdict::KeepServing)
+    }
+}

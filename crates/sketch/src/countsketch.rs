@@ -20,8 +20,8 @@ use crate::FrequencySketch;
 use gsum_hash::{derive_seeds, HashBackend, RowHasher};
 use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{coalesce_into, MergeError, MergeableSketch, StreamSink, Update};
-use std::cell::RefCell;
 use std::io::{Read, Write};
+use std::sync::Mutex;
 
 /// Configuration for a [`CountSketch`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,7 +96,7 @@ impl CountSketchConfig {
 }
 
 /// A CountSketch over a turnstile stream.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CountSketch {
     config: CountSketchConfig,
     /// Row-major counters, length `rows * columns`.
@@ -105,8 +105,24 @@ pub struct CountSketch {
     rows: Vec<RowHasher>,
     /// Reused scratch for [`residual_f2_excluding`](Self::residual_f2_excluding)
     /// (one flag per column), so queries on the hot path do not allocate.
-    excluded_scratch: RefCell<Vec<bool>>,
+    /// A `Mutex` rather than a `RefCell` so the sketch stays `Sync` — a
+    /// serving state is queried from concurrent connection threads — at the
+    /// cost of one uncontended lock per residual query.
+    excluded_scratch: Mutex<Vec<bool>>,
     seed: u64,
+}
+
+impl Clone for CountSketch {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            counters: self.counters.clone(),
+            rows: self.rows.clone(),
+            // Scratch holds no sketch state; a clone starts with a fresh one.
+            excluded_scratch: Mutex::new(Vec::new()),
+            seed: self.seed,
+        }
+    }
 }
 
 impl CountSketch {
@@ -121,7 +137,7 @@ impl CountSketch {
             config,
             counters: vec![0.0; config.rows * config.columns],
             rows,
-            excluded_scratch: RefCell::new(Vec::new()),
+            excluded_scratch: Mutex::new(Vec::new()),
             seed,
         }
     }
@@ -199,7 +215,10 @@ impl CountSketch {
             }
             return median_in_place(&mut row_sums);
         }
-        let mut excluded_cols = self.excluded_scratch.borrow_mut();
+        let mut excluded_cols = self
+            .excluded_scratch
+            .lock()
+            .expect("residual-F2 scratch lock poisoned");
         excluded_cols.resize(self.config.columns, false);
         for row in 0..self.config.rows {
             for flag in excluded_cols.iter_mut() {

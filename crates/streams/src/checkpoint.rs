@@ -391,6 +391,67 @@ pub fn read_backend(r: &mut impl Read) -> Result<gsum_hash::HashBackend, Checkpo
         .ok_or_else(|| CheckpointError::Corrupt(format!("unknown hash-backend tag {tag}")))
 }
 
+/// A parked, mergeable sketch state: checkpoint bytes plus the number of
+/// updates the state absorbed.
+///
+/// Linearity means a sketch serialized at any prefix can later be folded
+/// into any live sketch built with the same configuration and seeds — the
+/// checkpoint bytes *are* a mergeable handle.  `ParkedState` makes that
+/// pattern first-class for fan-in topologies: a serving coordinator parks a
+/// completed client's state (possibly received from another machine — the
+/// bytes travel), and [`merge_into`](Self::merge_into) folds it into the
+/// long-lived serving state without the caller juggling restore, merge and
+/// error mapping by hand.  The update count rides along so durable-offset
+/// accounting survives the park.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParkedState {
+    bytes: Vec<u8>,
+    updates: u64,
+}
+
+impl ParkedState {
+    /// Park a sketch state: serialize it and record how many updates it
+    /// absorbed.
+    pub fn park<S: Checkpoint>(state: &S, updates: u64) -> Result<Self, CheckpointError> {
+        Ok(Self {
+            bytes: state.to_checkpoint_bytes()?,
+            updates,
+        })
+    }
+
+    /// Reassemble a parked state from bytes that traveled (a socket, disk).
+    pub fn from_parts(bytes: Vec<u8>, updates: u64) -> Self {
+        Self { bytes, updates }
+    }
+
+    /// The checkpoint bytes of the parked state.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Number of updates the parked state absorbed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Rehydrate the parked sketch.
+    pub fn restore<S: Checkpoint>(&self) -> Result<S, CheckpointError> {
+        S::from_checkpoint_bytes(&self.bytes)
+    }
+
+    /// Fold the parked state into a live sketch.  Fails with the checkpoint
+    /// layer's taxonomy: corrupt bytes surface as their decode error, and a
+    /// seed/shape/phase mismatch with the target surfaces as
+    /// [`CheckpointError::Merge`].
+    pub fn merge_into<S>(&self, target: &mut S) -> Result<(), CheckpointError>
+    where
+        S: Checkpoint + crate::sink::MergeableSketch,
+    {
+        let restored: S = self.restore()?;
+        target.merge(&restored).map_err(CheckpointError::Merge)
+    }
+}
+
 /// A [`RowHasher`](gsum_hash::RowHasher) checkpoints as exactly the triple it
 /// is reconstructible from: backend tag, column count, seed.  No coefficient
 /// or table dump — the state is re-expanded through `RowHasher::new`, the
@@ -422,6 +483,98 @@ impl Checkpoint for gsum_hash::RowHasher {
 mod tests {
     use super::*;
     use gsum_hash::{HashBackend, RowHasher};
+
+    /// A frequency-counting sink that checkpoints through the exact-
+    /// frequencies codec helpers — just enough state to exercise
+    /// `ParkedState` end to end inside this crate.
+    #[derive(Debug, Clone, PartialEq)]
+    struct TallySink {
+        domain: u64,
+        counts: Vec<i64>,
+    }
+
+    impl TallySink {
+        fn new(domain: u64) -> Self {
+            Self {
+                domain,
+                counts: vec![0; domain as usize],
+            }
+        }
+    }
+
+    impl crate::sink::StreamSink for TallySink {
+        fn update(&mut self, u: crate::update::Update) {
+            self.counts[u.item as usize] += u.delta;
+        }
+    }
+
+    impl crate::sink::MergeableSketch for TallySink {
+        fn merge(&mut self, other: &Self) -> Result<(), crate::sink::MergeError> {
+            if self.domain != other.domain {
+                return Err(crate::sink::MergeError::new("domain mismatch"));
+            }
+            for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+                *c += o;
+            }
+            Ok(())
+        }
+    }
+
+    impl Checkpoint for TallySink {
+        fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+            write_header(w, kind::EXACT_FREQUENCIES)?;
+            write_u64(w, self.domain)?;
+            write_i64_slice(w, &self.counts)?;
+            Ok(())
+        }
+
+        fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {
+            read_header(r, kind::EXACT_FREQUENCIES)?;
+            let domain = read_u64(r)?;
+            let counts = read_i64_counters(r, domain as usize, "tally")?;
+            Ok(Self { domain, counts })
+        }
+    }
+
+    #[test]
+    fn parked_state_folds_into_a_live_sketch() {
+        use crate::sink::StreamSink;
+
+        let mut client = TallySink::new(8);
+        client.update(crate::update::Update::new(3, 5));
+        client.update(crate::update::Update::new(7, -2));
+        let parked = ParkedState::park(&client, 2).unwrap();
+        assert_eq!(parked.updates(), 2);
+
+        // The bytes travel (clone simulates a socket hop), then fold.
+        let wired = ParkedState::from_parts(parked.bytes().to_vec(), parked.updates());
+        let mut serving = TallySink::new(8);
+        serving.update(crate::update::Update::new(3, 1));
+        wired.merge_into(&mut serving).unwrap();
+        assert_eq!(serving.counts[3], 6);
+        assert_eq!(serving.counts[7], -2);
+
+        // Restore alone reproduces the parked sketch exactly.
+        let restored: TallySink = parked.restore().unwrap();
+        assert_eq!(restored, client);
+    }
+
+    #[test]
+    fn parked_state_surfaces_decode_and_merge_failures() {
+        let parked = ParkedState::park(&TallySink::new(4), 0).unwrap();
+
+        // Corrupt bytes: the decode error comes through.
+        let corrupt = ParkedState::from_parts(parked.bytes()[..3].to_vec(), 0);
+        let mut target = TallySink::new(4);
+        assert!(corrupt.merge_into(&mut target).is_err());
+
+        // Shape mismatch: surfaces as CheckpointError::Merge.
+        let mut wrong_domain = TallySink::new(16);
+        assert!(matches!(
+            parked.merge_into(&mut wrong_domain),
+            Err(CheckpointError::Merge(_))
+        ));
+    }
 
     #[test]
     fn row_hasher_roundtrip_both_backends() {

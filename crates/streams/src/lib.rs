@@ -66,7 +66,7 @@ pub mod stream;
 pub mod update;
 pub mod wire;
 
-pub use checkpoint::{Checkpoint, CheckpointError};
+pub use checkpoint::{Checkpoint, CheckpointError, ParkedState};
 pub use coordinator::{ShardedTwoPassCoordinator, TwoPhaseSketch};
 pub use error::StreamError;
 pub use frequency::FrequencyVector;
@@ -84,4 +84,4 @@ pub use sink::{
 pub use source::{IterSource, StreamSource, UpdateSource};
 pub use stream::TurnstileStream;
 pub use update::Update;
-pub use wire::{FrameReader, FrameWriter, WireError};
+pub use wire::{FrameReader, FrameWriter, WireError, WireProgress};

@@ -96,6 +96,17 @@ pub enum WireError {
         /// The receiver's configured bound.
         max: u32,
     },
+    /// The stream header declares a different domain than the receiver
+    /// serves.  Checked once, at header decode
+    /// ([`FrameReader::with_expected_domain`]), so an item that is legal for
+    /// the *declared* domain but out of range for the *serving* domain can
+    /// never survive decoding and reach a sketch at apply time.
+    DomainMismatch {
+        /// The domain size declared in the stream header.
+        declared: u64,
+        /// The domain size the receiver serves.
+        expected: u64,
+    },
     /// The frame payload is structurally invalid: an updates payload whose
     /// length is not a multiple of the encoded update size, a non-empty
     /// end-of-stream frame, an item outside the stream's declared domain.
@@ -117,6 +128,10 @@ impl fmt::Display for WireError {
             WireError::OversizedFrame { len, max } => write!(
                 f,
                 "frame length prefix {len} exceeds the {max}-byte frame bound"
+            ),
+            WireError::DomainMismatch { declared, expected } => write!(
+                f,
+                "stream declares domain {declared} but the receiver serves domain {expected}"
             ),
             WireError::Corrupt(reason) => write!(f, "corrupt wire frame: {reason}"),
         }
@@ -287,6 +302,21 @@ impl<W: Write> FrameWriter<W> {
     }
 }
 
+/// A point-in-time progress report for a [`FrameReader`] — the counters a
+/// serving loop consults when deciding what to do with a stream that died
+/// mid-flight (how far did it get? did it end cleanly or was it cut off?).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireProgress {
+    /// Frames consumed so far (the end-of-stream frame included).
+    pub frames_read: u64,
+    /// Updates yielded to the consumer so far.
+    pub updates_read: u64,
+    /// Whether the explicit end-of-stream frame was consumed.
+    pub finished: bool,
+    /// Whether a decode error ended the stream early.
+    pub errored: bool,
+}
+
 /// Reads a framed wire stream from any [`Read`] and yields its updates.
 ///
 /// The header is read and validated on construction.  `FrameReader`
@@ -346,6 +376,25 @@ impl<R: Read> FrameReader<R> {
         })
     }
 
+    /// Require the stream's declared domain to be exactly `expected` — the
+    /// single decode-time gate a receiver serving a fixed domain uses.
+    ///
+    /// Without this check a stream declaring a *larger* domain than the
+    /// receiver serves decodes cleanly (every item is validated against the
+    /// declared domain only) and the out-of-range items surface wherever the
+    /// sketch happens to notice them, at apply time.  Checking the header
+    /// once moves that failure to decode, as a typed
+    /// [`WireError::DomainMismatch`].
+    pub fn with_expected_domain(self, expected: u64) -> Result<Self, WireError> {
+        if self.domain != expected {
+            return Err(WireError::DomainMismatch {
+                declared: self.domain,
+                expected,
+            });
+        }
+        Ok(self)
+    }
+
     /// Tighten or loosen the frame-size bound (an incoming length prefix
     /// beyond it is rejected before allocation).
     ///
@@ -383,6 +432,19 @@ impl<R: Read> FrameReader<R> {
     /// Number of updates yielded so far.
     pub fn updates_read(&self) -> u64 {
         self.updates_read
+    }
+
+    /// Point-in-time progress: frame/update counters plus whether the stream
+    /// reached its end frame or died on a decode error.  A serving loop uses
+    /// this to report how far a failed client stream got before its failure
+    /// policy decides what to keep.
+    pub fn progress(&self) -> WireProgress {
+        WireProgress {
+            frames_read: self.frames_read,
+            updates_read: self.updates_read,
+            finished: self.finished,
+            errored: self.error.is_some(),
+        }
     }
 
     /// Close out the stream: succeeds only when the explicit end-of-stream
@@ -678,6 +740,76 @@ mod tests {
     }
 
     #[test]
+    fn domain_mismatch_is_rejected_at_header_decode() {
+        // A stream legally declaring a larger domain than the receiver
+        // serves: every item passes the declared-domain check, so without
+        // the expected-domain gate the out-of-range items would only
+        // surface at apply time, inside whatever sketch consumed them.
+        let bytes = encode_updates(1 << 20, &[Update::insert(70_000)]).unwrap();
+        let reader = FrameReader::new(bytes.as_slice()).unwrap();
+        match reader.with_expected_domain(1 << 10) {
+            Err(WireError::DomainMismatch { declared, expected }) => {
+                assert_eq!(declared, 1 << 20);
+                assert_eq!(expected, 1 << 10);
+            }
+            other => panic!("expected DomainMismatch, got {other:?}"),
+        }
+
+        // A matching declaration passes through untouched.
+        let bytes = encode_updates(64, &sample_updates()).unwrap();
+        let mut reader = FrameReader::new(bytes.as_slice())
+            .unwrap()
+            .with_expected_domain(64)
+            .unwrap();
+        let decoded: Vec<Update> = reader.updates().collect();
+        assert_eq!(decoded, sample_updates());
+    }
+
+    #[test]
+    fn progress_tracks_frames_updates_and_termination() {
+        let updates: Vec<Update> = (0..20u64).map(|i| Update::new(i % 8, 1)).collect();
+        let mut writer = FrameWriter::new(Vec::new(), 8)
+            .unwrap()
+            .with_frame_updates(6)
+            .unwrap();
+        writer.write_batch(&updates).unwrap();
+        let bytes = writer.finish().unwrap();
+
+        let mut reader = FrameReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(
+            reader.progress(),
+            WireProgress {
+                frames_read: 0,
+                updates_read: 0,
+                finished: false,
+                errored: false
+            }
+        );
+        for _ in 0..7 {
+            reader.next_update().unwrap();
+        }
+        let mid = reader.progress();
+        assert_eq!(mid.updates_read, 7);
+        assert!(mid.frames_read >= 2 && !mid.finished && !mid.errored);
+        while reader.next_update().is_some() {}
+        assert_eq!(
+            reader.progress(),
+            WireProgress {
+                frames_read: 5, // 4 update frames of ≤6 + the end frame
+                updates_read: 20,
+                finished: true,
+                errored: false
+            }
+        );
+
+        // A truncated stream reports errored instead of finished.
+        let mut reader = FrameReader::new(&bytes[..bytes.len() - 3]).unwrap();
+        while reader.next_update().is_some() {}
+        let end = reader.progress();
+        assert!(end.errored && !end.finished);
+    }
+
+    #[test]
     fn finish_hands_back_the_inner_io_object() {
         let updates = sample_updates();
         let bytes = encode_updates(64, &updates).unwrap();
@@ -707,5 +839,11 @@ mod tests {
         assert!(WireError::Corrupt("odd payload".into())
             .to_string()
             .contains("odd payload"));
+        let mismatch = WireError::DomainMismatch {
+            declared: 1024,
+            expected: 64,
+        };
+        assert!(mismatch.to_string().contains("1024"));
+        assert!(mismatch.to_string().contains("64"));
     }
 }

@@ -1,55 +1,37 @@
-//! A `std::net`-only TCP ingest server for framed update streams.
+//! A checkpointing TCP ingest server — now thin wiring over [`gsum_serve`].
 //!
-//! This is the serving loop the wire format, the pipelined ingest and the
-//! checkpoint layer were built for: a long-lived process that
-//!
-//! 1. accepts **framed wire streams** (`FrameWriter`/`FrameReader`) on a
-//!    socket and feeds them to a `OnePassGSumSketch` through a
-//!    backpressure-aware [`PipelinedIngest`] — a fast client blocks on TCP
-//!    flow control instead of ballooning server memory;
-//! 2. answers **point queries** on the same port (`EST` for the current
-//!    g-SUM estimate, `COUNT` for the durable update count) at any moment —
-//!    the sketch is queryable at every prefix;
-//! 3. **checkpoints every K updates** (atomic temp-file + rename), so a
-//!    killed server restarts from its last checkpoint and — after the client
-//!    replays the non-durable suffix from the acknowledged offset — reaches
-//!    a state **bit-for-bit identical** to a never-killed run.
+//! PR 4 prototyped this serving loop as ~380 lines of example code; the
+//! serving layer has since been promoted into the `gsum_serve` crate
+//! ([`GsumServer`], [`MergeCoordinator`](zerolaw::serve::MergeCoordinator),
+//! [`CheckpointEnvelope`], the `EST`/`COUNT`/`QUIT` protocol module), and
+//! this example is what remains: choosing a sketch, a policy and a
+//! checkpoint path, then handing the listener over.  Connections are now
+//! served **concurrently** — see `examples/multi_client.rs` for the
+//! multi-client fan-in demo.
 //!
 //! Run with `cargo run --example ingest_server` for a self-terminating
-//! loopback demo that actually kills the server mid-stream and proves the
-//! resumed estimate matches an uninterrupted single-threaded reference to
-//! the bit.  Run with `--serve <addr>` to keep a server up for manual use:
+//! loopback demo that actually kills the server mid-stream (the
+//! fault-injection hook) and proves the resumed estimate matches an
+//! uninterrupted single-threaded reference to the bit.  Run with
+//! `--serve <addr>` to keep a server up for manual use:
 //!
 //! ```text
 //! cargo run --example ingest_server -- --serve 127.0.0.1:7171
 //! ```
 //!
-//! ## Protocol
-//!
-//! One TCP connection carries either a framed wire stream (recognized by the
-//! 4-byte wire magic) or a single ASCII command line:
-//!
-//! | client sends                  | server replies                          |
-//! |-------------------------------|-----------------------------------------|
-//! | wire stream (magic `ZLWU`)    | `OK <durable-count>\n` after the end-of-stream frame |
-//! | `EST\n`                       | `EST <f64-bits> <estimate>\n`           |
-//! | `COUNT\n`                     | `COUNT <durable-count>\n`               |
-//! | `QUIT\n`                      | `BYE\n`, then the server exits          |
-//!
-//! `COUNT` is the at-least-once resume contract: after a crash the client
-//! asks how many updates are durable and replays its stream from exactly
-//! that offset.
+//! The demo uses [`ServePolicy::MergeCompleted`], the offset-replay
+//! contract: completed K-slices become durable mid-stream, and after a
+//! crash the client asks `COUNT` for the durable offset and replays exactly
+//! the non-durable suffix.
 
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter};
 use std::net::{TcpListener, TcpStream};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use zerolaw::prelude::*;
-use zerolaw::streams::wire::WIRE_MAGIC;
 
 const DOMAIN: u64 = 1 << 10;
 const SEED: u64 = 42;
 const CHECKPOINT_EVERY: usize = 500;
-const PIPELINE_WORKERS: usize = 2;
 
 /// The serving sketch, reconstructed identically on every boot: same
 /// function, same configuration, same seed — so a checkpoint taken by one
@@ -59,193 +41,22 @@ fn prototype() -> OnePassGSumSketch<PowerFunction> {
     OnePassGSumSketch::new(PowerFunction::new(2.0), &config)
 }
 
-/// Durable server state: the update count followed by the sketch checkpoint.
-/// The count is the offset the server acknowledges to clients — the replay
-/// point after a crash.
-fn save_checkpoint(
-    path: &Path,
-    count: u64,
-    sketch: &OnePassGSumSketch<PowerFunction>,
-) -> std::io::Result<()> {
-    let mut bytes = count.to_le_bytes().to_vec();
-    sketch
-        .save(&mut bytes)
-        .map_err(|e| std::io::Error::other(e.to_string()))?;
-    // Atomic publish: a crash mid-write must never leave a torn checkpoint.
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, &bytes)?;
-    std::fs::rename(&tmp, path)
-}
-
-fn load_checkpoint(path: &Path) -> Option<(u64, OnePassGSumSketch<PowerFunction>)> {
-    let bytes = std::fs::read(path).ok()?;
-    let mut r = bytes.as_slice();
-    let mut count_buf = [0u8; 8];
-    r.read_exact(&mut count_buf).ok()?;
-    let sketch = OnePassGSumSketch::restore(&mut r).ok()?;
-    Some((u64::from_le_bytes(count_buf), sketch))
-}
-
-struct IngestServer {
-    sketch: OnePassGSumSketch<PowerFunction>,
-    durable_count: u64,
-    pipeline: PipelinedIngest,
-    checkpoint_path: PathBuf,
-    checkpoint_every: usize,
-    /// Demo hook: simulate `kill -9` once this many updates have arrived —
-    /// the current chunk is abandoned un-merged and the process state is
-    /// dropped on the floor; only the checkpoint file survives.
-    kill_after: Option<u64>,
-}
-
-impl IngestServer {
-    fn boot(checkpoint_path: PathBuf, kill_after: Option<u64>) -> Self {
-        let (durable_count, sketch) = match load_checkpoint(&checkpoint_path) {
-            Some((count, sketch)) => {
-                eprintln!("[server] restored checkpoint: {count} updates durable");
-                (count, sketch)
-            }
-            None => {
-                eprintln!("[server] fresh boot (no checkpoint)");
-                (0, prototype())
-            }
-        };
-        Self {
-            sketch,
-            durable_count,
-            pipeline: PipelinedIngest::new(PIPELINE_WORKERS)
+fn server_config() -> ServeConfig {
+    ServeConfig::new()
+        .with_policy(ServePolicy::MergeCompleted)
+        .with_checkpoint_every(CHECKPOINT_EVERY)
+        .with_pipeline(
+            PipelinedIngest::new(2)
                 .with_batch_size(256)
                 .with_channel_depth(4),
-            checkpoint_path,
-            checkpoint_every: CHECKPOINT_EVERY,
-            kill_after,
-        }
-    }
-
-    /// Accept connections until `QUIT` (or the simulated kill).  Returns
-    /// `true` on a clean shutdown, `false` on the simulated crash.
-    fn serve(&mut self, listener: TcpListener) -> bool {
-        for stream in listener.incoming() {
-            let stream = match stream {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("[server] accept failed: {e}");
-                    continue;
-                }
-            };
-            match self.handle_connection(stream) {
-                Ok(Verdict::KeepServing) => {}
-                Ok(Verdict::Quit) => return true,
-                Ok(Verdict::Killed) => {
-                    eprintln!("[server] simulated kill: dying without a final checkpoint");
-                    return false;
-                }
-                Err(e) => eprintln!("[server] connection error: {e}"),
-            }
-        }
-        true
-    }
-
-    fn handle_connection(&mut self, stream: TcpStream) -> std::io::Result<Verdict> {
-        let mut reply = BufWriter::new(stream.try_clone()?);
-        let mut reader = BufReader::new(stream);
-
-        // One sniff distinguishes a framed stream from a command line.
-        let mut head = [0u8; 4];
-        reader.read_exact(&mut head)?;
-        if head == WIRE_MAGIC {
-            return self.handle_ingest(head, reader, reply);
-        }
-
-        let mut line = head.to_vec();
-        if !line.contains(&b'\n') {
-            let mut rest = Vec::new();
-            reader.read_until(b'\n', &mut rest)?;
-            line.extend_from_slice(&rest);
-        }
-        let command = String::from_utf8_lossy(&line);
-        match command.trim() {
-            "EST" => {
-                let est = self.sketch.estimate();
-                writeln!(reply, "EST {} {est}", est.to_bits())?;
-            }
-            "COUNT" => writeln!(reply, "COUNT {}", self.durable_count)?,
-            "QUIT" => {
-                writeln!(reply, "BYE")?;
-                reply.flush()?;
-                return Ok(Verdict::Quit);
-            }
-            other => writeln!(reply, "ERR unknown command {other:?}")?,
-        }
-        reply.flush()?;
-        Ok(Verdict::KeepServing)
-    }
-
-    /// Ingest one framed stream in checkpoint-sized slices: pipeline-ingest
-    /// at most K updates into a fresh clone of the prototype, merge the
-    /// slice into the serving sketch, persist, repeat.  Linearity makes each
-    /// merge exact, so the serving state after any number of slices is
-    /// bit-identical to single-threaded ingestion of the same prefix.
-    fn handle_ingest(
-        &mut self,
-        magic: [u8; 4],
-        reader: BufReader<TcpStream>,
-        mut reply: BufWriter<TcpStream>,
-    ) -> std::io::Result<Verdict> {
-        let proto = prototype();
-        let mut frames = match FrameReader::new((&magic[..]).chain(reader)) {
-            Ok(f) => f,
-            Err(e) => {
-                writeln!(reply, "ERR {e}")?;
-                reply.flush()?;
-                return Ok(Verdict::KeepServing);
-            }
-        };
-        loop {
-            let (slice, consumed) = self
-                .pipeline
-                .ingest_limited(&mut frames, &proto, self.checkpoint_every)
-                .map_err(|e| std::io::Error::other(e.to_string()))?;
-            if consumed == 0 {
-                break;
-            }
-            if let Some(kill_after) = self.kill_after {
-                if self.durable_count + consumed as u64 > kill_after {
-                    // Crash before this slice becomes durable: the merge and
-                    // checkpoint below never happen, exactly like a SIGKILL
-                    // between persistence points.
-                    return Ok(Verdict::Killed);
-                }
-            }
-            self.sketch
-                .merge(&slice)
-                .map_err(|e| std::io::Error::other(e.to_string()))?;
-            self.durable_count += consumed as u64;
-            save_checkpoint(&self.checkpoint_path, self.durable_count, &self.sketch)?;
-        }
-        match frames.finish() {
-            Ok(_) => {
-                eprintln!("[server] stream complete: {} durable", self.durable_count);
-                writeln!(reply, "OK {}", self.durable_count)?;
-            }
-            Err(e) => writeln!(reply, "ERR {e}")?,
-        }
-        reply.flush()?;
-        Ok(Verdict::KeepServing)
-    }
-}
-
-enum Verdict {
-    KeepServing,
-    Quit,
-    Killed,
+        )
 }
 
 // ---------------------------------------------------------------------------
 // Loopback client used by the demo.
 // ---------------------------------------------------------------------------
 
-fn send_updates(addr: &str, updates: &[Update]) -> Result<String, String> {
+fn send_updates(addr: &str, updates: &[Update]) -> Result<Response, String> {
     let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
     let mut read_half = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut writer = FrameWriter::new(BufWriter::new(stream), DOMAIN)
@@ -261,28 +72,39 @@ fn send_updates(addr: &str, updates: &[Update]) -> Result<String, String> {
     if response.is_empty() {
         return Err("connection closed without a response".into());
     }
-    Ok(response.trim().to_string())
+    Response::parse(&response).map_err(|e| e.to_string())
 }
 
-fn command(addr: &str, cmd: &str) -> std::io::Result<String> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.write_all(cmd.as_bytes())?;
-    stream.write_all(b"\n")?;
-    stream.flush()?;
+fn query(addr: &str, cmd: Command) -> Response {
+    use std::io::Write;
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "{cmd}").expect("send command");
+    stream.flush().expect("flush");
     let mut response = String::new();
-    BufReader::new(stream).read_line(&mut response)?;
-    Ok(response.trim().to_string())
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .expect("read response");
+    Response::parse(&response).expect("parse response")
 }
 
 fn spawn_server(
     checkpoint_path: PathBuf,
-    kill_after: Option<u64>,
+    crash_after: Option<u64>,
 ) -> (String, std::thread::JoinHandle<bool>) {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr").to_string();
     let handle = std::thread::spawn(move || {
-        let mut server = IngestServer::boot(checkpoint_path, kill_after);
-        server.serve(listener)
+        let mut config = server_config();
+        if let Some(limit) = crash_after {
+            config = config.with_crash_after(limit);
+        }
+        let server =
+            GsumServer::boot(prototype(), config, Some(checkpoint_path)).expect("boot server");
+        eprintln!(
+            "[server] listening; {} updates durable from checkpoint",
+            server.durable_count()
+        );
+        server.serve(listener).expect("serve").clean_shutdown
     });
     (addr, handle)
 }
@@ -321,12 +143,10 @@ fn loopback_demo() {
     // Incarnation 2: restores the checkpoint, tells the client how much is
     // durable, and ingests the replayed suffix.
     let (addr, server) = spawn_server(checkpoint_path.clone(), None);
-    let count_resp = command(&addr, "COUNT").expect("COUNT query");
-    let durable: usize = count_resp
-        .strip_prefix("COUNT ")
-        .expect("COUNT reply shape")
-        .parse()
-        .expect("COUNT value");
+    let durable = match query(&addr, Command::Count) {
+        Response::Count(n) => n as usize,
+        other => panic!("COUNT reply shape: {other:?}"),
+    };
     println!("client: {durable} updates survived the kill; replaying the rest");
     assert!(durable < updates.len(), "the kill must lose some tail");
     assert_eq!(
@@ -336,15 +156,16 @@ fn loopback_demo() {
     );
 
     let ok = send_updates(&addr, &updates[durable..]).expect("replay suffix");
-    assert_eq!(ok, format!("OK {}", updates.len()), "full stream durable");
+    assert_eq!(
+        ok,
+        Response::Ok(updates.len() as u64),
+        "full stream durable"
+    );
 
-    let est_resp = command(&addr, "EST").expect("EST query");
-    let bits: u64 = est_resp
-        .split_whitespace()
-        .nth(1)
-        .expect("EST reply shape")
-        .parse()
-        .expect("EST bits");
+    let bits = match query(&addr, Command::Est) {
+        Response::Est { bits } => bits,
+        other => panic!("EST reply shape: {other:?}"),
+    };
     assert_eq!(
         bits, reference_bits,
         "kill-then-resume must reproduce the uninterrupted estimate bit-for-bit"
@@ -354,7 +175,7 @@ fn loopback_demo() {
         f64::from_bits(bits)
     );
 
-    assert_eq!(command(&addr, "QUIT").expect("QUIT"), "BYE");
+    assert_eq!(query(&addr, Command::Quit), Response::Bye);
     assert!(server.join().expect("server thread"), "clean shutdown");
     let _ = std::fs::remove_file(&checkpoint_path);
     println!("ingest_server demo: kill + resume is bit-exact ✓");
@@ -374,7 +195,9 @@ fn main() {
                 listener.local_addr().expect("local addr"),
                 checkpoint_path.display()
             );
-            IngestServer::boot(checkpoint_path, None).serve(listener);
+            let server = GsumServer::boot(prototype(), server_config(), Some(checkpoint_path))
+                .expect("boot server");
+            server.serve(listener).expect("serve");
         }
         _ => loopback_demo(),
     }

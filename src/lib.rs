@@ -21,6 +21,9 @@
 //! * [`comm`] — communication-problem instances (INDEX, DISJ, DISJ+IND,
 //!   ShortLinearCombination) and their stream reductions, used to exercise
 //!   the lower-bound side of the zero-one laws.
+//! * [`serve`] — the serving layer: a concurrent multi-client TCP server
+//!   with merge-on-ingest fan-in, failure policies for partial streams, and
+//!   durable checkpoint envelopes.
 //!
 //! ## Quickstart — push-based ingestion
 //!
@@ -177,7 +180,7 @@
 //! channels: when workers lag, the producer blocks (on a socket that
 //! propagates to the peer via TCP flow control), and the merged result is
 //! bit-identical to single-threaded ingestion.
-//! `examples/ingest_server.rs` combines the three layers into a TCP serving
+//! `examples/ingest_server.rs` wires the three layers into a TCP serving
 //! loop that checkpoints every K updates and resumes bit-exactly after a
 //! kill.
 //!
@@ -209,11 +212,65 @@
 //! }
 //! assert_eq!(sketch.estimate().to_bits(), single.estimate().to_bits());
 //! ```
+//!
+//! ### The serving layer — concurrent multi-client merge-on-ingest
+//!
+//! [`GsumServer`](prelude::GsumServer) is the long-lived process the wire,
+//! pipeline and checkpoint layers feed: an accept loop hands each TCP
+//! connection its own thread, each client stream pipelines into its own
+//! clone-with-shared-seeds sketch, and a
+//! [`MergeCoordinator`](prelude::MergeCoordinator) folds completed client
+//! states into the serving state.  Linearity makes the fan-in exact: any
+//! number of concurrent clients, folded in any completion order, land in a
+//! state **bit-identical** to a single-threaded replay of the concatenated
+//! streams (`examples/multi_client.rs` proves this over real sockets).  A
+//! stream that dies mid-frame is resolved by the configured
+//! [`ServePolicy`](prelude::ServePolicy) — discarded whole, or merged up to
+//! its last completed slice — and the serving state snapshots to a
+//! [`CheckpointEnvelope`](prelude::CheckpointEnvelope) (state bytes bound to
+//! the durable update count, published atomically) every K merged updates.
+//!
+//! The coordinator is transport-free, so fan-in does not require sockets —
+//! or even one machine: parked checkpoint bytes fold too.
+//!
+//! ```
+//! use zerolaw::prelude::*;
+//! use zerolaw::streams::wire::encode_updates;
+//!
+//! let cfg = GSumConfig::with_space_budget(1 << 8, 0.2, 128, 3);
+//! let prototype = OnePassGSumSketch::new(PowerFunction::new(2.0), &cfg);
+//! let coordinator =
+//!     MergeCoordinator::new(prototype.clone(), 0, 256, None, None).expect("config");
+//! let pipeline = PipelinedIngest::new(2);
+//!
+//! // Two "clients", each a framed stream (in production: sockets).
+//! let a: Vec<Update> = (0..900).map(|i| Update::new(i % 97, 1)).collect();
+//! let b: Vec<Update> = (0..700).map(|i| Update::new(i % 31, -1)).collect();
+//! for stream in [&a, &b] {
+//!     let bytes = encode_updates(1 << 8, stream).expect("encode");
+//!     let mut frames = FrameReader::new(bytes.as_slice()).expect("header");
+//!     let outcome = coordinator
+//!         .ingest_stream(&prototype, &pipeline, ServePolicy::DiscardPartial, &mut frames)
+//!         .expect("ingest");
+//!     assert!(outcome.completed());
+//! }
+//!
+//! // Bit-identical to one sketch absorbing both streams back to back.
+//! let mut single = prototype.clone();
+//! for &u in a.iter().chain(&b) {
+//!     single.update(u);
+//! }
+//! assert_eq!(
+//!     coordinator.snapshot().expect("snapshot").state_bytes(),
+//!     single.to_checkpoint_bytes().expect("save").as_slice()
+//! );
+//! ```
 
 pub use gsum_comm as comm;
 pub use gsum_core as core;
 pub use gsum_gfunc as gfunc;
 pub use gsum_hash as hash;
+pub use gsum_serve as serve;
 pub use gsum_sketch as sketch;
 pub use gsum_streams as streams;
 
@@ -237,15 +294,20 @@ pub mod prelude {
         FunctionCodec, GFunction,
     };
     pub use gsum_hash::{HashBackend, RowHasher};
+    pub use gsum_serve::{
+        protocol, CheckpointEnvelope, Command, FoldOutcome, GsumServer, MergeCoordinator,
+        ProtocolError, Response, ServableSketch, ServeConfig, ServeConfigError, ServeError,
+        ServePolicy, ServeStats, ServeSummary, StreamOutcome,
+    };
     pub use gsum_sketch::{
         AmsF2Sketch, CountMinConfig, CountMinSketch, CountSketch, CountSketchConfig,
         ExactFrequencies, FrequencySketch,
     };
     pub use gsum_streams::{
         coalesce_updates, Checkpoint, CheckpointError, FrameReader, FrameWriter, FrequencyVector,
-        IngestConfigError, IterSource, MergeError, MergeableSketch, PipelineError, PipelinedIngest,
-        PlantedStreamGenerator, ShardedIngest, ShardedTwoPassCoordinator, StreamConfig,
-        StreamGenerator, StreamSink, TurnstileStream, TwoPhaseSketch, UniformStreamGenerator,
-        Update, UpdateSource, WireError, ZipfStreamGenerator,
+        IngestConfigError, IterSource, MergeError, MergeableSketch, ParkedState, PipelineError,
+        PipelinedIngest, PlantedStreamGenerator, ShardedIngest, ShardedTwoPassCoordinator,
+        StreamConfig, StreamGenerator, StreamSink, TurnstileStream, TwoPhaseSketch,
+        UniformStreamGenerator, Update, UpdateSource, WireError, WireProgress, ZipfStreamGenerator,
     };
 }
