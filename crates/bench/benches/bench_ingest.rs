@@ -16,6 +16,8 @@
 //! * `sharded_N` — `ShardedIngest` across N worker threads (wall-clock
 //!   speedup needs a multi-core host; on one core it measures channel
 //!   overhead).
+//! * `pipelined_N` — `PipelinedIngest`: one decode/coalesce stage feeding N
+//!   hash+apply workers over bounded channels (same single-core caveat).
 //!
 //! Besides the console table, the bench writes a machine-readable
 //! `BENCH_ingest.json` at the workspace root (override the path with the
@@ -27,11 +29,14 @@ use gsum_gfunc::library::PowerFunction;
 use gsum_hash::HashBackend;
 use gsum_sketch::{CountSketch, CountSketchConfig};
 use gsum_streams::{
-    ShardedIngest, StreamConfig, StreamGenerator, StreamSink, TurnstileStream, ZipfStreamGenerator,
+    PipelinedIngest, ShardedIngest, StreamConfig, StreamGenerator, StreamSink, TurnstileStream,
+    ZipfStreamGenerator,
 };
 use std::time::{Duration, Instant};
 
 const DOMAIN: u64 = 1 << 12;
+/// Floor on measured iterations per variant, regardless of time budget.
+const MIN_ITERATIONS: u64 = 8;
 const ZIPF_ALPHA: f64 = 1.2;
 const CHUNK: usize = 4096;
 
@@ -84,8 +89,11 @@ fn git_commit() -> String {
 /// construction — for the tabulation backend that is filling 8 × 256
 /// lookup tables per hash) is *excluded* from the measurement, so the
 /// reported numbers are ingestion only.  One warm-up run, then as many
-/// measured runs as fit in the budget (at least 3).  Returns mean
-/// ns/iteration and the iteration count.
+/// measured runs as fit in the budget, with a floor of
+/// [`MIN_ITERATIONS`] so slow variants still average over enough runs for
+/// `ns_per_iter` to be comparable across PRs (a 3-iteration sample was
+/// dominated by scheduling noise).  Returns mean ns/iteration and the
+/// iteration count.
 fn measure<T>(
     budget: Duration,
     mut setup: impl FnMut() -> T,
@@ -95,7 +103,7 @@ fn measure<T>(
     let mut measured = Duration::ZERO;
     let mut iterations = 0u64;
     let wall = Instant::now();
-    while iterations < 3 || (wall.elapsed() < budget && iterations < 1_000_000) {
+    while iterations < MIN_ITERATIONS || (wall.elapsed() < budget && iterations < 1_000_000) {
         let input = setup();
         let t = Instant::now();
         routine(input);
@@ -238,7 +246,46 @@ fn bench_gsum(
                 std::hint::black_box(&sk);
             },
         );
+        run(
+            results,
+            &format!("onepass_gsum/coalesced_full/{b}"),
+            updates,
+            budget,
+            || gsum_sketch(backend),
+            |mut sk| {
+                sk.update_batch(s.updates());
+                std::hint::black_box(&sk);
+            },
+        );
     }
+    run(
+        results,
+        "onepass_gsum/sharded_2/polynomial",
+        updates,
+        budget,
+        || gsum_sketch(HashBackend::Polynomial),
+        |prototype| {
+            let merged = ShardedIngest::new(2)
+                .with_batch_size(2048)
+                .ingest(&mut s.source(), &prototype)
+                .unwrap();
+            std::hint::black_box(&merged);
+        },
+    );
+    run(
+        results,
+        "onepass_gsum/pipelined_2/polynomial",
+        updates,
+        budget,
+        || gsum_sketch(HashBackend::Polynomial),
+        |prototype| {
+            let merged = PipelinedIngest::new(2)
+                .with_batch_size(2048)
+                .ingest(&mut s.source(), &prototype)
+                .unwrap();
+            std::hint::black_box(&merged);
+        },
+    );
 }
 
 fn json_escape(s: &str) -> String {
@@ -252,11 +299,12 @@ fn write_json(
     quick: bool,
     speedup: f64,
     tab_speedup: f64,
+    gsum_speedup: f64,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"bench_ingest\",\n");
-    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str("  \"schema_version\": 4,\n");
     // Provenance metadata: which commit produced these numbers, which hash
     // backends and coalescing modes the matrix swept, how many hardware
     // threads the host offered (sharded/pipelined numbers are meaningless
@@ -311,6 +359,9 @@ fn write_json(
     out.push_str(&format!(
         "  \"speedup_tabulation_vs_polynomial_per_update\": {tab_speedup:.3},\n"
     ));
+    out.push_str(&format!(
+        "  \"speedup_gsum_coalesced_vs_per_update\": {gsum_speedup:.3},\n"
+    ));
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -356,17 +407,29 @@ fn main() {
     let per_update = lookup(&results, "countsketch/per_update/polynomial");
     let coalesced = lookup(&results, "countsketch/coalesced_full/polynomial");
     let per_update_tab = lookup(&results, "countsketch/per_update/tabulation");
+    let gsum_per_update = lookup(&results, "onepass_gsum/per_update/polynomial");
+    let gsum_coalesced = lookup(&results, "onepass_gsum/coalesced_full/polynomial");
     let speedup = per_update / coalesced;
     let tab_speedup = per_update / per_update_tab;
+    let gsum_speedup = gsum_per_update / gsum_coalesced;
     println!("\ncoalesced-batched vs per-update CountSketch speedup: {speedup:.2}x");
     println!("tabulation vs polynomial per-update speedup: {tab_speedup:.2}x");
+    println!("coalesced vs per-update onepass_gsum speedup: {gsum_speedup:.2}x");
 
     let path = std::env::var("BENCH_INGEST_JSON")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|_| {
             std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ingest.json")
         });
-    match write_json(&path, &results, updates, quick, speedup, tab_speedup) {
+    match write_json(
+        &path,
+        &results,
+        updates,
+        quick,
+        speedup,
+        tab_speedup,
+        gsum_speedup,
+    ) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }

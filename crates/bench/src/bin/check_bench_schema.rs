@@ -1,14 +1,16 @@
-//! CI gate: validate `BENCH_ingest.json` against the v3 bench schema.
+//! CI gate: validate `BENCH_ingest.json` against the v4 bench schema.
 //!
 //! The ingestion bench writes a machine-readable artifact that CI uploads
 //! per PR; the whole point of that trajectory is comparability, so schema
 //! drift (a dropped `meta` block, a result missing its `mode`/`backend`
 //! fields, a NaN that corrupts the numbers) must fail the build rather than
 //! ship a silently unusable artifact.  This binary parses the JSON with the
-//! in-tree parser (no external deps) and checks every v3 invariant:
+//! in-tree parser (no external deps) and checks every v4 invariant:
 //!
-//! * top level: `bench == "bench_ingest"`, `schema_version == 3`, a
-//!   `workload` object, finite positive `speedup_*` summary fields;
+//! * top level: `bench == "bench_ingest"`, `schema_version == 4`, a
+//!   `workload` object, finite positive `speedup_*` summary fields
+//!   (including `speedup_gsum_coalesced_vs_per_update`, new in v4 — the
+//!   recursive-sketch hot path is the number the perf trajectory is about);
 //! * `meta`: non-empty `git_commit`, non-empty `backends` and
 //!   `coalescing_modes` string arrays, a `default_backend` contained in
 //!   `backends`, an integral `available_parallelism ≥ 1` (new in v3 —
@@ -17,7 +19,11 @@
 //! * `results`: non-empty; every entry carries `name` (shaped
 //!   `family/mode/backend`), `mode` and `backend` fields that agree with the
 //!   name and with the `meta` lists, finite positive `ns_per_iter` /
-//!   `updates_per_sec`, and an integral `iterations ≥ 1`.
+//!   `updates_per_sec`, and an integral `iterations ≥ 1`;
+//! * required rows (new in v4): the `onepass_gsum` whole-batch and parallel
+//!   variants ([`REQUIRED_RESULTS`]) must be present, so the headline
+//!   estimator's ingestion numbers can never silently drop out of the
+//!   artifact.
 //!
 //! Usage: `check_bench_schema [path]` (default: `$BENCH_INGEST_JSON`, then
 //! `./BENCH_ingest.json`).  Exits non-zero listing every violation.
@@ -27,7 +33,16 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// The schema version this gate understands.
-const EXPECTED_SCHEMA_VERSION: f64 = 3.0;
+const EXPECTED_SCHEMA_VERSION: f64 = 4.0;
+
+/// Result rows that must be present in a v4 artifact: the recursive-sketch
+/// hot-path variants this PR trajectory tracks.
+const REQUIRED_RESULTS: [&str; 4] = [
+    "onepass_gsum/coalesced_full/polynomial",
+    "onepass_gsum/coalesced_full/tabulation",
+    "onepass_gsum/sharded_2/polynomial",
+    "onepass_gsum/pipelined_2/polynomial",
+];
 
 struct Violations(Vec<String>);
 
@@ -220,6 +235,12 @@ fn validate(root: &JsonValue) -> Violations {
         "top level",
         &mut out,
     );
+    positive_number(
+        root,
+        "speedup_gsum_coalesced_vs_per_update",
+        "top level",
+        &mut out,
+    );
 
     let (backends, modes) = check_meta(root, &mut out);
 
@@ -228,6 +249,16 @@ fn validate(root: &JsonValue) -> Violations {
         Some(results) => {
             for (i, result) in results.iter().enumerate() {
                 check_result(result, i, &backends, &modes, &mut out);
+            }
+            for required in REQUIRED_RESULTS {
+                let present = results
+                    .iter()
+                    .any(|r| r.get("name").and_then(JsonValue::as_str) == Some(required));
+                if !present {
+                    out.push(format!(
+                        "results: required row {required:?} is missing (required since v4)"
+                    ));
+                }
             }
         }
         None => out.push("missing \"results\" array"),
@@ -290,25 +321,38 @@ mod tests {
     fn valid_doc() -> String {
         r#"{
           "bench": "bench_ingest",
-          "schema_version": 3,
+          "schema_version": 4,
           "meta": {
             "git_commit": "abc123",
             "backends": ["polynomial", "tabulation"],
             "default_backend": "polynomial",
-            "coalescing_modes": ["per_update", "sharded_2"],
+            "coalescing_modes": ["per_update", "sharded_2", "coalesced_full", "pipelined_2"],
             "available_parallelism": 4,
             "quick": true
           },
           "workload": {"distribution": "zipf"},
           "speedup_coalesced_vs_per_update": 5.1,
           "speedup_tabulation_vs_polynomial_per_update": 3.9,
+          "speedup_gsum_coalesced_vs_per_update": 11.5,
           "results": [
             {"name": "countsketch/per_update/polynomial", "mode": "per_update",
              "backend": "polynomial", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
-             "iterations": 3},
+             "iterations": 8},
             {"name": "countsketch/sharded_2/tabulation", "mode": "sharded_2",
              "backend": "tabulation", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
-             "iterations": 3}
+             "iterations": 8},
+            {"name": "onepass_gsum/coalesced_full/polynomial", "mode": "coalesced_full",
+             "backend": "polynomial", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
+             "iterations": 8},
+            {"name": "onepass_gsum/coalesced_full/tabulation", "mode": "coalesced_full",
+             "backend": "tabulation", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
+             "iterations": 8},
+            {"name": "onepass_gsum/sharded_2/polynomial", "mode": "sharded_2",
+             "backend": "polynomial", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
+             "iterations": 8},
+            {"name": "onepass_gsum/pipelined_2/polynomial", "mode": "pipelined_2",
+             "backend": "polynomial", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
+             "iterations": 8}
           ]
         }"#
         .to_string()
@@ -338,10 +382,30 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_is_caught() {
-        let doc = valid_doc().replace("\"schema_version\": 3", "\"schema_version\": 2");
+        let doc = valid_doc().replace("\"schema_version\": 4", "\"schema_version\": 3");
         assert!(violations_of(&doc)
             .iter()
             .any(|v| v.contains("schema_version")));
+    }
+
+    #[test]
+    fn missing_required_gsum_row_is_caught() {
+        let doc = valid_doc().replace(
+            "onepass_gsum/pipelined_2/polynomial",
+            "onepass_gsum/pipelined_9/polynomial",
+        );
+        let violations = violations_of(&doc);
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("onepass_gsum/pipelined_2/polynomial") && v.contains("missing")));
+    }
+
+    #[test]
+    fn missing_gsum_speedup_field_is_caught() {
+        let doc = valid_doc().replace("\"speedup_gsum_coalesced_vs_per_update\": 11.5,", "");
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("speedup_gsum_coalesced_vs_per_update")));
     }
 
     #[test]
@@ -376,9 +440,10 @@ mod tests {
 
     #[test]
     fn nonfinite_and_nonpositive_numbers_are_caught() {
-        let doc = valid_doc().replace(
-            "\"ns_per_iter\": 10.0, \"updates_per_sec\": 100.0,\n             \"iterations\": 3},",
+        let doc = valid_doc().replacen(
+            "\"ns_per_iter\": 10.0, \"updates_per_sec\": 100.0,\n             \"iterations\": 8},",
             "\"ns_per_iter\": -1, \"updates_per_sec\": 100.0,\n             \"iterations\": 2.5},",
+            1,
         );
         let violations = violations_of(&doc);
         assert!(violations.iter().any(|v| v.contains("ns_per_iter")));

@@ -17,7 +17,7 @@
 
 use gsum_hash::{derive_seeds, BucketHash, SignHash};
 use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
-use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
+use gsum_streams::{IngestScratch, MergeError, MergeableSketch, StreamSink, Update};
 use std::collections::BTreeSet;
 use std::io::{Read, Write};
 
@@ -47,6 +47,8 @@ pub struct DistCounter {
     /// Residues of `z·b (mod a)` for `|z| ≤ |q|/4` — the values compatible
     /// with "no `c` present".
     allowed_residues: BTreeSet<i64>,
+    /// Reused coalesce scratch for `update_batch`.
+    scratch: IngestScratch<Vec<Update>>,
 }
 
 impl DistCounter {
@@ -93,6 +95,7 @@ impl DistCounter {
             signs: SignHash::new(seeds[1]),
             seed,
             allowed_residues,
+            scratch: IngestScratch::default(),
         })
     }
 
@@ -175,10 +178,13 @@ impl StreamSink for DistCounter {
     /// Batched fast path: the signed piece counters are linear in `i64`, so
     /// duplicate items coalesce exactly and are hashed once per batch.
     fn update_batch(&mut self, updates: &[Update]) {
-        let mut scratch = Vec::new();
-        for &u in gsum_streams::coalesce_into(updates, &mut scratch) {
+        // Detach the reusable buffer so `self.update` can borrow all of
+        // `self` inside the loop; put it back (capacity intact) when done.
+        let mut buf = std::mem::take(&mut self.scratch.buf);
+        for &u in gsum_streams::coalesce_into(updates, &mut buf) {
             self.update(u);
         }
+        self.scratch.buf = buf;
     }
 }
 

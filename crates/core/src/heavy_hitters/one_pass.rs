@@ -24,7 +24,7 @@ use gsum_gfunc::{FunctionCodec, GFunction};
 use gsum_hash::HashBackend;
 use gsum_sketch::{AmsF2Sketch, CountSketch, CountSketchConfig, FrequencySketch};
 use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
-use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
+use gsum_streams::{IngestScratch, MergeError, MergeableSketch, StreamSink, Update};
 use std::io::{Read, Write};
 
 /// Configuration knobs for [`OnePassHeavyHitter`] (usually derived from
@@ -63,6 +63,8 @@ pub struct OnePassHeavyHitter<G> {
     /// `config.hint_cap`: candidate identification scans these instead of
     /// the whole domain until the sketch saturates.
     hints: ReverseHints,
+    /// Reused coalesce scratch for `update_batch`.
+    scratch: IngestScratch<Vec<Update>>,
 }
 
 impl<G: GFunction> OnePassHeavyHitter<G> {
@@ -104,6 +106,7 @@ impl<G: GFunction> OnePassHeavyHitter<G> {
             countsketch,
             ams,
             hints,
+            scratch: IngestScratch::default(),
         }
     }
 
@@ -185,8 +188,7 @@ impl<G: GFunction> StreamSink for OnePassHeavyHitter<G> {
     /// item; coalescing keeps net-zero items, so the observed set matches a
     /// per-update replay exactly.
     fn update_batch(&mut self, updates: &[Update]) {
-        let mut scratch = Vec::new();
-        let coalesced = gsum_streams::coalesce_into(updates, &mut scratch);
+        let coalesced = gsum_streams::coalesce_into(updates, &mut self.scratch.buf);
         for u in coalesced {
             self.hints.record(u.item);
         }

@@ -18,7 +18,7 @@ use gsum_gfunc::{FunctionCodec, GFunction};
 use gsum_hash::HashBackend;
 use gsum_sketch::{CountSketch, CountSketchConfig, FrequencySketch};
 use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
-use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
+use gsum_streams::{IngestScratch, MergeError, MergeableSketch, StreamSink, Update};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 
@@ -68,6 +68,8 @@ pub struct TwoPassHeavyHitter<G> {
     /// `config.hint_cap`: the phase transition scans these instead of the
     /// whole domain when picking candidates.
     hints: ReverseHints,
+    /// Reused coalesce scratch for first-pass `update_batch`.
+    scratch: IngestScratch<Vec<Update>>,
 }
 
 impl<G: GFunction> TwoPassHeavyHitter<G> {
@@ -105,6 +107,7 @@ impl<G: GFunction> TwoPassHeavyHitter<G> {
             phase,
             exact,
             hints,
+            scratch: IngestScratch::default(),
         }
     }
 
@@ -183,8 +186,7 @@ impl<G: GFunction> StreamSink for TwoPassHeavyHitter<G> {
     fn update_batch(&mut self, updates: &[Update]) {
         match self.phase {
             Phase::First => {
-                let mut scratch = Vec::new();
-                let coalesced = gsum_streams::coalesce_into(updates, &mut scratch);
+                let coalesced = gsum_streams::coalesce_into(updates, &mut self.scratch.buf);
                 for u in coalesced {
                     self.hints.record(u.item);
                 }

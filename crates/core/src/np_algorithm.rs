@@ -31,7 +31,7 @@ use gsum_gfunc::GFunction;
 use gsum_hash::{derive_seeds, BucketHash, KWiseHash};
 use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{
-    coalesce_into, MergeError, MergeableSketch, StreamSink, TurnstileStream, Update,
+    coalesce_into, IngestScratch, MergeError, MergeableSketch, StreamSink, TurnstileStream, Update,
 };
 use std::io::{Read, Write};
 
@@ -58,6 +58,8 @@ pub struct GnpHeavyHitter {
     hints: Vec<ReverseHints>,
     /// Construction seed, kept so merges can verify hash compatibility.
     seed: u64,
+    /// Reused coalesce scratch for `update_batch`.
+    scratch: IngestScratch<Vec<Update>>,
 }
 
 impl GnpHeavyHitter {
@@ -87,6 +89,7 @@ impl GnpHeavyHitter {
                 .collect(),
             hints: vec![ReverseHints::new(hint_cap); substreams],
             seed,
+            scratch: IngestScratch::default(),
         }
     }
 
@@ -197,10 +200,13 @@ impl StreamSink for GnpHeavyHitter {
     /// `coalesce_updates` keeps net-zero items, so the reverse hints record
     /// exactly the items a per-update replay would have recorded.
     fn update_batch(&mut self, updates: &[Update]) {
-        let mut scratch = Vec::new();
-        for &u in coalesce_into(updates, &mut scratch) {
+        // Detach the reusable buffer so `self.update` can borrow all of
+        // `self` inside the loop; put it back (capacity intact) when done.
+        let mut buf = std::mem::take(&mut self.scratch.buf);
+        for &u in coalesce_into(updates, &mut buf) {
             self.update(u);
         }
+        self.scratch.buf = buf;
     }
 }
 

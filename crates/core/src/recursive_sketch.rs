@@ -22,8 +22,22 @@
 use crate::heavy_hitters::{GCover, HeavyHitterSketch};
 use gsum_hash::KWiseHash;
 use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
-use gsum_streams::{MergeError, MergeableSketch, StreamSink, Update};
+use gsum_streams::{IngestScratch, MergeError, MergeableSketch, StreamSink, Update};
 use std::io::{Read, Write};
+
+/// Reusable routing scratch for [`RecursiveSketch::update_batch`]: the
+/// coalesce buffer plus the depth-partitioned sub-batch threaded down the
+/// levels.  Transient — never part of checkpoint/merge/clone identity.
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    coalesce: Vec<Update>,
+    /// Updates still alive at the current level, in item order.
+    routed: Vec<Update>,
+    /// `depths[t]` is the deepest level including `routed[t]`'s item
+    /// (`trailing_zeros` of a 64-bit hash, clamped to the level count — fits
+    /// `u8` with room to spare).
+    depths: Vec<u8>,
+}
 
 /// The recursive g-SUM estimator, generic over the per-level heavy-hitter
 /// sketch.
@@ -40,6 +54,8 @@ pub struct RecursiveSketch<S> {
     selector: KWiseHash,
     /// Master seed, kept so merges can verify hash compatibility.
     seed: u64,
+    /// Reused routing scratch for `update_batch`.
+    scratch: IngestScratch<RouteScratch>,
 }
 
 impl<S: HeavyHitterSketch> RecursiveSketch<S> {
@@ -88,6 +104,7 @@ impl<S: HeavyHitterSketch> RecursiveSketch<S> {
             levels,
             selector,
             seed,
+            scratch: IngestScratch::default(),
         }
     }
 
@@ -186,6 +203,14 @@ impl<S: HeavyHitterSketch> StreamSink for RecursiveSketch<S> {
     /// which is exact for the linear level sketches [`HeavyHitterSketch`]
     /// requires — so the per-level sketches' fast paths engage across the
     /// whole batch instead of degrading to per-update dispatch here.
+    ///
+    /// One pass computes each distinct item's subsampling depth (the
+    /// selector is hashed once per item per batch, not once per level), and
+    /// the levels peel the partition in place: level `j` consumes the
+    /// current sub-batch, then entries too shallow for level `j+1` are
+    /// compacted away.  The compaction preserves item order, so every level
+    /// sees an already-coalesced slice and total routing work is the sum of
+    /// the (geometrically shrinking) level sizes instead of levels × batch.
     fn update_batch(&mut self, updates: &[Update]) {
         if updates.len() <= 1 {
             for &u in updates {
@@ -193,32 +218,48 @@ impl<S: HeavyHitterSketch> StreamSink for RecursiveSketch<S> {
             }
             return;
         }
+        let top = self.levels.len() - 1;
+        let RouteScratch {
+            coalesce,
+            routed,
+            depths,
+        } = &mut self.scratch.buf;
         // Coalesce once, up front: the depth computation below then runs
         // over distinct items only, and the per-level sketches detect the
         // coalesced form and skip their own passes.
-        let mut scratch = Vec::new();
-        let updates = gsum_streams::coalesce_into(updates, &mut scratch);
-        // The subsampling depth of each update's item, computed once.
-        let depths: Vec<usize> = updates.iter().map(|u| self.deepest_level(u.item)).collect();
-        let mut sub_batch: Vec<Update> = Vec::with_capacity(updates.len());
-        for (j, level) in self.levels.iter_mut().enumerate() {
-            if j == 0 {
-                level.update_batch(updates);
-                continue;
+        let coalesced = gsum_streams::coalesce_into(updates, coalesce);
+        // Level 0 sees every item.
+        self.levels[0].update_batch(coalesced);
+        if top == 0 {
+            return;
+        }
+        routed.clear();
+        depths.clear();
+        for u in coalesced {
+            let d = (self.selector.hash(u.item).trailing_zeros() as usize).min(top);
+            if d >= 1 {
+                routed.push(*u);
+                depths.push(d as u8);
             }
-            sub_batch.clear();
-            sub_batch.extend(
-                updates
-                    .iter()
-                    .zip(&depths)
-                    .filter(|&(_, &d)| d >= j)
-                    .map(|(&u, _)| u),
-            );
-            if sub_batch.is_empty() {
+        }
+        for j in 1..=top {
+            if routed.is_empty() {
                 // Deeper levels see nested subsets: nothing survives below.
                 break;
             }
-            level.update_batch(&sub_batch);
+            self.levels[j].update_batch(routed);
+            // Keep only the entries that survive to level j+1, in order.
+            let keep = (j + 1) as u8;
+            let mut write = 0usize;
+            for read in 0..routed.len() {
+                if depths[read] >= keep {
+                    routed[write] = routed[read];
+                    depths[write] = depths[read];
+                    write += 1;
+                }
+            }
+            routed.truncate(write);
+            depths.truncate(write);
         }
     }
 }

@@ -48,6 +48,14 @@ impl KWiseHash {
         self.coeffs.len()
     }
 
+    /// The polynomial coefficients `c_0 .. c_{k-1}`, all fully reduced into
+    /// `[0, p)`.  Exposed so batched evaluators (e.g. [`crate::SignHashBank`])
+    /// can transpose many polynomials into structure-of-arrays form and still
+    /// reproduce [`hash`](Self::hash) bit for bit.
+    pub fn coefficients(&self) -> &[u64] {
+        &self.coeffs
+    }
+
     /// Evaluate the hash on a key; output is uniform on `[0, p)` with
     /// `p = 2^61 - 1`.
     #[inline]

@@ -39,7 +39,7 @@ pub use bucket::BucketHash;
 pub use kwise::KWiseHash;
 pub use prime::MERSENNE_PRIME_61;
 pub use rng::{SeedSequence, SplitMix64, Xoshiro256};
-pub use sign::SignHash;
+pub use sign::{SignHash, SignHashBank};
 pub use tabulation::TabulationHash;
 
 /// Convenience: derive a family of `count` independent seeds from a master

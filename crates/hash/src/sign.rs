@@ -2,8 +2,18 @@
 //!
 //! CountSketch and the AMS F₂ ("tug of war") estimator both need sign hashes
 //! whose 4-wise independence makes the variance analysis go through.
+//!
+//! [`SignHashBank`] is the batched form: the AMS sketch evaluates *hundreds*
+//! of independent sign hashes per item, and doing that through a
+//! `Vec<SignHash>` chases a heap-allocated coefficient vector per hash per
+//! key.  The bank transposes the degree-3 polynomials into
+//! structure-of-arrays coefficient columns and shares the key powers
+//! `x, x², x³` across every hash, so the per-hash work is three
+//! multiply-reduces over contiguous memory — same field values, bit for bit,
+//! as the Horner evaluation [`SignHash`] performs.
 
 use crate::kwise::KWiseHash;
+use crate::prime::{add, mul, reduce};
 
 /// A sign hash `σ : u64 → {-1, +1}` drawn from a k-wise independent family
 /// (k = 4 by default).
@@ -39,6 +49,106 @@ impl SignHash {
     #[inline]
     pub fn sign_f64(&self, key: u64) -> f64 {
         self.sign(key) as f64
+    }
+}
+
+/// A bank of independent 4-wise sign hashes evaluated together.
+///
+/// Semantically identical to `Vec<SignHash>` built from the same seeds: for
+/// every index `i` and key `x`, `bank.sign_at(i, powers)` equals
+/// `SignHash::new(seeds[i]).sign(x)` — both compute the canonical reduced
+/// field element `c₀ + c₁x + c₂x² + c₃x³` over `GF(2^61 − 1)` and take its
+/// low bit, so the agreement is exact, not approximate.  The layout is what
+/// differs: coefficients live in four contiguous columns (one per degree)
+/// instead of one heap vector per hash, and the key powers are computed once
+/// per key instead of once per hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignHashBank {
+    /// Transposed coefficients: `cN[i]` is hash `i`'s degree-`N` coefficient.
+    c0: Vec<u64>,
+    c1: Vec<u64>,
+    c2: Vec<u64>,
+    c3: Vec<u64>,
+}
+
+impl SignHashBank {
+    /// Build the bank from per-hash seeds, drawing each polynomial exactly as
+    /// `SignHash::new(seed)` does.
+    pub fn from_seeds(seeds: &[u64]) -> Self {
+        let mut bank = Self {
+            c0: Vec::with_capacity(seeds.len()),
+            c1: Vec::with_capacity(seeds.len()),
+            c2: Vec::with_capacity(seeds.len()),
+            c3: Vec::with_capacity(seeds.len()),
+        };
+        for &seed in seeds {
+            let poly = KWiseHash::new(4, seed);
+            let c = poly.coefficients();
+            bank.c0.push(c[0]);
+            bank.c1.push(c[1]);
+            bank.c2.push(c[2]);
+            bank.c3.push(c[3]);
+        }
+        bank
+    }
+
+    /// Number of sign hashes in the bank.
+    pub fn len(&self) -> usize {
+        self.c0.len()
+    }
+
+    /// Whether the bank holds no hashes.
+    pub fn is_empty(&self) -> bool {
+        self.c0.is_empty()
+    }
+
+    /// The reduced key powers `(x, x², x³)` shared by every hash in the bank
+    /// — compute once per key, reuse across all `len()` evaluations.
+    #[inline]
+    pub fn key_powers(key: u64) -> (u64, u64, u64) {
+        let x = reduce(key);
+        let x2 = mul(x, x);
+        let x3 = mul(x2, x);
+        (x, x2, x3)
+    }
+
+    /// Hash `i`'s coefficients `[c₀, c₁, c₂, c₃]`, for callers that hoist the
+    /// loads out of a per-key inner loop.
+    #[inline]
+    pub fn coefficients_at(&self, i: usize) -> [u64; 4] {
+        [self.c0[i], self.c1[i], self.c2[i], self.c3[i]]
+    }
+
+    /// Evaluate one degree-3 polynomial on precomputed key powers.  The
+    /// result is the same canonical field element Horner evaluation yields
+    /// (every operand is fully reduced and `add`/`mul` are exact field ops),
+    /// so its low bit is exactly the [`SignHash`] sign bit.
+    #[inline]
+    pub fn eval_with(coeffs: [u64; 4], powers: (u64, u64, u64)) -> u64 {
+        let (x, x2, x3) = powers;
+        add(
+            add(
+                add(mul(coeffs[3], x3), mul(coeffs[2], x2)),
+                mul(coeffs[1], x),
+            ),
+            coeffs[0],
+        )
+    }
+
+    /// Hash `i`'s sign (`+1` / `-1`) on precomputed key powers.
+    #[inline]
+    pub fn sign_at(&self, i: usize, powers: (u64, u64, u64)) -> i64 {
+        if Self::eval_with(self.coefficients_at(i), powers) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Hash `i`'s sign as an `f64` (convenience for floating accumulators).
+    #[inline]
+    pub fn sign_f64_at(&self, i: usize, powers: (u64, u64, u64)) -> f64 {
+        self.sign_at(i, powers) as f64
     }
 }
 
@@ -84,6 +194,53 @@ mod tests {
         }
         let mean = sum as f64 / trials as f64;
         assert!(mean.abs() < 0.06, "pair product mean {mean} not near 0");
+    }
+
+    #[test]
+    fn bank_matches_individual_sign_hashes_bit_for_bit() {
+        let seeds: Vec<u64> = (0..64u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9) ^ 7)
+            .collect();
+        let bank = SignHashBank::from_seeds(&seeds);
+        let singles: Vec<SignHash> = seeds.iter().map(|&s| SignHash::new(s)).collect();
+        assert_eq!(bank.len(), singles.len());
+        assert!(!bank.is_empty());
+        for key in (0..50_000u64)
+            .step_by(97)
+            .chain([u64::MAX, u64::MAX - 1, 0])
+        {
+            let powers = SignHashBank::key_powers(key);
+            for (i, single) in singles.iter().enumerate() {
+                assert_eq!(
+                    bank.sign_at(i, powers),
+                    single.sign(key),
+                    "bank/single mismatch at hash {i}, key {key}"
+                );
+                assert_eq!(
+                    bank.sign_f64_at(i, powers).to_bits(),
+                    single.sign_f64(key).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bank_eval_matches_kwise_hash_values() {
+        // Stronger than sign equality: the full field element must match the
+        // Horner evaluation, since the i64 fast paths key off the low bit of
+        // exactly this value.
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let poly = KWiseHash::new(4, seed);
+            let bank = SignHashBank::from_seeds(&[seed]);
+            for key in (0..10_000u64).step_by(53) {
+                let powers = SignHashBank::key_powers(key);
+                assert_eq!(
+                    SignHashBank::eval_with(bank.coefficients_at(0), powers),
+                    poly.hash(key),
+                    "field value mismatch for seed {seed}, key {key}"
+                );
+            }
+        }
     }
 
     #[test]

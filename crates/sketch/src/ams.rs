@@ -13,10 +13,22 @@
 use crate::error::SketchError;
 use crate::util::median_in_place;
 use crate::FrequencySketch;
-use gsum_hash::{derive_seeds, SignHash};
+use gsum_hash::{derive_seeds, SignHashBank};
 use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
-use gsum_streams::{coalesce_into, MergeError, MergeableSketch, StreamSink, Update};
+use gsum_streams::{coalesce_into, IngestScratch, MergeError, MergeableSketch, StreamSink, Update};
 use std::io::{Read, Write};
+
+/// Reusable working memory for [`AmsF2Sketch::update_batch`]: the coalesce
+/// buffer plus the per-item key powers and deltas shared by every counter's
+/// inner loop.  Transient — never part of checkpoint/merge/clone identity.
+#[derive(Debug, Default)]
+pub struct AmsScratch {
+    coalesce: Vec<Update>,
+    x1: Vec<u64>,
+    x2: Vec<u64>,
+    x3: Vec<u64>,
+    deltas: Vec<i64>,
+}
 
 /// The AMS F₂ estimator: `averages × medians` independent tug-of-war counters.
 #[derive(Debug, Clone)]
@@ -27,9 +39,10 @@ pub struct AmsF2Sketch {
     medians: usize,
     /// Counters, length `averages * medians`.
     counters: Vec<f64>,
-    signs: Vec<SignHash>,
+    signs: SignHashBank,
     /// Construction seed, kept so merges can verify hash compatibility.
     seed: u64,
+    scratch: IngestScratch<AmsScratch>,
 }
 
 impl AmsF2Sketch {
@@ -47,13 +60,14 @@ impl AmsF2Sketch {
         }
         let total = averages * medians;
         let seeds = derive_seeds(seed ^ 0xA115_F2F2, total);
-        let signs = seeds.iter().map(|&s| SignHash::new(s)).collect();
+        let signs = SignHashBank::from_seeds(&seeds);
         Ok(Self {
             averages,
             medians,
             counters: vec![0.0; total],
             signs,
             seed,
+            scratch: IngestScratch::default(),
         })
     }
 
@@ -100,26 +114,79 @@ impl AmsF2Sketch {
 
 impl StreamSink for AmsF2Sketch {
     fn update(&mut self, update: Update) {
-        for (counter, sign) in self.counters.iter_mut().zip(self.signs.iter()) {
-            *counter += sign.sign_f64(update.item) * update.delta as f64;
+        // The key powers x, x², x³ are shared by every sign polynomial, so
+        // compute them once per update instead of once per counter.
+        let powers = SignHashBank::key_powers(update.item);
+        let delta = update.delta as f64;
+        for (i, counter) in self.counters.iter_mut().enumerate() {
+            *counter += self.signs.sign_f64_at(i, powers) * delta;
         }
     }
 
     /// Batched fast path: the tug-of-war counters are linear, so duplicate
     /// items coalesce exactly in `i64` and each distinct item is sign-hashed
     /// once per counter instead of once per occurrence; counters are walked
-    /// in order (counter-major) so each accumulates in a register.
+    /// in order (counter-major) so each accumulates in a register.  The key
+    /// powers per item are precomputed once and shared across all counters,
+    /// and when every partial sum provably fits an exact `f64` integer the
+    /// accumulation runs in `i64` — bit-identical (an exact integer chain is
+    /// the same value in either type) but free of float latency chains.
     fn update_batch(&mut self, updates: &[Update]) {
-        let mut scratch = Vec::new();
-        let coalesced = coalesce_into(updates, &mut scratch);
-        for (counter, sign) in self.counters.iter_mut().zip(self.signs.iter()) {
-            // Accumulate in f64 (exactly as the per-update path does):
-            // an i64 accumulator could overflow on extreme deltas.
-            let mut acc = 0.0f64;
-            for u in coalesced {
-                acc += sign.sign_f64(u.item) * u.delta as f64;
+        let AmsScratch {
+            coalesce,
+            x1,
+            x2,
+            x3,
+            deltas,
+        } = &mut self.scratch.buf;
+        let coalesced = coalesce_into(updates, coalesce);
+        let n = coalesced.len();
+        if n == 0 {
+            return;
+        }
+        x1.clear();
+        x2.clear();
+        x3.clear();
+        deltas.clear();
+        let mut max_abs = 0u64;
+        for u in coalesced {
+            let (a, b, c) = SignHashBank::key_powers(u.item);
+            x1.push(a);
+            x2.push(b);
+            x3.push(c);
+            deltas.push(u.delta);
+            max_abs = max_abs.max(u.delta.unsigned_abs());
+        }
+        // Every partial sum is bounded by n · max|δ|; below 2^52 each one is
+        // an exact integer that f64 represents exactly, so i64 accumulation
+        // produces bit-identical counters.  (This also rules out i64::MIN,
+        // whose unsigned_abs is 2^63, making the negation below safe.)
+        let exact_i64 = (max_abs as u128) * (n as u128) < (1u128 << 52);
+        for (i, counter) in self.counters.iter_mut().enumerate() {
+            let coeffs = self.signs.coefficients_at(i);
+            if exact_i64 {
+                let mut acc = 0i64;
+                for t in 0..n {
+                    let h = SignHashBank::eval_with(coeffs, (x1[t], x2[t], x3[t]));
+                    // Branchless ± select: the sign bit is a fair coin, so a
+                    // branch here would mispredict half the time.  m is 0
+                    // for +δ and -1 for -δ, and `(δ ^ m) - m` is two's-
+                    // complement negation when m = -1.
+                    let m = ((h & 1) as i64) - 1;
+                    acc += (deltas[t] ^ m) - m;
+                }
+                *counter += acc as f64;
+            } else {
+                // Extreme deltas: accumulate in f64, exactly as the
+                // per-update path does (an i64 accumulator could overflow).
+                let mut acc = 0.0f64;
+                for t in 0..n {
+                    let h = SignHashBank::eval_with(coeffs, (x1[t], x2[t], x3[t]));
+                    let sign = if h & 1 == 1 { 1.0 } else { -1.0 };
+                    acc += sign * deltas[t] as f64;
+                }
+                *counter += acc;
             }
-            *counter += acc;
         }
     }
 }

@@ -10,8 +10,19 @@ use crate::error::SketchError;
 use crate::FrequencySketch;
 use gsum_hash::{derive_seeds, HashBackend, RowHasher};
 use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
-use gsum_streams::{coalesce_into, MergeError, MergeableSketch, StreamSink, Update};
+use gsum_streams::{coalesce_into, IngestScratch, MergeError, MergeableSketch, StreamSink, Update};
 use std::io::{Read, Write};
+
+/// Reusable working memory for [`CountMinSketch::update_batch`]: the coalesce
+/// buffer, per-row column indices, and the per-item deltas (shared across
+/// rows — Count-Min has no signs, so the delta array is filled once).
+/// Transient — never part of checkpoint/merge/clone identity.
+#[derive(Debug, Default)]
+pub struct CountMinScratch {
+    coalesce: Vec<Update>,
+    cols: Vec<u32>,
+    fdeltas: Vec<f64>,
+}
 
 /// Configuration for a [`CountMinSketch`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +71,8 @@ pub struct CountMinSketch {
     hashes: Vec<RowHasher>,
     /// Construction seed, kept so merges can verify hash compatibility.
     seed: u64,
+    /// Reused ingestion scratch for `update_batch`.
+    scratch: IngestScratch<CountMinScratch>,
 }
 
 impl CountMinSketch {
@@ -75,6 +88,7 @@ impl CountMinSketch {
             counters: vec![0.0; config.rows * config.columns],
             hashes,
             seed,
+            scratch: IngestScratch::default(),
         }
     }
 
@@ -118,22 +132,45 @@ impl CountMinSketch {
 impl StreamSink for CountMinSketch {
     fn update(&mut self, update: Update) {
         let columns = self.config.columns;
-        for (row, hasher) in self.hashes.iter().enumerate() {
-            let col = hasher.column(update.item) as usize;
-            self.counters[row * columns + col] += update.delta as f64;
+        let delta = update.delta as f64;
+        for (row_counters, hasher) in self
+            .counters
+            .chunks_exact_mut(columns)
+            .zip(self.hashes.iter())
+        {
+            row_counters[hasher.column(update.item) as usize] += delta;
         }
     }
 
     /// Batched fast path: coalesce duplicate items exactly in `i64`, hash
-    /// each distinct item once per row, walk the counters row-major.
+    /// each distinct item once per row, walk the counters row-major.  The
+    /// per-item deltas are converted to `f64` once for the whole batch; each
+    /// row precomputes its column indices and then applies them in a tight
+    /// hash-free scatter loop.
     fn update_batch(&mut self, updates: &[Update]) {
-        let mut scratch = Vec::new();
-        let coalesced = coalesce_into(updates, &mut scratch);
+        let CountMinScratch {
+            coalesce,
+            cols,
+            fdeltas,
+        } = &mut self.scratch.buf;
+        let coalesced = coalesce_into(updates, coalesce);
+        if coalesced.is_empty() {
+            return;
+        }
+        fdeltas.clear();
+        fdeltas.extend(coalesced.iter().map(|u| u.delta as f64));
         let columns = self.config.columns;
-        for (row, hasher) in self.hashes.iter().enumerate() {
-            let row_counters = &mut self.counters[row * columns..(row + 1) * columns];
-            for u in coalesced {
-                row_counters[hasher.column(u.item) as usize] += u.delta as f64;
+        for (row_counters, hasher) in self
+            .counters
+            .chunks_exact_mut(columns)
+            .zip(self.hashes.iter())
+        {
+            cols.clear();
+            // Column indices always fit u32: column counts are memory words
+            // per row, far below 2^32.
+            cols.extend(coalesced.iter().map(|u| hasher.column(u.item) as u32));
+            for (&col, &fd) in cols.iter().zip(fdeltas.iter()) {
+                row_counters[col as usize] += fd;
             }
         }
     }

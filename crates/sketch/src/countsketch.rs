@@ -19,9 +19,29 @@ use crate::util::median_in_place;
 use crate::FrequencySketch;
 use gsum_hash::{derive_seeds, HashBackend, RowHasher};
 use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
-use gsum_streams::{coalesce_into, MergeError, MergeableSketch, StreamSink, Update};
+use gsum_streams::{coalesce_into, IngestScratch, MergeError, MergeableSketch, StreamSink, Update};
 use std::io::{Read, Write};
 use std::sync::Mutex;
+
+/// Reusable working memory for [`CountSketch::update_batch`]: the coalesce
+/// buffer plus one `(column, signed delta)` pair per distinct item, refilled
+/// per row.  Transient — never part of checkpoint/merge/clone identity.
+#[derive(Debug, Default)]
+pub struct CountSketchScratch {
+    coalesce: Vec<Update>,
+    cols: Vec<u32>,
+    fdeltas: Vec<f64>,
+}
+
+/// Reusable query-side scratch for
+/// [`CountSketch::residual_f2_excluding`]: the per-column exclusion flags
+/// and the per-row sums, so residual queries on the cover hot path stop
+/// allocating.
+#[derive(Debug, Default)]
+struct ResidualScratch {
+    excluded_cols: Vec<bool>,
+    row_sums: Vec<f64>,
+}
 
 /// Configuration for a [`CountSketch`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,11 +124,13 @@ pub struct CountSketch {
     /// Per-row fused bucket+sign hash state.
     rows: Vec<RowHasher>,
     /// Reused scratch for [`residual_f2_excluding`](Self::residual_f2_excluding)
-    /// (one flag per column), so queries on the hot path do not allocate.
-    /// A `Mutex` rather than a `RefCell` so the sketch stays `Sync` — a
-    /// serving state is queried from concurrent connection threads — at the
-    /// cost of one uncontended lock per residual query.
-    excluded_scratch: Mutex<Vec<bool>>,
+    /// (per-column flags + per-row sums), so queries on the hot path do not
+    /// allocate.  A `Mutex` rather than a `RefCell` so the sketch stays
+    /// `Sync` — a serving state is queried from concurrent connection
+    /// threads — at the cost of one uncontended lock per residual query.
+    residual_scratch: Mutex<ResidualScratch>,
+    /// Reused ingestion scratch for `update_batch`.
+    scratch: IngestScratch<CountSketchScratch>,
     seed: u64,
 }
 
@@ -119,7 +141,8 @@ impl Clone for CountSketch {
             counters: self.counters.clone(),
             rows: self.rows.clone(),
             // Scratch holds no sketch state; a clone starts with a fresh one.
-            excluded_scratch: Mutex::new(Vec::new()),
+            residual_scratch: Mutex::new(ResidualScratch::default()),
+            scratch: IngestScratch::default(),
             seed: self.seed,
         }
     }
@@ -137,7 +160,8 @@ impl CountSketch {
             config,
             counters: vec![0.0; config.rows * config.columns],
             rows,
-            excluded_scratch: Mutex::new(Vec::new()),
+            residual_scratch: Mutex::new(ResidualScratch::default()),
+            scratch: IngestScratch::default(),
             seed,
         }
     }
@@ -202,23 +226,22 @@ impl CountSketch {
     /// needing a separate AMS sketch whose additive error would be
     /// proportional to the *full* `F₂`.
     pub fn residual_f2_excluding(&self, excluded: &[u64]) -> f64 {
-        let mut row_sums: Vec<f64> = Vec::with_capacity(self.config.rows);
-        if excluded.is_empty() {
-            // Nothing to mask: every bucket contributes, no flag pass needed.
-            for row in 0..self.config.rows {
-                let start = row * self.config.columns;
-                let sum = self.counters[start..start + self.config.columns]
-                    .iter()
-                    .map(|&c| c * c)
-                    .sum();
-                row_sums.push(sum);
-            }
-            return median_in_place(&mut row_sums);
-        }
-        let mut excluded_cols = self
-            .excluded_scratch
+        let mut scratch = self
+            .residual_scratch
             .lock()
             .expect("residual-F2 scratch lock poisoned");
+        let ResidualScratch {
+            excluded_cols,
+            row_sums,
+        } = &mut *scratch;
+        row_sums.clear();
+        if excluded.is_empty() {
+            // Nothing to mask: every bucket contributes, no flag pass needed.
+            for row_counters in self.counters.chunks_exact(self.config.columns) {
+                row_sums.push(row_counters.iter().map(|&c| c * c).sum());
+            }
+            return median_in_place(row_sums);
+        }
         excluded_cols.resize(self.config.columns, false);
         for row in 0..self.config.rows {
             for flag in excluded_cols.iter_mut() {
@@ -236,18 +259,23 @@ impl CountSketch {
             }
             row_sums.push(sum);
         }
-        median_in_place(&mut row_sums)
+        median_in_place(row_sums)
     }
 }
 
 impl StreamSink for CountSketch {
     fn update(&mut self, update: Update) {
         let columns = self.config.columns;
-        for (row, hasher) in self.rows.iter().enumerate() {
+        let delta = update.delta as f64;
+        for (row_counters, hasher) in self
+            .counters
+            .chunks_exact_mut(columns)
+            .zip(self.rows.iter())
+        {
             let (col, sign) = hasher.column_sign(update.item);
             // Apply the sign in f64: `sign * delta` in i64 would overflow
             // for delta = i64::MIN.
-            self.counters[row * columns + col as usize] += sign as f64 * update.delta as f64;
+            row_counters[col as usize] += sign as f64 * delta;
         }
     }
 
@@ -256,15 +284,37 @@ impl StreamSink for CountSketch {
     /// bit-for-bit identical to per-update ingestion), each distinct item is
     /// hashed once per row instead of once per occurrence, and the counters
     /// are walked row-major so each row's counter segment stays cache-hot.
+    /// Each row first materializes its `(column, signed delta)` pairs, then
+    /// applies them in a tight scatter loop with no hashing in it — the
+    /// precompute pass has no loop-carried dependence, so the autovectorizer
+    /// can chew on it.
     fn update_batch(&mut self, updates: &[Update]) {
-        let mut scratch = Vec::new();
-        let coalesced = coalesce_into(updates, &mut scratch);
+        let CountSketchScratch {
+            coalesce,
+            cols,
+            fdeltas,
+        } = &mut self.scratch.buf;
+        let coalesced = coalesce_into(updates, coalesce);
+        if coalesced.is_empty() {
+            return;
+        }
         let columns = self.config.columns;
-        for (row, hasher) in self.rows.iter().enumerate() {
-            let row_counters = &mut self.counters[row * columns..(row + 1) * columns];
+        for (row_counters, hasher) in self
+            .counters
+            .chunks_exact_mut(columns)
+            .zip(self.rows.iter())
+        {
+            cols.clear();
+            fdeltas.clear();
             for u in coalesced {
                 let (col, sign) = hasher.column_sign(u.item);
-                row_counters[col as usize] += sign as f64 * u.delta as f64;
+                // Column indices always fit u32: column counts are memory
+                // words per row, far below 2^32.
+                cols.push(col as u32);
+                fdeltas.push(sign as f64 * u.delta as f64);
+            }
+            for (&col, &fd) in cols.iter().zip(fdeltas.iter()) {
+                row_counters[col as usize] += fd;
             }
         }
     }

@@ -59,6 +59,7 @@ pub mod frequency;
 pub mod generator;
 pub mod multipass;
 pub mod pipeline;
+pub mod scratch;
 pub mod sharded;
 pub mod sink;
 pub mod source;
@@ -76,6 +77,7 @@ pub use generator::{
 };
 pub use multipass::{run_multi_pass, run_one_pass, MultiPassAlgorithm, OnePassAlgorithm};
 pub use pipeline::{IngestConfigError, PipelineError, PipelinedIngest};
+pub use scratch::IngestScratch;
 pub use sharded::ShardedIngest;
 pub use sink::{
     checked_coalesce_updates, coalesce_into, coalesce_updates, is_coalesced, MergeError,

@@ -84,13 +84,34 @@ pub fn is_coalesced(updates: &[Update]) -> bool {
 /// coalesced (or too short to matter), otherwise a freshly coalesced copy
 /// parked in `scratch`.  This is the shared preamble of every sketch's
 /// `update_batch` fast path — one place to fix instead of six.
+///
+/// The scratch path is allocation-free at steady state: it sorts a copy of
+/// the batch in place and compacts equal-item runs, so a sketch that reuses
+/// the same scratch vector across batches stops paying the
+/// hash-map-plus-fresh-`Vec` cost of [`coalesce_updates`] on every call.
+/// The output is identical to [`coalesce_updates`] — one entry per distinct
+/// item in increasing item order, net-zero items kept — because `i64`
+/// addition is commutative, so summing a run of equal items in sorted order
+/// yields the same total as summing them in stream order.
 pub fn coalesce_into<'a>(updates: &'a [Update], scratch: &'a mut Vec<Update>) -> &'a [Update] {
     if updates.len() <= 1 || is_coalesced(updates) {
-        updates
-    } else {
-        *scratch = coalesce_updates(updates);
-        scratch
+        return updates;
     }
+    scratch.clear();
+    scratch.extend_from_slice(updates);
+    scratch.sort_unstable_by_key(|u| u.item);
+    // Compact equal-item runs in place: `write` trails `read`, summing runs.
+    let mut write = 0usize;
+    for read in 1..scratch.len() {
+        if scratch[read].item == scratch[write].item {
+            scratch[write].delta += scratch[read].delta;
+        } else {
+            write += 1;
+            scratch[write] = scratch[read];
+        }
+    }
+    scratch.truncate(write + 1);
+    scratch
 }
 
 /// A push-based consumer of turnstile updates.
@@ -225,6 +246,37 @@ mod tests {
         // Duplicates and out-of-order items are both rejected.
         assert!(!is_coalesced(&[Update::new(2, 1), Update::new(2, 1)]));
         assert!(!is_coalesced(&[Update::new(3, 1), Update::new(1, 1)]));
+    }
+
+    #[test]
+    fn coalesce_into_matches_coalesce_updates() {
+        let mut scratch = Vec::new();
+        // Uncoalesced input goes through the scratch path.
+        let batch = [
+            Update::new(5, 3),
+            Update::new(1, -2),
+            Update::new(5, 4),
+            Update::new(9, 1),
+            Update::new(1, 2),
+            Update::new(7, -7),
+            Update::new(7, 7),
+        ];
+        assert_eq!(
+            coalesce_into(&batch, &mut scratch),
+            &coalesce_updates(&batch)[..]
+        );
+        // Reusing the same scratch across batches stays correct.
+        let batch2 = [Update::new(2, 1), Update::new(2, -1), Update::new(0, 5)];
+        assert_eq!(
+            coalesce_into(&batch2, &mut scratch),
+            &coalesce_updates(&batch2)[..]
+        );
+        // Already-coalesced input is returned as-is without touching scratch.
+        let sorted = coalesce_updates(&batch);
+        scratch.clear();
+        let out = coalesce_into(&sorted, &mut scratch);
+        assert_eq!(out, &sorted[..]);
+        assert!(scratch.is_empty());
     }
 
     #[test]

@@ -66,7 +66,16 @@
 //!   of thousands of times, and counters are walked row-major for cache
 //!   locality.  The result is bit-for-bit identical to per-update ingestion
 //!   (linearity makes coalescing exact), checked by the
-//!   `batch_equivalence` property tests.
+//!   `batch_equivalence` property tests.  The batch paths are
+//!   **allocation-free in steady state**: every sketch owns a reusable
+//!   ingestion scratch (coalesce buffers, per-row column indices, routing
+//!   depths) that is working memory only — it is excluded from clones,
+//!   merges and checkpoints, so checkpoint bytes are identical whichever
+//!   ingestion path filled the sketch.  When batch deltas are small enough
+//!   that every partial sum is exactly representable, counter application
+//!   runs in `i64` with branchless sign selection — bit-identical to the
+//!   `f64` path, but vectorizable (build with `RUSTFLAGS="-C
+//!   target-cpu=native"` to let the compiler use wider SIMD lanes).
 //! * **Hash backend.** Sketch rows draw their bucket and sign hashes from a
 //!   pluggable [`HashBackend`](prelude::HashBackend): `Polynomial` (the
 //!   provable default — pairwise/4-wise independent polynomials over

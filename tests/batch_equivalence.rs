@@ -14,7 +14,7 @@
 use proptest::prelude::*;
 use zerolaw::core::{
     DistCounter, GnpHeavyHitter, HeavyHitterSketch, NearlyPeriodicGSum, OnePassHeavyHitter,
-    OnePassHeavyHitterConfig, TwoPassHeavyHitter, TwoPassHeavyHitterConfig,
+    OnePassHeavyHitterConfig, RecursiveSketch, TwoPassHeavyHitter, TwoPassHeavyHitterConfig,
 };
 use zerolaw::prelude::*;
 use zerolaw::sketch::{
@@ -59,6 +59,48 @@ fn assert_batch_equivalent<S: StreamSink + Clone>(
         chunked.update_batch(chunk);
     }
     check(&per_update, &chunked)
+}
+
+/// Drive a fresh clone of `proto` three ways over `s` — per-update,
+/// one whole-stream batch, and *interleaved* (alternating single updates
+/// and batched chunks) — and require the checkpoint byte streams to be
+/// identical.  This is the strongest form of the batching contract: the
+/// reusable ingestion scratch and the i64/branchless fast paths must not
+/// leak one bit into serialized state.
+fn assert_checkpoint_byte_equivalent<S: StreamSink + Checkpoint + Clone>(
+    proto: &S,
+    s: &TurnstileStream,
+) -> Result<(), TestCaseError> {
+    let mut per_update = proto.clone();
+    for &u in s.iter() {
+        per_update.update(u);
+    }
+    let reference = per_update.to_checkpoint_bytes().expect("checkpoint");
+
+    let mut whole_batch = proto.clone();
+    whole_batch.update_batch(s.updates());
+    prop_assert_eq!(
+        &reference,
+        &whole_batch.to_checkpoint_bytes().expect("checkpoint"),
+        "whole-batch checkpoint bytes diverge from per-update"
+    );
+
+    let mut interleaved = proto.clone();
+    for (i, chunk) in s.updates().chunks(5).enumerate() {
+        if i % 2 == 0 {
+            for &u in chunk {
+                interleaved.update(u);
+            }
+        } else {
+            interleaved.update_batch(chunk);
+        }
+    }
+    prop_assert_eq!(
+        &reference,
+        &interleaved.to_checkpoint_bytes().expect("checkpoint"),
+        "interleaved update/update_batch checkpoint bytes diverge from per-update"
+    );
+    Ok(())
 }
 
 fn check_estimates<S: FrequencySketch>(a: &S, b: &S) -> Result<(), TestCaseError> {
@@ -197,6 +239,37 @@ proptest! {
                 prop_assert_eq!(a.estimate().to_bits(), b.estimate().to_bits());
                 Ok(())
             })?;
+        }
+    }
+
+    /// Recursive sketch: checkpoint bytes are identical whichever ingestion
+    /// path filled it — the routing scratch (depth partitioning, memoized
+    /// selector hashes) is pure working memory.
+    #[test]
+    fn recursive_sketch_checkpoint_bytes_agree(
+        s in stream_strategy(DOMAIN, 100),
+        seed in 0u64..100,
+    ) {
+        let proto = RecursiveSketch::new(DOMAIN, 4, seed, |_, level_seed| {
+            GnpHeavyHitter::new(16, 12, level_seed)
+        });
+        assert_checkpoint_byte_equivalent(&proto, &s)?;
+    }
+
+    /// Full one-pass g-SUM stack: checkpoint bytes are identical whichever
+    /// ingestion path filled it, under both hash backends — the per-level
+    /// coalesce buffers, the CountSketch column scratch and the AMS
+    /// i64/branchless fast path all stay out of serialized state.
+    #[test]
+    fn one_pass_gsum_checkpoint_bytes_agree(
+        s in stream_strategy(DOMAIN, 100),
+        seed in 0u64..100,
+    ) {
+        for backend in BACKENDS {
+            let config = GSumConfig::with_space_budget(DOMAIN, 0.25, 32, seed)
+                .with_hash_backend(backend);
+            let proto = OnePassGSumSketch::new(PowerFunction::new(2.0), &config);
+            assert_checkpoint_byte_equivalent(&proto, &s)?;
         }
     }
 
