@@ -1,0 +1,338 @@
+//! Serving-layer throughput and latency: the reactor trajectory's numbers.
+//!
+//! Drives a real [`GsumServer`] over loopback TCP and measures the three
+//! quantities the reactor rewrite is about:
+//!
+//! * `serve/connections_per_sec` — sequential connect → `COUNT` → close
+//!   round trips: accept + register + parse + reply + reap, the per-
+//!   connection overhead that used to be a thread spawn.
+//! * `serve/ingest_updates_per_sec/clients_N` — N concurrent clients each
+//!   streaming a framed Zipf workload to completion (`OK` acknowledged),
+//!   under `ServePolicy::MergeCompleted` so the per-worker shard path — the
+//!   tentpole — is the one being measured.
+//! * `serve/{est,count}_latency_{p50,p99}` — point-query round-trip
+//!   latency over one persistent connection against a server holding
+//!   ingested state, in microseconds.
+//!
+//! **Caveat for reading the numbers:** on a single-core CI host the
+//! loopback numbers measure reactor and channel overhead, not parallel
+//! speedup — client threads, the reactor and the fold workers all share
+//! one core.  Compare runs only against the same `available_parallelism`
+//! (recorded in `meta`).
+//!
+//! Besides the console table, the bench writes a machine-readable
+//! `BENCH_serve.json` at the workspace root (override the path with the
+//! `BENCH_SERVE_JSON` env var) so CI can upload it and serving regressions
+//! are visible per PR.  Set `BENCH_SERVE_QUICK=1` for a fast smoke run.
+
+use gsum_core::{GSumConfig, OnePassGSumSketch};
+use gsum_gfunc::library::PowerFunction;
+use gsum_hash::HashBackend;
+use gsum_serve::{GsumServer, Response, ServeConfig, ServePolicy};
+use gsum_streams::wire::encode_updates;
+use gsum_streams::{StreamConfig, StreamGenerator, ZipfStreamGenerator};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+const DOMAIN: u64 = 1 << 12;
+const ZIPF_ALPHA: f64 = 1.2;
+const WORKERS: usize = 2;
+const MAX_CONNECTIONS: usize = 64;
+
+struct BenchRow {
+    name: String,
+    kind: &'static str, // "throughput" | "latency"
+    value: f64,
+    unit: &'static str,
+    samples: u64,
+}
+
+/// The git commit the bench ran against (same resolution order as
+/// `bench_ingest`): `BENCH_GIT_COMMIT` / `GITHUB_SHA`, then `git
+/// rev-parse HEAD`, then `"unknown"`.
+fn git_commit() -> String {
+    for var in ["BENCH_GIT_COMMIT", "GITHUB_SHA"] {
+        if let Ok(sha) = std::env::var(var) {
+            if !sha.is_empty() {
+                return sha;
+            }
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|sha| sha.trim().to_string())
+        .filter(|sha| !sha.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn proto() -> OnePassGSumSketch<PowerFunction> {
+    let config = GSumConfig::with_space_budget(DOMAIN, 0.2, 512, 11)
+        .with_hash_backend(HashBackend::Polynomial);
+    OnePassGSumSketch::new(PowerFunction::new(2.0), &config)
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig::new()
+        .with_policy(ServePolicy::MergeCompleted)
+        .with_workers(WORKERS)
+        .with_max_connections(MAX_CONNECTIONS)
+        .with_checkpoint_every(1 << 14)
+        // Errors are unexpected in a bench; surface instead of counting.
+        .with_observer(|event| eprintln!("[bench_serve] {event}"))
+}
+
+/// Boot a server, run `body` against its address, `QUIT` it, and return
+/// the body's output.
+fn with_server<T>(body: impl FnOnce(SocketAddr) -> T) -> T {
+    let server = GsumServer::boot(proto(), serve_config(), None).expect("boot");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::scope(|scope| {
+        let server = &server;
+        let handle = scope.spawn(move || server.serve(listener).expect("serve"));
+        let out = body(addr);
+        let mut quit = TcpStream::connect(addr).expect("connect");
+        writeln!(quit, "QUIT").expect("send");
+        let mut line = String::new();
+        BufReader::new(quit).read_line(&mut line).expect("read");
+        assert!(handle.join().expect("server thread").clean_shutdown);
+        out
+    })
+}
+
+/// One command round trip on an established connection.  The command goes
+/// out in a single `write` call: two small writes ("EST" then "\n") would
+/// let Nagle hold the newline until the peer's delayed ACK, and the bench
+/// would measure the kernel's 40ms timer instead of the server.
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, command: &str) -> Response {
+    stream
+        .write_all(format!("{command}\n").as_bytes())
+        .expect("send");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    Response::parse(&line).expect("parse")
+}
+
+/// Stream pre-encoded bytes and wait for the `OK` acknowledgement.
+fn stream_client(addr: SocketAddr, bytes: &[u8]) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("stream");
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).expect("read");
+    assert!(
+        matches!(Response::parse(&line), Ok(Response::Ok(_))),
+        "ingest must be acknowledged, got {line:?}"
+    );
+}
+
+fn encode_workload(updates: usize, seed: u64) -> Vec<u8> {
+    let stream =
+        ZipfStreamGenerator::new(StreamConfig::new(DOMAIN, updates), ZIPF_ALPHA, seed).generate();
+    encode_updates(DOMAIN, stream.updates()).expect("encode")
+}
+
+fn record(rows: &mut Vec<BenchRow>, row: BenchRow) {
+    println!(
+        "{:<44} {:>14.1} {:<7} ({} samples)",
+        row.name, row.value, row.unit, row.samples
+    );
+    rows.push(row);
+}
+
+/// Sequential connect → `COUNT` → close churn.
+fn bench_connections(rows: &mut Vec<BenchRow>, connections: u64) {
+    let elapsed = with_server(|addr| {
+        let start = Instant::now();
+        for _ in 0..connections {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            writeln!(stream, "COUNT").expect("send");
+            let mut line = String::new();
+            BufReader::new(stream).read_line(&mut line).expect("read");
+        }
+        start.elapsed()
+    });
+    record(
+        rows,
+        BenchRow {
+            name: "serve/connections_per_sec".into(),
+            kind: "throughput",
+            value: connections as f64 / elapsed.as_secs_f64(),
+            unit: "conn/s",
+            samples: connections,
+        },
+    );
+}
+
+/// `clients` concurrent framed streams to completion, averaged over
+/// `iterations` rounds against one server.
+fn bench_ingest(rows: &mut Vec<BenchRow>, clients: usize, updates: usize, iterations: u64) {
+    let workloads: Vec<Vec<u8>> = (0..clients)
+        .map(|c| encode_workload(updates, 7 + c as u64))
+        .collect();
+    let mut total = Duration::ZERO;
+    with_server(|addr| {
+        for _ in 0..iterations {
+            let barrier = std::sync::Barrier::new(clients);
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for bytes in &workloads {
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        stream_client(addr, bytes);
+                    });
+                }
+            });
+            total += start.elapsed();
+        }
+    });
+    let streamed = (clients * updates) as u64 * iterations;
+    record(
+        rows,
+        BenchRow {
+            name: format!("serve/ingest_updates_per_sec/clients_{clients}"),
+            kind: "throughput",
+            value: streamed as f64 / total.as_secs_f64(),
+            unit: "upd/s",
+            samples: streamed,
+        },
+    );
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// Query latency percentiles over one persistent connection, against a
+/// server that has already ingested a workload (so `EST` answers from
+/// non-trivial state).
+fn bench_query_latency(rows: &mut Vec<BenchRow>, warm_updates: usize, queries: usize) {
+    let samples = with_server(|addr| {
+        stream_client(addr, &encode_workload(warm_updates, 3));
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut latencies: Vec<(Vec<f64>, &str)> = Vec::new();
+        for command in ["EST", "COUNT"] {
+            let mut us: Vec<f64> = (0..queries)
+                .map(|_| {
+                    let t = Instant::now();
+                    let response = roundtrip(&mut stream, &mut reader, command);
+                    let elapsed = t.elapsed().as_secs_f64() * 1e6;
+                    assert!(
+                        !matches!(response, Response::Err(_)),
+                        "query failed: {response:?}"
+                    );
+                    elapsed
+                })
+                .collect();
+            us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            latencies.push((us, command));
+        }
+        latencies
+    });
+    for (us, command) in samples {
+        for (p, label) in [(0.5, "p50"), (0.99, "p99")] {
+            record(
+                rows,
+                BenchRow {
+                    name: format!("serve/{}_latency_{label}", command.to_lowercase()),
+                    kind: "latency",
+                    value: percentile(&us, p),
+                    unit: "us",
+                    samples: us.len() as u64,
+                },
+            );
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &std::path::Path,
+    rows: &[BenchRow],
+    quick: bool,
+    connections: u64,
+    updates_per_client: usize,
+    queries: usize,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"bench_serve\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    // Provenance: commit, reactor topology (worker-pool size and the
+    // connection cap the shed path enforces), host parallelism (the
+    // single-core caveat above — these numbers are uninterpretable without
+    // it), and whether this was a quick smoke run.
+    out.push_str("  \"meta\": {\n");
+    out.push_str(&format!(
+        "    \"git_commit\": \"{}\",\n",
+        json_escape(&git_commit())
+    ));
+    out.push_str(&format!("    \"workers\": {WORKERS},\n"));
+    out.push_str(&format!("    \"max_connections\": {MAX_CONNECTIONS},\n"));
+    out.push_str("    \"policy\": \"merge_completed\",\n");
+    out.push_str(&format!(
+        "    \"available_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    out.push_str(&format!("    \"quick\": {quick}\n"));
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"distribution\": \"zipf\", \"alpha\": {ZIPF_ALPHA}, \"domain\": {DOMAIN}, \"updates_per_client\": {updates_per_client}, \"connections\": {connections}, \"query_samples\": {queries}}},\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"value\": {:.2}, \"unit\": \"{}\", \"samples\": {}}}{}\n",
+            json_escape(&r.name),
+            r.kind,
+            r.value,
+            r.unit,
+            r.samples,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_SERVE_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let (connections, updates, iterations, queries) = if quick {
+        (200u64, 10_000usize, 2u64, 300usize)
+    } else {
+        (2_000u64, 100_000usize, 5u64, 2_000usize)
+    };
+    println!(
+        "bench_serve: zipf({ZIPF_ALPHA}) domain={DOMAIN} workers={WORKERS} \
+         updates_per_client={updates} quick={quick}\n"
+    );
+
+    let mut rows = Vec::new();
+    bench_connections(&mut rows, connections);
+    for clients in [1usize, 4] {
+        bench_ingest(&mut rows, clients, updates, iterations);
+    }
+    bench_query_latency(&mut rows, updates, queries);
+
+    let path = std::env::var("BENCH_SERVE_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
+        });
+    match write_json(&path, &rows, quick, connections, updates, queries) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

@@ -1,15 +1,18 @@
-//! CI gate: validate `BENCH_ingest.json` against the v4 bench schema.
+//! CI gate: validate committed bench artifacts against their schemas.
 //!
-//! The ingestion bench writes a machine-readable artifact that CI uploads
-//! per PR; the whole point of that trajectory is comparability, so schema
+//! The throughput benches write machine-readable artifacts that CI uploads
+//! per PR; the whole point of those trajectories is comparability, so schema
 //! drift (a dropped `meta` block, a result missing its `mode`/`backend`
 //! fields, a NaN that corrupts the numbers) must fail the build rather than
 //! ship a silently unusable artifact.  This binary parses the JSON with the
-//! in-tree parser (no external deps) and checks every v4 invariant:
+//! in-tree parser (no external deps) and dispatches on the top-level
+//! `bench` field.
 //!
-//! * top level: `bench == "bench_ingest"`, `schema_version == 4`, a
-//!   `workload` object, finite positive `speedup_*` summary fields
-//!   (including `speedup_gsum_coalesced_vs_per_update`, new in v4 — the
+//! For `bench_ingest` (schema v4) it checks:
+//!
+//! * top level: `schema_version == 4`, a `workload` object, finite positive
+//!   `speedup_*` summary fields (including
+//!   `speedup_gsum_coalesced_vs_per_update`, new in v4 — the
 //!   recursive-sketch hot path is the number the perf trajectory is about);
 //! * `meta`: non-empty `git_commit`, non-empty `backends` and
 //!   `coalescing_modes` string arrays, a `default_backend` contained in
@@ -25,6 +28,22 @@
 //!   estimator's ingestion numbers can never silently drop out of the
 //!   artifact.
 //!
+//! For `bench_serve` (schema v1) it checks:
+//!
+//! * top level: `schema_version == 1` and a `workload` object;
+//! * `meta`: non-empty `git_commit`, integral `workers ≥ 1` and
+//!   `max_connections ≥ 1` (the reactor knobs the numbers were taken
+//!   under), non-empty `policy`, integral `available_parallelism ≥ 1`,
+//!   boolean `quick`;
+//! * `results`: non-empty; every row carries a non-empty `name` and `unit`,
+//!   a `kind` that is `"throughput"` or `"latency"`, a finite positive
+//!   `value`, and an integral `samples ≥ 1`;
+//! * required rows ([`REQUIRED_SERVE_RESULTS`]): connections/sec, the
+//!   concurrent-ingest throughput row, and the p99 `EST`/`COUNT` latency
+//!   rows — the headline serving numbers can never silently drop out;
+//! * each latency family's p50 must not exceed its p99 (a swapped pair is
+//!   the easiest way to ship a wrong artifact that still parses).
+//!
 //! Usage: `check_bench_schema [path]` (default: `$BENCH_INGEST_JSON`, then
 //! `./BENCH_ingest.json`).  Exits non-zero listing every violation.
 
@@ -32,8 +51,11 @@ use gsum_bench::json::{parse_json, JsonValue};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// The schema version this gate understands.
+/// The `bench_ingest` schema version this gate understands.
 const EXPECTED_SCHEMA_VERSION: f64 = 4.0;
+
+/// The `bench_serve` schema version this gate understands.
+const EXPECTED_SERVE_SCHEMA_VERSION: f64 = 1.0;
 
 /// Result rows that must be present in a v4 artifact: the recursive-sketch
 /// hot-path variants this PR trajectory tracks.
@@ -42,6 +64,15 @@ const REQUIRED_RESULTS: [&str; 4] = [
     "onepass_gsum/coalesced_full/tabulation",
     "onepass_gsum/sharded_2/polynomial",
     "onepass_gsum/pipelined_2/polynomial",
+];
+
+/// Result rows that must be present in a serve v1 artifact: the headline
+/// reactor serving numbers.
+const REQUIRED_SERVE_RESULTS: [&str; 4] = [
+    "serve/connections_per_sec",
+    "serve/ingest_updates_per_sec/clients_4",
+    "serve/est_latency_p99",
+    "serve/count_latency_p99",
 ];
 
 struct Violations(Vec<String>);
@@ -205,14 +236,21 @@ fn check_result(
     }
 }
 
-fn validate(root: &JsonValue) -> Violations {
+/// Check that `obj[key]` is an integral number ≥ 1 (counts serialized
+/// through the float-only JSON number type).
+fn integral_count(obj: &JsonValue, key: &str, where_: &str, out: &mut Violations) {
+    match obj.get(key).and_then(JsonValue::as_f64) {
+        Some(n) if n >= 1.0 && n.fract() == 0.0 => {}
+        Some(n) => out.push(format!(
+            "{where_}: \"{key}\" must be an integer ≥ 1, got {n}"
+        )),
+        None => out.push(format!("{where_}: missing numeric field \"{key}\"")),
+    }
+}
+
+fn validate_ingest(root: &JsonValue) -> Violations {
     let mut out = Violations(Vec::new());
 
-    match root.get("bench").and_then(JsonValue::as_str) {
-        Some("bench_ingest") => {}
-        Some(other) => out.push(format!("\"bench\" is {other:?}, expected \"bench_ingest\"")),
-        None => out.push("missing string field \"bench\""),
-    }
     match root.get("schema_version").and_then(JsonValue::as_f64) {
         Some(v) if v == EXPECTED_SCHEMA_VERSION => {}
         Some(v) => out.push(format!(
@@ -266,6 +304,95 @@ fn validate(root: &JsonValue) -> Violations {
     out
 }
 
+fn check_serve_result(result: &JsonValue, index: usize, out: &mut Violations) {
+    let where_ = format!("results[{index}]");
+    str_field(result, "name", &where_, out);
+    str_field(result, "unit", &where_, out);
+    match str_field(result, "kind", &where_, out) {
+        Some("throughput" | "latency") | None => {}
+        Some(kind) => out.push(format!(
+            "{where_}: kind {kind:?} is not \"throughput\" or \"latency\""
+        )),
+    }
+    positive_number(result, "value", &where_, out);
+    integral_count(result, "samples", &where_, out);
+}
+
+fn validate_serve(root: &JsonValue) -> Violations {
+    let mut out = Violations(Vec::new());
+
+    match root.get("schema_version").and_then(JsonValue::as_f64) {
+        Some(v) if v == EXPECTED_SERVE_SCHEMA_VERSION => {}
+        Some(v) => out.push(format!(
+            "schema_version is {v}, this gate validates serve v{EXPECTED_SERVE_SCHEMA_VERSION}"
+        )),
+        None => out.push("missing numeric field \"schema_version\""),
+    }
+    if !matches!(root.get("workload"), Some(JsonValue::Object(_))) {
+        out.push("missing \"workload\" object");
+    }
+
+    match root.get("meta") {
+        Some(meta @ JsonValue::Object(_)) => {
+            str_field(meta, "git_commit", "meta", &mut out);
+            str_field(meta, "policy", "meta", &mut out);
+            integral_count(meta, "workers", "meta", &mut out);
+            integral_count(meta, "max_connections", "meta", &mut out);
+            integral_count(meta, "available_parallelism", "meta", &mut out);
+            if meta.get("quick").and_then(JsonValue::as_bool).is_none() {
+                out.push("meta: missing boolean field \"quick\"");
+            }
+        }
+        Some(_) => out.push("\"meta\" is not an object"),
+        None => out.push("missing \"meta\" provenance block"),
+    }
+
+    match root.get("results").and_then(JsonValue::as_array) {
+        Some([]) => out.push("\"results\" must not be empty"),
+        Some(results) => {
+            for (i, result) in results.iter().enumerate() {
+                check_serve_result(result, i, &mut out);
+            }
+            let value_of = |name: &str| {
+                results
+                    .iter()
+                    .find(|r| r.get("name").and_then(JsonValue::as_str) == Some(name))
+                    .and_then(|r| r.get("value"))
+                    .and_then(JsonValue::as_f64)
+            };
+            for required in REQUIRED_SERVE_RESULTS {
+                if value_of(required).is_none() {
+                    out.push(format!("results: required row {required:?} is missing"));
+                }
+            }
+            for family in ["est", "count"] {
+                let p50 = value_of(&format!("serve/{family}_latency_p50"));
+                let p99 = value_of(&format!("serve/{family}_latency_p99"));
+                if let (Some(p50), Some(p99)) = (p50, p99) {
+                    if p50 > p99 {
+                        out.push(format!(
+                            "results: serve/{family}_latency_p50 ({p50}) exceeds p99 ({p99})"
+                        ));
+                    }
+                }
+            }
+        }
+        None => out.push("missing \"results\" array"),
+    }
+    out
+}
+
+fn validate(root: &JsonValue) -> Violations {
+    match root.get("bench").and_then(JsonValue::as_str) {
+        Some("bench_ingest") => validate_ingest(root),
+        Some("bench_serve") => validate_serve(root),
+        Some(other) => Violations(vec![format!(
+            "\"bench\" is {other:?}, expected \"bench_ingest\" or \"bench_serve\""
+        )]),
+        None => Violations(vec!["missing string field \"bench\"".to_string()]),
+    }
+}
+
 fn main() -> ExitCode {
     let path = std::env::args()
         .nth(1)
@@ -291,6 +418,10 @@ fn main() -> ExitCode {
         }
     };
 
+    let bench = root
+        .get("bench")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("bench_ingest");
     let violations = validate(&root);
     if violations.0.is_empty() {
         let results = root
@@ -298,13 +429,13 @@ fn main() -> ExitCode {
             .and_then(JsonValue::as_array)
             .map_or(0, <[JsonValue]>::len);
         println!(
-            "check_bench_schema: {} conforms to bench schema v{EXPECTED_SCHEMA_VERSION} ({results} results)",
+            "check_bench_schema: {} conforms to the {bench} schema ({results} results)",
             path.display()
         );
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "check_bench_schema: {} violates bench schema v{EXPECTED_SCHEMA_VERSION}:",
+            "check_bench_schema: {} violates the {bench} schema:",
             path.display()
         );
         for v in &violations.0 {
@@ -358,6 +489,39 @@ mod tests {
         .to_string()
     }
 
+    fn valid_serve_doc() -> String {
+        r#"{
+          "bench": "bench_serve",
+          "schema_version": 1,
+          "meta": {
+            "git_commit": "abc123",
+            "workers": 2,
+            "max_connections": 64,
+            "policy": "merge_completed",
+            "available_parallelism": 4,
+            "quick": false
+          },
+          "workload": {"distribution": "zipf", "alpha": 1.2},
+          "results": [
+            {"name": "serve/connections_per_sec", "kind": "throughput",
+             "value": 3000.0, "unit": "conn/s", "samples": 2000},
+            {"name": "serve/ingest_updates_per_sec/clients_1", "kind": "throughput",
+             "value": 900000.0, "unit": "upd/s", "samples": 500000},
+            {"name": "serve/ingest_updates_per_sec/clients_4", "kind": "throughput",
+             "value": 1100000.0, "unit": "upd/s", "samples": 2000000},
+            {"name": "serve/est_latency_p50", "kind": "latency",
+             "value": 2000.0, "unit": "us", "samples": 2000},
+            {"name": "serve/est_latency_p99", "kind": "latency",
+             "value": 3500.0, "unit": "us", "samples": 2000},
+            {"name": "serve/count_latency_p50", "kind": "latency",
+             "value": 10.0, "unit": "us", "samples": 2000},
+            {"name": "serve/count_latency_p99", "kind": "latency",
+             "value": 300.0, "unit": "us", "samples": 2000}
+          ]
+        }"#
+        .to_string()
+    }
+
     fn violations_of(doc: &str) -> Vec<String> {
         validate(&parse_json(doc).unwrap()).0
     }
@@ -365,6 +529,89 @@ mod tests {
     #[test]
     fn the_valid_document_passes() {
         assert_eq!(violations_of(&valid_doc()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn the_valid_serve_document_passes() {
+        assert_eq!(violations_of(&valid_serve_doc()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn the_committed_serve_artifact_passes() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        let text = std::fs::read_to_string(path).expect("committed BENCH_serve.json");
+        assert_eq!(violations_of(&text), Vec::<String>::new());
+    }
+
+    #[test]
+    fn unknown_bench_kind_is_caught() {
+        let doc = valid_serve_doc().replace("\"bench\": \"bench_serve\"", "\"bench\": \"bench_x\"");
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("bench_x") && v.contains("expected")));
+    }
+
+    #[test]
+    fn wrong_serve_schema_version_is_caught() {
+        let doc = valid_serve_doc().replace("\"schema_version\": 1", "\"schema_version\": 2");
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("schema_version")));
+    }
+
+    #[test]
+    fn missing_serve_worker_pool_meta_is_caught() {
+        let doc = valid_serve_doc().replace("\"workers\": 2,", "");
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("workers") && v.contains("meta")));
+
+        let doc = valid_serve_doc().replace("\"max_connections\": 64,", "\"max_connections\": 0,");
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("max_connections")));
+    }
+
+    #[test]
+    fn missing_required_serve_row_is_caught() {
+        let doc = valid_serve_doc().replace(
+            "serve/ingest_updates_per_sec/clients_4",
+            "serve/ingest_updates_per_sec/clients_9",
+        );
+        assert!(
+            violations_of(&doc)
+                .iter()
+                .any(|v| v.contains("serve/ingest_updates_per_sec/clients_4")
+                    && v.contains("missing"))
+        );
+    }
+
+    #[test]
+    fn unknown_serve_result_kind_is_caught() {
+        let doc = valid_serve_doc().replacen("\"kind\": \"latency\"", "\"kind\": \"speed\"", 1);
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("\"speed\"") && v.contains("throughput")));
+    }
+
+    #[test]
+    fn nonpositive_serve_value_is_caught() {
+        let doc = valid_serve_doc().replacen("\"value\": 3000.0", "\"value\": 0", 1);
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("value") && v.contains("results[0]")));
+    }
+
+    #[test]
+    fn swapped_latency_percentiles_are_caught() {
+        let doc = valid_serve_doc().replacen("\"value\": 3500.0", "\"value\": 1.0", 1);
+        let violations = violations_of(&doc);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("est_latency_p50") && v.contains("exceeds")),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -213,6 +213,24 @@ impl<S: ServableSketch> MergeCoordinator<S> {
         Ok(FoldOutcome::Merged { durable })
     }
 
+    /// Record a client stream folded to clean completion.  The reactor
+    /// serving path decodes and folds outside
+    /// [`ingest_stream`](Self::ingest_stream) (per-worker shards, per-
+    /// connection accumulators), so stream bookkeeping is exposed as its
+    /// own step; `ingest_stream` keeps doing its own accounting.
+    pub fn note_stream_completed(&self) {
+        self.lock().stats.streams_completed += 1;
+    }
+
+    /// Record a client stream that died before its end-of-stream frame,
+    /// with `discarded` decoded-but-dropped updates (zero under
+    /// [`ServePolicy::MergeCompleted`], which keeps the decoded prefix).
+    pub fn note_stream_failed(&self, discarded: u64) {
+        let mut st = self.lock();
+        st.stats.streams_failed += 1;
+        st.stats.updates_discarded += discarded;
+    }
+
     /// Fold a [`ParkedState`] — client state that traveled as checkpoint
     /// bytes, e.g. from an ingest tier on another machine.  Equivalent to
     /// rehydrating and [`fold`](Self::fold)ing: the bytes *are* a mergeable

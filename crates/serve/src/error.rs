@@ -12,6 +12,11 @@ pub enum ServeConfigError {
     /// `checkpoint_every == 0`: the serving state must become durable in
     /// positive-size slices.
     ZeroCheckpointEvery,
+    /// `workers == 0`: the reactor needs at least one fold worker.
+    ZeroWorkers,
+    /// `max_connections == 0`: a server that sheds every connection serves
+    /// nobody.
+    ZeroMaxConnections,
 }
 
 impl fmt::Display for ServeConfigError {
@@ -19,6 +24,12 @@ impl fmt::Display for ServeConfigError {
         match self {
             ServeConfigError::ZeroCheckpointEvery => {
                 write!(f, "checkpoint interval must be positive")
+            }
+            ServeConfigError::ZeroWorkers => {
+                write!(f, "worker pool size must be positive")
+            }
+            ServeConfigError::ZeroMaxConnections => {
+                write!(f, "connection cap must be positive")
             }
         }
     }
@@ -127,6 +138,10 @@ mod tests {
         assert!(ServeConfigError::ZeroCheckpointEvery
             .to_string()
             .contains("positive"));
+        assert!(ServeConfigError::ZeroWorkers.to_string().contains("worker"));
+        assert!(ServeConfigError::ZeroMaxConnections
+            .to_string()
+            .contains("connection cap"));
         assert!(ServeError::Config(ServeConfigError::ZeroCheckpointEvery)
             .to_string()
             .contains("configuration"));

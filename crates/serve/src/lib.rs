@@ -8,21 +8,29 @@
 //! sharded ingest (PR 1/2), the checkpoint layer (PR 3) and the pipelined
 //! wire ingest (PR 4) all exploit.  This crate turns that property into a
 //! serving topology (the standard mergeable-sketch fan-in, cf. the
-//! universal-sketch line of work): an accept loop hands each connection its
-//! own thread, each client stream feeds a clone-with-shared-seeds sketch
-//! through [`FrameReader`](gsum_streams::FrameReader) +
-//! [`PipelinedIngest`](gsum_streams::PipelinedIngest), and a
-//! [`MergeCoordinator`] folds completed client states into the long-lived
-//! serving state — in any completion order, with a **bit-identical** result
-//! (integer-valued `f64` counters add exactly; `tests/serve_fan_in.rs`
-//! proptests the permutation invariance, and `examples/multi_client.rs`
-//! demonstrates it over real concurrent sockets).
+//! universal-sketch line of work): a single **reactor** thread multiplexes
+//! every connection over a non-blocking listener, decoding framed streams
+//! incrementally through the resumable
+//! [`FrameDecoder`](gsum_streams::FrameDecoder), and fans decoded batches
+//! out to a **bounded pool of fold workers** whose per-worker shard
+//! sketches fold into the long-lived serving state on query, checkpoint
+//! cadence, or stream completion — in any order, with a **bit-identical**
+//! result (integer-valued `f64` counters add exactly;
+//! `tests/serve_fan_in.rs` proptests the fan-in permutation invariance,
+//! `tests/serve_reactor.rs` proptests sharded serving ≡ single-threaded
+//! concat replay — load shedding included — and
+//! `examples/multi_client.rs` demonstrates it over real concurrent
+//! sockets).
 //!
 //! The pieces:
 //!
-//! * [`GsumServer`] / [`ServeConfig`] — the TCP serving loop: concurrent
-//!   framed ingest, `EST`/`COUNT`/`QUIT` point queries, clean shutdown with
-//!   a final snapshot.
+//! * [`GsumServer`] / [`ServeConfig`] — the TCP serving loop: reactor-
+//!   multiplexed framed ingest over a bounded worker pool,
+//!   `EST`/`COUNT`/`QUIT` point queries, `BUSY` load shedding past the
+//!   connection cap, clean shutdown with a final snapshot.
+//! * [`ServeEvent`] / [`ServeConfig::with_observer`] — structured
+//!   serving-loop telemetry (sheds, timeouts, stream failures) through a
+//!   pluggable callback instead of stderr.
 //! * [`MergeCoordinator`] — the transport-free fan-in core: fold live
 //!   states, fold [`ParkedState`](gsum_streams::ParkedState) checkpoint
 //!   bytes from another machine, drive in-memory streams in tests.
@@ -41,13 +49,16 @@
 pub mod checkpoint_envelope;
 pub mod coordinator;
 pub mod error;
+pub mod observer;
 pub mod policy;
 pub mod protocol;
+mod reactor;
 pub mod server;
 
 pub use checkpoint_envelope::{CheckpointEnvelope, ENVELOPE_MAGIC, ENVELOPE_VERSION};
 pub use coordinator::{FoldOutcome, MergeCoordinator, ServeStats, StreamOutcome};
 pub use error::{ServeConfigError, ServeError};
+pub use observer::{ServeEvent, ServeObserver};
 pub use policy::ServePolicy;
 pub use protocol::{Command, ProtocolError, Response};
 pub use server::{GsumServer, ServeConfig, ServeSummary};

@@ -12,8 +12,11 @@
 //! | `QUIT\n`     | `BYE\n`, then the server shuts down cleanly            |
 //!
 //! A completed ingest stream is acknowledged with `OK <durable-count>\n`;
-//! protocol violations are answered with `ERR <reason>\n`.  The estimate
-//! reply carries both the exact bit pattern (`f64::to_bits`, the form the
+//! protocol violations are answered with `ERR <reason>\n`.  A connection
+//! refused by load shedding (the server is at its `max_connections` cap)
+//! receives `BUSY <max-connections>\n` and is closed — a typed refusal the
+//! client can retry on, never a hung accept queue.  The estimate reply
+//! carries both the exact bit pattern (`f64::to_bits`, the form the
 //! bit-exactness proofs compare) and the human-readable value.
 
 use std::fmt;
@@ -94,6 +97,9 @@ pub enum Response {
     Ok(u64),
     /// `BYE` — clean-shutdown acknowledgement to `QUIT`.
     Bye,
+    /// `BUSY <max-connections>` — the connection was load-shed: the server
+    /// is at its connection cap.  Nothing was ingested; retry later.
+    Busy(u64),
     /// `ERR <reason>` — the request failed.
     Err(String),
 }
@@ -132,6 +138,9 @@ impl Response {
         if let Some(rest) = trimmed.strip_prefix("OK ") {
             return rest.parse().map(Response::Ok).map_err(|_| malformed());
         }
+        if let Some(rest) = trimmed.strip_prefix("BUSY ") {
+            return rest.parse().map(Response::Busy).map_err(|_| malformed());
+        }
         Err(malformed())
     }
 }
@@ -145,6 +154,7 @@ impl fmt::Display for Response {
             Response::Count(n) => write!(f, "COUNT {n}"),
             Response::Ok(n) => write!(f, "OK {n}"),
             Response::Bye => f.write_str("BYE"),
+            Response::Busy(max) => write!(f, "BUSY {max}"),
             Response::Err(reason) => write!(f, "ERR {reason}"),
         }
     }
@@ -189,6 +199,7 @@ mod tests {
             Response::Count(u64::MAX),
             Response::Ok(9_000),
             Response::Bye,
+            Response::Busy(64),
             Response::Err("stream declares domain 8 but the receiver serves domain 64".into()),
         ];
         for case in cases {
@@ -214,7 +225,16 @@ mod tests {
 
     #[test]
     fn malformed_responses_are_typed_errors() {
-        for bad in ["EST", "EST x y", "COUNT ten", "OK", "NOPE 3", "BYEBYE"] {
+        for bad in [
+            "EST",
+            "EST x y",
+            "COUNT ten",
+            "OK",
+            "NOPE 3",
+            "BYEBYE",
+            "BUSY",
+            "BUSY no",
+        ] {
             assert!(
                 matches!(
                     Response::parse(bad),

@@ -1,0 +1,859 @@
+//! The readiness loop and bounded worker pool behind [`GsumServer::serve`].
+//!
+//! Thread-per-connection pays a thread spawn per client and funnels every
+//! decoded batch through the serving-state lock.  This module replaces both
+//! costs with a std-only reactor shape:
+//!
+//! * **One reactor thread** owns the non-blocking listener and every
+//!   non-blocking connection.  It accepts, sheds past `max_connections`
+//!   with a typed [`Response::Busy`] refusal, reads whatever bytes are
+//!   ready, and advances a per-connection state machine (sniff → command
+//!   line or framed ingest via the resumable
+//!   [`FrameDecoder`](gsum_streams::FrameDecoder), which picks up
+//!   mid-frame exactly where the previous readiness event stopped).
+//! * **A bounded pool of fold workers** receives decoded update batches
+//!   over bounded channels (depth = the pipeline config's channel depth) —
+//!   a flooding client backpressures the reactor's reads, never memory.
+//!   Connections are sticky (`conn_id % workers`), so each stream's
+//!   batches arrive at one worker in order.
+//! * **Per-worker shards**: under [`ServePolicy::MergeCompleted`] each
+//!   worker absorbs batches into its own accumulator sketch and folds into
+//!   the published serving state only on query, checkpoint cadence, or
+//!   stream completion (the `OK` ack must carry a durable count that
+//!   includes the stream).  Linearity licenses the sharding: integer-valued
+//!   `f64` counters add exactly, so shards folded in any order land on the
+//!   single-threaded concat-replay state bit for bit —
+//!   `tests/serve_reactor.rs` proptests exactly that claim, load shedding
+//!   included.  [`ServePolicy::DiscardPartial`] is all-or-nothing, so there
+//!   is nothing to share mid-stream: the per-connection accumulator *is*
+//!   the shard, folded once at the end frame or dropped on failure.
+//!
+//! Fault injection (`crash_after`) keeps the PR 4/5 kill/resume contract
+//! bit for bit: with a crash point armed, `MergeCompleted` streams bypass
+//! the shards and fold in exact `checkpoint_every`-sized slices, so the
+//! durable count still moves in K-slices and the crash lands between the
+//! same persistence points as the pre-reactor server.
+
+use crate::coordinator::{FoldOutcome, MergeCoordinator};
+use crate::error::ServeError;
+use crate::observer::ServeEvent;
+use crate::protocol::{Command, Response};
+use crate::server::ServeConfig;
+use crate::ServableSketch;
+use gsum_streams::wire::WIRE_MAGIC;
+use gsum_streams::{FrameDecoder, Update};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Longest accepted command line, in bytes.  Real commands are ≤ 6 bytes;
+/// anything beyond this is garbage and earns a typed rejection instead of
+/// unbounded buffering.
+const MAX_COMMAND_BYTES: usize = 256;
+
+/// Bytes read from a socket per `read` call.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Reads per connection per reactor tick — bounds how long one firehose
+/// connection can monopolize the loop.
+const READS_PER_TICK: usize = 4;
+
+/// Reactor sleep when a full tick made no progress (nothing readable,
+/// writable, or pending).
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// How decoded updates become durable serving state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FoldMode {
+    /// `MergeCompleted`, no crash point: batches absorb into the owning
+    /// worker's shard; the shard folds on cadence, query, or stream end.
+    Shard,
+    /// `MergeCompleted` with `crash_after` armed: per-connection
+    /// accumulator folded in exact `checkpoint_every`-sized slices, so
+    /// crash points stay deterministic (the kill/resume contract).
+    ExactSlices,
+    /// `DiscardPartial`: per-connection accumulator folded once at the end
+    /// frame, dropped on failure.
+    WholeStream,
+}
+
+/// A fold worker's shard: the accumulator sketch plus how many updates it
+/// holds that the published serving state does not.
+struct Shard<S> {
+    sketch: S,
+    pending: u64,
+}
+
+/// What the reactor sends a fold worker.  All messages for one connection
+/// go to one worker (sticky routing), in order.
+enum WorkerMsg {
+    /// Decoded updates from one connection's stream.
+    Batch { conn: u64, updates: Vec<Update> },
+    /// The connection's stream reached its end-of-stream frame; fold, then
+    /// acknowledge with `OK <durable>`.
+    End { conn: u64 },
+    /// The connection's stream died (truncation, decode error, idle
+    /// timeout).  Resolve per policy, then reply `ERR <reason>`.
+    Fail { conn: u64, reason: String },
+}
+
+/// Where a connection is in its current request.
+enum Phase {
+    /// Sniffing / accumulating: bytes so far are either a wire-magic
+    /// prefix (→ `Ingest`) or part of a command line.
+    Text,
+    /// Mid framed stream; the decoder resumes wherever the last readiness
+    /// event stopped.
+    Ingest(Box<FrameDecoder>),
+    /// The worker owes this connection a reply; input is left buffered (a
+    /// pipelined next request) until the reply is on the wire.
+    AwaitReply,
+}
+
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    worker: usize,
+    phase: Phase,
+    /// Bytes read but not yet consumed by the state machine.
+    inbuf: Vec<u8>,
+    /// Bytes owed to the peer.
+    outbuf: Vec<u8>,
+    /// Decoded updates not yet dispatched to the worker.
+    batch: Vec<Update>,
+    last_activity: Instant,
+    close_after_flush: bool,
+    eof: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(id: u64, stream: TcpStream, worker: usize, now: Instant) -> Self {
+        Self {
+            id,
+            stream,
+            worker,
+            phase: Phase::Text,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            batch: Vec::new(),
+            last_activity: now,
+            close_after_flush: false,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    fn mid_request(&self) -> bool {
+        matches!(self.phase, Phase::Ingest(_) | Phase::AwaitReply)
+    }
+}
+
+/// Run the serving loop: spawn the worker pool, drive the reactor until a
+/// clean `QUIT` drain or the fault-injection crash point, then fold any
+/// shard remainders.  Returns whether the crash point was reached (the
+/// caller decides about the final snapshot).
+pub(crate) fn run<S: ServableSketch>(
+    prototype: &S,
+    config: &ServeConfig,
+    coordinator: &MergeCoordinator<S>,
+    listener: TcpListener,
+) -> Result<bool, ServeError> {
+    listener.set_nonblocking(true)?;
+    let workers = config.workers();
+    let mode = if config.policy().folds_mid_stream() {
+        if config.crash_after().is_none() {
+            FoldMode::Shard
+        } else {
+            FoldMode::ExactSlices
+        }
+    } else {
+        FoldMode::WholeStream
+    };
+    let shards: Vec<Arc<Mutex<Shard<S>>>> = if mode == FoldMode::Shard {
+        (0..workers)
+            .map(|_| {
+                Arc::new(Mutex::new(Shard {
+                    sketch: prototype.clone(),
+                    pending: 0,
+                }))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let (reply_tx, reply_rx) = mpsc::channel::<(u64, Response)>();
+    let crashed = std::thread::scope(|scope| {
+        let mut txs = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(config.pipeline().channel_depth());
+            txs.push(tx);
+            let replies = reply_tx.clone();
+            let shard = shards.get(w).cloned();
+            let every = config.checkpoint_every();
+            scope.spawn(move || {
+                worker_loop(rx, replies, shard, mode, prototype, coordinator, every)
+            });
+        }
+        drop(reply_tx);
+        let mut reactor = Reactor {
+            prototype,
+            config,
+            coordinator,
+            txs: &txs,
+            shards: &shards,
+            dispatch_at: config.pipeline().batch_size().max(1),
+            domain: prototype.domain(),
+            draining: false,
+        };
+        reactor.serve_loop(&listener, &reply_rx)
+        // `txs` drops here: the workers drain their queues and exit, and
+        // the scope joins them before anything below runs.
+    })?;
+
+    if !crashed {
+        // Shard remainders exist only for streams that failed mid-flight
+        // (completed streams flush at their end frame); fold them before
+        // the caller takes the final snapshot.
+        for shard in &shards {
+            flush_shard(shard, prototype, coordinator)?;
+        }
+    }
+    Ok(crashed)
+}
+
+/// Take a shard's accumulator (swapping in a fresh prototype clone) and
+/// fold it into the published serving state.  The fold happens outside the
+/// shard lock, so the owning worker keeps absorbing while the fold runs.
+fn flush_shard<S: ServableSketch>(
+    shard: &Mutex<Shard<S>>,
+    prototype: &S,
+    coordinator: &MergeCoordinator<S>,
+) -> Result<(), ServeError> {
+    let (taken, pending) = {
+        let mut guard = shard.lock().expect("shard lock poisoned");
+        if guard.pending == 0 {
+            return Ok(());
+        }
+        let taken = std::mem::replace(&mut guard.sketch, prototype.clone());
+        let pending = std::mem::take(&mut guard.pending);
+        (taken, pending)
+    };
+    // Shard mode never arms a crash point, so the outcome is always Merged.
+    coordinator.fold(&taken, pending)?;
+    Ok(())
+}
+
+/// One fold worker: absorb batches, resolve stream ends and failures per
+/// [`FoldMode`], send replies back to the reactor.  Exits when the reactor
+/// drops the sending half.
+fn worker_loop<S: ServableSketch>(
+    rx: Receiver<WorkerMsg>,
+    replies: mpsc::Sender<(u64, Response)>,
+    shard: Option<Arc<Mutex<Shard<S>>>>,
+    mode: FoldMode,
+    prototype: &S,
+    coordinator: &MergeCoordinator<S>,
+    checkpoint_every: usize,
+) {
+    // Per-connection accumulators (ExactSlices / WholeStream modes).
+    struct ConnAcc<S> {
+        acc: S,
+        count: u64,
+    }
+    let fresh = || ConnAcc {
+        acc: prototype.clone(),
+        count: 0,
+    };
+    let mut conns: HashMap<u64, ConnAcc<S>> = HashMap::new();
+    let k = checkpoint_every as u64;
+
+    while let Ok(msg) = rx.recv() {
+        if coordinator.crashed() {
+            // The server is dying mid-crash: no folds, no replies, no
+            // bookkeeping — exactly like a SIGKILL between persistence
+            // points.
+            if let WorkerMsg::End { conn } | WorkerMsg::Fail { conn, .. } = msg {
+                conns.remove(&conn);
+            }
+            continue;
+        }
+        match msg {
+            WorkerMsg::Batch { conn, updates } => match mode {
+                FoldMode::Shard => {
+                    let shard = shard.as_ref().expect("shard mode has a shard");
+                    let due = {
+                        let mut guard = shard.lock().expect("shard lock poisoned");
+                        guard.sketch.update_batch(&updates);
+                        guard.pending += updates.len() as u64;
+                        guard.pending >= k
+                    };
+                    if due {
+                        if let Err(e) = flush_shard(shard, prototype, coordinator) {
+                            let _ = replies.send((conn, Response::Err(e.to_string())));
+                        }
+                    }
+                }
+                FoldMode::ExactSlices => {
+                    let mut st = conns.remove(&conn).unwrap_or_else(fresh);
+                    let mut off = 0usize;
+                    let mut alive = true;
+                    while off < updates.len() {
+                        let take = ((k - st.count) as usize).min(updates.len() - off);
+                        st.acc.update_batch(&updates[off..off + take]);
+                        st.count += take as u64;
+                        off += take;
+                        if st.count == k {
+                            match coordinator.fold(&st.acc, k) {
+                                Ok(FoldOutcome::Merged { .. }) => {
+                                    st.acc = prototype.clone();
+                                    st.count = 0;
+                                }
+                                Ok(FoldOutcome::CrashInjected) => {
+                                    alive = false;
+                                    break;
+                                }
+                                Err(e) => {
+                                    let _ = replies.send((conn, Response::Err(e.to_string())));
+                                    alive = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if alive {
+                        conns.insert(conn, st);
+                    }
+                }
+                FoldMode::WholeStream => {
+                    let st = conns.entry(conn).or_insert_with(fresh);
+                    st.acc.update_batch(&updates);
+                    st.count += updates.len() as u64;
+                }
+            },
+            WorkerMsg::End { conn } => {
+                let folded: Result<Option<u64>, ServeError> = match mode {
+                    FoldMode::Shard => {
+                        flush_shard(shard.as_ref().expect("shard"), prototype, coordinator)
+                            .map(|()| Some(coordinator.durable_count()))
+                    }
+                    FoldMode::ExactSlices => match conns.remove(&conn) {
+                        Some(st) if st.count > 0 => match coordinator.fold(&st.acc, st.count) {
+                            Ok(FoldOutcome::Merged { durable }) => Ok(Some(durable)),
+                            Ok(FoldOutcome::CrashInjected) => Ok(None),
+                            Err(e) => Err(e),
+                        },
+                        // The stream ended exactly on a slice boundary.
+                        _ => Ok(Some(coordinator.durable_count())),
+                    },
+                    FoldMode::WholeStream => {
+                        let st = conns.remove(&conn).unwrap_or_else(fresh);
+                        match coordinator.fold(&st.acc, st.count) {
+                            Ok(FoldOutcome::Merged { durable }) => Ok(Some(durable)),
+                            Ok(FoldOutcome::CrashInjected) => Ok(None),
+                            Err(e) => Err(e),
+                        }
+                    }
+                };
+                match folded {
+                    Ok(Some(durable)) => {
+                        coordinator.note_stream_completed();
+                        let _ = replies.send((conn, Response::Ok(durable)));
+                    }
+                    // Crash injected: die without a reply, like a SIGKILL.
+                    Ok(None) => {}
+                    Err(e) => {
+                        let _ = replies.send((conn, Response::Err(e.to_string())));
+                    }
+                }
+            }
+            WorkerMsg::Fail { conn, reason } => {
+                let mut discarded = 0u64;
+                let mut crash_silent = false;
+                match mode {
+                    // MergeCompleted keeps the full decoded prefix; in
+                    // shard mode it is already absorbed and will fold on
+                    // the next flush.
+                    FoldMode::Shard => {}
+                    FoldMode::ExactSlices => {
+                        // The sub-slice remainder is part of the decoded
+                        // prefix: fold it too.
+                        if let Some(st) = conns.remove(&conn) {
+                            if st.count > 0 {
+                                match coordinator.fold(&st.acc, st.count) {
+                                    Ok(FoldOutcome::Merged { .. }) => {}
+                                    Ok(FoldOutcome::CrashInjected) => crash_silent = true,
+                                    Err(_) => discarded = st.count,
+                                }
+                            }
+                        }
+                    }
+                    FoldMode::WholeStream => {
+                        discarded = conns.remove(&conn).map_or(0, |st| st.count);
+                    }
+                }
+                if !crash_silent {
+                    coordinator.note_stream_failed(discarded);
+                    let _ = replies.send((conn, Response::Err(reason)));
+                }
+            }
+        }
+    }
+}
+
+/// What [`Reactor::advance`] decided a connection needs next; actions are
+/// applied after the phase borrow ends.
+enum Act {
+    /// Nothing (or nothing more) to do this tick.
+    Wait,
+    /// The sniffed prefix is the wire magic: start a framed stream.
+    StartIngest,
+    /// A complete command line arrived.
+    Command(String),
+    /// The accumulated line exceeds [`MAX_COMMAND_BYTES`].
+    Oversized,
+    /// The stream decoder parked an error.
+    StreamError(String),
+    /// The stream reached its end-of-stream frame.
+    StreamEnd,
+    /// Mid-stream: dispatch the buffered batch if it is large enough.
+    StreamFlow,
+}
+
+struct Reactor<'a, S: ServableSketch> {
+    prototype: &'a S,
+    config: &'a ServeConfig,
+    coordinator: &'a MergeCoordinator<S>,
+    txs: &'a [SyncSender<WorkerMsg>],
+    shards: &'a [Arc<Mutex<Shard<S>>>],
+    dispatch_at: usize,
+    domain: u64,
+    draining: bool,
+}
+
+impl<S: ServableSketch> Reactor<'_, S> {
+    /// The readiness loop.  Returns `Ok(true)` when the fault-injection
+    /// crash point was reached, `Ok(false)` on a clean `QUIT` drain.
+    fn serve_loop(
+        &mut self,
+        listener: &TcpListener,
+        replies: &Receiver<(u64, Response)>,
+    ) -> Result<bool, ServeError> {
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_id: u64 = 0;
+        let timeout = self.config.client_read_timeout();
+        let max_connections = self.config.max_connections();
+
+        loop {
+            if self.coordinator.crashed() {
+                // Die like a SIGKILL: every connection drops unanswered,
+                // no shard flush, no final snapshot.
+                return Ok(true);
+            }
+            let mut progress = false;
+            let now = Instant::now();
+
+            // Accept everything pending: register, shed, or (while
+            // draining) refuse silently.
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        progress = true;
+                        if self.draining {
+                            drop(stream);
+                        } else if conns.len() >= max_connections {
+                            self.config.emit(&ServeEvent::ConnectionShed {
+                                active: conns.len(),
+                                max_connections,
+                            });
+                            // Typed refusal, best effort.  Accepted sockets
+                            // are blocking (they do not inherit the
+                            // listener's non-blocking flag on the platforms
+                            // we target), and a fresh socket's send buffer
+                            // swallows this short line without blocking.
+                            let mut stream = stream;
+                            let _ = writeln!(stream, "{}", Response::Busy(max_connections as u64));
+                        } else if let Err(e) = stream.set_nonblocking(true) {
+                            self.config.emit(&ServeEvent::ConnectionError {
+                                reason: e.to_string(),
+                            });
+                        } else {
+                            let id = next_id;
+                            next_id += 1;
+                            let worker = (id as usize) % self.txs.len();
+                            conns.insert(id, Conn::new(id, stream, worker, now));
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        self.config.emit(&ServeEvent::AcceptFailed {
+                            reason: e.to_string(),
+                        });
+                        break;
+                    }
+                }
+            }
+
+            // Route worker replies into their connections' write buffers.
+            while let Ok((id, response)) = replies.try_recv() {
+                progress = true;
+                if let Some(conn) = conns.get_mut(&id) {
+                    if matches!(response, Response::Err(_)) {
+                        // A failed request poisons the connection: the
+                        // framing can no longer be trusted.
+                        conn.close_after_flush = true;
+                    }
+                    conn.outbuf
+                        .extend_from_slice(response.to_string().as_bytes());
+                    conn.outbuf.push(b'\n');
+                    if matches!(conn.phase, Phase::AwaitReply) {
+                        // Persistent connection: the next request (possibly
+                        // already buffered in inbuf) may proceed.
+                        conn.phase = Phase::Text;
+                    }
+                }
+            }
+
+            // Per-connection I/O and state machines.
+            for conn in conns.values_mut() {
+                progress |= self.step_conn(conn, now, timeout)?;
+            }
+            conns.retain(|_, c| !c.dead);
+
+            if self.draining {
+                // Keep only connections in the middle of a request (their
+                // streams drain to completion) or with unflushed replies;
+                // idle and stalled connections drop immediately, so one
+                // silent peer cannot wedge a clean shutdown.
+                conns.retain(|_, c| c.mid_request() || !c.outbuf.is_empty());
+                if conns.is_empty() {
+                    return Ok(false);
+                }
+            }
+
+            if !progress {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+    }
+
+    /// Advance one connection: flush owed bytes, read ready bytes, run the
+    /// request state machine, resolve EOF, apply the idle timeout.
+    fn step_conn(
+        &mut self,
+        conn: &mut Conn,
+        now: Instant,
+        timeout: Option<Duration>,
+    ) -> Result<bool, ServeError> {
+        let mut progress = false;
+
+        // Flush owed bytes.
+        while !conn.outbuf.is_empty() {
+            match conn.stream.write(&conn.outbuf) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return Ok(true);
+                }
+                Ok(n) => {
+                    conn.outbuf.drain(..n);
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.config.emit(&ServeEvent::ConnectionError {
+                        reason: e.to_string(),
+                    });
+                    self.abort_conn(conn);
+                    return Ok(true);
+                }
+            }
+        }
+        if conn.close_after_flush
+            && conn.outbuf.is_empty()
+            && !matches!(conn.phase, Phase::AwaitReply)
+        {
+            conn.dead = true;
+            return Ok(true);
+        }
+
+        // Read ready bytes — unless a reply is owed (ordering: buffered
+        // pipelined requests wait their turn) or the connection is closing.
+        if !conn.eof && !conn.close_after_flush && !matches!(conn.phase, Phase::AwaitReply) {
+            let mut buf = [0u8; READ_CHUNK];
+            let mut reads = 0;
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        progress = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.inbuf.extend_from_slice(&buf[..n]);
+                        conn.last_activity = now;
+                        progress = true;
+                        reads += 1;
+                        if n < buf.len() || reads >= READS_PER_TICK {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        self.config.emit(&ServeEvent::ConnectionError {
+                            reason: e.to_string(),
+                        });
+                        self.abort_conn(conn);
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+
+        progress |= self.advance(conn)?;
+
+        // EOF resolution, once the state machine has consumed what it can.
+        if conn.eof && !conn.close_after_flush && !conn.dead {
+            match conn.phase {
+                Phase::AwaitReply => conn.close_after_flush = true,
+                Phase::Ingest(_) => {
+                    self.fail_ingest(
+                        conn,
+                        "wire stream closed before its end-of-stream frame".to_string(),
+                    );
+                    progress = true;
+                }
+                Phase::Text => {
+                    if conn.inbuf.is_empty() {
+                        if conn.outbuf.is_empty() {
+                            conn.dead = true;
+                            progress = true;
+                        } else {
+                            conn.close_after_flush = true;
+                        }
+                    } else {
+                        // A final line the peer never newline-terminated.
+                        let line = std::mem::take(&mut conn.inbuf);
+                        let line = String::from_utf8_lossy(&line).to_string();
+                        self.handle_command(conn, &line)?;
+                        conn.close_after_flush = true;
+                        progress = true;
+                    }
+                }
+            }
+        }
+
+        // Idle timeout (never while a reply is owed — that wait is ours).
+        if let Some(t) = timeout {
+            if !conn.dead
+                && !matches!(conn.phase, Phase::AwaitReply)
+                && now.duration_since(conn.last_activity) > t
+            {
+                let idle_ms = now.duration_since(conn.last_activity).as_millis() as u64;
+                self.config
+                    .emit(&ServeEvent::ConnectionTimedOut { idle_ms });
+                if matches!(conn.phase, Phase::Ingest(_)) {
+                    self.fail_ingest(conn, format!("client idle for {idle_ms}ms mid-stream"));
+                } else {
+                    conn.dead = true;
+                }
+                progress = true;
+            }
+        }
+
+        Ok(progress)
+    }
+
+    /// Run the request state machine over whatever `inbuf` holds.
+    fn advance(&mut self, conn: &mut Conn) -> Result<bool, ServeError> {
+        let mut progress = false;
+        loop {
+            let act = match &mut conn.phase {
+                Phase::Text => {
+                    if conn.close_after_flush {
+                        Act::Wait
+                    } else if conn.inbuf.len() >= WIRE_MAGIC.len()
+                        && conn.inbuf[..WIRE_MAGIC.len()] == WIRE_MAGIC
+                    {
+                        Act::StartIngest
+                    } else if let Some(pos) = conn.inbuf.iter().position(|&b| b == b'\n') {
+                        let line: Vec<u8> = conn.inbuf.drain(..=pos).collect();
+                        Act::Command(String::from_utf8_lossy(&line[..pos]).to_string())
+                    } else if conn.inbuf.len() > MAX_COMMAND_BYTES {
+                        Act::Oversized
+                    } else {
+                        Act::Wait
+                    }
+                }
+                Phase::Ingest(decoder) => {
+                    let consumed = decoder.feed(&conn.inbuf);
+                    if consumed > 0 {
+                        conn.inbuf.drain(..consumed);
+                        progress = true;
+                    }
+                    if decoder.drain_into(&mut conn.batch) > 0 {
+                        progress = true;
+                    }
+                    if let Some(e) = decoder.take_error() {
+                        Act::StreamError(e.to_string())
+                    } else if decoder.finished() {
+                        Act::StreamEnd
+                    } else {
+                        Act::StreamFlow
+                    }
+                }
+                Phase::AwaitReply => Act::Wait,
+            };
+            match act {
+                Act::Wait => break,
+                Act::StartIngest => {
+                    conn.phase = Phase::Ingest(Box::new(
+                        FrameDecoder::new().with_expected_domain(self.domain),
+                    ));
+                    progress = true;
+                }
+                Act::Command(line) => {
+                    self.handle_command(conn, &line)?;
+                    progress = true;
+                }
+                Act::Oversized => {
+                    self.reply(conn, &Response::Err("command line too long".into()));
+                    conn.inbuf.clear();
+                    conn.close_after_flush = true;
+                    progress = true;
+                    break;
+                }
+                Act::StreamError(reason) => {
+                    self.fail_ingest(conn, reason);
+                    progress = true;
+                    break;
+                }
+                Act::StreamEnd => {
+                    self.dispatch_batch(conn);
+                    self.send(conn.worker, WorkerMsg::End { conn: conn.id });
+                    conn.phase = Phase::AwaitReply;
+                    progress = true;
+                    break;
+                }
+                Act::StreamFlow => {
+                    if conn.batch.len() >= self.dispatch_at {
+                        self.dispatch_batch(conn);
+                        progress = true;
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(progress)
+    }
+
+    /// Answer one command line on the reactor thread.  Queries fold the
+    /// shards first: "published state" means *everything decoded and
+    /// acknowledged so far*, exactly as the pre-reactor server answered
+    /// from its single serving sketch.
+    fn handle_command(&mut self, conn: &mut Conn, line: &str) -> Result<(), ServeError> {
+        match Command::parse(line) {
+            Ok(Command::Est) => {
+                self.flush_serving_state()?;
+                let bits = self.coordinator.estimate().to_bits();
+                self.reply(conn, &Response::Est { bits });
+            }
+            Ok(Command::Count) => {
+                self.flush_serving_state()?;
+                self.reply(conn, &Response::Count(self.coordinator.durable_count()));
+            }
+            Ok(Command::Quit) => {
+                self.reply(conn, &Response::Bye);
+                conn.close_after_flush = true;
+                self.draining = true;
+            }
+            Err(e) => {
+                self.reply(conn, &Response::Err(e.to_string()));
+                conn.close_after_flush = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold every worker shard into the published serving state.
+    fn flush_serving_state(&self) -> Result<(), ServeError> {
+        for shard in self.shards {
+            flush_shard(shard, self.prototype, self.coordinator)?;
+        }
+        Ok(())
+    }
+
+    /// A stream died on the reactor's side of the fence (decode error,
+    /// truncation, idle timeout): ship the decoded remainder plus the
+    /// failure to the worker, which resolves it per policy and replies.
+    fn fail_ingest(&mut self, conn: &mut Conn, reason: String) {
+        self.config.emit(&ServeEvent::StreamFailed {
+            reason: reason.clone(),
+        });
+        self.dispatch_batch(conn);
+        self.send(
+            conn.worker,
+            WorkerMsg::Fail {
+                conn: conn.id,
+                reason,
+            },
+        );
+        conn.phase = Phase::AwaitReply;
+        conn.close_after_flush = true;
+    }
+
+    /// The connection itself died (I/O error): no reply is deliverable,
+    /// but the worker still needs the failure for policy + bookkeeping.
+    fn abort_conn(&mut self, conn: &mut Conn) {
+        if matches!(conn.phase, Phase::Ingest(_)) {
+            let reason = "connection lost mid-stream".to_string();
+            self.config.emit(&ServeEvent::StreamFailed {
+                reason: reason.clone(),
+            });
+            self.dispatch_batch(conn);
+            self.send(
+                conn.worker,
+                WorkerMsg::Fail {
+                    conn: conn.id,
+                    reason,
+                },
+            );
+        }
+        conn.dead = true;
+    }
+
+    fn dispatch_batch(&self, conn: &mut Conn) {
+        if conn.batch.is_empty() {
+            return;
+        }
+        let updates = std::mem::take(&mut conn.batch);
+        self.send(
+            conn.worker,
+            WorkerMsg::Batch {
+                conn: conn.id,
+                updates,
+            },
+        );
+    }
+
+    /// Blocking send: a full worker queue backpressures the reactor (and
+    /// through unread sockets, the clients) instead of growing a buffer.
+    /// Workers never wait on the reactor, so this cannot deadlock.
+    fn send(&self, worker: usize, msg: WorkerMsg) {
+        // An Err means the worker is gone, which only happens during
+        // crash-point shutdown; the message's stream dies with the server.
+        let _ = self.txs[worker].send(msg);
+    }
+
+    fn reply(&self, conn: &mut Conn, response: &Response) {
+        conn.outbuf
+            .extend_from_slice(response.to_string().as_bytes());
+        conn.outbuf.push(b'\n');
+    }
+}

@@ -1,35 +1,56 @@
 //! The concurrent TCP serving loop.
 //!
-//! [`GsumServer`] is the production shape of what PR 4 prototyped as a
-//! 380-line example: an accept loop that hands **each connection its own
-//! thread**, so N clients stream framed updates simultaneously — each into
-//! its own clone-with-shared-seeds sketch, pipelined with backpressure —
-//! while the [`MergeCoordinator`] folds completed states into the
-//! long-lived serving state and point queries answer from it at any
-//! moment.  A second client no longer waits in `accept`.
+//! [`GsumServer`] is the serving front-end over the workspace's linear
+//! sketches.  Since PR 7 it runs on a **reactor + bounded worker pool**
+//! (the private `reactor` module — previously each connection got its
+//! own thread): one readiness loop owns the non-blocking listener and every
+//! connection, decoding framed streams incrementally and answering point
+//! queries, while a fixed pool of fold workers absorbs decoded batches
+//! into per-worker shard sketches that fold into the published serving
+//! state on query, checkpoint cadence, or stream completion.  Concurrency
+//! is now a knob ([`ServeConfig::with_workers`]) instead of a function of
+//! client count, and connections past [`ServeConfig::with_max_connections`]
+//! are shed with a typed [`Response::Busy`](crate::Response::Busy) refusal
+//! instead of queueing unboundedly.
 
 use crate::checkpoint_envelope::CheckpointEnvelope;
 use crate::coordinator::MergeCoordinator;
 use crate::coordinator::ServeStats;
 use crate::error::ServeError;
+use crate::observer::{default_observer, ServeEvent, ServeObserver};
 use crate::policy::ServePolicy;
-use crate::protocol::{Command, Response};
+use crate::reactor;
 use crate::ServableSketch;
-use gsum_streams::wire::WIRE_MAGIC;
-use gsum_streams::{FrameReader, PipelinedIngest};
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use gsum_streams::PipelinedIngest;
+use std::net::TcpListener;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Configuration for a [`GsumServer`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct ServeConfig {
     policy: ServePolicy,
     checkpoint_every: usize,
     pipeline: PipelinedIngest,
     crash_after: Option<u64>,
     client_read_timeout: Option<std::time::Duration>,
+    workers: usize,
+    max_connections: usize,
+    observer: ServeObserver,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("policy", &self.policy)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("pipeline", &self.pipeline)
+            .field("crash_after", &self.crash_after)
+            .field("client_read_timeout", &self.client_read_timeout)
+            .field("workers", &self.workers)
+            .field("max_connections", &self.max_connections)
+            .finish_non_exhaustive() // the observer callback is not Debug
+    }
 }
 
 impl Default for ServeConfig {
@@ -41,7 +62,7 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// The default configuration: [`ServePolicy::DiscardPartial`], a
     /// snapshot every 512 merged updates, a 2-worker pipeline, a 30-second
-    /// client read timeout.
+    /// client read timeout, 2 fold workers, a 256-connection cap.
     pub fn new() -> Self {
         Self {
             policy: ServePolicy::default(),
@@ -49,6 +70,9 @@ impl ServeConfig {
             pipeline: PipelinedIngest::new(2),
             crash_after: None,
             client_read_timeout: Some(std::time::Duration::from_secs(30)),
+            workers: 2,
+            max_connections: 256,
+            observer: default_observer(),
         }
     }
 
@@ -78,9 +102,66 @@ impl ServeConfig {
         Ok(self)
     }
 
-    /// The pipelined-ingest topology each client stream runs through.
+    /// The pipelined-ingest topology each client stream runs through.  The
+    /// reactor reuses its batch size as the dispatch granularity (decoded
+    /// updates per worker message) and its channel depth as each fold
+    /// worker's queue bound.
     pub fn with_pipeline(mut self, pipeline: PipelinedIngest) -> Self {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// Size of the fold-worker pool: how many threads absorb decoded
+    /// batches concurrently.  Connections are routed to workers round-robin
+    /// and stick to one worker for their lifetime.  Worth raising toward
+    /// the core count on multi-core ingest-heavy hosts; the default of 2
+    /// keeps a decode/fold overlap even on small machines.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`; use
+    /// [`try_with_workers`](Self::try_with_workers) for a fallible builder.
+    pub fn with_workers(self, workers: usize) -> Self {
+        self.try_with_workers(workers)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible builder: rejects `workers == 0`.
+    pub fn try_with_workers(mut self, workers: usize) -> Result<Self, ServeError> {
+        if workers == 0 {
+            return Err(crate::error::ServeConfigError::ZeroWorkers.into());
+        }
+        self.workers = workers;
+        Ok(self)
+    }
+
+    /// Load-shedding cap: connections accepted while this many are already
+    /// being served receive a typed `BUSY <max>` refusal and are closed —
+    /// a signal the client can retry on, instead of an unbounded accept
+    /// queue hiding the overload.
+    ///
+    /// # Panics
+    /// Panics if `max == 0`; use
+    /// [`try_with_max_connections`](Self::try_with_max_connections) for a
+    /// fallible builder.
+    pub fn with_max_connections(self, max: usize) -> Self {
+        self.try_with_max_connections(max)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible builder: rejects `max == 0`.
+    pub fn try_with_max_connections(mut self, max: usize) -> Result<Self, ServeError> {
+        if max == 0 {
+            return Err(crate::error::ServeConfigError::ZeroMaxConnections.into());
+        }
+        self.max_connections = max;
+        Ok(self)
+    }
+
+    /// Route serving-loop events ([`ServeEvent`]) through `observer`
+    /// instead of the default stderr printer.  The callback runs on the
+    /// reactor thread: count, forward, return — never block.
+    pub fn with_observer(mut self, observer: impl Fn(&ServeEvent) + Send + Sync + 'static) -> Self {
+        self.observer = Arc::new(observer);
         self
     }
 
@@ -95,9 +176,9 @@ impl ServeConfig {
 
     /// How long a connection may sit idle (no bytes arriving) before the
     /// server gives up on it.  The timeout is what keeps one stalled client
-    /// from pinning a handler thread forever — and, since a clean shutdown
-    /// drains in-flight handlers, from wedging `QUIT` indefinitely.  `None`
-    /// disables it (a stalled client then holds its thread until the peer
+    /// from pinning a connection slot forever — and, since a clean shutdown
+    /// drains in-flight streams, from wedging `QUIT` indefinitely.  `None`
+    /// disables it (a stalled client then holds its slot until the peer
     /// closes; use only on trusted networks).  The timeout bounds *idle*
     /// time, not stream length: a slow stream that keeps trickling bytes is
     /// never cut off, and server-side backpressure blocks the *client's*
@@ -121,6 +202,30 @@ impl ServeConfig {
     pub fn pipeline(&self) -> PipelinedIngest {
         self.pipeline
     }
+
+    /// The configured fold-worker pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured load-shedding connection cap.
+    pub fn max_connections(&self) -> usize {
+        self.max_connections
+    }
+
+    /// The configured idle timeout.
+    pub fn client_read_timeout(&self) -> Option<std::time::Duration> {
+        self.client_read_timeout
+    }
+
+    /// The configured fault-injection crash point.
+    pub fn crash_after(&self) -> Option<u64> {
+        self.crash_after
+    }
+
+    pub(crate) fn emit(&self, event: &ServeEvent) {
+        (self.observer)(event);
+    }
 }
 
 /// How a [`GsumServer::serve`] call ended.
@@ -135,14 +240,8 @@ pub struct ServeSummary {
     pub stats: ServeStats,
 }
 
-enum ConnectionVerdict {
-    KeepServing,
-    Shutdown,
-    Crashed,
-}
-
-/// A long-lived serving process: concurrent framed ingest with
-/// merge-on-completion fan-in, point queries, and durable checkpointing.
+/// A long-lived serving process: concurrent framed ingest with sharded
+/// fan-in, point queries, load shedding, and durable checkpointing.
 pub struct GsumServer<S> {
     prototype: S,
     config: ServeConfig,
@@ -200,52 +299,14 @@ impl<S: ServableSketch> GsumServer<S> {
     }
 
     /// Accept connections until a `QUIT` command (or the fault-injection
-    /// crash point).  Every connection gets its own thread: framed streams
-    /// ingest concurrently and fold through the coordinator; command lines
-    /// answer from the serving state.  In-flight streams run to completion
-    /// before a clean shutdown returns, and a final snapshot is published.
+    /// crash point).  A single reactor thread multiplexes every connection
+    /// — framed streams decode incrementally as bytes arrive and their
+    /// batches fan out to the bounded fold-worker pool; command lines
+    /// answer from the published serving state.  In-flight streams run to
+    /// completion before a clean shutdown returns, and a final snapshot is
+    /// published.
     pub fn serve(&self, listener: TcpListener) -> Result<ServeSummary, ServeError> {
-        let wakeup_addr = Self::wakeup_addr(listener.local_addr()?);
-        let shutdown = AtomicBool::new(false);
-        std::thread::scope(|scope| {
-            for conn in listener.incoming() {
-                if shutdown.load(Ordering::SeqCst) || self.coordinator.crashed() {
-                    break;
-                }
-                let stream = match conn {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("[gsum-serve] accept failed: {e}");
-                        continue;
-                    }
-                };
-                if let Some(timeout) = self.config.client_read_timeout {
-                    // Best effort: a socket that refuses the option still
-                    // gets served, just without the stall bound.
-                    let _ = stream.set_read_timeout(Some(timeout));
-                }
-                let shutdown = &shutdown;
-                scope.spawn(move || match self.handle_connection(stream) {
-                    Ok(ConnectionVerdict::KeepServing) => {}
-                    Ok(ConnectionVerdict::Shutdown) | Ok(ConnectionVerdict::Crashed) => {
-                        shutdown.store(true, Ordering::SeqCst);
-                        // Unblock the accept loop so it observes the flag.
-                        // A failed wakeup is worth shouting about: the loop
-                        // then only notices the flag on the next organic
-                        // connection.
-                        if let Err(e) = TcpStream::connect(wakeup_addr) {
-                            eprintln!(
-                                "[gsum-serve] shutdown wakeup connect to {wakeup_addr} \
-                                 failed ({e}); the accept loop will exit on the next \
-                                 incoming connection"
-                            );
-                        }
-                    }
-                    Err(e) => eprintln!("[gsum-serve] connection error: {e}"),
-                });
-            }
-        });
-        let crashed = self.coordinator.crashed();
+        let crashed = reactor::run(&self.prototype, &self.config, &self.coordinator, listener)?;
         if !crashed {
             self.coordinator.snapshot()?;
         }
@@ -253,98 +314,5 @@ impl<S: ServableSketch> GsumServer<S> {
             clean_shutdown: !crashed,
             stats: self.coordinator.stats(),
         })
-    }
-
-    /// The address the shutdown path connects to in order to unblock the
-    /// accept loop.  A listener bound to the unspecified address
-    /// (`0.0.0.0` / `::`) is not connectable on every platform, so the
-    /// wakeup targets the loopback of the same family instead.
-    fn wakeup_addr(local: std::net::SocketAddr) -> std::net::SocketAddr {
-        let mut addr = local;
-        if addr.ip().is_unspecified() {
-            addr.set_ip(match addr {
-                std::net::SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
-                std::net::SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
-            });
-        }
-        addr
-    }
-
-    /// One connection: sniff 4 bytes to tell a framed wire stream from a
-    /// command line, then dispatch.
-    fn handle_connection(&self, stream: TcpStream) -> Result<ConnectionVerdict, ServeError> {
-        let mut reply = BufWriter::new(stream.try_clone()?);
-        let mut reader = BufReader::new(stream);
-
-        let mut head = [0u8; 4];
-        reader.read_exact(&mut head)?;
-        if head == WIRE_MAGIC {
-            return self.handle_ingest(head, reader, reply);
-        }
-
-        let mut line = head.to_vec();
-        if !line.contains(&b'\n') {
-            let mut rest = Vec::new();
-            reader.read_until(b'\n', &mut rest)?;
-            line.extend_from_slice(&rest);
-        }
-        let (response, verdict) = match Command::parse(&String::from_utf8_lossy(&line)) {
-            Ok(Command::Est) => (
-                Response::Est {
-                    bits: self.coordinator.estimate().to_bits(),
-                },
-                ConnectionVerdict::KeepServing,
-            ),
-            Ok(Command::Count) => (
-                Response::Count(self.coordinator.durable_count()),
-                ConnectionVerdict::KeepServing,
-            ),
-            Ok(Command::Quit) => (Response::Bye, ConnectionVerdict::Shutdown),
-            Err(e) => (Response::Err(e.to_string()), ConnectionVerdict::KeepServing),
-        };
-        writeln!(reply, "{response}")?;
-        reply.flush()?;
-        Ok(verdict)
-    }
-
-    /// One framed client stream: validate the header against the serving
-    /// domain (out-of-domain traffic dies at decode, never at apply), then
-    /// hand the reader to the coordinator.
-    fn handle_ingest(
-        &self,
-        magic: [u8; 4],
-        reader: BufReader<TcpStream>,
-        mut reply: BufWriter<TcpStream>,
-    ) -> Result<ConnectionVerdict, ServeError> {
-        let mut frames = match FrameReader::new((&magic[..]).chain(reader))
-            .and_then(|f| f.with_expected_domain(self.prototype.domain()))
-        {
-            Ok(f) => f,
-            Err(e) => {
-                // Header-level rejection: the peer is still listening.
-                writeln!(reply, "{}", Response::Err(e.to_string()))?;
-                reply.flush()?;
-                return Ok(ConnectionVerdict::KeepServing);
-            }
-        };
-        let outcome = self.coordinator.ingest_stream(
-            &self.prototype,
-            &self.config.pipeline,
-            self.config.policy,
-            &mut frames,
-        )?;
-        if outcome.crashed {
-            // Die like a SIGKILL: no reply, no final checkpoint.
-            return Ok(ConnectionVerdict::Crashed);
-        }
-        let response = match &outcome.failure {
-            None => Response::Ok(outcome.durable_count),
-            Some(e) => Response::Err(e.to_string()),
-        };
-        // A failed stream usually means the peer is gone; a dead reply
-        // socket must not take the server thread down with it.
-        let _ = writeln!(reply, "{response}");
-        let _ = reply.flush();
-        Ok(ConnectionVerdict::KeepServing)
     }
 }

@@ -15,13 +15,16 @@ use std::io::{Read, Write};
 
 /// Reusable working memory for [`CountMinSketch::update_batch`]: the coalesce
 /// buffer, per-row column indices, and the per-item deltas (shared across
-/// rows — Count-Min has no signs, so the delta array is filled once).
-/// Transient — never part of checkpoint/merge/clone identity.
+/// rows — Count-Min has no signs, so the delta array is filled once; it
+/// stays in `i64` on the exact fast path and is pre-converted into
+/// `fdeltas` on the extreme-delta fallback).  Transient — never part of
+/// checkpoint/merge/clone identity.
 #[derive(Debug, Default)]
 pub struct CountMinScratch {
     coalesce: Vec<Update>,
     cols: Vec<u32>,
     fdeltas: Vec<f64>,
+    ideltas: Vec<i64>,
 }
 
 /// Configuration for a [`CountMinSketch`].
@@ -143,22 +146,39 @@ impl StreamSink for CountMinSketch {
     }
 
     /// Batched fast path: coalesce duplicate items exactly in `i64`, hash
-    /// each distinct item once per row, walk the counters row-major.  The
-    /// per-item deltas are converted to `f64` once for the whole batch; each
+    /// each distinct item once per row, walk the counters row-major.  Each
     /// row precomputes its column indices and then applies them in a tight
-    /// hash-free scatter loop.
+    /// hash-free scatter loop.  Count-Min has no signs, so its `i64` fast
+    /// path is the delta buffer itself: when every delta provably converts
+    /// to `f64` exactly, the batch-wide buffer is a plain integer copy and
+    /// the conversion fuses into the scatter — bit-identical, one pass
+    /// fewer; extreme deltas pre-convert into `f64`, exactly as before.
     fn update_batch(&mut self, updates: &[Update]) {
         let CountMinScratch {
             coalesce,
             cols,
             fdeltas,
+            ideltas,
         } = &mut self.scratch.buf;
         let coalesced = coalesce_into(updates, coalesce);
         if coalesced.is_empty() {
             return;
         }
-        fdeltas.clear();
-        fdeltas.extend(coalesced.iter().map(|u| u.delta as f64));
+        let max_abs = coalesced
+            .iter()
+            .map(|u| u.delta.unsigned_abs())
+            .fold(0u64, u64::max);
+        // Same doctrine gate as the AMS/CountSketch fast paths: below 2^52
+        // every delta is an exact f64 integer, so converting at apply time
+        // equals pre-converting, bit for bit.
+        let exact_i64 = (max_abs as u128) * (coalesced.len() as u128) < (1u128 << 52);
+        if exact_i64 {
+            ideltas.clear();
+            ideltas.extend(coalesced.iter().map(|u| u.delta));
+        } else {
+            fdeltas.clear();
+            fdeltas.extend(coalesced.iter().map(|u| u.delta as f64));
+        }
         let columns = self.config.columns;
         for (row_counters, hasher) in self
             .counters
@@ -169,8 +189,14 @@ impl StreamSink for CountMinSketch {
             // Column indices always fit u32: column counts are memory words
             // per row, far below 2^32.
             cols.extend(coalesced.iter().map(|u| hasher.column(u.item) as u32));
-            for (&col, &fd) in cols.iter().zip(fdeltas.iter()) {
-                row_counters[col as usize] += fd;
+            if exact_i64 {
+                for (&col, &id) in cols.iter().zip(ideltas.iter()) {
+                    row_counters[col as usize] += id as f64;
+                }
+            } else {
+                for (&col, &fd) in cols.iter().zip(fdeltas.iter()) {
+                    row_counters[col as usize] += fd;
+                }
             }
         }
     }

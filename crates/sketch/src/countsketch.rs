@@ -25,12 +25,15 @@ use std::sync::Mutex;
 
 /// Reusable working memory for [`CountSketch::update_batch`]: the coalesce
 /// buffer plus one `(column, signed delta)` pair per distinct item, refilled
-/// per row.  Transient — never part of checkpoint/merge/clone identity.
+/// per row — the signed deltas live in `ideltas` on the exact-`i64` fast
+/// path and in `fdeltas` on the extreme-delta fallback.  Transient — never
+/// part of checkpoint/merge/clone identity.
 #[derive(Debug, Default)]
 pub struct CountSketchScratch {
     coalesce: Vec<Update>,
     cols: Vec<u32>,
     fdeltas: Vec<f64>,
+    ideltas: Vec<i64>,
 }
 
 /// Reusable query-side scratch for
@@ -287,17 +290,30 @@ impl StreamSink for CountSketch {
     /// Each row first materializes its `(column, signed delta)` pairs, then
     /// applies them in a tight scatter loop with no hashing in it — the
     /// precompute pass has no loop-carried dependence, so the autovectorizer
-    /// can chew on it.
+    /// can chew on it.  When every delta provably converts to `f64` exactly,
+    /// the sign is applied branchlessly in `i64` (`(δ ^ m) − m`, the same
+    /// select the AMS batch path uses) and the precompute pass stays pure
+    /// integer; extreme deltas fall back to the bit-identical `f64` multiply.
     fn update_batch(&mut self, updates: &[Update]) {
         let CountSketchScratch {
             coalesce,
             cols,
             fdeltas,
+            ideltas,
         } = &mut self.scratch.buf;
         let coalesced = coalesce_into(updates, coalesce);
         if coalesced.is_empty() {
             return;
         }
+        let max_abs = coalesced
+            .iter()
+            .map(|u| u.delta.unsigned_abs())
+            .fold(0u64, u64::max);
+        // Same doctrine gate as the AMS fast path: below 2^52 every signed
+        // delta is an exact f64 integer, so negating in i64 and converting
+        // at apply time is bit-identical to the f64 multiply.  (This also
+        // rules out i64::MIN, whose negation would overflow.)
+        let exact_i64 = (max_abs as u128) * (coalesced.len() as u128) < (1u128 << 52);
         let columns = self.config.columns;
         for (row_counters, hasher) in self
             .counters
@@ -305,16 +321,32 @@ impl StreamSink for CountSketch {
             .zip(self.rows.iter())
         {
             cols.clear();
-            fdeltas.clear();
-            for u in coalesced {
-                let (col, sign) = hasher.column_sign(u.item);
-                // Column indices always fit u32: column counts are memory
-                // words per row, far below 2^32.
-                cols.push(col as u32);
-                fdeltas.push(sign as f64 * u.delta as f64);
-            }
-            for (&col, &fd) in cols.iter().zip(fdeltas.iter()) {
-                row_counters[col as usize] += fd;
+            if exact_i64 {
+                ideltas.clear();
+                for u in coalesced {
+                    let (col, sign) = hasher.column_sign(u.item);
+                    // Column indices always fit u32: column counts are memory
+                    // words per row, far below 2^32.
+                    cols.push(col as u32);
+                    // sign ∈ {+1, −1}: m is 0 for +δ and −1 for −δ, and
+                    // `(δ ^ m) − m` is two's-complement negation when
+                    // m = −1 — no mispredictable branch on a fair coin.
+                    let m = (sign - 1) >> 1;
+                    ideltas.push((u.delta ^ m) - m);
+                }
+                for (&col, &id) in cols.iter().zip(ideltas.iter()) {
+                    row_counters[col as usize] += id as f64;
+                }
+            } else {
+                fdeltas.clear();
+                for u in coalesced {
+                    let (col, sign) = hasher.column_sign(u.item);
+                    cols.push(col as u32);
+                    fdeltas.push(sign as f64 * u.delta as f64);
+                }
+                for (&col, &fd) in cols.iter().zip(fdeltas.iter()) {
+                    row_counters[col as usize] += fd;
+                }
             }
         }
     }

@@ -86,4 +86,4 @@ pub use sink::{
 pub use source::{IterSource, StreamSource, UpdateSource};
 pub use stream::TurnstileStream;
 pub use update::Update;
-pub use wire::{FrameReader, FrameWriter, WireError, WireProgress};
+pub use wire::{FrameDecoder, FrameReader, FrameWriter, WireError, WireProgress};

@@ -551,6 +551,289 @@ impl<R: Read> UpdateSource for FrameReader<R> {
     }
 }
 
+/// Total bytes of the stream header: magic + version + domain.
+const HEADER_BYTES: usize = 4 + 2 + 8;
+
+/// Bytes of a frame header: one tag byte + the `u32` length prefix.
+const FRAME_HEADER_BYTES: usize = 1 + 4;
+
+/// Where a [`FrameDecoder`] is in the byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DecodeState {
+    /// Accumulating the 14-byte magic/version/domain stream header.
+    Header,
+    /// Accumulating a 5-byte tag + length-prefix frame header.
+    FrameHeader,
+    /// Accumulating a non-empty updates payload of exactly `len` bytes.
+    Payload { len: usize },
+}
+
+/// Push-based, resumable frame decoder for readiness-driven receivers.
+///
+/// [`FrameReader`] *pulls* from a blocking [`Read`]; a non-blocking reactor
+/// cannot block, so it owns the socket reads and *pushes* whatever bytes
+/// arrived into a `FrameDecoder` via [`feed`](FrameDecoder::feed).  The
+/// decoder is a byte-level state machine that stops and resumes anywhere —
+/// mid-header, mid-length-prefix, mid-payload — which is exactly the shape
+/// `WouldBlock` slices a TCP stream into.
+///
+/// Semantics match `FrameReader` to the letter: the same header validation,
+/// the same typed [`WireError`]s (parked, so the owner decides how a broken
+/// stream dies), the same expected-domain and frame-size gates, the same
+/// progress counters.  One deliberate difference: [`feed`](Self::feed)
+/// **stops consuming at the end-of-stream frame** (and on a parked error),
+/// so bytes after the stream's end are reported unconsumed — on a
+/// persistent connection they belong to the *next* request, not to this
+/// stream.
+///
+/// ```
+/// use gsum_streams::wire::{encode_updates, FrameDecoder};
+/// use gsum_streams::Update;
+///
+/// let bytes = encode_updates(64, &[Update::new(3, 5), Update::new(9, -2)]).unwrap();
+/// let mut decoder = FrameDecoder::new().with_expected_domain(64);
+/// // Feed one byte at a time — worst-case readiness slicing.
+/// let mut decoded = Vec::new();
+/// for &b in &bytes {
+///     decoder.feed(&[b]);
+///     decoder.drain_into(&mut decoded);
+/// }
+/// assert!(decoder.finished());
+/// assert_eq!(decoded, vec![Update::new(3, 5), Update::new(9, -2)]);
+/// ```
+#[derive(Debug)]
+pub struct FrameDecoder {
+    state: DecodeState,
+    expected_domain: Option<u64>,
+    max_frame_bytes: u32,
+    /// The domain declared by the stream header, once decoded.
+    domain: Option<u64>,
+    /// Partial bytes of the unit currently being decoded.
+    buf: Vec<u8>,
+    pending: VecDeque<Update>,
+    finished: bool,
+    error: Option<WireError>,
+    frames_read: u64,
+    updates_read: u64,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder at the start of a stream (header not yet seen).
+    pub fn new() -> Self {
+        Self {
+            state: DecodeState::Header,
+            expected_domain: None,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            domain: None,
+            buf: Vec::new(),
+            pending: VecDeque::new(),
+            finished: false,
+            error: None,
+            frames_read: 0,
+            updates_read: 0,
+        }
+    }
+
+    /// Require the stream's declared domain to be exactly `expected` — the
+    /// push-side twin of [`FrameReader::with_expected_domain`].  The
+    /// mismatch surfaces as a parked [`WireError::DomainMismatch`] the
+    /// moment the header is decoded.
+    pub fn with_expected_domain(mut self, expected: u64) -> Self {
+        self.expected_domain = Some(expected);
+        self
+    }
+
+    /// Tighten or loosen the frame-size bound (an incoming length prefix
+    /// beyond it is rejected before allocation).
+    ///
+    /// Returns an error when `max_frame_bytes` cannot hold even one update.
+    pub fn with_max_frame_bytes(mut self, max_frame_bytes: u32) -> Result<Self, WireError> {
+        if (max_frame_bytes as usize) < WIRE_UPDATE_BYTES {
+            return Err(WireError::Corrupt(format!(
+                "frame bound {max_frame_bytes} cannot hold one {WIRE_UPDATE_BYTES}-byte update"
+            )));
+        }
+        self.max_frame_bytes = max_frame_bytes;
+        Ok(self)
+    }
+
+    /// Push bytes into the decoder; returns how many were consumed.
+    ///
+    /// Consumption stops at the end-of-stream frame and on a parked decode
+    /// error — the unconsumed tail is the caller's to re-route (the next
+    /// request on a persistent connection) or discard (a poisoned stream).
+    /// Decoded updates accumulate internally; drain them with
+    /// [`next_update`](Self::next_update) or [`drain_into`](Self::drain_into).
+    pub fn feed(&mut self, input: &[u8]) -> usize {
+        let mut consumed = 0;
+        while consumed < input.len() && !self.finished && self.error.is_none() {
+            let need = match self.state {
+                DecodeState::Header => HEADER_BYTES,
+                DecodeState::FrameHeader => FRAME_HEADER_BYTES,
+                DecodeState::Payload { len } => len,
+            };
+            let take = (need - self.buf.len()).min(input.len() - consumed);
+            self.buf
+                .extend_from_slice(&input[consumed..consumed + take]);
+            consumed += take;
+            if self.buf.len() < need {
+                break;
+            }
+            let step = match self.state {
+                DecodeState::Header => self.decode_header(),
+                DecodeState::FrameHeader => self.decode_frame_header(),
+                DecodeState::Payload { .. } => self.decode_payload(),
+            };
+            self.buf.clear();
+            if let Err(e) = step {
+                self.error = Some(e);
+            }
+        }
+        consumed
+    }
+
+    fn decode_header(&mut self) -> Result<(), WireError> {
+        if self.buf[..4] != WIRE_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = u16::from_le_bytes(self.buf[4..6].try_into().expect("2 bytes"));
+        if version != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion { found: version });
+        }
+        let domain = u64::from_le_bytes(self.buf[6..14].try_into().expect("8 bytes"));
+        if domain == 0 {
+            return Err(WireError::Corrupt(
+                "wire stream domain size must be positive".into(),
+            ));
+        }
+        if let Some(expected) = self.expected_domain {
+            if domain != expected {
+                return Err(WireError::DomainMismatch {
+                    declared: domain,
+                    expected,
+                });
+            }
+        }
+        self.domain = Some(domain);
+        self.state = DecodeState::FrameHeader;
+        Ok(())
+    }
+
+    fn decode_frame_header(&mut self) -> Result<(), WireError> {
+        let tag = self.buf[0];
+        let len = u32::from_le_bytes(self.buf[1..5].try_into().expect("4 bytes"));
+        match tag {
+            frame_tag::END => {
+                if len != 0 {
+                    return Err(WireError::Corrupt(format!(
+                        "end-of-stream frame with a {len}-byte payload"
+                    )));
+                }
+                self.frames_read += 1;
+                self.finished = true;
+                Ok(())
+            }
+            frame_tag::UPDATES => {
+                if len > self.max_frame_bytes {
+                    return Err(WireError::OversizedFrame {
+                        len,
+                        max: self.max_frame_bytes,
+                    });
+                }
+                if !(len as usize).is_multiple_of(WIRE_UPDATE_BYTES) {
+                    return Err(WireError::Corrupt(format!(
+                        "updates payload of {len} bytes is not a multiple of {WIRE_UPDATE_BYTES}"
+                    )));
+                }
+                if len == 0 {
+                    // An empty updates frame carries no payload to wait for.
+                    self.frames_read += 1;
+                } else {
+                    self.state = DecodeState::Payload { len: len as usize };
+                }
+                Ok(())
+            }
+            other => Err(WireError::UnknownFrameTag { found: other }),
+        }
+    }
+
+    fn decode_payload(&mut self) -> Result<(), WireError> {
+        let domain = self.domain.expect("payload state implies a decoded header");
+        for entry in self.buf.chunks_exact(WIRE_UPDATE_BYTES) {
+            let item = u64::from_le_bytes(entry[..8].try_into().expect("8 bytes"));
+            let delta = i64::from_le_bytes(entry[8..].try_into().expect("8 bytes"));
+            if item >= domain {
+                return Err(WireError::Corrupt(format!(
+                    "item {item} outside the stream domain [0, {domain})"
+                )));
+            }
+            self.pending.push_back(Update { item, delta });
+        }
+        self.frames_read += 1;
+        self.state = DecodeState::FrameHeader;
+        Ok(())
+    }
+
+    /// Pop the next decoded update, if one is buffered.
+    pub fn next_update(&mut self) -> Option<Update> {
+        let u = self.pending.pop_front()?;
+        self.updates_read += 1;
+        Some(u)
+    }
+
+    /// Move every buffered update into `out`; returns how many moved.
+    pub fn drain_into(&mut self, out: &mut Vec<Update>) -> usize {
+        let n = self.pending.len();
+        self.updates_read += n as u64;
+        out.extend(self.pending.drain(..));
+        n
+    }
+
+    /// The domain the stream header declared, once the header is decoded.
+    pub fn domain(&self) -> Option<u64> {
+        self.domain
+    }
+
+    /// Whether the explicit end-of-stream frame has been consumed.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Whether the decoder is mid-stream: past the header, end frame not
+    /// yet seen, no parked error.  A connection that goes away in this
+    /// state died a truncation death.
+    pub fn mid_stream(&self) -> bool {
+        self.domain.is_some() && !self.finished && self.error.is_none()
+    }
+
+    /// The decode error that poisoned the stream, if any.
+    pub fn error(&self) -> Option<&WireError> {
+        self.error.as_ref()
+    }
+
+    /// Take ownership of the decode error, if any.
+    pub fn take_error(&mut self) -> Option<WireError> {
+        self.error.take()
+    }
+
+    /// Point-in-time progress counters — the same shape [`FrameReader`]
+    /// reports, so serving loops log both paths identically.
+    pub fn progress(&self) -> WireProgress {
+        WireProgress {
+            frames_read: self.frames_read,
+            updates_read: self.updates_read,
+            finished: self.finished,
+            errored: self.error.is_some(),
+        }
+    }
+}
+
 /// Convenience: frame a whole batch of updates into a fresh byte vector
 /// (header, frames, end-of-stream).
 pub fn encode_updates(domain: u64, updates: &[Update]) -> Result<Vec<u8>, WireError> {
@@ -822,6 +1105,195 @@ mod tests {
         while reader.next_update().is_some() {}
         let rest = reader.finish().unwrap();
         assert_eq!(rest, b"OK\n");
+    }
+
+    /// Feed `bytes` to a decoder sliced at `cut`, the worst-case readiness
+    /// boundary, and return everything it decoded.
+    fn decode_split(decoder: &mut FrameDecoder, bytes: &[u8], cut: usize) -> Vec<Update> {
+        let mut out = Vec::new();
+        let mut fed = decoder.feed(&bytes[..cut]);
+        decoder.drain_into(&mut out);
+        fed += decoder.feed(&bytes[fed..]);
+        decoder.drain_into(&mut out);
+        // Anything unconsumed must be explained by an end frame or an error.
+        assert!(fed == bytes.len() || decoder.finished() || decoder.error().is_some());
+        out
+    }
+
+    #[test]
+    fn decoder_agrees_with_reader_at_every_split_point() {
+        let updates: Vec<Update> = (0..20u64)
+            .map(|i| Update::new(i % 8, 3 - i as i64))
+            .collect();
+        let mut writer = FrameWriter::new(Vec::new(), 8)
+            .unwrap()
+            .with_frame_updates(6)
+            .unwrap();
+        writer.write_batch(&updates).unwrap();
+        let bytes = writer.finish().unwrap();
+
+        let mut reader = FrameReader::new(bytes.as_slice()).unwrap();
+        let reference: Vec<Update> = reader.updates().collect();
+        let reference_progress = reader.progress();
+
+        for cut in 0..=bytes.len() {
+            let mut decoder = FrameDecoder::new().with_expected_domain(8);
+            let decoded = decode_split(&mut decoder, &bytes, cut);
+            assert_eq!(decoded, reference, "split at {cut}");
+            assert!(decoder.finished(), "split at {cut}");
+            assert!(!decoder.mid_stream());
+            assert_eq!(decoder.domain(), Some(8));
+            assert_eq!(decoder.progress(), reference_progress, "split at {cut}");
+        }
+    }
+
+    #[test]
+    fn decoder_stops_consuming_at_the_end_frame() {
+        let bytes = encode_updates(64, &sample_updates()).unwrap();
+        let mut on_the_wire = bytes.clone();
+        on_the_wire.extend_from_slice(b"EST 0\n");
+        let mut decoder = FrameDecoder::new();
+        let consumed = decoder.feed(&on_the_wire);
+        assert!(decoder.finished());
+        assert_eq!(&on_the_wire[consumed..], b"EST 0\n");
+        // A finished decoder consumes nothing further.
+        assert_eq!(decoder.feed(b"more"), 0);
+        let mut out = Vec::new();
+        decoder.drain_into(&mut out);
+        assert_eq!(out, sample_updates());
+    }
+
+    #[test]
+    fn decoder_truncation_is_visible_not_silent() {
+        let bytes = encode_updates(64, &sample_updates()).unwrap();
+        for cut in 0..bytes.len() {
+            let mut decoder = FrameDecoder::new();
+            decoder.feed(&bytes[..cut]);
+            assert!(
+                !decoder.finished() && decoder.error().is_none(),
+                "cut at {cut} must look like an unfinished stream, not an error or a clean end"
+            );
+            // Past the header the decoder knows it is mid-stream: a
+            // connection dying here is a truncation death.
+            if cut >= 14 {
+                assert!(decoder.mid_stream(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_parks_every_error_class_and_stops_consuming() {
+        let header_len = 14;
+        let good = encode_updates(8, &[Update::insert(1)]).unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        let mut d = FrameDecoder::new();
+        d.feed(&bad_magic);
+        assert!(matches!(d.take_error(), Some(WireError::BadMagic)));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xFF;
+        let mut d = FrameDecoder::new();
+        d.feed(&bad_version);
+        assert!(matches!(
+            d.error(),
+            Some(WireError::UnsupportedVersion { found }) if *found != WIRE_VERSION
+        ));
+
+        let mut zero_domain = good.clone();
+        zero_domain[6..14].fill(0);
+        let mut d = FrameDecoder::new();
+        d.feed(&zero_domain);
+        assert!(matches!(d.error(), Some(WireError::Corrupt(_))));
+
+        let mut d = FrameDecoder::new().with_expected_domain(64);
+        let consumed = d.feed(&good);
+        assert!(matches!(
+            d.error(),
+            Some(WireError::DomainMismatch {
+                declared: 8,
+                expected: 64
+            })
+        ));
+        assert_eq!(consumed, header_len, "feed must stop at the parked error");
+        assert!(!d.mid_stream());
+
+        let mut unknown_tag = good.clone();
+        unknown_tag[header_len] = 9;
+        let mut d = FrameDecoder::new();
+        d.feed(&unknown_tag);
+        assert!(matches!(
+            d.error(),
+            Some(WireError::UnknownFrameTag { found: 9 })
+        ));
+
+        let mut oversized = good.clone();
+        oversized[header_len + 1..header_len + 5].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut d = FrameDecoder::new();
+        d.feed(&oversized);
+        assert!(matches!(
+            d.error(),
+            Some(WireError::OversizedFrame { len: u32::MAX, .. })
+        ));
+
+        let mut misaligned = good.clone();
+        misaligned[header_len + 1..header_len + 5].copy_from_slice(&15u32.to_le_bytes());
+        let mut d = FrameDecoder::new();
+        d.feed(&misaligned);
+        assert!(matches!(d.error(), Some(WireError::Corrupt(_))));
+
+        // Forged out-of-domain item in the payload.
+        let mut forged = good.clone();
+        forged[header_len + 5..header_len + 13].copy_from_slice(&99u64.to_le_bytes());
+        let mut d = FrameDecoder::new();
+        d.feed(&forged);
+        assert!(matches!(d.error(), Some(WireError::Corrupt(_))));
+
+        // Non-empty end frame.
+        let mut fat_end = encode_updates(8, &[]).unwrap();
+        let end_frame = fat_end.len() - 5;
+        fat_end[end_frame + 1..end_frame + 5].copy_from_slice(&16u32.to_le_bytes());
+        let mut d = FrameDecoder::new();
+        d.feed(&fat_end);
+        assert!(matches!(d.error(), Some(WireError::Corrupt(_))));
+        assert!(!d.finished());
+    }
+
+    #[test]
+    fn decoder_handles_empty_streams_and_empty_frames() {
+        let bytes = encode_updates(8, &[]).unwrap();
+        let mut d = FrameDecoder::new().with_expected_domain(8);
+        d.feed(&bytes);
+        assert!(d.finished());
+        assert_eq!(d.next_update(), None);
+
+        // A hand-built empty updates frame before the end frame is legal and
+        // must not stall the state machine waiting for a zero-byte payload.
+        let mut with_empty_frame = encode_updates(8, &[]).unwrap();
+        let end = with_empty_frame.split_off(14);
+        with_empty_frame.push(frame_tag::UPDATES);
+        with_empty_frame.extend_from_slice(&0u32.to_le_bytes());
+        with_empty_frame.extend_from_slice(&end);
+        for cut in 0..=with_empty_frame.len() {
+            let mut d = FrameDecoder::new();
+            let decoded = decode_split(&mut d, &with_empty_frame, cut);
+            assert!(decoded.is_empty());
+            assert!(d.finished(), "split at {cut}");
+            assert_eq!(d.progress().frames_read, 2);
+        }
+    }
+
+    #[test]
+    fn decoder_enforces_its_frame_bound() {
+        let updates: Vec<Update> = (0..8u64).map(Update::insert).collect();
+        let bytes = encode_updates(8, &updates).unwrap();
+        let mut d = FrameDecoder::new()
+            .with_max_frame_bytes(2 * WIRE_UPDATE_BYTES as u32)
+            .unwrap();
+        d.feed(&bytes);
+        assert!(matches!(d.error(), Some(WireError::OversizedFrame { .. })));
+        assert!(FrameDecoder::new().with_max_frame_bytes(3).is_err());
     }
 
     #[test]

@@ -222,22 +222,35 @@
 //! assert_eq!(sketch.estimate().to_bits(), single.estimate().to_bits());
 //! ```
 //!
-//! ### The serving layer — concurrent multi-client merge-on-ingest
+//! ### The serving layer — reactor-multiplexed multi-client merge-on-ingest
 //!
 //! [`GsumServer`](prelude::GsumServer) is the long-lived process the wire,
-//! pipeline and checkpoint layers feed: an accept loop hands each TCP
-//! connection its own thread, each client stream pipelines into its own
-//! clone-with-shared-seeds sketch, and a
-//! [`MergeCoordinator`](prelude::MergeCoordinator) folds completed client
-//! states into the serving state.  Linearity makes the fan-in exact: any
-//! number of concurrent clients, folded in any completion order, land in a
-//! state **bit-identical** to a single-threaded replay of the concatenated
-//! streams (`examples/multi_client.rs` proves this over real sockets).  A
-//! stream that dies mid-frame is resolved by the configured
-//! [`ServePolicy`](prelude::ServePolicy) — discarded whole, or merged up to
-//! its last completed slice — and the serving state snapshots to a
+//! pipeline and checkpoint layers feed: a single reactor thread multiplexes
+//! every TCP connection over a non-blocking listener, decoding framed
+//! streams incrementally ([`FrameDecoder`](prelude::FrameDecoder) resumes
+//! mid-frame across readiness events), and a **bounded pool of fold
+//! workers** absorbs decoded batches into per-worker shard sketches that a
+//! [`MergeCoordinator`](prelude::MergeCoordinator) folds into the serving
+//! state on query, checkpoint cadence, or stream completion.  Linearity
+//! makes the sharded fan-in exact: any number of concurrent clients, folded
+//! in any order, land in a state **bit-identical** to a single-threaded
+//! replay of the concatenated streams (`examples/multi_client.rs` proves
+//! this over real sockets; `tests/serve_reactor.rs` proptests it under
+//! load shedding).  The knobs live on [`ServeConfig`](prelude::ServeConfig):
+//! `with_workers` sizes the fold pool, `with_max_connections` caps
+//! concurrent connections — excess clients get a typed `BUSY <max>` refusal
+//! to retry on, never a silently growing accept queue — and
+//! `with_observer` routes serving-loop events
+//! ([`ServeEvent`](prelude::ServeEvent): sheds, timeouts, stream failures)
+//! into telemetry instead of stderr.  A stream that dies mid-frame is
+//! resolved by the configured [`ServePolicy`](prelude::ServePolicy) —
+//! discarded whole, or merged up to its decoded prefix — and the serving
+//! state snapshots to a
 //! [`CheckpointEnvelope`](prelude::CheckpointEnvelope) (state bytes bound to
 //! the durable update count, published atomically) every K merged updates.
+//! Serving throughput numbers live in `BENCH_serve.json` (see
+//! `crates/bench/benches/bench_serve.rs`): connections/sec, concurrent
+//! ingest throughput, and p99 `EST`/`COUNT` latency.
 //!
 //! The coordinator is transport-free, so fan-in does not require sockets —
 //! or even one machine: parked checkpoint bytes fold too.
@@ -306,17 +319,18 @@ pub mod prelude {
     pub use gsum_serve::{
         protocol, CheckpointEnvelope, Command, FoldOutcome, GsumServer, MergeCoordinator,
         ProtocolError, Response, ServableSketch, ServeConfig, ServeConfigError, ServeError,
-        ServePolicy, ServeStats, ServeSummary, StreamOutcome,
+        ServeEvent, ServeObserver, ServePolicy, ServeStats, ServeSummary, StreamOutcome,
     };
     pub use gsum_sketch::{
         AmsF2Sketch, CountMinConfig, CountMinSketch, CountSketch, CountSketchConfig,
         ExactFrequencies, FrequencySketch,
     };
     pub use gsum_streams::{
-        coalesce_updates, Checkpoint, CheckpointError, FrameReader, FrameWriter, FrequencyVector,
-        IngestConfigError, IterSource, MergeError, MergeableSketch, ParkedState, PipelineError,
-        PipelinedIngest, PlantedStreamGenerator, ShardedIngest, ShardedTwoPassCoordinator,
-        StreamConfig, StreamGenerator, StreamSink, TurnstileStream, TwoPhaseSketch,
-        UniformStreamGenerator, Update, UpdateSource, WireError, WireProgress, ZipfStreamGenerator,
+        coalesce_updates, Checkpoint, CheckpointError, FrameDecoder, FrameReader, FrameWriter,
+        FrequencyVector, IngestConfigError, IterSource, MergeError, MergeableSketch, ParkedState,
+        PipelineError, PipelinedIngest, PlantedStreamGenerator, ShardedIngest,
+        ShardedTwoPassCoordinator, StreamConfig, StreamGenerator, StreamSink, TurnstileStream,
+        TwoPhaseSketch, UniformStreamGenerator, Update, UpdateSource, WireError, WireProgress,
+        ZipfStreamGenerator,
     };
 }

@@ -357,6 +357,65 @@ proptest! {
     }
 }
 
+/// Extreme deltas defeat the `max|Δ|·n < 2^52` gate, so the CountSketch and
+/// Count-Min batch paths must take their `f64` fallback branch — and still
+/// agree with per-update ingestion on every estimate, bit for bit.  Outside
+/// the exact-integer regime f64 addition is order-sensitive, so the batches
+/// use distinct items in ascending order: coalescing is then a no-op and
+/// each counter sees the identical addend sequence on both paths, which is
+/// the strongest claim that survives non-exact magnitudes.  A second small
+/// batch checks the gate decision is per-batch: the same sketch flips from
+/// fallback to fast path across calls without divergence.
+#[test]
+fn huge_deltas_take_the_fallback_and_still_agree() {
+    let huge: Vec<Update> = vec![
+        Update::new(3, i64::MIN + 1),
+        Update::new(9, (1i64 << 53) + 1),
+        Update::new(40, -(1i64 << 60)),
+    ];
+    let small: Vec<Update> = (0..32u64).map(|i| Update::new(i, 3 - i as i64)).collect();
+
+    for backend in BACKENDS {
+        let cs_proto = CountSketch::new(
+            CountSketchConfig::new(3, 32).unwrap().with_backend(backend),
+            11,
+        );
+        let cm_proto = CountMinSketch::with_config(
+            CountMinConfig::new(3, 32).unwrap().with_backend(backend),
+            11,
+        );
+
+        let mut cs_ref = cs_proto.clone();
+        let mut cm_ref = cm_proto.clone();
+        for &u in huge.iter().chain(small.iter()) {
+            cs_ref.update(u);
+            cm_ref.update(u);
+        }
+
+        // One batch per regime: fallback for the huge half, fast path for
+        // the small half.
+        let mut cs_batched = cs_proto.clone();
+        let mut cm_batched = cm_proto.clone();
+        cs_batched.update_batch(&huge);
+        cs_batched.update_batch(&small);
+        cm_batched.update_batch(&huge);
+        cm_batched.update_batch(&small);
+
+        for item in 0..DOMAIN {
+            assert_eq!(
+                cs_ref.estimate(item).to_bits(),
+                cs_batched.estimate(item).to_bits(),
+                "CountSketch {backend:?} diverges on item {item} with extreme deltas"
+            );
+            assert_eq!(
+                cm_ref.estimate(item).to_bits(),
+                cm_batched.estimate(item).to_bits(),
+                "Count-Min {backend:?} diverges on item {item} with extreme deltas"
+            );
+        }
+    }
+}
+
 /// Backend mismatches are merge errors: a polynomial sketch must refuse a
 /// tabulation sketch even when shape and seed agree.
 #[test]
