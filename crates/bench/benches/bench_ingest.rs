@@ -15,9 +15,19 @@
 //!   the polynomial family.
 //! * `sharded_N` — `ShardedIngest` across N worker threads (wall-clock
 //!   speedup needs a multi-core host; on one core it measures channel
-//!   overhead).
+//!   overhead).  The `onepass_gsum` sharded/pipelined rows sweep both hash
+//!   backends; the `countsketch` sharded rows run polynomial only (the
+//!   backend sweep lives in the single-threaded countsketch rows).
 //! * `pipelined_N` — `PipelinedIngest`: one decode/coalesce stage feeding N
 //!   hash+apply workers over bounded channels (same single-core caveat).
+//! * `hash_stage` / `apply_stage` — the coalesced CountSketch hot loop split
+//!   at the precompute-then-apply seam: `hash_stage` runs only the batched
+//!   `column_sign_batch` kernels over the coalesced keys (all rows),
+//!   `apply_stage` only the signed counter scatter from precomputed
+//!   columns/signs.  Their ns/iter must sum to at most the
+//!   `coalesced_full` row (which additionally pays the coalescing sort) —
+//!   `check_bench_schema` enforces that, so a regression in either kernel
+//!   is attributable from the artifact alone.
 //!
 //! Besides the console table, the bench writes a machine-readable
 //! `BENCH_ingest.json` at the workspace root (override the path with the
@@ -26,11 +36,11 @@
 
 use gsum_core::{GSumConfig, OnePassGSumSketch};
 use gsum_gfunc::library::PowerFunction;
-use gsum_hash::HashBackend;
+use gsum_hash::{HashBackend, RowHasher};
 use gsum_sketch::{CountSketch, CountSketchConfig};
 use gsum_streams::{
-    PipelinedIngest, ShardedIngest, StreamConfig, StreamGenerator, StreamSink, TurnstileStream,
-    ZipfStreamGenerator,
+    coalesce_updates, PipelinedIngest, ShardedIngest, StreamConfig, StreamGenerator, StreamSink,
+    TurnstileStream, ZipfStreamGenerator,
 };
 use std::time::{Duration, Instant};
 
@@ -54,8 +64,8 @@ impl BenchResult {
         self.name.split('/').nth(1).unwrap_or("unknown")
     }
 
-    /// The hash backend, parsed from the variant name (sharded variants run
-    /// the polynomial backend).
+    /// The hash backend, parsed from the variant name (the countsketch
+    /// sharded variants run the polynomial backend only).
     fn backend(&self) -> &str {
         self.name.split('/').nth(2).unwrap_or("unknown")
     }
@@ -194,6 +204,7 @@ fn bench_countsketch(
             },
         );
     }
+    bench_stage_split(results, s, updates, budget);
     for shards in [2usize, 4] {
         run(
             results,
@@ -207,6 +218,85 @@ fn bench_countsketch(
                     .ingest(&mut s.source(), &prototype)
                     .unwrap();
                 std::hint::black_box(&merged);
+            },
+        );
+    }
+}
+
+/// Split the coalesced CountSketch hot loop at its precompute-then-apply
+/// seam and time each half in isolation, per backend, over the same
+/// coalesced workload `coalesced_full` ingests.  The hash stage runs the
+/// batched `column_sign_batch` kernel for every row over the coalesced
+/// keys; the apply stage scatters precomputed (column, sign) pairs into the
+/// counter matrix with branchless signed deltas — the same i64 fast path
+/// the sketch takes on small-magnitude streams.  The two halves bound the
+/// `coalesced_full` row from below (it additionally pays the coalescing
+/// sort), which `check_bench_schema` verifies.
+fn bench_stage_split(
+    results: &mut Vec<BenchResult>,
+    s: &TurnstileStream,
+    updates: usize,
+    budget: Duration,
+) {
+    const ROWS: usize = 5;
+    const COLUMNS: u64 = 1024;
+    let coalesced = coalesce_updates(s.updates());
+    let keys: Vec<u64> = coalesced.iter().map(|u| u.item).collect();
+    let deltas: Vec<i64> = coalesced.iter().map(|u| u.delta).collect();
+    for backend in [HashBackend::Polynomial, HashBackend::Tabulation] {
+        let b = backend.name();
+        let hashers: Vec<RowHasher> = (0..ROWS)
+            .map(|row| RowHasher::new(backend, COLUMNS, row as u64))
+            .collect();
+        let mut cols: Vec<u32> = Vec::new();
+        let mut signs: Vec<i64> = Vec::new();
+        run(
+            results,
+            &format!("countsketch/hash_stage/{b}"),
+            updates,
+            budget,
+            || (),
+            |()| {
+                for hasher in &hashers {
+                    hasher.column_sign_batch(&keys, &mut cols, &mut signs);
+                    std::hint::black_box((&cols, &signs));
+                }
+            },
+        );
+        // Precompute every row's columns and signed deltas once; the apply
+        // stage then measures only the counter scatter.
+        let precomputed: Vec<(Vec<u32>, Vec<i64>)> = hashers
+            .iter()
+            .map(|hasher| {
+                let mut c = Vec::new();
+                let mut sg = Vec::new();
+                hasher.column_sign_batch(&keys, &mut c, &mut sg);
+                let signed: Vec<i64> = sg
+                    .iter()
+                    .zip(&deltas)
+                    .map(|(&sign, &delta)| {
+                        let m = (sign - 1) >> 1;
+                        (delta ^ m) - m
+                    })
+                    .collect();
+                (c, signed)
+            })
+            .collect();
+        run(
+            results,
+            &format!("countsketch/apply_stage/{b}"),
+            updates,
+            budget,
+            || vec![0.0f64; ROWS * COLUMNS as usize],
+            |mut counters| {
+                for (row, (row_cols, row_deltas)) in precomputed.iter().enumerate() {
+                    let row_counters =
+                        &mut counters[row * COLUMNS as usize..(row + 1) * COLUMNS as usize];
+                    for (&col, &delta) in row_cols.iter().zip(row_deltas) {
+                        row_counters[col as usize] += delta as f64;
+                    }
+                }
+                std::hint::black_box(&counters);
             },
         );
     }
@@ -258,34 +348,37 @@ fn bench_gsum(
             },
         );
     }
-    run(
-        results,
-        "onepass_gsum/sharded_2/polynomial",
-        updates,
-        budget,
-        || gsum_sketch(HashBackend::Polynomial),
-        |prototype| {
-            let merged = ShardedIngest::new(2)
-                .with_batch_size(2048)
-                .ingest(&mut s.source(), &prototype)
-                .unwrap();
-            std::hint::black_box(&merged);
-        },
-    );
-    run(
-        results,
-        "onepass_gsum/pipelined_2/polynomial",
-        updates,
-        budget,
-        || gsum_sketch(HashBackend::Polynomial),
-        |prototype| {
-            let merged = PipelinedIngest::new(2)
-                .with_batch_size(2048)
-                .ingest(&mut s.source(), &prototype)
-                .unwrap();
-            std::hint::black_box(&merged);
-        },
-    );
+    for backend in [HashBackend::Polynomial, HashBackend::Tabulation] {
+        let b = backend.name();
+        run(
+            results,
+            &format!("onepass_gsum/sharded_2/{b}"),
+            updates,
+            budget,
+            || gsum_sketch(backend),
+            |prototype| {
+                let merged = ShardedIngest::new(2)
+                    .with_batch_size(2048)
+                    .ingest(&mut s.source(), &prototype)
+                    .unwrap();
+                std::hint::black_box(&merged);
+            },
+        );
+        run(
+            results,
+            &format!("onepass_gsum/pipelined_2/{b}"),
+            updates,
+            budget,
+            || gsum_sketch(backend),
+            |prototype| {
+                let merged = PipelinedIngest::new(2)
+                    .with_batch_size(2048)
+                    .ingest(&mut s.source(), &prototype)
+                    .unwrap();
+                std::hint::black_box(&merged);
+            },
+        );
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -304,7 +397,7 @@ fn write_json(
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"bench_ingest\",\n");
-    out.push_str("  \"schema_version\": 4,\n");
+    out.push_str("  \"schema_version\": 5,\n");
     // Provenance metadata: which commit produced these numbers, which hash
     // backends and coalescing modes the matrix swept, how many hardware
     // threads the host offered (sharded/pipelined numbers are meaningless

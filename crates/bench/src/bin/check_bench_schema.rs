@@ -8,9 +8,9 @@
 //! in-tree parser (no external deps) and dispatches on the top-level
 //! `bench` field.
 //!
-//! For `bench_ingest` (schema v4) it checks:
+//! For `bench_ingest` (schema v5) it checks:
 //!
-//! * top level: `schema_version == 4`, a `workload` object, finite positive
+//! * top level: `schema_version == 5`, a `workload` object, finite positive
 //!   `speedup_*` summary fields (including
 //!   `speedup_gsum_coalesced_vs_per_update`, new in v4 — the
 //!   recursive-sketch hot path is the number the perf trajectory is about);
@@ -23,10 +23,17 @@
 //!   `family/mode/backend`), `mode` and `backend` fields that agree with the
 //!   name and with the `meta` lists, finite positive `ns_per_iter` /
 //!   `updates_per_sec`, and an integral `iterations ≥ 1`;
-//! * required rows (new in v4): the `onepass_gsum` whole-batch and parallel
-//!   variants ([`REQUIRED_RESULTS`]) must be present, so the headline
-//!   estimator's ingestion numbers can never silently drop out of the
-//!   artifact.
+//! * required rows: the `onepass_gsum` whole-batch and parallel variants
+//!   across *both* hash backends, plus (new in v5) the countsketch
+//!   `hash_stage` / `apply_stage` stage-split rows and the
+//!   `coalesced_full` rows they decompose ([`REQUIRED_RESULTS`]) — so
+//!   neither the headline estimator's ingestion numbers nor the
+//!   stage-attribution rows can silently drop out of the artifact;
+//! * stage-split sanity (new in v5): per backend, `hash_stage` plus
+//!   `apply_stage` ns/iter must not exceed the `coalesced_full` row (plus a
+//!   small timer-noise tolerance) — the whole pipeline also pays the
+//!   coalescing sort the stage rows skip, so a sum above the total means
+//!   the rows measure different workloads and the attribution is wrong.
 //!
 //! For `bench_serve` (schema v1) it checks:
 //!
@@ -52,19 +59,35 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// The `bench_ingest` schema version this gate understands.
-const EXPECTED_SCHEMA_VERSION: f64 = 4.0;
+const EXPECTED_SCHEMA_VERSION: f64 = 5.0;
 
 /// The `bench_serve` schema version this gate understands.
 const EXPECTED_SERVE_SCHEMA_VERSION: f64 = 1.0;
 
-/// Result rows that must be present in a v4 artifact: the recursive-sketch
-/// hot-path variants this PR trajectory tracks.
-const REQUIRED_RESULTS: [&str; 4] = [
+/// Result rows that must be present in a v5 artifact: the recursive-sketch
+/// hot-path variants across both hash backends, plus the countsketch
+/// stage-split rows and the `coalesced_full` totals they decompose.
+const REQUIRED_RESULTS: [&str; 12] = [
     "onepass_gsum/coalesced_full/polynomial",
     "onepass_gsum/coalesced_full/tabulation",
     "onepass_gsum/sharded_2/polynomial",
+    "onepass_gsum/sharded_2/tabulation",
     "onepass_gsum/pipelined_2/polynomial",
+    "onepass_gsum/pipelined_2/tabulation",
+    "countsketch/coalesced_full/polynomial",
+    "countsketch/coalesced_full/tabulation",
+    "countsketch/hash_stage/polynomial",
+    "countsketch/hash_stage/tabulation",
+    "countsketch/apply_stage/polynomial",
+    "countsketch/apply_stage/tabulation",
 ];
+
+/// Timer-noise headroom for the stage-split sanity rule: the stage rows and
+/// the whole-pipeline row are measured independently, so their means can
+/// jitter a few percent on a loaded CI host even though the inequality
+/// holds in expectation (the whole pipeline additionally pays the
+/// coalescing sort).
+const STAGE_SUM_TOLERANCE: f64 = 1.05;
 
 /// Result rows that must be present in a serve v1 artifact: the headline
 /// reactor serving numbers.
@@ -294,8 +317,30 @@ fn validate_ingest(root: &JsonValue) -> Violations {
                     .any(|r| r.get("name").and_then(JsonValue::as_str) == Some(required));
                 if !present {
                     out.push(format!(
-                        "results: required row {required:?} is missing (required since v4)"
+                        "results: required row {required:?} is missing (required since v5)"
                     ));
+                }
+            }
+            let ns_of = |name: &str| {
+                results
+                    .iter()
+                    .find(|r| r.get("name").and_then(JsonValue::as_str) == Some(name))
+                    .and_then(|r| r.get("ns_per_iter"))
+                    .and_then(JsonValue::as_f64)
+            };
+            for backend in ["polynomial", "tabulation"] {
+                let hash = ns_of(&format!("countsketch/hash_stage/{backend}"));
+                let apply = ns_of(&format!("countsketch/apply_stage/{backend}"));
+                let total = ns_of(&format!("countsketch/coalesced_full/{backend}"));
+                if let (Some(hash), Some(apply), Some(total)) = (hash, apply, total) {
+                    if hash + apply > total * STAGE_SUM_TOLERANCE {
+                        out.push(format!(
+                            "results: {backend} hash_stage + apply_stage ({:.1} ns) exceeds \
+                             coalesced_full ({total:.1} ns) — stage rows must decompose the \
+                             whole-pipeline row",
+                            hash + apply
+                        ));
+                    }
                 }
             }
         }
@@ -452,12 +497,13 @@ mod tests {
     fn valid_doc() -> String {
         r#"{
           "bench": "bench_ingest",
-          "schema_version": 4,
+          "schema_version": 5,
           "meta": {
             "git_commit": "abc123",
             "backends": ["polynomial", "tabulation"],
             "default_backend": "polynomial",
-            "coalescing_modes": ["per_update", "sharded_2", "coalesced_full", "pipelined_2"],
+            "coalescing_modes": ["per_update", "sharded_2", "coalesced_full", "pipelined_2",
+                                 "hash_stage", "apply_stage"],
             "available_parallelism": 4,
             "quick": true
           },
@@ -472,6 +518,24 @@ mod tests {
             {"name": "countsketch/sharded_2/tabulation", "mode": "sharded_2",
              "backend": "tabulation", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
              "iterations": 8},
+            {"name": "countsketch/coalesced_full/polynomial", "mode": "coalesced_full",
+             "backend": "polynomial", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
+             "iterations": 8},
+            {"name": "countsketch/coalesced_full/tabulation", "mode": "coalesced_full",
+             "backend": "tabulation", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
+             "iterations": 8},
+            {"name": "countsketch/hash_stage/polynomial", "mode": "hash_stage",
+             "backend": "polynomial", "ns_per_iter": 4.0, "updates_per_sec": 100.0,
+             "iterations": 8},
+            {"name": "countsketch/hash_stage/tabulation", "mode": "hash_stage",
+             "backend": "tabulation", "ns_per_iter": 4.0, "updates_per_sec": 100.0,
+             "iterations": 8},
+            {"name": "countsketch/apply_stage/polynomial", "mode": "apply_stage",
+             "backend": "polynomial", "ns_per_iter": 3.0, "updates_per_sec": 100.0,
+             "iterations": 8},
+            {"name": "countsketch/apply_stage/tabulation", "mode": "apply_stage",
+             "backend": "tabulation", "ns_per_iter": 3.0, "updates_per_sec": 100.0,
+             "iterations": 8},
             {"name": "onepass_gsum/coalesced_full/polynomial", "mode": "coalesced_full",
              "backend": "polynomial", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
              "iterations": 8},
@@ -481,8 +545,14 @@ mod tests {
             {"name": "onepass_gsum/sharded_2/polynomial", "mode": "sharded_2",
              "backend": "polynomial", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
              "iterations": 8},
+            {"name": "onepass_gsum/sharded_2/tabulation", "mode": "sharded_2",
+             "backend": "tabulation", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
+             "iterations": 8},
             {"name": "onepass_gsum/pipelined_2/polynomial", "mode": "pipelined_2",
              "backend": "polynomial", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
+             "iterations": 8},
+            {"name": "onepass_gsum/pipelined_2/tabulation", "mode": "pipelined_2",
+             "backend": "tabulation", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
              "iterations": 8}
           ]
         }"#
@@ -629,10 +699,52 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_is_caught() {
-        let doc = valid_doc().replace("\"schema_version\": 4", "\"schema_version\": 3");
+        let doc = valid_doc().replace("\"schema_version\": 5", "\"schema_version\": 4");
         assert!(violations_of(&doc)
             .iter()
             .any(|v| v.contains("schema_version")));
+    }
+
+    #[test]
+    fn missing_stage_split_row_is_caught() {
+        let doc = valid_doc().replace(
+            "countsketch/hash_stage/tabulation",
+            "countsketch/hash_stage/oops",
+        );
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("countsketch/hash_stage/tabulation") && v.contains("missing")));
+    }
+
+    #[test]
+    fn stage_sum_exceeding_the_total_is_caught() {
+        // Inflate the polynomial hash stage past what the whole pipeline
+        // took: the decomposition no longer adds up, so the gate rejects.
+        let doc = valid_doc().replacen(
+            r#"{"name": "countsketch/hash_stage/polynomial", "mode": "hash_stage",
+             "backend": "polynomial", "ns_per_iter": 4.0"#,
+            r#"{"name": "countsketch/hash_stage/polynomial", "mode": "hash_stage",
+             "backend": "polynomial", "ns_per_iter": 9.0"#,
+            1,
+        );
+        let violations = violations_of(&doc);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("polynomial hash_stage + apply_stage")
+                    && v.contains("exceeds")),
+            "{violations:?}"
+        );
+        // The tolerance absorbs sub-5% jitter: 4.0 + 3.0 against a total of
+        // 6.9 stays within 1.05x and must pass.
+        let doc = valid_doc().replacen(
+            r#"{"name": "countsketch/coalesced_full/polynomial", "mode": "coalesced_full",
+             "backend": "polynomial", "ns_per_iter": 10.0"#,
+            r#"{"name": "countsketch/coalesced_full/polynomial", "mode": "coalesced_full",
+             "backend": "polynomial", "ns_per_iter": 6.9"#,
+            1,
+        );
+        assert_eq!(violations_of(&doc), Vec::<String>::new());
     }
 
     #[test]

@@ -184,14 +184,14 @@ impl<G: GFunction> StreamSink for OnePassHeavyHitter<G> {
     /// Coalescing happens at most once on this path: the item→delta map is
     /// built here (unless the caller — e.g. the recursive sketch — already
     /// passed a coalesced batch), and the inner sketches detect the
-    /// coalesced form and use it as-is.  Hints are recorded per distinct
-    /// item; coalescing keeps net-zero items, so the observed set matches a
-    /// per-update replay exactly.
+    /// coalesced form and use it as-is.  Hints are recorded once per
+    /// coalesced batch with a single saturation check (a saturated sketch —
+    /// the steady state of any over-cap stream — skips the pass outright);
+    /// coalescing keeps net-zero items and saturation is order-insensitive,
+    /// so the observed set matches a per-update replay exactly.
     fn update_batch(&mut self, updates: &[Update]) {
         let coalesced = gsum_streams::coalesce_into(updates, &mut self.scratch.buf);
-        for u in coalesced {
-            self.hints.record(u.item);
-        }
+        self.hints.record_batch(coalesced.iter().map(|u| u.item));
         self.countsketch.update_batch(coalesced);
         self.ams.update_batch(coalesced);
     }

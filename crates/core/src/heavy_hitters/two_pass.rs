@@ -179,17 +179,16 @@ impl<G: GFunction> StreamSink for TwoPassHeavyHitter<G> {
         }
     }
 
-    /// Phase-aware batching: the first pass coalesces once (recording the
-    /// distinct items as reverse hints) and forwards the coalesced batch to
-    /// the CountSketch's fast path; the second pass tabulates in exact
-    /// `i64` arithmetic where batching has nothing left to amortize.
+    /// Phase-aware batching: the first pass coalesces once, records the
+    /// distinct items as reverse hints in one batch insert (a single
+    /// saturation check covers the whole batch) and forwards the coalesced
+    /// batch to the CountSketch's fast path; the second pass tabulates in
+    /// exact `i64` arithmetic where batching has nothing left to amortize.
     fn update_batch(&mut self, updates: &[Update]) {
         match self.phase {
             Phase::First => {
                 let coalesced = gsum_streams::coalesce_into(updates, &mut self.scratch.buf);
-                for u in coalesced {
-                    self.hints.record(u.item);
-                }
+                self.hints.record_batch(coalesced.iter().map(|u| u.item));
                 self.countsketch.update_batch(coalesced);
             }
             Phase::Second => {

@@ -60,6 +60,26 @@ impl ReverseHints {
         }
     }
 
+    /// Record a batch of observed items with one saturation early-exit for
+    /// the whole batch: once saturated, recording is O(1) per *batch* — no
+    /// per-item call, no hash-set probe — which is the steady state of any
+    /// stream whose support exceeds the cap.  Saturation depends only on the
+    /// distinct-item set, so this is state-identical to per-item
+    /// [`record`](Self::record) in any order.
+    pub fn record_batch(&mut self, items: impl IntoIterator<Item = u64>) {
+        if self.saturated {
+            return;
+        }
+        for item in items {
+            self.seen.insert(item);
+            if self.seen.len() > self.cap {
+                self.seen = HashSet::new();
+                self.saturated = true;
+                return;
+            }
+        }
+    }
+
     /// Whether the hint budget was exhausted (queries must fall back to the
     /// domain scan).
     pub fn is_saturated(&self) -> bool {
@@ -173,6 +193,54 @@ mod tests {
         assert!(hints.is_empty());
         hints.record(100); // no-op
         assert!(hints.is_empty());
+    }
+
+    #[test]
+    fn exactly_cap_distinct_items_does_not_saturate() {
+        // The boundary contract: saturation triggers strictly *past* the cap.
+        let cap = 7;
+        let mut single = ReverseHints::new(cap);
+        let mut batched = ReverseHints::new(cap);
+        for item in 0..cap as u64 {
+            single.record(item);
+        }
+        batched.record_batch(0..cap as u64);
+        for hints in [&single, &batched] {
+            assert!(!hints.is_saturated());
+            assert_eq!(hints.len(), cap);
+            let mut items: Vec<u64> = hints.iter().collect();
+            items.sort_unstable();
+            assert_eq!(items, (0..cap as u64).collect::<Vec<_>>());
+        }
+        assert_eq!(single, batched);
+        // One more distinct item tips both over; duplicates never do.
+        single.record(3);
+        batched.record_batch([3, 3, 0]);
+        assert!(!single.is_saturated() && !batched.is_saturated());
+        single.record(cap as u64);
+        batched.record_batch([cap as u64]);
+        assert!(single.is_saturated() && batched.is_saturated());
+        assert!(single.is_empty() && batched.is_empty());
+        assert_eq!(single, batched);
+    }
+
+    #[test]
+    fn record_batch_matches_per_item_recording() {
+        for upper in [0u64, 1, 5, 6, 7, 30] {
+            let mut per_item = ReverseHints::new(6);
+            let mut batch = ReverseHints::new(6);
+            let items: Vec<u64> = (0..upper).map(|i| i % 11).collect();
+            for &item in &items {
+                per_item.record(item);
+            }
+            batch.record_batch(items.iter().copied());
+            assert_eq!(per_item, batch, "upper = {upper}");
+            // A further item keeps the two in lockstep, whether it lands in
+            // an unsaturated set or no-ops against a saturated one.
+            per_item.record(999);
+            batch.record_batch([999]);
+            assert_eq!(per_item, batch, "upper = {upper} after extra item");
+        }
     }
 
     #[test]

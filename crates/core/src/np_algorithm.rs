@@ -35,6 +35,20 @@ use gsum_streams::{
 };
 use std::io::{Read, Write};
 
+/// Reusable working memory for [`GnpHeavyHitter::update_batch`]: the
+/// coalesce buffer plus the structure-of-arrays columns the batched pass
+/// fills — distinct keys, their deltas, their substream indices, and the
+/// per-trial sampler hash values.  Transient — never part of
+/// checkpoint/merge/clone identity.
+#[derive(Debug, Default)]
+pub struct GnpScratch {
+    coalesce: Vec<Update>,
+    keys: Vec<u64>,
+    deltas: Vec<i64>,
+    subs: Vec<u64>,
+    values: Vec<u64>,
+}
+
 /// The Proposition-54 heavy-hitter sketch for `g_np`.
 #[derive(Debug, Clone)]
 pub struct GnpHeavyHitter {
@@ -58,8 +72,8 @@ pub struct GnpHeavyHitter {
     hints: Vec<ReverseHints>,
     /// Construction seed, kept so merges can verify hash compatibility.
     seed: u64,
-    /// Reused coalesce scratch for `update_batch`.
-    scratch: IngestScratch<Vec<Update>>,
+    /// Reused batch-ingestion scratch for `update_batch`.
+    scratch: IngestScratch<GnpScratch>,
 }
 
 impl GnpHeavyHitter {
@@ -194,19 +208,51 @@ impl StreamSink for GnpHeavyHitter {
         }
     }
 
-    /// Batched fast path: duplicate items coalesce exactly in `i64`
-    /// (the counters are linear), so each distinct item is split-hashed and
-    /// trial-sampled once per batch instead of once per occurrence.
-    /// `coalesce_updates` keeps net-zero items, so the reverse hints record
-    /// exactly the items a per-update replay would have recorded.
+    /// Batched fast path: duplicate items coalesce exactly in `i64` (the
+    /// counters are linear), then the whole batch runs in structure-of-arrays
+    /// passes instead of a per-item loop — the split hash maps every distinct
+    /// key to its substream in one hoisted-coefficient pass
+    /// ([`BucketHash::bucket_many`]), hint recording is skipped outright once
+    /// every substream has saturated (the steady state of over-cap streams),
+    /// and each trial's pairwise sampler polynomial is evaluated over the
+    /// whole key slice with coefficients hoisted ([`KWiseHash::hash_many`]).
+    /// Counter adds are exact `i64` and hint saturation is a function of the
+    /// distinct-item set, so reordering item-major work into trial-major
+    /// passes is bit-identical to a per-update replay (`coalesce_updates`
+    /// keeps net-zero items, so the observed support matches too).
     fn update_batch(&mut self, updates: &[Update]) {
-        // Detach the reusable buffer so `self.update` can borrow all of
-        // `self` inside the loop; put it back (capacity intact) when done.
-        let mut buf = std::mem::take(&mut self.scratch.buf);
-        for &u in coalesce_into(updates, &mut buf) {
-            self.update(u);
+        let GnpScratch {
+            coalesce,
+            keys,
+            deltas,
+            subs,
+            values,
+        } = &mut self.scratch.buf;
+        let coalesced = coalesce_into(updates, coalesce);
+        if coalesced.is_empty() {
+            return;
         }
-        self.scratch.buf = buf;
+        keys.clear();
+        deltas.clear();
+        for u in coalesced {
+            keys.push(u.item);
+            deltas.push(u.delta);
+        }
+        self.split.bucket_many(keys, subs);
+        if self.hints.iter().any(|h| !h.is_saturated()) {
+            for (&sub, &item) in subs.iter().zip(keys.iter()) {
+                self.hints[sub as usize].record(item);
+            }
+        }
+        let trials = self.trials;
+        for (trial, sampler) in self.samplers.iter().enumerate() {
+            sampler.hash_many(keys, values);
+            for t in 0..keys.len() {
+                if values[t] & 1 == 1 {
+                    self.counters[subs[t] as usize * trials + trial] += deltas[t];
+                }
+            }
+        }
     }
 }
 

@@ -31,6 +31,11 @@ use std::io::{Read, Write};
 #[derive(Debug, Default)]
 pub struct RouteScratch {
     coalesce: Vec<Update>,
+    /// Distinct keys of the coalesced batch, handed to the selector's
+    /// batched polynomial kernel.
+    keys: Vec<u64>,
+    /// Selector hash values, one per distinct key.
+    hashes: Vec<u64>,
     /// Updates still alive at the current level, in item order.
     routed: Vec<Update>,
     /// `depths[t]` is the deepest level including `routed[t]`'s item
@@ -205,7 +210,9 @@ impl<S: HeavyHitterSketch> StreamSink for RecursiveSketch<S> {
     /// whole batch instead of degrading to per-update dispatch here.
     ///
     /// One pass computes each distinct item's subsampling depth (the
-    /// selector is hashed once per item per batch, not once per level), and
+    /// selector's pairwise polynomial is evaluated over the whole distinct-
+    /// key slice with hoisted coefficients — [`KWiseHash::hash_many`], the
+    /// batched hash kernel — once per batch, not once per level), and
     /// the levels peel the partition in place: level `j` consumes the
     /// current sub-batch, then entries too shallow for level `j+1` are
     /// compacted away.  The compaction preserves item order, so every level
@@ -221,6 +228,8 @@ impl<S: HeavyHitterSketch> StreamSink for RecursiveSketch<S> {
         let top = self.levels.len() - 1;
         let RouteScratch {
             coalesce,
+            keys,
+            hashes,
             routed,
             depths,
         } = &mut self.scratch.buf;
@@ -233,10 +242,15 @@ impl<S: HeavyHitterSketch> StreamSink for RecursiveSketch<S> {
         if top == 0 {
             return;
         }
+        // Batched selector evaluation: one hoisted-coefficient pass over the
+        // distinct keys, bit-identical to per-key `selector.hash`.
+        keys.clear();
+        keys.extend(coalesced.iter().map(|u| u.item));
+        self.selector.hash_many(keys, hashes);
         routed.clear();
         depths.clear();
-        for u in coalesced {
-            let d = (self.selector.hash(u.item).trailing_zeros() as usize).min(top);
+        for (u, &h) in coalesced.iter().zip(hashes.iter()) {
+            let d = (h.trailing_zeros() as usize).min(top);
             if d >= 1 {
                 routed.push(*u);
                 depths.push(d as u8);

@@ -20,7 +20,13 @@
 //! from one pass over the key per row state.
 
 use crate::kwise::KWiseHash;
+use crate::prime::{mul, reduce, reduce128};
 use crate::tabulation::TabulationHash;
+
+/// Block size for the batched tabulation kernel: enough independent lookup
+/// chains in flight to hide table-load latency, small enough that the
+/// accumulator array lives in registers / L1.
+const TAB_BLOCK: usize = 16;
 
 /// Which hash family a sketch draws its per-row bucket and sign hashes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -176,6 +182,133 @@ impl RowHasher {
         (self.reduce(value, bits), sign)
     }
 
+    /// Batched fused evaluation: `(column, sign)` for every key in a slice,
+    /// appended to `cols_out`/`signs_out` (both cleared first).
+    ///
+    /// This is the hash-stage kernel the sketches' coalesced ingestion loops
+    /// call once per row per batch, replacing a per-distinct-item
+    /// [`column_sign`](Self::column_sign) call.  The backend dispatch and the
+    /// polynomial coefficients (or table base pointers) are hoisted out of
+    /// the key loop:
+    ///
+    /// * **Polynomial** — the 4-wise polynomial is evaluated over the slice
+    ///   in structure-of-arrays shape (`x, x², x³` then one fused
+    ///   sum-of-products per key), the same proven-bit-identical evaluation
+    ///   order as [`crate::SignHashBank::eval_with`], with the division-free
+    ///   Lemire bucketing inlined in the same pass.
+    /// * **Tabulation** — keys are processed in blocks of `TAB_BLOCK` so
+    ///   the eight data-dependent table lookups of neighbouring keys
+    ///   pipeline instead of serializing per call.
+    ///
+    /// Both paths produce exactly the per-key outputs: the same canonical
+    /// field value / XOR accumulation, the same `(value · columns) >> bits`
+    /// bucket and the same low-bit sign, so batched and per-key ingestion
+    /// are bit-identical (proptested in `tests/batch_equivalence.rs`).
+    ///
+    /// Columns are emitted as `u32` — the sketches' column-index scratch
+    /// width; rows are constructed with far fewer than `2^32` columns.
+    pub fn column_sign_batch(
+        &self,
+        keys: &[u64],
+        cols_out: &mut Vec<u32>,
+        signs_out: &mut Vec<i64>,
+    ) {
+        debug_assert!(self.columns <= u32::MAX as u64 + 1);
+        cols_out.clear();
+        signs_out.clear();
+        cols_out.reserve(keys.len());
+        signs_out.reserve(keys.len());
+        let columns = self.columns as u128;
+        match &self.state {
+            RowState::Polynomial(h) => {
+                if let [c0, c1, c2, c3] = *h.coefficients() {
+                    for &key in keys {
+                        let x = reduce(key);
+                        let x2 = mul(x, x);
+                        let x3 = mul(x2, x);
+                        let value = reduce128(
+                            (c3 as u128) * (x3 as u128)
+                                + (c2 as u128) * (x2 as u128)
+                                + (c1 as u128) * (x as u128)
+                                + c0 as u128,
+                        );
+                        cols_out.push((((value as u128) * columns) >> 61) as u32);
+                        signs_out.push(((value & 1) as i64) * 2 - 1);
+                    }
+                } else {
+                    for &key in keys {
+                        let value = h.hash(key);
+                        cols_out.push((((value as u128) * columns) >> 61) as u32);
+                        signs_out.push(((value & 1) as i64) * 2 - 1);
+                    }
+                }
+            }
+            RowState::Tabulation(h) => {
+                let mut chunks = keys.chunks_exact(TAB_BLOCK);
+                for block in chunks.by_ref() {
+                    let mut values = [0u64; TAB_BLOCK];
+                    h.hash_into(block, &mut values);
+                    for &value in &values {
+                        cols_out.push((((value as u128) * columns) >> 64) as u32);
+                        signs_out.push(((value & 1) as i64) * 2 - 1);
+                    }
+                }
+                for &key in chunks.remainder() {
+                    let value = h.hash(key);
+                    cols_out.push((((value as u128) * columns) >> 64) as u32);
+                    signs_out.push(((value & 1) as i64) * 2 - 1);
+                }
+            }
+        }
+    }
+
+    /// Batched bucket-only evaluation: the column for every key in a slice,
+    /// appended to `cols_out` (cleared first).  The Count-Min variant of
+    /// [`column_sign_batch`](Self::column_sign_batch) — same kernels, no
+    /// sign extraction — and likewise bit-identical to per-key
+    /// [`column`](Self::column).
+    pub fn column_batch(&self, keys: &[u64], cols_out: &mut Vec<u32>) {
+        debug_assert!(self.columns <= u32::MAX as u64 + 1);
+        cols_out.clear();
+        cols_out.reserve(keys.len());
+        let columns = self.columns as u128;
+        match &self.state {
+            RowState::Polynomial(h) => {
+                if let [c0, c1, c2, c3] = *h.coefficients() {
+                    for &key in keys {
+                        let x = reduce(key);
+                        let x2 = mul(x, x);
+                        let x3 = mul(x2, x);
+                        let value = reduce128(
+                            (c3 as u128) * (x3 as u128)
+                                + (c2 as u128) * (x2 as u128)
+                                + (c1 as u128) * (x as u128)
+                                + c0 as u128,
+                        );
+                        cols_out.push((((value as u128) * columns) >> 61) as u32);
+                    }
+                } else {
+                    for &key in keys {
+                        cols_out.push((((h.hash(key) as u128) * columns) >> 61) as u32);
+                    }
+                }
+            }
+            RowState::Tabulation(h) => {
+                let mut chunks = keys.chunks_exact(TAB_BLOCK);
+                for block in chunks.by_ref() {
+                    let mut values = [0u64; TAB_BLOCK];
+                    h.hash_into(block, &mut values);
+                    for &value in &values {
+                        cols_out.push((((value as u128) * columns) >> 64) as u32);
+                    }
+                }
+                for &key in chunks.remainder() {
+                    cols_out.push((((h.hash(key) as u128) * columns) >> 64) as u32);
+                }
+            }
+        }
+    }
+
     /// Rough size of the row state in 64-bit words (for space accounting).
     pub fn space_words(&self) -> usize {
         match &self.state {
@@ -215,6 +348,49 @@ mod tests {
                     assert!(sign == 1 || sign == -1);
                     assert_eq!(col, h.column(key));
                     assert_eq!(sign, h.sign(key));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_kernels_match_per_key_exactly() {
+        // Duplicates, key 0, max-key and field-boundary keys, plus lengths
+        // that are not a multiple of the tabulation block size.
+        let keys: Vec<u64> = (0..533u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .chain([
+                0,
+                0,
+                1,
+                7,
+                7,
+                u64::MAX,
+                u64::MAX - 1,
+                (1 << 61) - 1,
+                1 << 61,
+            ])
+            .collect();
+        let mut cols = Vec::new();
+        let mut signs = Vec::new();
+        for backend in [HashBackend::Polynomial, HashBackend::Tabulation] {
+            for columns in [1u64, 2, 64, 1000, 1 << 20] {
+                let h = RowHasher::new(backend, columns, 0xBEE5);
+                for len in [0usize, 1, 15, 16, 17, keys.len()] {
+                    let slice = &keys[..len];
+                    h.column_sign_batch(slice, &mut cols, &mut signs);
+                    assert_eq!(cols.len(), len);
+                    assert_eq!(signs.len(), len);
+                    for (i, &key) in slice.iter().enumerate() {
+                        let (col, sign) = h.column_sign(key);
+                        assert_eq!(cols[i] as u64, col, "{}: col mismatch", backend.name());
+                        assert_eq!(signs[i], sign, "{}: sign mismatch", backend.name());
+                    }
+                    h.column_batch(slice, &mut cols);
+                    assert_eq!(cols.len(), len);
+                    for (i, &key) in slice.iter().enumerate() {
+                        assert_eq!(cols[i] as u64, h.column(key));
+                    }
                 }
             }
         }

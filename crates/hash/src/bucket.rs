@@ -44,6 +44,19 @@ impl BucketHash {
         self.inner.hash_to_range(key, self.buckets)
     }
 
+    /// Map a slice of keys to their buckets, appending one bucket per key to
+    /// `out` (cleared first).  The polynomial is evaluated with hoisted
+    /// coefficients ([`KWiseHash::hash_many`]) and reduced with the same
+    /// multiply-shift as [`bucket`](Self::bucket), so the output agrees with
+    /// the per-key path bit for bit.
+    pub fn bucket_many(&self, keys: &[u64], out: &mut Vec<u64>) {
+        self.inner.hash_many(keys, out);
+        let buckets = self.buckets as u128;
+        for v in out.iter_mut() {
+            *v = (((*v as u128) * buckets) >> 61) as u64;
+        }
+    }
+
     /// Subsampling predicate: `true` for keys that fall in bucket 0.
     /// With `b = 2^level` this keeps each key independently-ish with
     /// probability `2^{-level}`, which is exactly the level-`level`
@@ -80,6 +93,25 @@ mod tests {
         let b = BucketHash::new(32, 8);
         for key in 0..512u64 {
             assert_eq!(a.bucket(key), b.bucket(key));
+        }
+    }
+
+    #[test]
+    fn bucket_many_matches_per_key() {
+        let keys: Vec<u64> = (0..500u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9))
+            .chain([0, u64::MAX, 3, 3, 3])
+            .collect();
+        let mut out = Vec::new();
+        for k in [2usize, 4] {
+            for buckets in [1u64, 2, 7, 1023] {
+                let h = BucketHash::with_independence(k, buckets, 77);
+                h.bucket_many(&keys, &mut out);
+                assert_eq!(out.len(), keys.len());
+                for (i, &key) in keys.iter().enumerate() {
+                    assert_eq!(out[i], h.bucket(key), "k={k} buckets={buckets} key={key}");
+                }
+            }
         }
     }
 

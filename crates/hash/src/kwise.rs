@@ -8,7 +8,7 @@
 //! estimator needs 4-wise independent signs; the `g_np` single-heavy-hitter
 //! algorithm of Appendix D.1 needs pairwise independent Bernoulli variables.
 
-use crate::prime::{poly_eval, reduce, MERSENNE_PRIME_61};
+use crate::prime::{mul, poly_eval, reduce, reduce128, MERSENNE_PRIME_61};
 use crate::rng::SplitMix64;
 
 /// A hash function drawn from a k-wise independent family, mapping `u64`
@@ -61,6 +61,50 @@ impl KWiseHash {
     #[inline]
     pub fn hash(&self, key: u64) -> u64 {
         poly_eval(&self.coeffs, key)
+    }
+
+    /// Evaluate the hash over a slice of keys, appending one field value per
+    /// key to `out` (which is cleared first).
+    ///
+    /// This is the batched form of [`hash`](Self::hash): coefficients are
+    /// hoisted out of the key loop, and the pairwise (`k = 2`) and 4-wise
+    /// (`k = 4`) families — the only degrees on the sketches' hot paths —
+    /// get straight-line kernels with no per-key Horner loop.  The whole
+    /// polynomial dot product accumulates lazily in `u128` (products stay
+    /// below `p² < 2^122`, so even the degree-3 sum fits) and is reduced
+    /// once by [`reduce128`], whose canonical output is the identical field
+    /// element [`hash`](Self::hash) computes with per-operation reductions
+    /// — **bit for bit**, for every key (proptested in the workspace's
+    /// batch equivalence suites).
+    pub fn hash_many(&self, keys: &[u64], out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(keys.len());
+        match *self.coeffs.as_slice() {
+            [c0, c1] => {
+                for &key in keys {
+                    let x = reduce(key);
+                    out.push(reduce128((c1 as u128) * (x as u128) + c0 as u128));
+                }
+            }
+            [c0, c1, c2, c3] => {
+                for &key in keys {
+                    let x = reduce(key);
+                    let x2 = mul(x, x);
+                    let x3 = mul(x2, x);
+                    out.push(reduce128(
+                        (c3 as u128) * (x3 as u128)
+                            + (c2 as u128) * (x2 as u128)
+                            + (c1 as u128) * (x as u128)
+                            + c0 as u128,
+                    ));
+                }
+            }
+            _ => {
+                for &key in keys {
+                    out.push(poly_eval(&self.coeffs, key));
+                }
+            }
+        }
     }
 
     /// Hash into `[0, range)` with a division-free multiply-shift (Lemire)
@@ -119,6 +163,34 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_independence_panics() {
         let _ = KWiseHash::new(0, 3);
+    }
+
+    #[test]
+    fn hash_many_matches_per_key_for_every_degree() {
+        // Covers the specialized pairwise and 4-wise kernels and the generic
+        // fallback, including the field-boundary keys the reduction folds.
+        let keys: Vec<u64> = (0..300u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .chain([0, 1, MERSENNE_PRIME_61 - 1, MERSENNE_PRIME_61, u64::MAX])
+            .chain([7, 7, 7]) // duplicates must hash identically
+            .collect();
+        let mut out = Vec::new();
+        for k in 1..=5usize {
+            for seed in [0u64, 1, 42, u64::MAX] {
+                let h = KWiseHash::new(k, seed);
+                h.hash_many(&keys, &mut out);
+                assert_eq!(out.len(), keys.len());
+                for (i, &key) in keys.iter().enumerate() {
+                    assert_eq!(
+                        out[i],
+                        h.hash(key),
+                        "k={k} seed={seed} mismatch at key {key}"
+                    );
+                }
+            }
+        }
+        KWiseHash::new(4, 9).hash_many(&[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub fn reduce(x: u64) -> u64 {
 }
 
 /// Reduce a 128-bit value modulo `2^61 - 1`.
+///
+/// Accepts the **full** `u128` range, not just single products: the first
+/// fold brings any input under `2^68`, the second under `2p`, and the
+/// conditional subtraction canonicalizes.  Batch kernels rely on this to
+/// accumulate a whole polynomial dot product lazily in `u128` and reduce
+/// once — the canonical representative is unique, so the result is
+/// bit-identical to reducing after every operation.
 #[inline]
 pub fn reduce128(x: u128) -> u64 {
     let p = MERSENNE_PRIME_61 as u128;

@@ -48,6 +48,29 @@ impl TabulationHash {
         acc
     }
 
+    /// Hash a slice of keys into an equal-length output slice, walking the
+    /// byte position in the *outer* loop: all of `out` accumulates table 0,
+    /// then table 1, and so on.  The eight data-dependent table loads for
+    /// different keys are independent, so they pipeline instead of
+    /// serializing per call, and each 2 KiB table stays hot while it is
+    /// walked.  XOR is commutative and associative, so the accumulated value
+    /// is bit-identical to [`hash`](Self::hash) per key.
+    ///
+    /// `out` must be zeroed by the caller (values are XOR-accumulated).
+    ///
+    /// # Panics
+    /// Panics if `keys` and `out` have different lengths.
+    #[inline]
+    pub fn hash_into(&self, keys: &[u64], out: &mut [u64]) {
+        assert_eq!(keys.len(), out.len(), "key/output length mismatch");
+        for (i, table) in self.tables.iter().enumerate() {
+            let shift = 8 * i as u32;
+            for (acc, &key) in out.iter_mut().zip(keys) {
+                *acc ^= table[((key >> shift) & 0xFF) as usize];
+            }
+        }
+    }
+
     /// Hash into `[0, range)`.
     #[inline]
     pub fn hash_to_range(&self, key: u64, range: u64) -> u64 {
@@ -86,6 +109,30 @@ mod tests {
         let b = TabulationHash::new(2);
         let same = (0..256u64).filter(|&k| a.hash(k) == b.hash(k)).count();
         assert!(same < 4);
+    }
+
+    #[test]
+    fn hash_into_matches_per_key() {
+        let h = TabulationHash::new(99);
+        let keys: Vec<u64> = (0..257u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .chain([0, 1, u64::MAX, u64::MAX - 1, 0])
+            .collect();
+        let mut out = vec![0u64; keys.len()];
+        h.hash_into(&keys, &mut out);
+        for (i, &key) in keys.iter().enumerate() {
+            assert_eq!(out[i], h.hash(key), "mismatch at index {i}, key {key}");
+        }
+        // Empty slices are a no-op, not a panic.
+        h.hash_into(&[], &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn hash_into_length_mismatch_panics() {
+        let h = TabulationHash::new(1);
+        let mut out = vec![0u64; 2];
+        h.hash_into(&[1, 2, 3], &mut out);
     }
 
     #[test]

@@ -162,30 +162,16 @@ impl StreamSink for AmsF2Sketch {
         // produces bit-identical counters.  (This also rules out i64::MIN,
         // whose unsigned_abs is 2^63, making the negation below safe.)
         let exact_i64 = (max_abs as u128) * (n as u128) < (1u128 << 52);
+        // Each counter's inner loop is the bank's batched tug-of-war kernel:
+        // coefficients loaded once, branchless ± select, and — under the
+        // exactness gate — i64 accumulation, bit-identical to the f64 chain.
         for (i, counter) in self.counters.iter_mut().enumerate() {
-            let coeffs = self.signs.coefficients_at(i);
             if exact_i64 {
-                let mut acc = 0i64;
-                for t in 0..n {
-                    let h = SignHashBank::eval_with(coeffs, (x1[t], x2[t], x3[t]));
-                    // Branchless ± select: the sign bit is a fair coin, so a
-                    // branch here would mispredict half the time.  m is 0
-                    // for +δ and -1 for -δ, and `(δ ^ m) - m` is two's-
-                    // complement negation when m = -1.
-                    let m = ((h & 1) as i64) - 1;
-                    acc += (deltas[t] ^ m) - m;
-                }
-                *counter += acc as f64;
+                *counter += self.signs.signed_sum_i64(i, x1, x2, x3, deltas) as f64;
             } else {
-                // Extreme deltas: accumulate in f64, exactly as the
-                // per-update path does (an i64 accumulator could overflow).
-                let mut acc = 0.0f64;
-                for t in 0..n {
-                    let h = SignHashBank::eval_with(coeffs, (x1[t], x2[t], x3[t]));
-                    let sign = if h & 1 == 1 { 1.0 } else { -1.0 };
-                    acc += sign * deltas[t] as f64;
-                }
-                *counter += acc;
+                // Extreme deltas: accumulate in f64, exactly as before (an
+                // i64 accumulator could overflow).
+                *counter += self.signs.signed_sum_f64(i, x1, x2, x3, deltas);
             }
         }
     }

@@ -22,6 +22,7 @@ use std::io::{Read, Write};
 #[derive(Debug, Default)]
 pub struct CountMinScratch {
     coalesce: Vec<Update>,
+    keys: Vec<u64>,
     cols: Vec<u32>,
     fdeltas: Vec<f64>,
     ideltas: Vec<i64>,
@@ -156,6 +157,7 @@ impl StreamSink for CountMinSketch {
     fn update_batch(&mut self, updates: &[Update]) {
         let CountMinScratch {
             coalesce,
+            keys,
             cols,
             fdeltas,
             ideltas,
@@ -164,6 +166,9 @@ impl StreamSink for CountMinSketch {
         if coalesced.is_empty() {
             return;
         }
+        // One gather of the distinct keys feeds the hash kernel of every row.
+        keys.clear();
+        keys.extend(coalesced.iter().map(|u| u.item));
         let max_abs = coalesced
             .iter()
             .map(|u| u.delta.unsigned_abs())
@@ -185,10 +190,10 @@ impl StreamSink for CountMinSketch {
             .chunks_exact_mut(columns)
             .zip(self.hashes.iter())
         {
-            cols.clear();
-            // Column indices always fit u32: column counts are memory words
-            // per row, far below 2^32.
-            cols.extend(coalesced.iter().map(|u| hasher.column(u.item) as u32));
+            // Batched column-only hash kernel: coefficients hoisted for the
+            // polynomial family, blocked pipelined lookups for tabulation —
+            // bit-identical to per-key `hasher.column`.
+            hasher.column_batch(keys, cols);
             if exact_i64 {
                 for (&col, &id) in cols.iter().zip(ideltas.iter()) {
                     row_counters[col as usize] += id as f64;

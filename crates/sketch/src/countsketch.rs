@@ -24,14 +24,18 @@ use std::io::{Read, Write};
 use std::sync::Mutex;
 
 /// Reusable working memory for [`CountSketch::update_batch`]: the coalesce
-/// buffer plus one `(column, signed delta)` pair per distinct item, refilled
-/// per row — the signed deltas live in `ideltas` on the exact-`i64` fast
-/// path and in `fdeltas` on the extreme-delta fallback.  Transient — never
-/// part of checkpoint/merge/clone identity.
+/// buffer, the distinct-key slice handed to the batched hash kernel (filled
+/// once per batch, shared by every row), and the per-row `(column, sign,
+/// signed delta)` columns the kernel and the sign-apply pass fill — the
+/// signed deltas live in `ideltas` on the exact-`i64` fast path and in
+/// `fdeltas` on the extreme-delta fallback.  Transient — never part of
+/// checkpoint/merge/clone identity.
 #[derive(Debug, Default)]
 pub struct CountSketchScratch {
     coalesce: Vec<Update>,
+    keys: Vec<u64>,
     cols: Vec<u32>,
+    signs: Vec<i64>,
     fdeltas: Vec<f64>,
     ideltas: Vec<i64>,
 }
@@ -287,17 +291,21 @@ impl StreamSink for CountSketch {
     /// bit-for-bit identical to per-update ingestion), each distinct item is
     /// hashed once per row instead of once per occurrence, and the counters
     /// are walked row-major so each row's counter segment stays cache-hot.
-    /// Each row first materializes its `(column, signed delta)` pairs, then
-    /// applies them in a tight scatter loop with no hashing in it — the
-    /// precompute pass has no loop-carried dependence, so the autovectorizer
-    /// can chew on it.  When every delta provably converts to `f64` exactly,
-    /// the sign is applied branchlessly in `i64` (`(δ ^ m) − m`, the same
-    /// select the AMS batch path uses) and the precompute pass stays pure
-    /// integer; extreme deltas fall back to the bit-identical `f64` multiply.
+    /// The distinct keys are gathered once per batch; each row then runs the
+    /// backend's batched hash kernel ([`RowHasher::column_sign_batch`] —
+    /// coefficients hoisted for the polynomial family, blocked pipelined
+    /// lookups for tabulation) over the whole slice, applies the signs in a
+    /// branchless pass with no hashing in it, and finishes with a tight
+    /// scatter loop.  When every delta provably converts to `f64` exactly,
+    /// the sign select runs in `i64` (`(δ ^ m) − m`, the same select the AMS
+    /// batch path uses); extreme deltas fall back to the bit-identical `f64`
+    /// multiply.
     fn update_batch(&mut self, updates: &[Update]) {
         let CountSketchScratch {
             coalesce,
+            keys,
             cols,
+            signs,
             fdeltas,
             ideltas,
         } = &mut self.scratch.buf;
@@ -305,6 +313,9 @@ impl StreamSink for CountSketch {
         if coalesced.is_empty() {
             return;
         }
+        // One gather of the distinct keys feeds the hash kernel of every row.
+        keys.clear();
+        keys.extend(coalesced.iter().map(|u| u.item));
         let max_abs = coalesced
             .iter()
             .map(|u| u.delta.unsigned_abs())
@@ -320,14 +331,10 @@ impl StreamSink for CountSketch {
             .chunks_exact_mut(columns)
             .zip(self.rows.iter())
         {
-            cols.clear();
+            hasher.column_sign_batch(keys, cols, signs);
             if exact_i64 {
                 ideltas.clear();
-                for u in coalesced {
-                    let (col, sign) = hasher.column_sign(u.item);
-                    // Column indices always fit u32: column counts are memory
-                    // words per row, far below 2^32.
-                    cols.push(col as u32);
+                for (&sign, u) in signs.iter().zip(coalesced) {
                     // sign ∈ {+1, −1}: m is 0 for +δ and −1 for −δ, and
                     // `(δ ^ m) − m` is two's-complement negation when
                     // m = −1 — no mispredictable branch on a fair coin.
@@ -339,9 +346,7 @@ impl StreamSink for CountSketch {
                 }
             } else {
                 fdeltas.clear();
-                for u in coalesced {
-                    let (col, sign) = hasher.column_sign(u.item);
-                    cols.push(col as u32);
+                for (&sign, u) in signs.iter().zip(coalesced) {
                     fdeltas.push(sign as f64 * u.delta as f64);
                 }
                 for (&col, &fd) in cols.iter().zip(fdeltas.iter()) {

@@ -76,6 +76,18 @@
 //!   runs in `i64` with branchless sign selection — bit-identical to the
 //!   `f64` path, but vectorizable (build with `RUSTFLAGS="-C
 //!   target-cpu=native"` to let the compiler use wider SIMD lanes).
+//! * **Batched hash kernels.** Under the batch paths the hash stage itself
+//!   is batch-shaped: [`RowHasher`](prelude::RowHasher) exposes
+//!   `column_sign_batch` / `column_batch` kernels that take a slice of keys
+//!   and fill structure-of-arrays column/sign buffers.  The polynomial
+//!   backend hoists the row's coefficients out of the key loop and
+//!   accumulates each degree-3 dot product lazily in `u128` with a single
+//!   reduction; the tabulation backend walks keys in blocks of 16 so table
+//!   lookups pipeline.  Both are bit-identical to the per-key calls they
+//!   replace (proptested in `tests/batch_equivalence.rs`), so checkpoint
+//!   bytes never depend on which path ran.  These kernels are plain
+//!   autovectorizable scalar loops — `RUSTFLAGS="-C target-cpu=native"` is
+//!   the build floor for the throughput numbers quoted in `ROADMAP.md`.
 //! * **Hash backend.** Sketch rows draw their bucket and sign hashes from a
 //!   pluggable [`HashBackend`](prelude::HashBackend): `Polynomial` (the
 //!   provable default — pairwise/4-wise independent polynomials over

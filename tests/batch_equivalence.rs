@@ -323,6 +323,63 @@ proptest! {
         }
     }
 
+    /// The fused hash-stage kernels themselves: batched `(column, sign)` and
+    /// column-only evaluation are bit-identical to the per-key
+    /// `column_sign` / `column` calls they replace, under both backends,
+    /// over key slices that mix duplicates, key 0, the domain boundary and
+    /// arbitrary 64-bit keys (exercising the reduction folds), at column
+    /// counts spanning the Lemire bucketing range the sketches use.
+    #[test]
+    fn row_hasher_batch_kernels_equal_per_key(
+        keys in prop::collection::vec((0u64..DOMAIN, 0u64..8), 0..80).prop_map(|pairs| {
+            pairs
+                .into_iter()
+                .map(|(key, variant)| match variant {
+                    // Boundary keys and a fixed key (forcing duplicates)
+                    // are interleaved with in-domain and arbitrary 64-bit
+                    // keys so one slice exercises every reduction path.
+                    0 => 0u64,
+                    1 => DOMAIN - 1,
+                    2 => 7,
+                    3 => key.wrapping_mul(0x9E37_79B9_7F4A_7C15) | (1 << 63),
+                    _ => key,
+                })
+                .collect::<Vec<u64>>()
+        }),
+        columns in 1u64..2048,
+        seed in 0u64..200,
+    ) {
+        for backend in BACKENDS {
+            let hasher = RowHasher::new(backend, columns, seed);
+            let mut cols = Vec::new();
+            let mut signs = Vec::new();
+            hasher.column_sign_batch(&keys, &mut cols, &mut signs);
+            prop_assert_eq!(cols.len(), keys.len());
+            prop_assert_eq!(signs.len(), keys.len());
+            for (i, &key) in keys.iter().enumerate() {
+                let (col, sign) = hasher.column_sign(key);
+                prop_assert_eq!(
+                    (cols[i] as u64, signs[i]),
+                    (col, sign),
+                    "fused batch kernel diverges at key {} under {:?}",
+                    key,
+                    backend
+                );
+            }
+            let mut only_cols = Vec::new();
+            hasher.column_batch(&keys, &mut only_cols);
+            for (i, &key) in keys.iter().enumerate() {
+                prop_assert_eq!(
+                    only_cols[i] as u64,
+                    hasher.column(key),
+                    "column-only batch kernel diverges at key {} under {:?}",
+                    key,
+                    backend
+                );
+            }
+        }
+    }
+
     /// The merge laws hold under the tabulation backend too: merging shard
     /// sketches equals the sketch of the concatenated stream, and the full
     /// g-SUM sketch merges to the single-threaded state.
