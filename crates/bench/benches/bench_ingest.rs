@@ -145,12 +145,7 @@ fn run<T>(
 }
 
 fn countsketch(backend: HashBackend) -> CountSketch {
-    CountSketch::new(
-        CountSketchConfig::new(5, 1024)
-            .unwrap()
-            .with_backend(backend),
-        3,
-    )
+    CountSketch::new(CountSketchConfig::new(5, 1024).with_backend(backend), 3)
 }
 
 fn gsum_sketch(backend: HashBackend) -> OnePassGSumSketch<PowerFunction> {

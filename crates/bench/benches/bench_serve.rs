@@ -13,6 +13,12 @@
 //! * `serve/{est,count}_latency_{p50,p99}` — point-query round-trip
 //!   latency over one persistent connection against a server holding
 //!   ingested state, in microseconds.
+//! * `serve/est_latency_{p50,p99}/<function>` (schema v2) — the same
+//!   round trip through the named-estimator path: the server serves a
+//!   [`SketchRegistry`] with two G functions sharing one ingest
+//!   substrate, and each registered function gets its own
+//!   `EST <function>` latency rows, so a regression in the registry
+//!   lookup or the per-function cover shows up per function.
 //!
 //! **Caveat for reading the numbers:** on a single-core CI host the
 //! loopback numbers measure reactor and channel overhead, not parallel
@@ -25,10 +31,10 @@
 //! `BENCH_SERVE_JSON` env var) so CI can upload it and serving regressions
 //! are visible per PR.  Set `BENCH_SERVE_QUICK=1` for a fast smoke run.
 
-use gsum_core::{GSumConfig, OnePassGSumSketch};
-use gsum_gfunc::library::PowerFunction;
+use gsum_core::GSumConfig;
+use gsum_gfunc::library::{CappedLinear, PowerFunction};
 use gsum_hash::HashBackend;
-use gsum_serve::{GsumServer, Response, ServeConfig, ServePolicy};
+use gsum_serve::{GsumServer, Response, ServeConfig, ServePolicy, SketchRegistry};
 use gsum_streams::wire::encode_updates;
 use gsum_streams::{StreamConfig, StreamGenerator, ZipfStreamGenerator};
 use std::io::{BufRead, BufReader, Write};
@@ -71,10 +77,26 @@ fn git_commit() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-fn proto() -> OnePassGSumSketch<PowerFunction> {
+/// The served state: a registry with two G functions over one shared
+/// substrate, so the named-estimator rows measure the registry path and
+/// ingest throughput still pays for exactly one CountSketch stack.
+fn proto() -> SketchRegistry {
     let config = GSumConfig::with_space_budget(DOMAIN, 0.2, 512, 11)
         .with_hash_backend(HashBackend::Polynomial);
-    OnePassGSumSketch::new(PowerFunction::new(2.0), &config)
+    let mut registry = SketchRegistry::new();
+    registry
+        .register(PowerFunction::new(2.0), &config)
+        .expect("register default function");
+    registry
+        .register(CappedLinear::new(100), &config)
+        .expect("register second function");
+    assert_eq!(registry.substrate_count(), 1, "one shared substrate");
+    registry
+}
+
+/// The registered function names, registration order (default first).
+fn function_names() -> Vec<String> {
+    proto().function_names()
 }
 
 fn serve_config() -> ServeConfig {
@@ -214,12 +236,22 @@ fn percentile(sorted_us: &[f64], p: f64) -> f64 {
 /// server that has already ingested a workload (so `EST` answers from
 /// non-trivial state).
 fn bench_query_latency(rows: &mut Vec<BenchRow>, warm_updates: usize, queries: usize) {
+    // Each probe is (command line, latency family, row suffix): the bare
+    // queries keep their v1 row names, and every registered function adds
+    // `EST <function>` probes whose rows carry the name as a suffix.
+    let mut probes: Vec<(String, &'static str, String)> = vec![
+        ("EST".into(), "est", String::new()),
+        ("COUNT".into(), "count", String::new()),
+    ];
+    for name in function_names() {
+        probes.push((format!("EST {name}"), "est", format!("/{name}")));
+    }
     let samples = with_server(|addr| {
         stream_client(addr, &encode_workload(warm_updates, 3));
         let mut stream = TcpStream::connect(addr).expect("connect");
         let mut reader = BufReader::new(stream.try_clone().expect("clone"));
-        let mut latencies: Vec<(Vec<f64>, &str)> = Vec::new();
-        for command in ["EST", "COUNT"] {
+        let mut latencies: Vec<Vec<f64>> = Vec::new();
+        for (command, _, _) in &probes {
             let mut us: Vec<f64> = (0..queries)
                 .map(|_| {
                     let t = Instant::now();
@@ -233,18 +265,18 @@ fn bench_query_latency(rows: &mut Vec<BenchRow>, warm_updates: usize, queries: u
                 })
                 .collect();
             us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            latencies.push((us, command));
+            latencies.push(us);
         }
         latencies
     });
-    for (us, command) in samples {
+    for ((_, family, suffix), us) in probes.iter().zip(&samples) {
         for (p, label) in [(0.5, "p50"), (0.99, "p99")] {
             record(
                 rows,
                 BenchRow {
-                    name: format!("serve/{}_latency_{label}", command.to_lowercase()),
+                    name: format!("serve/{family}_latency_{label}{suffix}"),
                     kind: "latency",
-                    value: percentile(&us, p),
+                    value: percentile(us, p),
                     unit: "us",
                     samples: us.len() as u64,
                 },
@@ -269,11 +301,13 @@ fn write_json(
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"bench_serve\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     // Provenance: commit, reactor topology (worker-pool size and the
-    // connection cap the shed path enforces), host parallelism (the
-    // single-core caveat above — these numbers are uninterpretable without
-    // it), and whether this was a quick smoke run.
+    // connection cap the shed path enforces), the registered estimator
+    // names (v2 — the per-function latency rows are unreadable without
+    // them), host parallelism (the single-core caveat above — these
+    // numbers are uninterpretable without it), and whether this was a
+    // quick smoke run.
     out.push_str("  \"meta\": {\n");
     out.push_str(&format!(
         "    \"git_commit\": \"{}\",\n",
@@ -282,6 +316,14 @@ fn write_json(
     out.push_str(&format!("    \"workers\": {WORKERS},\n"));
     out.push_str(&format!("    \"max_connections\": {MAX_CONNECTIONS},\n"));
     out.push_str("    \"policy\": \"merge_completed\",\n");
+    out.push_str(&format!(
+        "    \"functions\": [{}],\n",
+        function_names()
+            .iter()
+            .map(|n| format!("\"{}\"", json_escape(n)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     out.push_str(&format!(
         "    \"available_parallelism\": {},\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)

@@ -14,14 +14,14 @@ fn bench_updates(c: &mut Criterion) {
     let mut group = c.benchmark_group("sketch_update_50k");
     group.bench_function("countsketch_5x1024", |b| {
         b.iter_batched(
-            || CountSketch::new(CountSketchConfig::new(5, 1024).unwrap(), 3),
+            || CountSketch::new(CountSketchConfig::new(5, 1024), 3),
             |mut cs| cs.process_stream(&s),
             BatchSize::SmallInput,
         )
     });
     group.bench_function("countmin_5x1024", |b| {
         b.iter_batched(
-            || CountMinSketch::new(5, 1024, 3).unwrap(),
+            || CountMinSketch::new(5, 1024, 3),
             |mut cm| cm.process_stream(&s),
             BatchSize::SmallInput,
         )
@@ -38,7 +38,7 @@ fn bench_updates(c: &mut Criterion) {
 
 fn bench_extraction(c: &mut Criterion) {
     let s = stream();
-    let mut cs = CountSketch::new(CountSketchConfig::new(5, 1024).unwrap(), 3);
+    let mut cs = CountSketch::new(CountSketchConfig::new(5, 1024), 3);
     cs.process_stream(&s);
     c.bench_function("countsketch_top64_of_4096", |b| {
         b.iter(|| cs.top_candidates(0..(1u64 << 12), 64))

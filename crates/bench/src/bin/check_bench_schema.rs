@@ -35,21 +35,26 @@
 //!   coalescing sort the stage rows skip, so a sum above the total means
 //!   the rows measure different workloads and the attribution is wrong.
 //!
-//! For `bench_serve` (schema v1) it checks:
+//! For `bench_serve` (schema v2) it checks:
 //!
-//! * top level: `schema_version == 1` and a `workload` object;
+//! * top level: `schema_version == 2` and a `workload` object;
 //! * `meta`: non-empty `git_commit`, integral `workers ≥ 1` and
 //!   `max_connections ≥ 1` (the reactor knobs the numbers were taken
-//!   under), non-empty `policy`, integral `available_parallelism ≥ 1`,
-//!   boolean `quick`;
+//!   under), non-empty `policy`, a `functions` string array with at least
+//!   two entries (new in v2 — the bench serves a multi-function estimator
+//!   registry, and the per-function rows are unreadable without the
+//!   names), integral `available_parallelism ≥ 1`, boolean `quick`;
 //! * `results`: non-empty; every row carries a non-empty `name` and `unit`,
 //!   a `kind` that is `"throughput"` or `"latency"`, a finite positive
 //!   `value`, and an integral `samples ≥ 1`;
 //! * required rows ([`REQUIRED_SERVE_RESULTS`]): connections/sec, the
 //!   concurrent-ingest throughput row, and the p99 `EST`/`COUNT` latency
-//!   rows — the headline serving numbers can never silently drop out;
-//! * each latency family's p50 must not exceed its p99 (a swapped pair is
-//!   the easiest way to ship a wrong artifact that still parses).
+//!   rows — plus (new in v2) a `serve/est_latency_p99/<function>` row for
+//!   every name in `meta.functions`, so the named-estimator path can
+//!   never silently drop out of the artifact;
+//! * every `*_latency_p50*` row's value must not exceed its `p99`
+//!   counterpart, including the per-function pairs (a swapped pair is the
+//!   easiest way to ship a wrong artifact that still parses).
 //!
 //! Usage: `check_bench_schema [path]` (default: `$BENCH_INGEST_JSON`, then
 //! `./BENCH_ingest.json`).  Exits non-zero listing every violation.
@@ -62,7 +67,7 @@ use std::process::ExitCode;
 const EXPECTED_SCHEMA_VERSION: f64 = 5.0;
 
 /// The `bench_serve` schema version this gate understands.
-const EXPECTED_SERVE_SCHEMA_VERSION: f64 = 1.0;
+const EXPECTED_SERVE_SCHEMA_VERSION: f64 = 2.0;
 
 /// Result rows that must be present in a v5 artifact: the recursive-sketch
 /// hot-path variants across both hash backends, plus the countsketch
@@ -89,8 +94,10 @@ const REQUIRED_RESULTS: [&str; 12] = [
 /// coalescing sort).
 const STAGE_SUM_TOLERANCE: f64 = 1.05;
 
-/// Result rows that must be present in a serve v1 artifact: the headline
-/// reactor serving numbers.
+/// Result rows that must be present in a serve v2 artifact: the headline
+/// reactor serving numbers.  Per-function `EST` latency rows are required
+/// on top of these, one `serve/est_latency_p99/<function>` row per name in
+/// `meta.functions`.
 const REQUIRED_SERVE_RESULTS: [&str; 4] = [
     "serve/connections_per_sec",
     "serve/ingest_updates_per_sec/clients_4",
@@ -377,6 +384,7 @@ fn validate_serve(root: &JsonValue) -> Violations {
         out.push("missing \"workload\" object");
     }
 
+    let mut functions = Vec::new();
     match root.get("meta") {
         Some(meta @ JsonValue::Object(_)) => {
             str_field(meta, "git_commit", "meta", &mut out);
@@ -386,6 +394,13 @@ fn validate_serve(root: &JsonValue) -> Violations {
             integral_count(meta, "available_parallelism", "meta", &mut out);
             if meta.get("quick").and_then(JsonValue::as_bool).is_none() {
                 out.push("meta: missing boolean field \"quick\"");
+            }
+            functions = string_list(meta, "functions", "meta", &mut out);
+            if functions.len() == 1 {
+                out.push(
+                    "meta: \"functions\" must list at least two registered estimators \
+                     (required since serve v2)",
+                );
             }
         }
         Some(_) => out.push("\"meta\" is not an object"),
@@ -410,13 +425,32 @@ fn validate_serve(root: &JsonValue) -> Violations {
                     out.push(format!("results: required row {required:?} is missing"));
                 }
             }
-            for family in ["est", "count"] {
-                let p50 = value_of(&format!("serve/{family}_latency_p50"));
-                let p99 = value_of(&format!("serve/{family}_latency_p99"));
-                if let (Some(p50), Some(p99)) = (p50, p99) {
+            for function in &functions {
+                let required = format!("serve/est_latency_p99/{function}");
+                if value_of(&required).is_none() {
+                    out.push(format!(
+                        "results: required per-function row {required:?} is missing \
+                         (required since serve v2)"
+                    ));
+                }
+            }
+            // Every p50 row — the bare families and the per-function ones
+            // alike — must not exceed its p99 counterpart.
+            for result in results {
+                let Some(name) = result.get("name").and_then(JsonValue::as_str) else {
+                    continue;
+                };
+                if !name.contains("_latency_p50") {
+                    continue;
+                }
+                let counterpart = name.replacen("_latency_p50", "_latency_p99", 1);
+                if let (Some(p50), Some(p99)) = (
+                    result.get("value").and_then(JsonValue::as_f64),
+                    value_of(&counterpart),
+                ) {
                     if p50 > p99 {
                         out.push(format!(
-                            "results: serve/{family}_latency_p50 ({p50}) exceeds p99 ({p99})"
+                            "results: {name} ({p50}) exceeds {counterpart} ({p99})"
                         ));
                     }
                 }
@@ -562,12 +596,13 @@ mod tests {
     fn valid_serve_doc() -> String {
         r#"{
           "bench": "bench_serve",
-          "schema_version": 1,
+          "schema_version": 2,
           "meta": {
             "git_commit": "abc123",
             "workers": 2,
             "max_connections": 64,
             "policy": "merge_completed",
+            "functions": ["x^2", "min(x, 100)"],
             "available_parallelism": 4,
             "quick": false
           },
@@ -586,7 +621,15 @@ mod tests {
             {"name": "serve/count_latency_p50", "kind": "latency",
              "value": 10.0, "unit": "us", "samples": 2000},
             {"name": "serve/count_latency_p99", "kind": "latency",
-             "value": 300.0, "unit": "us", "samples": 2000}
+             "value": 300.0, "unit": "us", "samples": 2000},
+            {"name": "serve/est_latency_p50/x^2", "kind": "latency",
+             "value": 2100.0, "unit": "us", "samples": 2000},
+            {"name": "serve/est_latency_p99/x^2", "kind": "latency",
+             "value": 3600.0, "unit": "us", "samples": 2000},
+            {"name": "serve/est_latency_p50/min(x, 100)", "kind": "latency",
+             "value": 2200.0, "unit": "us", "samples": 2000},
+            {"name": "serve/est_latency_p99/min(x, 100)", "kind": "latency",
+             "value": 3700.0, "unit": "us", "samples": 2000}
           ]
         }"#
         .to_string()
@@ -623,10 +666,49 @@ mod tests {
 
     #[test]
     fn wrong_serve_schema_version_is_caught() {
-        let doc = valid_serve_doc().replace("\"schema_version\": 1", "\"schema_version\": 2");
+        let doc = valid_serve_doc().replace("\"schema_version\": 2", "\"schema_version\": 1");
         assert!(violations_of(&doc)
             .iter()
             .any(|v| v.contains("schema_version")));
+    }
+
+    #[test]
+    fn missing_or_single_function_meta_is_caught() {
+        let doc = valid_serve_doc().replace("\"functions\": [\"x^2\", \"min(x, 100)\"],", "");
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("functions") && v.contains("meta")));
+
+        let doc = valid_serve_doc().replace(
+            "\"functions\": [\"x^2\", \"min(x, 100)\"],",
+            "\"functions\": [\"x^2\"],",
+        );
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("at least two")));
+    }
+
+    #[test]
+    fn missing_per_function_latency_row_is_caught() {
+        let doc = valid_serve_doc().replace(
+            "serve/est_latency_p99/min(x, 100)",
+            "serve/est_latency_p99/min(x, 999)",
+        );
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("serve/est_latency_p99/min(x, 100)") && v.contains("missing")));
+    }
+
+    #[test]
+    fn swapped_per_function_percentiles_are_caught() {
+        let doc = valid_serve_doc().replacen("\"value\": 3600.0", "\"value\": 1.0", 1);
+        let violations = violations_of(&doc);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("serve/est_latency_p50/x^2") && v.contains("exceeds")),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! Configuration shared by the g-SUM estimators.
 
+use crate::error::CoreError;
 use gsum_hash::HashBackend;
+
+pub(crate) fn invalid(parameter: &'static str, reason: &str) -> CoreError {
+    CoreError::InvalidParameter {
+        parameter,
+        reason: reason.into(),
+    }
+}
 
 /// Configuration for the one-pass and two-pass g-SUM estimators.
 ///
@@ -57,14 +65,28 @@ pub const DEFAULT_HINT_CAP: usize = 512;
 
 impl GSumConfig {
     /// The faithful (capped) theoretical parameterization for accuracy `ε`.
+    ///
+    /// # Panics
+    /// Panics on a degenerate domain or accuracy; use
+    /// [`try_theoretical`](Self::try_theoretical) for a fallible constructor.
     pub fn theoretical(domain: u64, epsilon: f64, seed: u64) -> Self {
-        assert!(domain > 0, "domain must be positive");
-        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        Self::try_theoretical(domain, epsilon, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`theoretical`](Self::theoretical): rejects `domain == 0`
+    /// and `ε ∉ (0, 1)` with a typed [`CoreError`].
+    pub fn try_theoretical(domain: u64, epsilon: f64, seed: u64) -> Result<Self, CoreError> {
+        if domain == 0 {
+            return Err(invalid("domain", "domain must be positive"));
+        }
+        if epsilon.is_nan() || epsilon <= 0.0 || epsilon >= 1.0 {
+            return Err(invalid("epsilon", "epsilon must be in (0,1)"));
+        }
         let log_n = (domain.max(2) as f64).log2();
         let lambda = (epsilon * epsilon / log_n.powi(3)).max(1e-6);
         let columns = ((6.0 / (lambda * epsilon * epsilon)).ceil() as usize).min(1 << 14);
         let candidates = ((3.0 / lambda).ceil() as usize).min(columns / 2).max(8);
-        Self {
+        Ok(Self {
             domain,
             epsilon,
             delta: 0.1,
@@ -76,16 +98,40 @@ impl GSumConfig {
             hash_backend: HashBackend::default(),
             hint_cap: DEFAULT_HINT_CAP,
             seed,
-        }
+        })
     }
 
     /// A configuration with an explicit space budget: `columns` CountSketch
     /// columns per level (the dominant space term).
+    ///
+    /// # Panics
+    /// Panics on a degenerate domain, accuracy or budget; use
+    /// [`try_with_space_budget`](Self::try_with_space_budget) for a fallible
+    /// constructor.
     pub fn with_space_budget(domain: u64, epsilon: f64, columns: usize, seed: u64) -> Self {
-        assert!(domain > 0, "domain must be positive");
-        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
-        assert!(columns >= 4, "need at least 4 CountSketch columns");
-        Self {
+        Self::try_with_space_budget(domain, epsilon, columns, seed)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`with_space_budget`](Self::with_space_budget): rejects
+    /// `domain == 0`, `ε ∉ (0, 1)` and `columns < 4` with a typed
+    /// [`CoreError`].
+    pub fn try_with_space_budget(
+        domain: u64,
+        epsilon: f64,
+        columns: usize,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        if domain == 0 {
+            return Err(invalid("domain", "domain must be positive"));
+        }
+        if epsilon.is_nan() || epsilon <= 0.0 || epsilon >= 1.0 {
+            return Err(invalid("epsilon", "epsilon must be in (0,1)"));
+        }
+        if columns < 4 {
+            return Err(invalid("columns", "need at least 4 CountSketch columns"));
+        }
+        Ok(Self {
             domain,
             epsilon,
             delta: 0.1,
@@ -97,15 +143,31 @@ impl GSumConfig {
             hash_backend: HashBackend::default(),
             hint_cap: DEFAULT_HINT_CAP,
             seed,
-        }
+        })
     }
 
     /// Override the envelope factor `H(M)` (e.g. with the empirical value
     /// from `gsum_gfunc::properties::estimate_envelope`).
-    pub fn with_envelope_factor(mut self, factor: f64) -> Self {
-        assert!(factor >= 1.0, "the envelope factor is at least 1");
+    ///
+    /// # Panics
+    /// Panics if `factor < 1`; use
+    /// [`try_with_envelope_factor`](Self::try_with_envelope_factor) for a
+    /// fallible builder.
+    pub fn with_envelope_factor(self, factor: f64) -> Self {
+        self.try_with_envelope_factor(factor)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible builder: rejects `factor < 1` (and NaN).
+    pub fn try_with_envelope_factor(mut self, factor: f64) -> Result<Self, CoreError> {
+        if factor.is_nan() || factor < 1.0 {
+            return Err(invalid(
+                "envelope_factor",
+                "the envelope factor is at least 1",
+            ));
+        }
         self.envelope_factor = factor;
-        self
+        Ok(self)
     }
 
     /// Select the hash backend for every sketch in the estimator stack.
@@ -119,25 +181,57 @@ impl GSumConfig {
     ///
     /// # Panics
     /// Panics if `hint_cap == 0` (a sketch must be able to remember at least
-    /// one observed item before saturating).
-    pub fn with_hint_cap(mut self, hint_cap: usize) -> Self {
-        assert!(hint_cap >= 1, "hint cap must be at least 1");
+    /// one observed item before saturating); use
+    /// [`try_with_hint_cap`](Self::try_with_hint_cap) for a fallible builder.
+    pub fn with_hint_cap(self, hint_cap: usize) -> Self {
+        self.try_with_hint_cap(hint_cap)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible builder: rejects `hint_cap == 0`.
+    pub fn try_with_hint_cap(mut self, hint_cap: usize) -> Result<Self, CoreError> {
+        if hint_cap == 0 {
+            return Err(invalid("hint_cap", "hint cap must be at least 1"));
+        }
         self.hint_cap = hint_cap;
-        self
+        Ok(self)
     }
 
     /// Override the number of recursion levels.
-    pub fn with_levels(mut self, levels: usize) -> Self {
-        assert!(levels >= 1, "need at least one level");
+    ///
+    /// # Panics
+    /// Panics if `levels == 0`; use [`try_with_levels`](Self::try_with_levels)
+    /// for a fallible builder.
+    pub fn with_levels(self, levels: usize) -> Self {
+        self.try_with_levels(levels)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible builder: rejects `levels == 0`.
+    pub fn try_with_levels(mut self, levels: usize) -> Result<Self, CoreError> {
+        if levels == 0 {
+            return Err(invalid("levels", "need at least one level"));
+        }
         self.levels = levels;
-        self
+        Ok(self)
     }
 
     /// Override the number of CountSketch rows per level.
-    pub fn with_rows(mut self, rows: usize) -> Self {
-        assert!(rows >= 1, "need at least one row");
+    ///
+    /// # Panics
+    /// Panics if `rows == 0`; use [`try_with_rows`](Self::try_with_rows) for
+    /// a fallible builder.
+    pub fn with_rows(self, rows: usize) -> Self {
+        self.try_with_rows(rows).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible builder: rejects `rows == 0`.
+    pub fn try_with_rows(mut self, rows: usize) -> Result<Self, CoreError> {
+        if rows == 0 {
+            return Err(invalid("rows", "need at least one row"));
+        }
         self.countsketch_rows = rows;
-        self
+        Ok(self)
     }
 
     /// The default level count: `⌈log₂ n⌉ + 1`, capped at 24.
@@ -213,5 +307,35 @@ mod tests {
     #[should_panic(expected = "columns")]
     fn rejects_tiny_budget() {
         let _ = GSumConfig::with_space_budget(8, 0.1, 2, 0);
+    }
+
+    /// The fallible constructors reject exactly what the panicking wrappers
+    /// panic on, with the same message carried in the typed error.
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        let reason = |r: Result<GSumConfig, CoreError>| r.unwrap_err().to_string();
+        assert!(reason(GSumConfig::try_theoretical(0, 0.2, 1)).contains("domain"));
+        assert!(reason(GSumConfig::try_theoretical(8, f64::NAN, 1)).contains("epsilon"));
+        assert!(reason(GSumConfig::try_with_space_budget(8, 0.2, 3, 1)).contains("columns"));
+        let cfg = GSumConfig::try_with_space_budget(64, 0.2, 16, 1).expect("valid");
+        assert_eq!(
+            cfg,
+            GSumConfig::with_space_budget(64, 0.2, 16, 1),
+            "fallible and panicking constructors agree on valid input"
+        );
+        assert!(reason(cfg.clone().try_with_envelope_factor(0.5)).contains("envelope"));
+        assert!(reason(cfg.clone().try_with_hint_cap(0)).contains("hint cap"));
+        assert!(reason(cfg.clone().try_with_levels(0)).contains("level"));
+        assert!(reason(cfg.clone().try_with_rows(0)).contains("row"));
+        let tuned = cfg
+            .try_with_envelope_factor(2.0)
+            .and_then(|c| c.try_with_hint_cap(32))
+            .and_then(|c| c.try_with_levels(4))
+            .and_then(|c| c.try_with_rows(3))
+            .expect("valid chain");
+        assert_eq!(tuned.envelope_factor, 2.0);
+        assert_eq!(tuned.hint_cap, 32);
+        assert_eq!(tuned.levels, 4);
+        assert_eq!(tuned.countsketch_rows, 3);
     }
 }

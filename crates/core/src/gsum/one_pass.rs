@@ -56,6 +56,47 @@ impl<G: GFunction + Clone> OnePassGSumSketch<G> {
         self.inner.estimate().max(0.0)
     }
 
+    /// The g-SUM estimate under an *external* function instead of the
+    /// wrapped one.
+    ///
+    /// The absorbed state is pure frequency structure — the wrapped `g`
+    /// enters only at query time, inside the per-level covers — so a single
+    /// substrate can answer for any function in the class.  For the wrapped
+    /// function this is bit-identical to [`estimate`](Self::estimate).
+    pub fn estimate_with<F: GFunction + ?Sized>(&self, g: &F) -> f64 {
+        let domain = self.inner.domain();
+        let covers: Vec<_> = self
+            .inner
+            .level_sketches()
+            .iter()
+            .map(|level| level.cover_with(g, domain))
+            .collect();
+        self.inner.estimate_from_covers(&covers).max(0.0)
+    }
+
+    /// The wrapped function.
+    pub fn function(&self) -> &G {
+        self.inner.level_sketches()[0].function()
+    }
+
+    /// [`Checkpoint::save`] with the function-parameter bytes replaced by
+    /// `params` in every level.
+    ///
+    /// Because the counters, seeds and hints are function-independent, the
+    /// output is exactly the checkpoint a sketch *built with that function*
+    /// (same configuration, same seed) would write after the same stream —
+    /// how the serving registry emits per-function checkpoints from one
+    /// shared substrate.
+    pub fn save_with_params(
+        &self,
+        w: &mut impl Write,
+        params: &[u8],
+    ) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::ONE_PASS_GSUM)?;
+        self.inner
+            .save_levels_with(w, |level, w| level.save_with_params(w, params))
+    }
+
     /// The domain size.
     pub fn domain(&self) -> u64 {
         self.inner.domain()

@@ -19,6 +19,8 @@
 //! off), which is exactly the failure mode experiment E3 measures.
 
 use super::{GCover, HeavyHitterSketch};
+use crate::config::invalid;
+use crate::error::CoreError;
 use crate::hints::ReverseHints;
 use gsum_gfunc::{FunctionCodec, GFunction};
 use gsum_hash::HashBackend;
@@ -52,6 +54,90 @@ pub struct OnePassHeavyHitterConfig {
     pub hint_cap: usize,
 }
 
+impl OnePassHeavyHitterConfig {
+    /// Shape constructor with the default backend, default hint cap, and the
+    /// given pruning parameters.
+    ///
+    /// # Panics
+    /// Panics on degenerate dimensions; use [`try_new`](Self::try_new) for a
+    /// fallible constructor.
+    pub fn new(
+        rows: usize,
+        columns: usize,
+        candidates: usize,
+        epsilon: f64,
+        envelope_factor: f64,
+    ) -> Self {
+        Self::try_new(rows, columns, candidates, epsilon, envelope_factor)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects zero rows/columns/candidates, an
+    /// `epsilon` outside `(0, 1)`, and an envelope factor below 1 with a
+    /// typed [`CoreError`].
+    pub fn try_new(
+        rows: usize,
+        columns: usize,
+        candidates: usize,
+        epsilon: f64,
+        envelope_factor: f64,
+    ) -> Result<Self, CoreError> {
+        if rows == 0 {
+            return Err(invalid("rows", "need at least one row"));
+        }
+        if columns == 0 {
+            return Err(invalid("columns", "need at least one column"));
+        }
+        if candidates == 0 {
+            return Err(invalid("candidates", "need at least one candidate"));
+        }
+        if epsilon.is_nan() || epsilon <= 0.0 || epsilon >= 1.0 {
+            return Err(invalid("epsilon", "epsilon must be in (0,1)"));
+        }
+        if envelope_factor.is_nan() || envelope_factor < 1.0 {
+            return Err(invalid(
+                "envelope_factor",
+                "the envelope factor is at least 1",
+            ));
+        }
+        Ok(Self {
+            rows,
+            columns,
+            candidates,
+            epsilon,
+            envelope_factor,
+            backend: HashBackend::default(),
+            hint_cap: crate::config::DEFAULT_HINT_CAP,
+        })
+    }
+
+    /// Select the hash backend.
+    pub fn with_backend(mut self, backend: HashBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Set the reverse-hint cap.
+    ///
+    /// # Panics
+    /// Panics if `hint_cap == 0`; use
+    /// [`try_with_hint_cap`](Self::try_with_hint_cap) for a fallible setter.
+    pub fn with_hint_cap(self, hint_cap: usize) -> Self {
+        self.try_with_hint_cap(hint_cap)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible hint-cap setter: rejects a zero cap with a typed
+    /// [`CoreError`].
+    pub fn try_with_hint_cap(mut self, hint_cap: usize) -> Result<Self, CoreError> {
+        if hint_cap == 0 {
+            return Err(invalid("hint_cap", "hint cap must be at least 1"));
+        }
+        self.hint_cap = hint_cap;
+        Ok(self)
+    }
+}
+
 /// The Algorithm-2 heavy-hitter sketch for a function `g`.
 #[derive(Debug, Clone)]
 pub struct OnePassHeavyHitter<G> {
@@ -74,9 +160,8 @@ impl<G: GFunction> OnePassHeavyHitter<G> {
     /// Panics if the CountSketch or AMS dimensions or the hint cap are
     /// degenerate.
     pub fn new(g: G, config: OnePassHeavyHitterConfig, seed: u64) -> Self {
-        let cs_config = CountSketchConfig::new(config.rows, config.columns)
-            .expect("non-degenerate CountSketch dimensions")
-            .with_backend(config.backend);
+        let cs_config =
+            CountSketchConfig::new(config.rows, config.columns).with_backend(config.backend);
         let countsketch = CountSketch::new(cs_config, seed ^ 0x0c5e_7c11);
         // A fixed, modest AMS sketch: the F2 estimate only calibrates the
         // pruning tolerance, so ±25% accuracy is plenty.
@@ -145,8 +230,8 @@ impl<G: GFunction> OnePassHeavyHitter<G> {
 
     /// Whether `g` is stable (within relative `ε`) around the estimated
     /// frequency `v̂` under perturbations of size up to `error`.
-    fn is_stable(&self, v_hat: i64, error: f64) -> bool {
-        let base = self.g.eval_signed(v_hat);
+    fn is_stable<F: GFunction + ?Sized>(&self, g: &F, v_hat: i64, error: f64) -> bool {
+        let base = g.eval_signed(v_hat);
         if base <= 0.0 {
             // g(0) = 0 items contribute nothing; keep them out of the cover.
             return false;
@@ -163,12 +248,78 @@ impl<G: GFunction> OnePassHeavyHitter<G> {
         // including its endpoints (the worst case for monotone-ish g).
         let probes = [-err, -(err / 2).max(1), -1, 1, (err / 2).max(1), err];
         for &y in &probes {
-            let shifted = self.g.eval_signed(v_hat + y);
+            let shifted = g.eval_signed(v_hat + y);
             if (base - shifted).abs() > eps * shifted.max(base) {
                 return false;
             }
         }
         true
+    }
+
+    /// [`cover`](HeavyHitterSketch::cover) evaluated under an *external*
+    /// function instead of the wrapped one.
+    ///
+    /// The ingest path never touches `g` — the CountSketch, AMS sketch and
+    /// reverse hints are pure frequency structure — so one absorbed substream
+    /// can answer the heavy-hitter question for any function in `G`.  This is
+    /// the primitive the serving layer's multi-function registry builds on:
+    /// one shared substrate, K query-time functions.
+    pub fn cover_with<F: GFunction + ?Sized>(&self, g: &F, domain: u64) -> GCover {
+        // Candidate identification scans the observed support (the reverse
+        // hints) instead of the whole domain whenever the hint budget held;
+        // only the items that actually carry mass can be heavy, and
+        // `top_candidates` imposes a total order, so the selection is
+        // deterministic regardless of hint iteration order.  A saturated
+        // sketch falls back to the exhaustive domain scan.
+        let candidates = if self.hints.is_saturated() {
+            self.countsketch
+                .top_candidates(0..domain, self.config.candidates)
+        } else {
+            self.countsketch.top_candidates(
+                self.hints.iter().filter(|&item| item < domain),
+                self.config.candidates,
+            )
+        };
+        let error = self.residual_error_bound(&candidates);
+        let mut pairs = Vec::with_capacity(candidates.len());
+        for (item, estimate) in candidates {
+            let v_hat = estimate.round() as i64;
+            if v_hat == 0 {
+                continue;
+            }
+            if self.is_stable(g, v_hat, error) {
+                pairs.push((item, g.eval_signed(v_hat)));
+            }
+        }
+        GCover::from_pairs(pairs)
+    }
+
+    /// [`Checkpoint::save`] with the function-parameter bytes replaced by
+    /// `params`.
+    ///
+    /// The state bytes (counters, seeds, hints) are function-independent, so
+    /// substituting another function's [`FunctionCodec`] encoding yields
+    /// exactly the checkpoint a sketch *built with that function* would have
+    /// written after the same stream — the bit-exactness contract behind the
+    /// serving registry's per-function checkpoints.
+    pub fn save_with_params(
+        &self,
+        w: &mut impl Write,
+        params: &[u8],
+    ) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::ONE_PASS_HEAVY_HITTER)?;
+        checkpoint::write_u64(w, self.config.rows as u64)?;
+        checkpoint::write_u64(w, self.config.columns as u64)?;
+        checkpoint::write_u64(w, self.config.candidates as u64)?;
+        checkpoint::write_f64(w, self.config.epsilon)?;
+        checkpoint::write_f64(w, self.config.envelope_factor)?;
+        checkpoint::write_backend(w, self.config.backend)?;
+        checkpoint::write_u64(w, self.config.hint_cap as u64)?;
+        checkpoint::write_bytes(w, params)?;
+        self.countsketch.save(w)?;
+        self.ams.save(w)?;
+        self.hints.save_body(w)?;
+        Ok(())
     }
 }
 
@@ -215,33 +366,7 @@ impl<G: GFunction> MergeableSketch for OnePassHeavyHitter<G> {
 
 impl<G: GFunction> HeavyHitterSketch for OnePassHeavyHitter<G> {
     fn cover(&self, domain: u64) -> GCover {
-        // Candidate identification scans the observed support (the reverse
-        // hints) instead of the whole domain whenever the hint budget held;
-        // only the items that actually carry mass can be heavy, and
-        // `top_candidates` imposes a total order, so the selection is
-        // deterministic regardless of hint iteration order.  A saturated
-        // sketch falls back to the exhaustive domain scan.
-        let candidates = if self.hints.is_saturated() {
-            self.countsketch
-                .top_candidates(0..domain, self.config.candidates)
-        } else {
-            self.countsketch.top_candidates(
-                self.hints.iter().filter(|&item| item < domain),
-                self.config.candidates,
-            )
-        };
-        let error = self.residual_error_bound(&candidates);
-        let mut pairs = Vec::with_capacity(candidates.len());
-        for (item, estimate) in candidates {
-            let v_hat = estimate.round() as i64;
-            if v_hat == 0 {
-                continue;
-            }
-            if self.is_stable(v_hat, error) {
-                pairs.push((item, self.g.eval_signed(v_hat)));
-            }
-        }
-        GCover::from_pairs(pairs)
+        self.cover_with(&self.g, domain)
     }
 
     fn space_words(&self) -> usize {
@@ -254,19 +379,7 @@ impl<G: GFunction> HeavyHitterSketch for OnePassHeavyHitter<G> {
 /// [`FunctionCodec`] parameters, so restore is fully self-contained.
 impl<G: GFunction + FunctionCodec> Checkpoint for OnePassHeavyHitter<G> {
     fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
-        checkpoint::write_header(w, kind::ONE_PASS_HEAVY_HITTER)?;
-        checkpoint::write_u64(w, self.config.rows as u64)?;
-        checkpoint::write_u64(w, self.config.columns as u64)?;
-        checkpoint::write_u64(w, self.config.candidates as u64)?;
-        checkpoint::write_f64(w, self.config.epsilon)?;
-        checkpoint::write_f64(w, self.config.envelope_factor)?;
-        checkpoint::write_backend(w, self.config.backend)?;
-        checkpoint::write_u64(w, self.config.hint_cap as u64)?;
-        checkpoint::write_bytes(w, &self.g.encode_params())?;
-        self.countsketch.save(w)?;
-        self.ams.save(w)?;
-        self.hints.save_body(w)?;
-        Ok(())
+        self.save_with_params(w, &self.g.encode_params())
     }
 
     fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {

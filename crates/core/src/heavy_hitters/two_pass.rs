@@ -13,6 +13,8 @@
 //! drops out of the two-pass zero-one law (Theorem 3).
 
 use super::{GCover, HeavyHitterSketch};
+use crate::config::invalid;
+use crate::error::CoreError;
 use crate::hints::ReverseHints;
 use gsum_gfunc::{FunctionCodec, GFunction};
 use gsum_hash::HashBackend;
@@ -40,6 +42,64 @@ pub struct TwoPassHeavyHitterConfig {
     /// domain scan.  Defaults to [`crate::config::DEFAULT_HINT_CAP`] when
     /// derived from a [`crate::GSumConfig`].
     pub hint_cap: usize,
+}
+
+impl TwoPassHeavyHitterConfig {
+    /// Shape constructor with the default backend and hint cap.
+    ///
+    /// # Panics
+    /// Panics on degenerate dimensions; use [`try_new`](Self::try_new) for a
+    /// fallible constructor.
+    pub fn new(rows: usize, columns: usize, candidates: usize) -> Self {
+        Self::try_new(rows, columns, candidates).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects zero rows, columns, or candidates with
+    /// a typed [`CoreError`].
+    pub fn try_new(rows: usize, columns: usize, candidates: usize) -> Result<Self, CoreError> {
+        if rows == 0 {
+            return Err(invalid("rows", "need at least one row"));
+        }
+        if columns == 0 {
+            return Err(invalid("columns", "need at least one column"));
+        }
+        if candidates == 0 {
+            return Err(invalid("candidates", "need at least one candidate"));
+        }
+        Ok(Self {
+            rows,
+            columns,
+            candidates,
+            backend: HashBackend::default(),
+            hint_cap: crate::config::DEFAULT_HINT_CAP,
+        })
+    }
+
+    /// Select the hash backend.
+    pub fn with_backend(mut self, backend: HashBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Set the reverse-hint cap.
+    ///
+    /// # Panics
+    /// Panics if `hint_cap == 0`; use
+    /// [`try_with_hint_cap`](Self::try_with_hint_cap) for a fallible setter.
+    pub fn with_hint_cap(self, hint_cap: usize) -> Self {
+        self.try_with_hint_cap(hint_cap)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible hint-cap setter: rejects a zero cap with a typed
+    /// [`CoreError`].
+    pub fn try_with_hint_cap(mut self, hint_cap: usize) -> Result<Self, CoreError> {
+        if hint_cap == 0 {
+            return Err(invalid("hint_cap", "hint cap must be at least 1"));
+        }
+        self.hint_cap = hint_cap;
+        Ok(self)
+    }
 }
 
 /// Which pass the algorithm is currently in.
@@ -75,9 +135,8 @@ pub struct TwoPassHeavyHitter<G> {
 impl<G: GFunction> TwoPassHeavyHitter<G> {
     /// Create the algorithm.
     pub fn new(g: G, config: TwoPassHeavyHitterConfig, seed: u64) -> Self {
-        let cs_config = CountSketchConfig::new(config.rows, config.columns)
-            .expect("non-degenerate CountSketch dimensions")
-            .with_backend(config.backend);
+        let cs_config =
+            CountSketchConfig::new(config.rows, config.columns).with_backend(config.backend);
         let countsketch = CountSketch::new(cs_config, seed ^ 0x2da5_5e1f);
         Self::from_parts(
             g,

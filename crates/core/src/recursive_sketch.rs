@@ -190,6 +190,31 @@ impl<S: HeavyHitterSketch> RecursiveSketch<S> {
     pub fn space_words(&self) -> usize {
         self.levels.iter().map(|s| s.space_words()).sum::<usize>() + 4
     }
+
+    /// Write the recursive-sketch checkpoint frame (header, domain, seed,
+    /// level count) with each level serialized by `save_level` instead of
+    /// its own [`Checkpoint::save`].
+    ///
+    /// This is the substitution point the serving registry uses to emit
+    /// per-function checkpoints from one shared substrate: the frame and
+    /// level order are exactly what [`Checkpoint::save`] writes, so a
+    /// closure that saves each level with different function parameters
+    /// produces bytes indistinguishable from a sketch built with that
+    /// function.
+    pub fn save_levels_with<W: Write>(
+        &self,
+        w: &mut W,
+        mut save_level: impl FnMut(&S, &mut W) -> Result<(), CheckpointError>,
+    ) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, kind::RECURSIVE_SKETCH)?;
+        checkpoint::write_u64(w, self.domain)?;
+        checkpoint::write_u64(w, self.seed)?;
+        checkpoint::write_len(w, self.levels.len())?;
+        for level in &self.levels {
+            save_level(level, w)?;
+        }
+        Ok(())
+    }
 }
 
 impl<S: HeavyHitterSketch> StreamSink for RecursiveSketch<S> {
@@ -304,14 +329,7 @@ impl<S: HeavyHitterSketch + MergeableSketch> MergeableSketch for RecursiveSketch
 /// domain, the seed and the nested per-level checkpoints.
 impl<S: HeavyHitterSketch + Checkpoint> Checkpoint for RecursiveSketch<S> {
     fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
-        checkpoint::write_header(w, kind::RECURSIVE_SKETCH)?;
-        checkpoint::write_u64(w, self.domain)?;
-        checkpoint::write_u64(w, self.seed)?;
-        checkpoint::write_len(w, self.levels.len())?;
-        for level in &self.levels {
-            level.save(w)?;
-        }
-        Ok(())
+        self.save_levels_with(w, |level, w| level.save(w))
     }
 
     fn restore(r: &mut impl Read) -> Result<Self, CheckpointError> {

@@ -1,0 +1,245 @@
+//! Runtime-chosen functions: [`DynG`] and the [`DynFunction`] object trait.
+//!
+//! The estimators in `gsum-core` are monomorphized over their `G`, which is
+//! the right default — a `PowerFunction` call inlines to a `powf`.  A
+//! *serving* process, though, hosts a catalog of functions chosen at runtime
+//! (`EST <function>` against a registry), and a catalog cannot be a type
+//! parameter.  This module provides the dynamic counterpart:
+//!
+//! * [`DynFunction`] — an object-safe extension of [`GFunction`] that also
+//!   carries the function's *wire identity*: a stable `u16` kind tag plus the
+//!   [`FunctionCodec`] parameter bytes.  Every concrete library type
+//!   implements it.
+//! * [`decode_function`] — the tag dispatcher rebuilding a boxed function
+//!   from `(tag, params)`, the same constructor path fresh construction uses.
+//! * [`DynG`] — a cloneable newtype over `Box<dyn DynFunction>` implementing
+//!   both [`GFunction`] and [`FunctionCodec`] (encoding = tag then params),
+//!   so `OnePassGSumSketch<DynG>` satisfies every bound the serving layer
+//!   needs while the function stays a runtime value.
+//!
+//! Tags are append-only: a tag, once assigned, keeps its meaning forever so
+//! checkpoints written by one build decode in the next.
+
+use crate::library::{
+    BoundedOscillation, CappedLinear, ExpSqrtLogFunction, ExponentialFunction, GnpFunction,
+    HigherOrderEncoded, InverseLogFunction, InversePowerFunction, OscillatingQuadratic,
+    PoissonMixtureNll, PolylogFunction, PowerFunction, SpamDiscountUtility,
+    SubpolyModulatedQuadratic,
+};
+use crate::traits::{FunctionCodec, GFunction};
+
+/// An object-safe [`GFunction`] with a wire identity.
+///
+/// Where [`FunctionCodec`] is a static contract (`decode_params` returns
+/// `Self`, so the caller must already know the type), `DynFunction` makes the
+/// type itself part of the encoding: [`kind_tag`](Self::kind_tag) names the
+/// concrete function and [`params`](Self::params) carries its
+/// `FunctionCodec` bytes.  [`decode_function`] inverts the pair.
+pub trait DynFunction: GFunction + Send + Sync {
+    /// The stable wire tag identifying the concrete function type.
+    fn kind_tag(&self) -> u16;
+
+    /// The function's [`FunctionCodec`] parameter bytes.
+    fn params(&self) -> Vec<u8>;
+
+    /// Clone behind the object.
+    fn clone_dyn(&self) -> Box<dyn DynFunction>;
+}
+
+macro_rules! impl_dyn_function {
+    ($($tag:literal => $ty:ty,)+) => {
+        $(
+            impl DynFunction for $ty {
+                fn kind_tag(&self) -> u16 {
+                    $tag
+                }
+                fn params(&self) -> Vec<u8> {
+                    FunctionCodec::encode_params(self)
+                }
+                fn clone_dyn(&self) -> Box<dyn DynFunction> {
+                    Box::new(self.clone())
+                }
+            }
+        )+
+
+        /// Rebuild a boxed function from its wire identity.
+        ///
+        /// Returns `None` for an unknown tag or parameter bytes the type's
+        /// [`FunctionCodec::decode_params`] rejects.
+        pub fn decode_function(tag: u16, params: &[u8]) -> Option<Box<dyn DynFunction>> {
+            match tag {
+                $(
+                    $tag => <$ty as FunctionCodec>::decode_params(params)
+                        .map(|g| Box::new(g) as Box<dyn DynFunction>),
+                )+
+                _ => None,
+            }
+        }
+    };
+}
+
+// Append-only: never renumber, never reuse a tag.
+impl_dyn_function! {
+    1 => PowerFunction,
+    2 => InversePowerFunction,
+    3 => PolylogFunction,
+    4 => ExponentialFunction,
+    5 => InverseLogFunction,
+    6 => SubpolyModulatedQuadratic,
+    7 => ExpSqrtLogFunction,
+    8 => OscillatingQuadratic,
+    9 => BoundedOscillation,
+    10 => GnpFunction,
+    11 => PoissonMixtureNll,
+    12 => SpamDiscountUtility,
+    13 => CappedLinear,
+    14 => HigherOrderEncoded,
+}
+
+/// A runtime-chosen `G`: a cloneable, checkpointable box over any
+/// [`DynFunction`].
+///
+/// `DynG` is what the multi-function serving layer parameterizes its
+/// substrate sketches with: it implements [`GFunction`] by delegation and
+/// [`FunctionCodec`] by prefixing the inner function's parameters with its
+/// kind tag, so `OnePassGSumSketch<DynG>` checkpoints are self-describing —
+/// restore rebuilds the right concrete function through
+/// [`decode_function`].
+pub struct DynG(Box<dyn DynFunction>);
+
+impl DynG {
+    /// Wrap a concrete library function.
+    pub fn new(g: impl DynFunction + 'static) -> Self {
+        Self(Box::new(g))
+    }
+
+    /// Wrap an already-boxed function.
+    pub fn from_boxed(g: Box<dyn DynFunction>) -> Self {
+        Self(g)
+    }
+
+    /// The wrapped function's wire tag.
+    pub fn kind_tag(&self) -> u16 {
+        self.0.kind_tag()
+    }
+}
+
+impl Clone for DynG {
+    fn clone(&self) -> Self {
+        Self(self.0.clone_dyn())
+    }
+}
+
+impl std::fmt::Debug for DynG {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DynG({})", self.0.name())
+    }
+}
+
+impl GFunction for DynG {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn eval(&self, x: u64) -> f64 {
+        self.0.eval(x)
+    }
+    fn eval_signed(&self, v: i64) -> f64 {
+        self.0.eval_signed(v)
+    }
+    fn is_in_class_g(&self, probe_limit: u64) -> bool {
+        self.0.is_in_class_g(probe_limit)
+    }
+}
+
+impl FunctionCodec for DynG {
+    fn encode_params(&self) -> Vec<u8> {
+        let mut out = self.kind_tag().to_le_bytes().to_vec();
+        out.extend(self.0.params());
+        out
+    }
+    fn decode_params(bytes: &[u8]) -> Option<Self> {
+        let (tag, params) = (bytes.first_chunk::<2>()?, &bytes[2..]);
+        decode_function(u16::from_le_bytes(*tag), params).map(Self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Vec<DynG> {
+        vec![
+            DynG::new(PowerFunction::new(2.0)),
+            DynG::new(PowerFunction::new(0.5)),
+            DynG::new(InversePowerFunction::new(1.0)),
+            DynG::new(PolylogFunction::new(2.0)),
+            DynG::new(ExponentialFunction),
+            DynG::new(InverseLogFunction),
+            DynG::new(SubpolyModulatedQuadratic),
+            DynG::new(ExpSqrtLogFunction),
+            DynG::new(OscillatingQuadratic::sqrt()),
+            DynG::new(BoundedOscillation),
+            DynG::new(GnpFunction::new()),
+            DynG::new(PoissonMixtureNll::new(0.5, 0.5, 6.0)),
+            DynG::new(SpamDiscountUtility::new(100)),
+            DynG::new(CappedLinear::new(100)),
+            DynG::new(HigherOrderEncoded::new(8, 3)),
+        ]
+    }
+
+    #[test]
+    fn every_library_function_roundtrips_through_its_wire_identity() {
+        for g in catalog() {
+            let bytes = g.encode_params();
+            let back = DynG::decode_params(&bytes).expect("decode");
+            assert_eq!(back.name(), g.name());
+            assert_eq!(back.kind_tag(), g.kind_tag());
+            for x in [0u64, 1, 2, 17, 1 << 20] {
+                assert_eq!(back.eval(x).to_bits(), g.eval(x).to_bits(), "{}", g.name());
+            }
+        }
+    }
+
+    #[test]
+    fn tags_are_unique_across_the_catalog() {
+        let mut tags: Vec<u16> = catalog().iter().map(DynG::kind_tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 15 - 1, "one duplicate type (PowerFunction x2)");
+    }
+
+    #[test]
+    fn evaluation_matches_the_monomorphic_function_bit_for_bit() {
+        let mono = SpamDiscountUtility::new(100);
+        let dynamic = DynG::new(mono);
+        for v in [-1_000_000i64, -3, 0, 1, 99, 100, 101, 1 << 40] {
+            assert_eq!(
+                dynamic.eval_signed(v).to_bits(),
+                mono.eval_signed(v).to_bits()
+            );
+        }
+        assert_eq!(dynamic.name(), mono.name());
+        assert!(dynamic.is_in_class_g(1 << 16));
+    }
+
+    #[test]
+    fn malformed_wire_identities_are_rejected() {
+        assert!(DynG::decode_params(&[]).is_none(), "no tag");
+        assert!(DynG::decode_params(&[1]).is_none(), "truncated tag");
+        assert!(DynG::decode_params(&[0xff, 0xff]).is_none(), "unknown tag");
+        // PowerFunction with truncated parameter bytes.
+        assert!(DynG::decode_params(&[1, 0, 1, 2, 3]).is_none());
+        // A rejected parameter value (negative exponent).
+        let mut bytes = 1u16.to_le_bytes().to_vec();
+        bytes.extend((-1.0f64).to_bits().to_le_bytes());
+        assert!(DynG::decode_params(&bytes).is_none());
+    }
+
+    #[test]
+    fn clones_are_independent_but_identical() {
+        let g = DynG::new(PowerFunction::new(1.5));
+        let clone = g.clone();
+        assert_eq!(clone.encode_params(), g.encode_params());
+        assert_eq!(format!("{clone:?}"), "DynG(x^1.5)");
+    }
+}

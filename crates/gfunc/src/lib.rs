@@ -30,6 +30,9 @@
 //!   extension).
 //! * [`library`] — ~30 named functions: every worked example in the paper
 //!   plus the application functions of §1.1.
+//! * [`dynamic`] — runtime-chosen functions: the object-safe [`DynFunction`]
+//!   wire identity and the [`DynG`] box the serving layer's multi-function
+//!   registry is parameterized with.
 //! * [`properties`] — empirical analyzers for the three properties and the
 //!   nearly-periodic conditions, returning witnesses when a property fails.
 //! * [`classify`](mod@classify) — the zero-one-law classifier assembling the analyzer
@@ -39,12 +42,14 @@
 //!   experiment E1.
 
 pub mod classify;
+pub mod dynamic;
 pub mod library;
 pub mod properties;
 pub mod registry;
 pub mod traits;
 
 pub use classify::{classify, OnePassVerdict, TractabilityReport, TwoPassVerdict};
+pub use dynamic::{decode_function, DynFunction, DynG};
 pub use properties::PropertyConfig;
 pub use registry::{FunctionRegistry, GroundTruth, RegisteredFunction};
 pub use traits::{FunctionCodec, GFunction, LEta, NormalizedG, ScaledG};

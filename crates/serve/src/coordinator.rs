@@ -160,9 +160,21 @@ impl<S: ServableSketch> MergeCoordinator<S> {
         self.crashed.load(Ordering::SeqCst)
     }
 
-    /// The current g-SUM estimate of the serving state.
+    /// The current g-SUM estimate of the serving state (the default
+    /// function).
     pub fn estimate(&self) -> f64 {
         self.lock().sketch.estimate()
+    }
+
+    /// The estimate under a named registered function, or `None` for an
+    /// unknown name (see [`ServableSketch::estimate_named`]).
+    pub fn estimate_named(&self, name: &str) -> Option<f64> {
+        self.lock().sketch.estimate_named(name)
+    }
+
+    /// The function names the serving state answers for, default first.
+    pub fn function_names(&self) -> Vec<String> {
+        self.lock().sketch.function_names()
     }
 
     /// Updates durably merged so far.

@@ -26,8 +26,19 @@
 //!
 //! * [`GsumServer`] / [`ServeConfig`] — the TCP serving loop: reactor-
 //!   multiplexed framed ingest over a bounded worker pool,
-//!   `EST`/`COUNT`/`QUIT` point queries, `BUSY` load shedding past the
-//!   connection cap, clean shutdown with a final snapshot.
+//!   `EST`/`EST <function>`/`FUNCS`/`COUNT`/`QUIT` point queries, `BUSY`
+//!   load shedding past the connection cap, clean shutdown with a final
+//!   snapshot.
+//! * [`ServableSubstrate`] / [`ServableSketch`] — the served-state
+//!   contract, split along the ingest/query seam: the substrate half is
+//!   everything fan-in needs (push, merge, checkpoint — never a G
+//!   evaluation), the sketch half answers named estimate queries.
+//! * [`SketchRegistry`] — many named G functions served from one ingest
+//!   path: estimators registered with an identical configuration share
+//!   one substrate sketch, every decoded batch is routed to each
+//!   substrate exactly once, and per-function estimates and checkpoint
+//!   bytes are bit-identical to single-function replays
+//!   (`tests/serve_registry.rs` proptests this over real sockets).
 //! * [`ServeEvent`] / [`ServeConfig::with_observer`] — structured
 //!   serving-loop telemetry (sheds, timeouts, stream failures) through a
 //!   pluggable callback instead of stderr.
@@ -53,6 +64,7 @@ pub mod observer;
 pub mod policy;
 pub mod protocol;
 mod reactor;
+pub mod registry;
 pub mod server;
 
 pub use checkpoint_envelope::{CheckpointEnvelope, ENVELOPE_MAGIC, ENVELOPE_VERSION};
@@ -61,26 +73,64 @@ pub use error::{ServeConfigError, ServeError};
 pub use observer::{ServeEvent, ServeObserver};
 pub use policy::ServePolicy;
 pub use protocol::{Command, ProtocolError, Response};
+pub use registry::{RegistryError, SketchRegistry};
 pub use server::{GsumServer, ServeConfig, ServeSummary};
 
 use gsum_core::OnePassGSumSketch;
 use gsum_gfunc::{FunctionCodec, GFunction};
 use gsum_streams::{Checkpoint, MergeableSketch, StreamSink};
 
-/// A sketch a [`GsumServer`] can serve: push-ingestible, linear (mergeable
-/// across per-client clones), checkpointable (for durable snapshots and
-/// parked-state fan-in), and queryable for a scalar estimate.
+/// The ingest-facing half of a servable state: push-ingestible, linear
+/// (mergeable across per-client clones), and checkpointable (for durable
+/// snapshots and parked-state fan-in).
 ///
-/// Implemented for [`OnePassGSumSketch`] out of the box; any long-lived
-/// estimator state satisfying the bounds can implement it and be served
-/// unchanged.
-pub trait ServableSketch: StreamSink + MergeableSketch + Checkpoint + Clone + Send + Sync {
-    /// The current estimate of the absorbed prefix.
-    fn estimate(&self) -> f64;
-
-    /// The domain size the sketch serves; incoming wire streams must
+/// This is everything the fan-in machinery — the reactor's shards, the
+/// [`MergeCoordinator`]'s folds, the [`CheckpointEnvelope`] snapshots —
+/// needs; none of it ever evaluates a G function.  Query-facing estimation
+/// lives in the [`ServableSketch`] extension.
+pub trait ServableSubstrate:
+    StreamSink + MergeableSketch + Checkpoint + Clone + Send + Sync
+{
+    /// The domain size the state serves; incoming wire streams must
     /// declare exactly this domain (validated at header decode).
     fn domain(&self) -> u64;
+}
+
+/// The query-facing half: a [`ServableSubstrate`] that answers estimate
+/// queries for one or more named G functions.
+///
+/// Implemented for [`OnePassGSumSketch`] (one function) and
+/// [`SketchRegistry`] (any number of registered functions over shared
+/// substrates) out of the box; any long-lived estimator state satisfying
+/// the bounds can implement it and be served unchanged.
+pub trait ServableSketch: ServableSubstrate {
+    /// The default estimate of the absorbed prefix (the first — for a
+    /// single-function sketch, the only — registered function).
+    fn estimate(&self) -> f64;
+
+    /// The estimate under the named function, or `None` if no estimator
+    /// with that name is registered.  The default answers exactly the
+    /// names in [`function_names`](Self::function_names) with the default
+    /// estimate — correct for any single-function state.
+    fn estimate_named(&self, name: &str) -> Option<f64> {
+        self.function_names()
+            .iter()
+            .any(|n| n == name)
+            .then(|| self.estimate())
+    }
+
+    /// The names this state answers [`estimate_named`](Self::estimate_named)
+    /// for, default first.  This is what the `FUNCS` protocol reply lists.
+    fn function_names(&self) -> Vec<String>;
+}
+
+impl<G> ServableSubstrate for OnePassGSumSketch<G>
+where
+    G: GFunction + Clone + FunctionCodec + Send + Sync,
+{
+    fn domain(&self) -> u64 {
+        OnePassGSumSketch::domain(self)
+    }
 }
 
 impl<G> ServableSketch for OnePassGSumSketch<G>
@@ -91,7 +141,7 @@ where
         OnePassGSumSketch::estimate(self)
     }
 
-    fn domain(&self) -> u64 {
-        OnePassGSumSketch::domain(self)
+    fn function_names(&self) -> Vec<String> {
+        vec![self.function().name()]
     }
 }

@@ -5,27 +5,44 @@
 //! the command/response grammar — parsing and formatting live in one
 //! place, unit-tested, instead of being scattered through a serving loop:
 //!
-//! | client sends | server replies                                         |
-//! |--------------|--------------------------------------------------------|
-//! | `EST\n`      | `EST <f64-bits> <estimate>\n`                          |
-//! | `COUNT\n`    | `COUNT <durable-count>\n`                              |
-//! | `QUIT\n`     | `BYE\n`, then the server shuts down cleanly            |
+//! | client sends        | server replies                                  |
+//! |---------------------|-------------------------------------------------|
+//! | `EST\n`             | `EST <f64-bits> <estimate>\n` (default function)|
+//! | `EST <function>\n`  | `EST <f64-bits> <estimate>\n` for that function |
+//! | `FUNCS\n`           | `FUNCS <name>\|<name>\|…\n`                     |
+//! | `COUNT\n`           | `COUNT <durable-count>\n`                       |
+//! | `QUIT\n`            | `BYE\n`, then the server shuts down cleanly     |
 //!
-//! A completed ingest stream is acknowledged with `OK <durable-count>\n`;
-//! protocol violations are answered with `ERR <reason>\n`.  A connection
-//! refused by load shedding (the server is at its `max_connections` cap)
-//! receives `BUSY <max-connections>\n` and is closed — a typed refusal the
-//! client can retry on, never a hung accept queue.  The estimate reply
-//! carries both the exact bit pattern (`f64::to_bits`, the form the
-//! bit-exactness proofs compare) and the human-readable value.
+//! The `EST` argument is the rest of the line (function names such as
+//! `min(x, 100)` contain spaces), and the `FUNCS` reply separates names
+//! with `|` for the same reason.  A completed ingest stream is
+//! acknowledged with `OK <durable-count>\n`; protocol violations are
+//! answered with `ERR <reason>\n`.  A connection refused by load shedding
+//! (the server is at its `max_connections` cap) receives
+//! `BUSY <max-connections>\n` and is closed — a typed refusal the client
+//! can retry on, never a hung accept queue.  The estimate reply carries
+//! both the exact bit pattern (`f64::to_bits`, the form the bit-exactness
+//! proofs compare) and the human-readable value.
 
 use std::fmt;
 
+/// Separator used in the `FUNCS` reply: function names contain spaces and
+/// commas (`min(x, 100)`), so neither can delimit the list.
+pub const FUNCS_SEPARATOR: char = '|';
+
 /// A parsed client command line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    /// Query the current g-SUM estimate of the serving state.
-    Est,
+    /// Query the current g-SUM estimate of the serving state.  `function`
+    /// selects a registered estimator by name; `None` asks for the
+    /// server's default function.
+    Est {
+        /// Registered function name (the rest of the command line), or
+        /// `None` for the default estimator.
+        function: Option<String>,
+    },
+    /// List the registered function names (first = default).
+    Funcs,
     /// Query the durable update count (the offset-replay contract: after a
     /// crash, an offset-replay client resends its stream from here).
     Count,
@@ -33,11 +50,33 @@ pub enum Command {
     Quit,
 }
 
+impl Command {
+    /// `EST` with the default function — the pre-registry query form.
+    pub fn est() -> Self {
+        Command::Est { function: None }
+    }
+
+    /// `EST <function>` for a named estimator.
+    pub fn est_named(function: impl Into<String>) -> Self {
+        Command::Est {
+            function: Some(function.into()),
+        }
+    }
+}
+
 /// A protocol violation: a command or response line that does not parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProtocolError {
-    /// The command line is not one of `EST` / `COUNT` / `QUIT`.
+    /// The command verb is not one of `EST` / `FUNCS` / `COUNT` / `QUIT`.
     UnknownCommand(String),
+    /// The verb is known but its argument list is wrong (e.g. `COUNT 5`:
+    /// `COUNT` takes no arguments).
+    BadArguments {
+        /// The recognized command verb.
+        verb: &'static str,
+        /// The offending argument text.
+        arguments: String,
+    },
     /// A response line does not match the reply grammar.
     MalformedResponse(String),
 }
@@ -46,6 +85,9 @@ impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProtocolError::UnknownCommand(line) => write!(f, "unknown command {line:?}"),
+            ProtocolError::BadArguments { verb, arguments } => {
+                write!(f, "bad arguments for {verb}: {arguments:?}")
+            }
             ProtocolError::MalformedResponse(line) => write!(f, "malformed response {line:?}"),
         }
     }
@@ -55,29 +97,48 @@ impl std::error::Error for ProtocolError {}
 
 impl Command {
     /// Parse a command line (surrounding whitespace and the trailing
-    /// newline are ignored).
+    /// newline are ignored).  Everything after `EST ` is the function
+    /// name, verbatim — names like `min(x, 100)` contain spaces.
     pub fn parse(line: &str) -> Result<Self, ProtocolError> {
-        match line.trim() {
-            "EST" => Ok(Command::Est),
-            "COUNT" => Ok(Command::Count),
-            "QUIT" => Ok(Command::Quit),
-            other => Err(ProtocolError::UnknownCommand(other.to_string())),
-        }
-    }
-
-    /// The wire form of the command (no trailing newline).
-    pub fn as_str(&self) -> &'static str {
-        match self {
-            Command::Est => "EST",
-            Command::Count => "COUNT",
-            Command::Quit => "QUIT",
+        let trimmed = line.trim();
+        let (verb, rest) = match trimmed.split_once(char::is_whitespace) {
+            Some((verb, rest)) => (verb, rest.trim()),
+            None => (trimmed, ""),
+        };
+        let no_arguments = |verb: &'static str, cmd: Command| {
+            if rest.is_empty() {
+                Ok(cmd)
+            } else {
+                Err(ProtocolError::BadArguments {
+                    verb,
+                    arguments: rest.to_string(),
+                })
+            }
+        };
+        match verb {
+            "EST" => Ok(Command::Est {
+                function: (!rest.is_empty()).then(|| rest.to_string()),
+            }),
+            "FUNCS" => no_arguments("FUNCS", Command::Funcs),
+            "COUNT" => no_arguments("COUNT", Command::Count),
+            "QUIT" => no_arguments("QUIT", Command::Quit),
+            _ => Err(ProtocolError::UnknownCommand(trimmed.to_string())),
         }
     }
 }
 
 impl fmt::Display for Command {
+    /// The wire form of the command (no trailing newline).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.as_str())
+        match self {
+            Command::Est { function: None } => f.write_str("EST"),
+            Command::Est {
+                function: Some(name),
+            } => write!(f, "EST {name}"),
+            Command::Funcs => f.write_str("FUNCS"),
+            Command::Count => f.write_str("COUNT"),
+            Command::Quit => f.write_str("QUIT"),
+        }
     }
 }
 
@@ -90,6 +151,9 @@ pub enum Response {
         /// assertions compare.
         bits: u64,
     },
+    /// `FUNCS <name>|<name>|…` — the registered function names, default
+    /// first.
+    Funcs(Vec<String>),
     /// `COUNT <durable>` — the durable update count.
     Count(u64),
     /// `OK <durable>` — a framed stream was ingested through its
@@ -121,8 +185,16 @@ impl Response {
         if trimmed == "BYE" {
             return Ok(Response::Bye);
         }
+        if trimmed == "FUNCS" {
+            return Ok(Response::Funcs(Vec::new()));
+        }
         if let Some(reason) = trimmed.strip_prefix("ERR ") {
             return Ok(Response::Err(reason.to_string()));
+        }
+        if let Some(rest) = trimmed.strip_prefix("FUNCS ") {
+            return Ok(Response::Funcs(
+                rest.split(FUNCS_SEPARATOR).map(str::to_string).collect(),
+            ));
         }
         if let Some(rest) = trimmed.strip_prefix("EST ") {
             let bits = rest
@@ -151,6 +223,14 @@ impl fmt::Display for Response {
             Response::Est { bits } => {
                 write!(f, "EST {bits} {}", f64::from_bits(*bits))
             }
+            Response::Funcs(names) => {
+                f.write_str("FUNCS")?;
+                for (i, name) in names.iter().enumerate() {
+                    let sep = if i == 0 { ' ' } else { FUNCS_SEPARATOR };
+                    write!(f, "{sep}{name}")?;
+                }
+                Ok(())
+            }
             Response::Count(n) => write!(f, "COUNT {n}"),
             Response::Ok(n) => write!(f, "OK {n}"),
             Response::Bye => f.write_str("BYE"),
@@ -166,18 +246,39 @@ mod tests {
 
     #[test]
     fn commands_parse_with_whitespace_tolerance() {
-        assert_eq!(Command::parse("EST\n"), Ok(Command::Est));
+        assert_eq!(Command::parse("EST\n"), Ok(Command::est()));
         assert_eq!(Command::parse("  COUNT  "), Ok(Command::Count));
         assert_eq!(Command::parse("QUIT"), Ok(Command::Quit));
-        for c in [Command::Est, Command::Count, Command::Quit] {
-            assert_eq!(Command::parse(c.as_str()), Ok(c));
+        assert_eq!(Command::parse("FUNCS\n"), Ok(Command::Funcs));
+        for c in [
+            Command::est(),
+            Command::est_named("x^2"),
+            Command::est_named("min(x, 100)"),
+            Command::Funcs,
+            Command::Count,
+            Command::Quit,
+        ] {
             assert_eq!(Command::parse(&c.to_string()), Ok(c));
         }
     }
 
     #[test]
+    fn est_takes_the_rest_of_the_line_as_the_function_name() {
+        assert_eq!(Command::parse("EST x^2"), Ok(Command::est_named("x^2")));
+        assert_eq!(
+            Command::parse("EST min(x, 100)\n"),
+            Ok(Command::est_named("min(x, 100)")),
+        );
+        // Interior whitespace is preserved; surrounding whitespace is not.
+        assert_eq!(
+            Command::parse("  EST   (2+sin x)x^2  "),
+            Ok(Command::est_named("(2+sin x)x^2")),
+        );
+    }
+
+    #[test]
     fn unknown_commands_are_typed_errors() {
-        for bad in ["", "est", "STOP", "EST now", "COUNTER"] {
+        for bad in ["", "est", "STOP", "COUNTER", "FUNC"] {
             assert!(
                 matches!(Command::parse(bad), Err(ProtocolError::UnknownCommand(_))),
                 "{bad:?} must not parse"
@@ -189,18 +290,43 @@ mod tests {
     }
 
     #[test]
+    fn known_verbs_with_stray_arguments_are_bad_arguments() {
+        for (line, verb) in [
+            ("COUNT 5", "COUNT"),
+            ("QUIT now", "QUIT"),
+            ("FUNCS all", "FUNCS"),
+        ] {
+            match Command::parse(line) {
+                Err(ProtocolError::BadArguments { verb: v, .. }) => assert_eq!(v, verb),
+                other => panic!("{line:?} parsed to {other:?}"),
+            }
+        }
+        let err = Command::parse("COUNT 5").unwrap_err();
+        assert!(err.to_string().contains("COUNT"));
+        assert!(err.to_string().contains('5'));
+        // ...and they are distinct from unknown verbs.
+        assert!(matches!(
+            Command::parse("STOP 5"),
+            Err(ProtocolError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
     fn responses_roundtrip_through_their_wire_form() {
         let est = Response::Est {
             bits: 4_611_686_018_427_387_904, // 2.0
         };
         let cases = [
             est.clone(),
+            Response::Funcs(vec!["x^2".into()]),
+            Response::Funcs(vec!["x^2".into(), "min(x, 100)".into(), "ln(1+x)".into()]),
             Response::Count(0),
             Response::Count(u64::MAX),
             Response::Ok(9_000),
             Response::Bye,
             Response::Busy(64),
             Response::Err("stream declares domain 8 but the receiver serves domain 64".into()),
+            Response::Err("unknown function \"x^9\"".into()),
         ];
         for case in cases {
             let line = case.to_string();
@@ -209,6 +335,19 @@ mod tests {
         }
         assert_eq!(est.estimate(), Some(2.0));
         assert_eq!(Response::Bye.estimate(), None);
+    }
+
+    #[test]
+    fn funcs_reply_survives_names_with_spaces_and_commas() {
+        let names = vec![
+            "min(x, 100)".to_string(),
+            "(2+sin x)x^2".to_string(),
+            "x^2".to_string(),
+        ];
+        let reply = Response::Funcs(names.clone());
+        assert_eq!(reply.to_string(), "FUNCS min(x, 100)|(2+sin x)x^2|x^2");
+        assert_eq!(Response::parse(&reply.to_string()), Ok(reply));
+        assert_eq!(Response::parse("FUNCS"), Ok(Response::Funcs(Vec::new())));
     }
 
     #[test]

@@ -759,10 +759,33 @@ impl<S: ServableSketch> Reactor<'_, S> {
     /// from its single serving sketch.
     fn handle_command(&mut self, conn: &mut Conn, line: &str) -> Result<(), ServeError> {
         match Command::parse(line) {
-            Ok(Command::Est) => {
+            Ok(Command::Est { function }) => {
                 self.flush_serving_state()?;
-                let bits = self.coordinator.estimate().to_bits();
-                self.reply(conn, &Response::Est { bits });
+                let estimate = match &function {
+                    None => Some(self.coordinator.estimate()),
+                    Some(name) => self.coordinator.estimate_named(name),
+                };
+                match estimate {
+                    Some(value) => self.reply(
+                        conn,
+                        &Response::Est {
+                            bits: value.to_bits(),
+                        },
+                    ),
+                    None => {
+                        // A well-formed query for a function the registry
+                        // does not hold: a typed refusal, but the line
+                        // framing is intact — the connection stays usable
+                        // (`FUNCS` tells the client what is registered).
+                        let name = function.expect("bare EST always answers");
+                        self.reply(conn, &Response::Err(format!("unknown function {name:?}")));
+                    }
+                }
+            }
+            Ok(Command::Funcs) => {
+                // Names are registration-time configuration, not absorbed
+                // state: no shard flush needed.
+                self.reply(conn, &Response::Funcs(self.coordinator.function_names()));
             }
             Ok(Command::Count) => {
                 self.flush_serving_state()?;

@@ -286,9 +286,21 @@ impl<S: ServableSketch> GsumServer<S> {
         self.coordinator.durable_count()
     }
 
-    /// The current estimate of the serving state.
+    /// The current estimate of the serving state (the default function).
     pub fn estimate(&self) -> f64 {
         self.coordinator.estimate()
+    }
+
+    /// The estimate under a named registered function, or `None` for an
+    /// unknown name — what an `EST <function>` query answers.
+    pub fn estimate_named(&self, name: &str) -> Option<f64> {
+        self.coordinator.estimate_named(name)
+    }
+
+    /// The function names the serving state answers for, default first —
+    /// what a `FUNCS` query lists.
+    pub fn function_names(&self) -> Vec<String> {
+        self.coordinator.function_names()
     }
 
     /// The coordinator, for direct (non-TCP) fan-in: folding

@@ -42,7 +42,17 @@ pub struct CountMinConfig {
 impl CountMinConfig {
     /// Direct `(rows, columns)` configuration with the default
     /// ([`HashBackend::Polynomial`]) backend.
-    pub fn new(rows: usize, columns: usize) -> Result<Self, SketchError> {
+    ///
+    /// # Panics
+    /// Panics if `rows == 0` or `columns == 0`; use
+    /// [`try_new`](Self::try_new) for a fallible constructor.
+    pub fn new(rows: usize, columns: usize) -> Self {
+        Self::try_new(rows, columns).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects zero rows or columns with a typed
+    /// [`SketchError`].
+    pub fn try_new(rows: usize, columns: usize) -> Result<Self, SketchError> {
         if rows == 0 {
             return Err(SketchError::EmptyDimension { parameter: "rows" });
         }
@@ -98,8 +108,21 @@ impl CountMinSketch {
 
     /// Create a Count-Min sketch with the given shape and the default
     /// polynomial backend.
-    pub fn new(rows: usize, columns: usize, seed: u64) -> Result<Self, SketchError> {
-        Ok(Self::with_config(CountMinConfig::new(rows, columns)?, seed))
+    ///
+    /// # Panics
+    /// Panics if `rows == 0` or `columns == 0`; use
+    /// [`try_new`](Self::try_new) for a fallible constructor.
+    pub fn new(rows: usize, columns: usize, seed: u64) -> Self {
+        Self::try_new(rows, columns, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects zero rows or columns with a typed
+    /// [`SketchError`].
+    pub fn try_new(rows: usize, columns: usize, seed: u64) -> Result<Self, SketchError> {
+        Ok(Self::with_config(
+            CountMinConfig::try_new(rows, columns)?,
+            seed,
+        ))
     }
 
     /// The configuration this sketch was built with.
@@ -124,7 +147,7 @@ impl CountMinSketch {
         }
         let columns = (std::f64::consts::E / epsilon).ceil() as usize;
         let rows = (1.0 / delta).ln().ceil().max(1.0) as usize;
-        Self::new(rows, columns, seed)
+        Self::try_new(rows, columns, seed)
     }
 
     #[inline]
@@ -243,7 +266,7 @@ impl Checkpoint for CountMinSketch {
         let columns = checkpoint::read_len(r)?;
         let backend = checkpoint::read_backend(r)?;
         let seed = checkpoint::read_u64(r)?;
-        let config = CountMinConfig::new(rows, columns)
+        let config = CountMinConfig::try_new(rows, columns)
             .map_err(|e| CheckpointError::Corrupt(e.to_string()))?
             .with_backend(backend);
         let cells = rows
@@ -277,8 +300,8 @@ mod tests {
 
     #[test]
     fn construction_validation() {
-        assert!(CountMinSketch::new(0, 4, 0).is_err());
-        assert!(CountMinSketch::new(4, 0, 0).is_err());
+        assert!(CountMinSketch::try_new(0, 4, 0).is_err());
+        assert!(CountMinSketch::try_new(4, 0, 0).is_err());
         assert!(CountMinSketch::with_guarantee(0.0, 0.1, 0).is_err());
         assert!(CountMinSketch::with_guarantee(0.1, 0.0, 0).is_err());
         let cm = CountMinSketch::with_guarantee(0.01, 0.05, 0).unwrap();
@@ -290,7 +313,7 @@ mod tests {
     fn never_underestimates_on_insertion_only_streams() {
         let stream = UniformStreamGenerator::new(StreamConfig::new(512, 20_000), 3).generate();
         let fv = stream.frequency_vector();
-        let mut cm = CountMinSketch::new(4, 128, 7).unwrap();
+        let mut cm = CountMinSketch::new(4, 128, 7);
         cm.process_stream(&stream);
         for (item, v) in fv.iter() {
             assert!(
@@ -324,22 +347,20 @@ mod tests {
     fn exact_for_isolated_item() {
         let mut s = TurnstileStream::new(1024);
         s.push_delta(77, 500);
-        let mut cm = CountMinSketch::new(3, 64, 1).unwrap();
+        let mut cm = CountMinSketch::new(3, 64, 1);
         cm.process_stream(&s);
         assert!((cm.estimate(77) - 500.0).abs() < 1e-9);
     }
 
     #[test]
     fn space_words_positive() {
-        let cm = CountMinSketch::new(2, 32, 0).unwrap();
+        let cm = CountMinSketch::new(2, 32, 0);
         assert!(cm.space_words() >= 64);
     }
 
     #[test]
     fn tabulation_backend_exact_for_isolated_item() {
-        let cfg = CountMinConfig::new(3, 64)
-            .unwrap()
-            .with_backend(HashBackend::Tabulation);
+        let cfg = CountMinConfig::new(3, 64).with_backend(HashBackend::Tabulation);
         let mut cm = CountMinSketch::with_config(cfg, 1);
         let mut s = TurnstileStream::new(1024);
         s.push_delta(77, 500);

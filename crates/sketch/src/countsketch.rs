@@ -65,7 +65,17 @@ pub struct CountSketchConfig {
 impl CountSketchConfig {
     /// Direct `(rows, columns)` configuration with the default
     /// ([`HashBackend::Polynomial`]) backend.
-    pub fn new(rows: usize, columns: usize) -> Result<Self, SketchError> {
+    ///
+    /// # Panics
+    /// Panics if `rows == 0` or `columns == 0`; use
+    /// [`try_new`](Self::try_new) for a fallible constructor.
+    pub fn new(rows: usize, columns: usize) -> Self {
+        Self::try_new(rows, columns).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects zero rows or columns with a typed
+    /// [`SketchError`].
+    pub fn try_new(rows: usize, columns: usize) -> Result<Self, SketchError> {
         if rows == 0 {
             return Err(SketchError::EmptyDimension { parameter: "rows" });
         }
@@ -118,7 +128,7 @@ impl CountSketchConfig {
         }
         let columns = (6.0 / (lambda * epsilon * epsilon)).ceil() as usize;
         let rows = (4.0 * ((domain.max(2) as f64) / delta).ln()).ceil() as usize;
-        Self::new(rows.max(1), columns.max(1))
+        Self::try_new(rows.max(1), columns.max(1))
     }
 }
 
@@ -397,7 +407,7 @@ impl Checkpoint for CountSketch {
         let columns = checkpoint::read_len(r)?;
         let backend = checkpoint::read_backend(r)?;
         let seed = checkpoint::read_u64(r)?;
-        let config = CountSketchConfig::new(rows, columns)
+        let config = CountSketchConfig::try_new(rows, columns)
             .map_err(|e| CheckpointError::Corrupt(e.to_string()))?
             .with_backend(backend);
         let cells = rows
@@ -441,9 +451,9 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(CountSketchConfig::new(0, 5).is_err());
-        assert!(CountSketchConfig::new(5, 0).is_err());
-        assert!(CountSketchConfig::new(3, 7).is_ok());
+        assert!(CountSketchConfig::try_new(0, 5).is_err());
+        assert!(CountSketchConfig::try_new(5, 0).is_err());
+        assert!(CountSketchConfig::try_new(3, 7).is_ok());
         assert!(CountSketchConfig::for_heavy_hitters(0.0, 0.1, 0.1, 100).is_err());
         assert!(CountSketchConfig::for_heavy_hitters(0.1, 0.0, 0.1, 100).is_err());
         assert!(CountSketchConfig::for_heavy_hitters(0.1, 0.1, 1.5, 100).is_err());
@@ -454,7 +464,7 @@ mod tests {
 
     #[test]
     fn exact_on_single_item_stream() {
-        let mut cs = CountSketch::new(CountSketchConfig::new(5, 64).unwrap(), 9);
+        let mut cs = CountSketch::new(CountSketchConfig::new(5, 64), 9);
         let mut s = TurnstileStream::new(100);
         s.push_delta(42, 17);
         s.push_delta(42, -3);
@@ -473,7 +483,7 @@ mod tests {
         let stream =
             PlantedStreamGenerator::new(StreamConfig::new(1 << 12, 40_000), planted, 7).generate();
         let fv = stream.frequency_vector();
-        let mut cs = CountSketch::new(CountSketchConfig::new(7, 512).unwrap(), 11);
+        let mut cs = CountSketch::new(CountSketchConfig::new(7, 512), 11);
         cs.process_stream(&stream);
         let err = (cs.estimate(13) - fv.get(13) as f64).abs();
         // Residual F2 per bucket ~ F2_res/512; the error should be a small
@@ -491,7 +501,7 @@ mod tests {
         let trials = 200;
         let mut sum = 0.0;
         for seed in 0..trials {
-            let mut cs = CountSketch::new(CountSketchConfig::new(1, 16).unwrap(), seed);
+            let mut cs = CountSketch::new(CountSketchConfig::new(1, 16), seed);
             cs.process_stream(&s);
             sum += cs.estimate(5);
         }
@@ -506,8 +516,8 @@ mod tests {
     fn order_insensitive() {
         let stream = FrequencyPrescribedGenerator::new(256, vec![(50, 4), (3, 30)], 5).generate();
         let shuffled = stream.shuffled(99);
-        let mut a = CountSketch::new(CountSketchConfig::new(5, 128).unwrap(), 3);
-        let mut b = CountSketch::new(CountSketchConfig::new(5, 128).unwrap(), 3);
+        let mut a = CountSketch::new(CountSketchConfig::new(5, 128), 3);
+        let mut b = CountSketch::new(CountSketchConfig::new(5, 128), 3);
         a.process_stream(&stream);
         b.process_stream(&shuffled);
         for item in 0..256u64 {
@@ -519,7 +529,7 @@ mod tests {
     fn merge_equals_concatenation() {
         let s1 = FrequencyPrescribedGenerator::new(128, vec![(10, 5)], 1).generate();
         let s2 = FrequencyPrescribedGenerator::new(128, vec![(20, 3)], 2).generate();
-        let cfg = CountSketchConfig::new(4, 64).unwrap();
+        let cfg = CountSketchConfig::new(4, 64);
 
         let mut merged = CountSketch::new(cfg, 42);
         merged.process_stream(&s1);
@@ -539,7 +549,7 @@ mod tests {
 
     #[test]
     fn merge_rejects_mismatched_seed() {
-        let cfg = CountSketchConfig::new(2, 8).unwrap();
+        let cfg = CountSketchConfig::new(2, 8);
         let mut a = CountSketch::new(cfg, 1);
         let b = CountSketch::new(cfg, 2);
         assert!(a.merge(&b).is_err());
@@ -551,7 +561,7 @@ mod tests {
         s.push_delta(1, 100);
         s.push_delta(2, -500);
         s.push_delta(3, 10);
-        let mut cs = CountSketch::new(CountSketchConfig::new(5, 64).unwrap(), 8);
+        let mut cs = CountSketch::new(CountSketchConfig::new(5, 64), 8);
         cs.process_stream(&s);
         let top = cs.top_candidates(0..64u64, 2);
         assert_eq!(top.len(), 2);
@@ -571,7 +581,7 @@ mod tests {
         let full_f2 = fv.f2();
         let true_residual = full_f2 - (fv.get(9) as f64).powi(2);
 
-        let mut cs = CountSketch::new(CountSketchConfig::new(7, 1024).unwrap(), 19);
+        let mut cs = CountSketch::new(CountSketchConfig::new(7, 1024), 19);
         cs.process_stream(&stream);
         let est = cs.residual_f2_excluding(&[9]);
         assert!(
@@ -589,9 +599,7 @@ mod tests {
 
     #[test]
     fn tabulation_backend_tracks_frequencies() {
-        let cfg = CountSketchConfig::new(5, 64)
-            .unwrap()
-            .with_backend(HashBackend::Tabulation);
+        let cfg = CountSketchConfig::new(5, 64).with_backend(HashBackend::Tabulation);
         let mut cs = CountSketch::new(cfg, 9);
         let mut s = TurnstileStream::new(100);
         s.push_delta(42, 17);
@@ -603,7 +611,7 @@ mod tests {
 
     #[test]
     fn merge_rejects_mismatched_backend() {
-        let cfg = CountSketchConfig::new(2, 8).unwrap();
+        let cfg = CountSketchConfig::new(2, 8);
         let mut a = CountSketch::new(cfg, 1);
         let b = CountSketch::new(cfg.with_backend(HashBackend::Tabulation), 1);
         assert!(a.merge(&b).is_err());
@@ -611,8 +619,8 @@ mod tests {
 
     #[test]
     fn space_words_scales_with_dimensions() {
-        let small = CountSketch::new(CountSketchConfig::new(2, 16).unwrap(), 0);
-        let large = CountSketch::new(CountSketchConfig::new(8, 256).unwrap(), 0);
+        let small = CountSketch::new(CountSketchConfig::new(2, 16), 0);
+        let large = CountSketch::new(CountSketchConfig::new(8, 256), 0);
         assert!(large.space_words() > 10 * small.space_words());
         assert!(small.space_words() >= 2 * 16);
     }

@@ -72,6 +72,9 @@ pub mod kind {
     pub const ONE_PASS_GSUM: u16 = 12;
     /// `gsum_core::TwoPassGSumSketch`.
     pub const TWO_PASS_GSUM: u16 = 13;
+    /// `gsum_serve::SketchRegistry` (composite: shared substrates plus the
+    /// estimator table).
+    pub const SKETCH_REGISTRY: u16 = 14;
 }
 
 /// Error raised while saving or restoring a checkpoint.

@@ -162,7 +162,7 @@ fn loopback_demo() {
         "full stream durable"
     );
 
-    let bits = match query(&addr, Command::Est) {
+    let bits = match query(&addr, Command::est()) {
         Response::Est { bits } => bits,
         other => panic!("EST reply shape: {other:?}"),
     };

@@ -57,8 +57,8 @@ fn client_stream(client: usize) -> Vec<Update> {
     .to_vec()
 }
 
-fn spawn_server(
-    backend: HashBackend,
+fn spawn_server_with<S: ServableSketch + 'static>(
+    proto: S,
     policy: ServePolicy,
     checkpoint_path: PathBuf,
 ) -> (String, std::thread::JoinHandle<ServeSummary>) {
@@ -69,12 +69,20 @@ fn spawn_server(
             .with_policy(policy)
             .with_checkpoint_every(CHECKPOINT_EVERY)
             .with_pipeline(PipelinedIngest::new(2).with_batch_size(256));
-        GsumServer::boot(prototype(backend), config, Some(checkpoint_path))
+        GsumServer::boot(proto, config, Some(checkpoint_path))
             .expect("boot server")
             .serve(listener)
             .expect("serve")
     });
     (addr, handle)
+}
+
+fn spawn_server(
+    backend: HashBackend,
+    policy: ServePolicy,
+    checkpoint_path: PathBuf,
+) -> (String, std::thread::JoinHandle<ServeSummary>) {
+    spawn_server_with(prototype(backend), policy, checkpoint_path)
 }
 
 /// Send one framed stream and return the server's acknowledgement.
@@ -173,7 +181,7 @@ fn concurrent_clean_clients(backend: HashBackend, clients: usize) {
         Response::Count(n) => assert_eq!(n, total, "every client update must be durable"),
         other => panic!("COUNT reply shape: {other:?}"),
     }
-    match query(&addr, Command::Est) {
+    match query(&addr, Command::est()) {
         Response::Est { bits } => assert_eq!(
             bits, expect_bits,
             "concurrent merge must equal the single-threaded estimate bit-for-bit"
@@ -273,11 +281,102 @@ fn aborted_client_is_discarded_whole(backend: HashBackend, clients: usize) {
     );
 }
 
+/// Phase C: multi-statistic serving.  Two G functions registered in one
+/// [`SketchRegistry`] over the *same* configuration share a single ingest
+/// substrate; the stream flows once, and each `EST <function>` answer must
+/// equal a single-threaded, single-function replay bit-for-bit.
+fn multi_statistic_serving(backend: HashBackend, clients: usize) {
+    let checkpoint_path = temp_checkpoint("registry");
+    let _ = std::fs::remove_file(&checkpoint_path);
+
+    let config = GSumConfig::with_space_budget(DOMAIN, 0.2, 256, SEED).with_hash_backend(backend);
+    let mut registry = SketchRegistry::new();
+    registry
+        .register(PowerFunction::new(2.0), &config)
+        .expect("register x^2");
+    registry
+        .register(CappedLinear::new(100), &config)
+        .expect("register capped linear");
+    assert_eq!(
+        registry.substrate_count(),
+        1,
+        "identical configurations must share one ingest substrate"
+    );
+    let names = registry.function_names();
+
+    let (addr, server) = spawn_server_with(
+        registry,
+        ServePolicy::MergeCompleted,
+        checkpoint_path.clone(),
+    );
+
+    let streams: Vec<Vec<Update>> = (0..clients).map(client_stream).collect();
+    let barrier = Barrier::new(clients);
+    std::thread::scope(|scope| {
+        for stream in &streams {
+            let addr = addr.clone();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                match send_stream(&addr, stream) {
+                    Response::Ok(_) => {}
+                    other => panic!("ingest ack shape: {other:?}"),
+                }
+            });
+        }
+    });
+
+    match query(&addr, Command::Funcs) {
+        Response::Funcs(listed) => assert_eq!(listed, names, "FUNCS must list both estimators"),
+        other => panic!("FUNCS reply shape: {other:?}"),
+    }
+
+    // Per-function references: each function's own single-threaded sketch
+    // replaying the concatenated streams.
+    for (name, reference) in [
+        (names[0].as_str(), {
+            let mut s = OnePassGSumSketch::new(PowerFunction::new(2.0), &config);
+            streams.iter().for_each(|st| s.update_batch(st));
+            s.estimate().to_bits()
+        }),
+        (names[1].as_str(), {
+            let mut s = OnePassGSumSketch::new(CappedLinear::new(100), &config);
+            streams.iter().for_each(|st| s.update_batch(st));
+            s.estimate().to_bits()
+        }),
+    ] {
+        match query(&addr, Command::est_named(name)) {
+            Response::Est { bits } => assert_eq!(
+                bits, reference,
+                "EST {name} must equal that function's single-threaded replay bit-for-bit"
+            ),
+            other => panic!("EST {name} reply shape: {other:?}"),
+        }
+    }
+
+    // An unregistered name earns a typed refusal, and the connection-level
+    // grammar still works afterwards (the refusal does not poison parsing).
+    match query(&addr, Command::est_named("no-such-g")) {
+        Response::Err(reason) => assert!(reason.contains("no-such-g")),
+        other => panic!("unknown-function reply shape: {other:?}"),
+    }
+
+    assert_eq!(query(&addr, Command::Quit), Response::Bye);
+    let summary = server.join().expect("server thread");
+    assert!(summary.clean_shutdown);
+    let _ = std::fs::remove_file(&checkpoint_path);
+    println!(
+        "multi_client: 2 statistics served from 1 substrate, both bit-exact \
+         ({backend:?}) ✓"
+    );
+}
+
 fn main() {
     let clients = client_count();
     for backend in [HashBackend::Polynomial, HashBackend::Tabulation] {
         concurrent_clean_clients(backend, clients);
         aborted_client_is_discarded_whole(backend, clients);
+        multi_statistic_serving(backend, clients);
     }
     println!("multi_client demo: concurrent merge-on-ingest is deterministic ✓");
 }

@@ -22,8 +22,10 @@
 //!   ShortLinearCombination) and their stream reductions, used to exercise
 //!   the lower-bound side of the zero-one laws.
 //! * [`serve`] — the serving layer: a concurrent multi-client TCP server
-//!   with merge-on-ingest fan-in, failure policies for partial streams, and
-//!   durable checkpoint envelopes.
+//!   with merge-on-ingest fan-in, failure policies for partial streams,
+//!   durable checkpoint envelopes, and a multi-function estimator registry
+//!   answering `EST <function>` for any registered G over one shared
+//!   ingest path.
 //!
 //! ## Quickstart — push-based ingestion
 //!
@@ -262,7 +264,9 @@
 //! the durable update count, published atomically) every K merged updates.
 //! Serving throughput numbers live in `BENCH_serve.json` (see
 //! `crates/bench/benches/bench_serve.rs`): connections/sec, concurrent
-//! ingest throughput, and p99 `EST`/`COUNT` latency.
+//! ingest throughput, and p99 `EST`/`COUNT` latency — including, since
+//! serve schema v2, per-function `EST <function>` latency rows against a
+//! served registry.
 //!
 //! The coordinator is transport-free, so fan-in does not require sockets —
 //! or even one machine: parked checkpoint bytes fold too.
@@ -299,6 +303,64 @@
 //!     single.to_checkpoint_bytes().expect("save").as_slice()
 //! );
 //! ```
+//!
+//! ### Multi-statistic serving — one ingest stream, many estimators
+//!
+//! The one-pass sketch's ingest path never evaluates its G function: the
+//! absorbed state is pure frequency structure, and `g` enters only at
+//! query time (per-level covers) and checkpoint time (encoded
+//! parameters).  [`SketchRegistry`](prelude::SketchRegistry) exploits
+//! that to turn one server into a multi-statistic analytics service:
+//! register any number of named G functions
+//! ([`DynG`](prelude::DynG)-erased, so the set is chosen at runtime),
+//! ingest the stream **once**, and answer every registered function at
+//! any prefix.  Estimators registered with an identical
+//! [`GSumConfig`](prelude::GSumConfig) (dimensions, backend, *and* seed —
+//! the substrate key) share a single CountSketch/heavy-hitter substrate,
+//! so ingest cost scales with distinct configurations, never with
+//! registered functions.  The registry implements the full
+//! [`ServableSketch`](prelude::ServableSketch) contract — a
+//! [`GsumServer`](prelude::GsumServer) serves it unchanged, answering
+//! `EST` (the default function), `EST <function>` (any registered name;
+//! unknown names get a typed `ERR` without closing the connection) and
+//! `FUNCS` (the registered names), and checkpoints it as one versioned
+//! composite.  Per-function answers and per-function checkpoint bytes
+//! are **bit-identical** to a single-function sketch of the same
+//! configuration replaying the same stream (`tests/serve_registry.rs`
+//! proptests this over real sockets under both hash backends and both
+//! failure policies; `examples/multi_client.rs` demonstrates it).
+//!
+//! ```
+//! use zerolaw::prelude::*;
+//!
+//! let cfg = GSumConfig::with_space_budget(1 << 8, 0.2, 128, 3);
+//! let mut registry = SketchRegistry::new();
+//! registry.register(PowerFunction::new(2.0), &cfg).expect("register");
+//! registry.register(CappedLinear::new(100), &cfg).expect("register");
+//! registry.register(PolylogFunction::new(2.0), &cfg).expect("register");
+//! assert_eq!(registry.substrate_count(), 1); // one shared ingest substrate
+//!
+//! // Ingest once; every registered function answers at any prefix.
+//! let updates: Vec<Update> = (0..2_000).map(|i| Update::new(i % 97, 1)).collect();
+//! registry.update_batch(&updates);
+//! assert_eq!(registry.function_names()[0], "x^2"); // bare-EST default
+//! for name in registry.function_names() {
+//!     assert!(registry.estimate_for(&name).is_some());
+//! }
+//!
+//! // Bit-identical to a single-function sketch replaying the same stream.
+//! let mut single =
+//!     OnePassGSumSketch::with_seed(DynG::new(CappedLinear::new(100)), &cfg, cfg.seed);
+//! single.update_batch(&updates);
+//! assert_eq!(
+//!     registry.estimate_for("min(x, 100)").map(f64::to_bits),
+//!     Some(single.estimate().to_bits())
+//! );
+//! assert_eq!(
+//!     registry.checkpoint_for("min(x, 100)").expect("registered").expect("save"),
+//!     single.to_checkpoint_bytes().expect("save")
+//! );
+//! ```
 
 pub use gsum_comm as comm;
 pub use gsum_core as core;
@@ -319,19 +381,21 @@ pub mod prelude {
     };
     pub use gsum_gfunc::{
         classify::{OnePassVerdict, TractabilityReport, TwoPassVerdict},
+        decode_function,
         library::{
-            GnpFunction, OscillatingQuadratic, PoissonMixtureNll, PolylogFunction, PowerFunction,
-            SpamDiscountUtility,
+            CappedLinear, GnpFunction, OscillatingQuadratic, PoissonMixtureNll, PolylogFunction,
+            PowerFunction, SpamDiscountUtility,
         },
         properties::PropertyConfig,
         registry::FunctionRegistry,
-        FunctionCodec, GFunction,
+        DynFunction, DynG, FunctionCodec, GFunction,
     };
     pub use gsum_hash::{HashBackend, RowHasher};
     pub use gsum_serve::{
         protocol, CheckpointEnvelope, Command, FoldOutcome, GsumServer, MergeCoordinator,
-        ProtocolError, Response, ServableSketch, ServeConfig, ServeConfigError, ServeError,
-        ServeEvent, ServeObserver, ServePolicy, ServeStats, ServeSummary, StreamOutcome,
+        ProtocolError, RegistryError, Response, ServableSketch, ServableSubstrate, ServeConfig,
+        ServeConfigError, ServeError, ServeEvent, ServeObserver, ServePolicy, ServeStats,
+        ServeSummary, SketchRegistry, StreamOutcome,
     };
     pub use gsum_sketch::{
         AmsF2Sketch, CountMinConfig, CountMinSketch, CountSketch, CountSketchConfig,

@@ -124,7 +124,7 @@ proptest! {
     fn countsketch_batch_equals_single(s in stream_strategy(DOMAIN, 120), seed in 0u64..200) {
         for backend in BACKENDS {
             let proto = CountSketch::new(
-                CountSketchConfig::new(3, 32).unwrap().with_backend(backend),
+                CountSketchConfig::new(3, 32).with_backend(backend),
                 seed,
             );
             assert_batch_equivalent(&proto, &s, |a, b| {
@@ -147,7 +147,7 @@ proptest! {
     fn countmin_batch_equals_single(s in stream_strategy(DOMAIN, 120), seed in 0u64..200) {
         for backend in BACKENDS {
             let proto = CountMinSketch::with_config(
-                CountMinConfig::new(3, 32).unwrap().with_backend(backend),
+                CountMinConfig::new(3, 32).with_backend(backend),
                 seed,
             );
             assert_batch_equivalent(&proto, &s, check_estimates)?;
@@ -389,7 +389,6 @@ proptest! {
         let (front, back) = s.updates().split_at(mid);
 
         let cfg = CountSketchConfig::new(3, 32)
-            .unwrap()
             .with_backend(HashBackend::Tabulation);
         let mut whole = CountSketch::new(cfg, seed);
         whole.process_stream(&s);
@@ -433,14 +432,9 @@ fn huge_deltas_take_the_fallback_and_still_agree() {
     let small: Vec<Update> = (0..32u64).map(|i| Update::new(i, 3 - i as i64)).collect();
 
     for backend in BACKENDS {
-        let cs_proto = CountSketch::new(
-            CountSketchConfig::new(3, 32).unwrap().with_backend(backend),
-            11,
-        );
-        let cm_proto = CountMinSketch::with_config(
-            CountMinConfig::new(3, 32).unwrap().with_backend(backend),
-            11,
-        );
+        let cs_proto = CountSketch::new(CountSketchConfig::new(3, 32).with_backend(backend), 11);
+        let cm_proto =
+            CountMinSketch::with_config(CountMinConfig::new(3, 32).with_backend(backend), 11);
 
         let mut cs_ref = cs_proto.clone();
         let mut cm_ref = cm_proto.clone();
@@ -477,21 +471,17 @@ fn huge_deltas_take_the_fallback_and_still_agree() {
 /// tabulation sketch even when shape and seed agree.
 #[test]
 fn merge_rejects_backend_mismatch() {
-    let poly = CountSketch::new(CountSketchConfig::new(3, 32).unwrap(), 7);
+    let poly = CountSketch::new(CountSketchConfig::new(3, 32), 7);
     let tab = CountSketch::new(
-        CountSketchConfig::new(3, 32)
-            .unwrap()
-            .with_backend(HashBackend::Tabulation),
+        CountSketchConfig::new(3, 32).with_backend(HashBackend::Tabulation),
         7,
     );
     let mut a = poly.clone();
     assert!(a.merge(&tab).is_err());
 
-    let cm_poly = CountMinSketch::with_config(CountMinConfig::new(2, 16).unwrap(), 5);
+    let cm_poly = CountMinSketch::with_config(CountMinConfig::new(2, 16), 5);
     let cm_tab = CountMinSketch::with_config(
-        CountMinConfig::new(2, 16)
-            .unwrap()
-            .with_backend(HashBackend::Tabulation),
+        CountMinConfig::new(2, 16).with_backend(HashBackend::Tabulation),
         5,
     );
     let mut c = cm_poly.clone();

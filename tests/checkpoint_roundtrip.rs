@@ -110,7 +110,7 @@ proptest! {
     fn countsketch_roundtrip(s in stream_strategy(DOMAIN, 100), seed in 0u64..200, cut in 0usize..100) {
         for backend in BACKENDS {
             let proto = CountSketch::new(
-                CountSketchConfig::new(3, 32).unwrap().with_backend(backend),
+                CountSketchConfig::new(3, 32).with_backend(backend),
                 seed,
             );
             assert_roundtrip_continues(&proto, &s, cut, |a, b| {
@@ -129,7 +129,7 @@ proptest! {
     fn countmin_roundtrip(s in stream_strategy(DOMAIN, 100), seed in 0u64..200, cut in 0usize..100) {
         for backend in BACKENDS {
             let proto = CountMinSketch::with_config(
-                CountMinConfig::new(3, 32).unwrap().with_backend(backend),
+                CountMinConfig::new(3, 32).with_backend(backend),
                 seed,
             );
             assert_roundtrip_continues(&proto, &s, cut, check_estimates)?;
@@ -332,6 +332,53 @@ proptest! {
             .expect("resume from own checkpoint");
         prop_assert_eq!(resumed.estimate().to_bits(), reference.estimate().to_bits());
     }
+
+    /// The estimator registry's composite checkpoint: three functions over
+    /// two substrates (two share a configuration, one has its own seed),
+    /// interrupted mid-stream.  Save → restore → replay must land every
+    /// registered function's estimate *and* its per-function checkpoint
+    /// bytes ([`SketchRegistry::checkpoint_for`]) bit-identical to the
+    /// uninterrupted run, under both backends.
+    #[test]
+    fn sketch_registry_roundtrip(s in stream_strategy(DOMAIN, 80), seed in 0u64..100, cut in 0usize..80) {
+        for backend in BACKENDS {
+            let shared = GSumConfig::with_space_budget(DOMAIN, 0.25, 32, seed)
+                .with_hash_backend(backend);
+            let mut lone = shared.clone();
+            lone.seed = seed.wrapping_add(1);
+
+            let mut proto = SketchRegistry::new();
+            proto.register(PowerFunction::new(2.0), &shared).unwrap();
+            proto.register(CappedLinear::new(100), &shared).unwrap();
+            proto.register(PolylogFunction::new(2.0), &lone).unwrap();
+            prop_assert_eq!(proto.substrate_count(), 2);
+            let names = proto.function_names();
+
+            assert_roundtrip_continues(&proto, &s, cut, |a, b| {
+                for name in &names {
+                    prop_assert_eq!(
+                        a.estimate_for(name).map(f64::to_bits),
+                        b.estimate_for(name).map(f64::to_bits),
+                        "estimate for {} diverges after restore + replay",
+                        name
+                    );
+                    let saved = a.checkpoint_for(name).unwrap().unwrap();
+                    let restored = b.checkpoint_for(name).unwrap().unwrap();
+                    prop_assert_eq!(
+                        saved, restored,
+                        "per-function checkpoint bytes for {} diverge",
+                        name
+                    );
+                }
+                prop_assert_eq!(
+                    a.to_checkpoint_bytes().unwrap(),
+                    b.to_checkpoint_bytes().unwrap(),
+                    "the composite checkpoint diverges"
+                );
+                Ok(())
+            })?;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -340,7 +387,7 @@ proptest! {
 
 #[test]
 fn wrong_version_wrong_kind_and_bad_backend_are_errors() {
-    let cs = CountSketch::new(CountSketchConfig::new(3, 32).unwrap(), 7);
+    let cs = CountSketch::new(CountSketchConfig::new(3, 32), 7);
     let bytes = cs.to_checkpoint_bytes().unwrap();
 
     // Wrong format version (byte 4 is the version LSB).
@@ -379,9 +426,7 @@ fn mismatched_backend_checkpoint_refuses_to_merge_not_panic() {
     // tabulation checkpoint restores fine — but folding it into a polynomial
     // pipeline is a merge error, exactly like live sketches.
     let mut tab = CountSketch::new(
-        CountSketchConfig::new(3, 32)
-            .unwrap()
-            .with_backend(HashBackend::Tabulation),
+        CountSketchConfig::new(3, 32).with_backend(HashBackend::Tabulation),
         7,
     );
     tab.update(Update::new(3, 5));
@@ -389,7 +434,7 @@ fn mismatched_backend_checkpoint_refuses_to_merge_not_panic() {
     let restored = CountSketch::from_checkpoint_bytes(&bytes).unwrap();
     assert_eq!(restored.config().backend, HashBackend::Tabulation);
 
-    let mut poly = CountSketch::new(CountSketchConfig::new(3, 32).unwrap(), 7);
+    let mut poly = CountSketch::new(CountSketchConfig::new(3, 32), 7);
     assert!(poly.merge(&restored).is_err());
 
     // The same at the resume layer: a sharded resume whose prototype was

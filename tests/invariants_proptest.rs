@@ -69,7 +69,7 @@ proptest! {
     /// of it yields identical estimates for every item.
     #[test]
     fn countsketch_is_order_insensitive(s in stream_strategy(64, 80), seed in 0u64..1000) {
-        let cfg = CountSketchConfig::new(3, 32).unwrap();
+        let cfg = CountSketchConfig::new(3, 32);
         let mut a = CountSketch::new(cfg, 7);
         let mut b = CountSketch::new(cfg, 7);
         a.process_stream(&s);

@@ -35,7 +35,7 @@ fn shards(stream: &TurnstileStream, parts: usize) -> Vec<Vec<Update>> {
 }
 
 fn countsketch(seed: u64) -> CountSketch {
-    CountSketch::new(CountSketchConfig::new(3, 32).unwrap(), seed)
+    CountSketch::new(CountSketchConfig::new(3, 32), seed)
 }
 
 proptest! {
@@ -105,11 +105,11 @@ proptest! {
         a.merge(&b).unwrap();
         prop_assert_eq!(a.estimate_f2().to_bits(), whole_ams.estimate_f2().to_bits());
 
-        let mut whole_cm = CountMinSketch::new(3, 32, seed).unwrap();
+        let mut whole_cm = CountMinSketch::new(3, 32, seed);
         whole_cm.process_stream(&s);
-        let mut c = CountMinSketch::new(3, 32, seed).unwrap();
+        let mut c = CountMinSketch::new(3, 32, seed);
         c.update_batch(front);
-        let mut d = CountMinSketch::new(3, 32, seed).unwrap();
+        let mut d = CountMinSketch::new(3, 32, seed);
         d.update_batch(back);
         c.merge(&d).unwrap();
         for item in 0..64u64 {
@@ -208,8 +208,8 @@ fn incompatible_merges_are_rejected() {
     assert!(ams.merge(&AmsF2Sketch::new(4, 3, 2).unwrap()).is_err());
     assert!(ams.merge(&AmsF2Sketch::new(8, 3, 1).unwrap()).is_err());
 
-    let mut cm = CountMinSketch::new(2, 16, 1).unwrap();
-    assert!(cm.merge(&CountMinSketch::new(2, 16, 9).unwrap()).is_err());
+    let mut cm = CountMinSketch::new(2, 16, 1);
+    assert!(cm.merge(&CountMinSketch::new(2, 16, 9)).is_err());
 
     let mut exact = ExactFrequencies::new(8);
     assert!(exact.merge(&ExactFrequencies::new(9)).is_err());

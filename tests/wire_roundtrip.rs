@@ -256,7 +256,7 @@ fn frame_reader_feeds_existing_sinks_unchanged() {
     let bytes = encode_updates(DOMAIN, &updates).unwrap();
 
     for backend in BACKENDS {
-        let cs_config = CountSketchConfig::new(3, 32).unwrap().with_backend(backend);
+        let cs_config = CountSketchConfig::new(3, 32).with_backend(backend);
         let mut from_wire = CountSketch::new(cs_config, 9);
         let mut direct = CountSketch::new(cs_config, 9);
 
