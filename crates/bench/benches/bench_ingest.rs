@@ -28,6 +28,16 @@
 //!   `coalesced_full` row (which additionally pays the coalescing sort) —
 //!   `check_bench_schema` enforces that, so a regression in either kernel
 //!   is attributable from the artifact alone.
+//! * `ams/eval_stage/{family}` — the AMS sign-hash evaluation stage in
+//!   isolation (new in v6): one 320-counter sign bank — the shape the
+//!   one-pass heavy hitter's `AmsF2Sketch` carries — evaluated over the
+//!   coalesced keys with the item-outer block kernel, per sign family
+//!   (`polynomial4` and `tabulation`).  This is the kernel hot-path round 4
+//!   restructured, so the row makes a regression in the SoA/AVX-512 lowering
+//!   attributable without rerunning the whole estimator.  The polynomial4
+//!   row is bounded above by `onepass_gsum/coalesced_full/*` (the full
+//!   pipeline pays at least one such bank pass), which `check_bench_schema`
+//!   enforces.
 //!
 //! Besides the console table, the bench writes a machine-readable
 //! `BENCH_ingest.json` at the workspace root (override the path with the
@@ -36,7 +46,7 @@
 
 use gsum_core::{GSumConfig, OnePassGSumSketch};
 use gsum_gfunc::library::PowerFunction;
-use gsum_hash::{HashBackend, RowHasher};
+use gsum_hash::{HashBackend, RowHasher, SignBank, SignFamily, SignHashBank};
 use gsum_sketch::{CountSketch, CountSketchConfig};
 use gsum_streams::{
     coalesce_updates, PipelinedIngest, ShardedIngest, StreamConfig, StreamGenerator, StreamSink,
@@ -49,6 +59,18 @@ const DOMAIN: u64 = 1 << 12;
 const MIN_ITERATIONS: u64 = 8;
 const ZIPF_ALPHA: f64 = 1.2;
 const CHUNK: usize = 4096;
+
+/// Counters in the sign bank the `ams/eval_stage` rows evaluate: the
+/// 64 averages × 5 medians the one-pass heavy hitter's `AmsF2Sketch`
+/// carries, so the row times exactly the bank shape the estimator pays.
+const AMS_BANK_COUNTERS: usize = 64 * 5;
+
+/// `onepass_gsum/coalesced_full/polynomial` updates/sec from the committed
+/// hot-path round 3 artifact (PR 8's `BENCH_ingest.json`), the baseline the
+/// `speedup_gsum_round4_vs_round3` field divides against.  A hardcoded
+/// constant rather than a file read so the field stays finite and
+/// meaningful even when the old artifact is no longer checked out.
+const ROUND3_GSUM_COALESCED_UPD_PER_SEC: f64 = 6_512_090.0;
 
 struct BenchResult {
     name: String,
@@ -297,6 +319,58 @@ fn bench_stage_split(
     }
 }
 
+/// Time the AMS sign-hash evaluation stage in isolation, per sign family:
+/// the item-outer block kernel of one heavy-hitter-shaped sign bank
+/// ([`AMS_BANK_COUNTERS`] counters) over the coalesced keys, including the
+/// per-item key-power precompute the polynomial family pays (that is part
+/// of the stage in the real `update_batch` hot loop).  Scratch buffers are
+/// reused across iterations exactly as `AmsScratch` reuses them, so the
+/// row measures steady-state kernel cost, not allocation.
+fn bench_ams_eval_stage(
+    results: &mut Vec<BenchResult>,
+    s: &TurnstileStream,
+    updates: usize,
+    budget: Duration,
+) {
+    let coalesced = coalesce_updates(s.updates());
+    let keys: Vec<u64> = coalesced.iter().map(|u| u.item).collect();
+    for family in [SignFamily::Polynomial4, SignFamily::Tabulation] {
+        let bank = SignBank::from_seed(family, 0xA115_F2F2, AMS_BANK_COUNTERS);
+        let mut x1: Vec<u64> = Vec::new();
+        let mut x2: Vec<u64> = Vec::new();
+        let mut x3: Vec<u64> = Vec::new();
+        let mut hv: Vec<u64> = Vec::new();
+        let mut sign_bytes: Vec<u8> = Vec::new();
+        run(
+            results,
+            &format!("ams/eval_stage/{}", family.name()),
+            updates,
+            budget,
+            || (),
+            |()| {
+                match &bank {
+                    SignBank::Polynomial(bank) => {
+                        x1.clear();
+                        x2.clear();
+                        x3.clear();
+                        for &key in &keys {
+                            let (p1, p2, p3) = SignHashBank::key_powers(key);
+                            x1.push(p1);
+                            x2.push(p2);
+                            x3.push(p3);
+                        }
+                        bank.eval_block(&x1, &x2, &x3, &mut sign_bytes);
+                    }
+                    SignBank::Tabulation(bank) => {
+                        bank.eval_block(&keys, &mut hv, &mut sign_bytes);
+                    }
+                }
+                std::hint::black_box(&sign_bytes);
+            },
+        );
+    }
+}
+
 fn bench_gsum(
     results: &mut Vec<BenchResult>,
     s: &TurnstileStream,
@@ -380,19 +454,25 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The headline speedup ratios the artifact carries alongside the raw rows.
+struct Speedups {
+    coalesced_vs_per_update: f64,
+    tabulation_vs_polynomial: f64,
+    gsum_coalesced_vs_per_update: f64,
+    gsum_round4_vs_round3: f64,
+}
+
 fn write_json(
     path: &std::path::Path,
     results: &[BenchResult],
     updates: usize,
     quick: bool,
-    speedup: f64,
-    tab_speedup: f64,
-    gsum_speedup: f64,
+    speedups: &Speedups,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"bench_ingest\",\n");
-    out.push_str("  \"schema_version\": 5,\n");
+    out.push_str("  \"schema_version\": 6,\n");
     // Provenance metadata: which commit produced these numbers, which hash
     // backends and coalescing modes the matrix swept, how many hardware
     // threads the host offered (sharded/pipelined numbers are meaningless
@@ -442,13 +522,20 @@ fn write_json(
         "  \"workload\": {{\"distribution\": \"zipf\", \"alpha\": {ZIPF_ALPHA}, \"domain\": {DOMAIN}, \"updates\": {updates}, \"chunk\": {CHUNK}}},\n"
     ));
     out.push_str(&format!(
-        "  \"speedup_coalesced_vs_per_update\": {speedup:.3},\n"
+        "  \"speedup_coalesced_vs_per_update\": {:.3},\n",
+        speedups.coalesced_vs_per_update
     ));
     out.push_str(&format!(
-        "  \"speedup_tabulation_vs_polynomial_per_update\": {tab_speedup:.3},\n"
+        "  \"speedup_tabulation_vs_polynomial_per_update\": {:.3},\n",
+        speedups.tabulation_vs_polynomial
     ));
     out.push_str(&format!(
-        "  \"speedup_gsum_coalesced_vs_per_update\": {gsum_speedup:.3},\n"
+        "  \"speedup_gsum_coalesced_vs_per_update\": {:.3},\n",
+        speedups.gsum_coalesced_vs_per_update
+    ));
+    out.push_str(&format!(
+        "  \"speedup_gsum_round4_vs_round3\": {:.3},\n",
+        speedups.gsum_round4_vs_round3
     ));
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -478,6 +565,16 @@ fn lookup(results: &[BenchResult], name: &str) -> f64 {
         .unwrap_or_else(|| panic!("bench result {name:?} missing — variant names drifted"))
 }
 
+/// Like [`lookup`], but returns the updates/sec rate — the unit the
+/// cross-artifact round-over-round comparison is phrased in.
+fn lookup_rate(results: &[BenchResult], name: &str) -> f64 {
+    results
+        .iter()
+        .find(|r| r.name == name)
+        .map(|r| r.updates_per_sec)
+        .unwrap_or_else(|| panic!("bench result {name:?} missing — variant names drifted"))
+}
+
 fn main() {
     let quick = std::env::var("BENCH_INGEST_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
     let (updates, budget) = if quick {
@@ -490,6 +587,7 @@ fn main() {
     let mut results = Vec::new();
     println!("bench_ingest: zipf({ZIPF_ALPHA}) domain={DOMAIN} updates={updates} quick={quick}\n");
     bench_countsketch(&mut results, &s, updates, budget);
+    bench_ams_eval_stage(&mut results, &s, updates, budget);
     bench_gsum(&mut results, &s, updates, budget);
 
     let per_update = lookup(&results, "countsketch/per_update/polynomial");
@@ -500,24 +598,25 @@ fn main() {
     let speedup = per_update / coalesced;
     let tab_speedup = per_update / per_update_tab;
     let gsum_speedup = gsum_per_update / gsum_coalesced;
+    let round4_speedup = lookup_rate(&results, "onepass_gsum/coalesced_full/polynomial")
+        / ROUND3_GSUM_COALESCED_UPD_PER_SEC;
     println!("\ncoalesced-batched vs per-update CountSketch speedup: {speedup:.2}x");
     println!("tabulation vs polynomial per-update speedup: {tab_speedup:.2}x");
     println!("coalesced vs per-update onepass_gsum speedup: {gsum_speedup:.2}x");
+    println!("onepass_gsum coalesced_full, round 4 vs round 3 artifact: {round4_speedup:.2}x");
 
     let path = std::env::var("BENCH_INGEST_JSON")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|_| {
             std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ingest.json")
         });
-    match write_json(
-        &path,
-        &results,
-        updates,
-        quick,
-        speedup,
-        tab_speedup,
-        gsum_speedup,
-    ) {
+    let speedups = Speedups {
+        coalesced_vs_per_update: speedup,
+        tabulation_vs_polynomial: tab_speedup,
+        gsum_coalesced_vs_per_update: gsum_speedup,
+        gsum_round4_vs_round3: round4_speedup,
+    };
+    match write_json(&path, &results, updates, quick, &speedups) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }

@@ -8,12 +8,16 @@
 //! in-tree parser (no external deps) and dispatches on the top-level
 //! `bench` field.
 //!
-//! For `bench_ingest` (schema v5) it checks:
+//! For `bench_ingest` (schema v6) it checks:
 //!
-//! * top level: `schema_version == 5`, a `workload` object, finite positive
+//! * top level: `schema_version == 6`, a `workload` object, finite positive
 //!   `speedup_*` summary fields (including
 //!   `speedup_gsum_coalesced_vs_per_update`, new in v4 — the
-//!   recursive-sketch hot path is the number the perf trajectory is about);
+//!   recursive-sketch hot path is the number the perf trajectory is about —
+//!   and `speedup_gsum_round4_vs_round3`, new in v6: the headline
+//!   `onepass_gsum/coalesced_full/polynomial` rate against the committed
+//!   round-3 artifact's, so the round-over-round claim is a checked number
+//!   in the artifact rather than prose);
 //! * `meta`: non-empty `git_commit`, non-empty `backends` and
 //!   `coalescing_modes` string arrays, a `default_backend` contained in
 //!   `backends`, an integral `available_parallelism ≥ 1` (new in v3 —
@@ -24,16 +28,22 @@
 //!   name and with the `meta` lists, finite positive `ns_per_iter` /
 //!   `updates_per_sec`, and an integral `iterations ≥ 1`;
 //! * required rows: the `onepass_gsum` whole-batch and parallel variants
-//!   across *both* hash backends, plus (new in v5) the countsketch
-//!   `hash_stage` / `apply_stage` stage-split rows and the
-//!   `coalesced_full` rows they decompose ([`REQUIRED_RESULTS`]) — so
-//!   neither the headline estimator's ingestion numbers nor the
-//!   stage-attribution rows can silently drop out of the artifact;
+//!   across *both* hash backends, the countsketch `hash_stage` /
+//!   `apply_stage` stage-split rows and the `coalesced_full` rows they
+//!   decompose (v5), plus (new in v6) the `ams/eval_stage/{family}` rows
+//!   for both sign families ([`REQUIRED_RESULTS`]) — so neither the
+//!   headline estimator's ingestion numbers nor the stage-attribution rows
+//!   can silently drop out of the artifact;
 //! * stage-split sanity (new in v5): per backend, `hash_stage` plus
 //!   `apply_stage` ns/iter must not exceed the `coalesced_full` row (plus a
 //!   small timer-noise tolerance) — the whole pipeline also pays the
 //!   coalescing sort the stage rows skip, so a sum above the total means
-//!   the rows measure different workloads and the attribution is wrong.
+//!   the rows measure different workloads and the attribution is wrong;
+//! * AMS stage sanity (new in v6): `ams/eval_stage/polynomial4` ns/iter
+//!   must not exceed the `onepass_gsum/coalesced_full/polynomial` row (plus
+//!   the same tolerance) — the full pipeline pays at least one pass of that
+//!   sign bank over the coalesced keys, so an eval-stage row above the
+//!   whole-pipeline row means the rows measure different workloads.
 //!
 //! For `bench_serve` (schema v2) it checks:
 //!
@@ -64,15 +74,18 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// The `bench_ingest` schema version this gate understands.
-const EXPECTED_SCHEMA_VERSION: f64 = 5.0;
+const EXPECTED_SCHEMA_VERSION: f64 = 6.0;
 
 /// The `bench_serve` schema version this gate understands.
 const EXPECTED_SERVE_SCHEMA_VERSION: f64 = 2.0;
 
-/// Result rows that must be present in a v5 artifact: the recursive-sketch
-/// hot-path variants across both hash backends, plus the countsketch
-/// stage-split rows and the `coalesced_full` totals they decompose.
-const REQUIRED_RESULTS: [&str; 12] = [
+/// Result rows that must be present in a v6 artifact: the recursive-sketch
+/// hot-path variants across both hash backends, the countsketch
+/// stage-split rows and the `coalesced_full` totals they decompose, and
+/// the AMS sign-kernel rows for both sign families.
+const REQUIRED_RESULTS: [&str; 14] = [
+    "ams/eval_stage/polynomial4",
+    "ams/eval_stage/tabulation",
     "onepass_gsum/coalesced_full/polynomial",
     "onepass_gsum/coalesced_full/tabulation",
     "onepass_gsum/sharded_2/polynomial",
@@ -309,6 +322,7 @@ fn validate_ingest(root: &JsonValue) -> Violations {
         "top level",
         &mut out,
     );
+    positive_number(root, "speedup_gsum_round4_vs_round3", "top level", &mut out);
 
     let (backends, modes) = check_meta(root, &mut out);
 
@@ -348,6 +362,26 @@ fn validate_ingest(root: &JsonValue) -> Violations {
                             hash + apply
                         ));
                     }
+                }
+            }
+            // The onepass_gsum pipeline pays at least one pass of the
+            // default (polynomial4) AMS sign bank over the coalesced keys,
+            // so the isolated eval-stage row must sit below the
+            // whole-pipeline row.  The tabulation-family row has no full
+            // counterpart (the full rows sweep the *hash* backend, the
+            // sign family stays at its default), so only presence and
+            // finiteness apply to it.
+            if let (Some(eval), Some(total)) = (
+                ns_of("ams/eval_stage/polynomial4"),
+                ns_of("onepass_gsum/coalesced_full/polynomial"),
+            ) {
+                if eval > total * STAGE_SUM_TOLERANCE {
+                    out.push(format!(
+                        "results: ams/eval_stage/polynomial4 ({eval:.1} ns) exceeds \
+                         onepass_gsum/coalesced_full/polynomial ({total:.1} ns) — the \
+                         isolated sign-kernel row must bound the whole-pipeline row \
+                         from below"
+                    ));
                 }
             }
         }
@@ -531,13 +565,13 @@ mod tests {
     fn valid_doc() -> String {
         r#"{
           "bench": "bench_ingest",
-          "schema_version": 5,
+          "schema_version": 6,
           "meta": {
             "git_commit": "abc123",
-            "backends": ["polynomial", "tabulation"],
+            "backends": ["polynomial", "tabulation", "polynomial4"],
             "default_backend": "polynomial",
             "coalescing_modes": ["per_update", "sharded_2", "coalesced_full", "pipelined_2",
-                                 "hash_stage", "apply_stage"],
+                                 "hash_stage", "apply_stage", "eval_stage"],
             "available_parallelism": 4,
             "quick": true
           },
@@ -545,7 +579,14 @@ mod tests {
           "speedup_coalesced_vs_per_update": 5.1,
           "speedup_tabulation_vs_polynomial_per_update": 3.9,
           "speedup_gsum_coalesced_vs_per_update": 11.5,
+          "speedup_gsum_round4_vs_round3": 1.6,
           "results": [
+            {"name": "ams/eval_stage/polynomial4", "mode": "eval_stage",
+             "backend": "polynomial4", "ns_per_iter": 6.0, "updates_per_sec": 100.0,
+             "iterations": 8},
+            {"name": "ams/eval_stage/tabulation", "mode": "eval_stage",
+             "backend": "tabulation", "ns_per_iter": 6.0, "updates_per_sec": 100.0,
+             "iterations": 8},
             {"name": "countsketch/per_update/polynomial", "mode": "per_update",
              "backend": "polynomial", "ns_per_iter": 10.0, "updates_per_sec": 100.0,
              "iterations": 8},
@@ -781,10 +822,46 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_is_caught() {
-        let doc = valid_doc().replace("\"schema_version\": 5", "\"schema_version\": 4");
+        let doc = valid_doc().replace("\"schema_version\": 6", "\"schema_version\": 5");
         assert!(violations_of(&doc)
             .iter()
             .any(|v| v.contains("schema_version")));
+    }
+
+    #[test]
+    fn missing_ams_eval_stage_row_is_caught() {
+        let doc = valid_doc().replace("ams/eval_stage/tabulation", "ams/eval_stage/oops");
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("ams/eval_stage/tabulation") && v.contains("missing")));
+    }
+
+    #[test]
+    fn missing_round4_speedup_field_is_caught() {
+        let doc = valid_doc().replace("\"speedup_gsum_round4_vs_round3\": 1.6,", "");
+        assert!(violations_of(&doc)
+            .iter()
+            .any(|v| v.contains("speedup_gsum_round4_vs_round3")));
+    }
+
+    #[test]
+    fn ams_eval_stage_exceeding_the_pipeline_total_is_caught() {
+        // An isolated sign-kernel row slower than the whole onepass_gsum
+        // pipeline (10.0 ns here) cannot be measuring the same workload.
+        let doc = valid_doc().replacen(
+            r#"{"name": "ams/eval_stage/polynomial4", "mode": "eval_stage",
+             "backend": "polynomial4", "ns_per_iter": 6.0"#,
+            r#"{"name": "ams/eval_stage/polynomial4", "mode": "eval_stage",
+             "backend": "polynomial4", "ns_per_iter": 11.0"#,
+            1,
+        );
+        let violations = violations_of(&doc);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("ams/eval_stage/polynomial4") && v.contains("exceeds")),
+            "{violations:?}"
+        );
     }
 
     #[test]
@@ -894,8 +971,8 @@ mod tests {
     #[test]
     fn unknown_backend_against_meta_is_caught() {
         let doc = valid_doc().replace(
-            "\"backends\": [\"polynomial\", \"tabulation\"]",
-            "\"backends\": [\"polynomial\"]",
+            "\"backends\": [\"polynomial\", \"tabulation\", \"polynomial4\"]",
+            "\"backends\": [\"polynomial\", \"polynomial4\"]",
         );
         assert!(violations_of(&doc)
             .iter()

@@ -1,7 +1,7 @@
 //! Configuration shared by the g-SUM estimators.
 
 use crate::error::CoreError;
-use gsum_hash::HashBackend;
+use gsum_hash::{HashBackend, SignFamily};
 
 pub(crate) fn invalid(parameter: &'static str, reason: &str) -> CoreError {
     CoreError::InvalidParameter {
@@ -47,6 +47,12 @@ pub struct GSumConfig {
     /// Hash family for the per-level CountSketch rows (polynomial by
     /// default; tabulation trades provable independence for speed).
     pub hash_backend: HashBackend,
+    /// Sign family for the AMS tug-of-war banks inside the one-pass
+    /// heavy-hitter sketches.  The 4-wise polynomial default carries the
+    /// paper's `Var[Z²] ≤ 2F₂²` bound; tabulation is 3-wise (the mean is
+    /// still exact, the variance constant becomes heuristic) but cheaper per
+    /// evaluation.  Sketches of different families refuse to merge.
+    pub sign_family: SignFamily,
     /// Cap on the reverse hints (distinct observed items) each heavy-hitter
     /// sketch stores for candidate identification.  Identification scans the
     /// observed support instead of the whole domain while a sketch stays
@@ -96,6 +102,7 @@ impl GSumConfig {
             countsketch_rows: 5,
             candidates_per_level: candidates,
             hash_backend: HashBackend::default(),
+            sign_family: SignFamily::default(),
             hint_cap: DEFAULT_HINT_CAP,
             seed,
         })
@@ -141,6 +148,7 @@ impl GSumConfig {
             countsketch_rows: 5,
             candidates_per_level: (columns / 4).max(4),
             hash_backend: HashBackend::default(),
+            sign_family: SignFamily::default(),
             hint_cap: DEFAULT_HINT_CAP,
             seed,
         })
@@ -173,6 +181,14 @@ impl GSumConfig {
     /// Select the hash backend for every sketch in the estimator stack.
     pub fn with_hash_backend(mut self, backend: HashBackend) -> Self {
         self.hash_backend = backend;
+        self
+    }
+
+    /// Select the sign family for the AMS tug-of-war banks (see the
+    /// [`sign_family`](Self::sign_family) field for the independence
+    /// trade-off).
+    pub fn with_sign_family(mut self, family: SignFamily) -> Self {
+        self.sign_family = family;
         self
     }
 
@@ -282,6 +298,20 @@ mod tests {
             DEFAULT_HINT_CAP
         );
         assert_eq!(cfg.with_hint_cap(64).hint_cap, 64);
+    }
+
+    #[test]
+    fn sign_family_defaults_and_overrides() {
+        let cfg = GSumConfig::with_space_budget(1 << 10, 0.1, 256, 3);
+        assert_eq!(cfg.sign_family, SignFamily::Polynomial4);
+        assert_eq!(
+            GSumConfig::theoretical(1 << 10, 0.2, 1).sign_family,
+            SignFamily::Polynomial4
+        );
+        assert_eq!(
+            cfg.with_sign_family(SignFamily::Tabulation).sign_family,
+            SignFamily::Tabulation
+        );
     }
 
     #[test]

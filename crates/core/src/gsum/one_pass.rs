@@ -34,6 +34,7 @@ impl<G: GFunction + Clone> OnePassGSumSketch<G> {
             epsilon: config.epsilon,
             envelope_factor: config.envelope_factor,
             backend: config.hash_backend,
+            sign_family: config.sign_family,
             hint_cap: config.hint_cap,
         };
         let inner = RecursiveSketch::new(

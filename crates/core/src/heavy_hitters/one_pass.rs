@@ -23,7 +23,7 @@ use crate::config::invalid;
 use crate::error::CoreError;
 use crate::hints::ReverseHints;
 use gsum_gfunc::{FunctionCodec, GFunction};
-use gsum_hash::HashBackend;
+use gsum_hash::{HashBackend, SignFamily};
 use gsum_sketch::{AmsF2Sketch, CountSketch, CountSketchConfig, FrequencySketch};
 use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{IngestScratch, MergeError, MergeableSketch, StreamSink, Update};
@@ -45,6 +45,10 @@ pub struct OnePassHeavyHitterConfig {
     pub envelope_factor: f64,
     /// Hash family for the CountSketch rows.
     pub backend: HashBackend,
+    /// Sign family for the embedded AMS tug-of-war bank (4-wise polynomial
+    /// by default; tabulation trades the provable variance constant for
+    /// speed — see `gsum_hash::sign`).
+    pub sign_family: SignFamily,
     /// Cap on the reverse hints (distinct observed items) kept for candidate
     /// identification: under the cap, [`cover`](HeavyHitterSketch::cover)
     /// scans the observed support instead of the whole domain; past it the
@@ -107,6 +111,7 @@ impl OnePassHeavyHitterConfig {
             epsilon,
             envelope_factor,
             backend: HashBackend::default(),
+            sign_family: SignFamily::default(),
             hint_cap: crate::config::DEFAULT_HINT_CAP,
         })
     }
@@ -114,6 +119,12 @@ impl OnePassHeavyHitterConfig {
     /// Select the hash backend.
     pub fn with_backend(mut self, backend: HashBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Select the AMS sign family.
+    pub fn with_sign_family(mut self, family: SignFamily) -> Self {
+        self.sign_family = family;
         self
     }
 
@@ -165,7 +176,8 @@ impl<G: GFunction> OnePassHeavyHitter<G> {
         let countsketch = CountSketch::new(cs_config, seed ^ 0x0c5e_7c11);
         // A fixed, modest AMS sketch: the F2 estimate only calibrates the
         // pruning tolerance, so ±25% accuracy is plenty.
-        let ams = AmsF2Sketch::new(64, 5, seed ^ 0xa355_f2f2).expect("valid AMS dimensions");
+        let ams = AmsF2Sketch::with_sign_family(64, 5, seed ^ 0xa355_f2f2, config.sign_family)
+            .expect("valid AMS dimensions");
         Self::from_parts(
             g,
             config,
@@ -314,6 +326,7 @@ impl<G: GFunction> OnePassHeavyHitter<G> {
         checkpoint::write_f64(w, self.config.epsilon)?;
         checkpoint::write_f64(w, self.config.envelope_factor)?;
         checkpoint::write_backend(w, self.config.backend)?;
+        checkpoint::write_sign_family(w, self.config.sign_family)?;
         checkpoint::write_u64(w, self.config.hint_cap as u64)?;
         checkpoint::write_bytes(w, params)?;
         self.countsketch.save(w)?;
@@ -391,6 +404,7 @@ impl<G: GFunction + FunctionCodec> Checkpoint for OnePassHeavyHitter<G> {
             epsilon: checkpoint::read_f64(r)?,
             envelope_factor: checkpoint::read_f64(r)?,
             backend: checkpoint::read_backend(r)?,
+            sign_family: checkpoint::read_sign_family(r)?,
             hint_cap: checkpoint::read_len(r)?,
         };
         let params = checkpoint::read_bounded_bytes(r, 1 << 16, "function parameters")?;
@@ -406,6 +420,11 @@ impl<G: GFunction + FunctionCodec> Checkpoint for OnePassHeavyHitter<G> {
         {
             return Err(CheckpointError::Corrupt(
                 "nested CountSketch disagrees with the heavy-hitter configuration".into(),
+            ));
+        }
+        if ams.sign_family() != config.sign_family {
+            return Err(CheckpointError::Corrupt(
+                "nested AMS sign family disagrees with the heavy-hitter configuration".into(),
             ));
         }
         Ok(Self::from_parts(g, config, countsketch, ams, hints))
@@ -427,6 +446,7 @@ mod tests {
             epsilon: 0.2,
             envelope_factor: 1.0,
             backend: gsum_hash::HashBackend::Polynomial,
+            sign_family: SignFamily::Polynomial4,
             hint_cap: crate::config::DEFAULT_HINT_CAP,
         }
     }

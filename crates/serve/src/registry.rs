@@ -209,6 +209,7 @@ impl SketchRegistry {
         checkpoint::write_len(w, config.countsketch_rows)?;
         checkpoint::write_len(w, config.candidates_per_level)?;
         checkpoint::write_backend(w, config.hash_backend)?;
+        checkpoint::write_sign_family(w, config.sign_family)?;
         checkpoint::write_len(w, config.hint_cap)?;
         checkpoint::write_u64(w, config.seed)
     }
@@ -224,6 +225,7 @@ impl SketchRegistry {
             countsketch_rows: checkpoint::read_len(r)?,
             candidates_per_level: checkpoint::read_len(r)?,
             hash_backend: checkpoint::read_backend(r)?,
+            sign_family: checkpoint::read_sign_family(r)?,
             hint_cap: checkpoint::read_len(r)?,
             seed: checkpoint::read_u64(r)?,
         })

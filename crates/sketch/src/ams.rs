@@ -9,25 +9,51 @@
 //! Algorithm 2 (the paper's 1-pass heavy-hitter algorithm) uses this sketch
 //! to estimate `√F₂`, which calibrates the CountSketch error when pruning
 //! candidate heavy hitters.
+//!
+//! # Ingestion shape
+//!
+//! All ingestion routes through the item-outer block kernels: the sign bank
+//! fills a packed `items × counters` sign matrix once per batch
+//! ([`gsum_hash::SignBank`]), and the counters then stream their packed bit
+//! rows with branchless ± accumulation.  The per-update path is literally
+//! the batch path at block length 1, so there is one sign-evaluation
+//! implementation to keep bit-exact rather than two kept aligned by hand.
+//!
+//! # Sign families
+//!
+//! The sign source is selectable via [`SignFamily`]: 4-wise polynomials by
+//! default (the independence the `Var[Z²] ≤ 2F₂²` proof consumes), or simple
+//! tabulation (3-wise, faster, heuristic variance constant — see
+//! [`gsum_hash::sign`] for the full trade-off).  Sketches of different
+//! families refuse to merge and checkpoints carry the family tag.
 
 use crate::error::SketchError;
-use crate::util::median_in_place;
+use crate::util::{exact_i64_gate, median_in_place};
 use crate::FrequencySketch;
-use gsum_hash::{derive_seeds, SignHashBank};
+use gsum_hash::{
+    signed_sum_f64_packed, signed_sums_block_i64, SignBank, SignFamily, SignHashBank, SIGN_BLOCK,
+};
 use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
 use gsum_streams::{coalesce_into, IngestScratch, MergeError, MergeableSketch, StreamSink, Update};
 use std::io::{Read, Write};
 
-/// Reusable working memory for [`AmsF2Sketch::update_batch`]: the coalesce
-/// buffer plus the per-item key powers and deltas shared by every counter's
-/// inner loop.  Transient — never part of checkpoint/merge/clone identity.
+/// Reusable working memory for [`AmsF2Sketch`] ingestion: the coalesce
+/// buffer, the per-item key/power/delta columns, and the packed sign matrix
+/// shared by every counter's apply loop.  Transient — never part of
+/// checkpoint/merge/clone identity.
 #[derive(Debug, Default)]
 pub struct AmsScratch {
     coalesce: Vec<Update>,
+    keys: Vec<u64>,
     x1: Vec<u64>,
     x2: Vec<u64>,
     x3: Vec<u64>,
     deltas: Vec<i64>,
+    /// Tabulation word values (unused by the polynomial family).
+    hv: Vec<u64>,
+    /// The packed sign matrix: `sign_bytes[b * n + t]` bit `j` is the sign
+    /// of counter `b * SIGN_BLOCK + j` on item `t`.
+    sign_bytes: Vec<u8>,
 }
 
 /// The AMS F₂ estimator: `averages × medians` independent tug-of-war counters.
@@ -39,15 +65,28 @@ pub struct AmsF2Sketch {
     medians: usize,
     /// Counters, length `averages * medians`.
     counters: Vec<f64>,
-    signs: SignHashBank,
+    signs: SignBank,
     /// Construction seed, kept so merges can verify hash compatibility.
     seed: u64,
     scratch: IngestScratch<AmsScratch>,
 }
 
 impl AmsF2Sketch {
-    /// Create a sketch with explicit `(averages, medians)` shape.
+    /// Create a sketch with explicit `(averages, medians)` shape and the
+    /// default (4-wise polynomial) sign family.
     pub fn new(averages: usize, medians: usize, seed: u64) -> Result<Self, SketchError> {
+        Self::with_sign_family(averages, medians, seed, SignFamily::default())
+    }
+
+    /// Create a sketch with an explicit sign family.  The polynomial family
+    /// derives per-counter seeds exactly as before this knob existed, so
+    /// default-family sketches are bit-compatible across versions.
+    pub fn with_sign_family(
+        averages: usize,
+        medians: usize,
+        seed: u64,
+        family: SignFamily,
+    ) -> Result<Self, SketchError> {
         if averages == 0 {
             return Err(SketchError::EmptyDimension {
                 parameter: "averages",
@@ -59,8 +98,7 @@ impl AmsF2Sketch {
             });
         }
         let total = averages * medians;
-        let seeds = derive_seeds(seed ^ 0xA115_F2F2, total);
-        let signs = SignHashBank::from_seeds(&seeds);
+        let signs = SignBank::from_seed(family, seed ^ 0xA115_F2F2, total);
         Ok(Self {
             averages,
             medians,
@@ -91,6 +129,11 @@ impl AmsF2Sketch {
         Self::new(averages, medians, seed)
     }
 
+    /// The sign family this sketch draws its tug-of-war signs from.
+    pub fn sign_family(&self) -> SignFamily {
+        self.signs.family()
+    }
+
     /// Current estimate of `F₂`.
     pub fn estimate_f2(&self) -> f64 {
         let mut group_means: Vec<f64> = (0..self.medians)
@@ -113,72 +156,95 @@ impl AmsF2Sketch {
 }
 
 impl StreamSink for AmsF2Sketch {
+    /// Per-update path: the batch kernel at block length 1.  For a single
+    /// update the batched accumulation (coalesce of one item, one-column
+    /// sign matrix, gated i64/f64 apply) collapses to exactly the historical
+    /// `counter += σᵢ · δ` chain — when `|δ| < 2^52` the i64 partial is the
+    /// same exact integer `f64` would carry, and above it the f64 fallback
+    /// *is* that chain — so routing through `update_batch` is bit-identical
+    /// and leaves a single sign-evaluation implementation.
     fn update(&mut self, update: Update) {
-        // The key powers x, x², x³ are shared by every sign polynomial, so
-        // compute them once per update instead of once per counter.
-        let powers = SignHashBank::key_powers(update.item);
-        let delta = update.delta as f64;
-        for (i, counter) in self.counters.iter_mut().enumerate() {
-            *counter += self.signs.sign_f64_at(i, powers) * delta;
-        }
+        self.update_batch(std::slice::from_ref(&update));
     }
 
-    /// Batched fast path: the tug-of-war counters are linear, so duplicate
-    /// items coalesce exactly in `i64` and each distinct item is sign-hashed
-    /// once per counter instead of once per occurrence; counters are walked
-    /// in order (counter-major) so each accumulates in a register.  The key
-    /// powers per item are precomputed once and shared across all counters,
-    /// and when every partial sum provably fits an exact `f64` integer the
-    /// accumulation runs in `i64` — bit-identical (an exact integer chain is
-    /// the same value in either type) but free of float latency chains.
+    /// Batched fast path, item-outer: duplicates coalesce exactly in `i64`,
+    /// then the sign bank fills the packed `items × counters` sign matrix in
+    /// one block-kernel sweep — the three key-power multiplications amortize
+    /// over every counter *and* each counter block's coefficient loads
+    /// amortize over the whole item block (AVX-512 when the host has it).
+    /// The counters then stream their packed bit rows with the branchless ±
+    /// select, in `i64` whenever every partial sum provably fits an exact
+    /// `f64` integer — bit-identical (an exact integer chain is the same
+    /// value in either type) but free of float latency chains.
     fn update_batch(&mut self, updates: &[Update]) {
         let AmsScratch {
             coalesce,
+            keys,
             x1,
             x2,
             x3,
             deltas,
+            hv,
+            sign_bytes,
         } = &mut self.scratch.buf;
         let coalesced = coalesce_into(updates, coalesce);
         let n = coalesced.len();
         if n == 0 {
             return;
         }
-        x1.clear();
-        x2.clear();
-        x3.clear();
+        keys.clear();
         deltas.clear();
         let mut max_abs = 0u64;
         for u in coalesced {
-            let (a, b, c) = SignHashBank::key_powers(u.item);
-            x1.push(a);
-            x2.push(b);
-            x3.push(c);
+            keys.push(u.item);
             deltas.push(u.delta);
             max_abs = max_abs.max(u.delta.unsigned_abs());
         }
-        // Every partial sum is bounded by n · max|δ|; below 2^52 each one is
-        // an exact integer that f64 represents exactly, so i64 accumulation
-        // produces bit-identical counters.  (This also rules out i64::MIN,
-        // whose unsigned_abs is 2^63, making the negation below safe.)
-        let exact_i64 = (max_abs as u128) * (n as u128) < (1u128 << 52);
-        // Each counter's inner loop is the bank's batched tug-of-war kernel:
-        // coefficients loaded once, branchless ± select, and — under the
-        // exactness gate — i64 accumulation, bit-identical to the f64 chain.
-        for (i, counter) in self.counters.iter_mut().enumerate() {
-            if exact_i64 {
-                *counter += self.signs.signed_sum_i64(i, x1, x2, x3, deltas) as f64;
-            } else {
-                // Extreme deltas: accumulate in f64, exactly as before (an
-                // i64 accumulator could overflow).
-                *counter += self.signs.signed_sum_f64(i, x1, x2, x3, deltas);
+        // Fill the packed sign matrix for the whole batch.
+        match &self.signs {
+            SignBank::Polynomial(bank) => {
+                x1.clear();
+                x2.clear();
+                x3.clear();
+                for &key in keys.iter() {
+                    let (a, b, c) = SignHashBank::key_powers(key);
+                    x1.push(a);
+                    x2.push(b);
+                    x3.push(c);
+                }
+                bank.eval_block(x1, x2, x3, sign_bytes);
+            }
+            SignBank::Tabulation(bank) => bank.eval_block(keys, hv, sign_bytes),
+        }
+        let exact_i64 = exact_i64_gate(max_abs, n);
+        if exact_i64 {
+            // Block-outer apply: the eight counters of each block share one
+            // contiguous byte row and the same deltas, so one fused pass
+            // (vectorized where the CPU allows) produces all eight sums.
+            // The i64 sums are exact under the gate, so this matches the
+            // per-counter walk bit for bit.
+            for (b, row) in sign_bytes.chunks_exact(n).enumerate() {
+                let sums = signed_sums_block_i64(row, deltas);
+                let base = b * SIGN_BLOCK;
+                for (counter, &sum) in self.counters[base..].iter_mut().zip(sums.iter()) {
+                    *counter += sum as f64;
+                }
+            }
+        } else {
+            // Extreme deltas: accumulate per counter in f64, exactly as
+            // before (an i64 accumulator could overflow).
+            for (i, counter) in self.counters.iter_mut().enumerate() {
+                let row = &sign_bytes[(i / SIGN_BLOCK) * n..(i / SIGN_BLOCK) * n + n];
+                let bit = (i % SIGN_BLOCK) as u32;
+                *counter += signed_sum_f64_packed(row, bit, deltas);
             }
         }
     }
 }
 
 /// The tug-of-war counters are linear in the frequency vector, so two
-/// sketches with the same shape and seed merge by adding counters.
+/// sketches with the same shape, seed and sign family merge by adding
+/// counters.
 impl MergeableSketch for AmsF2Sketch {
     fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
         if self.averages != other.averages
@@ -189,6 +255,11 @@ impl MergeableSketch for AmsF2Sketch {
                 "AMS merge requires identical shape and seed",
             ));
         }
+        if self.signs.family() != other.signs.family() {
+            return Err(MergeError::new(
+                "AMS merge requires identical sign families",
+            ));
+        }
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
             *a += b;
         }
@@ -196,14 +267,16 @@ impl MergeableSketch for AmsF2Sketch {
     }
 }
 
-/// The tug-of-war counters plus `(averages, medians, seed)` are the whole
-/// state: restore re-derives the sign hashes through [`AmsF2Sketch::new`].
+/// The tug-of-war counters plus `(averages, medians, seed, sign family)`
+/// are the whole state: restore re-derives the sign bank through
+/// [`AmsF2Sketch::with_sign_family`].
 impl Checkpoint for AmsF2Sketch {
     fn save(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
         checkpoint::write_header(w, kind::AMS_F2)?;
         checkpoint::write_u64(w, self.averages as u64)?;
         checkpoint::write_u64(w, self.medians as u64)?;
         checkpoint::write_u64(w, self.seed)?;
+        checkpoint::write_sign_family(w, self.signs.family())?;
         checkpoint::write_f64_slice(w, &self.counters)?;
         Ok(())
     }
@@ -213,11 +286,12 @@ impl Checkpoint for AmsF2Sketch {
         let averages = checkpoint::read_len(r)?;
         let medians = checkpoint::read_len(r)?;
         let seed = checkpoint::read_u64(r)?;
+        let family = checkpoint::read_sign_family(r)?;
         let total = averages
             .checked_mul(medians)
             .ok_or_else(|| CheckpointError::Corrupt("averages × medians overflows".into()))?;
         let counters = checkpoint::read_f64_counters(r, total, "AMS counters")?;
-        let mut sketch = Self::new(averages, medians, seed)
+        let mut sketch = Self::with_sign_family(averages, medians, seed, family)
             .map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
         sketch.counters = counters;
         Ok(sketch)
@@ -233,7 +307,7 @@ impl FrequencySketch for AmsF2Sketch {
     }
 
     fn space_words(&self) -> usize {
-        self.counters.len() + 4 * self.signs.len()
+        self.counters.len() + self.signs.space_words()
     }
 }
 
@@ -252,28 +326,34 @@ mod tests {
         assert!(AmsF2Sketch::with_guarantee(0.2, 0.0, 0).is_err());
         let s = AmsF2Sketch::with_guarantee(0.1, 0.05, 0).unwrap();
         assert!(s.averages >= 800);
+        assert_eq!(s.sign_family(), SignFamily::Polynomial4);
     }
 
     #[test]
     fn exact_on_single_item() {
-        // With one non-zero coordinate, Z = ±v so Z² = v² exactly.
-        let mut s = TurnstileStream::new(100);
-        s.push_delta(3, 25);
-        let mut ams = AmsF2Sketch::new(4, 3, 7).unwrap();
-        ams.process_stream(&s);
-        assert!((ams.estimate_f2() - 625.0).abs() < 1e-9);
-        assert!((ams.estimate_l2() - 25.0).abs() < 1e-9);
+        // With one non-zero coordinate, Z = ±v so Z² = v² exactly — for
+        // either sign family.
+        for family in [SignFamily::Polynomial4, SignFamily::Tabulation] {
+            let mut s = TurnstileStream::new(100);
+            s.push_delta(3, 25);
+            let mut ams = AmsF2Sketch::with_sign_family(4, 3, 7, family).unwrap();
+            ams.process_stream(&s);
+            assert!((ams.estimate_f2() - 625.0).abs() < 1e-9);
+            assert!((ams.estimate_l2() - 25.0).abs() < 1e-9);
+        }
     }
 
     #[test]
     fn approximates_f2_on_uniform_stream() {
         let stream = UniformStreamGenerator::new(StreamConfig::new(512, 30_000), 11).generate();
         let truth = stream.frequency_vector().f2();
-        let mut ams = AmsF2Sketch::with_guarantee(0.15, 0.05, 21).unwrap();
-        ams.process_stream(&stream);
-        let est = ams.estimate_f2();
-        let rel = (est - truth).abs() / truth;
-        assert!(rel < 0.2, "relative error {rel} exceeds tolerance");
+        for family in [SignFamily::Polynomial4, SignFamily::Tabulation] {
+            let mut ams = AmsF2Sketch::with_sign_family(356, 12, 21, family).unwrap();
+            ams.process_stream(&stream);
+            let est = ams.estimate_f2();
+            let rel = (est - truth).abs() / truth;
+            assert!(rel < 0.2, "{}: relative error {rel}", family.name());
+        }
     }
 
     #[test]
@@ -312,5 +392,29 @@ mod tests {
     fn per_item_estimate_is_zero() {
         let ams = AmsF2Sketch::new(2, 2, 0).unwrap();
         assert_eq!(ams.estimate(5), 0.0);
+    }
+
+    #[test]
+    fn merge_rejects_sign_family_mismatch() {
+        let mut poly = AmsF2Sketch::with_sign_family(4, 3, 9, SignFamily::Polynomial4).unwrap();
+        let tab = AmsF2Sketch::with_sign_family(4, 3, 9, SignFamily::Tabulation).unwrap();
+        assert!(poly.merge(&tab).is_err());
+        let poly2 = AmsF2Sketch::with_sign_family(4, 3, 9, SignFamily::Polynomial4).unwrap();
+        assert!(poly.merge(&poly2).is_ok());
+    }
+
+    #[test]
+    fn tabulation_family_checkpoint_roundtrips() {
+        let mut ams = AmsF2Sketch::with_sign_family(8, 3, 5, SignFamily::Tabulation).unwrap();
+        let mut s = TurnstileStream::new(50);
+        for i in 0..50 {
+            s.push_delta(i, (i as i64 % 11) - 5);
+        }
+        ams.process_stream(&s);
+        let bytes = ams.to_checkpoint_bytes().unwrap();
+        let restored = AmsF2Sketch::from_checkpoint_bytes(&bytes).unwrap();
+        assert_eq!(restored.sign_family(), SignFamily::Tabulation);
+        assert_eq!(restored.counters, ams.counters);
+        assert_eq!(restored.to_checkpoint_bytes().unwrap(), bytes);
     }
 }

@@ -7,6 +7,7 @@
 //! the recursive sketch.
 
 use crate::error::SketchError;
+use crate::util::exact_i64_gate;
 use crate::FrequencySketch;
 use gsum_hash::{derive_seeds, HashBackend, RowHasher};
 use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
@@ -199,7 +200,7 @@ impl StreamSink for CountMinSketch {
         // Same doctrine gate as the AMS/CountSketch fast paths: below 2^52
         // every delta is an exact f64 integer, so converting at apply time
         // equals pre-converting, bit for bit.
-        let exact_i64 = (max_abs as u128) * (coalesced.len() as u128) < (1u128 << 52);
+        let exact_i64 = exact_i64_gate(max_abs, coalesced.len());
         if exact_i64 {
             ideltas.clear();
             ideltas.extend(coalesced.iter().map(|u| u.delta));

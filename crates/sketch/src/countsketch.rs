@@ -15,7 +15,7 @@
 //! within `ε √(λ F₂)`.
 
 use crate::error::SketchError;
-use crate::util::median_in_place;
+use crate::util::{exact_i64_gate, median_in_place};
 use crate::FrequencySketch;
 use gsum_hash::{derive_seeds, HashBackend, RowHasher};
 use gsum_streams::checkpoint::{self, kind, Checkpoint, CheckpointError};
@@ -47,6 +47,7 @@ pub struct CountSketchScratch {
 #[derive(Debug, Default)]
 struct ResidualScratch {
     excluded_cols: Vec<bool>,
+    cols: Vec<u32>,
     row_sums: Vec<f64>,
 }
 
@@ -249,6 +250,7 @@ impl CountSketch {
             .expect("residual-F2 scratch lock poisoned");
         let ResidualScratch {
             excluded_cols,
+            cols,
             row_sums,
         } = &mut *scratch;
         row_sums.clear();
@@ -264,8 +266,12 @@ impl CountSketch {
             for flag in excluded_cols.iter_mut() {
                 *flag = false;
             }
-            for &item in excluded {
-                excluded_cols[self.rows[row].column(item) as usize] = true;
+            // Hash every excluded item through the row's batched bucket
+            // kernel (coefficients hoisted / blocked table lookups) instead
+            // of one scalar `column` call per item.
+            self.rows[row].column_batch(excluded, cols);
+            for &col in cols.iter() {
+                excluded_cols[col as usize] = true;
             }
             let mut sum = 0.0;
             for (col, &is_excluded) in excluded_cols.iter().enumerate() {
@@ -332,9 +338,8 @@ impl StreamSink for CountSketch {
             .fold(0u64, u64::max);
         // Same doctrine gate as the AMS fast path: below 2^52 every signed
         // delta is an exact f64 integer, so negating in i64 and converting
-        // at apply time is bit-identical to the f64 multiply.  (This also
-        // rules out i64::MIN, whose negation would overflow.)
-        let exact_i64 = (max_abs as u128) * (coalesced.len() as u128) < (1u128 << 52);
+        // at apply time is bit-identical to the f64 multiply.
+        let exact_i64 = exact_i64_gate(max_abs, coalesced.len());
         let columns = self.config.columns;
         for (row_counters, hasher) in self
             .counters

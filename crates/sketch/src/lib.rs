@@ -45,7 +45,7 @@ pub use sampling::SamplingEstimator;
 
 // The hash-backend switch, the push-based ingestion contract and the
 // snapshot/restore layer, re-exported so sketch users need only this crate.
-pub use gsum_hash::HashBackend;
+pub use gsum_hash::{HashBackend, SignFamily};
 pub use gsum_streams::{Checkpoint, CheckpointError, MergeError, MergeableSketch, StreamSink};
 
 /// A frequency sketch: a compact summary of a turnstile stream from which

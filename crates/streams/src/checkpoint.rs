@@ -394,6 +394,21 @@ pub fn read_backend(r: &mut impl Read) -> Result<gsum_hash::HashBackend, Checkpo
         .ok_or_else(|| CheckpointError::Corrupt(format!("unknown hash-backend tag {tag}")))
 }
 
+/// Write an AMS sign family as its stable tag.
+pub fn write_sign_family(
+    w: &mut impl Write,
+    family: gsum_hash::SignFamily,
+) -> Result<(), CheckpointError> {
+    write_u8(w, family.tag())
+}
+
+/// Read a sign-family tag, failing on unknown tags instead of guessing.
+pub fn read_sign_family(r: &mut impl Read) -> Result<gsum_hash::SignFamily, CheckpointError> {
+    let tag = read_u8(r)?;
+    gsum_hash::SignFamily::from_tag(tag)
+        .ok_or_else(|| CheckpointError::Corrupt(format!("unknown sign-family tag {tag}")))
+}
+
 /// A parked, mergeable sketch state: checkpoint bytes plus the number of
 /// updates the state absorbed.
 ///

@@ -90,6 +90,17 @@
 //!   bytes never depend on which path ran.  These kernels are plain
 //!   autovectorizable scalar loops — `RUSTFLAGS="-C target-cpu=native"` is
 //!   the build floor for the throughput numbers quoted in `ROADMAP.md`.
+//! * **Item-outer AMS sign kernels.** The AMS tug-of-war sketch inside the
+//!   one-pass heavy hitter evaluates *hundreds* of sign hashes per item, so
+//!   its hot loop is shaped differently: the sign bank
+//!   ([`SignBank`](prelude::SignBank)) fills a packed `items × counters`
+//!   sign matrix once per coalesced batch — key powers amortize across
+//!   counters, coefficient loads amortize across items, and an AVX-512
+//!   limb-decomposed lowering is dispatched at runtime where the CPU has it
+//!   — and the counters then stream their packed bit rows with fused
+//!   whole-block ± accumulation.  Every lowering is bit-identical to
+//!   per-item evaluation (proptested in `tests/batch_equivalence.rs`), and
+//!   the per-update path is literally the block kernel at length 1.
 //! * **Hash backend.** Sketch rows draw their bucket and sign hashes from a
 //!   pluggable [`HashBackend`](prelude::HashBackend): `Polynomial` (the
 //!   provable default — pairwise/4-wise independent polynomials over
@@ -99,6 +110,14 @@
 //!   `CountSketchConfig::with_backend` / `CountMinConfig::with_backend`, or
 //!   for the whole estimator stack with `GSumConfig::with_hash_backend`;
 //!   merges refuse sketches built with different backends.
+//! * **Sign family.** The AMS sign source has the analogous knob,
+//!   [`SignFamily`](prelude::SignFamily): `Polynomial4` (the default —
+//!   4-wise independent, exactly the independence the `Var[Z²] ≤ 2F₂²`
+//!   variance bound consumes) or `Tabulation` (3-wise independent and
+//!   faster; the mean `E[Z²] = F₂` stays exact but the variance constant
+//!   becomes heuristic).  Select it with `GSumConfig::with_sign_family`;
+//!   checkpoints carry the family tag and merges refuse mismatched
+//!   families.
 //!
 //! ```
 //! use zerolaw::prelude::*;
@@ -390,7 +409,7 @@ pub mod prelude {
         registry::FunctionRegistry,
         DynFunction, DynG, FunctionCodec, GFunction,
     };
-    pub use gsum_hash::{HashBackend, RowHasher};
+    pub use gsum_hash::{HashBackend, RowHasher, SignBank, SignFamily, SignHashBank, TabSignBank};
     pub use gsum_serve::{
         protocol, CheckpointEnvelope, Command, FoldOutcome, GsumServer, MergeCoordinator,
         ProtocolError, RegistryError, Response, ServableSketch, ServableSubstrate, ServeConfig,

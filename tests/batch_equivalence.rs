@@ -23,6 +23,7 @@ use zerolaw::sketch::{
 
 const DOMAIN: u64 = 64;
 const BACKENDS: [HashBackend; 2] = [HashBackend::Polynomial, HashBackend::Tabulation];
+const SIGN_FAMILIES: [SignFamily; 2] = [SignFamily::Polynomial4, SignFamily::Tabulation];
 
 /// Strategy: a small turnstile stream described as (item, delta) pairs
 /// (delta 0 allowed — sinks must tolerate it).
@@ -154,14 +155,16 @@ proptest! {
         }
     }
 
-    /// AMS: the F2 estimate agrees bit-for-bit.
+    /// AMS: the F2 estimate agrees bit-for-bit, under both sign families.
     #[test]
     fn ams_batch_equals_single(s in stream_strategy(DOMAIN, 120), seed in 0u64..200) {
-        let proto = AmsF2Sketch::new(8, 3, seed).unwrap();
-        assert_batch_equivalent(&proto, &s, |a, b| {
-            prop_assert_eq!(a.estimate_f2().to_bits(), b.estimate_f2().to_bits());
-            Ok(())
-        })?;
+        for family in SIGN_FAMILIES {
+            let proto = AmsF2Sketch::with_sign_family(8, 3, seed, family).unwrap();
+            assert_batch_equivalent(&proto, &s, |a, b| {
+                prop_assert_eq!(a.estimate_f2().to_bits(), b.estimate_f2().to_bits());
+                Ok(())
+            })?;
+        }
     }
 
     /// Exact tracker and sampling estimator (default batch path).
@@ -213,6 +216,7 @@ proptest! {
                 epsilon: 0.2,
                 envelope_factor: 1.0,
                 backend,
+                sign_family: SignFamily::default(),
                 hint_cap: 512,
             };
             let proto = OnePassHeavyHitter::new(PowerFunction::new(2.0), config, seed);
@@ -380,6 +384,98 @@ proptest! {
         }
     }
 
+    /// The item-outer sign block kernels themselves: for both sign families,
+    /// the packed `items × counters` sign matrix is bit-identical to per-item
+    /// evaluation (`SignHashBank::eval_with` for the polynomial family,
+    /// `TabSignBank::sign_at` for tabulation) over adversarial key slices —
+    /// key 0, the domain boundary, high-bit patterns and forced duplicates —
+    /// at bank sizes off the 8-wide block boundary and batch lengths from 1
+    /// through odd non-powers-of-two.
+    #[test]
+    fn sign_block_kernels_equal_per_item(
+        keys in prop::collection::vec((0u64..DOMAIN, 0u64..8), 1..81).prop_map(|pairs| {
+            pairs
+                .into_iter()
+                .map(|(key, variant)| match variant {
+                    // Boundary keys and a fixed key (forcing duplicates)
+                    // interleaved with in-domain and arbitrary high-bit
+                    // 64-bit keys, so one slice stresses every fold path.
+                    0 => 0u64,
+                    1 => DOMAIN - 1,
+                    2 => 7,
+                    3 => key.wrapping_mul(0x9E37_79B9_7F4A_7C15) | (1 << 63),
+                    4 => u64::MAX - key,
+                    _ => key,
+                })
+                .collect::<Vec<u64>>()
+        }),
+        bank_len in 1usize..40,
+        seed in 0u64..200,
+    ) {
+        use zerolaw::hash::SIGN_BLOCK;
+        let n = keys.len();
+        for family in SIGN_FAMILIES {
+            let bank = SignBank::from_seed(family, seed, bank_len);
+            let mut sign_bytes = Vec::new();
+            match &bank {
+                SignBank::Polynomial(poly) => {
+                    let (mut x1, mut x2, mut x3) = (Vec::new(), Vec::new(), Vec::new());
+                    for &k in &keys {
+                        let (a, b, c) = SignHashBank::key_powers(k);
+                        x1.push(a);
+                        x2.push(b);
+                        x3.push(c);
+                    }
+                    poly.eval_block(&x1, &x2, &x3, &mut sign_bytes);
+                    // The packed bits must be the parity of the exact field
+                    // element `eval_with` computes, not merely sign-equal.
+                    for i in 0..bank_len {
+                        let row = &sign_bytes[(i / SIGN_BLOCK) * n..(i / SIGN_BLOCK) * n + n];
+                        for (t, &key) in keys.iter().enumerate() {
+                            let value = SignHashBank::eval_with(
+                                poly.coefficients_at(i),
+                                SignHashBank::key_powers(key),
+                            );
+                            prop_assert_eq!(
+                                u64::from((row[t] >> (i % SIGN_BLOCK)) & 1),
+                                value & 1,
+                                "polynomial block bit diverges at hash {}, key {}",
+                                i,
+                                key
+                            );
+                        }
+                    }
+                }
+                SignBank::Tabulation(tab) => {
+                    let mut hv = Vec::new();
+                    tab.eval_block(&keys, &mut hv, &mut sign_bytes);
+                    for i in 0..bank_len {
+                        let row = &sign_bytes[(i / SIGN_BLOCK) * n..(i / SIGN_BLOCK) * n + n];
+                        for (t, &key) in keys.iter().enumerate() {
+                            let got = (((row[t] >> (i % SIGN_BLOCK)) & 1) as i64) * 2 - 1;
+                            prop_assert_eq!(
+                                got,
+                                tab.sign_at(i, key),
+                                "tabulation block bit diverges at hash {}, key {}",
+                                i,
+                                key
+                            );
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(sign_bytes.len(), bank.blocks() * n);
+            // Every bank-level query agrees with the packed matrix too.
+            for i in [0, bank_len - 1] {
+                let row = &sign_bytes[(i / SIGN_BLOCK) * n..(i / SIGN_BLOCK) * n + n];
+                for (t, &key) in keys.iter().enumerate() {
+                    let got = (((row[t] >> (i % SIGN_BLOCK)) & 1) as i64) * 2 - 1;
+                    prop_assert_eq!(got, bank.sign_at_key(i, key));
+                }
+            }
+        }
+    }
+
     /// The merge laws hold under the tabulation backend too: merging shard
     /// sketches equals the sketch of the concatenated stream, and the full
     /// g-SUM sketch merges to the single-threaded state.
@@ -467,6 +563,65 @@ fn huge_deltas_take_the_fallback_and_still_agree() {
     }
 }
 
+/// `i64::MAX`-scale deltas: `max|Δ| · n` overflows a `u64` product outright,
+/// so this is the regression test that the gate computation itself survives
+/// pathological magnitudes (it must *answer* `false`, not wrap around to a
+/// small product and take the overflowing i64 path).  `±(i64::MAX − 1)`
+/// converts to the exact f64 `2^63`, so every fallback addend is exact and
+/// per-update and batched ingestion still agree bit for bit — for AMS,
+/// CountSketch and Count-Min, under both sign families.
+#[test]
+fn max_scale_deltas_overflow_proof_gate_and_agree() {
+    let extreme: Vec<Update> = vec![
+        Update::new(3, i64::MAX - 1),
+        Update::new(40, -(i64::MAX - 1)),
+    ];
+
+    for family in SIGN_FAMILIES {
+        let ams_proto = AmsF2Sketch::with_sign_family(8, 3, 17, family).unwrap();
+        let mut ams_ref = ams_proto.clone();
+        for &u in &extreme {
+            ams_ref.update(u);
+        }
+        let mut ams_batched = ams_proto.clone();
+        ams_batched.update_batch(&extreme);
+        assert_eq!(
+            ams_ref.estimate_f2().to_bits(),
+            ams_batched.estimate_f2().to_bits(),
+            "AMS {} diverges under i64::MAX-scale deltas",
+            family.name()
+        );
+    }
+
+    for backend in BACKENDS {
+        let cs_proto = CountSketch::new(CountSketchConfig::new(3, 32).with_backend(backend), 17);
+        let cm_proto =
+            CountMinSketch::with_config(CountMinConfig::new(3, 32).with_backend(backend), 17);
+        let mut cs_ref = cs_proto.clone();
+        let mut cm_ref = cm_proto.clone();
+        for &u in &extreme {
+            cs_ref.update(u);
+            cm_ref.update(u);
+        }
+        let mut cs_batched = cs_proto.clone();
+        let mut cm_batched = cm_proto.clone();
+        cs_batched.update_batch(&extreme);
+        cm_batched.update_batch(&extreme);
+        for item in 0..DOMAIN {
+            assert_eq!(
+                cs_ref.estimate(item).to_bits(),
+                cs_batched.estimate(item).to_bits(),
+                "CountSketch {backend:?} diverges on item {item} at i64::MAX scale"
+            );
+            assert_eq!(
+                cm_ref.estimate(item).to_bits(),
+                cm_batched.estimate(item).to_bits(),
+                "Count-Min {backend:?} diverges on item {item} at i64::MAX scale"
+            );
+        }
+    }
+}
+
 /// Backend mismatches are merge errors: a polynomial sketch must refuse a
 /// tabulation sketch even when shape and seed agree.
 #[test]
@@ -486,6 +641,26 @@ fn merge_rejects_backend_mismatch() {
     );
     let mut c = cm_poly.clone();
     assert!(c.merge(&cm_tab).is_err());
+}
+
+/// Sign-family mismatches are merge errors too, at every layer that embeds
+/// an AMS bank: the raw sketch and the one-pass heavy hitter (whose config
+/// inequality catches it) must both refuse, even with identical shapes and
+/// seeds.
+#[test]
+fn merge_rejects_sign_family_mismatch() {
+    let mut ams_poly = AmsF2Sketch::with_sign_family(8, 3, 7, SignFamily::Polynomial4).unwrap();
+    let ams_tab = AmsF2Sketch::with_sign_family(8, 3, 7, SignFamily::Tabulation).unwrap();
+    assert!(ams_poly.merge(&ams_tab).is_err());
+
+    let config = OnePassHeavyHitterConfig::new(3, 32, 8, 0.2, 1.0);
+    let mut hh_poly = OnePassHeavyHitter::new(PowerFunction::new(2.0), config, 7);
+    let hh_tab = OnePassHeavyHitter::new(
+        PowerFunction::new(2.0),
+        config.with_sign_family(SignFamily::Tabulation),
+        7,
+    );
+    assert!(hh_poly.merge(&hh_tab).is_err());
 }
 
 /// Sharded ingestion stays exact under the tabulation backend end to end.

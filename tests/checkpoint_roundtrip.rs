@@ -27,6 +27,7 @@ use zerolaw::streams::AdversarialCollisionGenerator;
 
 const DOMAIN: u64 = 64;
 const BACKENDS: [HashBackend; 2] = [HashBackend::Polynomial, HashBackend::Tabulation];
+const SIGN_FAMILIES: [SignFamily; 2] = [SignFamily::Polynomial4, SignFamily::Tabulation];
 
 /// Strategy: a small turnstile stream described as (item, delta) pairs.
 fn stream_strategy(domain: u64, max_len: usize) -> impl Strategy<Value = TurnstileStream> {
@@ -136,14 +137,18 @@ proptest! {
         }
     }
 
-    /// AMS, exact tracker and sampling baseline.
+    /// AMS (both sign families), exact tracker and sampling baseline.
     #[test]
     fn ams_exact_sampling_roundtrip(s in stream_strategy(DOMAIN, 100), seed in 0u64..200, cut in 0usize..100) {
-        let proto = AmsF2Sketch::new(8, 3, seed).unwrap();
-        assert_roundtrip_continues(&proto, &s, cut, |a, b| {
-            prop_assert_eq!(a.estimate_f2().to_bits(), b.estimate_f2().to_bits());
-            Ok(())
-        })?;
+        for family in SIGN_FAMILIES {
+            let proto = AmsF2Sketch::with_sign_family(8, 3, seed, family).unwrap();
+            assert_roundtrip_continues(&proto, &s, cut, |a, b| {
+                prop_assert_eq!(a.sign_family(), family);
+                prop_assert_eq!(b.sign_family(), family);
+                prop_assert_eq!(a.estimate_f2().to_bits(), b.estimate_f2().to_bits());
+                Ok(())
+            })?;
+        }
 
         let proto = ExactFrequencies::new(DOMAIN);
         assert_roundtrip_continues(&proto, &s, cut, |a, b| {
@@ -180,7 +185,9 @@ proptest! {
         }
     }
 
-    /// Algorithm-2 heavy hitter (CountSketch + AMS + hints), both backends.
+    /// Algorithm-2 heavy hitter (CountSketch + AMS + hints), every
+    /// backend × sign-family combination: the sign-family tag must ride the
+    /// checkpoint and reconstruct the identical bank.
     #[test]
     fn one_pass_heavy_hitter_roundtrip(
         s in stream_strategy(DOMAIN, 80),
@@ -188,25 +195,29 @@ proptest! {
         cut in 0usize..80,
     ) {
         for backend in BACKENDS {
-            let config = OnePassHeavyHitterConfig {
-                rows: 3,
-                columns: 32,
-                candidates: 8,
-                epsilon: 0.2,
-                envelope_factor: 1.0,
-                backend,
-                hint_cap: 24,
-            };
-            let proto = OnePassHeavyHitter::new(PowerFunction::new(2.0), config, seed);
-            assert_roundtrip_continues(&proto, &s, cut, |a, b| {
-                prop_assert_eq!(a.cover(DOMAIN), b.cover(DOMAIN));
-                prop_assert_eq!(
-                    a.frequency_error_bound().to_bits(),
-                    b.frequency_error_bound().to_bits()
-                );
-                prop_assert_eq!(a.space_words(), b.space_words());
-                Ok(())
-            })?;
+            for sign_family in SIGN_FAMILIES {
+                let config = OnePassHeavyHitterConfig {
+                    rows: 3,
+                    columns: 32,
+                    candidates: 8,
+                    epsilon: 0.2,
+                    envelope_factor: 1.0,
+                    backend,
+                    sign_family,
+                    hint_cap: 24,
+                };
+                let proto = OnePassHeavyHitter::new(PowerFunction::new(2.0), config, seed);
+                assert_roundtrip_continues(&proto, &s, cut, |a, b| {
+                    prop_assert_eq!(b.config().sign_family, sign_family);
+                    prop_assert_eq!(a.cover(DOMAIN), b.cover(DOMAIN));
+                    prop_assert_eq!(
+                        a.frequency_error_bound().to_bits(),
+                        b.frequency_error_bound().to_bits()
+                    );
+                    prop_assert_eq!(a.space_words(), b.space_words());
+                    Ok(())
+                })?;
+            }
         }
     }
 
@@ -452,6 +463,47 @@ fn mismatched_backend_checkpoint_refuses_to_merge_not_panic() {
     let mut s = TurnstileStream::new(DOMAIN);
     s.push_delta(3, 5);
     let err = ShardedIngest::new(2).resume(&mut s.source(), &tab_proto, &mut bytes.as_slice());
+    assert!(matches!(err, Err(CheckpointError::Merge(_))));
+}
+
+#[test]
+fn mismatched_sign_family_checkpoint_refuses_to_merge_not_panic() {
+    // A tabulation-family AMS checkpoint restores fine (the tag rides in the
+    // bytes) — but folding it into a polynomial-family sketch is a merge
+    // error, exactly like live sketches and like hash-backend mismatches.
+    let mut tab = AmsF2Sketch::with_sign_family(8, 3, 7, SignFamily::Tabulation).unwrap();
+    tab.update(Update::new(3, 5));
+    let bytes = tab.to_checkpoint_bytes().unwrap();
+    let restored = AmsF2Sketch::from_checkpoint_bytes(&bytes).unwrap();
+    assert_eq!(restored.sign_family(), SignFamily::Tabulation);
+
+    let mut poly = AmsF2Sketch::new(8, 3, 7).unwrap();
+    assert!(poly.merge(&restored).is_err());
+
+    // A mangled sign-family tag is a corruption error, never a panic or a
+    // silently-guessed family.  Layout: 8-byte header, then
+    // averages/medians/seed (8 bytes each), then the tag.
+    let mut bad_tag = bytes.clone();
+    bad_tag[8 + 24] = 0x7F;
+    assert!(matches!(
+        AmsF2Sketch::from_checkpoint_bytes(&bad_tag),
+        Err(CheckpointError::Corrupt(_))
+    ));
+
+    // The same at the estimator layer: a tabulation-family one-pass g-SUM
+    // checkpoint refuses to resume into a polynomial-family pipeline.
+    let tab_config =
+        GSumConfig::with_space_budget(DOMAIN, 0.25, 32, 1).with_sign_family(SignFamily::Tabulation);
+    let mut tab_gsum = OnePassGSumSketch::new(PowerFunction::new(2.0), &tab_config);
+    tab_gsum.update(Update::new(3, 5));
+    let bytes = tab_gsum.to_checkpoint_bytes().unwrap();
+    let poly_proto = OnePassGSumSketch::new(
+        PowerFunction::new(2.0),
+        &GSumConfig::with_space_budget(DOMAIN, 0.25, 32, 1),
+    );
+    let mut s = TurnstileStream::new(DOMAIN);
+    s.push_delta(3, 5);
+    let err = ShardedIngest::new(2).resume(&mut s.source(), &poly_proto, &mut bytes.as_slice());
     assert!(matches!(err, Err(CheckpointError::Merge(_))));
 }
 
